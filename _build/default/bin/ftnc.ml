@@ -1,0 +1,235 @@
+(* ftnc: command-line driver for the Fortran -> FPGA OpenMP offload
+   pipeline. Mirrors the paper's toolchain: compile Fortran+OpenMP, dump
+   any intermediate stage, synthesise the (simulated) bitstream and run the
+   program on the simulated U280.
+
+     ftnc compile prog.f90 --emit hls
+     ftnc run prog.f90 --report
+     ftnc synth prog.f90
+     ftnc stages prog.f90 *)
+
+open Cmdliner
+
+let read_source path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let handle_errors f =
+  try f () with
+  | Ftn_frontend.Frontend.Frontend_error msg ->
+    Fmt.epr "error: %s@." msg;
+    exit 1
+  | Ftn_hlsim.Synth.Synthesis_error msg ->
+    Fmt.epr "synthesis error: %s@." msg;
+    exit 1
+  | Ftn_runtime.Executor.Runtime_error msg ->
+    Fmt.epr "runtime error: %s@." msg;
+    exit 1
+  | Ftn_passes.Core_to_llvm.Unsupported msg ->
+    Fmt.epr
+      "error: the offloaded region uses a construct the device backend \
+       cannot lower (%s)@."
+      msg;
+    exit 1
+  | Failure msg ->
+    Fmt.epr "error: %s@." msg;
+    exit 1
+
+(* --- arguments --- *)
+
+let source_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SOURCE" ~doc:"Fortran source file (free form).")
+
+let emit_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("fir", `Fir); ("core", `Core); ("host", `Host);
+             ("device", `Device); ("hls", `Hls); ("llvm-dialect", `Llvm_dialect);
+             ("llvm", `Llvm); ("llvm7", `Llvm7); ("cpp", `Cpp) ])
+        `Hls
+    & info [ "emit" ] ~docv:"STAGE"
+        ~doc:
+          "Which artifact to print: fir, core, host, device, hls, \
+           llvm-dialect, llvm, llvm7 or cpp.")
+
+let report_arg =
+  Arg.(value & flag & info [ "report" ] ~doc:"Print the full run report.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the device event trace.")
+
+let cpu_arg =
+  Arg.(
+    value & flag
+    & info [ "cpu" ] ~doc:"Execute with sequential OpenMP on the host only.")
+
+(* --- commands --- *)
+
+let compile_cmd =
+  let run source emit =
+    handle_errors (fun () ->
+        let artifacts = Core.Compiler.compile (read_source source) in
+        let print_module name m_opt =
+          match m_opt with
+          | Some m -> print_endline (Ftn_ir.Printer.to_string m)
+          | None ->
+            Fmt.epr "no %s artifact (program has no omp target region)@." name;
+            exit 1
+        in
+        match emit with
+        | `Fir -> print_endline (Ftn_ir.Printer.to_string artifacts.Core.Compiler.fir_module)
+        | `Core -> print_endline (Ftn_ir.Printer.to_string artifacts.Core.Compiler.core_module)
+        | `Host -> print_endline (Ftn_ir.Printer.to_string artifacts.Core.Compiler.host)
+        | `Device -> print_module "device" artifacts.Core.Compiler.device_core
+        | `Hls -> print_module "hls" artifacts.Core.Compiler.device_hls
+        | `Llvm_dialect -> print_module "llvm dialect" artifacts.Core.Compiler.device_llvm
+        | `Llvm -> (
+          match artifacts.Core.Compiler.llvm_ir with
+          | Some t -> print_string t
+          | None -> exit 1)
+        | `Llvm7 -> (
+          match artifacts.Core.Compiler.llvm_ir_downgraded with
+          | Some t -> print_string t
+          | None -> exit 1)
+        | `Cpp -> (
+          match artifacts.Core.Compiler.host_cpp with
+          | Some t -> print_string t
+          | None -> exit 1))
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile and print an intermediate artifact.")
+    Term.(const run $ source_arg $ emit_arg)
+
+let stages_cmd =
+  let run source =
+    handle_errors (fun () ->
+        let artifacts = Core.Compiler.compile (read_source source) in
+        List.iter
+          (fun s -> Fmt.pr "%a@." Ftn_ir.Pass.pp_stage s)
+          artifacts.Core.Compiler.stages)
+  in
+  Cmd.v
+    (Cmd.info "stages" ~doc:"Show per-pass timing and op counts.")
+    Term.(const run $ source_arg)
+
+let synth_cmd =
+  let run source output =
+    handle_errors (fun () ->
+        let artifacts = Core.Compiler.compile (read_source source) in
+        let bs = Core.Compiler.synthesise artifacts in
+        List.iter print_endline bs.Ftn_hlsim.Bitstream.build_log;
+        match output with
+        | Some path ->
+          Ftn_hlsim.Bitstream_io.save_file bs path;
+          Fmt.pr "wrote %s@." path
+        | None -> ())
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the simulated xclbin to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Run the simulated Vitis synthesis flow.")
+    Term.(const run $ source_arg $ output_arg)
+
+let run_cmd =
+  let run source report trace cpu xclbin =
+    handle_errors (fun () ->
+        let src = read_source source in
+        if cpu then begin
+          let out, steps = Core.Run.run_cpu src in
+          print_string out;
+          Fmt.pr "(cpu mode, %d interpreter steps)@." steps
+        end
+        else begin
+          let r =
+            match xclbin with
+            | Some path ->
+              (* execute the host program against a prebuilt bitstream *)
+              let artifacts = Core.Compiler.compile src in
+              let bitstream = Ftn_hlsim.Bitstream_io.load_file path in
+              let exec =
+                Ftn_runtime.Executor.run ~host:artifacts.Core.Compiler.host
+                  ~bitstream ()
+              in
+              { Core.Run.artifacts; bitstream; exec }
+            | None -> Core.Run.run src
+          in
+          print_string (Core.Run.output r);
+          if report then print_string (Core.Report.summary r);
+          if trace then
+            Fmt.pr "%a@." Ftn_runtime.Trace.pp
+              r.Core.Run.exec.Ftn_runtime.Executor.trace
+        end)
+  in
+  let xclbin_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "xclbin" ] ~docv:"FILE"
+          ~doc:"Program the device from a saved simulated xclbin instead of \
+                synthesising.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile, synthesise and execute on the simulated FPGA.")
+    Term.(const run $ source_arg $ report_arg $ trace_arg $ cpu_arg $ xclbin_arg)
+
+let dse_cmd =
+  let run source budget =
+    handle_errors (fun () ->
+        let artifacts = Core.Compiler.compile (read_source source) in
+        match artifacts.Core.Compiler.device_hls with
+        | None ->
+          Fmt.epr "no offloaded region@.";
+          exit 1
+        | Some d ->
+          let spec = Ftn_hlsim.Fpga_spec.u280 in
+          List.iter
+            (fun op ->
+              if
+                Ftn_dialects.Func_d.is_func op
+                && Ftn_dialects.Func_d.has_body op
+              then begin
+                let ks = Ftn_hlsim.Schedule.analyse_kernel spec op in
+                Fmt.pr "kernel %s:@." ks.Ftn_hlsim.Schedule.fn_name;
+                match
+                  Ftn_hlsim.Dse.explore_kernel ?lut_budget:budget ks
+                with
+                | Some r -> Fmt.pr "%a" Ftn_hlsim.Dse.pp r
+                | None -> Fmt.pr "  (no pipelined loop)@."
+              end)
+            (Ftn_ir.Op.module_body d))
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "lut-budget" ] ~docv:"LUTS"
+          ~doc:"Kernel LUT budget constraining the chosen unroll factor.")
+  in
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:
+         "Explore the unroll design space of each kernel's pipelined loop.")
+    Term.(const run $ source_arg $ budget_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "ftnc" ~version:"1.0.0"
+       ~doc:
+         "Fortran + OpenMP to FPGA offload compiler (MLIR pipeline, \
+          simulated AMD U280 backend).")
+    [ compile_cmd; stages_cmd; synth_cmd; run_cmd; dse_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/data_regions.ml: Array Core Executor Fmt Ftn_linpack Ftn_runtime List Option Printf Trace

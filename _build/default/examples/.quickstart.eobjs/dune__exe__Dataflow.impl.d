@@ -1,0 +1,1 @@
+examples/dataflow.ml: Array Ftn_linpack Ftn_runtime Printf Sys

@@ -1,0 +1,1 @@
+examples/openacc.ml: Array Core Fmt Ftn_frontend Ftn_hlsim Ftn_ir Ftn_linpack Ftn_runtime List Option Printf

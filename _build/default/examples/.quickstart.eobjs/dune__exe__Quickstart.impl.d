@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Ftn_hlsim Ftn_ir List Printf

@@ -1,0 +1,1 @@
+examples/reduction.ml: Array Core Float Ftn_ir Ftn_linpack Option Printf Sys

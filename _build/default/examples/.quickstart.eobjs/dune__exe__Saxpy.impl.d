@@ -1,0 +1,1 @@
+examples/saxpy.ml: Array Core Float Fmt Ftn_hlsim Ftn_linpack Ftn_runtime Option Printf Sys

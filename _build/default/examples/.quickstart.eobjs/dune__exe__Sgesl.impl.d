@@ -1,0 +1,1 @@
+examples/sgesl.ml: Array Core Executor Float Ftn_linpack Ftn_runtime List Option Printf Sys Trace

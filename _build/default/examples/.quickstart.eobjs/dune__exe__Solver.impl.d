@@ -1,0 +1,1 @@
+examples/solver.ml: Array Core Ftn_linpack Ftn_runtime Printf String Sys

@@ -1,0 +1,1 @@
+examples/stencil.ml: Array Core Float Ftn_linpack Ftn_runtime Option Printf Sys

@@ -1,0 +1,28 @@
+(* Nested OpenMP data regions (the paper's Listing 1): an enclosing
+   `target data map(from:a)` region with an inner `target` whose implicit
+   tofrom map of `a` must NOT re-transfer because the reference-counted
+   data environment already holds it.
+
+     dune exec examples/data_regions.exe *)
+
+open Ftn_runtime
+
+let () =
+  let n = 64 in
+  let run = Core.Run.run (Ftn_linpack.Fortran_sources.data_regions ~n) in
+
+  print_endline "event trace (note: a is copied back exactly once, at the";
+  print_endline "end of the outer data region; the inner implicit map of a";
+  print_endline "transfers nothing because the counter is already positive):";
+  Fmt.pr "%a@." Trace.pp run.Core.Run.exec.Executor.trace;
+
+  let transfers =
+    List.filter
+      (function Trace.Transfer _ -> true | _ -> false)
+      (Trace.events run.Core.Run.exec.Executor.trace)
+  in
+  Printf.printf "total transfers: %d (b in, a out)\n" (List.length transfers);
+  let a = Option.get (Core.Run.device_floats run ~name:"a") in
+  Printf.printf "a(n) = %g (expected %g) -> %s\n" a.(n - 1)
+    (2.0 *. float_of_int n)
+    (if a.(n - 1) = 2.0 *. float_of_int n then "PASS" else "FAIL")

@@ -1,0 +1,73 @@
+(* Full LINPACK solve with a 2-D coefficient matrix: sgefa factorisation on
+   the host (OCaml reference) and the forward-elimination update offloaded
+   to the FPGA from Fortran with a rank-2 mapped array — exercising
+   column-major subscript handling through the whole pipeline.
+
+     dune exec examples/solver.exe [-- N] *)
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 48 in
+
+  (* Fortran program: forward elimination with a(n,n) mapped to the device. *)
+  let src =
+    Printf.sprintf
+      {|program solve_fwd
+  implicit none
+  integer, parameter :: n = %d
+  real :: a(n, n), b(n)
+  real :: t
+  integer :: i, j, k
+
+  do j = 1, n
+    do i = 1, n
+      if (i == j) then
+        a(i, j) = 4.0
+      else
+        a(i, j) = 1.0 / real(1 + abs(i - j))
+      end if
+    end do
+    b(j) = real(j)
+  end do
+
+  ! factor-free demo: apply one elimination sweep per column
+  do k = 1, n - 1
+    t = b(k)
+    !$omp target parallel do map(tofrom:b) map(to:a)
+    do j = k + 1, n
+      b(j) = b(j) - t * a(j, k) / a(k, k)
+    end do
+    !$omp end target parallel do
+  end do
+
+  print *, 'b(1) =', b(1), ' b(n) =', b(n)
+end program solve_fwd
+|}
+      n
+  in
+  let run = Core.Run.run src in
+  Printf.printf "offloaded 2-D elimination: %d launches, %.3f ms\n"
+    run.Core.Run.exec.Ftn_runtime.Executor.kernel_launches
+    (Core.Run.device_time run *. 1e3);
+  print_string ("program output:" ^ Core.Run.output run);
+
+  (* CPU reference for the same computation *)
+  let cpu_out, _ = Core.Run.run_cpu src in
+  Printf.printf "cpu reference agrees: %s\n"
+    (if String.equal cpu_out (Core.Run.output run) then "PASS" else "FAIL");
+  if not (String.equal cpu_out (Core.Run.output run)) then exit 1;
+
+  (* and the full reference solver for context *)
+  let a =
+    Array.init (n * n) (fun kk ->
+        let i = kk mod n and j = kk / n in
+        if i = j then 4.0 else 1.0 /. float_of_int (1 + abs (i - j)))
+  in
+  let a_orig = Array.copy a in
+  let b = Array.init n (fun i -> float_of_int (i + 1)) in
+  let b_orig = Array.copy b in
+  let ipvt = Array.make n 0 in
+  let info = Ftn_linpack.References.sgefa ~n a ipvt in
+  Ftn_linpack.References.sgesl ~n a ipvt b;
+  Printf.printf
+    "full sgefa+sgesl reference: info=%d, residual=%.2e\n" info
+    (Ftn_linpack.References.residual ~n a_orig b b_orig)

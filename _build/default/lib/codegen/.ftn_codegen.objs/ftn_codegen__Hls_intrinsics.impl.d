@@ -1,0 +1,1 @@
+lib/codegen/hls_intrinsics.ml: Attr Ftn_ir List Op Option Pass String

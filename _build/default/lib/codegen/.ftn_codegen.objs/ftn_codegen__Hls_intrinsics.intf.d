@@ -1,0 +1,1 @@
+lib/codegen/hls_intrinsics.mli: Ftn_ir

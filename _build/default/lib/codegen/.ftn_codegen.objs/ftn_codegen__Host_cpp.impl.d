@@ -1,0 +1,1 @@
+lib/codegen/host_cpp.ml: Attr Buffer Fmt Ftn_dialects Ftn_ir Func_d Hashtbl List Op Option Scf String Types Value

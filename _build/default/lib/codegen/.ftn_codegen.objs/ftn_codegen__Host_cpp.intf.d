@@ -1,0 +1,1 @@
+lib/codegen/host_cpp.mli: Ftn_ir

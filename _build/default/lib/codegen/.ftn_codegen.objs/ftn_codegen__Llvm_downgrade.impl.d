@@ -1,0 +1,1 @@
+lib/codegen/llvm_downgrade.ml: Buffer List String

@@ -1,0 +1,1 @@
+lib/codegen/llvm_ir.ml: Attr Buffer Float Fmt Ftn_dialects Ftn_ir Hashtbl Int64 List Llvm_d Op Option String Types Value

@@ -1,0 +1,1 @@
+lib/codegen/llvm_ir.mli: Ftn_ir

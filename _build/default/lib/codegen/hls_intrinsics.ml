@@ -1,0 +1,60 @@
+(* AMD HLS intrinsic mapping (after Fortran-HLS [19]): rewrites the
+   directive calls produced by the hls-to-func lowering into the variadic
+   _ssdm_op_* primitives AMD's Vitis HLS LLVM backend recognises, and marks
+   them (and their declarations) variadic so the emitter prints the
+   `call void (...)` form the backend expects. *)
+
+open Ftn_ir
+
+(* callee -> Vitis primitive *)
+let mapping =
+  [
+    ("_ssdm_op_SpecInterface", "_ssdm_op_SpecInterface");
+    ("_ssdm_op_SpecPipeline", "_ssdm_op_SpecPipeline");
+    ("_ssdm_op_SpecUnroll", "_ssdm_op_SpecLoopTripCount_Unroll");
+    ("_ssdm_op_SpecArrayPartition", "_ssdm_op_SpecArrayPartition");
+    ("_ssdm_op_SpecDataflow", "_ssdm_op_SpecDataflowPipeline");
+  ]
+
+let is_spec_call op =
+  String.equal (Op.name op) "llvm.call"
+  &&
+  match Op.symbol_attr op "callee" with
+  | Some callee -> List.mem_assoc callee mapping
+  | None -> false
+
+let run m =
+  let rec walk op =
+    let op =
+      {
+        op with
+        Op.regions =
+          List.map
+            (fun blocks ->
+              List.map
+                (fun blk -> { blk with Op.body = List.map walk blk.Op.body })
+                blocks)
+            op.Op.regions;
+      }
+    in
+    if is_spec_call op then begin
+      let callee = Option.get (Op.symbol_attr op "callee") in
+      let op = Op.set_attr op "callee" (Attr.Symbol (List.assoc callee mapping)) in
+      Op.set_attr op "variadic" (Attr.Bool true)
+    end
+    else if
+      String.equal (Op.name op) "llvm.func"
+      &&
+      match Op.symbol_attr op "sym_name" with
+      | Some n -> List.mem_assoc n mapping
+      | None -> false
+    then begin
+      let n = Option.get (Op.symbol_attr op "sym_name") in
+      let op = Op.set_attr op "sym_name" (Attr.Symbol (List.assoc n mapping)) in
+      Op.set_attr op "variadic" (Attr.Bool true)
+    end
+    else op
+  in
+  walk m
+
+let pass = Pass.make "map-amd-hls-intrinsics" run

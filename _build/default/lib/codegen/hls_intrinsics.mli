@@ -1,0 +1,9 @@
+(** AMD HLS intrinsic mapping (after Fortran-HLS [19]): renames the
+    directive calls from the hls-to-func lowering onto the variadic
+    [_ssdm_op_*] primitives the Vitis HLS LLVM backend recognises, marking
+    calls and declarations variadic for the emitter. *)
+
+val mapping : (string * string) list
+val is_spec_call : Ftn_ir.Op.t -> bool
+val run : Ftn_ir.Op.t -> Ftn_ir.Op.t
+val pass : Ftn_ir.Pass.t

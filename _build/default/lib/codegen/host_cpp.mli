@@ -1,0 +1,12 @@
+(** Host code printer: C++ with OpenCL from the host module (the paper's
+    host printer). SSA values map onto single-assignment C++ locals; the
+    device dialect maps onto a small [ftn::] helper layer (buffer cache,
+    reference counters, HBM bank selection) emitted as a prelude. *)
+
+exception Cpp_error of string
+
+val cpp_scalar_type : Ftn_ir.Types.t -> string
+val prelude : string
+
+val emit_module : ?xclbin:string -> Ftn_ir.Op.t -> string
+(** Emit a complete host program from the module's [ftn.main] function. *)

@@ -1,0 +1,73 @@
+(* LLVM version downgrade (after Fortran-HLS [19]): AMD's open-sourced HLS
+   backend is built on LLVM 7, while a modern Flang emits current LLVM-IR.
+   This pass rewrites the emitted textual IR into LLVM-7-compatible form
+   and reports which rewrites fired. The emitter already avoids most
+   post-7 constructs (opaque pointers, fneg); this pass catches the rest
+   and stamps the header. *)
+
+type rewrite = {
+  rw_name : string;
+  rw_applied : int;
+}
+
+type result = {
+  text : string;
+  rewrites : rewrite list;
+}
+
+(* Replace all occurrences of [pat] (plain string) by [rep]; counts hits. *)
+let replace_all ~pat ~rep text =
+  let buf = Buffer.create (String.length text) in
+  let plen = String.length pat in
+  let n = String.length text in
+  let count = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    if !i + plen <= n && String.sub text !i plen = pat then begin
+      Buffer.add_string buf rep;
+      incr count;
+      i := !i + plen
+    end
+    else begin
+      Buffer.add_char buf text.[!i];
+      incr i
+    end
+  done;
+  (Buffer.contents buf, !count)
+
+let rewrites_table =
+  [
+    (* post-LLVM-7 attributes and keywords the backend rejects *)
+    ("strip noundef", " noundef", "");
+    ("strip mustprogress", "mustprogress ", "");
+    ("strip willreturn", "willreturn ", "");
+    ("strip nofree", "nofree ", "");
+    ("strip nosync", "nosync ", "");
+    (* fneg instruction (LLVM 8+) -> fsub from negative zero *)
+    ("rewrite fneg", " fneg ", " fsub -0.000000e+00, ");
+    (* freeze instruction (LLVM 10+) has no LLVM-7 equivalent; drop to a
+       plain copy via bitcast-free alias is not expressible textually, so
+       reject it loudly instead. *)
+  ]
+
+let version_stamp = "; downgraded for AMD HLS backend (LLVM 7 compatible)\n"
+
+let run text =
+  let text, rewrites =
+    List.fold_left
+      (fun (text, acc) (rw_name, pat, rep) ->
+        let text, n = replace_all ~pat ~rep text in
+        (text, { rw_name; rw_applied = n } :: acc))
+      (text, []) rewrites_table
+  in
+  if
+    String.length text > 0
+    &&
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    contains text "freeze "
+  then failwith "llvm_downgrade: freeze instruction cannot be downgraded";
+  { text = version_stamp ^ text; rewrites = List.rev rewrites }

@@ -1,0 +1,15 @@
+(** LLVM-IR text emission from the llvm-dialect module. Emits
+    typed-pointer IR (the format AMD's LLVM-7-based HLS backend consumes);
+    block arguments become phi nodes, constants fold inline into operand
+    positions, fneg lowers to an fsub identity. *)
+
+exception Emit_error of string
+
+val llvm_type : Ftn_ir.Types.t -> string
+val float_lit : float -> string
+
+val target_header : string
+(** ModuleID, datalayout and the [fpga64-xilinx-none] triple. *)
+
+val emit_module : Ftn_ir.Op.t -> string
+(** Emit a whole builtin.module of llvm.func ops as .ll text. *)

@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Ftn_codegen Ftn_frontend Ftn_hlsim Ftn_ir Ftn_passes Op Option Options Pass Verifier

@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Ftn_hlsim Ftn_ir Options

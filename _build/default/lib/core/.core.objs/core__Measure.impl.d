@@ -1,0 +1,1 @@
+lib/core/measure.ml: Float Int64 List

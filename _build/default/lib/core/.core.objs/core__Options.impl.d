@@ -1,0 +1,1 @@
+lib/core/options.ml: Ftn_hlsim Ftn_passes

@@ -1,0 +1,1 @@
+lib/core/options.mli: Ftn_hlsim Ftn_passes

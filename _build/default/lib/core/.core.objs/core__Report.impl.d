@@ -1,0 +1,1 @@
+lib/core/report.ml: Bitstream Executor Fmt Ftn_hlsim Ftn_ir Ftn_runtime List Resources Run String

@@ -1,0 +1,1 @@
+lib/core/report.mli: Format Ftn_hlsim Ftn_ir Ftn_runtime Run

@@ -1,0 +1,1 @@
+lib/core/run.ml: Bitstream Compiler Data_env Executor Fpga_spec Ftn_frontend Ftn_hlsim Ftn_interp Ftn_runtime Options Power

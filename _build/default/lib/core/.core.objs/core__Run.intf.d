@@ -1,0 +1,1 @@
+lib/core/run.mli: Compiler Ftn_hlsim Ftn_runtime Options

@@ -1,0 +1,76 @@
+(* End-to-end compiler driver: Fortran source through every stage of the
+   paper's Figure 2, collecting the intermediate artifacts for inspection
+   (the per-stage dumps mlir-opt would produce). *)
+
+open Ftn_ir
+
+type artifacts = {
+  source : string;
+  fir_module : Op.t;  (** Flang level: FIR + omp. *)
+  core_module : Op.t;  (** Core dialects + omp ([3]'s output). *)
+  combined : Op.t;  (** After data/target lowering, host + nested fpga. *)
+  host : Op.t;  (** Host module with device dialect. *)
+  device_core : Op.t option;  (** Outlined kernels, core + omp level. *)
+  device_hls : Op.t option;  (** After lower-omp-loops-to-hls. *)
+  device_llvm : Op.t option;  (** llvm dialect with AMD intrinsics mapped. *)
+  llvm_ir : string option;  (** Emitted LLVM-IR text. *)
+  llvm_ir_downgraded : string option;  (** LLVM-7-compatible text. *)
+  host_cpp : string option;  (** C++ with OpenCL host program. *)
+  stages : Pass.stage_record list;
+}
+
+let compile ?(options = Options.default) source =
+  let fir_module = Ftn_frontend.Frontend.to_fir source in
+  let core_module = Ftn_frontend.Fir_to_core.run fir_module in
+  Verifier.verify_exn core_module;
+  let r =
+    Ftn_passes.Pipeline.run_mid_end ~options:options.Options.pipeline
+      core_module
+  in
+  let device_llvm =
+    Option.map Ftn_codegen.Hls_intrinsics.run
+      r.Ftn_passes.Pipeline.device_llvm
+  in
+  let llvm_ir =
+    if options.Options.emit_llvm then
+      Option.map Ftn_codegen.Llvm_ir.emit_module device_llvm
+    else None
+  in
+  let llvm_ir_downgraded =
+    Option.map
+      (fun text -> (Ftn_codegen.Llvm_downgrade.run text).Ftn_codegen.Llvm_downgrade.text)
+      llvm_ir
+  in
+  let host_cpp =
+    if options.Options.emit_cpp && r.Ftn_passes.Pipeline.device_core <> None
+    then
+      Some
+        (Ftn_codegen.Host_cpp.emit_module
+           ~xclbin:options.Options.xclbin_name r.Ftn_passes.Pipeline.host)
+    else None
+  in
+  {
+    source;
+    fir_module;
+    core_module;
+    combined = r.Ftn_passes.Pipeline.combined;
+    host = r.Ftn_passes.Pipeline.host;
+    device_core = r.Ftn_passes.Pipeline.device_core;
+    device_hls = r.Ftn_passes.Pipeline.device_hls;
+    device_llvm;
+    llvm_ir;
+    llvm_ir_downgraded;
+    host_cpp;
+    stages = r.Ftn_passes.Pipeline.stages;
+  }
+
+(* Synthesise the compiled device module into a bitstream. *)
+let synthesise ?(options = Options.default) artifacts =
+  match artifacts.device_hls with
+  | Some d ->
+    Ftn_hlsim.Synth.synthesise ~frontend:options.Options.frontend
+      ~spec:options.Options.spec ~xclbin_name:options.Options.xclbin_name d
+  | None ->
+    raise
+      (Ftn_hlsim.Synth.Synthesis_error
+         "program has no offloaded regions (no omp target)")

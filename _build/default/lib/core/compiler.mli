@@ -1,0 +1,25 @@
+(** End-to-end compiler driver: Fortran source through every stage of the
+    paper's Figure 2, collecting intermediate artifacts for inspection. *)
+
+type artifacts = {
+  source : string;
+  fir_module : Ftn_ir.Op.t;  (** Flang level: FIR + omp dialects. *)
+  core_module : Ftn_ir.Op.t;  (** Core dialects + omp (the level of [3]). *)
+  combined : Ftn_ir.Op.t;  (** After data/target lowering, pre-split. *)
+  host : Ftn_ir.Op.t;  (** Host module with device dialect. *)
+  device_core : Ftn_ir.Op.t option;  (** Outlined kernels, core level. *)
+  device_hls : Ftn_ir.Op.t option;  (** After lower-omp-loops-to-hls. *)
+  device_llvm : Ftn_ir.Op.t option;  (** llvm dialect, AMD intrinsics mapped. *)
+  llvm_ir : string option;  (** Emitted LLVM-IR text. *)
+  llvm_ir_downgraded : string option;  (** LLVM-7-compatible text. *)
+  host_cpp : string option;  (** C++ with OpenCL host program. *)
+  stages : Ftn_ir.Pass.stage_record list;  (** Per-pass timing/op counts. *)
+}
+
+val compile : ?options:Options.t -> string -> artifacts
+(** Raises [Ftn_frontend.Frontend.Frontend_error] on bad source. The
+    device-side artifacts are [None] when the program has no omp target. *)
+
+val synthesise : ?options:Options.t -> artifacts -> Ftn_hlsim.Bitstream.t
+(** Simulated v++ over the compiled device module; raises
+    [Ftn_hlsim.Synth.Synthesis_error] when there is none. *)

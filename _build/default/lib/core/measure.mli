@@ -1,0 +1,31 @@
+(** Measurement harness: the paper reports median ± std over 10 runs. The
+    simulator is deterministic, so run-to-run variability is modelled with
+    a seeded jitter process (SplitMix64 + Box–Muller) at the magnitude of
+    the paper's reported scatter. Fully reproducible per seed. *)
+
+type rng
+
+val rng_create : int -> rng
+val uniform : rng -> float
+(** A draw in (0, 1). *)
+
+val gaussian : rng -> float
+(** A standard-normal draw. *)
+
+type sample = {
+  median : float;
+  std : float;
+  runs : float list;
+}
+
+val median_of : float list -> float
+val std_of : float list -> float
+(** Sample standard deviation (n − 1). *)
+
+val measure :
+  ?runs:int -> ?seed:int -> ?jitter_s:float -> float -> sample
+(** Simulate repeated measurements of a deterministic duration with
+    additive Gaussian jitter (default σ = 25 µs, 10 runs). *)
+
+val measure_power :
+  ?runs:int -> ?seed:int -> ?jitter_w:float -> float -> sample

@@ -1,0 +1,22 @@
+(* Compilation and simulation options for the end-to-end flow. *)
+
+type t = {
+  pipeline : Ftn_passes.Pipeline.options;
+  spec : Ftn_hlsim.Fpga_spec.t;
+  frontend : Ftn_hlsim.Resources.frontend;
+      (** Which frontend idiom the simulated backend sees; the Fortran
+          flow is [Mlir_flow], hand-written baselines use [Clang_hls]. *)
+  emit_llvm : bool;  (** Produce LLVM-IR text (and its LLVM-7 downgrade). *)
+  emit_cpp : bool;  (** Produce the C++/OpenCL host program. *)
+  xclbin_name : string;
+}
+
+let default =
+  {
+    pipeline = Ftn_passes.Pipeline.default_options;
+    spec = Ftn_hlsim.Fpga_spec.u280;
+    frontend = Ftn_hlsim.Resources.Mlir_flow;
+    emit_llvm = true;
+    emit_cpp = true;
+    xclbin_name = "kernel.xclbin";
+  }

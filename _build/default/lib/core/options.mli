@@ -1,0 +1,14 @@
+(** Compilation and simulation options for the end-to-end flow. *)
+
+type t = {
+  pipeline : Ftn_passes.Pipeline.options;
+  spec : Ftn_hlsim.Fpga_spec.t;  (** Target device model. *)
+  frontend : Ftn_hlsim.Resources.frontend;
+      (** Frontend idiom the simulated backend sees; [Mlir_flow] for the
+          Fortran flow, [Clang_hls] for hand-written baselines. *)
+  emit_llvm : bool;
+  emit_cpp : bool;
+  xclbin_name : string;
+}
+
+val default : t

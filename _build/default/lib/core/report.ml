@@ -1,0 +1,35 @@
+(* Human-readable reports for compiled and executed programs. *)
+
+open Ftn_hlsim
+open Ftn_runtime
+
+let pp_stages fmt stages =
+  Fmt.pf fmt "@[<v>%a@]" (Fmt.list Ftn_ir.Pass.pp_stage) stages
+
+let pp_bitstream fmt (bs : Bitstream.t) =
+  Fmt.pf fmt "bitstream %s for %s (%s frontend)@."
+    bs.Bitstream.xclbin_name bs.Bitstream.device_name
+    (Resources.string_of_frontend bs.Bitstream.frontend);
+  List.iter
+    (fun (k : Bitstream.kernel_design) ->
+      Fmt.pf fmt "  kernel %s: %a@." k.Bitstream.kd_name Resources.pp
+        k.Bitstream.kd_resources)
+    bs.Bitstream.kernels
+
+let pp_exec fmt (r : Executor.result) =
+  Fmt.pf fmt
+    "device time %.3f ms (kernel %.3f ms, transfers %.3f ms, overheads %.3f \
+     ms); %d launches, %d bytes moved"
+    (r.Executor.device_time_s *. 1e3)
+    (r.Executor.kernel_time_s *. 1e3)
+    (r.Executor.transfer_time_s *. 1e3)
+    (r.Executor.overhead_time_s *. 1e3)
+    r.Executor.kernel_launches r.Executor.bytes_transferred
+
+let pp_run fmt (run : Run.t) =
+  pp_bitstream fmt run.Run.bitstream;
+  Fmt.pf fmt "%a@." pp_exec run.Run.exec;
+  if String.length run.Run.exec.Executor.output > 0 then
+    Fmt.pf fmt "program output:%s@." run.Run.exec.Executor.output
+
+let summary run = Fmt.str "%a" pp_run run

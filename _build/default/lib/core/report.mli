@@ -1,0 +1,9 @@
+(** Human-readable reports for compiled and executed programs. *)
+
+val pp_stages : Format.formatter -> Ftn_ir.Pass.stage_record list -> unit
+val pp_bitstream : Format.formatter -> Ftn_hlsim.Bitstream.t -> unit
+val pp_exec : Format.formatter -> Ftn_runtime.Executor.result -> unit
+val pp_run : Format.formatter -> Run.t -> unit
+
+val summary : Run.t -> string
+(** Bitstream, timing breakdown and program output as one string. *)

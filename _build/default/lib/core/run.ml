@@ -1,0 +1,43 @@
+(* Compile + synthesise + execute a Fortran program on the simulated FPGA,
+   returning numerical results alongside the simulated measurements. *)
+
+open Ftn_hlsim
+open Ftn_runtime
+
+type t = {
+  artifacts : Compiler.artifacts;
+  bitstream : Bitstream.t;
+  exec : Executor.result;
+}
+
+let run ?(options = Options.default) ?(echo = false) source =
+  let artifacts = Compiler.compile ~options source in
+  let bitstream = Compiler.synthesise ~options artifacts in
+  let exec =
+    Executor.run ~spec:options.Options.spec ~echo ~host:artifacts.Compiler.host
+      ~bitstream ()
+  in
+  { artifacts; bitstream; exec }
+
+(* CPU reference execution: sequential OpenMP semantics, no device. *)
+let run_cpu ?(echo = false) source =
+  let core = Ftn_frontend.Frontend.to_core source in
+  Executor.run_cpu ~echo core
+
+(* Read back a device buffer by its mapped identifier (memory space 1). *)
+let device_floats run ~name =
+  match Data_env.lookup run.exec.Executor.data ~name ~memory_space:1 with
+  | Some buf -> Some (Ftn_interp.Rtval.float_buffer buf)
+  | None -> None
+
+let device_time run = run.exec.Executor.device_time_s
+let kernel_time run = run.exec.Executor.kernel_time_s
+let output run = run.exec.Executor.output
+
+let fpga_power ?(spec = Fpga_spec.u280) run =
+  match run.bitstream.Bitstream.kernels with
+  | k :: _ ->
+    Power.fpga_power_w spec k.Bitstream.kd_resources
+      ~kernel_time_s:run.exec.Executor.kernel_time_s
+      ~device_time_s:run.exec.Executor.device_time_s ()
+  | [] -> spec.Fpga_spec.static_power_w

@@ -1,0 +1,24 @@
+(** Compile + synthesise + execute a Fortran program on the simulated
+    FPGA, returning numerical results alongside simulated measurements. *)
+
+type t = {
+  artifacts : Compiler.artifacts;
+  bitstream : Ftn_hlsim.Bitstream.t;
+  exec : Ftn_runtime.Executor.result;
+}
+
+val run : ?options:Options.t -> ?echo:bool -> string -> t
+
+val run_cpu : ?echo:bool -> string -> string * int
+(** CPU reference execution (sequential OpenMP, no device); returns
+    (captured output, interpreter steps). *)
+
+val device_floats : t -> name:string -> float array option
+(** Read back a device buffer by mapped identifier (memory space 1). *)
+
+val device_time : t -> float
+val kernel_time : t -> float
+val output : t -> string
+
+val fpga_power : ?spec:Ftn_hlsim.Fpga_spec.t -> t -> float
+(** Modelled card draw for this run's kernel/duty profile. *)

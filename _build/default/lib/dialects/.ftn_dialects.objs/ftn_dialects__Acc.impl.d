@@ -1,0 +1,1 @@
+lib/dialects/acc.ml: Attr Builder Dialect Ftn_ir List Omp Op Option String Types Value

@@ -1,0 +1,1 @@
+lib/dialects/acc.mli: Builder Ftn_ir Omp Op Value

@@ -1,0 +1,1 @@
+lib/dialects/arith.ml: Attr Builder Dialect Float Ftn_ir List Op Option String Types Value

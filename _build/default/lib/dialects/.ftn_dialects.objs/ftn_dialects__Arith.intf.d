@@ -1,0 +1,1 @@
+lib/dialects/arith.mli: Attr Builder Ftn_ir Op Types Value

@@ -1,0 +1,1 @@
+lib/dialects/builtin.ml: Attr Builder Dialect Ftn_ir Op Option

@@ -1,0 +1,1 @@
+lib/dialects/builtin.mli: Attr Builder Ftn_ir Op Types Value

@@ -1,0 +1,1 @@
+lib/dialects/device.ml: Attr Builder Dialect Ftn_ir Op Option String Types Value

@@ -1,0 +1,1 @@
+lib/dialects/device.mli: Builder Ftn_ir Op Types Value

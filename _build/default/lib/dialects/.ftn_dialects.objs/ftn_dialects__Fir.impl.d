@@ -1,0 +1,1 @@
+lib/dialects/fir.ml: Attr Builder Dialect Ftn_ir List Op String Types Value

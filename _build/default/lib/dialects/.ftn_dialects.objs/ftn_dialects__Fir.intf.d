@@ -1,0 +1,1 @@
+lib/dialects/fir.mli: Builder Ftn_ir Op Types Value

@@ -1,0 +1,1 @@
+lib/dialects/func_d.mli: Attr Builder Ftn_ir Op Types Value

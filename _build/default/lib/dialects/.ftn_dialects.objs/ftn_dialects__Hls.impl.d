@@ -1,0 +1,1 @@
+lib/dialects/hls.ml: Attr Builder Dialect Ftn_ir Op String Types Value

@@ -1,0 +1,1 @@
+lib/dialects/hls.mli: Builder Ftn_ir Op Types Value

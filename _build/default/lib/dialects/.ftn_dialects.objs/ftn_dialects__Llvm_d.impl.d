@@ -1,0 +1,1 @@
+lib/dialects/llvm_d.ml: Attr Builder Dialect Ftn_ir List Op Option String Types Value

@@ -1,0 +1,1 @@
+lib/dialects/llvm_d.mli: Attr Builder Ftn_ir Op Types Value

@@ -1,0 +1,1 @@
+lib/dialects/math_d.ml: Builder Dialect Float Ftn_ir List Value

@@ -1,0 +1,1 @@
+lib/dialects/math_d.mli: Builder Ftn_ir Op Value

@@ -1,0 +1,1 @@
+lib/dialects/omp.ml: Attr Builder Dialect Ftn_ir List Op Option String Types Value

@@ -1,0 +1,1 @@
+lib/dialects/omp.mli: Builder Ftn_ir Op Value

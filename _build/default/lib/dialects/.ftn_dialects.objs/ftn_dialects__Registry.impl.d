@@ -1,0 +1,1 @@
+lib/dialects/registry.ml: Acc Arith Builtin Device Fir Func_d Hls Llvm_d Math_d Memref_d Omp Scf

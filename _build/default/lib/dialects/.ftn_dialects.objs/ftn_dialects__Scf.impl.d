@@ -1,0 +1,1 @@
+lib/dialects/scf.ml: Builder Dialect Ftn_ir List Op String Types Value

@@ -1,0 +1,1 @@
+lib/dialects/scf.mli: Builder Ftn_ir Op Types Value

@@ -1,0 +1,154 @@
+(* acc dialect: the OpenACC operations needed for directive-based offload —
+   the integration the paper names as further work ("OpenACC ... also has a
+   corresponding MLIR dialect"). Structurally parallel to the omp dialect:
+   acc.copy_info mirrors omp.map_info, acc.parallel mirrors omp.target,
+   acc.loop mirrors omp.parallel_do — which is what makes the one-to-one
+   lowering in Ftn_passes.Lower_acc_to_omp a few dozen lines. *)
+
+open Ftn_ir
+
+type copy_kind =
+  | Copyin
+  | Copyout
+  | Copy
+  | Create
+
+let string_of_copy_kind = function
+  | Copyin -> "copyin"
+  | Copyout -> "copyout"
+  | Copy -> "copy"
+  | Create -> "create"
+
+let copy_kind_of_string = function
+  | "copyin" -> Some Copyin
+  | "copyout" -> Some Copyout
+  | "copy" -> Some Copy
+  | "create" -> Some Create
+  | _ -> None
+
+(* acc.copy_info: declares how one variable moves to/from the device.
+   Result is the device-side view, as with omp.map_info. *)
+let copy_info b ~var ~var_name ~kind ?(implicit = false) () =
+  Builder.op1 b "acc.copy_info" ~operands:[ var ]
+    ~attrs:
+      [
+        ("var_name", Attr.String var_name);
+        ("copy_kind", Attr.String (string_of_copy_kind kind));
+        ("implicit", Attr.Bool implicit);
+      ]
+    (Value.ty var)
+
+let is_copy_info op = String.equal (Op.name op) "acc.copy_info"
+
+type copy_parts = {
+  var : Value.t;
+  var_name : string;
+  kind : copy_kind;
+  implicit : bool;
+  result : Value.t;
+}
+
+let copy_parts op =
+  if not (is_copy_info op) then None
+  else
+    match (Op.operands op, Op.results op) with
+    | [ var ], [ result ] ->
+      let var_name = Option.value ~default:"" (Op.string_attr op "var_name") in
+      let kind =
+        Option.bind (Op.string_attr op "copy_kind") copy_kind_of_string
+        |> Option.value ~default:Copy
+      in
+      let implicit = Option.value ~default:false (Op.bool_attr op "implicit") in
+      Some { var; var_name; kind; implicit; result }
+    | _ -> None
+
+(* acc.parallel: compute region offloaded to the accelerator. Operands are
+   acc.copy_info results, re-bound as entry block arguments. *)
+let parallel b ~data_operands make_body =
+  let args = List.map (fun v -> Builder.fresh b (Value.ty v)) data_operands in
+  Op.make "acc.parallel" ~operands:data_operands
+    ~regions:[ Op.region ~args (make_body args) ]
+
+let is_parallel op = String.equal (Op.name op) "acc.parallel"
+
+(* acc.loop: the loop construct inside a parallel region. Bounds follow
+   OpenACC/Fortran semantics (inclusive upper bound). The vector clause
+   carries the vector length (= simd width). *)
+let loop b ~lbs ~ubs ~steps ?vector_length ?(reductions = []) make_body =
+  let n = List.length lbs in
+  if List.length ubs <> n || List.length steps <> n then
+    invalid_arg "Acc.loop: bounds rank mismatch";
+  let ivs = List.init n (fun _ -> Builder.fresh b Types.Index) in
+  let bound_operands =
+    List.concat
+      (List.map2 (fun (lb, ub) step -> [ lb; ub; step ])
+         (List.combine lbs ubs) steps)
+  in
+  let red_operands = List.map snd reductions in
+  let attrs =
+    [ ("collapse", Attr.i32 n) ]
+    @ (match vector_length with
+      | Some k -> [ ("vector_length", Attr.i32 k) ]
+      | None -> [])
+    @
+    match reductions with
+    | [] -> []
+    | rs ->
+      [
+        ( "reductions",
+          Attr.Array
+            (List.map
+               (fun (kind, _) ->
+                 Attr.String (Omp.string_of_reduction_kind kind))
+               rs) );
+      ]
+  in
+  Op.make "acc.loop"
+    ~operands:(bound_operands @ red_operands)
+    ~attrs
+    ~regions:[ Op.region ~args:ivs (make_body ivs) ]
+
+let is_loop op = String.equal (Op.name op) "acc.loop"
+
+(* Structured and unstructured data regions. *)
+let data ~data_operands body =
+  Op.make "acc.data" ~operands:data_operands ~regions:[ Op.region body ]
+
+let enter_data ~data_operands = Op.make "acc.enter_data" ~operands:data_operands
+let exit_data ~data_operands = Op.make "acc.exit_data" ~operands:data_operands
+
+let update ~direction ~data_operands =
+  Op.make "acc.update" ~operands:data_operands
+    ~attrs:[ ("direction", Attr.String direction) ]
+
+let yield ?(operands = []) () = Op.make "acc.yield" ~operands
+let terminator () = Op.make "acc.terminator"
+
+let register () =
+  let open Dialect in
+  Dialect.register "acc.copy_info" ~summary:"device data movement clause"
+    ~verify:(fun op ->
+      let* () = expect_operands op 1 in
+      let* () = expect_results op 1 in
+      let* () = expect_attr op "copy_kind" in
+      expect_attr op "var_name");
+  Dialect.register "acc.parallel" ~summary:"offloaded compute region"
+    ~verify:(fun op ->
+      let* () = expect_regions op 1 in
+      let blk = Op.region_block op 0 in
+      check
+        (List.length blk.Op.args = List.length (Op.operands op))
+        "acc.parallel block args must match data operands");
+  Dialect.register "acc.loop" ~summary:"accelerated loop" ~verify:(fun op ->
+      let* () = expect_regions op 1 in
+      let collapse = Option.value ~default:1 (Op.int_attr op "collapse") in
+      check
+        (List.length (Op.operands op) >= 3 * collapse)
+        "acc.loop needs lb, ub, step per collapsed dimension");
+  Dialect.register "acc.data" ~summary:"structured data region"
+    ~verify:(fun op -> expect_regions op 1);
+  Dialect.register "acc.enter_data";
+  Dialect.register "acc.exit_data";
+  Dialect.register "acc.update" ~verify:(fun op -> expect_attr op "direction");
+  Dialect.register "acc.yield";
+  Dialect.register "acc.terminator"

@@ -1,0 +1,60 @@
+(** acc dialect: OpenACC operations for directive-based offload (the
+    paper's further-work integration), structurally parallel to the omp
+    dialect so {!Ftn_passes.Lower_acc_to_omp} is a one-to-one mapping. *)
+
+open Ftn_ir
+
+type copy_kind =
+  | Copyin
+  | Copyout
+  | Copy
+  | Create
+
+val string_of_copy_kind : copy_kind -> string
+val copy_kind_of_string : string -> copy_kind option
+
+val copy_info :
+  Builder.t ->
+  var:Value.t ->
+  var_name:string ->
+  kind:copy_kind ->
+  ?implicit:bool ->
+  unit ->
+  Op.t
+
+val is_copy_info : Op.t -> bool
+
+type copy_parts = {
+  var : Value.t;
+  var_name : string;
+  kind : copy_kind;
+  implicit : bool;
+  result : Value.t;
+}
+
+val copy_parts : Op.t -> copy_parts option
+
+val parallel :
+  Builder.t -> data_operands:Value.t list -> (Value.t list -> Op.t list) -> Op.t
+
+val is_parallel : Op.t -> bool
+
+val loop :
+  Builder.t ->
+  lbs:Value.t list ->
+  ubs:Value.t list ->
+  steps:Value.t list ->
+  ?vector_length:int ->
+  ?reductions:(Omp.reduction_kind * Value.t) list ->
+  (Value.t list -> Op.t list) ->
+  Op.t
+(** Loop construct with inclusive bounds; [vector_length] plays simdlen. *)
+
+val is_loop : Op.t -> bool
+val data : data_operands:Value.t list -> Op.t list -> Op.t
+val enter_data : data_operands:Value.t list -> Op.t
+val exit_data : data_operands:Value.t list -> Op.t
+val update : direction:string -> data_operands:Value.t list -> Op.t
+val yield : ?operands:Value.t list -> unit -> Op.t
+val terminator : unit -> Op.t
+val register : unit -> unit

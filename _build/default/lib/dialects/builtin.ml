@@ -1,0 +1,29 @@
+(* builtin dialect: modules and the unrealized conversion cast used while
+   mixing partially-lowered dialects. *)
+
+open Ftn_ir
+
+let module_op = Op.module_op
+let is_module = Op.is_module
+
+(* Module with the paper's `target = "fpga"` attribute marking device code. *)
+let device_module ?(target = "fpga") body =
+  Op.module_op ~attrs:[ ("target", Attr.String target) ] body
+
+let module_target m = Op.string_attr m "target"
+
+let is_device_module m =
+  Op.is_module m && Option.is_some (module_target m)
+
+let unrealized_cast b v ty =
+  Builder.op1 b "builtin.unrealized_conversion_cast" ~operands:[ v ] ty
+
+let register () =
+  Dialect.register "builtin.module" ~summary:"top-level container"
+    ~verify:(fun op ->
+      let open Dialect in
+      let* () = expect_operands op 0 in
+      let* () = expect_results op 0 in
+      expect_regions op 1);
+  Dialect.register "builtin.unrealized_conversion_cast"
+    ~summary:"temporary materialization between dialects"

@@ -1,0 +1,17 @@
+(** builtin dialect: modules and the unrealized conversion cast. *)
+
+open Ftn_ir
+
+val module_op : ?attrs:(string * Attr.t) list -> Op.t list -> Op.t
+val is_module : Op.t -> bool
+
+val device_module : ?target:string -> Op.t list -> Op.t
+(** A module carrying the paper's [target = "fpga"] attribute. *)
+
+val module_target : Op.t -> string option
+val is_device_module : Op.t -> bool
+
+val unrealized_cast : Builder.t -> Value.t -> Types.t -> Op.t
+(** Temporary materialisation between partially-lowered dialects. *)
+
+val register : unit -> unit

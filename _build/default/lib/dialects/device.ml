@@ -1,0 +1,120 @@
+(* device dialect — the paper's contribution. Abstracts host/device
+   interaction: named device allocations in explicit memory spaces, a
+   reference-counted data environment, and kernel create/launch/wait
+   handles that map closely onto the OpenCL host API. *)
+
+open Ftn_ir
+
+let name_attrs ~name ~memory_space =
+  [ ("name", Attr.String name); ("memory_space", Attr.i32 memory_space) ]
+
+(* device.alloc: allocates device memory for identifier [name] in
+   [memory_space]; dynamic sizes are operands. Result is a memref in that
+   memory space. *)
+let alloc b ~name ~memory_space ?(dynamic_sizes = []) mr_ty =
+  let mr_ty =
+    match mr_ty with
+    | Types.Memref mi -> Types.Memref { mi with memory_space }
+    | _ -> invalid_arg "Device.alloc: result must be a memref type"
+  in
+  Builder.op1 b "device.alloc" ~operands:dynamic_sizes
+    ~attrs:(name_attrs ~name ~memory_space)
+    mr_ty
+
+(* device.lookup: retrieves the memref registered under [name]. *)
+let lookup b ~name ~memory_space mr_ty =
+  Builder.op1 b "device.lookup" ~attrs:(name_attrs ~name ~memory_space) mr_ty
+
+(* device.data_check_exists: i1, true when [name] is live on the device. *)
+let data_check_exists b ~name ~memory_space =
+  Builder.op1 b "device.data_check_exists"
+    ~attrs:(name_attrs ~name ~memory_space)
+    Types.I1
+
+let data_acquire ~name ~memory_space =
+  Op.make "device.data_acquire" ~attrs:(name_attrs ~name ~memory_space)
+
+let data_release ~name ~memory_space =
+  Op.make "device.data_release" ~attrs:(name_attrs ~name ~memory_space)
+
+(* device.kernel_create: defines a kernel from a region (before outlining)
+   or a named device function (after outlining; the region is left empty).
+   Operands are the kernel arguments. *)
+let kernel_create b ~args ?device_function ?(body = []) () =
+  let attrs =
+    match device_function with
+    | Some f -> [ ("device_function", Attr.Symbol f) ]
+    | None -> []
+  in
+  Builder.op1 b "device.kernel_create" ~operands:args ~attrs
+    ~regions:[ Op.region body ]
+    Types.Kernel_handle
+
+let kernel_launch handle = Op.make "device.kernel_launch" ~operands:[ handle ]
+let kernel_wait handle = Op.make "device.kernel_wait" ~operands:[ handle ]
+
+(* Explicit reference-counter ops, produced when lowering the data
+   environment for host code generation: each identifier gets an integer
+   counter; acquire increments, release decrements, check tests > 0. *)
+let counter_get b ~name =
+  Builder.op1 b "device.counter_get" ~attrs:[ ("name", Attr.String name) ]
+    Types.I32
+
+let counter_set ~name v =
+  Op.make "device.counter_set" ~operands:[ v ]
+    ~attrs:[ ("name", Attr.String name) ]
+
+let op_name_attr op = Op.string_attr op "name"
+let op_memory_space op = Option.value ~default:0 (Op.int_attr op "memory_space")
+
+let is_alloc op = String.equal (Op.name op) "device.alloc"
+let is_lookup op = String.equal (Op.name op) "device.lookup"
+let is_kernel_create op = String.equal (Op.name op) "device.kernel_create"
+let is_kernel_launch op = String.equal (Op.name op) "device.kernel_launch"
+let is_kernel_wait op = String.equal (Op.name op) "device.kernel_wait"
+let is_data_acquire op = String.equal (Op.name op) "device.data_acquire"
+let is_data_release op = String.equal (Op.name op) "device.data_release"
+
+let kernel_function op = Op.symbol_attr op "device_function"
+
+let register () =
+  let open Dialect in
+  let named_verify op =
+    let* () = expect_attr op "name" in
+    expect_attr op "memory_space"
+  in
+  Dialect.register "device.alloc" ~summary:"named device allocation"
+    ~verify:(fun op ->
+      let* () = named_verify op in
+      let* () = expect_results op 1 in
+      match Value.ty (Op.result op 0) with
+      | Types.Memref _ -> Ok ()
+      | _ -> Error "device.alloc result must be a memref");
+  Dialect.register "device.lookup" ~summary:"retrieve device allocation"
+    ~verify:(fun op ->
+      let* () = named_verify op in
+      expect_results op 1);
+  Dialect.register "device.data_check_exists" ~verify:(fun op ->
+      let* () = named_verify op in
+      expect_results op 1);
+  Dialect.register "device.data_acquire" ~verify:named_verify;
+  Dialect.register "device.data_release" ~verify:named_verify;
+  Dialect.register "device.kernel_create" ~summary:"define a kernel"
+    ~verify:(fun op ->
+      let* () = expect_results op 1 in
+      let* () = expect_regions op 1 in
+      check
+        (Types.equal (Value.ty (Op.result op 0)) Types.Kernel_handle)
+        "device.kernel_create must return a kernel handle");
+  Dialect.register "device.kernel_launch" ~verify:(fun op ->
+      let* () = expect_operands op 1 in
+      expect_operand_type op 0 Types.Kernel_handle);
+  Dialect.register "device.kernel_wait" ~verify:(fun op ->
+      let* () = expect_operands op 1 in
+      expect_operand_type op 0 Types.Kernel_handle);
+  Dialect.register "device.counter_get" ~verify:(fun op ->
+      let* () = expect_attr op "name" in
+      expect_results op 1);
+  Dialect.register "device.counter_set" ~verify:(fun op ->
+      let* () = expect_attr op "name" in
+      expect_operands op 1)

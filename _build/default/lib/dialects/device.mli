@@ -1,0 +1,49 @@
+(** device dialect — the paper's contribution: named device allocations in
+    explicit memory spaces, a reference-counted data environment, and
+    kernel create/launch/wait handles mapping closely onto the OpenCL host
+    API (Section 3 of the paper). *)
+
+open Ftn_ir
+
+val alloc :
+  Builder.t ->
+  name:string ->
+  memory_space:int ->
+  ?dynamic_sizes:Value.t list ->
+  Types.t ->
+  Op.t
+(** Allocates device memory for identifier [name]; the result memref is
+    forced into [memory_space]. *)
+
+val lookup : Builder.t -> name:string -> memory_space:int -> Types.t -> Op.t
+val data_check_exists : Builder.t -> name:string -> memory_space:int -> Op.t
+val data_acquire : name:string -> memory_space:int -> Op.t
+val data_release : name:string -> memory_space:int -> Op.t
+
+val kernel_create :
+  Builder.t ->
+  args:Value.t list ->
+  ?device_function:string ->
+  ?body:Op.t list ->
+  unit ->
+  Op.t
+(** Defines a kernel; before outlining the region holds the kernel body,
+    afterwards it is empty and [device_function] names the outlined
+    function (the paper's Listing 2). *)
+
+val kernel_launch : Value.t -> Op.t
+val kernel_wait : Value.t -> Op.t
+val counter_get : Builder.t -> name:string -> Op.t
+val counter_set : name:string -> Value.t -> Op.t
+
+val op_name_attr : Op.t -> string option
+val op_memory_space : Op.t -> int
+val is_alloc : Op.t -> bool
+val is_lookup : Op.t -> bool
+val is_kernel_create : Op.t -> bool
+val is_kernel_launch : Op.t -> bool
+val is_kernel_wait : Op.t -> bool
+val is_data_acquire : Op.t -> bool
+val is_data_release : Op.t -> bool
+val kernel_function : Op.t -> string option
+val register : unit -> unit

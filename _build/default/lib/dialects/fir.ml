@@ -1,0 +1,93 @@
+(* fir dialect: a compact stand-in for Flang's FIR. The frontend lowers
+   Fortran into these ops; the fir-to-core pass (mirroring [Brown, SC24-W])
+   then rewrites them onto memref/scf/arith. References are modelled with
+   memref types directly, which keeps the IR single-typed while preserving
+   the staged-lowering structure of the paper's Figure 1. *)
+
+open Ftn_ir
+
+(* fir.alloca: storage for a local variable. [bindc_name] records the
+   Fortran source name. *)
+let alloca b ~bindc_name ?(dynamic_sizes = []) mr_ty =
+  Builder.op1 b "fir.alloca" ~operands:dynamic_sizes
+    ~attrs:[ ("bindc_name", Attr.String bindc_name) ]
+    mr_ty
+
+(* fir.declare: associates a variable with its source-level name, the FIR
+   equivalent of hlfir.declare. *)
+let declare b ~uniq_name var =
+  Builder.op1 b "fir.declare" ~operands:[ var ]
+    ~attrs:[ ("uniq_name", Attr.String uniq_name) ]
+    (Value.ty var)
+
+let load b ref_ indices =
+  let elt =
+    match Value.ty ref_ with
+    | Types.Memref { elt; _ } -> elt
+    | _ -> invalid_arg "Fir.load: not a reference"
+  in
+  Builder.op1 b "fir.load" ~operands:(ref_ :: indices) elt
+
+let store ~value ~ref_ indices =
+  Op.make "fir.store" ~operands:(value :: ref_ :: indices)
+
+(* fir.do_loop: Fortran do-loop, inclusive upper bound. *)
+let do_loop b ~lb ~ub ~step ?(unordered = false) make_body =
+  let iv = Builder.fresh b Types.Index in
+  Op.make "fir.do_loop" ~operands:[ lb; ub; step ]
+    ~attrs:[ ("unordered", Attr.Bool unordered) ]
+    ~regions:[ Op.region ~args:[ iv ] (make_body iv) ]
+
+let if_ ~cond ~then_ops ?(else_ops = []) () =
+  let regions =
+    if else_ops = [] then [ Op.region then_ops ]
+    else [ Op.region then_ops; Op.region else_ops ]
+  in
+  Op.make "fir.if" ~operands:[ cond ] ~regions
+
+let convert b v ty = Builder.op1 b "fir.convert" ~operands:[ v ] ty
+
+let result ?(operands = []) () = Op.make "fir.result" ~operands
+
+let call b ~callee ~operands ~result_tys =
+  let results = List.map (Builder.fresh b) result_tys in
+  Op.make "fir.call" ~operands ~results
+    ~attrs:[ ("callee", Attr.Symbol callee) ]
+
+let is_alloca op = String.equal (Op.name op) "fir.alloca"
+let is_declare op = String.equal (Op.name op) "fir.declare"
+let is_load op = String.equal (Op.name op) "fir.load"
+let is_store op = String.equal (Op.name op) "fir.store"
+let is_do_loop op = String.equal (Op.name op) "fir.do_loop"
+let is_if op = String.equal (Op.name op) "fir.if"
+let is_convert op = String.equal (Op.name op) "fir.convert"
+let is_result op = String.equal (Op.name op) "fir.result"
+
+let register () =
+  let open Dialect in
+  Dialect.register "fir.alloca" ~summary:"local variable storage"
+    ~verify:(fun op ->
+      let* () = expect_results op 1 in
+      expect_attr op "bindc_name");
+  Dialect.register "fir.declare" ~verify:(fun op ->
+      let* () = expect_operands op 1 in
+      let* () = expect_results op 1 in
+      expect_attr op "uniq_name");
+  Dialect.register "fir.load" ~verify:(fun op ->
+      let* () = expect_results op 1 in
+      check (List.length (Op.operands op) >= 1) "fir.load needs a reference");
+  Dialect.register "fir.store" ~verify:(fun op ->
+      check (List.length (Op.operands op) >= 2) "fir.store needs value and reference");
+  Dialect.register "fir.do_loop" ~summary:"Fortran do loop" ~verify:(fun op ->
+      let* () = expect_operands op 3 in
+      expect_regions op 1);
+  Dialect.register "fir.if" ~verify:(fun op ->
+      let* () = expect_operands op 1 in
+      check
+        (List.length (Op.regions op) >= 1 && List.length (Op.regions op) <= 2)
+        "fir.if takes one or two regions");
+  Dialect.register "fir.convert" ~verify:(fun op ->
+      let* () = expect_operands op 1 in
+      expect_results op 1);
+  Dialect.register "fir.result";
+  Dialect.register "fir.call" ~verify:(fun op -> expect_attr op "callee")

@@ -1,0 +1,48 @@
+(** fir dialect: a compact stand-in for Flang's FIR. The frontend lowers
+    Fortran onto these ops; {!Ftn_frontend.Fir_to_core} then rewrites them
+    onto memref/scf/arith, preserving the staged-lowering structure of the
+    paper's Figure 1. References are modelled directly with memref types. *)
+
+open Ftn_ir
+
+val alloca :
+  Builder.t ->
+  bindc_name:string ->
+  ?dynamic_sizes:Value.t list ->
+  Types.t ->
+  Op.t
+
+val declare : Builder.t -> uniq_name:string -> Value.t -> Op.t
+val load : Builder.t -> Value.t -> Value.t list -> Op.t
+val store : value:Value.t -> ref_:Value.t -> Value.t list -> Op.t
+
+val do_loop :
+  Builder.t ->
+  lb:Value.t ->
+  ub:Value.t ->
+  step:Value.t ->
+  ?unordered:bool ->
+  (Value.t -> Op.t list) ->
+  Op.t
+(** Fortran do-loop: inclusive upper bound. *)
+
+val if_ : cond:Value.t -> then_ops:Op.t list -> ?else_ops:Op.t list -> unit -> Op.t
+val convert : Builder.t -> Value.t -> Types.t -> Op.t
+val result : ?operands:Value.t list -> unit -> Op.t
+
+val call :
+  Builder.t ->
+  callee:string ->
+  operands:Value.t list ->
+  result_tys:Types.t list ->
+  Op.t
+
+val is_alloca : Op.t -> bool
+val is_declare : Op.t -> bool
+val is_load : Op.t -> bool
+val is_store : Op.t -> bool
+val is_do_loop : Op.t -> bool
+val is_if : Op.t -> bool
+val is_convert : Op.t -> bool
+val is_result : Op.t -> bool
+val register : unit -> unit

@@ -1,0 +1,68 @@
+(* func dialect: functions, calls, returns. *)
+
+open Ftn_ir
+
+let func ~sym_name ~args ~result_tys ?(attrs = []) body =
+  let fn_ty = Types.Func (List.map Value.ty args, result_tys) in
+  Op.make "func.func"
+    ~attrs:
+      ([ ("sym_name", Attr.Symbol sym_name); ("function_type", Attr.Type fn_ty) ]
+      @ attrs)
+    ~regions:[ Op.region ~args body ]
+
+(* Declaration without a body (external function). *)
+let func_decl ~sym_name ~arg_tys ~result_tys ?(attrs = []) () =
+  Op.make "func.func"
+    ~attrs:
+      ([
+         ("sym_name", Attr.Symbol sym_name);
+         ("function_type", Attr.Type (Types.Func (arg_tys, result_tys)));
+         ("sym_visibility", Attr.String "private");
+       ]
+      @ attrs)
+
+let return ?(operands = []) () = Op.make "func.return" ~operands
+
+let call b ~callee ~operands ~result_tys =
+  let results = List.map (Builder.fresh b) result_tys in
+  Op.make "func.call" ~operands ~results
+    ~attrs:[ ("callee", Attr.Symbol callee) ]
+
+let is_func op = String.equal (Op.name op) "func.func"
+let is_return op = String.equal (Op.name op) "func.return"
+let is_call op = String.equal (Op.name op) "func.call"
+
+let func_name op = Op.symbol_attr op "sym_name"
+
+let func_type op =
+  match Op.find_attr op "function_type" with
+  | Some (Attr.Type (Types.Func (args, results))) -> Some (args, results)
+  | _ -> None
+
+let callee op = Op.symbol_attr op "callee"
+
+let has_body op =
+  is_func op && List.length (Op.regions op) > 0
+
+let body op = Op.region_body op 0
+let params op = (Op.region_block op 0).Op.args
+
+let register () =
+  let open Dialect in
+  Dialect.register "func.func" ~summary:"function definition" ~verify:(fun op ->
+      let* () = expect_attr op "sym_name" in
+      let* () = expect_attr op "function_type" in
+      match Op.regions op with
+      | [] -> Ok ()
+      | [ _ ] -> (
+        match func_type op with
+        | Some (arg_tys, _) ->
+          let param_tys = List.map Value.ty (params op) in
+          check
+            (Types.equal_list arg_tys param_tys)
+            "func.func: entry block args must match function type"
+        | None -> Error "func.func: bad function_type attribute")
+      | _ -> Error "func.func: at most one region");
+  Dialect.register "func.return" ~summary:"function terminator";
+  Dialect.register "func.call" ~summary:"direct call" ~verify:(fun op ->
+      expect_attr op "callee")

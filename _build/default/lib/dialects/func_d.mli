@@ -1,0 +1,40 @@
+(** func dialect: functions, calls and returns. *)
+
+open Ftn_ir
+
+val func :
+  sym_name:string ->
+  args:Value.t list ->
+  result_tys:Types.t list ->
+  ?attrs:(string * Attr.t) list ->
+  Op.t list ->
+  Op.t
+
+val func_decl :
+  sym_name:string ->
+  arg_tys:Types.t list ->
+  result_tys:Types.t list ->
+  ?attrs:(string * Attr.t) list ->
+  unit ->
+  Op.t
+(** Bodyless external declaration. *)
+
+val return : ?operands:Value.t list -> unit -> Op.t
+
+val call :
+  Builder.t ->
+  callee:string ->
+  operands:Value.t list ->
+  result_tys:Types.t list ->
+  Op.t
+
+val is_func : Op.t -> bool
+val is_return : Op.t -> bool
+val is_call : Op.t -> bool
+val func_name : Op.t -> string option
+val func_type : Op.t -> (Types.t list * Types.t list) option
+val callee : Op.t -> string option
+val has_body : Op.t -> bool
+val body : Op.t -> Op.t list
+val params : Op.t -> Value.t list
+val register : unit -> unit

@@ -1,0 +1,107 @@
+(* hls dialect (after Stencil-HMLS): High-Level Synthesis directives that
+   Vitis understands — interface mapping of kernel arguments onto AXI
+   ports, loop pipelining/unrolling, array partitioning and dataflow. *)
+
+open Ftn_ir
+
+type protocol_kind = M_axi | S_axilite | Ap_none
+
+let int_of_protocol = function M_axi -> 0 | S_axilite -> 1 | Ap_none -> 2
+
+let protocol_of_int = function
+  | 0 -> Some M_axi
+  | 1 -> Some S_axilite
+  | 2 -> Some Ap_none
+  | _ -> None
+
+let string_of_protocol = function
+  | M_axi -> "m_axi"
+  | S_axilite -> "s_axilite"
+  | Ap_none -> "ap_none"
+
+(* hls.axi_protocol: materialises a protocol token from its integer kind,
+   as in the paper's Listing 4. *)
+let axi_protocol b kind_value =
+  Builder.op1 b "hls.axi_protocol" ~operands:[ kind_value ] Types.Axi_protocol
+
+(* hls.interface: binds a kernel argument to a named port bundle. *)
+let interface ~arg ~protocol ~bundle =
+  Op.make "hls.interface" ~operands:[ arg; protocol ]
+    ~attrs:[ ("bundle", Attr.String bundle) ]
+
+(* hls.pipeline: marks the enclosing loop as pipelined with the given
+   initiation interval (operand, i32). *)
+let pipeline ii = Op.make "hls.pipeline" ~operands:[ ii ]
+
+(* hls.unroll: replicates the enclosing loop body [factor] times. *)
+let unroll factor = Op.make "hls.unroll" ~operands:[ factor ]
+
+(* hls.array_partition: splits a local array across registers/BRAMs so the
+   unrolled copies can access it concurrently. *)
+let array_partition ~array ~kind ~factor =
+  Op.make "hls.array_partition" ~operands:[ array ]
+    ~attrs:[ ("kind", Attr.String kind); ("factor", Attr.i32 factor) ]
+
+let dataflow () = Op.make "hls.dataflow"
+
+(* hls.stream_create: an on-chip FIFO connecting dataflow stages. *)
+let stream_create b ?(depth = 2) elt =
+  Builder.op1 b "hls.stream_create"
+    ~attrs:[ ("depth", Attr.i32 depth) ]
+    (Types.Stream elt)
+
+let stream_read b stream =
+  let elt =
+    match Value.ty stream with
+    | Types.Stream t -> t
+    | _ -> invalid_arg "Hls.stream_read: not a stream"
+  in
+  Builder.op1 b "hls.stream_read" ~operands:[ stream ] elt
+
+let stream_write ~stream ~value =
+  Op.make "hls.stream_write" ~operands:[ stream; value ]
+
+let is_interface op = String.equal (Op.name op) "hls.interface"
+let is_pipeline op = String.equal (Op.name op) "hls.pipeline"
+let is_unroll op = String.equal (Op.name op) "hls.unroll"
+let is_axi_protocol op = String.equal (Op.name op) "hls.axi_protocol"
+
+let interface_bundle op = Op.string_attr op "bundle"
+
+let register () =
+  let open Dialect in
+  Dialect.register "hls.axi_protocol" ~summary:"AXI protocol token"
+    ~verify:(fun op ->
+      let* () = expect_operands op 1 in
+      expect_results op 1);
+  Dialect.register "hls.interface" ~summary:"argument-to-port binding"
+    ~verify:(fun op ->
+      let* () = expect_operands op 2 in
+      let* () = expect_attr op "bundle" in
+      match Op.operands op with
+      | [ _; proto ] ->
+        check
+          (Types.equal (Value.ty proto) Types.Axi_protocol)
+          "hls.interface: second operand must be an axi protocol"
+      | _ -> assert false);
+  Dialect.register "hls.pipeline" ~summary:"pipeline the enclosing loop"
+    ~verify:(fun op -> expect_operands op 1);
+  Dialect.register "hls.unroll" ~summary:"unroll the enclosing loop"
+    ~verify:(fun op -> expect_operands op 1);
+  Dialect.register "hls.array_partition" ~verify:(fun op ->
+      let* () = expect_operands op 1 in
+      let* () = expect_attr op "kind" in
+      expect_attr op "factor");
+  Dialect.register "hls.dataflow";
+  Dialect.register "hls.stream_create" ~verify:(fun op ->
+      let* () = expect_results op 1 in
+      check
+        (match Value.ty (Op.result op 0) with
+        | Types.Stream _ -> true
+        | _ -> false)
+        "hls.stream_create must return a stream");
+  Dialect.register "hls.stream_read" ~verify:(fun op ->
+      let* () = expect_operands op 1 in
+      expect_results op 1);
+  Dialect.register "hls.stream_write" ~verify:(fun op ->
+      expect_operands op 2)

@@ -1,0 +1,36 @@
+(** hls dialect (after Stencil-HMLS): High-Level Synthesis directives —
+    AXI interface bindings, loop pipelining/unrolling, array partitioning,
+    dataflow regions and on-chip streams. *)
+
+open Ftn_ir
+
+type protocol_kind = M_axi | S_axilite | Ap_none
+
+val int_of_protocol : protocol_kind -> int
+val protocol_of_int : int -> protocol_kind option
+val string_of_protocol : protocol_kind -> string
+
+val axi_protocol : Builder.t -> Value.t -> Op.t
+(** Materialises a protocol token from its integer kind (paper Listing 4). *)
+
+val interface : arg:Value.t -> protocol:Value.t -> bundle:string -> Op.t
+(** Binds a kernel argument to a named port bundle. *)
+
+val pipeline : Value.t -> Op.t
+(** Marks the enclosing loop pipelined with the given II operand. *)
+
+val unroll : Value.t -> Op.t
+val array_partition : array:Value.t -> kind:string -> factor:int -> Op.t
+val dataflow : unit -> Op.t
+(** Marks the enclosing function's top-level stages as overlapping. *)
+
+val stream_create : Builder.t -> ?depth:int -> Types.t -> Op.t
+val stream_read : Builder.t -> Value.t -> Op.t
+val stream_write : stream:Value.t -> value:Value.t -> Op.t
+
+val is_interface : Op.t -> bool
+val is_pipeline : Op.t -> bool
+val is_unroll : Op.t -> bool
+val is_axi_protocol : Op.t -> bool
+val interface_bundle : Op.t -> string option
+val register : unit -> unit

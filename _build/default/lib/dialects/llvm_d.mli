@@ -1,0 +1,66 @@
+(** llvm dialect: the lowest MLIR level before LLVM-IR emission. Uses
+    explicit CFG form — llvm.func regions hold multiple blocks; branch ops
+    name successors through block-label attributes, with block arguments
+    as phi nodes. *)
+
+open Ftn_ir
+
+val func :
+  sym_name:string ->
+  blocks:Op.region ->
+  fn_ty:Types.t ->
+  ?attrs:(string * Attr.t) list ->
+  unit ->
+  Op.t
+
+val func_decl : sym_name:string -> fn_ty:Types.t -> unit -> Op.t
+val return : ?operands:Value.t list -> unit -> Op.t
+val constant : Builder.t -> Attr.t -> Types.t -> Op.t
+
+val binop : Builder.t -> string -> Value.t -> Value.t -> Op.t
+(** [binop b "add" x y] builds [llvm.add]. *)
+
+val icmp : Builder.t -> string -> Value.t -> Value.t -> Op.t
+val fcmp : Builder.t -> string -> Value.t -> Value.t -> Op.t
+
+val br : dest:string -> ?operands:Value.t list -> unit -> Op.t
+(** Unconditional jump; operands feed the successor's block arguments. *)
+
+val cond_br :
+  cond:Value.t ->
+  true_dest:string ->
+  ?true_operands:Value.t list ->
+  false_dest:string ->
+  ?false_operands:Value.t list ->
+  unit ->
+  Op.t
+
+val getelementptr :
+  Builder.t -> base:Value.t -> indices:Value.t list -> elem_ty:Types.t -> Op.t
+
+val load : Builder.t -> Value.t -> Types.t -> Op.t
+val store : value:Value.t -> ptr:Value.t -> Op.t
+val alloca : Builder.t -> count:Value.t -> Types.t -> Op.t
+
+val call :
+  Builder.t ->
+  callee:string ->
+  operands:Value.t list ->
+  result_tys:Types.t list ->
+  Op.t
+
+val cast : Builder.t -> string -> Value.t -> Types.t -> Op.t
+(** [cast b "sext" v ty] and friends. *)
+
+val is_func : Op.t -> bool
+val is_br : Op.t -> bool
+val is_cond_br : Op.t -> bool
+val is_return : Op.t -> bool
+
+val cond_br_parts :
+  Op.t -> (Value.t * string * Value.t list * string * Value.t list) option
+(** (condition, true dest, true operands, false dest, false operands). *)
+
+val arith_op_names : string list
+val cast_op_names : string list
+val register : unit -> unit

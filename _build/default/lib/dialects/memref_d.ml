@@ -1,0 +1,120 @@
+(* memref dialect: allocation, access and host<->device DMA transfers. *)
+
+open Ftn_ir
+
+let alloc b ?(dynamic_sizes = []) mr_ty =
+  Builder.op1 b "memref.alloc" ~operands:dynamic_sizes mr_ty
+
+let alloca b ?(dynamic_sizes = []) mr_ty =
+  Builder.op1 b "memref.alloca" ~operands:dynamic_sizes mr_ty
+
+let dealloc mr = Op.make "memref.dealloc" ~operands:[ mr ]
+
+let elt_type v =
+  match Value.ty v with
+  | Types.Memref { elt; _ } -> elt
+  | _ -> invalid_arg "Memref_d.elt_type: not a memref"
+
+let load b mr indices =
+  Builder.op1 b "memref.load" ~operands:(mr :: indices) (elt_type mr)
+
+let store value mr indices =
+  Op.make "memref.store" ~operands:(value :: mr :: indices)
+
+let dim b mr index =
+  Builder.op1 b "memref.dim" ~operands:[ mr; index ] Types.Index
+
+let copy ~src ~dst = Op.make "memref.copy" ~operands:[ src; dst ]
+
+let cast b mr ty = Builder.op1 b "memref.cast" ~operands:[ mr ] ty
+
+(* DMA between host and device memrefs, as used by the paper's data
+   movement lowering. The tag distinguishes concurrent transfers. *)
+let dma_start ?(tag = 0) ~src ~dst () =
+  Op.make "memref.dma_start" ~operands:[ src; dst ]
+    ~attrs:[ ("tag", Attr.i32 tag) ]
+
+let dma_wait ?(tag = 0) () =
+  Op.make "memref.dma_wait" ~attrs:[ ("tag", Attr.i32 tag) ]
+
+let global ~sym_name ~ty ?init () =
+  let attrs =
+    [ ("sym_name", Attr.Symbol sym_name); ("type", Attr.Type ty) ]
+    @ match init with Some a -> [ ("initial_value", a) ] | None -> []
+  in
+  Op.make "memref.global" ~attrs
+
+let get_global b ~sym_name ty =
+  Builder.op1 b "memref.get_global"
+    ~attrs:[ ("name", Attr.Symbol sym_name) ]
+    ty
+
+let is_load op = String.equal (Op.name op) "memref.load"
+let is_store op = String.equal (Op.name op) "memref.store"
+
+let store_parts op =
+  match Op.operands op with
+  | value :: mr :: indices when is_store op -> Some (value, mr, indices)
+  | _ -> None
+
+let load_parts op =
+  match Op.operands op with
+  | mr :: indices when is_load op -> Some (mr, indices)
+  | _ -> None
+
+let register () =
+  let open Dialect in
+  let verify_alloc op =
+    let* () = expect_results op 1 in
+    match Value.ty (Op.result op 0) with
+    | Types.Memref mi ->
+      let dynamic =
+        List.length (List.filter (fun d -> d = Types.Dynamic) mi.shape)
+      in
+      check
+        (List.length (Op.operands op) = dynamic)
+        "memref.alloc: operand count must match dynamic dimensions"
+    | _ -> Error "memref.alloc result must be a memref"
+  in
+  Dialect.register "memref.alloc" ~summary:"heap allocation" ~verify:verify_alloc;
+  Dialect.register "memref.alloca" ~summary:"stack allocation" ~verify:verify_alloc;
+  Dialect.register "memref.dealloc" ~verify:(fun op -> expect_operands op 1);
+  Dialect.register "memref.load" ~summary:"indexed read" ~verify:(fun op ->
+      let* () = expect_results op 1 in
+      match Op.operands op with
+      | mr :: indices -> (
+        match Value.ty mr with
+        | Types.Memref mi ->
+          check
+            (List.length indices = Types.memref_rank mi)
+            "memref.load: index count must equal rank"
+        | _ -> Error "memref.load: first operand must be a memref")
+      | [] -> Error "memref.load: missing memref operand");
+  Dialect.register "memref.store" ~summary:"indexed write" ~verify:(fun op ->
+      let* () = expect_results op 0 in
+      match Op.operands op with
+      | _value :: mr :: indices -> (
+        match Value.ty mr with
+        | Types.Memref mi ->
+          check
+            (List.length indices = Types.memref_rank mi)
+            "memref.store: index count must equal rank"
+        | _ -> Error "memref.store: second operand must be a memref")
+      | _ -> Error "memref.store: needs value and memref operands");
+  Dialect.register "memref.dim" ~verify:(fun op ->
+      let* () = expect_operands op 2 in
+      expect_results op 1);
+  Dialect.register "memref.copy" ~verify:(fun op -> expect_operands op 2);
+  Dialect.register "memref.cast" ~verify:(fun op ->
+      let* () = expect_operands op 1 in
+      expect_results op 1);
+  Dialect.register "memref.dma_start" ~summary:"asynchronous host/device copy"
+    ~verify:(fun op ->
+      let* () = expect_operands op 2 in
+      expect_attr op "tag");
+  Dialect.register "memref.dma_wait" ~summary:"wait for a DMA transfer"
+    ~verify:(fun op -> expect_attr op "tag");
+  Dialect.register "memref.global";
+  Dialect.register "memref.get_global" ~verify:(fun op ->
+      let* () = expect_results op 1 in
+      expect_attr op "name")

@@ -1,0 +1,32 @@
+(** memref dialect: allocation, access and host/device DMA transfers. *)
+
+open Ftn_ir
+
+val alloc : Builder.t -> ?dynamic_sizes:Value.t list -> Types.t -> Op.t
+val alloca : Builder.t -> ?dynamic_sizes:Value.t list -> Types.t -> Op.t
+val dealloc : Value.t -> Op.t
+
+val elt_type : Value.t -> Types.t
+(** Element type of a memref-typed value; raises otherwise. *)
+
+val load : Builder.t -> Value.t -> Value.t list -> Op.t
+val store : Value.t -> Value.t -> Value.t list -> Op.t
+(** [store value memref indices]. *)
+
+val dim : Builder.t -> Value.t -> Value.t -> Op.t
+val copy : src:Value.t -> dst:Value.t -> Op.t
+val cast : Builder.t -> Value.t -> Types.t -> Op.t
+
+val dma_start : ?tag:int -> src:Value.t -> dst:Value.t -> unit -> Op.t
+(** Asynchronous host/device copy, as used by the data-movement lowering. *)
+
+val dma_wait : ?tag:int -> unit -> Op.t
+
+val global : sym_name:string -> ty:Types.t -> ?init:Attr.t -> unit -> Op.t
+val get_global : Builder.t -> sym_name:string -> Types.t -> Op.t
+
+val is_load : Op.t -> bool
+val is_store : Op.t -> bool
+val store_parts : Op.t -> (Value.t * Value.t * Value.t list) option
+val load_parts : Op.t -> (Value.t * Value.t list) option
+val register : unit -> unit

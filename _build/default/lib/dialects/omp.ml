@@ -1,0 +1,247 @@
+(* omp dialect: the subset of OpenMP operations the paper's flow consumes —
+   target offload with explicit data-mapping information, and loop
+   worksharing with simd/reduction clauses. *)
+
+open Ftn_ir
+
+type map_type =
+  | To
+  | From
+  | Tofrom
+  | Alloc
+  | Release
+  | Delete
+
+let string_of_map_type = function
+  | To -> "to"
+  | From -> "from"
+  | Tofrom -> "tofrom"
+  | Alloc -> "alloc"
+  | Release -> "release"
+  | Delete -> "delete"
+
+let map_type_of_string = function
+  | "to" -> Some To
+  | "from" -> Some From
+  | "tofrom" -> Some Tofrom
+  | "alloc" -> Some Alloc
+  | "release" -> Some Release
+  | "delete" -> Some Delete
+  | _ -> None
+
+(* omp.bounds_info: loop/array section bounds attached to a mapping.
+   Operands: lower, upper (inclusive), both index-typed. *)
+let bounds_info b ~lower ~upper =
+  Builder.op1 b "omp.bounds_info" ~operands:[ lower; upper ] Types.I64
+
+(* omp.map_info: declares how one variable is mapped onto the device.
+   The result is the device-side view of the variable. *)
+let map_info b ~var ~var_name ~map_type ?(implicit = false) ?(bounds = []) ()
+    =
+  Builder.op1 b "omp.map_info"
+    ~operands:(var :: bounds)
+    ~attrs:
+      [
+        ("var_name", Attr.String var_name);
+        ("map_type", Attr.String (string_of_map_type map_type));
+        ("implicit", Attr.Bool implicit);
+      ]
+    (Value.ty var)
+
+let is_map_info op = String.equal (Op.name op) "omp.map_info"
+
+type map_parts = {
+  var : Value.t;
+  bounds : Value.t list;
+  var_name : string;
+  map_type : map_type;
+  implicit : bool;
+  result : Value.t;
+}
+
+let map_parts op =
+  if not (is_map_info op) then None
+  else
+    match (Op.operands op, Op.results op) with
+    | var :: bounds, [ result ] ->
+      let var_name = Option.value ~default:"" (Op.string_attr op "var_name") in
+      let map_type =
+        Option.bind (Op.string_attr op "map_type") map_type_of_string
+        |> Option.value ~default:Tofrom
+      in
+      let implicit = Option.value ~default:false (Op.bool_attr op "implicit") in
+      Some { var; bounds; var_name; map_type; implicit; result }
+    | _ -> None
+
+(* omp.target: offloaded region. Operands are omp.map_info results; the
+   entry block re-binds them as arguments (the device-side values). *)
+let target b ~map_operands make_body =
+  let args = List.map (fun v -> Builder.fresh b (Value.ty v)) map_operands in
+  Op.make "omp.target" ~operands:map_operands
+    ~regions:[ Op.region ~args (make_body args) ]
+
+let is_target op = String.equal (Op.name op) "omp.target"
+
+(* omp.target_data: structured data region. *)
+let target_data ~map_operands body =
+  Op.make "omp.target_data" ~operands:map_operands
+    ~regions:[ Op.region body ]
+
+let target_enter_data ~map_operands =
+  Op.make "omp.target_enter_data" ~operands:map_operands
+
+let target_exit_data ~map_operands =
+  Op.make "omp.target_exit_data" ~operands:map_operands
+
+let target_update ~motion ~map_operands =
+  Op.make "omp.target_update" ~operands:map_operands
+    ~attrs:[ ("motion", Attr.String motion) ]
+
+let is_target_data op = String.equal (Op.name op) "omp.target_data"
+
+(* Reduction clause: kind plus the memref<1xT> accumulator it reduces
+   into. The accumulator is passed as a trailing operand. *)
+type reduction_kind = Red_add | Red_mul | Red_max | Red_min
+
+let string_of_reduction_kind = function
+  | Red_add -> "add"
+  | Red_mul -> "mul"
+  | Red_max -> "max"
+  | Red_min -> "min"
+
+let reduction_kind_of_string = function
+  | "add" -> Some Red_add
+  | "mul" -> Some Red_mul
+  | "max" -> Some Red_max
+  | "min" -> Some Red_min
+  | _ -> None
+
+(* omp.parallel_do: worksharing loop. Operands: per collapsed dimension a
+   (lb, ub, step) triple (index), then reduction accumulators. The region
+   block takes one induction variable per collapsed dimension. Bounds
+   follow Fortran do-loop semantics: ub is inclusive. *)
+let parallel_do b ~lbs ~ubs ~steps ?(simd = false) ?simdlen
+    ?(reductions = []) make_body =
+  let n = List.length lbs in
+  if List.length ubs <> n || List.length steps <> n then
+    invalid_arg "Omp.parallel_do: bounds rank mismatch";
+  let ivs = List.init n (fun _ -> Builder.fresh b Types.Index) in
+  let bound_operands =
+    List.concat (List.map2 (fun (lb, ub) step -> [ lb; ub; step ])
+                   (List.combine lbs ubs) steps)
+  in
+  let red_operands = List.map snd reductions in
+  let attrs =
+    [ ("collapse", Attr.i32 n); ("simd", Attr.Bool simd) ]
+    @ (match simdlen with Some k -> [ ("simdlen", Attr.i32 k) ] | None -> [])
+    @
+    match reductions with
+    | [] -> []
+    | rs ->
+      [
+        ( "reductions",
+          Attr.Array
+            (List.map
+               (fun (kind, _) -> Attr.String (string_of_reduction_kind kind))
+               rs) );
+      ]
+  in
+  Op.make "omp.parallel_do"
+    ~operands:(bound_operands @ red_operands)
+    ~attrs
+    ~regions:[ Op.region ~args:ivs (make_body ivs) ]
+
+let is_parallel_do op = String.equal (Op.name op) "omp.parallel_do"
+
+type loop_parts = {
+  lbs : Value.t list;
+  ubs : Value.t list;
+  steps : Value.t list;
+  reduction_accs : (reduction_kind * Value.t) list;
+  simd : bool;
+  simdlen : int option;
+  ivs : Value.t list;
+  loop_body : Op.t list;
+}
+
+let loop_parts op =
+  if not (is_parallel_do op) then None
+  else
+    let collapse = Option.value ~default:1 (Op.int_attr op "collapse") in
+    let operands = Op.operands op in
+    if List.length operands < 3 * collapse then None
+    else
+      let rec split_bounds i ops (lbs, ubs, steps) =
+        if i = collapse then (List.rev lbs, List.rev ubs, List.rev steps, ops)
+        else
+          match ops with
+          | lb :: ub :: step :: rest ->
+            split_bounds (i + 1) rest (lb :: lbs, ub :: ubs, step :: steps)
+          | _ -> assert false
+      in
+      let lbs, ubs, steps, red_ops = split_bounds 0 operands ([], [], []) in
+      let kinds =
+        match Op.find_attr op "reductions" with
+        | Some (Attr.Array ks) ->
+          List.filter_map
+            (fun a ->
+              Option.bind (Attr.as_string a) reduction_kind_of_string)
+            ks
+        | _ -> []
+      in
+      if List.length kinds <> List.length red_ops then None
+      else
+        let blk = Op.region_block op 0 in
+        Some
+          {
+            lbs;
+            ubs;
+            steps;
+            reduction_accs = List.combine kinds red_ops;
+            simd = Option.value ~default:false (Op.bool_attr op "simd");
+            simdlen = Op.int_attr op "simdlen";
+            ivs = blk.Op.args;
+            loop_body = blk.Op.body;
+          }
+
+let yield ?(operands = []) () = Op.make "omp.yield" ~operands
+let terminator () = Op.make "omp.terminator"
+
+let register () =
+  let open Dialect in
+  Dialect.register "omp.bounds_info" ~summary:"array section bounds"
+    ~verify:(fun op ->
+      let* () = expect_operands op 2 in
+      expect_results op 1);
+  Dialect.register "omp.map_info" ~summary:"device data mapping"
+    ~verify:(fun op ->
+      let* () = expect_results op 1 in
+      let* () = expect_attr op "map_type" in
+      let* () = expect_attr op "var_name" in
+      check
+        (List.length (Op.operands op) >= 1)
+        "omp.map_info needs the mapped variable");
+  Dialect.register "omp.target" ~summary:"offloaded region" ~verify:(fun op ->
+      let* () = expect_regions op 1 in
+      let blk = Op.region_block op 0 in
+      check
+        (List.length blk.Op.args = List.length (Op.operands op))
+        "omp.target block args must match map operands");
+  Dialect.register "omp.target_data" ~summary:"structured data region"
+    ~verify:(fun op -> expect_regions op 1);
+  Dialect.register "omp.target_enter_data";
+  Dialect.register "omp.target_exit_data";
+  Dialect.register "omp.target_update" ~verify:(fun op ->
+      expect_attr op "motion");
+  Dialect.register "omp.parallel_do" ~summary:"worksharing loop"
+    ~verify:(fun op ->
+      let* () = expect_regions op 1 in
+      match loop_parts op with
+      | Some parts ->
+        check
+          (List.length parts.ivs
+          = Option.value ~default:1 (Op.int_attr op "collapse"))
+          "omp.parallel_do: induction variables must match collapse"
+      | None -> Error "omp.parallel_do: malformed bounds/reductions");
+  Dialect.register "omp.yield";
+  Dialect.register "omp.terminator"

@@ -1,0 +1,93 @@
+(** omp dialect: the OpenMP subset the paper's flow consumes — target
+    offload with explicit data-mapping information, and worksharing loops
+    with simd/reduction clauses. *)
+
+open Ftn_ir
+
+type map_type =
+  | To
+  | From
+  | Tofrom
+  | Alloc
+  | Release
+  | Delete
+
+val string_of_map_type : map_type -> string
+val map_type_of_string : string -> map_type option
+
+val bounds_info : Builder.t -> lower:Value.t -> upper:Value.t -> Op.t
+(** Array-section bounds attached to a mapping (inclusive upper bound). *)
+
+val map_info :
+  Builder.t ->
+  var:Value.t ->
+  var_name:string ->
+  map_type:map_type ->
+  ?implicit:bool ->
+  ?bounds:Value.t list ->
+  unit ->
+  Op.t
+(** Declares how one variable maps onto the device; the result is the
+    device-side view. *)
+
+val is_map_info : Op.t -> bool
+
+type map_parts = {
+  var : Value.t;
+  bounds : Value.t list;
+  var_name : string;
+  map_type : map_type;
+  implicit : bool;
+  result : Value.t;
+}
+
+val map_parts : Op.t -> map_parts option
+
+val target :
+  Builder.t -> map_operands:Value.t list -> (Value.t list -> Op.t list) -> Op.t
+(** Offloaded region; the entry block re-binds the mapped values as
+    arguments (the device-side values). *)
+
+val is_target : Op.t -> bool
+val target_data : map_operands:Value.t list -> Op.t list -> Op.t
+val target_enter_data : map_operands:Value.t list -> Op.t
+val target_exit_data : map_operands:Value.t list -> Op.t
+val target_update : motion:string -> map_operands:Value.t list -> Op.t
+val is_target_data : Op.t -> bool
+
+type reduction_kind = Red_add | Red_mul | Red_max | Red_min
+
+val string_of_reduction_kind : reduction_kind -> string
+val reduction_kind_of_string : string -> reduction_kind option
+
+val parallel_do :
+  Builder.t ->
+  lbs:Value.t list ->
+  ubs:Value.t list ->
+  steps:Value.t list ->
+  ?simd:bool ->
+  ?simdlen:int ->
+  ?reductions:(reduction_kind * Value.t) list ->
+  (Value.t list -> Op.t list) ->
+  Op.t
+(** Worksharing loop with Fortran do-loop semantics (inclusive upper
+    bound); one (lb, ub, step) triple per collapsed dimension. Reduction
+    accumulators are rank-0 memrefs passed as trailing operands. *)
+
+val is_parallel_do : Op.t -> bool
+
+type loop_parts = {
+  lbs : Value.t list;
+  ubs : Value.t list;
+  steps : Value.t list;
+  reduction_accs : (reduction_kind * Value.t) list;
+  simd : bool;
+  simdlen : int option;
+  ivs : Value.t list;
+  loop_body : Op.t list;
+}
+
+val loop_parts : Op.t -> loop_parts option
+val yield : ?operands:Value.t list -> unit -> Op.t
+val terminator : unit -> Op.t
+val register : unit -> unit

@@ -1,0 +1,20 @@
+(* One-shot registration of every dialect in this library. Idempotent. *)
+
+let registered = ref false
+
+let register_all () =
+  if not !registered then begin
+    registered := true;
+    Builtin.register ();
+    Arith.register ();
+    Math_d.register ();
+    Scf.register ();
+    Memref_d.register ();
+    Func_d.register ();
+    Omp.register ();
+    Fir.register ();
+    Device.register ();
+    Hls.register ();
+    Llvm_d.register ();
+    Acc.register ()
+  end

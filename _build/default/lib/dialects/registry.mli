@@ -1,0 +1,4 @@
+(** One-shot registration of every dialect in this library (idempotent).
+    Call before verifying or running pipelines. *)
+
+val register_all : unit -> unit

@@ -1,0 +1,109 @@
+(* scf dialect: structured control flow (for / if / while + yield). *)
+
+open Ftn_ir
+
+let yield ?(operands = []) () = Op.make "scf.yield" ~operands
+
+(* scf.for: operands are lb, ub, step followed by initial values of the
+   iteration arguments. The region's single block takes the induction
+   variable then the iter args; results carry the final iter args. *)
+let for_ b ~lb ~ub ~step ?(iter_args = []) make_body =
+  let iv = Builder.fresh b Types.Index in
+  let region_args =
+    iv :: List.map (fun v -> Builder.fresh b (Value.ty v)) iter_args
+  in
+  let body =
+    match region_args with
+    | iv :: rest -> make_body iv rest
+    | [] -> assert false
+  in
+  let results = List.map (fun v -> Builder.fresh b (Value.ty v)) iter_args in
+  Op.make "scf.for"
+    ~operands:(lb :: ub :: step :: iter_args)
+    ~results
+    ~regions:[ Op.region ~args:region_args body ]
+
+let is_for op = String.equal (Op.name op) "scf.for"
+
+type for_parts = {
+  lb : Value.t;
+  ub : Value.t;
+  step : Value.t;
+  iter_inits : Value.t list;
+  induction : Value.t;
+  iter_args : Value.t list;
+  body : Op.t list;
+}
+
+let for_parts op =
+  if not (is_for op) then None
+  else
+    match (Op.operands op, Op.region_block op 0) with
+    | lb :: ub :: step :: iter_inits, { Op.args = induction :: iter_args; body; _ } ->
+      Some { lb; ub; step; iter_inits; induction; iter_args; body }
+    | _ -> None
+
+(* scf.if: operand is the condition; region 0 is then, region 1 is else. *)
+let if_ b ~cond ?(result_tys = []) ~then_ops ?(else_ops = []) () =
+  let results = List.map (Builder.fresh b) result_tys in
+  let regions =
+    if else_ops = [] && result_tys = [] then [ Op.region then_ops ]
+    else [ Op.region then_ops; Op.region else_ops ]
+  in
+  Op.make "scf.if" ~operands:[ cond ] ~results ~regions
+
+let is_if op = String.equal (Op.name op) "scf.if"
+
+let if_then_ops op = Op.region_body op 0
+
+let if_else_ops op =
+  if List.length (Op.regions op) > 1 then Op.region_body op 1 else []
+
+(* scf.while: region 0 computes the condition and forwards values through
+   scf.condition; region 1 is the loop body ending in scf.yield. *)
+let while_ b ~inits ~make_before ~make_after =
+  let tys = List.map Value.ty inits in
+  let before_args = List.map (Builder.fresh b) tys in
+  let after_args = List.map (Builder.fresh b) tys in
+  let results = List.map (Builder.fresh b) tys in
+  Op.make "scf.while" ~operands:inits ~results
+    ~regions:
+      [
+        Op.region ~args:before_args (make_before before_args);
+        Op.region ~args:after_args (make_after after_args);
+      ]
+
+let condition ~cond ~operands = Op.make "scf.condition" ~operands:(cond :: operands)
+
+let is_while op = String.equal (Op.name op) "scf.while"
+let is_yield op = String.equal (Op.name op) "scf.yield"
+
+let register () =
+  let open Dialect in
+  Dialect.register "scf.for" ~summary:"counted loop" ~verify:(fun op ->
+      let* () = expect_regions op 1 in
+      let* () =
+        check
+          (List.length (Op.operands op) >= 3)
+          "scf.for needs lb, ub, step"
+      in
+      let iter_count = List.length (Op.operands op) - 3 in
+      let* () = expect_results op iter_count in
+      let blk = Op.region_block op 0 in
+      check
+        (List.length blk.Op.args = iter_count + 1)
+        "scf.for region must take induction variable plus iter args");
+  Dialect.register "scf.if" ~summary:"conditional" ~verify:(fun op ->
+      let* () = expect_operands op 1 in
+      let* () = expect_operand_type op 0 Types.I1 in
+      check
+        (List.length (Op.regions op) >= 1 && List.length (Op.regions op) <= 2)
+        "scf.if takes one or two regions");
+  Dialect.register "scf.while" ~summary:"general loop" ~verify:(fun op ->
+      expect_regions op 2);
+  Dialect.register "scf.yield" ~summary:"region terminator";
+  Dialect.register "scf.condition" ~summary:"while condition terminator"
+    ~verify:(fun op ->
+      check
+        (List.length (Op.operands op) >= 1)
+        "scf.condition needs a condition operand")

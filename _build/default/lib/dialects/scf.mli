@@ -1,0 +1,59 @@
+(** scf dialect: structured control flow (for / if / while + yield). *)
+
+open Ftn_ir
+
+val yield : ?operands:Value.t list -> unit -> Op.t
+
+val for_ :
+  Builder.t ->
+  lb:Value.t ->
+  ub:Value.t ->
+  step:Value.t ->
+  ?iter_args:Value.t list ->
+  (Value.t -> Value.t list -> Op.t list) ->
+  Op.t
+(** Counted loop with exclusive upper bound. The body builder receives the
+    induction variable and the region's iteration arguments; with
+    [iter_args] the loop carries values and returns their final state. *)
+
+val is_for : Op.t -> bool
+
+type for_parts = {
+  lb : Value.t;
+  ub : Value.t;
+  step : Value.t;
+  iter_inits : Value.t list;
+  induction : Value.t;
+  iter_args : Value.t list;
+  body : Op.t list;
+}
+
+val for_parts : Op.t -> for_parts option
+
+val if_ :
+  Builder.t ->
+  cond:Value.t ->
+  ?result_tys:Types.t list ->
+  then_ops:Op.t list ->
+  ?else_ops:Op.t list ->
+  unit ->
+  Op.t
+(** Conditional; the else region is omitted when empty and resultless. *)
+
+val is_if : Op.t -> bool
+val if_then_ops : Op.t -> Op.t list
+val if_else_ops : Op.t -> Op.t list
+
+val while_ :
+  Builder.t ->
+  inits:Value.t list ->
+  make_before:(Value.t list -> Op.t list) ->
+  make_after:(Value.t list -> Op.t list) ->
+  Op.t
+(** General loop: the before region ends in {!condition}, the after region
+    in {!yield}. *)
+
+val condition : cond:Value.t -> operands:Value.t list -> Op.t
+val is_while : Op.t -> bool
+val is_yield : Op.t -> bool
+val register : unit -> unit

@@ -1,0 +1,1 @@
+lib/fortran/acc_parser.ml: Ast List Omp_parser String

@@ -1,0 +1,1 @@
+lib/fortran/acc_parser.mli: Ast

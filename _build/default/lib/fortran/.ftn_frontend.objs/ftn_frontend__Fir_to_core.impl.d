@@ -1,0 +1,1 @@
+lib/fortran/fir_to_core.ml: Arith Builder Fmt Ftn_dialects Ftn_ir Hashtbl List Op Pass Types Value

@@ -1,0 +1,1 @@
+lib/fortran/fir_to_core.mli: Ftn_ir

@@ -1,0 +1,1 @@
+lib/fortran/frontend.ml: Fir_to_core Fmt Ftn_dialects Ftn_ir Lower_fir Omp_parser Sema Src_lexer Src_parser

@@ -1,0 +1,1 @@
+lib/fortran/frontend.mli: Ast Ftn_ir Sema

@@ -1,0 +1,1 @@
+lib/fortran/lower_fir.ml: Acc Arith Ast Attr Builder Fir Ftn_dialects Ftn_ir Func_d List Math_d Memref_d Omp Op Scf Sema String Types Value

@@ -1,0 +1,1 @@
+lib/fortran/lower_fir.mli: Ftn_ir Sema

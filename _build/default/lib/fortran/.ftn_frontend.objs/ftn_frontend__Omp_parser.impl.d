@@ -1,0 +1,1 @@
+lib/fortran/omp_parser.ml: Ast Fmt List String

@@ -1,0 +1,1 @@
+lib/fortran/sema.ml: Ast Fmt Hashtbl List Map Option String

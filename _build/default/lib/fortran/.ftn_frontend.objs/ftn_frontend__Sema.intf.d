@@ -1,0 +1,1 @@
+lib/fortran/sema.mli: Ast Map

@@ -1,0 +1,1 @@
+lib/fortran/src_lexer.ml: Buffer Char Fmt List String

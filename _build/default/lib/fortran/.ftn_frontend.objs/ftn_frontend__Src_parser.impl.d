@@ -1,0 +1,1 @@
+lib/fortran/src_parser.ml: Acc_parser Array Ast Fmt List Omp_parser Src_lexer String

@@ -1,0 +1,1 @@
+lib/fortran/src_parser.mli: Ast

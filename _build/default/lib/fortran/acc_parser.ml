@@ -1,0 +1,99 @@
+(* Parser for '!$acc ...' directive text: the OpenACC subset mirroring the
+   OpenMP support (the integration the paper names as further work).
+   Clauses are represented with the shared map-kind encoding:
+   copyin = to, copyout = from, copy = tofrom, create = alloc. *)
+
+exception Acc_error of string
+
+type directive =
+  | Parallel_loop of Ast.omp_clause list
+  | Data of Ast.omp_clause list
+  | Enter_data of Ast.omp_clause list
+  | Exit_data of Ast.omp_clause list
+  | Update of Ast.omp_clause list
+  | End_directive of string
+
+(* Reuse the omp directive scanner: same token shapes. *)
+let scan = Omp_parser.scan
+
+let parse_name_list toks =
+  let rec go acc = function
+    | Omp_parser.Word w :: Omp_parser.Comma :: rest -> go (w :: acc) rest
+    | Omp_parser.Word w :: Omp_parser.Rp :: rest -> (List.rev (w :: acc), rest)
+    | _ -> raise (Acc_error "expected variable list")
+  in
+  go [] toks
+
+let parse_clauses toks =
+  let open Omp_parser in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | Word (("copyin" | "copyout" | "copy" | "create" | "present_or_copy") as kw)
+      :: Lp :: rest ->
+      let kind =
+        match kw with
+        | "copyin" -> Ast.Map_to
+        | "copyout" -> Ast.Map_from
+        | "create" -> Ast.Map_alloc
+        | _ -> Ast.Map_tofrom
+      in
+      let names, rest = parse_name_list rest in
+      go (Ast.Cl_map (kind, names) :: acc) rest
+    | Word "vector_length" :: Lp :: Num k :: Rp :: rest ->
+      go (Ast.Cl_simdlen k :: acc) rest
+    | Word "collapse" :: Lp :: Num k :: Rp :: rest ->
+      go (Ast.Cl_collapse k :: acc) rest
+    | Word "reduction" :: Lp :: op :: Colon :: rest ->
+      let red =
+        match op with
+        | Plus -> Ast.Red_add
+        | Star -> Ast.Red_mul
+        | Word "max" -> Ast.Red_max
+        | Word "min" -> Ast.Red_min
+        | _ -> raise (Acc_error "unknown reduction operator")
+      in
+      let names, rest = parse_name_list rest in
+      go (Ast.Cl_reduction (red, names) :: acc) rest
+    | Word "private" :: Lp :: rest ->
+      let names, rest = parse_name_list rest in
+      go (Ast.Cl_private names :: acc) rest
+    | Word "firstprivate" :: Lp :: rest ->
+      let names, rest = parse_name_list rest in
+      go (Ast.Cl_firstprivate names :: acc) rest
+    | Word "host" :: Lp :: rest ->
+      let names, rest = parse_name_list rest in
+      go (Ast.Cl_from names :: acc) rest
+    | Word "device" :: Lp :: rest ->
+      let names, rest = parse_name_list rest in
+      go (Ast.Cl_to names :: acc) rest
+    (* gang/worker/vector/seq without arguments are accepted and ignored:
+       the backend derives the schedule from the loop structure *)
+    | Word ("gang" | "worker" | "vector" | "seq" | "independent") :: rest ->
+      go acc rest
+    | Word w :: _ -> raise (Acc_error ("unknown OpenACC clause " ^ w))
+    | _ -> raise (Acc_error "malformed clause list")
+  in
+  go [] toks
+
+let parse text : directive =
+  match scan text with
+  | Omp_parser.Word "end" :: rest ->
+    let words =
+      List.filter_map
+        (function Omp_parser.Word w -> Some w | _ -> None)
+        rest
+    in
+    End_directive (String.concat " " words)
+  | Omp_parser.Word "parallel" :: Omp_parser.Word "loop" :: rest ->
+    Parallel_loop (parse_clauses rest)
+  | Omp_parser.Word "kernels" :: Omp_parser.Word "loop" :: rest ->
+    Parallel_loop (parse_clauses rest)
+  | Omp_parser.Word "data" :: rest -> Data (parse_clauses rest)
+  | Omp_parser.Word "enter" :: Omp_parser.Word "data" :: rest ->
+    Enter_data (parse_clauses rest)
+  | Omp_parser.Word "exit" :: Omp_parser.Word "data" :: rest ->
+    Exit_data (parse_clauses rest)
+  | Omp_parser.Word "update" :: rest -> Update (parse_clauses rest)
+  | Omp_parser.Word w :: _ ->
+    raise (Acc_error ("unsupported OpenACC directive " ^ w))
+  | _ -> raise (Acc_error "empty OpenACC directive")

@@ -1,0 +1,15 @@
+(** Parser for '!$acc' directive text: the OpenACC subset mirroring the
+    OpenMP support. Clauses use the shared map-kind encoding
+    (copyin = to, copyout = from, copy = tofrom, create = alloc). *)
+
+exception Acc_error of string
+
+type directive =
+  | Parallel_loop of Ast.omp_clause list
+  | Data of Ast.omp_clause list
+  | Enter_data of Ast.omp_clause list
+  | Exit_data of Ast.omp_clause list
+  | Update of Ast.omp_clause list
+  | End_directive of string
+
+val parse : string -> directive

@@ -1,0 +1,309 @@
+(* Abstract syntax for the Fortran subset the pipeline accepts: free-form
+   programs/subroutines/functions with integer/real/logical scalars and
+   arrays, do-loops, if-chains, assignments and calls — plus the OpenMP
+   directives the paper uses (target, target data, enter/exit data, update,
+   parallel do, simd, reduction, collapse). *)
+
+type base_type =
+  | Ty_integer
+  | Ty_real
+  | Ty_double
+  | Ty_logical
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Pow
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop =
+  | Neg
+  | Not
+
+type expr =
+  | Int_lit of int
+  | Real_lit of float * base_type
+  | Logical_lit of bool
+  | Var of string
+  (* Array element reference or (before semantic analysis) a function
+     call — Fortran syntax cannot distinguish them. *)
+  | Index of string * expr list
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  (* Intrinsic function application, resolved during semantic analysis. *)
+  | Intrinsic of string * expr list
+  (* User-defined function call; the result type is filled in by semantic
+     analysis from the function's program unit. *)
+  | User_call of string * base_type * expr list
+
+type intent =
+  | Intent_in
+  | Intent_out
+  | Intent_inout
+  | Intent_none
+
+type decl = {
+  d_name : string;
+  d_type : base_type;
+  d_dims : expr list;  (** Empty for scalars; one extent expr per dim. *)
+  d_intent : intent;
+  d_parameter : expr option;  (** [parameter :: n = e] named constants. *)
+  d_line : int;
+}
+
+(* --- OpenMP directives --- *)
+
+type map_kind =
+  | Map_to
+  | Map_from
+  | Map_tofrom
+  | Map_alloc
+
+type reduction_op =
+  | Red_add
+  | Red_mul
+  | Red_max
+  | Red_min
+
+type omp_clause =
+  | Cl_map of map_kind * string list
+  | Cl_simdlen of int
+  | Cl_safelen of int
+  | Cl_reduction of reduction_op * string list
+  | Cl_collapse of int
+  | Cl_from of string list  (** target update from(...) *)
+  | Cl_to of string list  (** target update to(...) *)
+  | Cl_private of string list
+  | Cl_firstprivate of string list
+
+type stmt = {
+  s_line : int;
+  s_kind : stmt_kind;
+}
+
+and stmt_kind =
+  | Assign of expr * expr  (** lhs (Var or Index), rhs *)
+  | Do of do_loop
+  | Do_while of expr * stmt list
+  | If of (expr * stmt list) list * stmt list
+      (** if/elseif arms and the else body. *)
+  | Call of string * expr list
+  | Print of expr list
+  | Exit_stmt
+  | Cycle_stmt
+  | Omp_target of omp_clause list * stmt list
+  | Omp_target_data of omp_clause list * stmt list
+  | Omp_target_enter_data of omp_clause list
+  | Omp_target_exit_data of omp_clause list
+  | Omp_target_update of omp_clause list
+  | Omp_parallel_do of parallel_do
+  (* OpenACC (paper Section 5 further work): clauses reuse the map-kind
+     representation (copyin=to, copyout=from, copy=tofrom, create=alloc). *)
+  | Acc_parallel_loop of acc_parallel_loop
+  | Acc_data of omp_clause list * stmt list
+  | Acc_enter_data of omp_clause list
+  | Acc_exit_data of omp_clause list
+  | Acc_update of omp_clause list
+
+and acc_parallel_loop = {
+  apl_clauses : omp_clause list;
+  apl_loop : do_loop;
+  apl_line : int;
+}
+
+and do_loop = {
+  do_var : string;
+  do_lb : expr;
+  do_ub : expr;
+  do_step : expr option;
+  do_body : stmt list;
+}
+
+and parallel_do = {
+  pd_simd : bool;
+  pd_clauses : omp_clause list;
+  pd_loop : do_loop;
+  pd_line : int;
+}
+
+type program_unit = {
+  u_kind : unit_kind;
+  u_name : string;
+  u_params : string list;  (** Dummy argument names, in order. *)
+  u_decls : decl list;
+  u_body : stmt list;
+  u_line : int;
+}
+
+and unit_kind =
+  | Main_program
+  | Subroutine
+  | Function of base_type  (** Result type. *)
+
+type program = program_unit list
+
+(* --- helpers --- *)
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Int_lit _ | Real_lit _ | Logical_lit _ | Var _ -> acc
+  | Index (_, es) | Intrinsic (_, es) | User_call (_, _, es) ->
+    List.fold_left (fold_expr f) acc es
+  | Binop (_, a, b) -> fold_expr f (fold_expr f acc a) b
+  | Unop (_, a) -> fold_expr f acc a
+
+(* Every variable name referenced in an expression, including array bases. *)
+let expr_vars e =
+  fold_expr
+    (fun acc e ->
+      match e with
+      | Var v | Index (v, _) -> v :: acc
+      | Int_lit _ | Real_lit _ | Logical_lit _ | Binop _ | Unop _
+      | Intrinsic _ | User_call _ ->
+        acc)
+    [] e
+  |> List.sort_uniq String.compare
+
+let rec fold_stmts f acc stmts = List.fold_left (fold_stmt f) acc stmts
+
+and fold_stmt f acc stmt =
+  let acc = f acc stmt in
+  match stmt.s_kind with
+  | Assign _ | Call _ | Print _ | Exit_stmt | Cycle_stmt
+  | Omp_target_enter_data _ | Omp_target_exit_data _ | Omp_target_update _
+  | Acc_enter_data _ | Acc_exit_data _ | Acc_update _ ->
+    acc
+  | Do { do_body; _ } -> fold_stmts f acc do_body
+  | Do_while (_, body) -> fold_stmts f acc body
+  | If (arms, else_body) ->
+    let acc =
+      List.fold_left (fun acc (_, body) -> fold_stmts f acc body) acc arms
+    in
+    fold_stmts f acc else_body
+  | Omp_target (_, body) | Omp_target_data (_, body) | Acc_data (_, body) ->
+    fold_stmts f acc body
+  | Omp_parallel_do { pd_loop; _ } -> fold_stmts f acc pd_loop.do_body
+  | Acc_parallel_loop { apl_loop; _ } -> fold_stmts f acc apl_loop.do_body
+
+(* Variables read or written anywhere in a statement list; used to compute
+   implicit device mappings. *)
+let stmts_vars stmts =
+  let exprs_of_stmt stmt =
+    match stmt.s_kind with
+    | Assign (lhs, rhs) -> [ lhs; rhs ]
+    | Do { do_var; do_lb; do_ub; do_step; _ } ->
+      Var do_var :: do_lb :: do_ub :: Option.to_list do_step
+    | Do_while (cond, _) -> [ cond ]
+    | If (arms, _) -> List.map fst arms
+    | Call (_, args) | Print args -> args
+    | Exit_stmt | Cycle_stmt -> []
+    | Omp_target _ | Omp_target_data _ | Omp_target_enter_data _
+    | Omp_target_exit_data _ | Omp_target_update _ | Acc_data _
+    | Acc_enter_data _ | Acc_exit_data _ | Acc_update _ ->
+      []
+    | Omp_parallel_do { pd_loop = { do_var; do_lb; do_ub; do_step; _ }; _ }
+    | Acc_parallel_loop { apl_loop = { do_var; do_lb; do_ub; do_step; _ }; _ }
+      ->
+      Var do_var :: do_lb :: do_ub :: Option.to_list do_step
+  in
+  fold_stmts
+    (fun acc stmt ->
+      List.fold_left
+        (fun acc e -> List.rev_append (expr_vars e) acc)
+        acc (exprs_of_stmt stmt))
+    [] stmts
+  |> List.sort_uniq String.compare
+
+(* private / firstprivate names from the clauses of a construct and of
+   the loop constructs nested in [stmts]. *)
+let clause_privacy stmts extra_clauses =
+  let of_clauses clauses =
+    List.fold_left
+      (fun (priv, fpriv) c ->
+        match c with
+        | Cl_private names -> (names @ priv, fpriv)
+        | Cl_firstprivate names -> (priv, names @ fpriv)
+        | _ -> (priv, fpriv))
+      ([], []) clauses
+  in
+  let from_stmts =
+    fold_stmts
+      (fun acc s ->
+        match s.s_kind with
+        | Omp_parallel_do { pd_clauses; _ } -> pd_clauses @ acc
+        | Acc_parallel_loop { apl_clauses; _ } -> apl_clauses @ acc
+        | _ -> acc)
+      [] stmts
+  in
+  let priv, fpriv = of_clauses (extra_clauses @ from_stmts) in
+  (List.sort_uniq String.compare priv, List.sort_uniq String.compare fpriv)
+
+(* Scalar variables assigned anywhere in a statement list (array element
+   writes target the array, which is already mapped tofrom). *)
+let assigned_scalars stmts =
+  fold_stmts
+    (fun acc s ->
+      match s.s_kind with
+      | Assign (Var name, _) -> name :: acc
+      | _ -> acc)
+    [] stmts
+  |> List.sort_uniq String.compare
+
+(* Variables named in reduction clauses of loops inside [stmts]. *)
+let reduction_vars stmts =
+  fold_stmts
+    (fun acc s ->
+      let clause_reds clauses =
+        List.concat_map
+          (function Cl_reduction (_, names) -> names | _ -> [])
+          clauses
+      in
+      match s.s_kind with
+      | Omp_parallel_do { pd_clauses; _ } -> clause_reds pd_clauses @ acc
+      | Acc_parallel_loop { apl_clauses; _ } -> clause_reds apl_clauses @ acc
+      | _ -> acc)
+    [] stmts
+  |> List.sort_uniq String.compare
+
+let string_of_base_type = function
+  | Ty_integer -> "integer"
+  | Ty_real -> "real"
+  | Ty_double -> "double precision"
+  | Ty_logical -> "logical"
+
+let string_of_binop = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Pow -> "**"
+  | Eq -> "=="
+  | Ne -> "/="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> ".and."
+  | Or -> ".or."
+
+let string_of_map_kind = function
+  | Map_to -> "to"
+  | Map_from -> "from"
+  | Map_tofrom -> "tofrom"
+  | Map_alloc -> "alloc"
+
+let string_of_reduction_op = function
+  | Red_add -> "+"
+  | Red_mul -> "*"
+  | Red_max -> "max"
+  | Red_min -> "min"

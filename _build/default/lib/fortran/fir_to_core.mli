@@ -1,0 +1,8 @@
+(** FIR -> core dialect lowering, mirroring the flow of the paper's
+    reference [3]: fir.alloca/load/store become memref ops,
+    fir.do_loop/if become scf ops (converting Fortran's inclusive upper
+    bound), fir.declare folds away and fir.convert expands to arith casts.
+    omp and acc operations pass through untouched. *)
+
+val run : Ftn_ir.Op.t -> Ftn_ir.Op.t
+val pass : Ftn_ir.Pass.t

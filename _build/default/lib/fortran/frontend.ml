@@ -1,0 +1,36 @@
+(* Frontend driver: Fortran source text -> FIR+omp module -> core-dialect
+   module. Collects the stage results so tools can inspect each level, as
+   mlir-opt would between passes. *)
+
+exception Frontend_error of string
+
+let () = Ftn_dialects.Registry.register_all ()
+
+let wrap_errors f =
+  try f () with
+  | Src_lexer.Lex_error (msg, line) ->
+    raise (Frontend_error (Fmt.str "lexical error at line %d: %s" line msg))
+  | Src_parser.Parse_error (msg, line) ->
+    raise (Frontend_error (Fmt.str "syntax error at line %d: %s" line msg))
+  | Omp_parser.Omp_error msg ->
+    raise (Frontend_error (Fmt.str "OpenMP directive error: %s" msg))
+  | Sema.Sema_error (msg, line) ->
+    raise (Frontend_error (Fmt.str "semantic error at line %d: %s" line msg))
+  | Lower_fir.Lower_error (msg, line) ->
+    raise (Frontend_error (Fmt.str "lowering error at line %d: %s" line msg))
+
+let parse source = wrap_errors (fun () -> Src_parser.parse source)
+
+let check source = wrap_errors (fun () -> Sema.check (Src_parser.parse source))
+
+(* Fortran source -> FIR + omp dialect module (Flang's output level). *)
+let to_fir source = wrap_errors (fun () -> Lower_fir.lower (check source))
+
+(* Fortran source -> core dialects + omp (the level the paper's device
+   passes consume, after the lowering of [3]). *)
+let to_core source = Fir_to_core.run (to_fir source)
+
+let to_core_verified source =
+  let m = to_core source in
+  Ftn_ir.Verifier.verify_exn m;
+  m

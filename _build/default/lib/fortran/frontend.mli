@@ -1,0 +1,18 @@
+(** Frontend driver: Fortran source text to IR, mirroring Flang's stages.
+    All frontend exceptions are normalised into {!Frontend_error} with
+    line information in the message. *)
+
+exception Frontend_error of string
+
+val parse : string -> Ast.program
+val check : string -> Sema.checked
+
+val to_fir : string -> Ftn_ir.Op.t
+(** Source -> FIR + omp dialect module (Flang's output level). *)
+
+val to_core : string -> Ftn_ir.Op.t
+(** Source -> core dialects + omp (the level the device passes consume,
+    after the lowering of [3]). *)
+
+val to_core_verified : string -> Ftn_ir.Op.t
+(** [to_core] followed by IR verification. *)

@@ -1,0 +1,16 @@
+(** Lowering from the checked Fortran AST into FIR + omp/acc dialect IR —
+    the stage Flang performs in the paper's Figure 1.
+
+    Storage model: scalars live in rank-0 memrefs, arrays in memrefs whose
+    dimensions are the reverse of the Fortran shape (so column-major
+    adjacency maps onto the fastest-varying memref dimension); subscripts
+    are reversed and shifted to 0-based. Dummy arguments pass as memrefs
+    (by-reference semantics). Implicit device mappings follow Section 3 of
+    the paper, with scalars written in a region (including reduction
+    variables) mapped tofrom. *)
+
+exception Lower_error of string * int
+
+val lower : Sema.checked -> Ftn_ir.Op.t
+(** Whole-program lowering into one [builtin.module] with module-wide
+    unique SSA ids. *)

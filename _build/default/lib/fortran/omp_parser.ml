@@ -1,0 +1,185 @@
+(* Parser for the text of '!$omp ...' directives: the subset of OpenMP the
+   paper's flow supports — target offload with data mapping, structured and
+   unstructured data regions, update, and worksharing loops with simd /
+   simdlen / reduction / collapse clauses. *)
+
+exception Omp_error of string
+
+type directive =
+  | Target of {
+      clauses : Ast.omp_clause list;
+      combined_loop : combined option;
+          (** For combined constructs like [target parallel do simd]. *)
+    }
+  | Target_data of Ast.omp_clause list
+  | Target_enter_data of Ast.omp_clause list
+  | Target_exit_data of Ast.omp_clause list
+  | Target_update of Ast.omp_clause list
+  | Parallel_do of {
+      simd : bool;
+      clauses : Ast.omp_clause list;
+    }
+  | Simd of Ast.omp_clause list
+  | End_directive of string
+      (** Canonical construct name: "target", "target data",
+          "parallel do", "target parallel do", ... *)
+
+and combined = { c_simd : bool }
+
+(* --- scanner over the directive text --- *)
+
+type tok =
+  | Word of string
+  | Lp
+  | Rp
+  | Comma
+  | Colon
+  | Plus
+  | Star
+  | Num of int
+
+let scan text =
+  let n = String.length text in
+  let out = ref [] in
+  let i = ref 0 in
+  let is_word c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  while !i < n do
+    let c = text.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && text.[!i] >= '0' && text.[!i] <= '9' do
+        incr i
+      done;
+      out := Num (int_of_string (String.sub text start (!i - start))) :: !out
+    end
+    else if is_word c then begin
+      let start = !i in
+      while !i < n && is_word text.[!i] do
+        incr i
+      done;
+      out :=
+        Word (String.lowercase_ascii (String.sub text start (!i - start)))
+        :: !out
+    end
+    else begin
+      incr i;
+      match c with
+      | '(' -> out := Lp :: !out
+      | ')' -> out := Rp :: !out
+      | ',' -> out := Comma :: !out
+      | ':' -> out := Colon :: !out
+      | '+' -> out := Plus :: !out
+      | '*' -> out := Star :: !out
+      | c -> raise (Omp_error (Fmt.str "unexpected %C in directive" c))
+    end
+  done;
+  List.rev !out
+
+(* --- clause parsing --- *)
+
+let parse_name_list toks =
+  (* name {, name} ) — returns names and remaining tokens past Rp. *)
+  let rec go acc = function
+    | Word w :: Comma :: rest -> go (w :: acc) rest
+    | Word w :: Rp :: rest -> (List.rev (w :: acc), rest)
+    | _ -> raise (Omp_error "expected variable list")
+  in
+  go [] toks
+
+let parse_clauses toks =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | Word "map" :: Lp :: rest -> (
+      match rest with
+      | Word kind :: Colon :: rest ->
+        let kind =
+          match kind with
+          | "to" -> Ast.Map_to
+          | "from" -> Ast.Map_from
+          | "tofrom" -> Ast.Map_tofrom
+          | "alloc" -> Ast.Map_alloc
+          | other -> raise (Omp_error ("unknown map type " ^ other))
+        in
+        let names, rest = parse_name_list rest in
+        go (Ast.Cl_map (kind, names) :: acc) rest
+      | _ ->
+        (* map(a, b) defaults to tofrom *)
+        let names, rest = parse_name_list rest in
+        go (Ast.Cl_map (Ast.Map_tofrom, names) :: acc) rest)
+    | Word "simdlen" :: Lp :: Num k :: Rp :: rest ->
+      go (Ast.Cl_simdlen k :: acc) rest
+    | Word "safelen" :: Lp :: Num k :: Rp :: rest ->
+      go (Ast.Cl_safelen k :: acc) rest
+    | Word "collapse" :: Lp :: Num k :: Rp :: rest ->
+      go (Ast.Cl_collapse k :: acc) rest
+    | Word "reduction" :: Lp :: op :: Colon :: rest ->
+      let red =
+        match op with
+        | Plus -> Ast.Red_add
+        | Star -> Ast.Red_mul
+        | Word "max" -> Ast.Red_max
+        | Word "min" -> Ast.Red_min
+        | _ -> raise (Omp_error "unknown reduction operator")
+      in
+      let names, rest = parse_name_list rest in
+      go (Ast.Cl_reduction (red, names) :: acc) rest
+    | Word "private" :: Lp :: rest ->
+      let names, rest = parse_name_list rest in
+      go (Ast.Cl_private names :: acc) rest
+    | Word "firstprivate" :: Lp :: rest ->
+      let names, rest = parse_name_list rest in
+      go (Ast.Cl_firstprivate names :: acc) rest
+    | Word "from" :: Lp :: rest ->
+      let names, rest = parse_name_list rest in
+      go (Ast.Cl_from names :: acc) rest
+    | Word "to" :: Lp :: rest ->
+      let names, rest = parse_name_list rest in
+      go (Ast.Cl_to names :: acc) rest
+    | Word w :: _ -> raise (Omp_error ("unknown clause " ^ w))
+    | _ -> raise (Omp_error "malformed clause list")
+  in
+  go [] toks
+
+(* --- directive parsing --- *)
+
+let parse text =
+  match scan text with
+  | Word "end" :: rest ->
+    let words =
+      List.filter_map (function Word w -> Some w | _ -> None) rest
+    in
+    End_directive (String.concat " " words)
+  | Word "target" :: Word "data" :: rest -> Target_data (parse_clauses rest)
+  | Word "target" :: Word "enter" :: Word "data" :: rest ->
+    Target_enter_data (parse_clauses rest)
+  | Word "target" :: Word "exit" :: Word "data" :: rest ->
+    Target_exit_data (parse_clauses rest)
+  | Word "target" :: Word "update" :: rest ->
+    Target_update (parse_clauses rest)
+  | Word "target" :: Word "parallel" :: Word "do" :: Word "simd" :: rest ->
+    Target
+      { clauses = parse_clauses rest; combined_loop = Some { c_simd = true } }
+  | Word "target" :: Word "parallel" :: Word "do" :: rest ->
+    Target
+      { clauses = parse_clauses rest; combined_loop = Some { c_simd = false } }
+  | Word "target" :: rest ->
+    Target { clauses = parse_clauses rest; combined_loop = None }
+  | Word "parallel" :: Word "do" :: Word "simd" :: rest ->
+    Parallel_do { simd = true; clauses = parse_clauses rest }
+  | Word "parallel" :: Word "do" :: rest ->
+    Parallel_do { simd = false; clauses = parse_clauses rest }
+  | Word "simd" :: rest -> Simd (parse_clauses rest)
+  | Word w :: _ -> raise (Omp_error ("unsupported OpenMP directive " ^ w))
+  | _ -> raise (Omp_error "empty OpenMP directive")
+
+(* Split the clauses of a combined construct between the target part (data
+   mapping) and the loop part (everything else). *)
+let split_combined_clauses clauses =
+  List.partition
+    (function Ast.Cl_map _ -> true | _ -> false)
+    clauses

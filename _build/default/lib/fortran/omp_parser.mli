@@ -1,0 +1,44 @@
+(** Parser for '!$omp' directive text: the OpenMP subset of the paper —
+    target offload with data mapping, structured and unstructured data
+    regions, update, and worksharing loops with simd/simdlen/reduction/
+    collapse clauses. *)
+
+exception Omp_error of string
+
+type directive =
+  | Target of {
+      clauses : Ast.omp_clause list;
+      combined_loop : combined option;
+          (** Set for combined constructs like [target parallel do simd]. *)
+    }
+  | Target_data of Ast.omp_clause list
+  | Target_enter_data of Ast.omp_clause list
+  | Target_exit_data of Ast.omp_clause list
+  | Target_update of Ast.omp_clause list
+  | Parallel_do of {
+      simd : bool;
+      clauses : Ast.omp_clause list;
+    }
+  | Simd of Ast.omp_clause list
+  | End_directive of string  (** Canonical construct name. *)
+
+and combined = { c_simd : bool }
+
+(** Directive-text tokens, shared with {!Acc_parser}. *)
+type tok =
+  | Word of string
+  | Lp
+  | Rp
+  | Comma
+  | Colon
+  | Plus
+  | Star
+  | Num of int
+
+val scan : string -> tok list
+val parse_clauses : tok list -> Ast.omp_clause list
+val parse : string -> directive
+
+val split_combined_clauses :
+  Ast.omp_clause list -> Ast.omp_clause list * Ast.omp_clause list
+(** (map clauses for the target part, remaining loop clauses). *)

@@ -1,0 +1,35 @@
+(** Semantic analysis: per-unit symbol tables, resolution of the
+    array-reference / intrinsic / user-function ambiguity, named-constant
+    folding, and type checking. The checked AST plus the symbol tables
+    feed the FIR lowering. *)
+
+exception Sema_error of string * int
+
+type dim =
+  | Dim_const of int
+  | Dim_expr of Ast.expr  (** Extent known only at runtime (dummy args). *)
+
+type symbol = {
+  sym_name : string;
+  sym_type : Ast.base_type;
+  sym_dims : dim list;  (** Empty for scalars. *)
+  sym_is_dummy : bool;
+  sym_constant : Ast.expr option;  (** Folded value of named constants. *)
+}
+
+module Env : Map.S with type key = string
+
+type unit_info = {
+  ui_unit : Ast.program_unit;  (** With call nodes resolved. *)
+  ui_symbols : symbol Env.t;
+}
+
+type checked = unit_info list
+
+val is_intrinsic : string -> bool
+val fold_const : symbol Env.t -> Ast.expr -> Ast.expr option
+val const_int : symbol Env.t -> Ast.expr -> int option
+val expr_type : symbol Env.t -> int -> Ast.expr -> Ast.base_type
+(** Raises {!Sema_error} on ill-typed expressions. *)
+
+val check : Ast.program -> checked

@@ -1,0 +1,49 @@
+(** Lexer for free-form Fortran: case-insensitive, '!' comments, '&'
+    continuations, and the '!$omp' / '!$acc' sentinels (whose directive
+    text passes through as single tokens for the directive parsers). *)
+
+type token =
+  | IDENT of string  (** Lower-cased. *)
+  | INT of int
+  | REAL of float * bool  (** value, is-double-precision *)
+  | STRING of string
+  | TRUE
+  | FALSE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | POW
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLONCOLON
+  | COLON
+  | ASSIGN
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | AND
+  | OR
+  | NOT
+  | PERCENT
+  | NEWLINE
+  | OMP of string  (** Directive text following the !$omp sentinel. *)
+  | ACC of string  (** Directive text following the !$acc sentinel. *)
+  | EOF
+
+type spanned = {
+  tok : token;
+  line : int;
+}
+
+exception Lex_error of string * int
+
+val string_of_token : token -> string
+
+val tokenize : string -> spanned list
+(** Whole-source tokenisation; each logical line ends in [NEWLINE] and the
+    stream in [EOF]. *)

@@ -1,0 +1,752 @@
+(* Recursive-descent parser for the Fortran subset. Fortran has no reserved
+   words, so statements are dispatched on the leading identifier. OpenMP
+   directives arrive as single OMP tokens from the lexer and are parsed by
+   Omp_parser; this module pairs begin/end directives with the statements
+   they enclose. *)
+
+open Src_lexer
+
+exception Parse_error of string * int
+
+type state = {
+  toks : spanned array;
+  mutable pos : int;
+}
+
+let error st msg =
+  let line = if st.pos < Array.length st.toks then st.toks.(st.pos).line else 0 in
+  raise (Parse_error (msg, line))
+
+let cur st = st.toks.(st.pos).tok
+let cur_line st = st.toks.(st.pos).line
+let peek st k =
+  if st.pos + k < Array.length st.toks then st.toks.(st.pos + k).tok else EOF
+
+let advance st = st.pos <- st.pos + 1
+
+let accept st tok =
+  if cur st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect st tok =
+  if not (accept st tok) then
+    error st
+      (Fmt.str "expected %s, found %s" (string_of_token tok)
+         (string_of_token (cur st)))
+
+let accept_ident st name =
+  match cur st with
+  | IDENT s when String.equal s name ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_ident st name =
+  if not (accept_ident st name) then
+    error st
+      (Fmt.str "expected %S, found %s" name (string_of_token (cur st)))
+
+let parse_name st =
+  match cur st with
+  | IDENT s ->
+    advance st;
+    s
+  | tok -> error st (Fmt.str "expected a name, found %s" (string_of_token tok))
+
+let skip_newlines st =
+  while cur st = NEWLINE do
+    advance st
+  done
+
+let expect_end_of_stmt st =
+  match cur st with
+  | NEWLINE -> skip_newlines st
+  | EOF -> ()
+  | tok ->
+    error st (Fmt.str "unexpected %s at end of statement" (string_of_token tok))
+
+(* --- expressions --- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept st OR then Ast.Binop (Ast.Or, lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept st AND then Ast.Binop (Ast.And, lhs, parse_and st) else lhs
+
+and parse_not st =
+  if accept st NOT then Ast.Unop (Ast.Not, parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let relop =
+    match cur st with
+    | EQ -> Some Ast.Eq
+    | NE -> Some Ast.Ne
+    | LT -> Some Ast.Lt
+    | LE -> Some Ast.Le
+    | GT -> Some Ast.Gt
+    | GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match relop with
+  | Some op ->
+    advance st;
+    Ast.Binop (op, lhs, parse_add st)
+  | None -> lhs
+
+and parse_add st =
+  let rec go lhs =
+    if accept st PLUS then go (Ast.Binop (Ast.Add, lhs, parse_mul st))
+    else if accept st MINUS then go (Ast.Binop (Ast.Sub, lhs, parse_mul st))
+    else lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    if accept st STAR then go (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    else if accept st SLASH then go (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    else lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  if accept st MINUS then Ast.Unop (Ast.Neg, parse_unary st)
+  else if accept st PLUS then parse_unary st
+  else parse_power st
+
+and parse_power st =
+  let base = parse_primary st in
+  if accept st POW then Ast.Binop (Ast.Pow, base, parse_unary st) else base
+
+and parse_primary st =
+  match cur st with
+  | INT n ->
+    advance st;
+    Ast.Int_lit n
+  | REAL (x, is_double) ->
+    advance st;
+    Ast.Real_lit (x, if is_double then Ast.Ty_double else Ast.Ty_real)
+  | TRUE ->
+    advance st;
+    Ast.Logical_lit true
+  | FALSE ->
+    advance st;
+    Ast.Logical_lit false
+  | LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st RPAREN;
+    e
+  | IDENT name ->
+    advance st;
+    if accept st LPAREN then begin
+      let args = parse_expr_list st in
+      expect st RPAREN;
+      Ast.Index (name, args)
+    end
+    else Ast.Var name
+  | tok ->
+    error st (Fmt.str "expected expression, found %s" (string_of_token tok))
+
+and parse_expr_list st =
+  let rec go acc =
+    let e = parse_expr st in
+    if accept st COMMA then go (e :: acc) else List.rev (e :: acc)
+  in
+  go []
+
+(* --- declarations --- *)
+
+let type_keyword st =
+  match cur st with
+  | IDENT "integer" -> Some Ast.Ty_integer
+  | IDENT "real" -> Some Ast.Ty_real
+  | IDENT "logical" -> Some Ast.Ty_logical
+  | IDENT "double" -> (
+    match peek st 1 with
+    | IDENT "precision" -> Some Ast.Ty_double
+    | _ -> None)
+  | _ -> None
+
+let is_decl_start st =
+  match type_keyword st with
+  | Some _ -> (
+    (* Distinguish a declaration from "real function foo" and from an
+       assignment to a variable that happens to be named like a type. *)
+    match peek st 1 with
+    | ASSIGN | LPAREN -> ( match peek st 1 with ASSIGN -> false | _ -> true)
+    | _ -> true)
+  | None -> ( match cur st with IDENT "implicit" -> true | _ -> false)
+
+let parse_dims st =
+  (* (e1, e2, ...) — '*' or ':' assumed-size dims map to dynamic extents. *)
+  let parse_dim st =
+    if accept st STAR then Ast.Int_lit (-1)
+    else if accept st COLON then Ast.Int_lit (-1)
+    else parse_expr st
+  in
+  let rec go acc =
+    let d = parse_dim st in
+    if accept st COMMA then go (d :: acc) else List.rev (d :: acc)
+  in
+  let dims = go [] in
+  expect st RPAREN;
+  dims
+
+let parse_declaration st =
+  if accept_ident st "implicit" then begin
+    expect_ident st "none";
+    expect_end_of_stmt st;
+    []
+  end
+  else begin
+    let line = cur_line st in
+    let base =
+      match type_keyword st with
+      | Some Ast.Ty_double ->
+        advance st;
+        advance st;
+        Ast.Ty_double
+      | Some ty ->
+        advance st;
+        ty
+      | None -> error st "expected type declaration"
+    in
+    (* kind spec like real*8 or real(8) / real(kind=8) *)
+    let base =
+      if accept st STAR then begin
+        match cur st with
+        | INT 8 ->
+          advance st;
+          if base = Ast.Ty_real then Ast.Ty_double else base
+        | INT _ ->
+          advance st;
+          base
+        | _ -> error st "expected kind after '*'"
+      end
+      else base
+    in
+    let intent = ref Ast.Intent_none in
+    let is_parameter = ref false in
+    let common_dims = ref [] in
+    let rec parse_attrs () =
+      if accept st COMMA then begin
+        (match cur st with
+        | IDENT "intent" ->
+          advance st;
+          expect st LPAREN;
+          (match cur st with
+          | IDENT "in" -> intent := Ast.Intent_in
+          | IDENT "out" -> intent := Ast.Intent_out
+          | IDENT "inout" -> intent := Ast.Intent_inout
+          | _ -> error st "expected in, out or inout");
+          advance st;
+          expect st RPAREN
+        | IDENT "parameter" ->
+          advance st;
+          is_parameter := true
+        | IDENT "dimension" ->
+          advance st;
+          expect st LPAREN;
+          common_dims := parse_dims st
+        | IDENT other -> error st ("unsupported attribute " ^ other)
+        | _ -> error st "expected attribute");
+        parse_attrs ()
+      end
+    in
+    parse_attrs ();
+    let _ = accept st COLONCOLON in
+    let parse_item () =
+      let name = parse_name st in
+      let dims =
+        if accept st LPAREN then parse_dims st else !common_dims
+      in
+      let value =
+        if accept st ASSIGN then Some (parse_expr st) else None
+      in
+      if !is_parameter && value = None then
+        error st ("parameter " ^ name ^ " needs a value");
+      {
+        Ast.d_name = name;
+        d_type = base;
+        d_dims = dims;
+        d_intent = !intent;
+        d_parameter = (if !is_parameter then value else None);
+        d_line = line;
+      }
+    in
+    let rec go acc =
+      let d = parse_item () in
+      if accept st COMMA then go (d :: acc) else List.rev (d :: acc)
+    in
+    let decls = go [] in
+    expect_end_of_stmt st;
+    decls
+  end
+
+(* --- statements --- *)
+
+(* Does the current position hold an OpenMP end-directive matching
+   [construct]? *)
+let at_omp_end st construct =
+  match cur st with
+  | OMP text -> (
+    match Omp_parser.parse text with
+    | Omp_parser.End_directive name -> String.equal name construct
+    | _ -> false
+    | exception Omp_parser.Omp_error _ -> false)
+  | _ -> false
+
+let at_acc_end st construct =
+  match cur st with
+  | ACC text -> (
+    match Acc_parser.parse text with
+    | Acc_parser.End_directive name -> String.equal name construct
+    | _ -> false
+    | exception Acc_parser.Acc_error _ -> false)
+  | _ -> false
+
+let stmt line kind = { Ast.s_line = line; s_kind = kind }
+
+let rec parse_stmts st ~stop =
+  let rec go acc =
+    skip_newlines st;
+    if stop () || cur st = EOF then List.rev acc
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt st =
+  let line = cur_line st in
+  match cur st with
+  | OMP text -> parse_omp_stmt st line text
+  | ACC text -> parse_acc_stmt st line text
+  | IDENT "do" -> (
+    match peek st 1 with
+    | IDENT "while" ->
+      advance st;
+      advance st;
+      expect st LPAREN;
+      let cond = parse_expr st in
+      expect st RPAREN;
+      expect_end_of_stmt st;
+      let body =
+        parse_stmts st ~stop:(fun () ->
+            match (cur st, peek st 1) with
+            | IDENT "end", IDENT "do" -> true
+            | IDENT "enddo", _ -> true
+            | _ -> false)
+      in
+      (if accept_ident st "enddo" then ()
+       else begin
+         expect_ident st "end";
+         expect_ident st "do"
+       end);
+      expect_end_of_stmt st;
+      stmt line (Ast.Do_while (cond, body))
+    | _ ->
+      advance st;
+      stmt line (Ast.Do (parse_do_tail st)))
+  | IDENT "if" ->
+    advance st;
+    parse_if st line
+  | IDENT "call" ->
+    advance st;
+    let name = parse_name st in
+    let args =
+      if accept st LPAREN then begin
+        if accept st RPAREN then []
+        else
+          let args = parse_expr_list st in
+          expect st RPAREN;
+          args
+      end
+      else []
+    in
+    expect_end_of_stmt st;
+    stmt line (Ast.Call (name, args))
+  | IDENT "print" ->
+    advance st;
+    expect st STAR;
+    let args =
+      if accept st COMMA then parse_print_items st else []
+    in
+    expect_end_of_stmt st;
+    stmt line (Ast.Print args)
+  | IDENT "write" ->
+    (* write(*,*) items — list-directed output, same as print *)
+    advance st;
+    expect st LPAREN;
+    expect st STAR;
+    expect st COMMA;
+    expect st STAR;
+    expect st RPAREN;
+    let args =
+      match cur st with
+      | NEWLINE | EOF -> []
+      | _ -> parse_print_items st
+    in
+    expect_end_of_stmt st;
+    stmt line (Ast.Print args)
+  | IDENT "exit" ->
+    advance st;
+    expect_end_of_stmt st;
+    stmt line Ast.Exit_stmt
+  | IDENT "cycle" ->
+    advance st;
+    expect_end_of_stmt st;
+    stmt line Ast.Cycle_stmt
+  | IDENT _ ->
+    (* assignment: lvalue = expr *)
+    let lhs = parse_primary st in
+    (match lhs with
+    | Ast.Var _ | Ast.Index _ -> ()
+    | _ -> error st "expected assignment target");
+    expect st ASSIGN;
+    let rhs = parse_expr st in
+    expect_end_of_stmt st;
+    stmt line (Ast.Assign (lhs, rhs))
+  | tok -> error st (Fmt.str "unexpected %s" (string_of_token tok))
+
+and parse_print_items st =
+  (* print *, items — string literals are allowed and kept as variables
+     of a pseudo kind; we only support expressions and strings. *)
+  let parse_item () =
+    match cur st with
+    | STRING s ->
+      advance st;
+      (* Strings in print are represented as an intrinsic marker. *)
+      Ast.Intrinsic ("__str", [ Ast.Var s ])
+    | _ -> parse_expr st
+  in
+  let rec go acc =
+    let e = parse_item () in
+    if accept st COMMA then go (e :: acc) else List.rev (e :: acc)
+  in
+  go []
+
+and parse_do_tail st =
+  (* after the 'do' keyword: var = lb, ub [, step] NEWLINE body end do *)
+  let var = parse_name st in
+  expect st ASSIGN;
+  let lb = parse_expr st in
+  expect st COMMA;
+  let ub = parse_expr st in
+  let step = if accept st COMMA then Some (parse_expr st) else None in
+  expect_end_of_stmt st;
+  let body =
+    parse_stmts st ~stop:(fun () ->
+        match (cur st, peek st 1) with
+        | IDENT "end", IDENT "do" -> true
+        | IDENT "enddo", _ -> true
+        | _ -> false)
+  in
+  (if accept_ident st "enddo" then ()
+   else begin
+     expect_ident st "end";
+     expect_ident st "do"
+   end);
+  expect_end_of_stmt st;
+  { Ast.do_var = var; do_lb = lb; do_ub = ub; do_step = step; do_body = body }
+
+and parse_if st line =
+  expect st LPAREN;
+  let cond = parse_expr st in
+  expect st RPAREN;
+  if accept_ident st "then" then begin
+    expect_end_of_stmt st;
+    let stop () =
+      match (cur st, peek st 1) with
+      | IDENT "else", _ -> true
+      | IDENT "elseif", _ -> true
+      | IDENT "end", IDENT "if" -> true
+      | IDENT "endif", _ -> true
+      | _ -> false
+    in
+    let then_body = parse_stmts st ~stop in
+    let rec parse_tail arms =
+      if accept_ident st "elseif" then parse_elseif arms
+      else if accept_ident st "else" then
+        if accept_ident st "if" then parse_elseif arms
+        else begin
+          expect_end_of_stmt st;
+          let else_body = parse_stmts st ~stop in
+          close_if ();
+          (List.rev arms, else_body)
+        end
+      else begin
+        close_if ();
+        (List.rev arms, [])
+      end
+    and parse_elseif arms =
+      expect st LPAREN;
+      let c = parse_expr st in
+      expect st RPAREN;
+      expect_ident st "then";
+      expect_end_of_stmt st;
+      let body = parse_stmts st ~stop in
+      parse_tail ((c, body) :: arms)
+    and close_if () =
+      if accept_ident st "endif" then ()
+      else begin
+        expect_ident st "end";
+        expect_ident st "if"
+      end;
+      expect_end_of_stmt st
+    in
+    let arms, else_body = parse_tail [] in
+    stmt line (Ast.If ((cond, then_body) :: arms, else_body))
+  end
+  else begin
+    (* one-line if *)
+    let body = parse_stmt st in
+    stmt line (Ast.If ([ (cond, [ body ]) ], []))
+  end
+
+and parse_omp_stmt st line text =
+  let directive =
+    try Omp_parser.parse text
+    with Omp_parser.Omp_error msg -> raise (Parse_error (msg, line))
+  in
+  advance st;
+  (* past the OMP token *)
+  skip_newlines st;
+  match directive with
+  | Omp_parser.Target { clauses; combined_loop = Some { c_simd } } ->
+    let map_clauses, loop_clauses =
+      Omp_parser.split_combined_clauses clauses
+    in
+    let loop = parse_do_stmt st in
+    let construct =
+      if c_simd then "target parallel do simd" else "target parallel do"
+    in
+    consume_optional_end st construct;
+    stmt line
+      (Ast.Omp_target
+         ( map_clauses,
+           [
+             stmt line
+               (Ast.Omp_parallel_do
+                  {
+                    pd_simd = c_simd;
+                    pd_clauses = loop_clauses;
+                    pd_loop = loop;
+                    pd_line = line;
+                  });
+           ] ))
+  | Omp_parser.Target { clauses; combined_loop = None } ->
+    let body = parse_stmts st ~stop:(fun () -> at_omp_end st "target") in
+    consume_end st "target" line;
+    stmt line (Ast.Omp_target (clauses, body))
+  | Omp_parser.Target_data clauses ->
+    let body =
+      parse_stmts st ~stop:(fun () -> at_omp_end st "target data")
+    in
+    consume_end st "target data" line;
+    stmt line (Ast.Omp_target_data (clauses, body))
+  | Omp_parser.Target_enter_data clauses ->
+    stmt line (Ast.Omp_target_enter_data clauses)
+  | Omp_parser.Target_exit_data clauses ->
+    stmt line (Ast.Omp_target_exit_data clauses)
+  | Omp_parser.Target_update clauses ->
+    stmt line (Ast.Omp_target_update clauses)
+  | Omp_parser.Parallel_do { simd; clauses } ->
+    let loop = parse_do_stmt st in
+    consume_optional_end st
+      (if simd then "parallel do simd" else "parallel do");
+    stmt line
+      (Ast.Omp_parallel_do
+         { pd_simd = simd; pd_clauses = clauses; pd_loop = loop; pd_line = line })
+  | Omp_parser.Simd clauses ->
+    let loop = parse_do_stmt st in
+    consume_optional_end st "simd";
+    stmt line
+      (Ast.Omp_parallel_do
+         { pd_simd = true; pd_clauses = clauses; pd_loop = loop; pd_line = line })
+  | Omp_parser.End_directive name ->
+    raise (Parse_error ("unmatched !$omp end " ^ name, line))
+
+and parse_acc_stmt st line text =
+  let directive =
+    try Acc_parser.parse text
+    with Acc_parser.Acc_error msg -> raise (Parse_error (msg, line))
+  in
+  advance st;
+  skip_newlines st;
+  match directive with
+  | Acc_parser.Parallel_loop clauses ->
+    let loop = parse_do_stmt st in
+    skip_newlines st;
+    if at_acc_end st "parallel loop" || at_acc_end st "kernels loop" then begin
+      advance st;
+      skip_newlines st
+    end;
+    stmt line
+      (Ast.Acc_parallel_loop
+         { apl_clauses = clauses; apl_loop = loop; apl_line = line })
+  | Acc_parser.Data clauses ->
+    let body = parse_stmts st ~stop:(fun () -> at_acc_end st "data") in
+    skip_newlines st;
+    if at_acc_end st "data" then begin
+      advance st;
+      skip_newlines st
+    end
+    else raise (Parse_error ("missing !$acc end data", line));
+    stmt line (Ast.Acc_data (clauses, body))
+  | Acc_parser.Enter_data clauses -> stmt line (Ast.Acc_enter_data clauses)
+  | Acc_parser.Exit_data clauses -> stmt line (Ast.Acc_exit_data clauses)
+  | Acc_parser.Update clauses -> stmt line (Ast.Acc_update clauses)
+  | Acc_parser.End_directive name ->
+    raise (Parse_error ("unmatched !$acc end " ^ name, line))
+
+and parse_do_stmt st =
+  skip_newlines st;
+  match cur st with
+  | IDENT "do" ->
+    advance st;
+    parse_do_tail st
+  | _ -> error st "expected a do loop after OpenMP loop directive"
+
+and consume_end st construct line =
+  skip_newlines st;
+  if at_omp_end st construct then begin
+    advance st;
+    skip_newlines st
+  end
+  else raise (Parse_error ("missing !$omp end " ^ construct, line))
+
+and consume_optional_end st construct =
+  skip_newlines st;
+  (* 'end target parallel do' also accepts the shorter 'end target
+     parallel do simd' mismatch being reported by at_omp_end. *)
+  if at_omp_end st construct then begin
+    advance st;
+    skip_newlines st
+  end
+
+(* --- program units --- *)
+
+let parse_unit_body st ~unit_end =
+  skip_newlines st;
+  let decls = ref [] in
+  while
+    skip_newlines st;
+    is_decl_start st
+  do
+    decls := !decls @ parse_declaration st
+  done;
+  let body = parse_stmts st ~stop:unit_end in
+  (!decls, body)
+
+let parse_end_unit st keyword =
+  expect_ident st "end";
+  if accept_ident st keyword then begin
+    match cur st with
+    | IDENT _ ->
+      advance st;
+      expect_end_of_stmt st
+    | _ -> expect_end_of_stmt st
+  end
+  else expect_end_of_stmt st
+
+let unit_end st () =
+  match cur st with
+  | IDENT "end" -> (
+    match peek st 1 with
+    | NEWLINE | EOF -> true
+    | IDENT ("program" | "subroutine" | "function") -> true
+    | _ -> false)
+  | _ -> false
+
+let parse_program_unit st =
+  skip_newlines st;
+  let line = cur_line st in
+  if accept_ident st "program" then begin
+    let name = parse_name st in
+    expect_end_of_stmt st;
+    let decls, body = parse_unit_body st ~unit_end:(unit_end st) in
+    parse_end_unit st "program";
+    {
+      Ast.u_kind = Ast.Main_program;
+      u_name = name;
+      u_params = [];
+      u_decls = decls;
+      u_body = body;
+      u_line = line;
+    }
+  end
+  else if accept_ident st "subroutine" then begin
+    let name = parse_name st in
+    let params =
+      if accept st LPAREN then begin
+        if accept st RPAREN then []
+        else
+          let rec go acc =
+            let p = parse_name st in
+            if accept st COMMA then go (p :: acc) else List.rev (p :: acc)
+          in
+          let ps = go [] in
+          expect st RPAREN;
+          ps
+      end
+      else []
+    in
+    expect_end_of_stmt st;
+    let decls, body = parse_unit_body st ~unit_end:(unit_end st) in
+    parse_end_unit st "subroutine";
+    {
+      Ast.u_kind = Ast.Subroutine;
+      u_name = name;
+      u_params = params;
+      u_decls = decls;
+      u_body = body;
+      u_line = line;
+    }
+  end
+  else
+    match type_keyword st with
+    | Some result_ty when peek st 1 = IDENT "function" ->
+      advance st;
+      expect_ident st "function";
+      let name = parse_name st in
+      expect st LPAREN;
+      let params =
+        if accept st RPAREN then []
+        else
+          let rec go acc =
+            let p = parse_name st in
+            if accept st COMMA then go (p :: acc) else List.rev (p :: acc)
+          in
+          let ps = go [] in
+          expect st RPAREN;
+          ps
+      in
+      expect_end_of_stmt st;
+      let decls, body = parse_unit_body st ~unit_end:(unit_end st) in
+      parse_end_unit st "function";
+      {
+        Ast.u_kind = Ast.Function result_ty;
+        u_name = name;
+        u_params = params;
+        u_decls = decls;
+        u_body = body;
+        u_line = line;
+      }
+    | _ -> error st "expected program, subroutine or function"
+
+let parse source =
+  let toks = Array.of_list (Src_lexer.tokenize source) in
+  let st = { toks; pos = 0 } in
+  let rec go acc =
+    skip_newlines st;
+    if cur st = EOF then List.rev acc else go (parse_program_unit st :: acc)
+  in
+  go []

@@ -1,0 +1,8 @@
+(** Recursive-descent parser for the Fortran subset. Directive tokens from
+    the lexer are parsed by {!Omp_parser} / {!Acc_parser}; this module
+    pairs begin/end directives with the statements they enclose. *)
+
+exception Parse_error of string * int
+(** Message and source line. *)
+
+val parse : string -> Ast.program

@@ -1,0 +1,1 @@
+lib/hlsim/bitstream.ml: Ftn_ir List Resources Schedule String

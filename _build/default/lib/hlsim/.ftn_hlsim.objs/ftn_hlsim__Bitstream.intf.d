@@ -1,0 +1,1 @@
+lib/hlsim/bitstream.mli: Ftn_ir Resources Schedule

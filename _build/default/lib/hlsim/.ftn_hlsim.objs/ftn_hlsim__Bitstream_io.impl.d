@@ -1,0 +1,1 @@
+lib/hlsim/bitstream_io.ml: Bitstream Buffer Fmt Fpga_spec Ftn_ir List Option Resources String Synth

@@ -1,0 +1,1 @@
+lib/hlsim/bitstream_io.mli: Bitstream Fpga_spec

@@ -1,0 +1,1 @@
+lib/hlsim/dse.ml: Float Fmt Fpga_spec List Resources Schedule

@@ -1,0 +1,1 @@
+lib/hlsim/dse.mli: Format Fpga_spec Resources Schedule

@@ -1,0 +1,1 @@
+lib/hlsim/fpga_spec.mli:

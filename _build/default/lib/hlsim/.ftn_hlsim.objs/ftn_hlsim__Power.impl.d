@@ -1,0 +1,1 @@
+lib/hlsim/power.ml: Float Fpga_spec Option Resources

@@ -1,0 +1,1 @@
+lib/hlsim/power.mli: Fpga_spec Resources

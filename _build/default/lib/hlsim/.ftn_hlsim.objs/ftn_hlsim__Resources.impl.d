@@ -1,0 +1,1 @@
+lib/hlsim/resources.ml: Float Fmt Fpga_spec List Schedule

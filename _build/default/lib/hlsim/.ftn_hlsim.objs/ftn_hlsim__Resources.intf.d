@@ -1,0 +1,1 @@
+lib/hlsim/resources.mli: Format Fpga_spec Schedule

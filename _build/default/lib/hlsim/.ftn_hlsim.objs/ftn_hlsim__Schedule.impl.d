@@ -1,0 +1,1 @@
+lib/hlsim/schedule.ml: Arith Fmt Fpga_spec Ftn_dialects Ftn_ir Func_d Hashtbl Hls List Op Option Scf String Types Value

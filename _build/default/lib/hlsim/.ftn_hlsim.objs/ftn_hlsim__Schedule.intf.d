@@ -1,0 +1,1 @@
+lib/hlsim/schedule.mli: Format Fpga_spec Ftn_ir

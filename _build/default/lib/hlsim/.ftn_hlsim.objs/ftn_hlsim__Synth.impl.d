@@ -1,0 +1,1 @@
+lib/hlsim/synth.ml: Bitstream Fmt Fpga_spec Ftn_dialects Ftn_ir Func_d List Op Resources Schedule

@@ -1,0 +1,1 @@
+lib/hlsim/synth.mli: Bitstream Fpga_spec Ftn_ir Resources

@@ -1,0 +1,1 @@
+lib/hlsim/timing.ml: Float Fpga_spec Hashtbl List Option Schedule

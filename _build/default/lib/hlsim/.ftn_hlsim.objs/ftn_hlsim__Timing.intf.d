@@ -1,0 +1,1 @@
+lib/hlsim/timing.mli: Fpga_spec Hashtbl Schedule

@@ -1,0 +1,33 @@
+(* The packaged result of the simulated Vitis flow: the xclbin equivalent.
+   Carries the synthesised kernel designs that the host runtime programs
+   onto the simulated device. *)
+
+type kernel_design = {
+  kd_name : string;
+  kd_schedule : Schedule.kernel_schedule;
+  kd_resources : Resources.report;
+  kd_function : Ftn_ir.Op.t;  (** The kernel func.func for execution. *)
+}
+
+type t = {
+  xclbin_name : string;
+  device_name : string;
+  frontend : Resources.frontend;
+  kernels : kernel_design list;
+  build_log : string list;
+}
+
+let find_kernel t name =
+  List.find_opt (fun k -> String.equal k.kd_name name) t.kernels
+
+let total_resources t =
+  match t.kernels with
+  | [] -> None
+  | k :: _ ->
+    (* the shell is shared; kernel regions add up *)
+    let kernel_sum =
+      List.fold_left
+        (fun acc k -> Resources.add acc k.kd_resources.Resources.kernel)
+        Resources.zero t.kernels
+    in
+    Some (kernel_sum, k.kd_resources)

@@ -1,0 +1,23 @@
+(** The packaged result of the simulated Vitis flow — the xclbin
+    equivalent the host runtime programs onto the simulated device. *)
+
+type kernel_design = {
+  kd_name : string;
+  kd_schedule : Schedule.kernel_schedule;
+  kd_resources : Resources.report;
+  kd_function : Ftn_ir.Op.t;  (** The kernel func.func, for execution. *)
+}
+
+type t = {
+  xclbin_name : string;
+  device_name : string;
+  frontend : Resources.frontend;
+  kernels : kernel_design list;
+  build_log : string list;
+}
+
+val find_kernel : t -> string -> kernel_design option
+
+val total_resources : t -> (Resources.usage * Resources.report) option
+(** Sum of kernel regions plus a representative report (the shell is
+    shared); [None] for an empty bitstream. *)

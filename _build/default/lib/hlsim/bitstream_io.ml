@@ -1,0 +1,85 @@
+(* Bitstream (de)serialisation: the simulated xclbin. The container is a
+   small sectioned text format holding the build metadata and the device
+   module's kernels as printed IR; loading re-parses the IR and re-runs
+   scheduling and resource estimation (both deterministic), so a loaded
+   bitstream is indistinguishable from a freshly synthesised one. *)
+
+exception Format_error of string
+
+let magic = "FTN-XCLBIN v1"
+
+let save (bs : Bitstream.t) =
+  let buf = Buffer.create 4096 in
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%s" magic;
+  line "name: %s" bs.Bitstream.xclbin_name;
+  line "device: %s" bs.Bitstream.device_name;
+  line "frontend: %s"
+    (match bs.Bitstream.frontend with
+    | Resources.Clang_hls -> "clang"
+    | Resources.Mlir_flow -> "mlir");
+  List.iter (fun l -> line "log: %s" l) bs.Bitstream.build_log;
+  line "=== MODULE ===";
+  let device_module =
+    Ftn_ir.Op.module_op
+      ~attrs:[ ("target", Ftn_ir.Attr.String "fpga") ]
+      (List.map (fun k -> k.Bitstream.kd_function) bs.Bitstream.kernels)
+  in
+  Buffer.add_string buf (Ftn_ir.Printer.to_string device_module);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let save_file bs path =
+  let oc = open_out_bin path in
+  output_string oc (save bs);
+  close_out oc
+
+let load ?(spec = Fpga_spec.u280) text =
+  let lines = String.split_on_char '\n' text in
+  (match lines with
+  | first :: _ when String.trim first = magic -> ()
+  | _ -> raise (Format_error "not a simulated xclbin (bad magic)"));
+  let prefixed p l =
+    let l = String.trim l in
+    if String.length l > String.length p && String.sub l 0 (String.length p) = p
+    then Some (String.sub l (String.length p) (String.length l - String.length p))
+    else None
+  in
+  let field p =
+    List.find_map (fun l -> prefixed p l) lines
+  in
+  let name = Option.value ~default:"kernel.xclbin" (field "name: ") in
+  let frontend =
+    match field "frontend: " with
+    | Some "clang" -> Resources.Clang_hls
+    | _ -> Resources.Mlir_flow
+  in
+  let module_text =
+    match String.index_opt text '=' with
+    | Some _ -> (
+      let marker = "=== MODULE ===" in
+      let rec find i =
+        if i + String.length marker > String.length text then
+          raise (Format_error "missing module section")
+        else if String.sub text i (String.length marker) = marker then
+          String.sub text
+            (i + String.length marker)
+            (String.length text - i - String.length marker)
+        else find (i + 1)
+      in
+      find 0)
+    | None -> raise (Format_error "missing module section")
+  in
+  let device_module =
+    try Ftn_ir.Ir_parser.parse_module module_text
+    with Ftn_ir.Ir_parser.Parse_error (msg, pos) ->
+      raise (Format_error (Fmt.str "bad kernel IR at offset %d: %s" pos msg))
+  in
+  Synth.synthesise ~frontend ~spec ~xclbin_name:name device_module
+
+let load_file ?spec path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  load ?spec text

@@ -1,0 +1,12 @@
+(** Bitstream (de)serialisation — the simulated xclbin container. Saving
+    writes build metadata plus the kernels as printed IR; loading re-parses
+    and re-synthesises (deterministically), so a loaded bitstream behaves
+    exactly like a fresh one. *)
+
+exception Format_error of string
+
+val magic : string
+val save : Bitstream.t -> string
+val save_file : Bitstream.t -> string -> unit
+val load : ?spec:Fpga_spec.t -> string -> Bitstream.t
+val load_file : ?spec:Fpga_spec.t -> string -> Bitstream.t

@@ -1,0 +1,121 @@
+(* Device description and model constants for the simulated AMD Xilinx
+   Alveo U280, standing in for Vitis HLS synthesis and the real card.
+
+   The structural numbers (LUT/BRAM/DSP totals, HBM banks) are the public
+   U280 specifications. The behavioural constants (AXI sharing cost,
+   unresolved read-modify-write chain latency, transfer overheads, power
+   coefficients) are calibrated once against the shapes reported in the
+   paper's evaluation and documented in EXPERIMENTS.md; they are honest
+   free parameters of an analytic model, not per-benchmark fudge factors:
+   every kernel is costed by the same rules. *)
+
+type t = {
+  name : string;
+  (* --- device resources --- *)
+  total_luts : int;
+  total_ffs : int;
+  total_brams : int;  (** BRAM36 blocks. *)
+  total_urams : int;
+  total_dsps : int;
+  hbm_banks : int;
+  ddr_banks : int;
+  clock_mhz : float;  (** Kernel clock. *)
+  (* --- static shell region (platform logic, HBM controllers, PCIe) --- *)
+  shell_luts : int;
+  shell_ffs : int;
+  shell_brams : int;
+  shell_dsps : int;
+  (* --- per-construct resource costs --- *)
+  lut_m_axi_port : int;
+  lut_s_axilite_port : int;
+  lut_control_base : int;  (** FSM + loop control per kernel. *)
+  lut_control_per_unroll : int;
+  unroll_share_factor : float;
+      (** Marginal LUT cost of each replicated datapath copy beyond the
+          first, as a fraction of the first copy (unrolled replicas share
+          control, operand muxing and much of the routing). *)
+  lut_fmul_f32 : int;  (** LUT-mapped f32 multiplier. *)
+  lut_fadd_f32 : int;
+  lut_fmul_f64 : int;
+  lut_fadd_f64 : int;
+  lut_int_op : int;
+  lut_fused_mac : int;  (** Glue when the MAC lands in DSPs. *)
+  dsp_fused_mac : int;  (** DSP slices per recognised MAC. *)
+  bram_bytes : int;  (** Usable bytes per BRAM36. *)
+  (* --- timing model --- *)
+  axi_share_cycles : int;
+      (** Amortised cycles per m_axi beat when accesses on a port
+          serialise under pipelining. *)
+  burst_inference : bool;
+      (** When true, models the memory optimisation the paper leaves to
+          future work: contiguous accesses are coalesced into AXI bursts
+          (cheap beats) and the read/write streams are disambiguated, so
+          the RMW chain bound disappears. Off by default — neither flow in
+          the paper achieves burst inference. *)
+  burst_beat_cycles : int;  (** Amortised cycles per beat within a burst. *)
+  rmw_chain_cycles : int;
+      (** Initiation interval when Vitis cannot disambiguate a
+          read-modify-write through the same port and serialises
+          iterations on the full AXI round trip. *)
+  pipeline_depth_cycles : int;  (** Fill/flush cost per loop entry. *)
+  kernel_launch_overhead_s : float;
+  buffer_alloc_overhead_s : float;  (** First allocation of a named buffer. *)
+  dma_fixed_overhead_s : float;
+  dma_bandwidth_bytes_per_s : float;
+  (* --- power model --- *)
+  static_power_w : float;  (** Shell + HBM idle draw. *)
+  dynamic_power_full_w : float;  (** Added draw at full kernel activity. *)
+  activity_tau_s : float;  (** Activity saturation time constant. *)
+  cpu_static_power_w : float;
+  cpu_active_power_w : float;
+}
+
+let u280 =
+  {
+    name = "AMD Xilinx Alveo U280";
+    total_luts = 1_303_680;
+    total_ffs = 2_607_360;
+    total_brams = 2_016;
+    total_urams = 960;
+    total_dsps = 9_024;
+    hbm_banks = 32;
+    ddr_banks = 2;
+    clock_mhz = 300.0;
+    shell_luts = 97_791;
+    shell_ffs = 141_000;
+    shell_brams = 203;
+    shell_dsps = 9;
+    lut_m_axi_port = 3_650;
+    lut_s_axilite_port = 420;
+    lut_control_base = 760;
+    lut_control_per_unroll = 11;
+    unroll_share_factor = 0.15;
+    lut_fmul_f32 = 450;
+    lut_fadd_f32 = 247;
+    lut_fmul_f64 = 1_040;
+    lut_fadd_f64 = 620;
+    lut_int_op = 8;
+    lut_fused_mac = 40;
+    dsp_fused_mac = 12;
+    bram_bytes = 4_608;
+    axi_share_cycles = 16;
+    burst_inference = false;
+    burst_beat_cycles = 2;
+    rmw_chain_cycles = 183;
+    pipeline_depth_cycles = 100;
+    kernel_launch_overhead_s = 1.0e-6;
+    buffer_alloc_overhead_s = 50.0e-6;
+    dma_fixed_overhead_s = 0.3e-6;
+    dma_bandwidth_bytes_per_s = 12.0e9;
+    static_power_w = 20.9;
+    dynamic_power_full_w = 4.3;
+    activity_tau_s = 2.0e-3;
+    cpu_static_power_w = 50.2;
+    cpu_active_power_w = 4.9;
+  }
+
+let clock_period_s spec = 1.0 /. (spec.clock_mhz *. 1.0e6)
+
+let cycles_to_seconds spec cycles = float_of_int cycles *. clock_period_s spec
+
+let pct part total = 100.0 *. float_of_int part /. float_of_int total

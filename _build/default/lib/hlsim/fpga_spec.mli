@@ -1,0 +1,68 @@
+(** Device description and model constants for the simulated AMD Xilinx
+    Alveo U280, standing in for Vitis HLS synthesis and the real card.
+
+    Structural numbers (resource totals, HBM banks) are public U280
+    specifications; behavioural constants (AXI sharing cost, RMW chain
+    latency, transfer overheads, power coefficients) are calibrated once
+    against the shapes in the paper's evaluation and documented in
+    EXPERIMENTS.md. All kernels are costed by the same rules. *)
+
+type t = {
+  name : string;
+  total_luts : int;
+  total_ffs : int;
+  total_brams : int;  (** BRAM36 blocks. *)
+  total_urams : int;
+  total_dsps : int;
+  hbm_banks : int;
+  ddr_banks : int;
+  clock_mhz : float;  (** Kernel clock. *)
+  shell_luts : int;  (** Static region: platform logic, HBM ctrl, PCIe. *)
+  shell_ffs : int;
+  shell_brams : int;
+  shell_dsps : int;
+  lut_m_axi_port : int;
+  lut_s_axilite_port : int;
+  lut_control_base : int;
+  lut_control_per_unroll : int;
+  unroll_share_factor : float;
+      (** Marginal cost of each replicated datapath copy beyond the first,
+          as a fraction of the first copy. *)
+  lut_fmul_f32 : int;
+  lut_fadd_f32 : int;
+  lut_fmul_f64 : int;
+  lut_fadd_f64 : int;
+  lut_int_op : int;
+  lut_fused_mac : int;  (** Glue LUTs when a MAC lands in DSPs. *)
+  dsp_fused_mac : int;  (** DSP slices per recognised MAC. *)
+  bram_bytes : int;
+  axi_share_cycles : int;
+      (** Amortised cycles per m_axi beat when a port serialises under
+          pipelining. *)
+  burst_inference : bool;
+      (** Model the future-work memory optimisation: coalesced AXI bursts
+          and read/write stream disambiguation (removes the RMW bound). *)
+  burst_beat_cycles : int;
+  rmw_chain_cycles : int;
+      (** Initiation interval when HLS cannot disambiguate a
+          read-modify-write through one port and serialises iterations. *)
+  pipeline_depth_cycles : int;
+  kernel_launch_overhead_s : float;
+  buffer_alloc_overhead_s : float;
+  dma_fixed_overhead_s : float;
+  dma_bandwidth_bytes_per_s : float;
+  static_power_w : float;
+  dynamic_power_full_w : float;
+  activity_tau_s : float;
+  cpu_static_power_w : float;
+  cpu_active_power_w : float;
+}
+
+val u280 : t
+(** The calibrated U280 model used throughout the evaluation. *)
+
+val clock_period_s : t -> float
+val cycles_to_seconds : t -> int -> float
+
+val pct : int -> int -> float
+(** [pct part total] as a percentage. *)

@@ -1,0 +1,27 @@
+(** Power model: a static shell/HBM floor plus a dynamic component scaled
+    by the kernel duty cycle over the measurement window (which includes
+    bitstream programming and host setup). Reproduces the growth across
+    problem sizes in the paper's Tables 5 and 6. *)
+
+val power_window_setup_s : float
+(** Setup portion of the power-measurement window (bitstream programming,
+    host initialisation). *)
+
+val idle_dynamic_fraction : float
+(** Fraction of dynamic power drawn while kernels are idle. *)
+
+val duty : kernel_time_s:float -> device_time_s:float -> float
+val activity : kernel_time_s:float -> device_time_s:float -> float
+
+val fpga_power_w :
+  Fpga_spec.t ->
+  Resources.report ->
+  kernel_time_s:float ->
+  ?device_time_s:float ->
+  unit ->
+  float
+(** Modelled card draw in watts. [device_time_s] defaults to
+    [kernel_time_s]. *)
+
+val cpu_power_w : Fpga_spec.t -> kernel_time_s:float -> float
+(** Single-core CPU package power baseline. *)

@@ -1,0 +1,134 @@
+(* Resource estimation: maps a kernel schedule onto LUT/FF/BRAM/DSP usage
+   of the U280, including the shell's static region.
+
+   The MAC-fusion rule reproduces the backend behaviour the paper observed
+   (Section 4, Tables 3 and 4): the Vitis backend recognises the
+   multiply-accumulate pattern only in IR shaped like its own Clang
+   frontend's output, and only when the expression tree is not rewritten by
+   unrolling — a recognised MAC maps onto DSP slices, an unrecognised one
+   is built from LUTs. *)
+
+type frontend =
+  | Clang_hls  (** Hand-written Vitis HLS C, AMD's own frontend. *)
+  | Mlir_flow  (** This paper's Fortran/MLIR flow. *)
+
+let string_of_frontend = function
+  | Clang_hls -> "Hand-written HLS"
+  | Mlir_flow -> "Fortran OpenMP"
+
+type usage = {
+  luts : int;
+  ffs : int;
+  brams : int;
+  dsps : int;
+}
+
+type report = {
+  kernel : usage;  (** Kernel region only. *)
+  total : usage;  (** Including the shell. *)
+  lut_pct : float;
+  bram_pct : float;
+  dsp_pct : float;
+  fused_macs : int;
+  lut_macs : int;
+}
+
+let zero = { luts = 0; ffs = 0; brams = 0; dsps = 0 }
+
+let add a b =
+  {
+    luts = a.luts + b.luts;
+    ffs = a.ffs + b.ffs;
+    brams = a.brams + b.brams;
+    dsps = a.dsps + b.dsps;
+  }
+
+(* MAC fusion needs the Clang frontend and an un-rewritten (non-unrolled)
+   expression tree. Returns (fused macs, lut macs) counted per iteration —
+   unroll replication is costed with the sharing factor separately. *)
+let loop_macs ~frontend (l : Schedule.loop_info) =
+  match frontend with
+  | Clang_hls when l.Schedule.unroll = 1 -> (l.Schedule.macs, 0)
+  | Clang_hls | Mlir_flow -> (0, l.Schedule.macs)
+
+(* Cost of [per_iter] copies of a construct replicated [unroll] times:
+   the first copy is full price, replicas share logic. *)
+let replicated_cost spec ~per_iter ~unroll ~unit_cost =
+  let open Fpga_spec in
+  let copies =
+    1.0 +. (float_of_int (max 0 (unroll - 1)) *. spec.unroll_share_factor)
+  in
+  int_of_float
+    (Float.round (float_of_int (per_iter * unit_cost) *. copies))
+
+let f64_kernel _ks = false
+(* The evaluation kernels are single precision; a full implementation
+   would inspect element types per operation. Kept as a hook. *)
+
+let estimate ?(frontend = Mlir_flow) spec (ks : Schedule.kernel_schedule) =
+  let open Fpga_spec in
+  let loops = Schedule.flatten_loops ks.Schedule.loops in
+  let is_f64 = f64_kernel ks in
+  let mac_lut_cost =
+    if is_f64 then spec.lut_fmul_f64 + spec.lut_fadd_f64
+    else spec.lut_fmul_f32 + spec.lut_fadd_f32
+  in
+  let fp_unit = if is_f64 then spec.lut_fadd_f64 else spec.lut_fadd_f32 in
+  let fused_macs, lut_macs, datapath_luts, unroll_total =
+    List.fold_left
+      (fun (f, lm, luts, u) (l : Schedule.loop_info) ->
+        let fused, unfused = loop_macs ~frontend l in
+        let unroll = l.Schedule.unroll in
+        let other_fp = max 0 (l.Schedule.fp_ops - (2 * l.Schedule.macs)) in
+        let luts =
+          luts
+          + replicated_cost spec ~per_iter:unfused ~unroll
+              ~unit_cost:mac_lut_cost
+          + (fused * spec.lut_fused_mac)
+          + replicated_cost spec ~per_iter:other_fp ~unroll ~unit_cost:fp_unit
+          + replicated_cost spec ~per_iter:l.Schedule.int_ops ~unroll
+              ~unit_cost:spec.lut_int_op
+        in
+        ( f + fused,
+          lm + (unfused * unroll),
+          luts,
+          u + unroll ))
+      (0, 0, 0, 0) loops
+  in
+  let control =
+    spec.lut_control_base + (spec.lut_control_per_unroll * unroll_total)
+  in
+  let luts =
+    (List.length ks.Schedule.m_axi_bundles * spec.lut_m_axi_port)
+    + (ks.Schedule.s_axilite_args * spec.lut_s_axilite_port)
+    + control + datapath_luts
+  in
+  let brams =
+    (ks.Schedule.local_buffer_bytes + spec.bram_bytes - 1) / spec.bram_bytes
+  in
+  let dsps = fused_macs * spec.dsp_fused_mac in
+  let kernel = { luts; ffs = luts * 3 / 2; brams; dsps } in
+  let shell =
+    {
+      luts = spec.shell_luts;
+      ffs = spec.shell_ffs;
+      brams = spec.shell_brams;
+      dsps = spec.shell_dsps;
+    }
+  in
+  let total = add kernel shell in
+  {
+    kernel;
+    total;
+    lut_pct = pct total.luts spec.total_luts;
+    bram_pct = pct total.brams spec.total_brams;
+    dsp_pct = pct total.dsps spec.total_dsps;
+    fused_macs;
+    lut_macs;
+  }
+
+let pp fmt r =
+  Fmt.pf fmt
+    "LUT %.2f%% (%d)  BRAM %.2f%% (%d)  DSP %.2f%% (%d)  [MACs: %d dsp / %d lut]"
+    r.lut_pct r.total.luts r.bram_pct r.total.brams r.dsp_pct r.total.dsps
+    r.fused_macs r.lut_macs

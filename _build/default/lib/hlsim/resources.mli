@@ -1,0 +1,41 @@
+(** Resource estimation: maps a kernel schedule onto LUT/FF/BRAM/DSP usage
+    of the U280 including the shell's static region.
+
+    MAC-fusion rule (paper, Section 4): the Vitis backend recognises the
+    multiply-accumulate pattern only in IR shaped like its own Clang
+    frontend's output and only when the expression tree is not rewritten by
+    unrolling; a recognised MAC maps onto DSP slices, an unrecognised one
+    is built from LUTs — the source of the Table 4 divergence. *)
+
+type frontend =
+  | Clang_hls  (** Hand-written Vitis HLS C, AMD's own frontend. *)
+  | Mlir_flow  (** The paper's Fortran/MLIR flow. *)
+
+val string_of_frontend : frontend -> string
+
+type usage = {
+  luts : int;
+  ffs : int;
+  brams : int;
+  dsps : int;
+}
+
+type report = {
+  kernel : usage;  (** Kernel region only. *)
+  total : usage;  (** Including the shell. *)
+  lut_pct : float;
+  bram_pct : float;
+  dsp_pct : float;
+  fused_macs : int;  (** MACs mapped onto DSP slices. *)
+  lut_macs : int;  (** MACs built from LUTs (after unroll replication). *)
+}
+
+val zero : usage
+val add : usage -> usage -> usage
+
+val estimate :
+  ?frontend:frontend -> Fpga_spec.t -> Schedule.kernel_schedule -> report
+(** Estimate resources for one synthesised kernel ([frontend] defaults to
+    [Mlir_flow]). *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,50 @@
+(** HLS scheduling model: assigns each loop of a kernel an initiation
+    interval, pipeline depth and unroll factor.
+
+    Cost rules: a pipelined loop is bound by its busiest m_axi port
+    (serialising [unroll * accesses] beats at [axi_share_cycles] each); a
+    non-unrolled loop that reads and writes the same port is additionally
+    bound by the unresolved read-modify-write chain ([rmw_chain_cycles]) —
+    unrolling overlaps the independent chains, which is why the paper's
+    simd(10) SAXPY sustains ~32 cycles/element while the non-unrolled SGESL
+    inner loop pays the full AXI round trip per iteration. *)
+
+type loop_info = {
+  loop_key : int;
+      (** Induction-variable value id: stable between static analysis and
+          the interpreter's loop-statistics callback. *)
+  pipelined : bool;
+  ii_directive : int;
+  unroll : int;
+  depth : int;  (** Fill/flush cycles charged per loop entry. *)
+  port_accesses : (string * int * int) list;
+      (** bundle, reads, writes per original iteration. *)
+  rmw_port : bool;
+  cycles_per_iteration : float;
+  static_trip : int option;  (** Compile-time trip count when known. *)
+  macs : int;  (** Multiply-accumulate pairs per iteration. *)
+  fp_ops : int;
+  int_ops : int;
+  nested : loop_info list;
+}
+
+type kernel_schedule = {
+  fn_name : string;
+  m_axi_bundles : string list;
+  s_axilite_args : int;
+  loops : loop_info list;  (** Topmost loops; inner loops nest. *)
+  local_buffer_bytes : int;  (** On-chip alloca storage. *)
+  toplevel_macs : int;
+  dataflow : bool;
+      (** hls.dataflow present: top-level stages overlap, so the kernel is
+          bound by its slowest stage instead of the sum. *)
+}
+
+val analyse_kernel : Fpga_spec.t -> Ftn_ir.Op.t -> kernel_schedule
+(** Analyse a kernel [func.func] at the hls-dialect level. *)
+
+val flatten_loops : loop_info list -> loop_info list
+(** Pre-order flattening of a loop forest. *)
+
+val pp_loop : Format.formatter -> loop_info -> unit
+val pp : Format.formatter -> kernel_schedule -> unit

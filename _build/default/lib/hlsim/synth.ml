@@ -1,0 +1,57 @@
+(* Simulated v++ flow: takes a device module at the hls-dialect level, runs
+   scheduling and resource estimation per kernel, and packages the result
+   as a bitstream the host runtime can program. The build log mirrors the
+   stages a real Vitis build reports (HLS synthesis, link, place, route). *)
+
+open Ftn_ir
+open Ftn_dialects
+
+exception Synthesis_error of string
+
+let synthesise ?(frontend = Resources.Mlir_flow) ?(spec = Fpga_spec.u280)
+    ?(xclbin_name = "kernel.xclbin") device_module =
+  if not (Op.is_module device_module) then
+    raise (Synthesis_error "device code must be a builtin.module");
+  let log = ref [] in
+  let say fmt = Fmt.kstr (fun s -> log := s :: !log) fmt in
+  say "v++ -t hw --platform xilinx_u280 (simulated)";
+  let kernels =
+    List.filter_map
+      (fun op ->
+        if Func_d.is_func op && Func_d.has_body op then begin
+          let ks = Schedule.analyse_kernel spec op in
+          let res = Resources.estimate ~frontend spec ks in
+          say "HLS synthesis: %s" ks.Schedule.fn_name;
+          List.iter
+            (fun (l : Schedule.loop_info) ->
+              say
+                "  loop@%d: II achieved %.0f cycles/iter (unroll %d%s)"
+                l.Schedule.loop_key l.Schedule.cycles_per_iteration
+                l.Schedule.unroll
+                (if l.Schedule.rmw_port && l.Schedule.unroll = 1 then
+                   ", serialised on unresolved m_axi RMW dependence"
+                 else ""))
+            (Schedule.flatten_loops ks.Schedule.loops);
+          say "  resources: %s" (Fmt.str "%a" Resources.pp res);
+          Some
+            {
+              Bitstream.kd_name = ks.Schedule.fn_name;
+              kd_schedule = ks;
+              kd_resources = res;
+              kd_function = op;
+            }
+        end
+        else None)
+      (Op.module_body device_module)
+  in
+  if kernels = [] then
+    raise (Synthesis_error "device module contains no kernel functions");
+  say "link + place + route: ok";
+  say "bitstream: %s" xclbin_name;
+  {
+    Bitstream.xclbin_name;
+    device_name = spec.Fpga_spec.name;
+    frontend;
+    kernels;
+    build_log = List.rev !log;
+  }

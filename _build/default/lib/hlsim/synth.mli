@@ -1,0 +1,14 @@
+(** Simulated v++ flow: schedules and estimates every kernel function of a
+    device module and packages the result as a {!Bitstream.t}. *)
+
+exception Synthesis_error of string
+
+val synthesise :
+  ?frontend:Resources.frontend ->
+  ?spec:Fpga_spec.t ->
+  ?xclbin_name:string ->
+  Ftn_ir.Op.t ->
+  Bitstream.t
+(** [synthesise device_module] runs the simulated HLS + link + place +
+    route flow. Raises {!Synthesis_error} if the module is not a
+    builtin.module or contains no kernel functions. *)

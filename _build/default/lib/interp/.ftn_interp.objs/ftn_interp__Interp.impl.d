@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Arith Attr Float Fmt Ftn_dialects Ftn_ir Func_d Hashtbl List Math_d Omp Op Option Queue Rtval Scf String Types Value

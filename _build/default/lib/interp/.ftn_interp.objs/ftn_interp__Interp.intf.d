@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Ftn_ir Rtval

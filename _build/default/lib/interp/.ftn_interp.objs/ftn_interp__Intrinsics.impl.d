@@ -1,0 +1,1 @@
+lib/interp/intrinsics.ml: Buffer Float Fmt Ftn_ir Interp Op Option Rtval

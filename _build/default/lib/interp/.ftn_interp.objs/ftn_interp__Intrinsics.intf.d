@@ -1,0 +1,1 @@
+lib/interp/intrinsics.mli: Interp

@@ -1,0 +1,1 @@
+lib/interp/rtval.ml: Array Fmt Ftn_ir Int32 List Queue Types

@@ -1,0 +1,1 @@
+lib/interp/rtval.mli: Format Ftn_ir Queue

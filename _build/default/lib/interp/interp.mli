@@ -1,0 +1,48 @@
+(** IR interpreter: functionally executes modules at the core-dialect
+    level.
+
+    Default semantics cover arith, math, scf, memref and func, plus
+    sequential OpenMP (omp.target executes inline, omp.parallel_do runs as
+    an ordinary loop with Fortran's inclusive upper bound) so un-offloaded
+    programs run as CPU references. hls directives are functional no-ops.
+    device.* operations have no default semantics: the host runtime
+    installs a {!handler} for them; handlers run before defaults, so
+    embedders can also intercept DMA or external calls. *)
+
+exception Interp_error of string
+
+type frame
+(** Per-function-call value bindings. *)
+
+type state = {
+  modules : Ftn_ir.Op.t list;  (** Searched for function bodies, in order. *)
+  handlers : handler list;
+  mutable steps : int;  (** Executed op count. *)
+  max_steps : int;
+  mutable on_loop : (loop_key:int -> iters:int -> unit) option;
+      (** Called after each scf.for completes with the induction variable's
+          id and the trip count — the runtime's timing probe. *)
+}
+
+and handler =
+  state -> frame -> Ftn_ir.Op.t -> Rtval.t list -> Rtval.t list option
+(** Receives the op and its evaluated operands; [Some results] handles the
+    op, [None] defers to the next handler or the default semantics. *)
+
+exception Return of Rtval.t list
+
+val make :
+  ?handlers:handler list -> ?max_steps:int -> Ftn_ir.Op.t list -> state
+
+val get : frame -> Ftn_ir.Value.t -> Rtval.t
+val set : frame -> Ftn_ir.Value.t -> Rtval.t -> unit
+val find_function : state -> string -> Ftn_ir.Op.t option
+
+val call_function : state -> Ftn_ir.Op.t -> Rtval.t list -> Rtval.t list
+(** Execute a func.func with the given arguments; returns its results. *)
+
+val run : state -> entry:string -> args:Rtval.t list -> Rtval.t list
+(** Resolve [entry] by symbol name and call it. *)
+
+val main_function : Ftn_ir.Op.t -> Ftn_ir.Op.t option
+(** The function carrying the frontend's [ftn.main] marker. *)

@@ -1,0 +1,79 @@
+(* Runtime-library intrinsics: the print routines the frontend lowers
+   Fortran's print statement onto, and the type-conversion / stream helpers
+   the paper's precompiled device runtime library provides. Output is
+   captured in a buffer so tests and tools can inspect it. *)
+
+open Ftn_ir
+
+type sink = {
+  buf : Buffer.t;
+  mutable echo : bool;  (** Also write to stdout. *)
+}
+
+let make_sink ?(echo = false) () = { buf = Buffer.create 256; echo }
+
+let output sink s =
+  Buffer.add_string sink.buf s;
+  if sink.echo then print_string s
+
+let contents sink = Buffer.contents sink.buf
+let clear sink = Buffer.clear sink.buf
+
+let format_float x =
+  if Float.is_integer x && Float.abs x < 1e10 then Fmt.str "%.6f" x
+  else Fmt.str "%.6g" x
+
+(* Handler for the ftn_print_* family. *)
+let print_handler sink : Interp.handler =
+ fun _state _frame op operands ->
+  match Op.symbol_attr op "callee" with
+  | Some "ftn_print_str" ->
+    let text = Option.value ~default:"" (Op.string_attr op "text") in
+    output sink (" " ^ text);
+    Some []
+  | Some "ftn_print_i32" -> (
+    match operands with
+    | [ v ] ->
+      output sink (Fmt.str " %d" (Rtval.as_int v));
+      Some []
+    | _ -> None)
+  | Some "ftn_print_i1" -> (
+    match operands with
+    | [ v ] ->
+      output sink (if Rtval.as_bool v then " T" else " F");
+      Some []
+    | _ -> None)
+  | Some ("ftn_print_f32" | "ftn_print_f64") -> (
+    match operands with
+    | [ v ] ->
+      output sink (" " ^ format_float (Rtval.as_float v));
+      Some []
+    | _ -> None)
+  | Some "ftn_print_newline" ->
+    output sink "\n";
+    Some []
+  | _ -> None
+
+(* Device runtime-library calls (type conversion, stream IO) referenced by
+   generated device code; functional no-op equivalents. *)
+let runtime_library_handler : Interp.handler =
+ fun _state _frame op operands ->
+  match Op.symbol_attr op "callee" with
+  | Some "_hls_f32_to_f64" -> (
+    match operands with
+    | [ v ] -> Some [ Rtval.Float (Rtval.as_float v) ]
+    | _ -> None)
+  | Some "_hls_f64_to_f32" -> (
+    match operands with
+    | [ v ] -> Some [ Rtval.Float (Rtval.as_float v) ]
+    | _ -> None)
+  | Some "_hls_i32_to_f32" -> (
+    match operands with
+    | [ v ] -> Some [ Rtval.Float (float_of_int (Rtval.as_int v)) ]
+    | _ -> None)
+  | Some
+      ( "_ssdm_op_SpecInterface" | "_ssdm_op_SpecPipeline"
+      | "_ssdm_op_SpecUnroll" | "_ssdm_op_SpecArrayPartition"
+      | "_ssdm_op_SpecDataflow" ) ->
+    Some []
+  | _ -> None

@@ -1,0 +1,150 @@
+(* Runtime values for the IR interpreter. Buffers model memrefs: typed,
+   shaped, mutable storage shared by reference (so stores through one view
+   are seen by every alias, as with real memory). *)
+
+open Ftn_ir
+
+type mem =
+  | F of float array
+  | I of int array
+
+type buffer = {
+  elt : Types.t;
+  shape : int list;
+  mem : mem;
+  memory_space : int;
+}
+
+type t =
+  | Unit
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Buf of buffer
+  | Handle of int  (** Kernel handle. *)
+  | Proto of int  (** hls.axi_protocol token. *)
+  | StreamQ of t Queue.t  (** On-chip FIFO (hls.stream). *)
+
+let buffer_size shape = List.fold_left ( * ) 1 shape
+
+let alloc_buffer ?(memory_space = 0) elt shape =
+  let n = max 1 (buffer_size shape) in
+  let mem =
+    if Types.is_float elt then F (Array.make n 0.0) else I (Array.make n 0)
+  in
+  { elt; shape; mem; memory_space }
+
+let buffer_len buf = buffer_size buf.shape
+
+(* Row-major linear index. *)
+let linearize shape indices =
+  let rec go acc shape indices =
+    match (shape, indices) with
+    | [], [] -> acc
+    | d :: shape, i :: indices ->
+      if i < 0 || i >= d then
+        invalid_arg
+          (Fmt.str "index %d out of bounds for dimension of size %d" i d);
+      go ((acc * d) + i) shape indices
+    | _ -> invalid_arg "linearize: rank mismatch"
+  in
+  match (shape, indices) with
+  | [], [] -> 0
+  | d :: shape, i :: indices ->
+    if i < 0 || i >= d then
+      invalid_arg
+        (Fmt.str "index %d out of bounds for dimension of size %d" i d);
+    go i shape indices
+  | _ -> invalid_arg "linearize: rank mismatch"
+
+let load buf indices =
+  let k = linearize buf.shape indices in
+  match buf.mem with
+  | F a -> Float a.(k)
+  | I a -> if Types.equal buf.elt Types.I1 then Bool (a.(k) <> 0) else Int a.(k)
+
+(* Fortran REAL stores round to single precision. *)
+let round_to_elt elt x =
+  match elt with
+  | Ftn_ir.Types.F32 -> Int32.float_of_bits (Int32.bits_of_float x)
+  | _ -> x
+
+let store buf indices v =
+  let k = linearize buf.shape indices in
+  match (buf.mem, v) with
+  | F a, Float x -> a.(k) <- round_to_elt buf.elt x
+  | F a, Int n -> a.(k) <- float_of_int n
+  | I a, Int n -> a.(k) <- n
+  | I a, Bool b -> a.(k) <- (if b then 1 else 0)
+  | I a, Float x -> a.(k) <- int_of_float x
+  | _ -> invalid_arg "store: value/buffer type mismatch"
+
+let copy_into ~src ~dst =
+  match (src.mem, dst.mem) with
+  | F a, F b -> Array.blit a 0 b 0 (min (Array.length a) (Array.length b))
+  | I a, I b -> Array.blit a 0 b 0 (min (Array.length a) (Array.length b))
+  | F a, I b ->
+    for i = 0 to min (Array.length a) (Array.length b) - 1 do
+      b.(i) <- int_of_float a.(i)
+    done
+  | I a, F b ->
+    for i = 0 to min (Array.length a) (Array.length b) - 1 do
+      b.(i) <- float_of_int a.(i)
+    done
+
+let byte_size buf = buffer_len buf * Types.byte_size buf.elt
+
+let as_int = function
+  | Int n -> n
+  | Bool b -> if b then 1 else 0
+  | Float x -> int_of_float x
+  | Unit | Buf _ | Handle _ | Proto _ | StreamQ _ -> invalid_arg "as_int"
+
+let as_float = function
+  | Float x -> x
+  | Int n -> float_of_int n
+  | Bool b -> if b then 1.0 else 0.0
+  | Unit | Buf _ | Handle _ | Proto _ | StreamQ _ -> invalid_arg "as_float"
+
+let as_bool = function
+  | Bool b -> b
+  | Int n -> n <> 0
+  | Unit | Float _ | Buf _ | Handle _ | Proto _ | StreamQ _ ->
+    invalid_arg "as_bool"
+
+let as_buffer = function
+  | Buf b -> b
+  | Unit | Int _ | Float _ | Bool _ | Handle _ | Proto _ | StreamQ _ ->
+    invalid_arg "as_buffer"
+
+let float_buffer buf =
+  match buf.mem with
+  | F a -> a
+  | I _ -> invalid_arg "float_buffer: integer buffer"
+
+let int_buffer buf =
+  match buf.mem with
+  | I a -> a
+  | F _ -> invalid_arg "int_buffer: float buffer"
+
+let of_float_array ?(memory_space = 0) ?shape elt a =
+  let shape = match shape with Some s -> s | None -> [ Array.length a ] in
+  { elt; shape; mem = F a; memory_space }
+
+let of_int_array ?(memory_space = 0) ?shape elt a =
+  let shape = match shape with Some s -> s | None -> [ Array.length a ] in
+  { elt; shape; mem = I a; memory_space }
+
+let pp fmt = function
+  | Unit -> Fmt.string fmt "unit"
+  | Int n -> Fmt.int fmt n
+  | Float x -> Fmt.float fmt x
+  | Bool b -> Fmt.bool fmt b
+  | Buf b ->
+    Fmt.pf fmt "buffer<%a:%s>"
+      (Fmt.list ~sep:(Fmt.any "x") Fmt.int)
+      b.shape
+      (Types.to_string b.elt)
+  | Handle h -> Fmt.pf fmt "kernel#%d" h
+  | Proto p -> Fmt.pf fmt "proto#%d" p
+  | StreamQ q -> Fmt.pf fmt "stream<%d queued>" (Queue.length q)

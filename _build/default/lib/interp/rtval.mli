@@ -1,0 +1,60 @@
+(** Runtime values for the IR interpreter. Buffers model memrefs: typed,
+    shaped, mutable storage shared by reference (stores through one view
+    are seen by all aliases). f32-elemented buffers round stored values to
+    single precision, matching Fortran REAL semantics. *)
+
+type mem =
+  | F of float array
+  | I of int array
+
+type buffer = {
+  elt : Ftn_ir.Types.t;
+  shape : int list;
+  mem : mem;
+  memory_space : int;
+}
+
+type t =
+  | Unit
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Buf of buffer
+  | Handle of int  (** Kernel handle. *)
+  | Proto of int  (** hls.axi_protocol token. *)
+  | StreamQ of t Queue.t  (** On-chip FIFO (hls.stream). *)
+
+val alloc_buffer :
+  ?memory_space:int -> Ftn_ir.Types.t -> int list -> buffer
+(** Zero-initialised buffer of the given element type and shape ([[]] for
+    rank 0). *)
+
+val buffer_size : int list -> int
+val buffer_len : buffer -> int
+
+val linearize : int list -> int list -> int
+(** Row-major linear index; raises [Invalid_argument] when out of bounds
+    or on rank mismatch. *)
+
+val round_to_elt : Ftn_ir.Types.t -> float -> float
+(** Round to the element type's precision (f32 rounds, others pass). *)
+
+val load : buffer -> int list -> t
+val store : buffer -> int list -> t -> unit
+
+val copy_into : src:buffer -> dst:buffer -> unit
+(** Element-wise copy with representation conversion, bounded by the
+    shorter buffer. *)
+
+val byte_size : buffer -> int
+val as_int : t -> int
+val as_float : t -> float
+val as_bool : t -> bool
+val as_buffer : t -> buffer
+val float_buffer : buffer -> float array
+val int_buffer : buffer -> int array
+val of_float_array :
+  ?memory_space:int -> ?shape:int list -> Ftn_ir.Types.t -> float array -> buffer
+val of_int_array :
+  ?memory_space:int -> ?shape:int list -> Ftn_ir.Types.t -> int array -> buffer
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ir/attr.ml: Buffer Float Fmt Format List String Types

@@ -1,0 +1,1 @@
+lib/ir/dialect.ml: Fmt Hashtbl List Op String Types Value

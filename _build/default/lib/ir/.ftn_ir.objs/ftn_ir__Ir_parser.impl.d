@@ -1,0 +1,1 @@
+lib/ir/ir_parser.ml: Attr Buffer Fmt List Op String Types Value

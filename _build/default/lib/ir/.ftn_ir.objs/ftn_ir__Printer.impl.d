@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Attr Buffer Fmt Format List Op String Types Value

@@ -1,0 +1,1 @@
+lib/ir/rewrite.ml: Builder Hashtbl List Op Value

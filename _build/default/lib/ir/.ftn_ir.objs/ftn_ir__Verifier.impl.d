@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Dialect Fmt Hashtbl List Op Value

@@ -1,0 +1,76 @@
+(* Fresh-value allocation context. A builder is threaded through lowering
+   code so SSA ids stay unique within a compilation unit. *)
+
+type t = { mutable next_id : int }
+
+let create ?(first_id = 0) () = { next_id = first_id }
+
+let fresh b ty =
+  let v = Value.make b.next_id ty in
+  b.next_id <- b.next_id + 1;
+  v
+
+let fresh_list b tys = List.map (fresh b) tys
+let next_id b = b.next_id
+
+let reserve_above b id = if id >= b.next_id then b.next_id <- id + 1
+
+(* Build a builder that will not collide with any value in [op]. *)
+let for_op op =
+  let max_id = ref (-1) in
+  let see v = if Value.id v > !max_id then max_id := Value.id v in
+  Op.walk
+    (fun o ->
+      List.iter see o.Op.operands;
+      List.iter see o.Op.results;
+      List.iter
+        (fun blocks ->
+          List.iter (fun b -> List.iter see b.Op.args) blocks)
+        o.Op.regions)
+    op;
+  create ~first_id:(!max_id + 1) ()
+
+(* Common op-building helpers used by dialects: build an op with [n]
+   results of the given types. *)
+let op1 b name ?(operands = []) ?(attrs = []) ?(regions = []) result_ty =
+  let r = fresh b result_ty in
+  Op.make name ~operands ~results:[ r ] ~attrs ~regions
+
+let op0 name ?(operands = []) ?(attrs = []) ?(regions = []) () =
+  Op.make name ~operands ~attrs ~regions
+
+(* Clone an op tree with fresh result/block-arg values, remapping internal
+   uses; external uses are remapped through [init] if provided. Returns the
+   cloned op and the mapping from old to new values. *)
+let clone b ?(init = Value.Map.empty) op =
+  let mapping = ref init in
+  let remap_def v =
+    let v' = fresh b (Value.ty v) in
+    mapping := Value.Map.add v v' !mapping;
+    v'
+  in
+  let rec go op =
+    let operands =
+      List.map
+        (fun v ->
+          match Value.Map.find_opt v !mapping with
+          | Some v' -> v'
+          | None -> v)
+        op.Op.operands
+    in
+    let results = List.map remap_def op.Op.results in
+    let regions =
+      List.map
+        (fun blocks ->
+          List.map
+            (fun blk ->
+              let args = List.map remap_def blk.Op.args in
+              let body = List.map go blk.Op.body in
+              { blk with Op.args; body })
+            blocks)
+        op.Op.regions
+    in
+    { op with Op.operands; results; regions }
+  in
+  let cloned = go op in
+  (cloned, !mapping)

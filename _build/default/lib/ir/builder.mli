@@ -1,0 +1,37 @@
+(** Fresh SSA value allocation, threaded through lowering passes. *)
+
+type t
+
+val create : ?first_id:int -> unit -> t
+val fresh : t -> Types.t -> Value.t
+val fresh_list : t -> Types.t list -> Value.t list
+val next_id : t -> int
+val reserve_above : t -> int -> unit
+
+val for_op : Op.t -> t
+(** A builder guaranteed not to collide with any value appearing in [op]. *)
+
+val op1 :
+  t ->
+  string ->
+  ?operands:Value.t list ->
+  ?attrs:(string * Attr.t) list ->
+  ?regions:Op.region list ->
+  Types.t ->
+  Op.t
+(** Build an op with a single fresh result of the given type. *)
+
+val op0 :
+  string ->
+  ?operands:Value.t list ->
+  ?attrs:(string * Attr.t) list ->
+  ?regions:Op.region list ->
+  unit ->
+  Op.t
+(** Build an op with no results. *)
+
+val clone :
+  t -> ?init:Value.t Value.Map.t -> Op.t -> Op.t * Value.t Value.Map.t
+(** Deep-copy an op tree with fresh definitions. Internal uses are remapped;
+    free values are remapped through [init] when present. Returns the clone
+    and the old-to-new mapping. *)

@@ -1,0 +1,77 @@
+(* Registry of known operations. Dialect libraries register op descriptors
+   at module-initialisation time; the verifier consults the registry for
+   per-op structural checks. Unregistered ops are tolerated (MLIR's
+   "unregistered dialect" behaviour) unless the verifier is run in strict
+   mode. *)
+
+type op_info = {
+  op_name : string;
+  summary : string;
+  verify : Op.t -> (unit, string) result;
+}
+
+let registry : (string, op_info) Hashtbl.t = Hashtbl.create 128
+
+let register ?(summary = "") ?(verify = fun _ -> Ok ()) op_name =
+  Hashtbl.replace registry op_name { op_name; summary; verify }
+
+let lookup op_name = Hashtbl.find_opt registry op_name
+let is_registered op_name = Hashtbl.mem registry op_name
+
+let registered_ops () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) registry []
+  |> List.sort String.compare
+
+let registered_dialects () =
+  registered_ops ()
+  |> List.filter_map (fun name ->
+         match String.index_opt name '.' with
+         | Some i -> Some (String.sub name 0 i)
+         | None -> None)
+  |> List.sort_uniq String.compare
+
+(* Common verifier combinators used by dialect definitions. *)
+
+let check cond msg = if cond then Ok () else Error msg
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let expect_operands op n =
+  check
+    (List.length (Op.operands op) = n)
+    (Fmt.str "%s expects %d operands, got %d" (Op.name op) n
+       (List.length (Op.operands op)))
+
+let expect_results op n =
+  check
+    (List.length (Op.results op) = n)
+    (Fmt.str "%s expects %d results, got %d" (Op.name op) n
+       (List.length (Op.results op)))
+
+let expect_regions op n =
+  check
+    (List.length (Op.regions op) = n)
+    (Fmt.str "%s expects %d regions, got %d" (Op.name op) n
+       (List.length (Op.regions op)))
+
+let expect_attr op key =
+  check (Op.has_attr op key)
+    (Fmt.str "%s missing attribute %S" (Op.name op) key)
+
+let expect_operand_type op i ty =
+  match Op.operand_opt op i with
+  | Some v ->
+    check
+      (Types.equal (Value.ty v) ty)
+      (Fmt.str "%s operand %d: expected %s, got %s" (Op.name op) i
+         (Types.to_string ty)
+         (Types.to_string (Value.ty v)))
+  | None -> Error (Fmt.str "%s has no operand %d" (Op.name op) i)
+
+let same_type_operands op =
+  match Op.operands op with
+  | [] | [ _ ] -> Ok ()
+  | v :: rest ->
+    check
+      (List.for_all (fun u -> Types.equal (Value.ty u) (Value.ty v)) rest)
+      (Fmt.str "%s operands must all have the same type" (Op.name op))

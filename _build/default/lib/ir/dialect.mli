@@ -1,0 +1,30 @@
+(** Registry of known operations.
+
+    Dialect libraries register operation descriptors at initialisation time;
+    {!Verifier} consults the registry for per-op checks. Unregistered ops
+    are tolerated unless strict verification is requested. *)
+
+type op_info = {
+  op_name : string;
+  summary : string;
+  verify : Op.t -> (unit, string) result;
+}
+
+val register :
+  ?summary:string -> ?verify:(Op.t -> (unit, string) result) -> string -> unit
+
+val lookup : string -> op_info option
+val is_registered : string -> bool
+val registered_ops : unit -> string list
+val registered_dialects : unit -> string list
+
+(** {2 Verifier combinators for dialect definitions} *)
+
+val check : bool -> string -> (unit, string) result
+val ( let* ) : (unit, string) result -> (unit -> (unit, string) result) -> (unit, string) result
+val expect_operands : Op.t -> int -> (unit, string) result
+val expect_results : Op.t -> int -> (unit, string) result
+val expect_regions : Op.t -> int -> (unit, string) result
+val expect_attr : Op.t -> string -> (unit, string) result
+val expect_operand_type : Op.t -> int -> Types.t -> (unit, string) result
+val same_type_operands : Op.t -> (unit, string) result

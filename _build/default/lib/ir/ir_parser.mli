@@ -1,0 +1,16 @@
+(** Parser for the generic-operation textual syntax emitted by {!Printer}.
+
+    Values are reconstructed with the integer ids appearing in the text, so
+    parsing printed IR yields a structurally identical tree. *)
+
+exception Parse_error of string * int
+(** Message and character offset. *)
+
+val parse_ops : string -> Op.t list
+(** Parse a sequence of top-level operations. *)
+
+val parse_module : string -> Op.t
+(** Parse and wrap into a [builtin.module] if the text is not already one. *)
+
+val parse_type_string : string -> Types.t
+(** Parse a single type, e.g. ["memref<100xf64, 1 : i32>"]. *)

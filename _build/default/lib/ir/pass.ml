@@ -1,0 +1,48 @@
+(* Pass manager: named module-to-module transformations with optional
+   inter-pass verification, per-pass timing and IR dump hooks (the
+   equivalent of mlir-opt's -pass-pipeline driver). *)
+
+type t = {
+  pass_name : string;
+  run : Op.t -> Op.t;
+}
+
+type stage_record = {
+  stage_name : string;
+  elapsed_s : float;
+  op_count : int;
+}
+
+let make pass_name run = { pass_name; run }
+let name p = p.pass_name
+let run p m = p.run m
+
+let count_ops m = Op.count (fun _ -> true) m
+
+let run_pipeline ?(verify_between = false) ?on_stage passes m =
+  let records = ref [] in
+  let notify stage_name elapsed_s m =
+    let r = { stage_name; elapsed_s; op_count = count_ops m } in
+    records := r :: !records;
+    match on_stage with Some f -> f r m | None -> ()
+  in
+  notify "input" 0.0 m;
+  let result =
+    List.fold_left
+      (fun m p ->
+        let t0 = Unix.gettimeofday () in
+        let m' = p.run m in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        if verify_between then Verifier.verify_exn m';
+        notify p.pass_name elapsed m';
+        m')
+      m passes
+  in
+  (result, List.rev !records)
+
+let run_pipeline_exn ?verify_between ?on_stage passes m =
+  fst (run_pipeline ?verify_between ?on_stage passes m)
+
+let pp_stage fmt r =
+  Fmt.pf fmt "%-28s %6.2f ms  %5d ops" r.stage_name (r.elapsed_s *. 1000.)
+    r.op_count

@@ -1,0 +1,67 @@
+(* Textual IR output in MLIR's generic-operation syntax, e.g.
+
+     %3 = "arith.addf"(%1, %2) <{fastmath = "contract"}> : (f32, f32) -> (f32)
+
+   The output round-trips through Ir_parser. *)
+
+let pp_value_list fmt vs = Fmt.list ~sep:(Fmt.any ", ") Value.pp fmt vs
+
+let pp_type_list fmt tys =
+  Fmt.pf fmt "(%a)" (Fmt.list ~sep:(Fmt.any ", ") Types.pp) tys
+
+let pp_attrs fmt attrs =
+  let pp_kv fmt (k, v) = Fmt.pf fmt "%s = %a" k Attr.pp v in
+  Fmt.pf fmt " <{%a}>" (Fmt.list ~sep:(Fmt.any ", ") pp_kv) attrs
+
+let rec pp_op indent fmt op =
+  let pad = String.make indent ' ' in
+  Fmt.string fmt pad;
+  (match op.Op.results with
+  | [] -> ()
+  | rs -> Fmt.pf fmt "%a = " pp_value_list rs);
+  Fmt.pf fmt "\"%s\"(%a)" op.Op.name pp_value_list op.Op.operands;
+  (match op.Op.attrs with [] -> () | attrs -> pp_attrs fmt attrs);
+  (match op.Op.regions with
+  | [] -> ()
+  | regions ->
+    Fmt.string fmt " (";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Fmt.string fmt ", ";
+        pp_region indent fmt r)
+      regions;
+    Fmt.string fmt ")");
+  Fmt.pf fmt " : %a -> %a"
+    pp_type_list (List.map Value.ty op.Op.operands)
+    pp_type_list (List.map Value.ty op.Op.results)
+
+and pp_region indent fmt blocks =
+  Fmt.string fmt "{";
+  List.iter
+    (fun b ->
+      Fmt.pf fmt "\n%s^%s(%a):"
+        (String.make (indent + 1) ' ')
+        b.Op.label
+        (Fmt.list ~sep:(Fmt.any ", ") Value.pp_typed)
+        b.Op.args;
+      List.iter
+        (fun o -> Fmt.pf fmt "\n%a" (pp_op (indent + 2)) o)
+        b.Op.body)
+    blocks;
+  Fmt.pf fmt "\n%s}" (String.make indent ' ')
+
+let pp fmt op = pp_op 0 fmt op
+let pp_ops fmt ops = Fmt.list ~sep:(Fmt.any "\n") (pp_op 0) fmt ops
+
+(* Render without automatic line breaking: the break hints inside Fmt.list
+   otherwise wrap mid-operation at the default 78-column margin. *)
+let with_wide_formatter pp_f x =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.pp_set_margin fmt 1_000_000;
+  pp_f fmt x;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let to_string op = with_wide_formatter pp op
+let ops_to_string ops = with_wide_formatter pp_ops ops

@@ -1,0 +1,7 @@
+(** Textual IR output in MLIR's generic-operation syntax. The output is
+    accepted by {!Ir_parser}, so [parse (print m)] round-trips. *)
+
+val pp : Format.formatter -> Op.t -> unit
+val pp_ops : Format.formatter -> Op.t list -> unit
+val to_string : Op.t -> string
+val ops_to_string : Op.t list -> string

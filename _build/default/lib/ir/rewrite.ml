@@ -1,0 +1,95 @@
+(* Greedy pattern-rewrite driver, in the spirit of MLIR's
+   applyPatternsAndFoldGreedily. A pattern either leaves an op alone or
+   replaces it by a list of new ops plus a value substitution that redirects
+   the old results. Patterns are applied bottom-up until fixpoint. *)
+
+type outcome = {
+  new_ops : Op.t list;
+  replacements : (Value.t * Value.t) list;
+      (* old result -> replacement value *)
+}
+
+type pattern = {
+  pat_name : string;
+  match_and_rewrite : Builder.t -> Op.t -> outcome option;
+}
+
+let pattern pat_name match_and_rewrite = { pat_name; match_and_rewrite }
+
+let replace_with ?(replacements = []) new_ops = { new_ops; replacements }
+
+let erase = { new_ops = []; replacements = [] }
+
+(* One bottom-up sweep. Returns the rewritten body and whether anything
+   changed. Substitutions are applied to the remainder of the enclosing
+   block and propagate outward through the returned mapping. *)
+let apply_once patterns builder top =
+  let changed = ref false in
+  (* Accumulated value substitution (old -> new), applied lazily. *)
+  let subst : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
+  let rec resolve v =
+    match Hashtbl.find_opt subst (Value.id v) with
+    | Some v' -> resolve v'
+    | None -> v
+  in
+  let rec rewrite_op op =
+    let op =
+      {
+        op with
+        Op.operands = List.map resolve op.Op.operands;
+        regions =
+          List.map
+            (fun blocks ->
+              List.map
+                (fun b ->
+                  { b with Op.body = List.concat_map rewrite_op b.Op.body })
+                blocks)
+            op.Op.regions;
+      }
+    in
+    let rec try_patterns = function
+      | [] -> [ op ]
+      | p :: rest -> (
+        match p.match_and_rewrite builder op with
+        | Some { new_ops; replacements } ->
+          changed := true;
+          List.iter
+            (fun (old_v, new_v) ->
+              Hashtbl.replace subst (Value.id old_v) new_v)
+            replacements;
+          (* New ops may still use stale values produced earlier in this
+             sweep. *)
+          List.map (Op.substitute (fun v ->
+              let v' = resolve v in
+              if Value.equal v v' then None else Some v')) new_ops
+        | None -> try_patterns rest)
+    in
+    try_patterns patterns
+  in
+  let result =
+    match rewrite_op top with
+    | [ op ] -> op
+    | _ -> invalid_arg "Rewrite.apply_once: top-level op was erased or split"
+  in
+  (* Apply any substitutions that were recorded after their uses were
+     already emitted (e.g. a later op folded into an earlier value). *)
+  let result =
+    if Hashtbl.length subst = 0 then result
+    else
+      Op.substitute
+        (fun v ->
+          let v' = resolve v in
+          if Value.equal v v' then None else Some v')
+        result
+  in
+  (result, !changed)
+
+let apply ?(max_iterations = 32) patterns top =
+  let builder = Builder.for_op top in
+  let rec go op n =
+    if n = 0 then op
+    else
+      let op', changed = apply_once patterns builder op in
+      if changed then go op' (n - 1) else op'
+  in
+  go top max_iterations

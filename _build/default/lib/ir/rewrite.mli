@@ -1,0 +1,24 @@
+(** Greedy pattern-rewrite driver (MLIR's
+    [applyPatternsAndFoldGreedily] analogue). Patterns are applied
+    bottom-up over the op tree until fixpoint or an iteration cap. *)
+
+type outcome = {
+  new_ops : Op.t list;  (** Replacement ops (empty to erase). *)
+  replacements : (Value.t * Value.t) list;
+      (** Redirections: uses of the first value become the second. *)
+}
+
+type pattern = {
+  pat_name : string;
+  match_and_rewrite : Builder.t -> Op.t -> outcome option;
+}
+
+val pattern : string -> (Builder.t -> Op.t -> outcome option) -> pattern
+
+val replace_with :
+  ?replacements:(Value.t * Value.t) list -> Op.t list -> outcome
+
+val erase : outcome
+(** Drop the op entirely (only valid for ops whose results are unused). *)
+
+val apply : ?max_iterations:int -> pattern list -> Op.t -> Op.t

@@ -1,0 +1,29 @@
+(* SSA values. Identity is the integer id; the type is carried for
+   convenience so consumers never need a side table. *)
+
+type t = {
+  id : int;
+  ty : Types.t;
+}
+
+let make id ty = { id; ty }
+let id v = v.id
+let ty v = v.ty
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash v = v.id
+let pp fmt v = Fmt.pf fmt "%%%d" v.id
+let pp_typed fmt v = Fmt.pf fmt "%%%d : %a" v.id Types.pp v.ty
+let to_string v = Fmt.str "%a" pp v
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,22 @@
+(** SSA values. A value is identified by a unique integer id allocated by
+    {!Builder} and carries its type. *)
+
+type t = private {
+  id : int;
+  ty : Types.t;
+}
+
+val make : int -> Types.t -> t
+(** Used by {!Builder} and the parser; prefer [Builder.fresh]. *)
+
+val id : t -> int
+val ty : t -> Types.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val pp_typed : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

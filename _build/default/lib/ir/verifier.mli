@@ -1,0 +1,19 @@
+(** Structural IR verification: single definitions, def-before-use with
+    MLIR's enclosing-region visibility, and per-op checks registered in the
+    {!Dialect} registry. *)
+
+type diag = {
+  op_name : string;
+  message : string;
+}
+
+val pp_diag : Format.formatter -> diag -> unit
+
+val verify : ?strict:bool -> Op.t -> diag list
+(** Returns all diagnostics; empty means valid. [strict] also flags
+    unregistered operations. *)
+
+val verify_exn : ?strict:bool -> Op.t -> unit
+(** Raises [Failure] with the collected diagnostics if invalid. *)
+
+val is_valid : ?strict:bool -> Op.t -> bool

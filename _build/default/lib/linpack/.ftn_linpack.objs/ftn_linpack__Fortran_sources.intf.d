@@ -1,0 +1,1 @@
+lib/linpack/fortran_sources.mli:

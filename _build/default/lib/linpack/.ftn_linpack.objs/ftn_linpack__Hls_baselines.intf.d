@@ -1,0 +1,1 @@
+lib/linpack/hls_baselines.mli: Ftn_hlsim Ftn_ir Ftn_runtime Op

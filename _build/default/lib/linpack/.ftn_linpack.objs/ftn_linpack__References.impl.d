@@ -1,0 +1,1 @@
+lib/linpack/references.ml: Array Float Int32

@@ -1,0 +1,1 @@
+lib/linpack/references.mli:

@@ -1,0 +1,35 @@
+(** Hand-written HLS baselines: the kernels a Vitis HLS programmer would
+    write in C with pragmas, expressed at the hls-dialect level as AMD's
+    Clang frontend emits them, plus hand-written host drivers over the
+    runtime's OpenCL-level API. Synthesised with [frontend = Clang_hls] so
+    the backend's MAC pattern matcher sees Clang-shaped IR. *)
+
+open Ftn_ir
+
+val saxpy_device : n:int -> Op.t
+(** SAXPY kernel, pipelined and unrolled by 10. *)
+
+val sgesl_device : n:int -> Op.t
+(** SGESL update kernel: pipelined, not unrolled — its MAC is recognised
+    and lands in DSPs (Table 4). *)
+
+val scale_dataflow_device : ?dataflow:bool -> n:int -> unit -> Op.t
+(** Three-stage read/scale/write kernel through on-chip streams; with
+    [dataflow] the stages overlap. *)
+
+type baseline_run = {
+  result : Ftn_runtime.Executor.result;
+  bitstream : Ftn_hlsim.Bitstream.t;
+  values : float array;  (** The output vector after the run. *)
+}
+
+val run_saxpy : ?spec:Ftn_hlsim.Fpga_spec.t -> n:int -> unit -> baseline_run
+val run_sgesl : ?spec:Ftn_hlsim.Fpga_spec.t -> n:int -> unit -> baseline_run
+
+val run_scale_dataflow :
+  ?spec:Ftn_hlsim.Fpga_spec.t ->
+  ?dataflow:bool ->
+  n:int ->
+  a:float ->
+  unit ->
+  baseline_run

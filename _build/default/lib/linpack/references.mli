@@ -1,0 +1,31 @@
+(** OCaml reference implementations of the evaluation kernels, the matching
+    workload initialisations, and the full single-precision LINPACK
+    factor/solve pair. Arithmetic rounds to f32 at each operation, so the
+    pipeline's results can be compared bit-for-bit. *)
+
+val to_f32 : float -> float
+
+val saxpy : a:float -> x:float array -> y:float array -> unit
+(** In-place y := y + a*x with f32 rounding. *)
+
+val saxpy_inputs : n:int -> float array * float array
+(** The initial x and y of [Fortran_sources.saxpy]. *)
+
+val sgesl_update : n:int -> a:float array -> b:float array -> ipvt:int array -> unit
+(** The paper's Listing 6 loop nest, sequential. *)
+
+val sgesl_inputs : n:int -> float array * float array * int array
+val dot : x:float array -> y:float array -> float
+val dot_inputs : n:int -> float array * float array
+
+val idx : int -> int -> int -> int
+(** Column-major flat index: [idx n i j] addresses A(i+1, j+1). *)
+
+val sgefa : n:int -> float array -> int array -> int
+(** LU factorisation with partial pivoting; returns info (0 = ok). *)
+
+val sgesl : n:int -> float array -> int array -> float array -> unit
+(** Solve using sgefa's factors (job = 0). *)
+
+val residual : n:int -> float array -> float array -> float array -> float
+(** ||A x - b||_inf for checking the solver. *)

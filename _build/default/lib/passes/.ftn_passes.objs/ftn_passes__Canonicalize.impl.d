@@ -1,0 +1,1 @@
+lib/passes/canonicalize.ml: Arith Attr Builder Fmt Ftn_dialects Ftn_ir Hashtbl List Op Pass String Types Value

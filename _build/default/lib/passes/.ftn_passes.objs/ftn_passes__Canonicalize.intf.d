@@ -1,0 +1,1 @@
+lib/passes/canonicalize.mli: Ftn_ir

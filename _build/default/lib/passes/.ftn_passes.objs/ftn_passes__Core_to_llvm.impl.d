@@ -1,0 +1,1 @@
+lib/passes/core_to_llvm.ml: Attr Builder Fmt Ftn_dialects Ftn_ir Func_d Hashtbl List Llvm_d Op Option Pass Scf String Types Value

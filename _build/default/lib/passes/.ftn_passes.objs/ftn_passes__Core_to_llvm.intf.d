@@ -1,0 +1,1 @@
+lib/passes/core_to_llvm.mli: Ftn_ir

@@ -1,0 +1,1 @@
+lib/passes/hls_to_func.ml: Attr Builder Ftn_dialects Ftn_ir Func_d Hashtbl List Op Pass Types Value

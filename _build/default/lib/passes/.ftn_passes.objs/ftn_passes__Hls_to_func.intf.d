@@ -1,0 +1,1 @@
+lib/passes/hls_to_func.mli: Ftn_ir

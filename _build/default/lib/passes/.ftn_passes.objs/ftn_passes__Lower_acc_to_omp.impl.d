@@ -1,0 +1,1 @@
+lib/passes/lower_acc_to_omp.ml: Acc Attr Ftn_dialects Ftn_ir List Omp Op Option Pass

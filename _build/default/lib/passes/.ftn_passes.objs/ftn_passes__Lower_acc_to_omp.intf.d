@@ -1,0 +1,1 @@
+lib/passes/lower_acc_to_omp.mli: Ftn_ir

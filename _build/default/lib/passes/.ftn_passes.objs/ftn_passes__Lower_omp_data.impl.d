@@ -1,0 +1,1 @@
+lib/passes/lower_omp_data.ml: Arith Builder Device Ftn_dialects Ftn_ir Hashtbl List Memref_d Omp Op Option Pass Scf String Types Value

@@ -1,0 +1,1 @@
+lib/passes/lower_omp_data.mli: Ftn_ir

@@ -1,0 +1,1 @@
+lib/passes/lower_omp_target.ml: Attr Builder Builtin Device Fmt Ftn_dialects Ftn_ir Func_d List Omp Op Option Pass String Types Value

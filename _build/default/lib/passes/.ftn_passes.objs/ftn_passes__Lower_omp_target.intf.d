@@ -1,0 +1,1 @@
+lib/passes/lower_omp_target.mli: Ftn_ir

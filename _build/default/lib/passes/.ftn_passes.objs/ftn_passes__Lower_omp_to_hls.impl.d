@@ -1,0 +1,1 @@
+lib/passes/lower_omp_to_hls.ml: Arith Attr Builder Float Fmt Ftn_dialects Ftn_ir Func_d Hls List Memref_d Omp Op Pass Scf String Types Value

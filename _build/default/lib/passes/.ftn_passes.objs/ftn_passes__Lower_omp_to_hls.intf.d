@@ -1,0 +1,1 @@
+lib/passes/lower_omp_to_hls.mli: Ftn_ir

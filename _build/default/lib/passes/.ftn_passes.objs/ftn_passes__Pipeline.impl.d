@@ -1,0 +1,1 @@
+lib/passes/pipeline.ml: Canonicalize Core_to_llvm Ftn_ir Hls_to_func Lower_acc_to_omp Lower_omp_data Lower_omp_target Lower_omp_to_hls Op Pass Split_modules

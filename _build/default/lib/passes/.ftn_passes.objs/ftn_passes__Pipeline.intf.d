@@ -1,0 +1,1 @@
+lib/passes/pipeline.mli: Ftn_ir Lower_omp_data Lower_omp_to_hls

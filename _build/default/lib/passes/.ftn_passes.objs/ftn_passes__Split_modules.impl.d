@@ -1,0 +1,1 @@
+lib/passes/split_modules.ml: Builtin Ftn_dialects Ftn_ir List Op

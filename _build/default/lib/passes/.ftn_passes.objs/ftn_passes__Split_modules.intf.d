@@ -1,0 +1,1 @@
+lib/passes/split_modules.mli: Ftn_ir

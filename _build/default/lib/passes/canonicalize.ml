@@ -1,0 +1,411 @@
+(* Canonicalisation: constant folding, common-subexpression elimination,
+   store-to-load forwarding on scalar allocas (the paper's "simple
+   canonicalisation to remove dependencies between loop iterations"), dead
+   code and dead allocation elimination. *)
+
+open Ftn_ir
+open Ftn_dialects
+
+let pure_op op =
+  match Op.dialect op with
+  | "arith" | "math" -> true
+  | _ ->
+    List.mem (Op.name op)
+      [ "memref.dim"; "omp.bounds_info"; "hls.axi_protocol" ]
+
+(* --- constant folding --- *)
+
+(* Sequentially walks blocks keeping a table of known-constant values. *)
+let fold_constants m =
+  let b = Builder.for_op m in
+  let consts : (int, Attr.t) Hashtbl.t = Hashtbl.create 64 in
+  let const_of v = Hashtbl.find_opt consts (Value.id v) in
+  let int_of v =
+    match const_of v with Some (Attr.Int (n, _)) -> Some n | _ -> None
+  in
+  let float_of v =
+    match const_of v with Some (Attr.Float (x, _)) -> Some x | _ -> None
+  in
+  let remember op =
+    match Arith.constant_value op with
+    | Some a -> Hashtbl.replace consts (Value.id (Op.result1 op)) a
+    | None -> ()
+  in
+  let replace_with_const op attr =
+    let c = Arith.constant b attr (Value.ty (Op.result1 op)) in
+    let c = { c with Op.results = [ Op.result1 op ] } in
+    remember c;
+    [ c ]
+  in
+  let try_fold op =
+    let name = Op.name op in
+    if Arith.is_constant op then begin
+      remember op;
+      [ op ]
+    end
+    else if List.mem name Arith.int_binop_names then
+      match Op.operands op with
+      | [ x; y ] -> (
+        match (int_of x, int_of y) with
+        | Some a, Some c -> (
+          match Arith.fold_int_binop name a c with
+          | Some r -> replace_with_const op (Attr.Int (r, Value.ty (Op.result1 op)))
+          | None -> [ op ])
+        | _ -> [ op ])
+      | _ -> [ op ]
+    else if List.mem name Arith.float_binop_names then
+      match Op.operands op with
+      | [ x; y ] -> (
+        match (float_of x, float_of y) with
+        | Some a, Some c -> (
+          match Arith.fold_float_binop name a c with
+          | Some r ->
+            replace_with_const op (Attr.Float (r, Value.ty (Op.result1 op)))
+          | None -> [ op ])
+        | _ -> [ op ])
+      | _ -> [ op ]
+    else if String.equal name "arith.cmpi" then
+      match Op.operands op with
+      | [ x; y ] -> (
+        match (int_of x, int_of y, Op.string_attr op "predicate") with
+        | Some a, Some c, Some pred_s -> (
+          match Arith.int_pred_of_string pred_s with
+          | Some pred ->
+            let r = if Arith.eval_int_pred pred a c then 1 else 0 in
+            replace_with_const op (Attr.Int (r, Types.I1))
+          | None -> [ op ])
+        | _ -> [ op ])
+      | _ -> [ op ]
+    else if String.equal name "arith.index_cast" then
+      match Op.operands op with
+      | [ x ] -> (
+        match int_of x with
+        | Some a ->
+          replace_with_const op (Attr.Int (a, Value.ty (Op.result1 op)))
+        | None -> [ op ])
+      | _ -> [ op ]
+    else if String.equal name "arith.sitofp" then
+      match Op.operands op with
+      | [ x ] -> (
+        match int_of x with
+        | Some a ->
+          replace_with_const op
+            (Attr.Float (float_of_int a, Value.ty (Op.result1 op)))
+        | None -> [ op ])
+      | _ -> [ op ]
+    else [ op ]
+  in
+  (* Folded selects forward one of their operands, which needs a value
+     substitution applied to later uses. *)
+  let subst : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
+  let resolve v =
+    match Hashtbl.find_opt subst (Value.id v) with Some v' -> v' | None -> v
+  in
+  let rec walk_op op =
+    let op = { op with Op.operands = List.map resolve op.Op.operands } in
+    let op =
+      {
+        op with
+        Op.regions =
+          List.map
+            (fun blocks ->
+              List.map
+                (fun blk ->
+                  { blk with Op.body = List.concat_map walk_op blk.Op.body })
+                blocks)
+            op.Op.regions;
+      }
+    in
+    if String.equal (Op.name op) "arith.select" then
+      match Op.operands op with
+      | [ c; t; f ] -> (
+        match int_of c with
+        | Some 1 ->
+          Hashtbl.replace subst (Value.id (Op.result1 op)) t;
+          []
+        | Some 0 ->
+          Hashtbl.replace subst (Value.id (Op.result1 op)) f;
+          []
+        | _ -> [ op ])
+      | _ -> [ op ]
+    else try_fold op
+  in
+  match walk_op m with
+  | [ m' ] -> m'
+  | _ -> invalid_arg "fold_constants: module vanished"
+
+(* --- common subexpression elimination (per block, pure ops only) --- *)
+
+let cse m =
+  let rec walk_op op =
+    {
+      op with
+      Op.regions =
+        List.map
+          (fun blocks -> List.map walk_block blocks)
+          op.Op.regions;
+    }
+  and walk_block blk =
+    let seen : (string, Value.t list) Hashtbl.t = Hashtbl.create 32 in
+    let subst : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
+    let resolve v =
+      match Hashtbl.find_opt subst (Value.id v) with
+      | Some v' -> v'
+      | None -> v
+    in
+    let key op =
+      Fmt.str "%s(%a)%a" (Op.name op)
+        (Fmt.list ~sep:(Fmt.any ", ") Fmt.int)
+        (List.map Value.id (Op.operands op))
+        (Fmt.list ~sep:(Fmt.any ", ") (Fmt.pair Fmt.string Attr.pp))
+        (Op.attrs op)
+    in
+    let body =
+      List.concat_map
+        (fun op ->
+          let op =
+            { op with Op.operands = List.map resolve op.Op.operands }
+          in
+          let op = walk_op op in
+          if pure_op op && op.Op.regions = [] && Op.results op <> [] then begin
+            let k = key op in
+            match Hashtbl.find_opt seen k with
+            | Some prior_results ->
+              List.iter2
+                (fun r p -> Hashtbl.replace subst (Value.id r) p)
+                (Op.results op) prior_results;
+              []
+            | None ->
+              Hashtbl.add seen k (Op.results op);
+              [ op ]
+          end
+          else [ op ])
+        blk.Op.body
+    in
+    (* a substitution may be recorded after some uses were emitted if ops
+       are reordered; a second resolve sweep keeps everything consistent *)
+    let body =
+      List.map
+        (fun op ->
+          Op.substitute
+            (fun v ->
+              let v' = resolve v in
+              if Value.equal v v' then None else Some v')
+            op)
+        body
+    in
+    { blk with Op.body }
+  in
+  walk_op m
+
+(* --- store-to-load forwarding on rank-0 allocas --- *)
+
+let is_scalar_alloca_ty v =
+  match Value.ty v with
+  | Types.Memref { shape = []; _ } -> true
+  | _ -> false
+
+let forward_stores m =
+  (* Track, per block, the last value stored to each rank-0 memref that was
+     produced by an alloca in this function. Any op with regions or a call
+     invalidates everything (conservative). *)
+  let allocas = ref Value.Set.empty in
+  Op.walk
+    (fun op ->
+      if
+        String.equal (Op.name op) "memref.alloca"
+        && is_scalar_alloca_ty (Op.result1 op)
+      then allocas := Value.Set.add (Op.result1 op) !allocas)
+    m;
+  let rec walk_op op =
+    {
+      op with
+      Op.regions =
+        List.map (fun blocks -> List.map walk_block blocks) op.Op.regions;
+    }
+  and walk_block blk =
+    let last_store : (int, Value.t) Hashtbl.t = Hashtbl.create 8 in
+    let subst : (int, Value.t) Hashtbl.t = Hashtbl.create 8 in
+    let resolve v =
+      match Hashtbl.find_opt subst (Value.id v) with
+      | Some v' -> v'
+      | None -> v
+    in
+    let body =
+      List.concat_map
+        (fun op ->
+          let op =
+            { op with Op.operands = List.map resolve op.Op.operands }
+          in
+          match Op.name op with
+          | "memref.store" -> (
+            match Op.operands op with
+            | [ value; mr ] when Value.Set.mem mr !allocas ->
+              Hashtbl.replace last_store (Value.id mr) value;
+              [ op ]
+            | _ -> [ op ])
+          | "memref.load" -> (
+            match Op.operands op with
+            | [ mr ] when Value.Set.mem mr !allocas -> (
+              match Hashtbl.find_opt last_store (Value.id mr) with
+              | Some value ->
+                Hashtbl.replace subst (Value.id (Op.result1 op)) value;
+                []
+              | None -> [ op ])
+            | _ -> [ op ])
+          | "func.call" | "fir.call" ->
+            Hashtbl.reset last_store;
+            [ op ]
+          | _ ->
+            if op.Op.regions <> [] then begin
+              let op = walk_op op in
+              Hashtbl.reset last_store;
+              [ op ]
+            end
+            else [ op ])
+        blk.Op.body
+    in
+    { blk with Op.body }
+  in
+  walk_op m
+
+(* --- dead code elimination --- *)
+
+let has_side_effects op =
+  match Op.name op with
+  | "memref.store" | "memref.dealloc" | "memref.copy" | "memref.dma_start"
+  | "memref.dma_wait" | "func.call" | "func.return" | "func.func"
+  | "fir.call" | "fir.store" | "scf.yield" | "scf.condition"
+  | "builtin.module" ->
+    true
+  | name when String.length name >= 4 && String.sub name 0 4 = "omp." -> true
+  | name when String.length name >= 7 && String.sub name 0 7 = "device." ->
+    not (String.equal name "device.lookup")
+  | name when String.length name >= 4 && String.sub name 0 4 = "hls." ->
+    not (String.equal name "hls.axi_protocol")
+  | name when String.length name >= 5 && String.sub name 0 5 = "llvm." -> true
+  | "scf.for" | "scf.if" | "scf.while" ->
+    (* structured control flow is kept unless it has no side effects
+       inside; keep conservatively *)
+    true
+  | _ -> false
+
+let dce m =
+  let changed = ref true in
+  let result = ref m in
+  while !changed do
+    changed := false;
+    let used = ref Value.Set.empty in
+    Op.walk
+      (fun op ->
+        List.iter (fun v -> used := Value.Set.add v !used) (Op.operands op))
+      !result;
+    let rec walk_op op =
+      let op =
+        {
+          op with
+          Op.regions =
+            List.map
+              (fun blocks ->
+                List.map
+                  (fun blk ->
+                    { blk with Op.body = List.concat_map walk_op blk.Op.body })
+                  blocks)
+            op.Op.regions;
+        }
+      in
+      let results_unused =
+        List.for_all (fun r -> not (Value.Set.mem r !used)) (Op.results op)
+      in
+      if
+        results_unused
+        && (not (has_side_effects op))
+        && (pure_op op
+           || List.mem (Op.name op) [ "memref.alloca"; "memref.alloc";
+                                      "memref.get_global"; "device.lookup";
+                                      "hls.axi_protocol";
+                                      "builtin.unrealized_conversion_cast" ])
+      then begin
+        changed := true;
+        []
+      end
+      else [ op ]
+    in
+    match walk_op !result with
+    | [ m' ] -> result := m'
+    | _ -> invalid_arg "dce: module vanished"
+  done;
+  !result
+
+(* Remove allocas whose only remaining uses are stores. *)
+let dead_alloca_elimination m =
+  let store_only = ref Value.Set.empty in
+  let disqualified = ref Value.Set.empty in
+  Op.walk
+    (fun op ->
+      match Op.name op with
+      | "memref.alloca" -> store_only := Value.Set.add (Op.result1 op) !store_only
+      | "memref.store" -> (
+        match Op.operands op with
+        | value :: _mr :: _ ->
+          (* storing an alloca's address disqualifies it *)
+          disqualified := Value.Set.add value !disqualified
+        | _ -> ())
+      | _ ->
+        List.iter
+          (fun v -> disqualified := Value.Set.add v !disqualified)
+          (Op.operands op))
+    m;
+  (* memref.store's target position must not disqualify: recompute --
+     disqualify uses except as the memref operand of a store *)
+  let disqualified = ref Value.Set.empty in
+  Op.walk
+    (fun op ->
+      match Op.name op with
+      | "memref.store" -> (
+        match Op.operands op with
+        | value :: _mr :: indices ->
+          disqualified := Value.Set.add value !disqualified;
+          List.iter
+            (fun v -> disqualified := Value.Set.add v !disqualified)
+            indices
+        | _ -> ())
+      | _ ->
+        List.iter
+          (fun v -> disqualified := Value.Set.add v !disqualified)
+          (Op.operands op))
+    m;
+  let dead = Value.Set.diff !store_only !disqualified in
+  if Value.Set.is_empty dead then m
+  else
+    let rec walk_op op =
+      let op =
+        {
+          op with
+          Op.regions =
+            List.map
+              (fun blocks ->
+                List.map
+                  (fun blk ->
+                    { blk with Op.body = List.concat_map walk_op blk.Op.body })
+                  blocks)
+              op.Op.regions;
+        }
+      in
+      match Op.name op with
+      | "memref.alloca" when Value.Set.mem (Op.result1 op) dead -> []
+      | "memref.store" -> (
+        match Op.operands op with
+        | _ :: mr :: _ when Value.Set.mem mr dead -> []
+        | _ -> [ op ])
+      | _ -> [ op ]
+    in
+    match walk_op m with
+    | [ m' ] -> m'
+    | _ -> invalid_arg "dead_alloca_elimination: module vanished"
+
+let run m =
+  m |> fold_constants |> cse |> forward_stores |> dce
+  |> dead_alloca_elimination |> dce
+
+let pass = Pass.make "canonicalize" run

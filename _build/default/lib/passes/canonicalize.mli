@@ -1,0 +1,16 @@
+(** Canonicalisation: constant folding, per-block CSE of pure ops,
+    store-to-load forwarding on scalar allocas (the paper's "simple
+    canonicalisation to remove dependencies between loop iterations"),
+    dead-code and dead-allocation elimination. The individual sweeps are
+    exposed for testing and ablation. *)
+
+val fold_constants : Ftn_ir.Op.t -> Ftn_ir.Op.t
+val cse : Ftn_ir.Op.t -> Ftn_ir.Op.t
+val forward_stores : Ftn_ir.Op.t -> Ftn_ir.Op.t
+val dce : Ftn_ir.Op.t -> Ftn_ir.Op.t
+val dead_alloca_elimination : Ftn_ir.Op.t -> Ftn_ir.Op.t
+
+val run : Ftn_ir.Op.t -> Ftn_ir.Op.t
+(** All sweeps, in order, with a final DCE. *)
+
+val pass : Ftn_ir.Pass.t

@@ -1,0 +1,496 @@
+(* Core dialects -> llvm dialect (the step mlir-opt performs in the paper's
+   flow). Structured control flow is flattened into CFG form with block
+   arguments as phi nodes; memrefs become pointers with explicit row-major
+   index linearisation; index values widen to i64; math ops become libm
+   calls. Applied to the device module before LLVM-IR emission. *)
+
+open Ftn_ir
+open Ftn_dialects
+
+exception Unsupported of string
+
+let rec convert_ty ty =
+  match ty with
+  | Types.Index -> Types.I64
+  | Types.Memref { elt; _ } -> Types.Ptr (convert_ty elt)
+  | Types.Func (args, results) ->
+    Types.Func (List.map convert_ty args, List.map convert_ty results)
+  | other -> other
+
+type fctx = {
+  b : Builder.t;
+  vmap : (int, Value.t) Hashtbl.t;  (** old value id -> new value *)
+  old_ty : (int, Types.t) Hashtbl.t;  (** old value id -> old type *)
+  mutable finished : Op.block list;  (** completed blocks, reversed *)
+  mutable cur_label : string;
+  mutable cur_args : Value.t list;
+  mutable cur_ops : Op.t list;  (** reversed *)
+  mutable label_counter : int;
+  mutable math_decls : (string * Types.t list * Types.t) list;
+}
+
+let fresh_label ctx prefix =
+  ctx.label_counter <- ctx.label_counter + 1;
+  Fmt.str "%s%d" prefix ctx.label_counter
+
+let emit ctx op = ctx.cur_ops <- op :: ctx.cur_ops
+
+let emit_get ctx op =
+  emit ctx op;
+  Op.result1 op
+
+(* Close the current block with terminator [term] (already emitted by the
+   caller) and open a new one. *)
+let start_block ctx label args =
+  ctx.finished <-
+    { Op.label = ctx.cur_label; args = ctx.cur_args; body = List.rev ctx.cur_ops }
+    :: ctx.finished;
+  ctx.cur_label <- label;
+  ctx.cur_args <- args;
+  ctx.cur_ops <- []
+
+let map_value ctx v =
+  match Hashtbl.find_opt ctx.vmap (Value.id v) with
+  | Some v' -> v'
+  | None ->
+    raise
+      (Unsupported (Fmt.str "value %%%d not mapped during llvm conversion" (Value.id v)))
+
+let bind ctx old_v new_v =
+  Hashtbl.replace ctx.vmap (Value.id old_v) new_v;
+  Hashtbl.replace ctx.old_ty (Value.id old_v) (Value.ty old_v)
+
+let fresh_for ctx old_v =
+  let v = Builder.fresh ctx.b (convert_ty (Value.ty old_v)) in
+  bind ctx old_v v;
+  v
+
+let const_i64 ctx n =
+  emit_get ctx (Llvm_d.constant ctx.b (Attr.Int (n, Types.I64)) Types.I64)
+
+(* Row-major linearisation of [indices] (new, i64) for the old memref type. *)
+let linearize ctx old_mr_ty indices =
+  match old_mr_ty with
+  | Types.Memref { shape = []; _ } -> const_i64 ctx 0
+  | Types.Memref { shape = [ _ ]; _ } -> (
+    match indices with
+    | [ i ] -> i
+    | _ -> raise (Unsupported "rank mismatch in memref access"))
+  | Types.Memref { shape; _ } ->
+    let dims =
+      List.map
+        (function
+          | Types.Static n -> n
+          | Types.Dynamic ->
+            raise
+              (Unsupported
+                 "dynamic multi-dimensional memrefs cannot be lowered to llvm"))
+        shape
+    in
+    let rec go acc dims indices =
+      match (dims, indices) with
+      | [], [] -> acc
+      | d :: dims, i :: indices ->
+        let dv = const_i64 ctx d in
+        let scaled = emit_get ctx (Llvm_d.binop ctx.b "mul" acc dv) in
+        let acc = emit_get ctx (Llvm_d.binop ctx.b "add" scaled i) in
+        go acc dims indices
+      | _ -> raise (Unsupported "rank mismatch in memref access")
+    in
+    (match (dims, indices) with
+    | _ :: rest_dims, first :: rest_idx -> go first rest_dims rest_idx
+    | _ -> raise (Unsupported "rank mismatch in memref access"))
+  | _ -> raise (Unsupported "memref access on non-memref value")
+
+let math_callee ctx name ty =
+  let base =
+    match name with
+    | "math.sqrt" -> "sqrt"
+    | "math.exp" -> "exp"
+    | "math.log" -> "log"
+    | "math.sin" -> "sin"
+    | "math.cos" -> "cos"
+    | "math.tanh" -> "tanh"
+    | "math.absf" -> "fabs"
+    | "math.powf" -> "pow"
+    | other -> raise (Unsupported ("math op " ^ other))
+  in
+  let callee, arg_ty =
+    match ty with
+    | Types.F32 -> (base ^ "f", Types.F32)
+    | _ -> (base, Types.F64)
+  in
+  let arity = if String.equal base "pow" then 2 else 1 in
+  let sig_ = (callee, List.init arity (fun _ -> arg_ty), arg_ty) in
+  if not (List.mem sig_ ctx.math_decls) then
+    ctx.math_decls <- sig_ :: ctx.math_decls;
+  callee
+
+let arith_to_llvm = function
+  | "arith.addi" -> Some "add"
+  | "arith.subi" -> Some "sub"
+  | "arith.muli" -> Some "mul"
+  | "arith.divsi" -> Some "sdiv"
+  | "arith.remsi" -> Some "srem"
+  | "arith.andi" -> Some "and"
+  | "arith.ori" -> Some "or"
+  | "arith.xori" -> Some "xor"
+  | "arith.addf" -> Some "fadd"
+  | "arith.subf" -> Some "fsub"
+  | "arith.mulf" -> Some "fmul"
+  | "arith.divf" -> Some "fdiv"
+  | _ -> None
+
+let rec emit_ops ctx ops = List.iter (emit_op ctx) ops
+
+and emit_op ctx op =
+  let name = Op.name op in
+  let mapped () = List.map (map_value ctx) (Op.operands op) in
+  match name with
+  | "arith.constant" -> (
+    let r = Op.result1 op in
+    let value =
+      match Op.find_attr op "value" with
+      | Some (Attr.Int (n, Types.Index)) -> Attr.Int (n, Types.I64)
+      | Some a -> a
+      | None -> raise (Unsupported "constant without value")
+    in
+    match Llvm_d.constant ctx.b value (convert_ty (Value.ty r)) with
+    | c ->
+      emit ctx c;
+      bind ctx r (Op.result1 c))
+  | _ when arith_to_llvm name <> None -> (
+    match (arith_to_llvm name, mapped ()) with
+    | Some llname, [ a; c ] ->
+      let r = emit_get ctx (Llvm_d.binop ctx.b llname a c) in
+      bind ctx (Op.result1 op) r
+    | _ -> raise (Unsupported name))
+  | "arith.maxsi" | "arith.minsi" | "arith.maximumf" | "arith.minimumf" -> (
+    match mapped () with
+    | [ a; c ] ->
+      let is_float = Types.is_float (Value.ty a) in
+      let cmp =
+        if is_float then
+          Llvm_d.fcmp ctx.b
+            (if name = "arith.maximumf" then "ogt" else "olt")
+            a c
+        else
+          Llvm_d.icmp ctx.b
+            (if name = "arith.maxsi" then "sgt" else "slt")
+            a c
+      in
+      let cond = emit_get ctx cmp in
+      let sel =
+        Builder.op1 ctx.b "llvm.select" ~operands:[ cond; a; c ] (Value.ty a)
+      in
+      let r = emit_get ctx sel in
+      bind ctx (Op.result1 op) r
+    | _ -> raise (Unsupported name))
+  | "arith.negf" -> (
+    match mapped () with
+    | [ a ] ->
+      let r = emit_get ctx (Llvm_d.cast ctx.b "fneg" a (Value.ty a)) in
+      bind ctx (Op.result1 op) r
+    | _ -> raise (Unsupported name))
+  | "arith.cmpi" | "arith.cmpf" -> (
+    match mapped () with
+    | [ a; c ] ->
+      let pred = Option.value ~default:"eq" (Op.string_attr op "predicate") in
+      let r =
+        if name = "arith.cmpi" then emit_get ctx (Llvm_d.icmp ctx.b pred a c)
+        else emit_get ctx (Llvm_d.fcmp ctx.b pred a c)
+      in
+      bind ctx (Op.result1 op) r
+    | _ -> raise (Unsupported name))
+  | "arith.select" -> (
+    match mapped () with
+    | [ c; t; f ] ->
+      let sel =
+        Builder.op1 ctx.b "llvm.select" ~operands:[ c; t; f ] (Value.ty t)
+      in
+      bind ctx (Op.result1 op) (emit_get ctx sel)
+    | _ -> raise (Unsupported name))
+  | "arith.index_cast" | "arith.extsi" | "arith.trunci" -> (
+    match mapped () with
+    | [ a ] ->
+      let src_w = Types.bitwidth (Value.ty a) in
+      let dst_ty = convert_ty (Value.ty (Op.result1 op)) in
+      let dst_w = Types.bitwidth dst_ty in
+      let r =
+        if src_w = dst_w then a
+        else if src_w < dst_w then
+          emit_get ctx (Llvm_d.cast ctx.b "sext" a dst_ty)
+        else emit_get ctx (Llvm_d.cast ctx.b "trunc" a dst_ty)
+      in
+      bind ctx (Op.result1 op) r
+    | _ -> raise (Unsupported name))
+  | "arith.sitofp" | "arith.fptosi" | "arith.extf" | "arith.truncf" -> (
+    match mapped () with
+    | [ a ] ->
+      let dst_ty = convert_ty (Value.ty (Op.result1 op)) in
+      let kind =
+        match name with
+        | "arith.sitofp" -> "sitofp"
+        | "arith.fptosi" -> "fptosi"
+        | "arith.extf" -> "fpext"
+        | _ -> "fptrunc"
+      in
+      bind ctx (Op.result1 op) (emit_get ctx (Llvm_d.cast ctx.b kind a dst_ty))
+    | _ -> raise (Unsupported name))
+  | "memref.alloca" | "memref.alloc" -> (
+    match Value.ty (Op.result1 op) with
+    | Types.Memref mi ->
+      let count =
+        try Types.memref_num_elements mi
+        with Invalid_argument _ ->
+          raise (Unsupported "dynamic alloca on the device")
+      in
+      let n = const_i64 ctx (max count 1) in
+      let r = emit_get ctx (Llvm_d.alloca ctx.b ~count:n (convert_ty mi.Types.elt)) in
+      bind ctx (Op.result1 op) r
+    | _ -> raise (Unsupported "alloca of non-memref"))
+  | "memref.load" -> (
+    match Op.operands op with
+    | mr :: indices ->
+      let base = map_value ctx mr in
+      let idx = List.map (map_value ctx) indices in
+      let linear = linearize ctx (Value.ty mr) idx in
+      let elt_ty = convert_ty (Value.ty (Op.result1 op)) in
+      let gep =
+        emit_get ctx
+          (Llvm_d.getelementptr ctx.b ~base ~indices:[ linear ] ~elem_ty:elt_ty)
+      in
+      bind ctx (Op.result1 op) (emit_get ctx (Llvm_d.load ctx.b gep elt_ty))
+    | [] -> raise (Unsupported "memref.load without operands"))
+  | "memref.store" -> (
+    match Op.operands op with
+    | value :: mr :: indices ->
+      let v = map_value ctx value in
+      let base = map_value ctx mr in
+      let idx = List.map (map_value ctx) indices in
+      let linear = linearize ctx (Value.ty mr) idx in
+      let elt_ty = convert_ty (Value.ty value) in
+      let gep =
+        emit_get ctx
+          (Llvm_d.getelementptr ctx.b ~base ~indices:[ linear ] ~elem_ty:elt_ty)
+      in
+      emit ctx (Llvm_d.store ~value:v ~ptr:gep)
+    | _ -> raise (Unsupported "memref.store without operands"))
+  | "math.sqrt" | "math.exp" | "math.log" | "math.sin" | "math.cos"
+  | "math.tanh" | "math.absf" | "math.powf" -> (
+    match mapped () with
+    | args ->
+      let ty = convert_ty (Value.ty (Op.result1 op)) in
+      let callee = math_callee ctx name ty in
+      let call = Llvm_d.call ctx.b ~callee ~operands:args ~result_tys:[ ty ] in
+      emit ctx call;
+      bind ctx (Op.result1 op) (Op.result1 call))
+  | "func.call" ->
+    let callee = Option.value ~default:"f" (Op.symbol_attr op "callee") in
+    let call =
+      Llvm_d.call ctx.b ~callee ~operands:(mapped ())
+        ~result_tys:(List.map (fun r -> convert_ty (Value.ty r)) (Op.results op))
+    in
+    let call = { call with Op.attrs = call.Op.attrs @ List.remove_assoc "callee" (Op.attrs op) } in
+    emit ctx call;
+    List.iter2 (bind ctx) (Op.results op) (Op.results call)
+  | "func.return" -> emit ctx (Llvm_d.return ~operands:(mapped ()) ())
+  | "scf.for" -> emit_for ctx op
+  | "scf.if" -> emit_if ctx op
+  | "scf.yield" ->
+    raise (Unsupported "unexpected scf.yield outside structured op")
+  | other -> raise (Unsupported ("cannot lower " ^ other ^ " to llvm"))
+
+and emit_for ctx op =
+  match Scf.for_parts op with
+  | None -> raise (Unsupported "malformed scf.for")
+  | Some parts ->
+    let lb = map_value ctx parts.Scf.lb in
+    let ub = map_value ctx parts.Scf.ub in
+    let step = map_value ctx parts.Scf.step in
+    let inits = List.map (map_value ctx) parts.Scf.iter_inits in
+    let cond_l = fresh_label ctx "for_cond" in
+    let body_l = fresh_label ctx "for_body" in
+    let exit_l = fresh_label ctx "for_exit" in
+    emit ctx (Llvm_d.br ~dest:cond_l ~operands:(lb :: inits) ());
+    (* condition block: args are iv + iter values *)
+    let iv = Builder.fresh ctx.b Types.I64 in
+    let iters =
+      List.map (fun v -> Builder.fresh ctx.b (Value.ty v)) inits
+    in
+    start_block ctx cond_l (iv :: iters);
+    bind ctx parts.Scf.induction iv;
+    List.iter2 (bind ctx) parts.Scf.iter_args iters;
+    let cmp = emit_get ctx (Llvm_d.icmp ctx.b "slt" iv ub) in
+    emit ctx
+      (Llvm_d.cond_br ~cond:cmp ~true_dest:body_l ~false_dest:exit_l ());
+    start_block ctx body_l [];
+    (* body ops; its scf.yield feeds the back edge *)
+    let body, yield =
+      let rec split acc = function
+        | [ last ] when Scf.is_yield last -> (List.rev acc, Some last)
+        | x :: rest -> split (x :: acc) rest
+        | [] -> (List.rev acc, None)
+      in
+      split [] parts.Scf.body
+    in
+    emit_ops ctx body;
+    let yielded =
+      match yield with
+      | Some y -> List.map (map_value ctx) (Op.operands y)
+      | None -> []
+    in
+    let next = emit_get ctx (Llvm_d.binop ctx.b "add" iv step) in
+    emit ctx (Llvm_d.br ~dest:cond_l ~operands:(next :: yielded) ());
+    (* exit block: results are the iter values at loop end *)
+    let result_args =
+      List.map (fun r -> Builder.fresh ctx.b (convert_ty (Value.ty r))) (Op.results op)
+    in
+    (* pass iter values to exit block through its args *)
+    start_block ctx exit_l result_args;
+    List.iter2 (bind ctx) (Op.results op) result_args;
+    (* patch: the cond_br above targets exit with no operands; when the loop
+       carries values we must route them. Rebuild the condition block's
+       terminator operands. *)
+    if result_args <> [] then begin
+      (* find the just-finished cond block and extend its cond_br *)
+      match ctx.finished with
+      | body_blk :: cond_blk :: rest when String.equal cond_blk.Op.label cond_l ->
+        let fixed_body =
+          List.map
+            (fun o ->
+              if Llvm_d.is_cond_br o then
+                { o with Op.operands = Op.operands o @ iters }
+              else o)
+            cond_blk.Op.body
+        in
+        ctx.finished <- body_blk :: { cond_blk with Op.body = fixed_body } :: rest
+      | _ -> ()
+    end
+
+and emit_if ctx op =
+  let cond = map_value ctx (List.hd (Op.operands op)) in
+  let then_l = fresh_label ctx "if_then" in
+  let else_l = fresh_label ctx "if_else" in
+  let merge_l = fresh_label ctx "if_merge" in
+  let has_else = List.length (Op.regions op) > 1 in
+  emit ctx
+    (Llvm_d.cond_br ~cond ~true_dest:then_l
+       ~false_dest:(if has_else then else_l else merge_l)
+       ());
+  let emit_branch label ops =
+    start_block ctx label [];
+    let body, yield =
+      let rec split acc = function
+        | [ last ] when Scf.is_yield last -> (List.rev acc, Some last)
+        | x :: rest -> split (x :: acc) rest
+        | [] -> (List.rev acc, None)
+      in
+      split [] ops
+    in
+    emit_ops ctx body;
+    let yielded =
+      match yield with
+      | Some y -> List.map (map_value ctx) (Op.operands y)
+      | None -> []
+    in
+    emit ctx (Llvm_d.br ~dest:merge_l ~operands:yielded ())
+  in
+  emit_branch then_l (Op.region_body op 0);
+  if has_else then emit_branch else_l (Op.region_body op 1);
+  let result_args =
+    List.map
+      (fun r -> Builder.fresh ctx.b (convert_ty (Value.ty r)))
+      (Op.results op)
+  in
+  start_block ctx merge_l result_args;
+  List.iter2 (bind ctx) (Op.results op) result_args
+
+let convert_func b fn =
+  match Op.regions fn with
+  | [] ->
+    (* declaration *)
+    let fn_ty =
+      match Func_d.func_type fn with
+      | Some (args, results) ->
+        Types.Func (List.map convert_ty args, List.map convert_ty results)
+      | None -> Types.Func ([], [])
+    in
+    Llvm_d.func_decl
+      ~sym_name:(Option.value ~default:"f" (Func_d.func_name fn))
+      ~fn_ty ()
+  | _ ->
+    let params = Func_d.params fn in
+    let ctx =
+      {
+        b;
+        vmap = Hashtbl.create 64;
+        old_ty = Hashtbl.create 64;
+        finished = [];
+        cur_label = "entry";
+        cur_args = [];
+        cur_ops = [];
+        label_counter = 0;
+        math_decls = [];
+      }
+    in
+    let new_params = List.map (fresh_for ctx) params in
+    ctx.cur_args <- new_params;
+    emit_ops ctx (Func_d.body fn);
+    (* flush the final block *)
+    ctx.finished <-
+      { Op.label = ctx.cur_label; args = ctx.cur_args; body = List.rev ctx.cur_ops }
+      :: ctx.finished;
+    let blocks = List.rev ctx.finished in
+    let fn_ty =
+      Types.Func (List.map Value.ty new_params, [])
+    in
+    let f =
+      Llvm_d.func
+        ~sym_name:(Option.value ~default:"f" (Func_d.func_name fn))
+        ~blocks ~fn_ty ()
+    in
+    (* record math declarations on the op for the module pass to collect *)
+    List.fold_left
+      (fun f (callee, arg_tys, ret) ->
+        Op.set_attr f ("math_decl_" ^ callee)
+          (Attr.Type (Types.Func (arg_tys, [ ret ]))))
+      f ctx.math_decls
+
+let run m =
+  let b = Builder.for_op m in
+  let body = Op.module_body m in
+  let funcs, others =
+    List.partition (fun o -> Func_d.is_func o) body
+  in
+  let converted = List.map (convert_func b) funcs in
+  (* hoist math declarations recorded on functions *)
+  let decls = ref [] in
+  let converted =
+    List.map
+      (fun f ->
+        let math_attrs =
+          List.filter
+            (fun (k, _) ->
+              String.length k > 10 && String.sub k 0 10 = "math_decl_")
+            (Op.attrs f)
+        in
+        List.iter
+          (fun (k, v) ->
+            let callee = String.sub k 10 (String.length k - 10) in
+            match v with
+            | Attr.Type fn_ty ->
+              if
+                not
+                  (List.exists
+                     (fun d -> Op.symbol_attr d "sym_name" = Some callee)
+                     !decls)
+              then decls := Llvm_d.func_decl ~sym_name:callee ~fn_ty () :: !decls
+            | _ -> ())
+          math_attrs;
+        List.fold_left (fun f (k, _) -> Op.remove_attr f k) f math_attrs)
+      converted
+  in
+  Op.with_module_body m (others @ List.rev !decls @ converted)
+
+let pass = Pass.make "convert-to-llvm" run

@@ -1,0 +1,12 @@
+(** Core dialects -> llvm dialect (mlir-opt's role in the paper's flow):
+    structured control flow flattens into CFG blocks with block arguments
+    as phis, memrefs become pointers with explicit row-major linearisation,
+    index widens to i64, math ops become libm calls. Applied to the device
+    module before LLVM-IR emission. *)
+
+exception Unsupported of string
+
+val convert_ty : Ftn_ir.Types.t -> Ftn_ir.Types.t
+
+val run : Ftn_ir.Op.t -> Ftn_ir.Op.t
+val pass : Ftn_ir.Pass.t

@@ -1,0 +1,115 @@
+(* "lower HLS to func call" (after Stencil-HMLS [20]): operations of the
+   hls dialect become func.call operations on well-known intrinsic symbols.
+   mlir-opt can then lower the module to the llvm dialect, and the AMD
+   backend integration of [19] maps these calls onto Vitis HLS LLVM-IR
+   primitives. The protocol token materialised by hls.axi_protocol folds
+   into its integer kind operand. *)
+
+open Ftn_ir
+open Ftn_dialects
+
+let spec_interface = "_ssdm_op_SpecInterface"
+let spec_pipeline = "_ssdm_op_SpecPipeline"
+let spec_unroll = "_ssdm_op_SpecUnroll"
+let spec_array_partition = "_ssdm_op_SpecArrayPartition"
+let spec_dataflow = "_ssdm_op_SpecDataflow"
+let stream_read = "_hls_stream_read"
+let stream_write = "_hls_stream_write"
+
+let run m =
+  let b = Builder.for_op m in
+  let used = ref [] in
+  let use name arg_tys =
+    if not (List.mem_assoc name !used) then used := (name, arg_tys) :: !used
+  in
+  (* protocol token -> underlying i32 kind value *)
+  let proto_subst : (int, Value.t) Hashtbl.t = Hashtbl.create 8 in
+  let resolve v =
+    match Hashtbl.find_opt proto_subst (Value.id v) with
+    | Some v' -> v'
+    | None -> v
+  in
+  let rec walk_op op =
+    let op = { op with Op.operands = List.map resolve op.Op.operands } in
+    let op =
+      {
+        op with
+        Op.regions =
+          List.map
+            (fun blocks ->
+              List.map
+                (fun blk ->
+                  { blk with Op.body = List.concat_map walk_op blk.Op.body })
+                blocks)
+            op.Op.regions;
+      }
+    in
+    match Op.name op with
+    | "hls.axi_protocol" ->
+      Hashtbl.replace proto_subst
+        (Value.id (Op.result1 op))
+        (List.hd (Op.operands op));
+      []
+    | "hls.interface" ->
+      use spec_interface [];
+      [
+        Op.make "func.call" ~operands:(Op.operands op)
+          ~attrs:
+            (("callee", Attr.Symbol spec_interface) :: Op.attrs op);
+      ]
+    | "hls.pipeline" ->
+      use spec_pipeline [ Types.I32 ];
+      [
+        Op.make "func.call" ~operands:(Op.operands op)
+          ~attrs:[ ("callee", Attr.Symbol spec_pipeline) ];
+      ]
+    | "hls.unroll" ->
+      use spec_unroll [ Types.I32 ];
+      [
+        Op.make "func.call" ~operands:(Op.operands op)
+          ~attrs:[ ("callee", Attr.Symbol spec_unroll) ];
+      ]
+    | "hls.array_partition" ->
+      use spec_array_partition [];
+      [
+        Op.make "func.call" ~operands:(Op.operands op)
+          ~attrs:
+            (("callee", Attr.Symbol spec_array_partition) :: Op.attrs op);
+      ]
+    | "hls.dataflow" ->
+      use spec_dataflow [];
+      [
+        Op.make "func.call"
+          ~attrs:[ ("callee", Attr.Symbol spec_dataflow) ];
+      ]
+    | "hls.stream_read" ->
+      use stream_read [];
+      [
+        Op.make "func.call" ~operands:(Op.operands op)
+          ~results:(Op.results op)
+          ~attrs:[ ("callee", Attr.Symbol stream_read) ];
+      ]
+    | "hls.stream_write" ->
+      use stream_write [];
+      [
+        Op.make "func.call" ~operands:(Op.operands op)
+          ~attrs:[ ("callee", Attr.Symbol stream_write) ];
+      ]
+    | _ -> [ op ]
+  in
+  ignore b;
+  match walk_op m with
+  | [ m' ] ->
+    if Op.is_module m' && !used <> [] then begin
+      let decls =
+        List.map
+          (fun (name, arg_tys) ->
+            Func_d.func_decl ~sym_name:name ~arg_tys ~result_tys:[] ())
+          (List.rev !used)
+      in
+      Op.with_module_body m' (decls @ Op.module_body m')
+    end
+    else m'
+  | _ -> invalid_arg "hls_to_func: module vanished"
+
+let pass = Pass.make "lower-hls-to-func-call" run

@@ -1,0 +1,16 @@
+(** "lower HLS to func call" (after Stencil-HMLS [20]): hls-dialect
+    operations become func.call on intrinsic symbols (declarations are
+    added to the module); hls.axi_protocol tokens fold into their integer
+    kind operands. The AMD backend mapping of [19] later renames these to
+    the Vitis [_ssdm_op_*] primitives. *)
+
+val spec_interface : string
+val spec_pipeline : string
+val spec_unroll : string
+val spec_array_partition : string
+val spec_dataflow : string
+val stream_read : string
+val stream_write : string
+
+val run : Ftn_ir.Op.t -> Ftn_ir.Op.t
+val pass : Ftn_ir.Pass.t

@@ -1,0 +1,91 @@
+(* OpenACC -> OpenMP lowering: converts the acc dialect onto the omp
+   dialect so the whole existing device pipeline (data environment, kernel
+   outlining, HLS loop lowering) applies unchanged — the composability
+   benefit the paper's conclusions anticipate for the OpenACC dialect.
+
+   The mapping is structural: acc.copy_info -> omp.map_info (copyin=to,
+   copyout=from, copy=tofrom, create=alloc), acc.parallel -> omp.target,
+   acc.loop -> omp.parallel_do (vector_length -> simd simdlen),
+   acc.data/enter/exit/update -> the omp data constructs. *)
+
+open Ftn_ir
+open Ftn_dialects
+
+let map_type_of_copy = function
+  | Acc.Copyin -> Omp.To
+  | Acc.Copyout -> Omp.From
+  | Acc.Copy -> Omp.Tofrom
+  | Acc.Create -> Omp.Alloc
+
+let run m =
+  let rec walk op =
+    let op =
+      {
+        op with
+        Op.regions =
+          List.map
+            (fun blocks ->
+              List.map
+                (fun blk -> { blk with Op.body = List.map walk blk.Op.body })
+                blocks)
+            op.Op.regions;
+      }
+    in
+    match Op.name op with
+    | "acc.copy_info" ->
+      let kind =
+        Option.bind (Op.string_attr op "copy_kind") Acc.copy_kind_of_string
+        |> Option.value ~default:Acc.Copy
+      in
+      {
+        op with
+        Op.name = "omp.map_info";
+        attrs =
+          [
+            ( "var_name",
+              Attr.String
+                (Option.value ~default:"" (Op.string_attr op "var_name")) );
+            ( "map_type",
+              Attr.String (Omp.string_of_map_type (map_type_of_copy kind)) );
+            ( "implicit",
+              Attr.Bool
+                (Option.value ~default:false (Op.bool_attr op "implicit")) );
+          ];
+      }
+    | "acc.parallel" -> { op with Op.name = "omp.target"; attrs = [] }
+    | "acc.loop" ->
+      let vector_length = Op.int_attr op "vector_length" in
+      let attrs =
+        [
+          ("collapse", Attr.i32 (Option.value ~default:1 (Op.int_attr op "collapse")));
+          ("simd", Attr.Bool (vector_length <> None));
+        ]
+        @ (match vector_length with
+          | Some k -> [ ("simdlen", Attr.i32 k) ]
+          | None -> [])
+        @
+        match Op.find_attr op "reductions" with
+        | Some r -> [ ("reductions", r) ]
+        | None -> []
+      in
+      { op with Op.name = "omp.parallel_do"; attrs }
+    | "acc.data" -> { op with Op.name = "omp.target_data"; attrs = [] }
+    | "acc.enter_data" -> { op with Op.name = "omp.target_enter_data" }
+    | "acc.exit_data" -> { op with Op.name = "omp.target_exit_data" }
+    | "acc.update" ->
+      let direction =
+        Option.value ~default:"host" (Op.string_attr op "direction")
+      in
+      {
+        op with
+        Op.name = "omp.target_update";
+        attrs =
+          [ ("motion", Attr.String (if direction = "host" then "from" else "to")) ];
+      }
+    | "acc.yield" -> { op with Op.name = "omp.yield" }
+    | "acc.terminator" -> { op with Op.name = "omp.terminator" }
+    | _ -> op
+  in
+  walk m
+
+let pass = Pass.make "lower-acc-to-omp" run

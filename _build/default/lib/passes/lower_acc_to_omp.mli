@@ -1,0 +1,9 @@
+(** OpenACC -> OpenMP lowering: structurally converts the acc dialect onto
+    the omp dialect (copyin=to, copyout=from, copy=tofrom, create=alloc;
+    acc.parallel -> omp.target; acc.loop -> omp.parallel_do with
+    vector_length as simd simdlen) so the entire existing device pipeline
+    applies unchanged — the OpenACC integration the paper's conclusions
+    name as further work. A no-op on acc-free modules. *)
+
+val run : Ftn_ir.Op.t -> Ftn_ir.Op.t
+val pass : Ftn_ir.Pass.t

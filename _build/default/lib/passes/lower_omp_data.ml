@@ -1,0 +1,324 @@
+(* "lower omp mapped data" (paper, Section 3): rewrites omp.map_info /
+   omp.bounds_info and the data-region operations into device dialect
+   operations plus DMA transfers.
+
+   Every mapped identifier is tracked on the device by name in a memory
+   space. Nested data regions and implicit `tofrom` maps are handled with
+   the reference-counting scheme the paper describes: data_acquire
+   increments a per-name counter, data_release decrements it, and
+   data_check_exists (counter > 0) guards allocation, host-to-device copies
+   on entry and device-to-host copies on exit, so an inner implicit map of
+   an already-present variable transfers nothing.
+
+   Shape of the emitted entry sequence per mapping (map type `to`/`tofrom`):
+
+     %existed = device.data_check_exists {name}
+     device.data_acquire {name}
+     %dev = scf.if %existed -> memref<...,1> {
+              %d = device.lookup {name} ; scf.yield %d
+            } else {
+              %d = device.alloc(sizes) {name} ; scf.yield %d
+            }
+     scf.if (not %existed) { memref.dma_start(%host -> %dev); memref.dma_wait }
+
+   and on exit (map type `from`/`tofrom`):
+
+     device.data_release {name}
+     %still = device.data_check_exists {name}
+     scf.if (not %still) { memref.dma_start(%dev -> %host); memref.dma_wait } *)
+
+open Ftn_ir
+open Ftn_dialects
+
+type options = {
+  memory_space : int;  (** First device memory space for mapped data (1 = HBM bank 0). *)
+  hbm_banks : int;
+      (** When > 1, distinct mapped identifiers are spread round-robin over
+          this many consecutive memory spaces (the U280's separate HBM
+          banks), so each kernel port gets its own bank's bandwidth. *)
+}
+
+let default_options = { memory_space = 1; hbm_banks = 1 }
+
+type mapping = {
+  host : Value.t;
+  device : Value.t;
+  parts : Omp.map_parts;
+}
+
+let device_memref_ty space ty =
+  match ty with
+  | Types.Memref mi -> Types.Memref { mi with memory_space = space }
+  | _ -> invalid_arg "lower_omp_data: mapped variable must be a memref"
+
+let copies_to parts =
+  match parts.Omp.map_type with
+  | Omp.To | Omp.Tofrom -> true
+  | Omp.From | Omp.Alloc | Omp.Release | Omp.Delete -> false
+
+let copies_from parts =
+  match parts.Omp.map_type with
+  | Omp.From | Omp.Tofrom -> true
+  | Omp.To | Omp.Alloc | Omp.Release | Omp.Delete -> false
+
+(* Entry sequence for one mapping; returns (ops, device memref value). *)
+let emit_entry b ~memory_space (parts : Omp.map_parts) =
+  let name = parts.Omp.var_name in
+  let host = parts.Omp.var in
+  let dev_ty = device_memref_ty memory_space (Value.ty host) in
+  let ops = ref [] in
+  let emit op = ops := op :: !ops in
+  let emit_get op =
+    emit op;
+    Op.result1 op
+  in
+  let existed = emit_get (Device.data_check_exists b ~name ~memory_space) in
+  emit (Device.data_acquire ~name ~memory_space);
+  (* dynamic sizes for the allocation come from the host memref *)
+  let dynamic_sizes =
+    match Value.ty host with
+    | Types.Memref { shape; _ } ->
+      List.concat
+        (List.mapi
+           (fun i d ->
+             match d with
+             | Types.Static _ -> []
+             | Types.Dynamic ->
+               let idx = emit_get (Arith.const_index b i) in
+               [ emit_get (Memref_d.dim b host idx) ])
+           shape)
+    | _ -> []
+  in
+  let lookup_ops, lookup_v =
+    let op = Device.lookup b ~name ~memory_space dev_ty in
+    ([ op; Scf.yield ~operands:[ Op.result1 op ] () ], Op.result1 op)
+  in
+  ignore lookup_v;
+  let alloc_ops =
+    let op = Device.alloc b ~name ~memory_space ~dynamic_sizes dev_ty in
+    [ op; Scf.yield ~operands:[ Op.result1 op ] () ]
+  in
+  let if_op =
+    Scf.if_ b ~cond:existed ~result_tys:[ dev_ty ] ~then_ops:lookup_ops
+      ~else_ops:alloc_ops ()
+  in
+  emit if_op;
+  let dev = Op.result1 if_op in
+  if copies_to parts then begin
+    let one = emit_get (Arith.const_int b 1 Types.I1) in
+    let fresh = emit_get (Arith.xori b existed one) in
+    emit
+      (Scf.if_ b ~cond:fresh
+         ~then_ops:
+           [
+             Memref_d.dma_start ~src:host ~dst:dev ();
+             Memref_d.dma_wait ();
+             Scf.yield ();
+           ]
+         ())
+  end;
+  (List.rev !ops, dev)
+
+(* Exit sequence for one mapping. *)
+let emit_exit b ~memory_space (mapping : mapping) =
+  let name = mapping.parts.Omp.var_name in
+  let ops = ref [] in
+  let emit op = ops := op :: !ops in
+  let emit_get op =
+    emit op;
+    Op.result1 op
+  in
+  emit (Device.data_release ~name ~memory_space);
+  if copies_from mapping.parts then begin
+    let still = emit_get (Device.data_check_exists b ~name ~memory_space) in
+    let one = emit_get (Arith.const_int b 1 Types.I1) in
+    let gone = emit_get (Arith.xori b still one) in
+    emit
+      (Scf.if_ b ~cond:gone
+         ~then_ops:
+           [
+             Memref_d.dma_start ~src:mapping.device ~dst:mapping.host ();
+             Memref_d.dma_wait ();
+             Scf.yield ();
+           ]
+         ())
+  end;
+  List.rev !ops
+
+let run ?(options = default_options) m =
+  let b = Builder.for_op m in
+  (* Stable bank assignment: an identifier keeps its memory space across
+     every construct in the program (SGESL remaps the same names on each
+     outer iteration). *)
+  let bank_table : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let space_of name =
+    match Hashtbl.find_opt bank_table name with
+    | Some s -> s
+    | None ->
+      let s =
+        if options.hbm_banks <= 1 then options.memory_space
+        else options.memory_space + (Hashtbl.length bank_table mod options.hbm_banks)
+      in
+      Hashtbl.replace bank_table name s;
+      s
+  in
+  (* map_info result id -> parts *)
+  let infos : (int, Omp.map_parts) Hashtbl.t = Hashtbl.create 16 in
+  let parts_of v =
+    match Hashtbl.find_opt infos (Value.id v) with
+    | Some p -> p
+    | None ->
+      invalid_arg
+        "lower_omp_data: operand is not the result of an omp.map_info"
+  in
+  let rec walk_op op =
+    let op =
+      {
+        op with
+        Op.regions =
+          List.map
+            (fun blocks ->
+              List.map
+                (fun blk ->
+                  { blk with Op.body = List.concat_map walk_op blk.Op.body })
+                blocks)
+            op.Op.regions;
+      }
+    in
+    match Op.name op with
+    | "omp.bounds_info" ->
+      (* consumed only by map_info; transfer granularity is whole-array *)
+      []
+    | "omp.map_info" -> (
+      match Omp.map_parts op with
+      | Some parts ->
+        Hashtbl.replace infos (Value.id parts.Omp.result) parts;
+        []
+      | None -> invalid_arg "malformed omp.map_info")
+    | "omp.target_data" ->
+      let mappings_entry =
+        List.map
+          (fun v ->
+            let parts = parts_of v in
+            let ops, dev =
+              emit_entry b ~memory_space:(space_of parts.Omp.var_name)
+                parts
+            in
+            (ops, { host = parts.Omp.var; device = dev; parts }))
+          (Op.operands op)
+      in
+      let entry_ops = List.concat_map fst mappings_entry in
+      let mappings = List.map snd mappings_entry in
+      let body =
+        match Op.region_body op 0 with
+        | ops ->
+          List.filter
+            (fun o -> not (String.equal (Op.name o) "omp.terminator"))
+            ops
+      in
+      let exit_ops =
+        List.concat_map
+          (fun mp ->
+            emit_exit b
+              ~memory_space:(space_of mp.parts.Omp.var_name) mp)
+          mappings
+      in
+      entry_ops @ body @ exit_ops
+    | "omp.target_enter_data" ->
+      List.concat_map
+        (fun v ->
+          let parts = parts_of v in
+          fst
+            (emit_entry b ~memory_space:(space_of parts.Omp.var_name) parts))
+        (Op.operands op)
+    | "omp.target_exit_data" ->
+      List.concat_map
+        (fun v ->
+          let parts = parts_of v in
+          let memory_space = space_of parts.Omp.var_name in
+          (* releasing needs the device buffer for a potential copy-back *)
+          let dev_ty =
+            device_memref_ty memory_space (Value.ty parts.Omp.var)
+          in
+          let lookup =
+            Device.lookup b ~name:parts.Omp.var_name ~memory_space dev_ty
+          in
+          lookup
+          :: emit_exit b ~memory_space
+               { host = parts.Omp.var; device = Op.result1 lookup; parts })
+        (Op.operands op)
+    | "omp.target_update" ->
+      let motion =
+        Option.value ~default:"from" (Op.string_attr op "motion")
+      in
+      List.concat_map
+        (fun v ->
+          let parts = parts_of v in
+          let memory_space = space_of parts.Omp.var_name in
+          let dev_ty =
+            device_memref_ty memory_space (Value.ty parts.Omp.var)
+          in
+          let lookup =
+            Device.lookup b ~name:parts.Omp.var_name ~memory_space dev_ty
+          in
+          let dev = Op.result1 lookup in
+          let src, dst =
+            if String.equal motion "from" then (dev, parts.Omp.var)
+            else (parts.Omp.var, dev)
+          in
+          [ lookup; Memref_d.dma_start ~src ~dst (); Memref_d.dma_wait () ])
+        (Op.operands op)
+    | "omp.target" ->
+      (* Rewrite mapped operands into device memrefs: entry code before,
+         exit code after, and the region's block arguments retyped to the
+         device memory space. *)
+      let mappings_entry =
+        List.map
+          (fun v ->
+            let parts = parts_of v in
+            let ops, dev =
+              emit_entry b ~memory_space:(space_of parts.Omp.var_name)
+                parts
+            in
+            (ops, { host = parts.Omp.var; device = dev; parts }))
+          (Op.operands op)
+      in
+      let entry_ops = List.concat_map fst mappings_entry in
+      let mappings = List.map snd mappings_entry in
+      let blk = Op.region_block op 0 in
+      let arg_subst, new_args =
+        List.fold_left2
+          (fun (subst, args) old_arg mapping ->
+            let new_arg =
+              Builder.fresh b (Value.ty mapping.device)
+            in
+            (Value.Map.add old_arg new_arg subst, new_arg :: args))
+          (Value.Map.empty, []) blk.Op.args mappings
+      in
+      let new_args = List.rev new_args in
+      let new_body =
+        List.map (Op.substitute_map arg_subst) blk.Op.body
+      in
+      let target =
+        {
+          op with
+          Op.operands = List.map (fun mp -> mp.device) mappings;
+          regions = [ [ { blk with Op.args = new_args; body = new_body } ] ];
+        }
+      in
+      let exit_ops =
+        List.concat_map
+          (fun mp ->
+            emit_exit b
+              ~memory_space:(space_of mp.parts.Omp.var_name) mp)
+          mappings
+      in
+      entry_ops @ [ target ] @ exit_ops
+    | _ -> [ op ]
+  in
+  match walk_op m with
+  | [ m' ] -> m'
+  | _ -> invalid_arg "lower_omp_data: module vanished"
+
+let pass ?options () =
+  Pass.make "lower-omp-mapped-data" (fun m -> run ?options m)

@@ -1,0 +1,17 @@
+(** "lower omp mapped data" (paper, Section 3): rewrites omp.map_info /
+    omp.bounds_info and the data-region operations into device dialect
+    operations plus DMA transfers, with the reference-counting scheme that
+    makes nested regions and implicit [tofrom] maps transfer only on the
+    outermost entry/exit. *)
+
+type options = {
+  memory_space : int;  (** First memory space for mapped data (1 = HBM bank 0). *)
+  hbm_banks : int;
+      (** When > 1, distinct identifiers spread round-robin over this many
+          consecutive memory spaces (the U280's separate HBM banks). *)
+}
+
+val default_options : options
+
+val run : ?options:options -> Ftn_ir.Op.t -> Ftn_ir.Op.t
+val pass : ?options:options -> unit -> Ftn_ir.Pass.t

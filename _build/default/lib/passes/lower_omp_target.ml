@@ -1,0 +1,147 @@
+(* "lower omp target region" (paper, Section 3): rewrites each omp.target
+   into device.kernel_create / device.kernel_launch / device.kernel_wait,
+   which map closely onto the OpenCL host API and give the flexibility to
+   schedule kernels asynchronously.
+
+   A second step outlines the kernel region into a func.func placed in a
+   nested builtin.module carrying the attribute target = "fpga" (Listing 2
+   of the paper); the kernel_create op is left with an empty region and a
+   device_function symbol naming the outlined function. *)
+
+open Ftn_ir
+open Ftn_dialects
+
+let kernel_counter = ref 0
+
+let fresh_kernel_name enclosing =
+  incr kernel_counter;
+  Fmt.str "%s_kernel_%d" enclosing !kernel_counter
+
+(* --- step 1: omp.target -> device.kernel_* --- *)
+
+let to_kernel_ops m =
+  let b = Builder.for_op m in
+  let rec walk_op ~enclosing op =
+    let enclosing =
+      if Func_d.is_func op then
+        Option.value ~default:enclosing (Func_d.func_name op)
+      else enclosing
+    in
+    let op =
+      {
+        op with
+        Op.regions =
+          List.map
+            (fun blocks ->
+              List.map
+                (fun blk ->
+                  {
+                    blk with
+                    Op.body =
+                      List.concat_map (walk_op ~enclosing) blk.Op.body;
+                  })
+                blocks)
+            op.Op.regions;
+      }
+    in
+    if Omp.is_target op then begin
+      let name = fresh_kernel_name enclosing in
+      let blk = Op.region_block op 0 in
+      (* strip the omp.terminator; the outlined function will return *)
+      let body =
+        List.filter
+          (fun o -> not (String.equal (Op.name o) "omp.terminator"))
+          blk.Op.body
+      in
+      let create =
+        Builder.op1 b "device.kernel_create" ~operands:(Op.operands op)
+          ~attrs:[ ("device_function", Attr.Symbol name) ]
+          ~regions:[ [ { blk with Op.body = body } ] ]
+          Types.Kernel_handle
+      in
+      let handle = Op.result1 create in
+      [ create; Device.kernel_launch handle; Device.kernel_wait handle ]
+    end
+    else [ op ]
+  in
+  match walk_op ~enclosing:"kernel" m with
+  | [ m' ] -> m'
+  | _ -> invalid_arg "lower_omp_target: module vanished"
+
+(* --- step 2: outline kernel regions into a device module --- *)
+
+let outline m =
+  let b = Builder.for_op m in
+  let device_funcs = ref [] in
+  let rec walk_op op =
+    let op =
+      {
+        op with
+        Op.regions =
+          List.map
+            (fun blocks ->
+              List.map
+                (fun blk ->
+                  { blk with Op.body = List.concat_map walk_op blk.Op.body })
+                blocks)
+            op.Op.regions;
+      }
+    in
+    if Device.is_kernel_create op && Op.regions op <> [] then
+      match Op.regions op with
+      | [ [ blk ] ] when blk.Op.body <> [] ->
+        let name =
+          match Device.kernel_function op with
+          | Some n -> n
+          | None -> fresh_kernel_name "kernel"
+        in
+        (* Any free values used by the region beyond its block args become
+           extra kernel arguments. *)
+        let free =
+          Value.Set.diff
+            (Op.free_values_of_ops blk.Op.body)
+            (Value.Set.of_list blk.Op.args)
+        in
+        let extra = Value.Set.elements free in
+        let extra_args = List.map (fun v -> Builder.fresh b (Value.ty v)) extra in
+        let subst =
+          List.fold_left2
+            (fun acc old_v new_v -> Value.Map.add old_v new_v acc)
+            Value.Map.empty extra extra_args
+        in
+        let body =
+          List.map (Op.substitute_map subst) blk.Op.body
+          @ [ Func_d.return () ]
+        in
+        let fn =
+          Func_d.func ~sym_name:name
+            ~args:(blk.Op.args @ extra_args)
+            ~result_tys:[] body
+        in
+        (* uniquify the outlined function's values *)
+        let fn, _ = Builder.clone b fn in
+        device_funcs := fn :: !device_funcs;
+        [
+          {
+            op with
+            Op.operands = Op.operands op @ extra;
+            regions = [ Op.region [] ];
+          };
+        ]
+      | _ -> [ op ]
+    else [ op ]
+  in
+  let m' =
+    match walk_op m with
+    | [ m' ] -> m'
+    | _ -> invalid_arg "outline: module vanished"
+  in
+  if !device_funcs = [] then m'
+  else begin
+    let device_module = Builtin.device_module (List.rev !device_funcs) in
+    Op.with_module_body m' (Op.module_body m' @ [ device_module ])
+  end
+
+let run m = outline (to_kernel_ops m)
+
+let pass = Pass.make "lower-omp-target-region" run

@@ -1,0 +1,18 @@
+(** "lower omp loops to HLS" (paper, Section 3), run on the device module:
+    inserts hls.interface port bindings (one m_axi bundle per array
+    argument, s_axilite for scalars), turns omp.parallel_do into pipelined
+    scf.for nests (hls.pipeline, plus hls.unroll for [simd simdlen(n)]),
+    and rewrites [reduction] accumulators into n round-robin copies
+    combined after the loop. *)
+
+type options = {
+  pipeline_ii : int;  (** Initiation interval passed to hls.pipeline. *)
+  copies_f32 : int;  (** Reduction copies per datatype (chosen to cover *)
+  copies_f64 : int;  (** the FP add latency, as in the paper). *)
+  copies_int : int;
+}
+
+val default_options : options
+
+val run : ?options:options -> Ftn_ir.Op.t -> Ftn_ir.Op.t
+val pass : ?options:options -> unit -> Ftn_ir.Pass.t

@@ -1,0 +1,36 @@
+(* Separates the combined module produced by outlining into the host module
+   (compiled to C++ with OpenCL by the host printer) and the device module
+   (attribute target = "fpga", sent down the HLS path), as in the paper's
+   Listing 2. *)
+
+open Ftn_ir
+open Ftn_dialects
+
+type split = {
+  host : Op.t;
+  device : Op.t option;
+}
+
+let run m =
+  if not (Op.is_module m) then invalid_arg "split_modules: not a module";
+  let host_ops, device_modules =
+    List.partition
+      (fun op -> not (Builtin.is_device_module op))
+      (Op.module_body m)
+  in
+  let host = Op.with_module_body m host_ops in
+  let device =
+    match device_modules with
+    | [] -> None
+    | [ d ] -> Some d
+    | many ->
+      (* merge multiple device modules into one *)
+      let body = List.concat_map Op.module_body many in
+      Some (Builtin.device_module body)
+  in
+  { host; device }
+
+let device_exn split =
+  match split.device with
+  | Some d -> d
+  | None -> invalid_arg "split_modules: no device module (no omp target?)"

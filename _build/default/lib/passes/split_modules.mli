@@ -1,0 +1,12 @@
+(** Separates the combined module produced by outlining into the host
+    module (for the C++/OpenCL printer) and the device module
+    ([target = "fpga"], for the HLS path) — the split of the paper's
+    Listing 2. *)
+
+type split = {
+  host : Ftn_ir.Op.t;
+  device : Ftn_ir.Op.t option;
+}
+
+val run : Ftn_ir.Op.t -> split
+val device_exn : split -> Ftn_ir.Op.t

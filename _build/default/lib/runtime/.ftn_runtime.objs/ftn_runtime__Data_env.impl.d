@@ -1,0 +1,1 @@
+lib/runtime/data_env.ml: Fmt Ftn_interp Ftn_ir Hashtbl List Rtval String

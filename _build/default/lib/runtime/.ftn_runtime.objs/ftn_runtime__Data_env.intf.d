@@ -1,0 +1,1 @@
+lib/runtime/data_env.mli: Ftn_interp Ftn_ir

@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Bitstream Data_env Fmt Fpga_spec Ftn_hlsim Ftn_interp Ftn_ir Fun Hashtbl Interp Intrinsics List Op Option Rtval Timing Trace Types Value

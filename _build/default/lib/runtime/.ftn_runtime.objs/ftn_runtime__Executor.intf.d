@@ -1,0 +1,1 @@
+lib/runtime/executor.mli: Data_env Ftn_hlsim Ftn_interp Ftn_ir Trace

@@ -1,0 +1,84 @@
+(* Device data environment: named, reference-counted buffers per memory
+   space — the runtime realisation of the device dialect's data-management
+   semantics (paper, Section 3). Buffers persist after their count drops to
+   zero so a later allocation of the same name reuses the storage (the
+   common pattern in SGESL, where the same arrays are remapped on every
+   outer iteration); only fresh storage pays the buffer-creation overhead. *)
+
+open Ftn_interp
+
+type entry = {
+  mutable buffer : Rtval.buffer option;
+  mutable refcount : int;
+}
+
+type t = {
+  entries : (string, entry) Hashtbl.t;  (** Keyed "space:name". *)
+}
+
+exception Device_data_error of string
+
+let create () = { entries = Hashtbl.create 16 }
+
+let key ~name ~memory_space = Fmt.str "%d:%s" memory_space name
+
+let find t ~name ~memory_space =
+  Hashtbl.find_opt t.entries (key ~name ~memory_space)
+
+let get_entry t ~name ~memory_space =
+  let k = key ~name ~memory_space in
+  match Hashtbl.find_opt t.entries k with
+  | Some e -> e
+  | None ->
+    let e = { buffer = None; refcount = 0 } in
+    Hashtbl.replace t.entries k e;
+    e
+
+(* Allocate (or reuse) the buffer for [name]; returns the buffer and
+   whether fresh storage was created (for timing). *)
+let alloc t ~name ~memory_space ~elt ~shape =
+  let e = get_entry t ~name ~memory_space in
+  match e.buffer with
+  | Some b when b.Rtval.shape = shape && Ftn_ir.Types.equal b.Rtval.elt elt ->
+    (b, false)
+  | Some _ | None ->
+    let b = Rtval.alloc_buffer ~memory_space elt shape in
+    e.buffer <- Some b;
+    (b, true)
+
+let lookup t ~name ~memory_space =
+  match find t ~name ~memory_space with
+  | Some { buffer = Some b; _ } -> Some b
+  | Some { buffer = None; _ } | None -> None
+
+let lookup_exn t ~name ~memory_space =
+  match lookup t ~name ~memory_space with
+  | Some b -> b
+  | None ->
+    raise
+      (Device_data_error
+         (Fmt.str "no device data named %S in memory space %d" name
+            memory_space))
+
+let acquire t ~name ~memory_space =
+  let e = get_entry t ~name ~memory_space in
+  e.refcount <- e.refcount + 1
+
+let release t ~name ~memory_space =
+  match find t ~name ~memory_space with
+  | Some e -> e.refcount <- max 0 (e.refcount - 1)
+  | None -> ()
+
+let exists t ~name ~memory_space =
+  match find t ~name ~memory_space with
+  | Some e -> e.refcount > 0
+  | None -> false
+
+let refcount t ~name ~memory_space =
+  match find t ~name ~memory_space with Some e -> e.refcount | None -> 0
+
+let live_names t =
+  Hashtbl.fold
+    (fun k e acc -> if e.refcount > 0 then k :: acc else acc)
+    t.entries []
+  |> List.sort String.compare

@@ -1,0 +1,44 @@
+(** Device data environment: named, reference-counted buffers per memory
+    space — the runtime realisation of the device dialect's data-management
+    semantics (paper, Section 3).
+
+    Buffers persist after their count drops to zero so a later allocation
+    of the same name reuses the storage (SGESL remaps the same arrays every
+    outer iteration); only fresh storage pays the creation overhead. *)
+
+type t
+
+exception Device_data_error of string
+
+val create : unit -> t
+
+val alloc :
+  t ->
+  name:string ->
+  memory_space:int ->
+  elt:Ftn_ir.Types.t ->
+  shape:int list ->
+  Ftn_interp.Rtval.buffer * bool
+(** Allocate or reuse the buffer registered under [name]; the flag is true
+    when fresh storage was created (for timing). *)
+
+val lookup :
+  t -> name:string -> memory_space:int -> Ftn_interp.Rtval.buffer option
+
+val lookup_exn :
+  t -> name:string -> memory_space:int -> Ftn_interp.Rtval.buffer
+(** Raises {!Device_data_error} when no buffer is registered. *)
+
+val acquire : t -> name:string -> memory_space:int -> unit
+(** Increment the identifier's reference counter. *)
+
+val release : t -> name:string -> memory_space:int -> unit
+(** Decrement (floored at zero). *)
+
+val exists : t -> name:string -> memory_space:int -> bool
+(** Counter > 0 — the semantics of [device.data_check_exists]. *)
+
+val refcount : t -> name:string -> memory_space:int -> int
+
+val live_names : t -> string list
+(** Sorted ["space:name"] keys with a positive counter. *)

@@ -1,0 +1,307 @@
+(* Host-module executor: interprets the host module produced by the
+   pipeline, giving the device dialect its runtime semantics against the
+   simulated FPGA. Kernels named by device.kernel_create are executed
+   functionally through the interpreter (so results are real numbers) while
+   the timing model charges the simulated device timeline for transfers,
+   launches, allocations and kernel cycles. *)
+
+open Ftn_ir
+open Ftn_interp
+open Ftn_hlsim
+
+exception Runtime_error of string
+
+type kernel_handle = {
+  kh_design : Bitstream.kernel_design;
+  kh_args : Rtval.t list;
+}
+
+type context = {
+  spec : Fpga_spec.t;
+  bitstream : Bitstream.t;
+  data : Data_env.t;
+  trace : Trace.t;
+  handles : (int, kernel_handle) Hashtbl.t;
+  mutable next_handle : int;
+  mutable device_time_s : float;  (** Simulated device-related time. *)
+  mutable kernel_time_s : float;
+  mutable transfer_time_s : float;
+  mutable overhead_time_s : float;
+  mutable kernel_state : Interp.state option;
+      (** Lazily-created interpreter used when kernels are launched through
+          the host API rather than from an interpreted host module. *)
+  sink : Intrinsics.sink;
+}
+
+type result = {
+  output : string;
+  device_time_s : float;
+  kernel_time_s : float;
+  transfer_time_s : float;
+  overhead_time_s : float;
+  kernel_launches : int;
+  bytes_transferred : int;
+  trace : Trace.t;
+  data : Data_env.t;
+}
+
+let create_context ?(spec = Fpga_spec.u280) ?(echo = false) bitstream =
+  {
+    spec;
+    bitstream;
+    data = Data_env.create ();
+    trace = Trace.create ();
+    handles = Hashtbl.create 8;
+    next_handle = 0;
+    device_time_s = 0.0;
+    kernel_time_s = 0.0;
+    transfer_time_s = 0.0;
+    overhead_time_s = 0.0;
+    kernel_state = None;
+    sink = Intrinsics.make_sink ~echo ();
+  }
+
+let charge_overhead (ctx : context) t =
+  ctx.device_time_s <- ctx.device_time_s +. t;
+  ctx.overhead_time_s <- ctx.overhead_time_s +. t
+
+let charge_transfer (ctx : context) t =
+  ctx.device_time_s <- ctx.device_time_s +. t;
+  ctx.transfer_time_s <- ctx.transfer_time_s +. t
+
+let charge_kernel (ctx : context) t =
+  ctx.device_time_s <- ctx.device_time_s +. t;
+  ctx.kernel_time_s <- ctx.kernel_time_s +. t
+
+let name_and_space op =
+  match Op.string_attr op "name" with
+  | Some name ->
+    (name, Option.value ~default:0 (Op.int_attr op "memory_space"))
+  | None -> raise (Runtime_error (Op.name op ^ " without a name attribute"))
+
+let resolve_shape mi dynamic =
+  let rec go shape dynamic =
+    match (shape, dynamic) with
+    | [], _ -> []
+    | Types.Static n :: rest, dynamic -> n :: go rest dynamic
+    | Types.Dynamic :: rest, d :: dynamic -> d :: go rest dynamic
+    | Types.Dynamic :: _, [] ->
+      raise (Runtime_error "missing dynamic size for device.alloc")
+  in
+  go mi.Types.shape dynamic
+
+(* Execute one kernel: run its function body in the interpreter with loop
+   statistics recording, then convert the statistics to cycles. *)
+let execute_kernel (ctx : context) state (design : Bitstream.kernel_design) args =
+  let stats = Timing.make_stats () in
+  let saved = state.Interp.on_loop in
+  state.Interp.on_loop <-
+    Some (fun ~loop_key ~iters -> Timing.record_loop stats ~loop_key ~iters);
+  Fun.protect
+    ~finally:(fun () -> state.Interp.on_loop <- saved)
+    (fun () ->
+      ignore (Interp.call_function state design.Bitstream.kd_function args));
+  let t = Timing.kernel_time_s ctx.spec design.Bitstream.kd_schedule stats in
+  let overhead = Timing.launch_overhead_s ctx.spec in
+  charge_kernel ctx t;
+  charge_overhead ctx overhead;
+  Trace.record ctx.trace
+    (Trace.Launch
+       {
+         kernel = design.Bitstream.kd_name;
+         kernel_time_s = t;
+         overhead_s = overhead;
+       })
+
+(* --- host API: the OpenCL-level operations a (hand-written) host
+   program performs against the simulated device. The interpreter handler
+   below routes the device dialect through these same functions. --- *)
+
+let api_alloc (ctx : context) ~name ~memory_space ~elt ~shape =
+  let buffer, fresh =
+    Data_env.alloc ctx.data ~name ~memory_space ~elt ~shape
+  in
+  if fresh then begin
+    charge_overhead ctx (Timing.alloc_overhead_s ctx.spec);
+    Trace.record ctx.trace
+      (Trace.Alloc
+         {
+           name;
+           bytes = Rtval.byte_size buffer;
+           time_s = Timing.alloc_overhead_s ctx.spec;
+         })
+  end;
+  buffer
+
+let api_transfer (ctx : context) ~src ~dst =
+  if src.Rtval.memory_space <> dst.Rtval.memory_space then begin
+    let bytes = min (Rtval.byte_size src) (Rtval.byte_size dst) in
+    let t = Timing.transfer_time_s ctx.spec ~bytes in
+    charge_transfer ctx t;
+    let direction =
+      if dst.Rtval.memory_space > 0 then Trace.Host_to_device
+      else Trace.Device_to_host
+    in
+    Trace.record ctx.trace
+      (Trace.Transfer { name = ""; direction; bytes; time_s = t })
+  end;
+  Rtval.copy_into ~src ~dst
+
+let kernel_interp_state (ctx : context) =
+  match ctx.kernel_state with
+  | Some s -> s
+  | None ->
+    let device_module =
+      Op.module_op
+        (List.map
+           (fun k -> k.Bitstream.kd_function)
+           ctx.bitstream.Bitstream.kernels)
+    in
+    let s =
+      Interp.make
+        ~handlers:
+          [ Intrinsics.print_handler ctx.sink;
+            Intrinsics.runtime_library_handler ]
+        [ device_module ]
+    in
+    ctx.kernel_state <- Some s;
+    s
+
+let api_launch (ctx : context) ~kernel args =
+  match Bitstream.find_kernel ctx.bitstream kernel with
+  | Some design -> execute_kernel ctx (kernel_interp_state ctx) design args
+  | None ->
+    raise
+      (Runtime_error
+         (Fmt.str "kernel %s not found in bitstream %s" kernel
+            ctx.bitstream.Bitstream.xclbin_name))
+
+let summary (ctx : context) =
+  ( ctx.device_time_s,
+    ctx.kernel_time_s,
+    ctx.transfer_time_s,
+    ctx.overhead_time_s )
+
+(* The interpreter handler implementing device.* ops and intercepting DMA
+   transfers that touch device memory. *)
+let device_handler (ctx : context) : Interp.handler =
+ fun state _frame op operands ->
+  match Op.name op with
+  | "device.alloc" ->
+    let name, memory_space = name_and_space op in
+    (match Value.ty (Op.result1 op) with
+    | Types.Memref mi ->
+      let shape = resolve_shape mi (List.map Rtval.as_int operands) in
+      let buffer =
+        api_alloc ctx ~name ~memory_space ~elt:mi.Types.elt ~shape
+      in
+      Some [ Rtval.Buf buffer ]
+    | _ -> raise (Runtime_error "device.alloc must produce a memref"))
+  | "device.lookup" ->
+    let name, memory_space = name_and_space op in
+    Some [ Rtval.Buf (Data_env.lookup_exn ctx.data ~name ~memory_space) ]
+  | "device.data_check_exists" ->
+    let name, memory_space = name_and_space op in
+    Some [ Rtval.Bool (Data_env.exists ctx.data ~name ~memory_space) ]
+  | "device.data_acquire" ->
+    let name, memory_space = name_and_space op in
+    Data_env.acquire ctx.data ~name ~memory_space;
+    Some []
+  | "device.data_release" ->
+    let name, memory_space = name_and_space op in
+    Data_env.release ctx.data ~name ~memory_space;
+    Some []
+  | "device.counter_get" ->
+    let name, memory_space = (Option.value ~default:"" (Op.string_attr op "name"), 1) in
+    Some [ Rtval.Int (Data_env.refcount ctx.data ~name ~memory_space) ]
+  | "device.kernel_create" -> (
+    match Op.symbol_attr op "device_function" with
+    | Some fname -> (
+      match Bitstream.find_kernel ctx.bitstream fname with
+      | Some design ->
+        let h = ctx.next_handle in
+        ctx.next_handle <- h + 1;
+        Hashtbl.replace ctx.handles h { kh_design = design; kh_args = operands };
+        Some [ Rtval.Handle h ]
+      | None ->
+        raise
+          (Runtime_error
+             (Fmt.str "kernel %s not found in bitstream %s" fname
+                ctx.bitstream.Bitstream.xclbin_name)))
+    | None ->
+      raise (Runtime_error "device.kernel_create without device_function"))
+  | "device.kernel_launch" -> (
+    match operands with
+    | [ Rtval.Handle h ] ->
+      (match Hashtbl.find_opt ctx.handles h with
+      | Some kh -> execute_kernel ctx state kh.kh_design kh.kh_args
+      | None -> raise (Runtime_error "launch of unknown kernel handle"));
+      Some []
+    | _ -> raise (Runtime_error "device.kernel_launch expects a handle"))
+  | "device.kernel_wait" -> Some []
+  | "memref.dma_start" -> (
+    match operands with
+    | [ src; dst ] ->
+      api_transfer ctx ~src:(Rtval.as_buffer src) ~dst:(Rtval.as_buffer dst);
+      Some []
+    | _ -> None)
+  | _ -> None
+
+(* Run the host module's main (or a named entry) against a bitstream. *)
+let run ?spec ?(echo = false) ?entry ?(args = []) ~host ~bitstream () =
+  let ctx = create_context ?spec ~echo bitstream in
+  let handlers =
+    [
+      device_handler ctx;
+      Intrinsics.print_handler ctx.sink;
+      Intrinsics.runtime_library_handler;
+    ]
+  in
+  let state = Interp.make ~handlers [ host ] in
+  (match entry with
+  | Some entry -> ignore (Interp.run state ~entry ~args)
+  | None -> (
+    match Interp.main_function host with
+    | Some fn -> ignore (Interp.call_function state fn args)
+    | None -> raise (Runtime_error "host module has no main program")));
+  {
+    output = Intrinsics.contents ctx.sink;
+    device_time_s = ctx.device_time_s;
+    kernel_time_s = ctx.kernel_time_s;
+    transfer_time_s = ctx.transfer_time_s;
+    overhead_time_s = ctx.overhead_time_s;
+    kernel_launches = Trace.count_launches ctx.trace;
+    bytes_transferred = Trace.bytes_transferred ctx.trace;
+    trace = ctx.trace;
+    data = ctx.data;
+  }
+
+(* Build a result record from an API-driven context (hand-written host). *)
+let result_of_context (ctx : context) =
+  {
+    output = Intrinsics.contents ctx.sink;
+    device_time_s = ctx.device_time_s;
+    kernel_time_s = ctx.kernel_time_s;
+    transfer_time_s = ctx.transfer_time_s;
+    overhead_time_s = ctx.overhead_time_s;
+    kernel_launches = Trace.count_launches ctx.trace;
+    bytes_transferred = Trace.bytes_transferred ctx.trace;
+    trace = ctx.trace;
+    data = ctx.data;
+  }
+
+(* CPU reference: run the core-level module with sequential OpenMP
+   semantics (no device). *)
+let run_cpu ?(echo = false) ?entry ?(args = []) core_module =
+  let sink = Intrinsics.make_sink ~echo () in
+  let handlers =
+    [ Intrinsics.print_handler sink; Intrinsics.runtime_library_handler ]
+  in
+  let state = Interp.make ~handlers [ core_module ] in
+  (match entry with
+  | Some entry -> ignore (Interp.run state ~entry ~args)
+  | None -> (
+    match Interp.main_function core_module with
+    | Some fn -> ignore (Interp.call_function state fn args)
+    | None -> raise (Runtime_error "module has no main program")));
+  (Intrinsics.contents sink, state.Interp.steps)

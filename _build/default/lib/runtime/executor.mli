@@ -1,0 +1,80 @@
+(** Host-module executor: gives the device dialect its runtime semantics
+    against the simulated FPGA. Kernels named by device.kernel_create are
+    executed functionally through the interpreter (results are real
+    numbers) while the timing model charges the simulated timeline for
+    transfers, launches, allocations and kernel cycles.
+
+    The host API functions ([api_*]) expose the same OpenCL-level
+    operations to hand-written OCaml host drivers (used by the hand-written
+    HLS baselines), so both paths share one cost model. *)
+
+exception Runtime_error of string
+
+type context
+
+type result = {
+  output : string;  (** Captured [print *] output. *)
+  device_time_s : float;  (** kernel + transfers + overheads. *)
+  kernel_time_s : float;
+  transfer_time_s : float;
+  overhead_time_s : float;
+  kernel_launches : int;
+  bytes_transferred : int;
+  trace : Trace.t;
+  data : Data_env.t;
+}
+
+val create_context :
+  ?spec:Ftn_hlsim.Fpga_spec.t -> ?echo:bool -> Ftn_hlsim.Bitstream.t -> context
+
+(** {2 Host API} *)
+
+val api_alloc :
+  context ->
+  name:string ->
+  memory_space:int ->
+  elt:Ftn_ir.Types.t ->
+  shape:int list ->
+  Ftn_interp.Rtval.buffer
+(** Allocate (or reuse) a named device buffer, charging the first-touch
+    overhead. *)
+
+val api_transfer :
+  context -> src:Ftn_interp.Rtval.buffer -> dst:Ftn_interp.Rtval.buffer -> unit
+(** Copy between buffers; crossing memory spaces charges DMA time and
+    records a trace event. *)
+
+val api_launch : context -> kernel:string -> Ftn_interp.Rtval.t list -> unit
+(** Execute a bitstream kernel functionally and charge its modelled
+    cycles plus launch overhead. *)
+
+val result_of_context : context -> result
+val summary : context -> float * float * float * float
+(** (device, kernel, transfer, overhead) seconds so far. *)
+
+(** {2 Interpreted host modules} *)
+
+val device_handler : context -> Ftn_interp.Interp.handler
+(** The interpreter handler implementing device.* ops and intercepting
+    cross-space memref.dma_start. *)
+
+val run :
+  ?spec:Ftn_hlsim.Fpga_spec.t ->
+  ?echo:bool ->
+  ?entry:string ->
+  ?args:Ftn_interp.Rtval.t list ->
+  host:Ftn_ir.Op.t ->
+  bitstream:Ftn_hlsim.Bitstream.t ->
+  unit ->
+  result
+(** Interpret the host module (its [ftn.main] program unless [entry] is
+    given) against a bitstream. *)
+
+val run_cpu :
+  ?echo:bool ->
+  ?entry:string ->
+  ?args:Ftn_interp.Rtval.t list ->
+  Ftn_ir.Op.t ->
+  string * int
+(** CPU reference: run a core-level module with sequential OpenMP
+    semantics; returns (captured output, interpreter steps). *)

@@ -1,0 +1,54 @@
+(* Event trace of simulated device activity: transfers, kernel launches,
+   allocations. Inspectable by tests and printed by the CLI. *)
+
+type direction =
+  | Host_to_device
+  | Device_to_host
+
+type event =
+  | Alloc of {
+      name : string;
+      bytes : int;
+      time_s : float;
+    }
+  | Transfer of {
+      name : string;
+      direction : direction;
+      bytes : int;
+      time_s : float;
+    }
+  | Launch of {
+      kernel : string;
+      kernel_time_s : float;
+      overhead_s : float;
+    }
+
+type t = { mutable events : event list (* reversed *) }
+
+let create () = { events = [] }
+let record t e = t.events <- e :: t.events
+let events t = List.rev t.events
+
+let count_launches t =
+  List.length (List.filter (function Launch _ -> true | _ -> false) t.events)
+
+let bytes_transferred t =
+  List.fold_left
+    (fun acc e ->
+      match e with Transfer { bytes; _ } -> acc + bytes | _ -> acc)
+    0 t.events
+
+let pp_event fmt = function
+  | Alloc { name; bytes; time_s } ->
+    Fmt.pf fmt "alloc    %-12s %10d B  %.3f us" name bytes (time_s *. 1e6)
+  | Transfer { name; direction; bytes; time_s } ->
+    Fmt.pf fmt "%s %-12s %10d B  %.3f us"
+      (match direction with
+      | Host_to_device -> "h2d     "
+      | Device_to_host -> "d2h     ")
+      name bytes (time_s *. 1e6)
+  | Launch { kernel; kernel_time_s; overhead_s } ->
+    Fmt.pf fmt "launch   %-12s  kernel %.3f us (+%.3f us overhead)" kernel
+      (kernel_time_s *. 1e6) (overhead_s *. 1e6)
+
+let pp fmt t = Fmt.pf fmt "@[<v>%a@]" (Fmt.list pp_event) (events t)

@@ -1,0 +1,37 @@
+(** Event trace of simulated device activity: allocations, transfers and
+    kernel launches, with the simulated cost of each. *)
+
+type direction =
+  | Host_to_device
+  | Device_to_host
+
+type event =
+  | Alloc of {
+      name : string;
+      bytes : int;
+      time_s : float;
+    }
+  | Transfer of {
+      name : string;
+      direction : direction;
+      bytes : int;
+      time_s : float;
+    }
+  | Launch of {
+      kernel : string;
+      kernel_time_s : float;
+      overhead_s : float;
+    }
+
+type t
+
+val create : unit -> t
+val record : t -> event -> unit
+
+val events : t -> event list
+(** In program order. *)
+
+val count_launches : t -> int
+val bytes_transferred : t -> int
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

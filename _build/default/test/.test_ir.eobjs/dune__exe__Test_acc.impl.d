@@ -1,0 +1,1 @@
+test/test_acc.ml: Acc_parser Alcotest Array Ast Astring_like Core Frontend Ftn_frontend Ftn_hlsim Ftn_ir Ftn_linpack Ftn_passes List Op Option Printf Verifier

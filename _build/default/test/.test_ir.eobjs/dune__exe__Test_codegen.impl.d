@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Astring_like Core Filename Ftn_codegen Ftn_linpack Lazy List Llvm_downgrade Option Printf Sys

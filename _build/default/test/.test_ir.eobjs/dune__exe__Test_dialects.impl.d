@@ -1,0 +1,1 @@
+test/test_dialects.ml: Alcotest Arith Attr Builder Device Dialect Fir Ftn_dialects Ftn_ir Func_d Hls List Llvm_d Memref_d Omp Op Registry Scf Types Value

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Array Astring_like Core Executor Float Ftn_frontend Ftn_hlsim Ftn_ir Ftn_linpack Ftn_passes Ftn_runtime List Option Printf Trace

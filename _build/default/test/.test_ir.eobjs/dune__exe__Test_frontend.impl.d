@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Astring_like Attr Frontend Ftn_frontend Ftn_ir Ftn_runtime List Omp_parser Op Sema Src_lexer Src_parser Types Value

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Arith Astring_like Builder Float Ftn_dialects Ftn_frontend Ftn_interp Ftn_ir Ftn_runtime Func_d Interp List Math_d Memref_d Op Rtval Scf Types Verifier

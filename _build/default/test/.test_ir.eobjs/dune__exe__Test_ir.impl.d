@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Attr Builder Fmt Ftn_dialects Ftn_ir Ir_parser List Op Pass Printer Rewrite Types Value Verifier

@@ -1,0 +1,1 @@
+test/test_linpack.ml: Alcotest Array Astring_like Float Fortran_sources Ftn_dialects Ftn_frontend Ftn_ir Ftn_linpack Hls_baselines List References

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Astring_like Core Data_env Executor Float Ftn_hlsim Ftn_interp Ftn_ir Ftn_linpack Ftn_runtime List Option Rtval String Synth Trace

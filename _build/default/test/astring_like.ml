@@ -1,0 +1,5 @@
+(* Minimal substring check helper shared by test suites. *)
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  m = 0 || go 0

@@ -1,0 +1,80 @@
+// Minimal OpenCL C++ binding stub: just enough surface for syntax-checking
+// the host code emitted by Ftn_codegen.Host_cpp (no real OpenCL needed).
+#pragma once
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#define CL_DEVICE_TYPE_ACCELERATOR 1
+#define CL_MEM_READ_WRITE 1
+#define CL_MEM_EXT_PTR_XILINX 2
+#define CL_TRUE 1
+#define CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE 1
+#define XCL_MEM_DDR_BANK0 0u
+#define CL_MEM_SIZE 0x1102
+
+typedef struct {
+  unsigned flags;
+  void *obj;
+  void *param;
+} cl_mem_ext_ptr_t;
+
+namespace cl {
+
+class Device {
+public:
+  Device() = default;
+};
+
+class Platform {
+public:
+  static void get(std::vector<Platform> *) {}
+  void getDevices(int, std::vector<Device> *) {}
+};
+
+class Context {
+public:
+  Context() = default;
+  explicit Context(const Device &) {}
+};
+
+class Buffer {
+public:
+  Buffer() = default;
+  Buffer(const Context &, int, size_t, cl_mem_ext_ptr_t *) {}
+  template <int I> size_t getInfo() const { return 0; }
+};
+
+class Program {
+public:
+  using Binaries = std::vector<std::pair<const unsigned char *, size_t>>;
+  Program() = default;
+  Program(const Context &, const std::vector<Device> &, const Binaries &) {}
+};
+
+class Kernel {
+public:
+  Kernel() = default;
+  Kernel(const Program &, const char *) {}
+  template <typename T> void setArg(int, const T &) {}
+};
+
+class Event {
+public:
+  void wait() {}
+};
+
+class CommandQueue {
+public:
+  CommandQueue() = default;
+  CommandQueue(const Context &, const Device &, int = 0) {}
+  void enqueueWriteBuffer(const Buffer &, int, size_t, size_t, const void *) {}
+  void enqueueReadBuffer(const Buffer &, int, size_t, size_t, void *) {}
+  void enqueueCopyBuffer(const Buffer &, const Buffer &, size_t, size_t, size_t) {}
+  void enqueueTask(const Kernel &, void *, Event *) {}
+  void finish() {}
+};
+
+} // namespace cl

@@ -1,0 +1,158 @@
+(* Tests for the OpenACC path: directive parsing, acc dialect lowering,
+   the acc-to-omp conversion, and end-to-end equivalence with OpenMP. *)
+
+open Ftn_frontend
+open Ftn_ir
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+let count name m = Op.count (fun o -> Op.name o = name) m
+
+let parser_tests =
+  [
+    tc "parallel loop with clauses" (fun () ->
+        match Acc_parser.parse "parallel loop copyin(x) copy(y) vector_length(8)" with
+        | Acc_parser.Parallel_loop
+            [ Ast.Cl_map (Ast.Map_to, [ "x" ]);
+              Ast.Cl_map (Ast.Map_tofrom, [ "y" ]); Ast.Cl_simdlen 8 ] ->
+          ()
+        | _ -> Alcotest.fail "clauses");
+    tc "copyout and create map kinds" (fun () ->
+        match Acc_parser.parse "data copyout(a) create(tmp)" with
+        | Acc_parser.Data
+            [ Ast.Cl_map (Ast.Map_from, [ "a" ]);
+              Ast.Cl_map (Ast.Map_alloc, [ "tmp" ]) ] ->
+          ()
+        | _ -> Alcotest.fail "data clauses");
+    tc "schedule words are accepted and ignored" (fun () ->
+        match Acc_parser.parse "parallel loop gang vector copy(y)" with
+        | Acc_parser.Parallel_loop [ Ast.Cl_map (Ast.Map_tofrom, [ "y" ]) ] -> ()
+        | _ -> Alcotest.fail "gang/vector");
+    tc "reduction clause" (fun () ->
+        match Acc_parser.parse "parallel loop reduction(+:s)" with
+        | Acc_parser.Parallel_loop [ Ast.Cl_reduction (Ast.Red_add, [ "s" ]) ] -> ()
+        | _ -> Alcotest.fail "reduction");
+    tc "update host and device" (fun () ->
+        (match Acc_parser.parse "update host(a)" with
+        | Acc_parser.Update [ Ast.Cl_from [ "a" ] ] -> ()
+        | _ -> Alcotest.fail "host");
+        match Acc_parser.parse "update device(b)" with
+        | Acc_parser.Update [ Ast.Cl_to [ "b" ] ] -> ()
+        | _ -> Alcotest.fail "device");
+    tc "enter and exit data" (fun () ->
+        (match Acc_parser.parse "enter data copyin(a)" with
+        | Acc_parser.Enter_data _ -> ()
+        | _ -> Alcotest.fail "enter");
+        match Acc_parser.parse "exit data copyout(a)" with
+        | Acc_parser.Exit_data _ -> ()
+        | _ -> Alcotest.fail "exit");
+    tc "end directives" (fun () ->
+        match Acc_parser.parse "end parallel loop" with
+        | Acc_parser.End_directive "parallel loop" -> ()
+        | _ -> Alcotest.fail "end");
+    tc "unknown clause rejected" (fun () ->
+        try
+          ignore (Acc_parser.parse "parallel loop async(1)");
+          Alcotest.fail "expected error"
+        with Acc_parser.Acc_error _ -> ());
+    tc "kernels loop is an alias" (fun () ->
+        match Acc_parser.parse "kernels loop copy(y)" with
+        | Acc_parser.Parallel_loop _ -> ()
+        | _ -> Alcotest.fail "kernels loop");
+  ]
+
+let acc_saxpy n =
+  Printf.sprintf
+    "program p\nreal :: x(%d), y(%d)\nreal :: a\ninteger :: i\na = 2.0\ndo i = 1, %d\nx(i) = real(i) * 0.5\ny(i) = real(%d - i) * 0.25\nend do\n!$acc parallel loop copyin(x) copy(y) vector_length(4)\ndo i = 1, %d\ny(i) = y(i) + a * x(i)\nend do\n!$acc end parallel loop\nend program"
+    n n n n n
+
+let lowering_tests =
+  [
+    tc "frontend emits acc dialect ops" (fun () ->
+        let fir = Frontend.to_fir (acc_saxpy 16) in
+        check Alcotest.int "copy_info" 3 (count "acc.copy_info" fir);
+        check Alcotest.int "parallel" 1 (count "acc.parallel" fir);
+        check Alcotest.int "loop" 1 (count "acc.loop" fir);
+        Verifier.verify_exn (Frontend.to_core (acc_saxpy 16)));
+    tc "implicit scalar capture" (fun () ->
+        (* a is not named in any clause but used in the region *)
+        let fir = Frontend.to_fir (acc_saxpy 16) in
+        let infos = Op.collect (fun o -> Op.name o = "acc.copy_info") fir in
+        let implicit =
+          List.filter (fun o -> Op.bool_attr o "implicit" = Some true) infos
+        in
+        check Alcotest.int "one implicit" 1 (List.length implicit);
+        check (Alcotest.option Alcotest.string) "it is a" (Some "a")
+          (Op.string_attr (List.hd implicit) "var_name"));
+    tc "acc-to-omp conversion is structural" (fun () ->
+        let core = Frontend.to_core (acc_saxpy 16) in
+        let m = Ftn_passes.Lower_acc_to_omp.run core in
+        check Alcotest.int "no acc left" 0
+          (Op.count (fun o -> Op.dialect o = "acc") m);
+        check Alcotest.int "maps" 3 (count "omp.map_info" m);
+        check Alcotest.int "target" 1 (count "omp.target" m);
+        check Alcotest.int "parallel_do" 1 (count "omp.parallel_do" m);
+        Verifier.verify_exn m;
+        (* vector_length became simd simdlen *)
+        let pd = List.hd (Op.collect (fun o -> Op.name o = "omp.parallel_do") m) in
+        check (Alcotest.option Alcotest.bool) "simd" (Some true)
+          (Op.bool_attr pd "simd");
+        check (Alcotest.option Alcotest.int) "simdlen" (Some 4)
+          (Op.int_attr pd "simdlen"));
+    tc "acc data region lowers to target data" (fun () ->
+        let src =
+          "program p\nreal :: a(8)\ninteger :: i\n!$acc data copyout(a)\n!$acc parallel loop\ndo i = 1, 8\na(i) = 1.0\nend do\n!$acc end parallel loop\n!$acc end data\nend program"
+        in
+        let m = Ftn_passes.Lower_acc_to_omp.run (Frontend.to_core src) in
+        check Alcotest.int "target_data" 1 (count "omp.target_data" m));
+    tc "acc update lowers with motion" (fun () ->
+        let src =
+          "program p\nreal :: a(4)\ninteger :: i\n!$acc data copyout(a)\n!$acc parallel loop\ndo i = 1, 4\na(i) = 2.0\nend do\n!$acc end parallel loop\n!$acc update host(a)\n!$acc end data\nend program"
+        in
+        let m = Ftn_passes.Lower_acc_to_omp.run (Frontend.to_core src) in
+        let upd = List.hd (Op.collect (fun o -> Op.name o = "omp.target_update") m) in
+        check (Alcotest.option Alcotest.string) "motion" (Some "from")
+          (Op.string_attr upd "motion"));
+  ]
+
+let e2e_tests =
+  [
+    tc "acc saxpy equals omp saxpy bit for bit" (fun () ->
+        let n = 64 in
+        let acc_run = Core.Run.run (acc_saxpy n) in
+        let x, y = Ftn_linpack.References.saxpy_inputs ~n in
+        Ftn_linpack.References.saxpy ~a:2.0 ~x ~y;
+        let got = Option.get (Core.Run.device_floats acc_run ~name:"y") in
+        Array.iteri
+          (fun i v ->
+            if v <> y.(i) then Alcotest.failf "y(%d): %f vs %f" i v y.(i))
+          got);
+    tc "acc kernel synthesises with identical resources" (fun () ->
+        let acc_run = Core.Run.run (acc_saxpy 64) in
+        let r =
+          (List.hd acc_run.Core.Run.bitstream.Ftn_hlsim.Bitstream.kernels)
+            .Ftn_hlsim.Bitstream.kd_resources
+        in
+        (* simdlen 4: fewer unrolled MACs than the simdlen-10 table value *)
+        check Alcotest.bool "plausible LUT" true
+          (r.Ftn_hlsim.Resources.lut_pct > 7.5
+          && r.Ftn_hlsim.Resources.lut_pct < 9.0));
+    tc "acc reduction works end to end" (fun () ->
+        let src =
+          "program p\nreal :: x(32)\nreal :: s\ninteger :: i\ndo i = 1, 32\nx(i) = real(i)\nend do\ns = 0.0\n!$acc parallel loop reduction(+:s)\ndo i = 1, 32\ns = s + x(i)\nend do\n!$acc end parallel loop\nprint *, s\nend program"
+        in
+        let run = Core.Run.run src in
+        check Alcotest.bool "sum 528" true
+          (Astring_like.contains (Core.Run.output run) "528"));
+    tc "cpu semantics also cover acc" (fun () ->
+        let out, _ = Core.Run.run_cpu (acc_saxpy 16) in
+        check Alcotest.string "no output expected, runs clean" "" out);
+  ]
+
+let () =
+  Alcotest.run "acc"
+    [
+      ("parser", parser_tests);
+      ("lowering", lowering_tests);
+      ("e2e", e2e_tests);
+    ]

@@ -1,0 +1,224 @@
+(* Tests for the code generators: LLVM-IR emission (instructions, phi
+   construction, constants), the AMD intrinsic mapping, the LLVM-7
+   downgrade and the C++/OpenCL host printer. *)
+
+open Ftn_codegen
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+let contains = Astring_like.contains
+
+let saxpy_art =
+  lazy (Core.Compiler.compile (Ftn_linpack.Fortran_sources.saxpy ~n:64))
+
+let sgesl_art =
+  lazy (Core.Compiler.compile (Ftn_linpack.Fortran_sources.sgesl ~n:16))
+
+let llvm_text art = Option.get (Lazy.force art).Core.Compiler.llvm_ir
+
+let llvm_tests =
+  [
+    tc "module header targets the AMD backend" (fun () ->
+        let t = llvm_text saxpy_art in
+        check Alcotest.bool "triple" true (contains t "fpga64-xilinx-none");
+        check Alcotest.bool "datalayout" true (contains t "target datalayout"));
+    tc "kernel defined with typed pointer params" (fun () ->
+        let t = llvm_text saxpy_art in
+        check Alcotest.bool "define" true (contains t "define void @saxpy");
+        check Alcotest.bool "float ptr" true (contains t "float*"));
+    tc "loop becomes phi + icmp + br" (fun () ->
+        let t = llvm_text saxpy_art in
+        check Alcotest.bool "phi" true (contains t " = phi i64 ");
+        check Alcotest.bool "icmp" true (contains t "icmp slt");
+        check Alcotest.bool "cond br" true (contains t "br i1 ");
+        check Alcotest.bool "back edge" true (contains t "br label %for_cond"));
+    tc "memory access via getelementptr" (fun () ->
+        let t = llvm_text saxpy_art in
+        check Alcotest.bool "gep" true (contains t "getelementptr float, float*");
+        check Alcotest.bool "load" true (contains t "load float, float*");
+        check Alcotest.bool "store" true (contains t "store float"));
+    tc "fastmath arithmetic survives" (fun () ->
+        let t = llvm_text saxpy_art in
+        check Alcotest.bool "fmul contract" true (contains t "fmul contract float");
+        check Alcotest.bool "fadd contract" true (contains t "fadd contract float"));
+    tc "intrinsic declarations are variadic after mapping" (fun () ->
+        let t = llvm_text saxpy_art in
+        check Alcotest.bool "pipeline decl" true
+          (contains t "declare void @_ssdm_op_SpecPipeline(...)");
+        check Alcotest.bool "variadic call" true
+          (contains t "call void (...) @_ssdm_op_SpecPipeline"));
+    tc "unroll maps to the Vitis primitive name" (fun () ->
+        let t = llvm_text saxpy_art in
+        check Alcotest.bool "renamed" true
+          (contains t "_ssdm_op_SpecLoopTripCount_Unroll"));
+    tc "if statements produce merge blocks (sgesl host has none on device)"
+      (fun () ->
+        (* the sgesl device kernel is a single loop; use a kernel with a
+           conditional to exercise emit_if *)
+        let art =
+          Core.Compiler.compile
+            "program p\nreal :: a(8)\ninteger :: i\n!$omp target parallel do\ndo i = 1, 8\nif (a(i) > 0.0) then\na(i) = a(i) * 2.0\nelse\na(i) = 0.0\nend if\nend do\n!$omp end target parallel do\nend program"
+        in
+        let t = Option.get art.Core.Compiler.llvm_ir in
+        check Alcotest.bool "then label" true (contains t "if_then");
+        check Alcotest.bool "merge label" true (contains t "if_merge"));
+    tc "float constants fold inline in accepted forms" (fun () ->
+        let art =
+          Core.Compiler.compile
+            "program p\nreal :: a(8)\ninteger :: i\n!$omp target parallel do\ndo i = 1, 8\na(i) = a(i) * 2.5\nend do\n!$omp end target parallel do\nend program"
+        in
+        let t = Option.get art.Core.Compiler.llvm_ir in
+        check Alcotest.bool "inline constant" true
+          (contains t "2.500000e+00" || contains t "0x");
+        (* no separate constant instruction exists in LLVM *)
+        check Alcotest.bool "no mlir.constant" false (contains t "mlir.constant"));
+  ]
+
+let downgrade_tests =
+  [
+    tc "stamps the version header" (fun () ->
+        let r = Llvm_downgrade.run "define void @f() {\nentry:\n  ret void\n}\n" in
+        check Alcotest.bool "stamp" true
+          (contains r.Llvm_downgrade.text "LLVM 7 compatible"));
+    tc "strips post-7 attributes" (fun () ->
+        let r =
+          Llvm_downgrade.run
+            "define void @f(i32 noundef %x) mustprogress willreturn {\n}"
+        in
+        check Alcotest.bool "noundef gone" false
+          (contains r.Llvm_downgrade.text "noundef");
+        check Alcotest.bool "mustprogress gone" false
+          (contains r.Llvm_downgrade.text "mustprogress");
+        let applied =
+          List.filter (fun rw -> rw.Llvm_downgrade.rw_applied > 0) r.Llvm_downgrade.rewrites
+        in
+        check Alcotest.bool "rewrites recorded" true (List.length applied >= 2));
+    tc "rewrites fneg" (fun () ->
+        let r = Llvm_downgrade.run "  %1 = fneg float %0\n" in
+        check Alcotest.bool "fsub" true
+          (contains r.Llvm_downgrade.text "fsub -0.000000e+00"));
+    tc "freeze cannot be downgraded" (fun () ->
+        try
+          ignore (Llvm_downgrade.run "  %1 = freeze i32 %0\n");
+          Alcotest.fail "expected failure"
+        with Failure _ -> ());
+    tc "full pipeline text downgrades cleanly" (fun () ->
+        let art = Lazy.force saxpy_art in
+        match art.Core.Compiler.llvm_ir_downgraded with
+        | Some t -> check Alcotest.bool "stamped" true (contains t "LLVM 7")
+        | None -> Alcotest.fail "no downgraded IR");
+  ]
+
+let host_cpp_text art = Option.get (Lazy.force art).Core.Compiler.host_cpp
+
+let host_cpp_tests =
+  [
+    tc "opencl boilerplate present" (fun () ->
+        let t = host_cpp_text saxpy_art in
+        check Alcotest.bool "include" true (contains t "#include <CL/cl2.hpp>");
+        check Alcotest.bool "platform" true (contains t "cl::Platform::get");
+        check Alcotest.bool "program binaries" true (contains t "cl::Program::Binaries"));
+    tc "device data helpers emitted" (fun () ->
+        let t = host_cpp_text saxpy_art in
+        check Alcotest.bool "acquire" true (contains t "ftn::data_acquire");
+        check Alcotest.bool "release" true (contains t "ftn::data_release");
+        check Alcotest.bool "counter map" true (contains t "std::map<std::string, int> counters"));
+    tc "buffers, transfers and kernel calls" (fun () ->
+        let t = host_cpp_text saxpy_art in
+        check Alcotest.bool "alloc" true (contains t "ftn::device_alloc(context, \"x\"");
+        check Alcotest.bool "write" true (contains t "enqueueWriteBuffer");
+        check Alcotest.bool "read" true (contains t "enqueueReadBuffer");
+        check Alcotest.bool "kernel" true (contains t "cl::Kernel");
+        check Alcotest.bool "setArg" true (contains t ".setArg(0, ");
+        check Alcotest.bool "enqueueTask" true (contains t "enqueueTask");
+        check Alcotest.bool "wait" true (contains t ".wait()"));
+    tc "host loops become for statements" (fun () ->
+        let t = host_cpp_text saxpy_art in
+        check Alcotest.bool "for" true (contains t "for (int64_t "));
+    tc "sgesl host keeps the outer loop and pivot logic" (fun () ->
+        let t = host_cpp_text sgesl_art in
+        check Alcotest.bool "if" true (contains t "if (");
+        check Alcotest.bool "kernel name" true (contains t "sgesl_bench_kernel"));
+    tc "print maps to cout" (fun () ->
+        let t = host_cpp_text saxpy_art in
+        check Alcotest.bool "cout" true (contains t "std::cout"));
+    tc "xclbin name is configurable" (fun () ->
+        let art =
+          Core.Compiler.compile
+            ~options:{ Core.Options.default with Core.Options.xclbin_name = "custom.xclbin" }
+            (Ftn_linpack.Fortran_sources.saxpy ~n:8)
+        in
+        check Alcotest.bool "name used" true
+          (contains (Option.get art.Core.Compiler.host_cpp) "custom.xclbin"));
+  ]
+
+(* Compile the generated host programs with a real C++ compiler against a
+   stub OpenCL header (syntax/type checking only). Skipped when g++ is not
+   on PATH. *)
+let gpp_available =
+  lazy (Sys.command "g++ --version > /dev/null 2>&1" = 0)
+
+(* Alcotest chdirs into its log directory while running tests; resolve the
+   stub include path eagerly at module initialisation. Under `dune runtest`
+   the stub is materialised next to the executable; under `dune exec` the
+   cwd is the project root. *)
+let cl_stub_dir =
+  let cwd = Sys.getcwd () in
+  let candidates =
+    [ Filename.concat cwd "cl_stub";
+      Filename.concat cwd "test/cl_stub";
+      Filename.concat (Filename.dirname Sys.executable_name) "cl_stub" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some d -> d
+  | None -> Filename.concat cwd "cl_stub"
+
+let syntax_check_cpp name text =
+  if not (Lazy.force gpp_available) then ()
+  else begin
+    let src_path = Filename.temp_file ("host_" ^ name) ".cpp" in
+    let oc = open_out src_path in
+    output_string oc text;
+    close_out oc;
+    let cmd =
+      Printf.sprintf
+        "g++ -std=c++17 -fsyntax-only -I %s %s 2> %s.err"
+        (Filename.quote cl_stub_dir) (Filename.quote src_path)
+        (Filename.quote src_path)
+    in
+    let rc = Sys.command cmd in
+    if rc <> 0 then begin
+      let ic = open_in (src_path ^ ".err") in
+      let err = really_input_string ic (min 2000 (in_channel_length ic)) in
+      close_in ic;
+      Alcotest.failf "g++ rejected %s host code:\n%s" name err
+    end
+  end
+
+let gpp_tests =
+  [
+    tc "generated saxpy host code is valid C++" (fun () ->
+        syntax_check_cpp "saxpy" (host_cpp_text saxpy_art));
+    tc "generated sgesl host code is valid C++" (fun () ->
+        syntax_check_cpp "sgesl" (host_cpp_text sgesl_art));
+    tc "generated data-regions host code is valid C++" (fun () ->
+        let art =
+          Core.Compiler.compile (Ftn_linpack.Fortran_sources.data_regions ~n:16)
+        in
+        syntax_check_cpp "regions" (Option.get art.Core.Compiler.host_cpp));
+    tc "generated reduction host code is valid C++" (fun () ->
+        let art =
+          Core.Compiler.compile
+            (Ftn_linpack.Fortran_sources.dot_product ~n:32 ~simdlen:4)
+        in
+        syntax_check_cpp "dot" (Option.get art.Core.Compiler.host_cpp));
+  ]
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ("llvm-ir", llvm_tests);
+      ("downgrade", downgrade_tests);
+      ("host-cpp", host_cpp_tests);
+      ("host-cpp-gpp", gpp_tests);
+    ]

@@ -1,0 +1,240 @@
+(* End-to-end tests: full Fortran programs compiled through every stage and
+   executed on the simulated FPGA, checked against OCaml references and
+   against CPU-mode execution. *)
+
+open Ftn_runtime
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+let contains = Astring_like.contains
+
+let max_abs_diff a b =
+  let m = ref 0.0 in
+  Array.iteri (fun i v -> m := Float.max !m (Float.abs (v -. b.(i)))) a;
+  !m
+
+let e2e_tests =
+  [
+    tc "saxpy matches the reference exactly" (fun () ->
+        let n = 256 in
+        let run = Core.Run.run (Ftn_linpack.Fortran_sources.saxpy ~n) in
+        let x, y = Ftn_linpack.References.saxpy_inputs ~n in
+        Ftn_linpack.References.saxpy ~a:2.0 ~x ~y;
+        let got = Option.get (Core.Run.device_floats run ~name:"y") in
+        check (Alcotest.float 0.0) "bit exact" 0.0 (max_abs_diff got y));
+    tc "sgesl matches the reference exactly" (fun () ->
+        let n = 48 in
+        let run = Core.Run.run (Ftn_linpack.Fortran_sources.sgesl ~n) in
+        let a, b, ipvt = Ftn_linpack.References.sgesl_inputs ~n in
+        Ftn_linpack.References.sgesl_update ~n ~a ~b ~ipvt;
+        let got = Option.get (Core.Run.device_floats run ~name:"b") in
+        check (Alcotest.float 0.0) "bit exact" 0.0 (max_abs_diff got b));
+    tc "hand-written baselines agree with the compiled flow" (fun () ->
+        let n = 128 in
+        let run = Core.Run.run (Ftn_linpack.Fortran_sources.saxpy ~n) in
+        let hand = Ftn_linpack.Hls_baselines.run_saxpy ~n () in
+        let got = Option.get (Core.Run.device_floats run ~name:"y") in
+        check (Alcotest.float 0.0) "same" 0.0
+          (max_abs_diff got hand.Ftn_linpack.Hls_baselines.values);
+        let n2 = 32 in
+        let run2 = Core.Run.run (Ftn_linpack.Fortran_sources.sgesl ~n:n2) in
+        let hand2 = Ftn_linpack.Hls_baselines.run_sgesl ~n:n2 () in
+        let got2 = Option.get (Core.Run.device_floats run2 ~name:"b") in
+        check (Alcotest.float 0.0) "same sgesl" 0.0
+          (max_abs_diff got2 hand2.Ftn_linpack.Hls_baselines.values));
+    tc "dot product with reduction matches reference" (fun () ->
+        let n = 200 in
+        let run =
+          Core.Run.run (Ftn_linpack.Fortran_sources.dot_product ~n ~simdlen:4)
+        in
+        let x, y = Ftn_linpack.References.dot_inputs ~n in
+        let expect = Ftn_linpack.References.dot ~x ~y in
+        (* result printed; the reduction reorders sums, so allow relative
+           rounding slack *)
+        let out = Core.Run.output run in
+        check Alcotest.bool "has dot" true (contains out "dot");
+        let total = Option.get (Core.Run.device_floats run ~name:"total") in
+        check Alcotest.bool "close" true
+          (Float.abs (total.(0) -. expect) /. Float.abs expect < 1e-4));
+    tc "reduction executes round-robin but sums completely" (fun () ->
+        (* n smaller than the copy count exercises the identity padding *)
+        let run =
+          Core.Run.run (Ftn_linpack.Fortran_sources.dot_product ~n:3 ~simdlen:2)
+        in
+        let x, y = Ftn_linpack.References.dot_inputs ~n:3 in
+        let expect = Ftn_linpack.References.dot ~x ~y in
+        let total = Option.get (Core.Run.device_floats run ~name:"total") in
+        check Alcotest.bool "exact for tiny n" true
+          (Float.abs (total.(0) -. expect) < 1e-6));
+    tc "nested data regions transfer once (paper Listing 1)" (fun () ->
+        let n = 32 in
+        let run = Core.Run.run (Ftn_linpack.Fortran_sources.data_regions ~n) in
+        let events = Trace.events run.Core.Run.exec.Executor.trace in
+        let h2d, d2h =
+          List.fold_left
+            (fun (i, o) e ->
+              match e with
+              | Trace.Transfer { direction = Trace.Host_to_device; _ } -> (i + 1, o)
+              | Trace.Transfer { direction = Trace.Device_to_host; _ } -> (i, o + 1)
+              | _ -> (i, o))
+            (0, 0) events
+        in
+        (* b copied in once; a (map from) never copied in, copied out once
+           when the outer data region ends *)
+        check Alcotest.int "h2d" 1 h2d;
+        check Alcotest.int "d2h" 1 d2h;
+        (* and the result is correct: a(i) = 2*b(i) = 2*i *)
+        let a = Option.get (Core.Run.device_floats run ~name:"a") in
+        check (Alcotest.float 0.0) "a(n)" (2.0 *. float_of_int n) a.(n - 1));
+    tc "implicit map inside data region does not re-transfer" (fun () ->
+        (* two kernels over the same mapped array inside one data region:
+           the second target's implicit map finds the data present *)
+        let src =
+          "program p\nreal :: a(16)\ninteger :: i\n!$omp target data map(tofrom:a)\n!$omp target parallel do\ndo i = 1, 16\na(i) = 1.0\nend do\n!$omp end target parallel do\n!$omp target parallel do\ndo i = 1, 16\na(i) = a(i) + 1.0\nend do\n!$omp end target parallel do\n!$omp end target data\nend program"
+        in
+        let run = Core.Run.run src in
+        let transfers =
+          List.length
+            (List.filter
+               (function Trace.Transfer _ -> true | _ -> false)
+               (Trace.events run.Core.Run.exec.Executor.trace))
+        in
+        (* one in + one out, despite two kernels *)
+        check Alcotest.int "two transfers" 2 transfers;
+        check Alcotest.int "two launches" 2
+          run.Core.Run.exec.Executor.kernel_launches;
+        let a = Option.get (Core.Run.device_floats run ~name:"a") in
+        check (Alcotest.float 0.0) "both kernels ran" 2.0 a.(7));
+    tc "collapse(2) kernel runs correctly" (fun () ->
+        let src =
+          "program p\nreal :: a(4, 8)\ninteger :: i, j\n!$omp target parallel do collapse(2)\ndo i = 1, 4\ndo j = 1, 8\na(i, j) = real(i * 10 + j)\nend do\nend do\n!$omp end target parallel do\nprint *, a(2, 3)\nend program"
+        in
+        let run = Core.Run.run src in
+        check Alcotest.bool "a(2,3) = 23" true
+          (contains (Core.Run.output run) "23.0"));
+    tc "2D arrays use column-major layout end to end" (fun () ->
+        let src =
+          "program p\nreal :: a(3, 2)\ninteger :: i, j\ndo j = 1, 2\ndo i = 1, 3\na(i, j) = real(i + j * 100)\nend do\nend do\nprint *, a(3, 1), a(1, 2)\nend program"
+        in
+        let out, _ = Core.Run.run_cpu src in
+        check Alcotest.bool "a(3,1)" true (contains out "103.0");
+        check Alcotest.bool "a(1,2)" true (contains out "201.0"));
+    tc "subroutine offload with dummy arguments" (fun () ->
+        let src =
+          "subroutine scale(v, n)\ninteger :: n\nreal :: v(n)\ninteger :: i\n!$omp target parallel do\ndo i = 1, n\nv(i) = v(i) * 3.0\nend do\n!$omp end target parallel do\nend subroutine\nprogram p\nreal :: w(8)\ninteger :: i\ndo i = 1, 8\nw(i) = 1.0\nend do\ncall scale(w, 8)\nprint *, w(8)\nend program"
+        in
+        let run = Core.Run.run src in
+        check Alcotest.bool "scaled" true (contains (Core.Run.output run) "3.0"));
+    tc "full LINPACK solver (sgefa + sgesl reference)" (fun () ->
+        (* sanity for the reference implementations themselves *)
+        let n = 24 in
+        let a = Array.init (n * n) (fun k ->
+            let i = k mod n and j = k / n in
+            if i = j then 4.0 else 1.0 /. float_of_int (1 + abs (i - j)))
+        in
+        let a_orig = Array.copy a in
+        let b = Array.init n (fun i -> float_of_int (i + 1)) in
+        let b_orig = Array.copy b in
+        let ipvt = Array.make n 0 in
+        let info = Ftn_linpack.References.sgefa ~n a ipvt in
+        check Alcotest.int "nonsingular" 0 info;
+        Ftn_linpack.References.sgesl ~n a ipvt b;
+        let r = Ftn_linpack.References.residual ~n a_orig b b_orig in
+        check Alcotest.bool "small residual" true (r < 1e-3));
+    tc "conditional offload: target under an if statement" (fun () ->
+        let src which =
+          Printf.sprintf
+            "program p\nreal :: y(8)\nlogical :: go\ninteger :: i\ngo = %s\ndo i = 1, 8\ny(i) = -1.0\nend do\nif (go) then\n!$omp target parallel do\ndo i = 1, 8\ny(i) = real(i)\nend do\n!$omp end target parallel do\nend if\nprint *, y(8)\nend program"
+            which
+        in
+        let taken = Core.Run.run (src ".true.") in
+        check Alcotest.int "launched" 1
+          taken.Core.Run.exec.Executor.kernel_launches;
+        check Alcotest.bool "computed" true
+          (contains (Core.Run.output taken) "8.0");
+        let skipped = Core.Run.run (src ".false.") in
+        check Alcotest.int "not launched" 0
+          skipped.Core.Run.exec.Executor.kernel_launches;
+        check Alcotest.bool "untouched" true
+          (contains (Core.Run.output skipped) "-1.0"));
+    tc "map(alloc:) transfers nothing" (fun () ->
+        let src =
+          "program p\nreal :: a(8), tmp(8)\ninteger :: i\n!$omp target data map(tofrom:a) map(alloc:tmp)\n!$omp target parallel do\ndo i = 1, 8\ntmp(i) = real(i)\na(i) = tmp(i) * 2.0\nend do\n!$omp end target parallel do\n!$omp end target data\nprint *, a(8)\nend program"
+        in
+        let run = Core.Run.run src in
+        (* a in + a out only: tmp is device-only scratch *)
+        check Alcotest.int "bytes" (2 * 8 * 4)
+          run.Core.Run.exec.Executor.bytes_transferred;
+        check Alcotest.bool "result" true
+          (contains (Core.Run.output run) "16.0"));
+    tc "two kernels share one bitstream" (fun () ->
+        let src =
+          "program p\nreal :: a(8)\ninteger :: i\n!$omp target parallel do map(from:a)\ndo i = 1, 8\na(i) = 1.0\nend do\n!$omp end target parallel do\n!$omp target parallel do map(tofrom:a)\ndo i = 1, 8\na(i) = a(i) + 1.0\nend do\n!$omp end target parallel do\nprint *, a(1)\nend program"
+        in
+        let run = Core.Run.run src in
+        check Alcotest.int "two kernels in bitstream" 2
+          (List.length run.Core.Run.bitstream.Ftn_hlsim.Bitstream.kernels);
+        check Alcotest.bool "chained" true (contains (Core.Run.output run) "2.0"));
+    tc "device-side do-while is rejected with a clear error" (fun () ->
+        let src =
+          "program p\nreal :: y(4)\ninteger :: i, k\n!$omp target map(tofrom:y)\nk = 0\ndo while (k < 4)\nk = k + 1\ny(k) = 1.0\nend do\n!$omp end target\nend program"
+        in
+        (try
+           ignore (Core.Compiler.compile src);
+           Alcotest.fail "expected Unsupported"
+         with Ftn_passes.Core_to_llvm.Unsupported _ -> ());
+        (* but compiling without the llvm stage works, and it executes *)
+        let core = Ftn_frontend.Frontend.to_core src in
+        let r = Ftn_passes.Pipeline.run_mid_end ~to_llvm:false core in
+        check Alcotest.bool "device module exists" true
+          (r.Ftn_passes.Pipeline.device_hls <> None));
+    tc "per-stage records cover the paper's Figure 2 pipeline" (fun () ->
+        let art = Core.Compiler.compile (Ftn_linpack.Fortran_sources.saxpy ~n:16) in
+        let names = List.map (fun s -> s.Ftn_ir.Pass.stage_name) art.Core.Compiler.stages in
+        List.iter
+          (fun expected ->
+            check Alcotest.bool (expected ^ " present") true
+              (List.exists (fun n -> n = expected) names))
+          [ "lower-omp-mapped-data"; "lower-omp-target-region";
+            "lower-omp-loops-to-hls"; "lower-hls-to-func-call";
+            "convert-to-llvm" ]);
+    tc "every intermediate module verifies" (fun () ->
+        let art = Core.Compiler.compile (Ftn_linpack.Fortran_sources.sgesl ~n:8) in
+        Ftn_ir.Verifier.verify_exn art.Core.Compiler.core_module;
+        Ftn_ir.Verifier.verify_exn art.Core.Compiler.host;
+        Option.iter Ftn_ir.Verifier.verify_exn art.Core.Compiler.device_core;
+        Option.iter Ftn_ir.Verifier.verify_exn art.Core.Compiler.device_hls;
+        Option.iter Ftn_ir.Verifier.verify_exn art.Core.Compiler.device_llvm);
+    tc "printed IR of every stage re-parses" (fun () ->
+        let art = Core.Compiler.compile (Ftn_linpack.Fortran_sources.saxpy ~n:8) in
+        let roundtrip m =
+          let text = Ftn_ir.Printer.to_string m in
+          let m' = Ftn_ir.Ir_parser.parse_module text in
+          check Alcotest.string "same" text (Ftn_ir.Printer.to_string m')
+        in
+        roundtrip art.Core.Compiler.fir_module;
+        roundtrip art.Core.Compiler.core_module;
+        roundtrip art.Core.Compiler.host;
+        Option.iter roundtrip art.Core.Compiler.device_hls;
+        Option.iter roundtrip art.Core.Compiler.device_llvm);
+    tc "simulated measurement harness reports median and std" (fun () ->
+        let s = Core.Measure.measure ~runs:10 ~seed:7 1.0e-3 in
+        check Alcotest.int "ten runs" 10 (List.length s.Core.Measure.runs);
+        check Alcotest.bool "median near truth" true
+          (Float.abs (s.Core.Measure.median -. 1.0e-3) < 1.0e-4);
+        check Alcotest.bool "std positive" true (s.Core.Measure.std > 0.0);
+        (* deterministic: same seed, same numbers *)
+        let s2 = Core.Measure.measure ~runs:10 ~seed:7 1.0e-3 in
+        check (Alcotest.float 0.0) "deterministic" s.Core.Measure.median
+          s2.Core.Measure.median);
+    tc "power model produces the paper's ordering" (fun () ->
+        let run = Core.Run.run (Ftn_linpack.Fortran_sources.saxpy ~n:512) in
+        let fpga = Core.Run.fpga_power run in
+        let cpu =
+          Ftn_hlsim.Power.cpu_power_w Ftn_hlsim.Fpga_spec.u280 ~kernel_time_s:0.1
+        in
+        check Alcotest.bool "fpga about half of cpu" true
+          (fpga < cpu /. 1.7 && fpga > cpu /. 3.0));
+  ]
+
+let () = Alcotest.run "e2e" [ ("pipeline", e2e_tests) ]

@@ -1,0 +1,466 @@
+(* Tests for the IR interpreter: runtime values and buffers, scalar
+   semantics, structured control flow, memory, calls, sequential OpenMP,
+   and the loop statistics hook. *)
+
+open Ftn_ir
+open Ftn_dialects
+open Ftn_interp
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+(* Build a module with one function "f" and run it. *)
+let run_fn ?handlers ~args ~arg_tys ~result_tys body_fn =
+  let b = Builder.create () in
+  let params = List.map (Builder.fresh b) arg_tys in
+  let body = body_fn b params in
+  let fn = Func_d.func ~sym_name:"f" ~args:params ~result_tys body in
+  let m = Op.module_op [ fn ] in
+  Verifier.verify_exn m;
+  let state = Interp.make ?handlers [ m ] in
+  Interp.run state ~entry:"f" ~args
+
+let rtval = Alcotest.testable Rtval.pp (fun a b -> a = b)
+
+(* --- rtval --- *)
+
+let rtval_tests =
+  [
+    tc "buffer allocation and access" (fun () ->
+        let buf = Rtval.alloc_buffer Types.F32 [ 2; 3 ] in
+        check Alcotest.int "len" 6 (Rtval.buffer_len buf);
+        Rtval.store buf [ 1; 2 ] (Rtval.Float 5.0);
+        check rtval "load back" (Rtval.Float 5.0) (Rtval.load buf [ 1; 2 ]);
+        check rtval "other slot zero" (Rtval.Float 0.0) (Rtval.load buf [ 0; 0 ]));
+    tc "rank-0 buffers" (fun () ->
+        let buf = Rtval.alloc_buffer Types.I32 [] in
+        Rtval.store buf [] (Rtval.Int 7);
+        check rtval "scalar" (Rtval.Int 7) (Rtval.load buf []));
+    tc "bounds checking" (fun () ->
+        let buf = Rtval.alloc_buffer Types.F32 [ 4 ] in
+        Alcotest.check_raises "oob"
+          (Invalid_argument "index 4 out of bounds for dimension of size 4")
+          (fun () -> ignore (Rtval.load buf [ 4 ])));
+    tc "f32 stores round to single precision" (fun () ->
+        let buf = Rtval.alloc_buffer Types.F32 [ 1 ] in
+        Rtval.store buf [ 0 ] (Rtval.Float 0.1);
+        (match Rtval.load buf [ 0 ] with
+        | Rtval.Float x ->
+          check Alcotest.bool "rounded" true (x <> 0.1 && Float.abs (x -. 0.1) < 1e-7)
+        | _ -> Alcotest.fail "not a float");
+        let buf64 = Rtval.alloc_buffer Types.F64 [ 1 ] in
+        Rtval.store buf64 [ 0 ] (Rtval.Float 0.1);
+        check rtval "f64 exact" (Rtval.Float 0.1) (Rtval.load buf64 [ 0 ]));
+    tc "i1 buffers store booleans" (fun () ->
+        let buf = Rtval.alloc_buffer Types.I1 [ 1 ] in
+        Rtval.store buf [ 0 ] (Rtval.Bool true);
+        check rtval "bool" (Rtval.Bool true) (Rtval.load buf [ 0 ]));
+    tc "copy_into converts representation" (fun () ->
+        let src = Rtval.of_int_array Types.I32 [| 1; 2; 3 |] in
+        let dst = Rtval.alloc_buffer Types.F32 [ 3 ] in
+        Rtval.copy_into ~src ~dst;
+        check rtval "converted" (Rtval.Float 2.0) (Rtval.load dst [ 1 ]));
+    tc "byte size" (fun () ->
+        check Alcotest.int "f64 x4" 32
+          (Rtval.byte_size (Rtval.alloc_buffer Types.F64 [ 4 ]));
+        check Alcotest.int "rank0 f32" 4
+          (Rtval.byte_size (Rtval.alloc_buffer Types.F32 [])));
+  ]
+
+(* --- scalar ops --- *)
+
+let scalar_tests =
+  [
+    tc "integer arithmetic" (fun () ->
+        let r =
+          run_fn ~args:[ Rtval.Int 7; Rtval.Int 3 ]
+            ~arg_tys:[ Types.I32; Types.I32 ] ~result_tys:[ Types.I32 ]
+            (fun b params ->
+              match params with
+              | [ x; y ] ->
+                let s = Arith.subi b x y in
+                let m = Arith.muli b (Op.result1 s) y in
+                [ s; m; Func_d.return ~operands:[ Op.result1 m ] () ]
+              | _ -> assert false)
+        in
+        check (Alcotest.list rtval) "result" [ Rtval.Int 12 ] r);
+    tc "float arithmetic rounds f32" (fun () ->
+        let r =
+          run_fn ~args:[ Rtval.Float 1.0 ] ~arg_tys:[ Types.F32 ]
+            ~result_tys:[ Types.F32 ]
+            (fun b params ->
+              match params with
+              | [ x ] ->
+                let c = Arith.const_f32 b 0.1 in
+                let s = Arith.addf b x (Op.result1 c) in
+                [ c; s; Func_d.return ~operands:[ Op.result1 s ] () ]
+              | _ -> assert false)
+        in
+        match r with
+        | [ Rtval.Float x ] ->
+          check Alcotest.bool "single precision" true
+            (Float.abs (x -. 1.1) < 1e-6)
+        | _ -> Alcotest.fail "bad result");
+    tc "division by zero raises" (fun () ->
+        try
+          ignore
+            (run_fn ~args:[ Rtval.Int 1; Rtval.Int 0 ]
+               ~arg_tys:[ Types.I32; Types.I32 ] ~result_tys:[ Types.I32 ]
+               (fun b params ->
+                 match params with
+                 | [ x; y ] ->
+                   let d = Arith.divsi b x y in
+                   [ d; Func_d.return ~operands:[ Op.result1 d ] () ]
+                 | _ -> assert false));
+          Alcotest.fail "expected error"
+        with Interp.Interp_error _ -> ());
+    tc "comparisons and select" (fun () ->
+        let r =
+          run_fn ~args:[ Rtval.Int 5; Rtval.Int 9 ]
+            ~arg_tys:[ Types.I32; Types.I32 ] ~result_tys:[ Types.I32 ]
+            (fun b params ->
+              match params with
+              | [ x; y ] ->
+                let c = Arith.cmpi b Arith.Sgt x y in
+                let s = Arith.select b (Op.result1 c) x y in
+                [ c; s; Func_d.return ~operands:[ Op.result1 s ] () ]
+              | _ -> assert false)
+        in
+        check (Alcotest.list rtval) "max" [ Rtval.Int 9 ] r);
+    tc "math functions" (fun () ->
+        let r =
+          run_fn ~args:[ Rtval.Float 4.0 ] ~arg_tys:[ Types.F64 ]
+            ~result_tys:[ Types.F64 ]
+            (fun b params ->
+              match params with
+              | [ x ] ->
+                let s = Math_d.sqrt b x in
+                [ s; Func_d.return ~operands:[ Op.result1 s ] () ]
+              | _ -> assert false)
+        in
+        check (Alcotest.list rtval) "sqrt" [ Rtval.Float 2.0 ] r);
+    tc "casts" (fun () ->
+        let r =
+          run_fn ~args:[ Rtval.Float 3.7 ] ~arg_tys:[ Types.F64 ]
+            ~result_tys:[ Types.I32 ]
+            (fun b params ->
+              match params with
+              | [ x ] ->
+                let c = Arith.fptosi b x Types.I32 in
+                [ c; Func_d.return ~operands:[ Op.result1 c ] () ]
+              | _ -> assert false)
+        in
+        check (Alcotest.list rtval) "truncates" [ Rtval.Int 3 ] r);
+  ]
+
+(* --- control flow --- *)
+
+let control_tests =
+  [
+    tc "scf.for accumulates through iter args" (fun () ->
+        (* sum 0..9 *)
+        let r =
+          run_fn ~args:[] ~arg_tys:[] ~result_tys:[ Types.Index ]
+            (fun b _ ->
+              let z = Arith.const_index b 0 in
+              let n = Arith.const_index b 10 in
+              let one = Arith.const_index b 1 in
+              let loop =
+                Scf.for_ b ~lb:(Op.result1 z) ~ub:(Op.result1 n)
+                  ~step:(Op.result1 one)
+                  ~iter_args:[ Op.result1 z ]
+                  (fun iv args ->
+                    let acc = List.hd args in
+                    let s = Arith.addi b acc iv in
+                    [ s; Scf.yield ~operands:[ Op.result1 s ] () ])
+              in
+              [ z; n; one; loop; Func_d.return ~operands:[ Op.result1 loop ] () ])
+        in
+        check (Alcotest.list rtval) "sum" [ Rtval.Int 45 ] r);
+    tc "scf.for with step" (fun () ->
+        let r =
+          run_fn ~args:[] ~arg_tys:[] ~result_tys:[ Types.Index ]
+            (fun b _ ->
+              let z = Arith.const_index b 0 in
+              let n = Arith.const_index b 10 in
+              let three = Arith.const_index b 3 in
+              let loop =
+                Scf.for_ b ~lb:(Op.result1 z) ~ub:(Op.result1 n)
+                  ~step:(Op.result1 three)
+                  ~iter_args:[ Op.result1 z ]
+                  (fun _ args ->
+                    let one = Arith.const_index b 1 in
+                    let s = Arith.addi b (List.hd args) (Op.result1 one) in
+                    [ one; s; Scf.yield ~operands:[ Op.result1 s ] () ])
+              in
+              [ z; n; three; loop; Func_d.return ~operands:[ Op.result1 loop ] () ])
+        in
+        (* iterations at 0,3,6,9 -> 4 *)
+        check (Alcotest.list rtval) "trip count" [ Rtval.Int 4 ] r);
+    tc "scf.if takes the right branch" (fun () ->
+        let branch cond_val =
+          run_fn ~args:[ Rtval.Bool cond_val ] ~arg_tys:[ Types.I1 ]
+            ~result_tys:[ Types.I32 ]
+            (fun b params ->
+              match params with
+              | [ c ] ->
+                let t = Arith.const_i32 b 1 in
+                let f = Arith.const_i32 b 2 in
+                let if_op =
+                  Scf.if_ b ~cond:c ~result_tys:[ Types.I32 ]
+                    ~then_ops:[ t; Scf.yield ~operands:[ Op.result1 t ] () ]
+                    ~else_ops:[ f; Scf.yield ~operands:[ Op.result1 f ] () ]
+                    ()
+                in
+                [ if_op; Func_d.return ~operands:[ Op.result1 if_op ] () ]
+              | _ -> assert false)
+        in
+        check (Alcotest.list rtval) "then" [ Rtval.Int 1 ] (branch true);
+        check (Alcotest.list rtval) "else" [ Rtval.Int 2 ] (branch false));
+    tc "scf.while counts down" (fun () ->
+        let r =
+          run_fn ~args:[ Rtval.Int 5 ] ~arg_tys:[ Types.I32 ]
+            ~result_tys:[ Types.I32 ]
+            (fun b params ->
+              match params with
+              | [ n ] ->
+                let w =
+                  Scf.while_ b ~inits:[ n ]
+                    ~make_before:(fun args ->
+                      let x = List.hd args in
+                      let z = Arith.const_i32 b 0 in
+                      let c = Arith.cmpi b Arith.Sgt x (Op.result1 z) in
+                      [ z; c; Scf.condition ~cond:(Op.result1 c) ~operands:[ x ] ])
+                    ~make_after:(fun args ->
+                      let x = List.hd args in
+                      let one = Arith.const_i32 b 1 in
+                      let d = Arith.subi b x (Op.result1 one) in
+                      [ one; d; Scf.yield ~operands:[ Op.result1 d ] () ])
+                in
+                [ w; Func_d.return ~operands:[ Op.result1 w ] () ]
+              | _ -> assert false)
+        in
+        check (Alcotest.list rtval) "zero" [ Rtval.Int 0 ] r);
+    tc "nested function calls" (fun () ->
+        let b = Builder.create () in
+        let x = Builder.fresh b Types.I32 in
+        let inner =
+          let double = Arith.addi b x x in
+          Func_d.func ~sym_name:"double" ~args:[ x ] ~result_tys:[ Types.I32 ]
+            [ double; Func_d.return ~operands:[ Op.result1 double ] () ]
+        in
+        let y = Builder.fresh b Types.I32 in
+        let outer =
+          let call = Func_d.call b ~callee:"double" ~operands:[ y ]
+              ~result_tys:[ Types.I32 ] in
+          Func_d.func ~sym_name:"main_fn" ~args:[ y ] ~result_tys:[ Types.I32 ]
+            [ call; Func_d.return ~operands:[ Op.result1 call ] () ]
+        in
+        let m = Op.module_op [ inner; outer ] in
+        let state = Interp.make [ m ] in
+        check (Alcotest.list rtval) "result" [ Rtval.Int 42 ]
+          (Interp.run state ~entry:"main_fn" ~args:[ Rtval.Int 21 ]));
+    tc "unknown function errors" (fun () ->
+        let state = Interp.make [ Op.module_op [] ] in
+        try
+          ignore (Interp.run state ~entry:"ghost" ~args:[]);
+          Alcotest.fail "expected error"
+        with Interp.Interp_error _ -> ());
+    tc "step limit aborts runaway loops" (fun () ->
+        try
+          ignore
+            (run_fn ~args:[] ~arg_tys:[] ~result_tys:[]
+               (fun b _ ->
+                 let z = Arith.const_index b 0 in
+                 let n = Arith.const_index b 1000000 in
+                 let one = Arith.const_index b 1 in
+                 let loop =
+                   Scf.for_ b ~lb:(Op.result1 z) ~ub:(Op.result1 n)
+                     ~step:(Op.result1 one) (fun _ _ -> [ Scf.yield () ])
+                 in
+                 [ z; n; one; loop; Func_d.return () ])
+             |> fun _ -> ());
+          (* also check with a tiny limit using a manual state *)
+          let b = Builder.create () in
+          let z = Arith.const_index b 0 in
+          let n = Arith.const_index b 1000000 in
+          let one = Arith.const_index b 1 in
+          let loop =
+            Scf.for_ b ~lb:(Op.result1 z) ~ub:(Op.result1 n)
+              ~step:(Op.result1 one) (fun _ _ -> [ Scf.yield () ])
+          in
+          let fn =
+            Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[]
+              [ z; n; one; loop; Func_d.return () ]
+          in
+          let state = Interp.make ~max_steps:100 [ Op.module_op [ fn ] ] in
+          (try
+             ignore (Interp.run state ~entry:"f" ~args:[]);
+             Alcotest.fail "expected step limit"
+           with Interp.Interp_error _ -> ())
+        with Interp.Interp_error _ -> Alcotest.fail "unexpected early error");
+    tc "handlers run before defaults" (fun () ->
+        let intercepted = ref false in
+        let handler _ _ op _ =
+          if Op.name op = "arith.constant" then begin
+            intercepted := true;
+            Some [ Rtval.Int 99 ]
+          end
+          else None
+        in
+        let r =
+          run_fn ~handlers:[ handler ] ~args:[] ~arg_tys:[]
+            ~result_tys:[ Types.I32 ]
+            (fun b _ ->
+              let c = Arith.const_i32 b 1 in
+              [ c; Func_d.return ~operands:[ Op.result1 c ] () ])
+        in
+        check Alcotest.bool "intercepted" true !intercepted;
+        check (Alcotest.list rtval) "handler value" [ Rtval.Int 99 ] r);
+    tc "on_loop reports iteration counts" (fun () ->
+        let counts = ref [] in
+        let b = Builder.create () in
+        let z = Arith.const_index b 0 in
+        let n = Arith.const_index b 7 in
+        let one = Arith.const_index b 1 in
+        let loop =
+          Scf.for_ b ~lb:(Op.result1 z) ~ub:(Op.result1 n)
+            ~step:(Op.result1 one) (fun _ _ -> [ Scf.yield () ])
+        in
+        let fn =
+          Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[]
+            [ z; n; one; loop; Func_d.return () ]
+        in
+        let state = Interp.make [ Op.module_op [ fn ] ] in
+        state.Interp.on_loop <-
+          Some (fun ~loop_key ~iters -> counts := (loop_key, iters) :: !counts);
+        ignore (Interp.run state ~entry:"f" ~args:[]);
+        match !counts with
+        | [ (_, 7) ] -> ()
+        | _ -> Alcotest.fail "expected one loop with 7 iterations");
+  ]
+
+(* --- memory and omp --- *)
+
+let memory_tests =
+  [
+    tc "alloca, store, load" (fun () ->
+        let r =
+          run_fn ~args:[] ~arg_tys:[] ~result_tys:[ Types.F64 ]
+            (fun b _ ->
+              let buf = Memref_d.alloca b (Types.memref_static [ 4 ] Types.F64) in
+              let i = Arith.const_index b 2 in
+              let v = Arith.const_f64 b 6.5 in
+              let st = Memref_d.store (Op.result1 v) (Op.result1 buf) [ Op.result1 i ] in
+              let ld = Memref_d.load b (Op.result1 buf) [ Op.result1 i ] in
+              [ buf; i; v; st; ld; Func_d.return ~operands:[ Op.result1 ld ] () ])
+        in
+        check (Alcotest.list rtval) "roundtrip" [ Rtval.Float 6.5 ] r);
+    tc "dynamic alloca takes size operands" (fun () ->
+        let r =
+          run_fn ~args:[ Rtval.Int 5 ] ~arg_tys:[ Types.Index ]
+            ~result_tys:[ Types.Index ]
+            (fun b params ->
+              match params with
+              | [ n ] ->
+                let buf =
+                  Memref_d.alloca b ~dynamic_sizes:[ n ]
+                    (Types.memref_dynamic 1 Types.F32)
+                in
+                let z = Arith.const_index b 0 in
+                let d = Memref_d.dim b (Op.result1 buf) (Op.result1 z) in
+                [ buf; z; d; Func_d.return ~operands:[ Op.result1 d ] () ]
+              | _ -> assert false)
+        in
+        check (Alcotest.list rtval) "dim" [ Rtval.Int 5 ] r);
+    tc "buffers alias through calls" (fun () ->
+        (* callee writes through the memref; caller observes it *)
+        let b = Builder.create () in
+        let p = Builder.fresh b (Types.memref [] Types.I32) in
+        let callee =
+          let v = Arith.const_i32 b 77 in
+          Func_d.func ~sym_name:"set77" ~args:[ p ] ~result_tys:[]
+            [ v; Memref_d.store (Op.result1 v) p []; Func_d.return () ]
+        in
+        let main_fn =
+          let buf = Memref_d.alloca b (Types.memref [] Types.I32) in
+          let call =
+            Func_d.call b ~callee:"set77" ~operands:[ Op.result1 buf ]
+              ~result_tys:[]
+          in
+          let ld = Memref_d.load b (Op.result1 buf) [] in
+          Func_d.func ~sym_name:"m" ~args:[] ~result_tys:[ Types.I32 ]
+            [ buf; call; ld; Func_d.return ~operands:[ Op.result1 ld ] () ]
+        in
+        let state = Interp.make [ Op.module_op [ callee; main_fn ] ] in
+        check (Alcotest.list rtval) "aliased" [ Rtval.Int 77 ]
+          (Interp.run state ~entry:"m" ~args:[]));
+    tc "omp.parallel_do executes sequentially with inclusive bounds" (fun () ->
+        let m =
+          Ftn_frontend.Frontend.to_core
+            "program p\nreal :: a(5)\ninteger :: i\n!$omp target parallel do\ndo i = 1, 5\na(i) = real(i)\nend do\n!$omp end target parallel do\nprint *, a(5)\nend program"
+        in
+        let out, _ = Ftn_runtime.Executor.run_cpu m in
+        check Alcotest.bool "a(5)=5" true
+          (Astring_like.contains out "5.000000"));
+    tc "print intrinsics capture output" (fun () ->
+        let m =
+          Ftn_frontend.Frontend.to_core
+            "program p\nprint *, 'hello', 3, 2.5\nend program"
+        in
+        let out, _ = Ftn_runtime.Executor.run_cpu m in
+        check Alcotest.bool "text" true (Astring_like.contains out "hello");
+        check Alcotest.bool "int" true (Astring_like.contains out "3");
+        check Alcotest.bool "float" true (Astring_like.contains out "2.5"));
+  ]
+
+let stream_tests =
+  [
+    tc "streams are FIFOs" (fun () ->
+        let b = Builder.create () in
+        let ops = ref [] in
+        let emit op = ops := op :: !ops in
+        let emit_get op =
+          emit op;
+          Op.result1 op
+        in
+        let s = emit_get (Ftn_dialects.Hls.stream_create b Types.F32) in
+        let c1 = emit_get (Arith.const_f32 b 1.5) in
+        let c2 = emit_get (Arith.const_f32 b 2.5) in
+        emit (Ftn_dialects.Hls.stream_write ~stream:s ~value:c1);
+        emit (Ftn_dialects.Hls.stream_write ~stream:s ~value:c2);
+        let r1 = emit_get (Ftn_dialects.Hls.stream_read b s) in
+        let r2 = emit_get (Ftn_dialects.Hls.stream_read b s) in
+        let sub = emit_get (Arith.subf b r2 r1) in
+        emit (Func_d.return ~operands:[ sub ] ());
+        let fn =
+          Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[ Types.F32 ]
+            (List.rev !ops)
+        in
+        let state = Interp.make [ Op.module_op [ fn ] ] in
+        check (Alcotest.list rtval) "fifo order" [ Rtval.Float 1.0 ]
+          (Interp.run state ~entry:"f" ~args:[]));
+    tc "reading an empty stream errors" (fun () ->
+        let b = Builder.create () in
+        let s_op = Ftn_dialects.Hls.stream_create b Types.F32 in
+        let rd = Ftn_dialects.Hls.stream_read b (Op.result1 s_op) in
+        let fn =
+          Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[]
+            [ s_op; rd; Func_d.return () ]
+        in
+        let state = Interp.make [ Op.module_op [ fn ] ] in
+        try
+          ignore (Interp.run state ~entry:"f" ~args:[]);
+          Alcotest.fail "expected error"
+        with Interp.Interp_error _ -> ());
+  ]
+
+let () =
+  Alcotest.run "interp"
+    [
+      ("rtval", rtval_tests);
+      ("scalars", scalar_tests);
+      ("control", control_tests);
+      ("memory", memory_tests);
+      ("streams", stream_tests);
+    ]

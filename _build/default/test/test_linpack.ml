@@ -1,0 +1,115 @@
+(* Tests for the benchmark substrate: reference implementations, workload
+   generators and the embedded Fortran sources. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+open Ftn_linpack
+
+let references_tests =
+  [
+    tc "to_f32 rounds like single precision" (fun () ->
+        check Alcotest.bool "0.1 rounds" true (References.to_f32 0.1 <> 0.1);
+        check (Alcotest.float 0.0) "exact halves survive" 0.5
+          (References.to_f32 0.5));
+    tc "saxpy identity with a = 0" (fun () ->
+        let x, y = References.saxpy_inputs ~n:16 in
+        let y0 = Array.copy y in
+        References.saxpy ~a:0.0 ~x ~y;
+        check Alcotest.bool "unchanged" true (y = y0));
+    tc "saxpy is additive in a for exact inputs" (fun () ->
+        let n = 8 in
+        let x = Array.init n (fun i -> float_of_int i) in
+        let y1 = Array.make n 0.0 and y2 = Array.make n 0.0 in
+        References.saxpy ~a:3.0 ~x ~y:y1;
+        References.saxpy ~a:1.0 ~x ~y:y2;
+        References.saxpy ~a:2.0 ~x ~y:y2;
+        check Alcotest.bool "same" true (y1 = y2));
+    tc "sgesl_update is a no-op for zero rhs" (fun () ->
+        let n = 12 in
+        let a, _, ipvt = References.sgesl_inputs ~n in
+        let b = Array.make n 0.0 in
+        References.sgesl_update ~n ~a ~b ~ipvt;
+        check Alcotest.bool "still zero" true (Array.for_all (( = ) 0.0) b));
+    tc "dot of orthogonal indicator vectors is zero" (fun () ->
+        let x = [| 1.0; 0.0; 1.0; 0.0 |] in
+        let y = [| 0.0; 2.0; 0.0; 2.0 |] in
+        check (Alcotest.float 0.0) "zero" 0.0 (References.dot ~x ~y));
+    tc "column-major idx addresses columns contiguously" (fun () ->
+        check Alcotest.int "A(2,1)" 1 (References.idx 4 1 0);
+        check Alcotest.int "A(1,2)" 4 (References.idx 4 0 1));
+    tc "sgefa detects singular matrices" (fun () ->
+        let n = 4 in
+        let a = Array.make (n * n) 0.0 in
+        let ipvt = Array.make n 0 in
+        check Alcotest.bool "info nonzero" true (References.sgefa ~n a ipvt <> 0));
+    tc "sgefa+sgesl solve diagonally dominant systems" (fun () ->
+        List.iter
+          (fun n ->
+            let a =
+              Array.init (n * n) (fun k ->
+                  let i = k mod n and j = k / n in
+                  if i = j then 10.0 else 1.0 /. float_of_int (1 + i + j))
+            in
+            let a_orig = Array.copy a in
+            let b = Array.init n (fun i -> Float.sin (float_of_int i)) in
+            let b_orig = Array.copy b in
+            let ipvt = Array.make n 0 in
+            check Alcotest.int "nonsingular" 0 (References.sgefa ~n a ipvt);
+            References.sgesl ~n a ipvt b;
+            check Alcotest.bool "residual small" true
+              (References.residual ~n a_orig b b_orig < 1e-3))
+          [ 4; 16; 40 ]);
+    tc "workload inputs are deterministic" (fun () ->
+        let x1, y1 = References.saxpy_inputs ~n:32 in
+        let x2, y2 = References.saxpy_inputs ~n:32 in
+        check Alcotest.bool "same" true (x1 = x2 && y1 = y2));
+  ]
+
+let sources_tests =
+  [
+    tc "all embedded sources parse and verify" (fun () ->
+        List.iter
+          (fun src ->
+            ignore (Ftn_frontend.Frontend.to_core_verified src))
+          [
+            Fortran_sources.saxpy ~n:64;
+            Fortran_sources.sgesl ~n:16;
+            Fortran_sources.dot_product ~n:32 ~simdlen:4;
+            Fortran_sources.data_regions ~n:16;
+          ]);
+    tc "saxpy source contains the paper's directive" (fun () ->
+        check Alcotest.bool "simdlen(10)" true
+          (Astring_like.contains (Fortran_sources.saxpy ~n:10)
+             "target parallel do simd simdlen(10)"));
+    tc "sgesl source offloads per outer iteration" (fun () ->
+        let src = Fortran_sources.sgesl ~n:8 in
+        check Alcotest.bool "plain parallel do" true
+          (Astring_like.contains src "!$omp target parallel do\n"));
+    tc "sizes splice into the parameter constant" (fun () ->
+        check Alcotest.bool "n = 12345" true
+          (Astring_like.contains (Fortran_sources.saxpy ~n:12345) "n = 12345"));
+  ]
+
+let baseline_tests =
+  [
+    tc "baseline kernels verify as IR" (fun () ->
+        Ftn_dialects.Registry.register_all ();
+        Ftn_ir.Verifier.verify_exn (Hls_baselines.saxpy_device ~n:16);
+        Ftn_ir.Verifier.verify_exn (Hls_baselines.sgesl_device ~n:16);
+        Ftn_ir.Verifier.verify_exn
+          (Hls_baselines.scale_dataflow_device ~n:16 ()));
+    tc "baseline kernel names match their drivers" (fun () ->
+        let has_fn m name = Ftn_ir.Op.find_function m name <> None in
+        check Alcotest.bool "saxpy_hw" true
+          (has_fn (Hls_baselines.saxpy_device ~n:8) "saxpy_hw");
+        check Alcotest.bool "sgesl_hw" true
+          (has_fn (Hls_baselines.sgesl_device ~n:8) "sgesl_hw"));
+  ]
+
+let () =
+  Alcotest.run "linpack"
+    [
+      ("references", references_tests);
+      ("sources", sources_tests);
+      ("baselines", baseline_tests);
+    ]

@@ -1,0 +1,358 @@
+(* Property-based tests (qcheck): structural invariants of the IR,
+   semantic equivalences of the passes, runtime invariants of the data
+   environment, and numerical agreement between the compiled pipeline and
+   the OCaml references on randomised inputs. *)
+
+open Ftn_ir
+open Ftn_dialects
+
+let count = 100
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* --- generators --- *)
+
+let scalar_type_gen =
+  QCheck.Gen.oneofl [ Types.I1; Types.I32; Types.I64; Types.Index; Types.F32; Types.F64 ]
+
+let type_gen =
+  let open QCheck.Gen in
+  let base = scalar_type_gen in
+  let memref =
+    let* elt = oneofl [ Types.F32; Types.F64; Types.I32 ] in
+    let* space = oneofl [ 0; 1; 2 ] in
+    let* dims = list_size (int_range 0 3) (oneof [ map (fun n -> Types.Static (n + 1)) (int_range 0 63); return Types.Dynamic ]) in
+    return (Types.Memref { Types.shape = dims; elt; memory_space = space })
+  in
+  oneof [ base; memref;
+          map (fun t -> Types.Ptr t) base;
+          map (fun t -> Types.Stream t) base;
+          return Types.Kernel_handle; return Types.Axi_protocol ]
+
+let type_roundtrip =
+  QCheck.Test.make ~count ~name:"type print/parse round-trips"
+    (QCheck.make type_gen ~print:Types.to_string)
+    (fun ty ->
+      Types.equal ty (Ir_parser.parse_type_string (Types.to_string ty)))
+
+let attr_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun n -> Attr.i32 n) (int_range (-1000) 1000);
+        map (fun x -> Attr.f64 x) (float_bound_inclusive 1e6);
+        map (fun s -> Attr.String s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 8));
+        map (fun s -> Attr.Symbol ("s" ^ s)) (string_size ~gen:(char_range 'a' 'z') (int_range 0 6));
+        map (fun b -> Attr.Bool b) bool;
+        return Attr.Unit;
+      ]
+  in
+  oneof [ leaf; map (fun xs -> Attr.Array xs) (list_size (int_range 0 4) leaf) ]
+
+(* Attributes round-trip through the op parser when attached to an op. *)
+let attr_roundtrip =
+  QCheck.Test.make ~count ~name:"attrs survive print/parse on an op"
+    (QCheck.make attr_gen ~print:Attr.to_string)
+    (fun attr ->
+      let op = Op.make "test.op" ~attrs:[ ("k", attr) ] in
+      let m = Op.module_op [ op ] in
+      let m' = Ir_parser.parse_module (Printer.to_string m) in
+      let op' = List.hd (Op.module_body m') in
+      match Op.find_attr op' "k" with
+      | Some a -> Attr.equal a attr
+      | None -> false)
+
+(* Random straight-line arith programs round-trip through the printer. *)
+let arith_module_gen =
+  let open QCheck.Gen in
+  let* seed_ops = int_range 1 12 in
+  return
+    (let b = Builder.create () in
+     let pool = ref [] in
+     let ops = ref [] in
+     let emit op =
+       ops := op :: !ops;
+       pool := Op.result1 op :: !pool
+     in
+     emit (Arith.const_i32 b 1);
+     emit (Arith.const_i32 b 2);
+     for i = 0 to seed_ops - 1 do
+       let x = List.nth !pool (i mod List.length !pool) in
+       let y = List.hd !pool in
+       emit (if i mod 3 = 0 then Arith.addi b x y
+             else if i mod 3 = 1 then Arith.muli b x y
+             else Arith.subi b x y)
+     done;
+     Op.module_op
+       [ Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[]
+           (List.rev (Func_d.return () :: !ops)) ])
+
+let module_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"random modules round-trip textually"
+    (QCheck.make arith_module_gen ~print:Printer.to_string)
+    (fun m ->
+      let text = Printer.to_string m in
+      String.equal text (Printer.to_string (Ir_parser.parse_module text)))
+
+(* Constant folding preserves semantics: evaluate the last value both ways. *)
+let fold_preserves_semantics =
+  QCheck.Test.make ~count:50 ~name:"canonicalise preserves interpreted results"
+    (QCheck.make arith_module_gen ~print:Printer.to_string)
+    (fun m ->
+      (* rewrite f to return its last defined value *)
+      let fn = List.hd (Op.module_body m) in
+      let body = Ftn_dialects.Func_d.body fn in
+      let last_val =
+        List.rev body
+        |> List.find_map (fun o ->
+               match Op.results o with [ r ] -> Some r | _ -> None)
+      in
+      match last_val with
+      | None -> true
+      | Some r ->
+        let body' =
+          List.filter (fun o -> not (Func_d.is_return o)) body
+          @ [ Func_d.return ~operands:[ r ] () ]
+        in
+        let fn' =
+          Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[ Value.ty r ] body'
+        in
+        let m = Op.module_op [ fn' ] in
+        let interp_of mm =
+          let state = Ftn_interp.Interp.make [ mm ] in
+          Ftn_interp.Interp.run state ~entry:"f" ~args:[]
+        in
+        interp_of m = interp_of (Ftn_passes.Canonicalize.run m))
+
+(* Verifier accepts everything the frontend + passes produce. *)
+let do_loop_program_gen =
+  let open QCheck.Gen in
+  let* n = int_range 1 30 in
+  let* lb = int_range 1 5 in
+  let* step = int_range 1 3 in
+  return (n, lb, step)
+
+let frontend_loops_verify =
+  QCheck.Test.make ~count:30 ~name:"random do-loop programs verify and sum correctly"
+    (QCheck.make do_loop_program_gen ~print:(fun (n, lb, s) ->
+         Printf.sprintf "n=%d lb=%d step=%d" n lb s))
+    (fun (n, lb, step) ->
+      let src =
+        Printf.sprintf
+          "program p\ninteger :: i, s\ns = 0\ndo i = %d, %d, %d\ns = s + i\nend do\nprint *, s\nend program"
+          lb n step
+      in
+      let m = Ftn_frontend.Frontend.to_core_verified src in
+      let out, _ = Ftn_runtime.Executor.run_cpu m in
+      let expect = ref 0 in
+      let i = ref lb in
+      while !i <= n do
+        expect := !expect + !i;
+        i := !i + step
+      done;
+      Astring_like.contains out (string_of_int !expect))
+
+(* Data environment refcount invariant under random action sequences. *)
+let refcount_invariant =
+  QCheck.Test.make ~count ~name:"data env refcount matches a trivial model"
+    QCheck.(list_of_size (Gen.int_range 0 40) (QCheck.make (QCheck.Gen.int_range 0 2)))
+    (fun actions ->
+      let env = Ftn_runtime.Data_env.create () in
+      let model = ref 0 in
+      List.for_all
+        (fun action ->
+          (match action with
+          | 0 ->
+            Ftn_runtime.Data_env.acquire env ~name:"v" ~memory_space:1;
+            model := !model + 1
+          | 1 ->
+            Ftn_runtime.Data_env.release env ~name:"v" ~memory_space:1;
+            model := max 0 (!model - 1)
+          | _ -> ());
+          Ftn_runtime.Data_env.refcount env ~name:"v" ~memory_space:1 = !model
+          && Ftn_runtime.Data_env.exists env ~name:"v" ~memory_space:1
+             = (!model > 0))
+        actions)
+
+(* Buffer linearisation: store then load through random valid indices. *)
+let buffer_roundtrip =
+  let gen =
+    let open QCheck.Gen in
+    let* dims = list_size (int_range 1 3) (int_range 1 6) in
+    let* indices = return (List.map (fun d -> Random.int d) dims) in
+    return (dims, indices)
+  in
+  QCheck.Test.make ~count ~name:"buffer store/load round-trips at any index"
+    (QCheck.make gen ~print:(fun (d, i) ->
+         Printf.sprintf "dims=[%s] idx=[%s]"
+           (String.concat ";" (List.map string_of_int d))
+           (String.concat ";" (List.map string_of_int i))))
+    (fun (dims, indices) ->
+      let buf = Ftn_interp.Rtval.alloc_buffer Types.F64 dims in
+      Ftn_interp.Rtval.store buf indices (Ftn_interp.Rtval.Float 3.25);
+      Ftn_interp.Rtval.load buf indices = Ftn_interp.Rtval.Float 3.25)
+
+(* Scheduler: more unroll never increases per-element cycles. *)
+let unroll_monotonicity =
+  QCheck.Test.make ~count:20 ~name:"unroll never slows a pipelined loop down"
+    QCheck.(pair (QCheck.make (QCheck.Gen.int_range 1 16)) (QCheck.make (QCheck.Gen.int_range 1 16)))
+    (fun (u1, u2) ->
+      let u_lo = min u1 u2 and u_hi = max u1 u2 in
+      let spec = Ftn_hlsim.Fpga_spec.u280 in
+      let cycles_for unroll =
+        let src =
+          Printf.sprintf
+            "program p\nreal :: x(64), y(64)\ninteger :: i\n!$omp target parallel do simd simdlen(%d)\ndo i = 1, 64\ny(i) = y(i) + 2.0 * x(i)\nend do\n!$omp end target parallel do simd\nend program"
+            unroll
+        in
+        let art = Core.Compiler.compile src in
+        match art.Core.Compiler.device_hls with
+        | Some d ->
+          let fn =
+            List.find
+              (fun o -> Func_d.is_func o && Func_d.has_body o)
+              (Op.module_body d)
+          in
+          let ks = Ftn_hlsim.Schedule.analyse_kernel spec fn in
+          (List.hd (Ftn_hlsim.Schedule.flatten_loops ks.Ftn_hlsim.Schedule.loops))
+            .Ftn_hlsim.Schedule.cycles_per_iteration
+        | None -> infinity
+      in
+      cycles_for u_hi <= cycles_for u_lo +. 1e-9)
+
+(* The compiled SAXPY agrees with the reference for random a and n. *)
+let saxpy_random_agreement =
+  let gen =
+    let open QCheck.Gen in
+    let* n = int_range 1 64 in
+    let* a = float_bound_inclusive 8.0 in
+    return (n, a)
+  in
+  QCheck.Test.make ~count:15 ~name:"compiled saxpy matches reference on random inputs"
+    (QCheck.make gen ~print:(fun (n, a) -> Printf.sprintf "n=%d a=%f" n a))
+    (fun (n, a) ->
+      let src =
+        Printf.sprintf
+          "program p\nreal :: x(%d), y(%d)\nreal :: a\ninteger :: i\na = %f\ndo i = 1, %d\nx(i) = real(i) * 0.5\ny(i) = real(%d - i) * 0.25\nend do\n!$omp target parallel do simd simdlen(4) map(to:x) map(tofrom:y)\ndo i = 1, %d\ny(i) = y(i) + a * x(i)\nend do\n!$omp end target parallel do simd\nend program"
+          n n a n n n
+      in
+      let run = Core.Run.run src in
+      let x, y = Ftn_linpack.References.saxpy_inputs ~n in
+      let a32 = Ftn_linpack.References.to_f32 a in
+      Ftn_linpack.References.saxpy ~a:a32 ~x ~y;
+      match Core.Run.device_floats run ~name:"y" with
+      | Some got ->
+        Array.for_all
+          (fun ok -> ok)
+          (Array.mapi (fun i v -> Float.abs (v -. y.(i)) <= 1e-5 *. (1.0 +. Float.abs y.(i))) got)
+      | None -> false)
+
+(* OpenACC and OpenMP spellings of the same offload agree exactly. *)
+let acc_omp_equivalence =
+  let gen =
+    let open QCheck.Gen in
+    let* n = int_range 1 48 in
+    let* simdlen = oneofl [ 1; 2; 4; 10 ] in
+    return (n, simdlen)
+  in
+  QCheck.Test.make ~count:12 ~name:"acc and omp produce identical kernels and results"
+    (QCheck.make gen ~print:(fun (n, s) -> Printf.sprintf "n=%d simdlen=%d" n s))
+    (fun (n, simdlen) ->
+      let body =
+        Printf.sprintf
+          "do i = 1, %d\ny(i) = y(i) + a * x(i)\nend do" n
+      in
+      let prologue =
+        Printf.sprintf
+          "real :: x(%d), y(%d)\nreal :: a\ninteger :: i\na = 2.0\ndo i = 1, %d\nx(i) = real(i) * 0.5\ny(i) = real(%d - i) * 0.25\nend do"
+          n n n n
+      in
+      let omp_src =
+        Printf.sprintf
+          "program p\n%s\n!$omp target parallel do simd simdlen(%d) map(to:x) map(tofrom:y)\n%s\n!$omp end target parallel do simd\nend program"
+          prologue simdlen body
+      in
+      let acc_src =
+        Printf.sprintf
+          "program p\n%s\n!$acc parallel loop copyin(x) copy(y) vector_length(%d)\n%s\n!$acc end parallel loop\nend program"
+          prologue simdlen body
+      in
+      let run src = Core.Run.run src in
+      let a = run omp_src and b = run acc_src in
+      let ya = Option.get (Core.Run.device_floats a ~name:"y") in
+      let yb = Option.get (Core.Run.device_floats b ~name:"y") in
+      Array.for_all2 (fun p q -> p = q) ya yb
+      && Float.abs (Core.Run.kernel_time a -. Core.Run.kernel_time b) < 1e-12)
+
+(* Measurement harness statistics. *)
+let measure_props =
+  QCheck.Test.make ~count ~name:"measure: median close to truth, std bounded"
+    QCheck.(pair pos_int (QCheck.make (QCheck.Gen.float_range 1e-4 1.0)))
+    (fun (seed, duration) ->
+      let s = Core.Measure.measure ~runs:10 ~seed ~jitter_s:25e-6 duration in
+      Float.abs (s.Core.Measure.median -. duration) < 1e-4
+      && s.Core.Measure.std >= 0.0
+      && s.Core.Measure.std < 1e-3)
+
+(* Clone never changes op counts or names. *)
+let clone_preserves_structure =
+  QCheck.Test.make ~count:50 ~name:"clone preserves structure"
+    (QCheck.make arith_module_gen ~print:Printer.to_string)
+    (fun m ->
+      let b = Builder.for_op m in
+      let m', _ = Builder.clone b m in
+      Op.count (fun _ -> true) m = Op.count (fun _ -> true) m'
+      &&
+      let names mm =
+        Op.fold (fun acc o -> Op.name o :: acc) [] mm
+      in
+      names m = names m')
+
+(* The IR parser is total: on arbitrarily mutated input it either parses
+   or raises Parse_error — never any other exception. *)
+let parser_totality =
+  let gen =
+    let open QCheck.Gen in
+    let* seed_ops = int_range 1 6 in
+    let* mutations = list_size (int_range 0 8) (pair (int_range 0 2000) (char_range ' ' '~')) in
+    let* base = arith_module_gen in
+    ignore seed_ops;
+    return (base, mutations)
+  in
+  QCheck.Test.make ~count:200 ~name:"parser never raises anything but Parse_error"
+    (QCheck.make gen ~print:(fun (m, _) -> Printer.to_string m))
+    (fun (m, mutations) ->
+      let text = Bytes.of_string (Printer.to_string m) in
+      List.iter
+        (fun (pos, c) ->
+          if Bytes.length text > 0 then
+            Bytes.set text (pos mod Bytes.length text) c)
+        mutations;
+      match Ir_parser.parse_module (Bytes.to_string text) with
+      | _ -> true
+      | exception Ir_parser.Parse_error _ -> true
+      | exception _ -> false)
+
+let () =
+  Registry.register_all ();
+  Alcotest.run "properties"
+    [
+      ( "qcheck",
+        List.map to_alcotest
+          [
+            type_roundtrip;
+            attr_roundtrip;
+            module_roundtrip;
+            fold_preserves_semantics;
+            frontend_loops_verify;
+            refcount_invariant;
+            buffer_roundtrip;
+            unroll_monotonicity;
+            saxpy_random_agreement;
+            measure_props;
+            clone_preserves_structure;
+            acc_omp_equivalence;
+            parser_totality;
+          ] );
+    ]

@@ -1,0 +1,220 @@
+(* Tests for the host runtime: the reference-counted data environment, the
+   executor's device semantics, timing charges, and the event trace. *)
+
+open Ftn_interp
+open Ftn_hlsim
+open Ftn_runtime
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let data_env_tests =
+  [
+    tc "refcounting lifecycle" (fun () ->
+        let env = Data_env.create () in
+        check Alcotest.bool "absent" false (Data_env.exists env ~name:"a" ~memory_space:1);
+        Data_env.acquire env ~name:"a" ~memory_space:1;
+        check Alcotest.bool "live" true (Data_env.exists env ~name:"a" ~memory_space:1);
+        Data_env.acquire env ~name:"a" ~memory_space:1;
+        check Alcotest.int "count 2" 2 (Data_env.refcount env ~name:"a" ~memory_space:1);
+        Data_env.release env ~name:"a" ~memory_space:1;
+        check Alcotest.bool "still live" true
+          (Data_env.exists env ~name:"a" ~memory_space:1);
+        Data_env.release env ~name:"a" ~memory_space:1;
+        check Alcotest.bool "dead" false (Data_env.exists env ~name:"a" ~memory_space:1));
+    tc "release never goes negative" (fun () ->
+        let env = Data_env.create () in
+        Data_env.release env ~name:"a" ~memory_space:1;
+        check Alcotest.int "zero" 0 (Data_env.refcount env ~name:"a" ~memory_space:1);
+        Data_env.acquire env ~name:"a" ~memory_space:1;
+        check Alcotest.int "one" 1 (Data_env.refcount env ~name:"a" ~memory_space:1));
+    tc "alloc reuse by shape" (fun () ->
+        let env = Data_env.create () in
+        let b1, fresh1 =
+          Data_env.alloc env ~name:"x" ~memory_space:1 ~elt:Ftn_ir.Types.F32
+            ~shape:[ 8 ]
+        in
+        check Alcotest.bool "first is fresh" true fresh1;
+        Rtval.store b1 [ 0 ] (Rtval.Float 1.5);
+        let b2, fresh2 =
+          Data_env.alloc env ~name:"x" ~memory_space:1 ~elt:Ftn_ir.Types.F32
+            ~shape:[ 8 ]
+        in
+        check Alcotest.bool "reused" false fresh2;
+        check Alcotest.bool "same storage" true
+          (Rtval.load b2 [ 0 ] = Rtval.Float 1.5);
+        let _, fresh3 =
+          Data_env.alloc env ~name:"x" ~memory_space:1 ~elt:Ftn_ir.Types.F32
+            ~shape:[ 16 ]
+        in
+        check Alcotest.bool "reshape is fresh" true fresh3);
+    tc "memory spaces are independent" (fun () ->
+        let env = Data_env.create () in
+        Data_env.acquire env ~name:"a" ~memory_space:1;
+        check Alcotest.bool "space 2 empty" false
+          (Data_env.exists env ~name:"a" ~memory_space:2));
+    tc "lookup_exn on missing data raises" (fun () ->
+        let env = Data_env.create () in
+        try
+          ignore (Data_env.lookup_exn env ~name:"ghost" ~memory_space:1);
+          Alcotest.fail "expected exception"
+        with Data_env.Device_data_error _ -> ());
+    tc "live_names lists acquired data" (fun () ->
+        let env = Data_env.create () in
+        Data_env.acquire env ~name:"b" ~memory_space:1;
+        Data_env.acquire env ~name:"a" ~memory_space:1;
+        check (Alcotest.list Alcotest.string) "sorted" [ "1:a"; "1:b" ]
+          (Data_env.live_names env));
+  ]
+
+(* A compiled SAXPY run shared across executor tests. *)
+let saxpy_run n =
+  Core.Run.run (Ftn_linpack.Fortran_sources.saxpy ~n)
+
+let executor_tests =
+  [
+    tc "kernel executes and produces correct numbers" (fun () ->
+        let n = 64 in
+        let run = saxpy_run n in
+        let x, y = Ftn_linpack.References.saxpy_inputs ~n in
+        Ftn_linpack.References.saxpy ~a:2.0 ~x ~y;
+        match Core.Run.device_floats run ~name:"y" with
+        | Some got ->
+          Array.iteri
+            (fun i v ->
+              if Float.abs (v -. y.(i)) > 1e-6 then
+                Alcotest.failf "y(%d) = %f, want %f" i v y.(i))
+            got
+        | None -> Alcotest.fail "y not on device");
+    tc "timing components add up" (fun () ->
+        let run = saxpy_run 64 in
+        let r = run.Core.Run.exec in
+        check (Alcotest.float 1e-12) "sum"
+          r.Executor.device_time_s
+          (r.Executor.kernel_time_s +. r.Executor.transfer_time_s
+          +. r.Executor.overhead_time_s));
+    tc "one launch for a single target" (fun () ->
+        let run = saxpy_run 64 in
+        check Alcotest.int "launches" 1 run.Core.Run.exec.Executor.kernel_launches);
+    tc "transferred bytes match mapped data" (fun () ->
+        let n = 64 in
+        let run = saxpy_run n in
+        (* x in (4n), y in (4n), a in (4), y out (4n) *)
+        check Alcotest.int "bytes" ((3 * 4 * n) + 4)
+          run.Core.Run.exec.Executor.bytes_transferred);
+    tc "trace records allocs, transfers, launch" (fun () ->
+        let run = saxpy_run 16 in
+        let events = Trace.events run.Core.Run.exec.Executor.trace in
+        let allocs =
+          List.length
+            (List.filter (function Trace.Alloc _ -> true | _ -> false) events)
+        in
+        let transfers =
+          List.length
+            (List.filter (function Trace.Transfer _ -> true | _ -> false) events)
+        in
+        check Alcotest.int "allocs" 3 allocs;
+        check Alcotest.int "transfers" 4 transfers);
+    tc "sgesl reuses buffers after the first iteration" (fun () ->
+        let n = 16 in
+        let run = Core.Run.run (Ftn_linpack.Fortran_sources.sgesl ~n) in
+        let events = Trace.events run.Core.Run.exec.Executor.trace in
+        let allocs =
+          List.length
+            (List.filter (function Trace.Alloc _ -> true | _ -> false) events)
+        in
+        (* b, a, t, k allocated once each despite n-1 launches (n is a
+           named constant, folded at compile time) *)
+        check Alcotest.int "four allocs" 4 allocs;
+        check Alcotest.int "launches" (n - 1)
+          run.Core.Run.exec.Executor.kernel_launches);
+    tc "program output is captured" (fun () ->
+        let run = saxpy_run 16 in
+        check Alcotest.bool "has saxpy" true
+          (Astring_like.contains (Core.Run.output run) "saxpy"));
+    tc "missing kernel raises" (fun () ->
+        let art = Core.Compiler.compile (Ftn_linpack.Fortran_sources.saxpy ~n:8) in
+        (* synthesise a bitstream for a DIFFERENT kernel *)
+        let wrong_bs =
+          Synth.synthesise (Ftn_linpack.Hls_baselines.saxpy_device ~n:8)
+        in
+        try
+          ignore
+            (Executor.run ~host:art.Core.Compiler.host ~bitstream:wrong_bs ());
+          Alcotest.fail "expected error"
+        with Executor.Runtime_error _ -> ());
+    tc "host API mirrors interpreted flow" (fun () ->
+        (* the hand-written baseline and the compiled flow agree numerically *)
+        let n = 32 in
+        let run = saxpy_run n in
+        let hand = Ftn_linpack.Hls_baselines.run_saxpy ~n () in
+        let got = Option.get (Core.Run.device_floats run ~name:"y") in
+        Array.iteri
+          (fun i v ->
+            if Float.abs (v -. hand.Ftn_linpack.Hls_baselines.values.(i)) > 1e-6
+            then Alcotest.failf "mismatch at %d" i)
+          got);
+    tc "kernel time equal between flows (paper Tables 1-2)" (fun () ->
+        let n = 64 in
+        let run = saxpy_run n in
+        let hand = Ftn_linpack.Hls_baselines.run_saxpy ~n () in
+        check (Alcotest.float 1e-9) "same kernel time"
+          run.Core.Run.exec.Executor.kernel_time_s
+          hand.Ftn_linpack.Hls_baselines.result.Executor.kernel_time_s);
+    tc "cpu mode runs without a device" (fun () ->
+        let out, steps =
+          Core.Run.run_cpu (Ftn_linpack.Fortran_sources.saxpy ~n:16)
+        in
+        check Alcotest.bool "output" true (Astring_like.contains out "saxpy");
+        check Alcotest.bool "did work" true (steps > 100));
+    tc "cpu and fpga agree numerically" (fun () ->
+        let src = Ftn_linpack.Fortran_sources.sgesl ~n:24 in
+        let cpu_out, _ = Core.Run.run_cpu src in
+        let fpga_run = Core.Run.run src in
+        check Alcotest.string "same printed results" cpu_out
+          (Core.Run.output fpga_run));
+  ]
+
+let model_tests =
+  [
+    tc "device time scales linearly for saxpy" (fun () ->
+        let t1 = Core.Run.device_time (saxpy_run 1_000) in
+        let t2 = Core.Run.device_time (saxpy_run 4_000) in
+        (* kernel part quadruples; overheads are shared *)
+        let k1 = Core.Run.kernel_time (saxpy_run 1_000) in
+        let k2 = Core.Run.kernel_time (saxpy_run 4_000) in
+        check Alcotest.bool "kernel 4x" true
+          (Float.abs ((k2 /. k1) -. 4.0) < 0.1);
+        check Alcotest.bool "total grows" true (t2 > t1));
+    tc "sgesl total scales quadratically" (fun () ->
+        let t n =
+          Core.Run.device_time
+            (Core.Run.run (Ftn_linpack.Fortran_sources.sgesl ~n))
+        in
+        let r = t 256 /. t 128 in
+        (* n(n-1)/2 ratio for 256 vs 128 is 4.02; fixed overheads drag the
+           observed ratio slightly below that *)
+        check Alcotest.bool "about 4x" true (r > 3.2 && r < 4.5));
+    tc "fpga power between floor and floor+dynamic" (fun () ->
+        let run = saxpy_run 2_048 in
+        let p = Core.Run.fpga_power run in
+        let spec = Ftn_hlsim.Fpga_spec.u280 in
+        check Alcotest.bool "above floor" true
+          (p > spec.Ftn_hlsim.Fpga_spec.static_power_w);
+        check Alcotest.bool "below ceiling" true
+          (p < spec.Ftn_hlsim.Fpga_spec.static_power_w
+             +. spec.Ftn_hlsim.Fpga_spec.dynamic_power_full_w *. 1.2));
+    tc "echo mode does not change results" (fun () ->
+        (* echo only mirrors output to stdout; captured text is the same *)
+        let a = Core.Run.run (Ftn_linpack.Fortran_sources.saxpy ~n:16) in
+        check Alcotest.bool "has output" true
+          (String.length (Core.Run.output a) > 0));
+  ]
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ("data-env", data_env_tests);
+      ("executor", executor_tests);
+      ("model", model_tests);
+    ]

@@ -1,0 +1,20 @@
+# Convenience targets; `make check` is what CI runs.
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check: ## build everything, then run the full test suite
+	dune build && dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -530,6 +530,72 @@ let ablation_burst () =
     "     the un-optimised flows of the paper leave roughly an order of@.";
   Fmt.pr "     magnitude of kernel time on the table.@."
 
+(* --- BENCH_obs.json: observability export for the two benchmark codes.
+   Each case runs inside its own span collector so the per-stage compile
+   times (wall-clock spans) and the executor breakdown (simulated device
+   timeline) are captured side by side, plus the global metrics registry. *)
+
+let obs_case name src =
+  progress "  obs capture: %s ..." name;
+  let open Ftn_obs in
+  let c = Span.create () in
+  let run = Span.with_collector c (fun () -> Core.Run.run src) in
+  let exec = run.Core.Run.exec in
+  let span_obj (sp : Span.span) =
+    Json.Obj
+      ([ ("name", Json.String sp.Span.name);
+         ("dur_s", Json.Float sp.Span.dur_s) ]
+      @
+      match sp.Span.parent with
+      | Some p -> [ ("parent", Json.Int p) ]
+      | None -> [])
+  in
+  let wall, sim =
+    List.partition
+      (fun (sp : Span.span) -> sp.Span.clock = Span.Wall)
+      (Span.spans c)
+  in
+  ( name,
+    Json.Obj
+      [
+        ("compile_spans", Json.List (List.map span_obj wall));
+        ("device_spans", Json.Int (List.length sim));
+        ( "executor",
+          Json.Obj
+            [
+              ("device_time_s", Json.Float exec.Executor.device_time_s);
+              ("kernel_time_s", Json.Float exec.Executor.kernel_time_s);
+              ("transfer_time_s", Json.Float exec.Executor.transfer_time_s);
+              ("overhead_time_s", Json.Float exec.Executor.overhead_time_s);
+              ("kernel_launches", Json.Int exec.Executor.kernel_launches);
+              ("bytes_transferred", Json.Int exec.Executor.bytes_transferred);
+            ] );
+      ] )
+
+let obs_report () =
+  header "Observability export (BENCH_obs.json)";
+  let n_saxpy = if quick then 1_000 else 100_000 in
+  let n_sgesl = if quick then 64 else 256 in
+  let cases =
+    [
+      obs_case
+        (Fmt.str "saxpy_n%d" n_saxpy)
+        (Ftn_linpack.Fortran_sources.saxpy ~n:n_saxpy);
+      obs_case
+        (Fmt.str "sgesl_n%d" n_sgesl)
+        (Ftn_linpack.Fortran_sources.sgesl ~n:n_sgesl);
+    ]
+  in
+  let j =
+    Ftn_obs.Json.Obj
+      [
+        ("benchmarks", Ftn_obs.Json.Obj cases);
+        ("metrics", Ftn_obs.Metrics.to_json ());
+      ]
+  in
+  Ftn_obs.Json.write_file "BENCH_obs.json" j;
+  Fmt.pr "  wrote BENCH_obs.json@."
+
 (* --- Bechamel micro-benchmarks: one Test.make per table --- *)
 
 let bechamel_tests () =
@@ -617,5 +683,6 @@ let () =
   ablation_launch_overhead ();
   ablation_canonicalise ();
   ablation_burst ();
+  obs_report ();
   if not skip_bechamel then run_bechamel ();
   Fmt.pr "@.done.@."

@@ -37,6 +37,79 @@ let handle_errors f =
   | Failure msg ->
     Fmt.epr "error: %s@." msg;
     exit 1
+  | Sys_error msg ->
+    Fmt.epr "error: %s@." msg;
+    exit 1
+
+(* --- observability options, shared by every command --- *)
+
+type obs_opts = {
+  trace_out : string option;
+  metrics : bool;
+  log_level : Ftn_obs.Log.level option;
+}
+
+let obs_term =
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON file (loadable in Perfetto or \
+             chrome://tracing) covering compile-stage spans, kernel \
+             executions and DMA transfers.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the metrics registry (counters, gauges, histograms).")
+  in
+  let log_level_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Log verbosity: debug, info, warn or error.")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Shorthand for --log-level debug.")
+  in
+  let make trace_out metrics log_level verbose =
+    let log_level =
+      match (log_level, verbose) with
+      | Some s, _ -> (
+        match Ftn_obs.Log.level_of_string s with
+        | Some l -> Some l
+        | None ->
+          Fmt.epr "error: unknown log level %S@." s;
+          exit 1)
+      | None, true -> Some Ftn_obs.Log.Debug
+      | None, false -> None
+    in
+    { trace_out; metrics; log_level }
+  in
+  Term.(const make $ trace_out_arg $ metrics_arg $ log_level_arg $ verbose_arg)
+
+(* Run [f] with logging configured, then emit the requested trace and
+   metrics dumps from the ambient span collector and default registry. *)
+let with_obs opts f =
+  (match opts.log_level with
+  | Some l -> Ftn_obs.Log.set_level l
+  | None -> ());
+  let r = f () in
+  (match opts.trace_out with
+  | Some path ->
+    Ftn_obs.Chrome_trace.write_file ~metrics:Ftn_obs.Metrics.default
+      (Ftn_obs.Span.current ()) path;
+    Fmt.epr "wrote trace to %s@." path
+  | None -> ());
+  if opts.metrics then
+    Fmt.pr "%a@." Ftn_obs.Metrics.pp Ftn_obs.Metrics.default;
+  r
 
 (* --- arguments --- *)
 
@@ -74,8 +147,9 @@ let cpu_arg =
 (* --- commands --- *)
 
 let compile_cmd =
-  let run source emit =
+  let run source emit obs =
     handle_errors (fun () ->
+        with_obs obs @@ fun () ->
         let artifacts = Core.Compiler.compile (read_source source) in
         let print_module name m_opt =
           match m_opt with
@@ -106,11 +180,12 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile and print an intermediate artifact.")
-    Term.(const run $ source_arg $ emit_arg)
+    Term.(const run $ source_arg $ emit_arg $ obs_term)
 
 let stages_cmd =
-  let run source =
+  let run source obs =
     handle_errors (fun () ->
+        with_obs obs @@ fun () ->
         let artifacts = Core.Compiler.compile (read_source source) in
         List.iter
           (fun s -> Fmt.pr "%a@." Ftn_ir.Pass.pp_stage s)
@@ -118,11 +193,12 @@ let stages_cmd =
   in
   Cmd.v
     (Cmd.info "stages" ~doc:"Show per-pass timing and op counts.")
-    Term.(const run $ source_arg)
+    Term.(const run $ source_arg $ obs_term)
 
 let synth_cmd =
-  let run source output =
+  let run source output obs =
     handle_errors (fun () ->
+        with_obs obs @@ fun () ->
         let artifacts = Core.Compiler.compile (read_source source) in
         let bs = Core.Compiler.synthesise artifacts in
         List.iter print_endline bs.Ftn_hlsim.Bitstream.build_log;
@@ -141,11 +217,12 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Run the simulated Vitis synthesis flow.")
-    Term.(const run $ source_arg $ output_arg)
+    Term.(const run $ source_arg $ output_arg $ obs_term)
 
-let run_cmd =
-  let run source report trace cpu xclbin =
+let run_term =
+  let run source report trace cpu xclbin obs =
     handle_errors (fun () ->
+        with_obs obs @@ fun () ->
         let src = read_source source in
         if cpu then begin
           let out, steps = Core.Run.run_cpu src in
@@ -181,13 +258,19 @@ let run_cmd =
           ~doc:"Program the device from a saved simulated xclbin instead of \
                 synthesising.")
   in
+  Term.(
+    const run $ source_arg $ report_arg $ trace_arg $ cpu_arg $ xclbin_arg
+    $ obs_term)
+
+let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, synthesise and execute on the simulated FPGA.")
-    Term.(const run $ source_arg $ report_arg $ trace_arg $ cpu_arg $ xclbin_arg)
+    run_term
 
 let dse_cmd =
-  let run source budget =
+  let run source budget obs =
     handle_errors (fun () ->
+        with_obs obs @@ fun () ->
         let artifacts = Core.Compiler.compile (read_source source) in
         match artifacts.Core.Compiler.device_hls with
         | None ->
@@ -222,14 +305,29 @@ let dse_cmd =
     (Cmd.info "dse"
        ~doc:
          "Explore the unroll design space of each kernel's pipelined loop.")
-    Term.(const run $ source_arg $ budget_arg)
+    Term.(const run $ source_arg $ budget_arg $ obs_term)
 
 let main =
+  (* [ftnc prog.f90 ...] with no subcommand behaves like [ftnc run]. *)
   Cmd.group
+    ~default:run_term
     (Cmd.info "ftnc" ~version:"1.0.0"
        ~doc:
          "Fortran + OpenMP to FPGA offload compiler (MLIR pipeline, \
           simulated AMD U280 backend).")
     [ compile_cmd; stages_cmd; synth_cmd; run_cmd; dse_cmd ]
 
-let () = exit (Cmd.eval main)
+(* Cmdliner only uses the default term when no positional is present, so
+   [ftnc prog.f90 ...] needs the implied "run" spliced in by hand. *)
+let argv =
+  let argv = Sys.argv in
+  let subcommands = [ "compile"; "stages"; "synth"; "run"; "dse" ] in
+  if
+    Array.length argv > 1
+    && (not (List.mem argv.(1) subcommands))
+    && Sys.file_exists argv.(1)
+  then
+    Array.append [| argv.(0); "run" |] (Array.sub argv 1 (Array.length argv - 1))
+  else argv
+
+let () = exit (Cmd.eval ~argv main)

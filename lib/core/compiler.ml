@@ -20,35 +20,58 @@ type artifacts = {
 }
 
 let compile ?(options = Options.default) source =
-  let fir_module = Ftn_frontend.Frontend.to_fir source in
-  let core_module = Ftn_frontend.Fir_to_core.run fir_module in
-  Verifier.verify_exn core_module;
+  Ftn_obs.Span.with_span ~name:"compile" (fun () ->
+  let span name f = Ftn_obs.Span.with_span ~name f in
+  let fir_module =
+    span "frontend.to_fir" (fun () -> Ftn_frontend.Frontend.to_fir source)
+  in
+  let core_module =
+    span "frontend.fir_to_core" (fun () ->
+        Ftn_frontend.Fir_to_core.run fir_module)
+  in
+  span "verify.core" (fun () -> Verifier.verify_exn core_module);
   let r =
-    Ftn_passes.Pipeline.run_mid_end ~options:options.Options.pipeline
-      core_module
+    span "mid_end" (fun () ->
+        Ftn_passes.Pipeline.run_mid_end ~options:options.Options.pipeline
+          core_module)
   in
   let device_llvm =
-    Option.map Ftn_codegen.Hls_intrinsics.run
+    Option.map
+      (fun m ->
+        span "codegen.hls_intrinsics" (fun () ->
+            Ftn_codegen.Hls_intrinsics.run m))
       r.Ftn_passes.Pipeline.device_llvm
   in
   let llvm_ir =
     if options.Options.emit_llvm then
-      Option.map Ftn_codegen.Llvm_ir.emit_module device_llvm
+      Option.map
+        (fun m ->
+          span "codegen.emit_llvm_ir" (fun () ->
+              Ftn_codegen.Llvm_ir.emit_module m))
+        device_llvm
     else None
   in
   let llvm_ir_downgraded =
     Option.map
-      (fun text -> (Ftn_codegen.Llvm_downgrade.run text).Ftn_codegen.Llvm_downgrade.text)
+      (fun text ->
+        span "codegen.llvm_downgrade" (fun () ->
+            (Ftn_codegen.Llvm_downgrade.run text)
+              .Ftn_codegen.Llvm_downgrade.text))
       llvm_ir
   in
   let host_cpp =
     if options.Options.emit_cpp && r.Ftn_passes.Pipeline.device_core <> None
     then
       Some
-        (Ftn_codegen.Host_cpp.emit_module
-           ~xclbin:options.Options.xclbin_name r.Ftn_passes.Pipeline.host)
+        (span "codegen.host_cpp" (fun () ->
+             Ftn_codegen.Host_cpp.emit_module
+               ~xclbin:options.Options.xclbin_name r.Ftn_passes.Pipeline.host))
     else None
   in
+  Ftn_obs.Metrics.incr "compile.runs";
+  Ftn_obs.Log.infof "compiled %d source lines through %d pipeline stages"
+    (List.length (String.split_on_char '\n' source))
+    (List.length r.Ftn_passes.Pipeline.stages);
   {
     source;
     fir_module;
@@ -62,7 +85,7 @@ let compile ?(options = Options.default) source =
     llvm_ir_downgraded;
     host_cpp;
     stages = r.Ftn_passes.Pipeline.stages;
-  }
+  })
 
 (* Synthesise the compiled device module into a bitstream. *)
 let synthesise ?(options = Options.default) artifacts =

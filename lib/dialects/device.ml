@@ -56,8 +56,9 @@ let kernel_wait handle = Op.make "device.kernel_wait" ~operands:[ handle ]
 (* Explicit reference-counter ops, produced when lowering the data
    environment for host code generation: each identifier gets an integer
    counter; acquire increments, release decrements, check tests > 0. *)
-let counter_get b ~name =
-  Builder.op1 b "device.counter_get" ~attrs:[ ("name", Attr.String name) ]
+let counter_get b ~name ~memory_space =
+  Builder.op1 b "device.counter_get"
+    ~attrs:(name_attrs ~name ~memory_space)
     Types.I32
 
 let counter_set ~name v =
@@ -113,7 +114,7 @@ let register () =
       let* () = expect_operands op 1 in
       expect_operand_type op 0 Types.Kernel_handle);
   Dialect.register "device.counter_get" ~verify:(fun op ->
-      let* () = expect_attr op "name" in
+      let* () = named_verify op in
       expect_results op 1);
   Dialect.register "device.counter_set" ~verify:(fun op ->
       let* () = expect_attr op "name" in

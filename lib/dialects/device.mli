@@ -33,7 +33,7 @@ val kernel_create :
 
 val kernel_launch : Value.t -> Op.t
 val kernel_wait : Value.t -> Op.t
-val counter_get : Builder.t -> name:string -> Op.t
+val counter_get : Builder.t -> name:string -> memory_space:int -> Op.t
 val counter_set : name:string -> Value.t -> Op.t
 
 val op_name_attr : Op.t -> string option

@@ -62,6 +62,9 @@ let luts_with_unroll spec ~frontend (ks : Schedule.kernel_schedule)
 let explore ?(spec = Fpga_spec.u280) ?(frontend = Resources.Mlir_flow)
     ?(factors = [ 1; 2; 4; 8; 10; 16; 32 ]) ?lut_budget ks
     (l : Schedule.loop_info) =
+  Ftn_obs.Span.with_span_sp ~name:"dse.explore"
+    ~attrs:[ ("kernel", ks.Schedule.fn_name) ]
+    (fun span ->
   let candidates =
     List.map
       (fun unroll ->
@@ -105,7 +108,15 @@ let explore ?(spec = Fpga_spec.u280) ?(frontend = Resources.Mlir_flow)
             else acc)
       None candidates
   in
-  { candidates; pareto; best }
+  Ftn_obs.Metrics.incr ~by:(List.length candidates) "dse.candidates";
+  (match best with
+  | Some b ->
+    Ftn_obs.Metrics.set_gauge "dse.best_unroll" (float_of_int b.unroll);
+    Ftn_obs.Span.set_attr span ~key:"best_unroll" (string_of_int b.unroll)
+  | None -> ());
+  Ftn_obs.Span.set_attr span ~key:"candidates"
+    (string_of_int (List.length candidates));
+  { candidates; pareto; best })
 
 (* Convenience: explore the first pipelined loop of a kernel. *)
 let explore_kernel ?spec ?frontend ?factors ?lut_budget ks =

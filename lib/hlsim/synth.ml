@@ -10,6 +10,9 @@ exception Synthesis_error of string
 
 let synthesise ?(frontend = Resources.Mlir_flow) ?(spec = Fpga_spec.u280)
     ?(xclbin_name = "kernel.xclbin") device_module =
+  Ftn_obs.Span.with_span ~name:"synth.vpp"
+    ~attrs:[ ("xclbin", xclbin_name) ]
+    (fun () ->
   if not (Op.is_module device_module) then
     raise (Synthesis_error "device code must be a builtin.module");
   let log = ref [] in
@@ -19,8 +22,20 @@ let synthesise ?(frontend = Resources.Mlir_flow) ?(spec = Fpga_spec.u280)
     List.filter_map
       (fun op ->
         if Func_d.is_func op && Func_d.has_body op then begin
-          let ks = Schedule.analyse_kernel spec op in
-          let res = Resources.estimate ~frontend spec ks in
+          let ks, res =
+            Ftn_obs.Span.with_span_sp ~name:"synth.kernel" (fun sp ->
+                let ks = Schedule.analyse_kernel spec op in
+                let res = Resources.estimate ~frontend spec ks in
+                Ftn_obs.Span.set_attr sp ~key:"kernel" ks.Schedule.fn_name;
+                (ks, res))
+          in
+          Ftn_obs.Metrics.incr "synth.kernels";
+          Ftn_obs.Metrics.set_gauge "synth.lut_pct" res.Resources.lut_pct;
+          Ftn_obs.Metrics.set_gauge "synth.bram_pct" res.Resources.bram_pct;
+          Ftn_obs.Metrics.set_gauge "synth.dsp_pct" res.Resources.dsp_pct;
+          Ftn_obs.Log.infof "synth %s: lut %.2f%% bram %.2f%% dsp %.2f%%"
+            ks.Schedule.fn_name res.Resources.lut_pct res.Resources.bram_pct
+            res.Resources.dsp_pct;
           say "HLS synthesis: %s" ks.Schedule.fn_name;
           List.iter
             (fun (l : Schedule.loop_info) ->
@@ -54,4 +69,4 @@ let synthesise ?(frontend = Resources.Mlir_flow) ?(spec = Fpga_spec.u280)
     frontend;
     kernels;
     build_log = List.rev !log;
-  }
+  })

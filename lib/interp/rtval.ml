@@ -13,6 +13,7 @@ type buffer = {
   shape : int list;
   mem : mem;
   memory_space : int;
+  label : string;  (* identifier for traces; "" when anonymous *)
 }
 
 type t =
@@ -27,12 +28,12 @@ type t =
 
 let buffer_size shape = List.fold_left ( * ) 1 shape
 
-let alloc_buffer ?(memory_space = 0) elt shape =
+let alloc_buffer ?(memory_space = 0) ?(label = "") elt shape =
   let n = max 1 (buffer_size shape) in
   let mem =
     if Types.is_float elt then F (Array.make n 0.0) else I (Array.make n 0)
   in
-  { elt; shape; mem; memory_space }
+  { elt; shape; mem; memory_space; label }
 
 let buffer_len buf = buffer_size buf.shape
 
@@ -127,13 +128,13 @@ let int_buffer buf =
   | I a -> a
   | F _ -> invalid_arg "int_buffer: float buffer"
 
-let of_float_array ?(memory_space = 0) ?shape elt a =
+let of_float_array ?(memory_space = 0) ?(label = "") ?shape elt a =
   let shape = match shape with Some s -> s | None -> [ Array.length a ] in
-  { elt; shape; mem = F a; memory_space }
+  { elt; shape; mem = F a; memory_space; label }
 
-let of_int_array ?(memory_space = 0) ?shape elt a =
+let of_int_array ?(memory_space = 0) ?(label = "") ?shape elt a =
   let shape = match shape with Some s -> s | None -> [ Array.length a ] in
-  { elt; shape; mem = I a; memory_space }
+  { elt; shape; mem = I a; memory_space; label }
 
 let pp fmt = function
   | Unit -> Fmt.string fmt "unit"

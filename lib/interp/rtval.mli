@@ -12,6 +12,7 @@ type buffer = {
   shape : int list;
   mem : mem;
   memory_space : int;
+  label : string;  (** Identifier shown in traces; [""] when anonymous. *)
 }
 
 type t =
@@ -25,7 +26,7 @@ type t =
   | StreamQ of t Queue.t  (** On-chip FIFO (hls.stream). *)
 
 val alloc_buffer :
-  ?memory_space:int -> Ftn_ir.Types.t -> int list -> buffer
+  ?memory_space:int -> ?label:string -> Ftn_ir.Types.t -> int list -> buffer
 (** Zero-initialised buffer of the given element type and shape ([[]] for
     rank 0). *)
 
@@ -54,7 +55,9 @@ val as_buffer : t -> buffer
 val float_buffer : buffer -> float array
 val int_buffer : buffer -> int array
 val of_float_array :
-  ?memory_space:int -> ?shape:int list -> Ftn_ir.Types.t -> float array -> buffer
+  ?memory_space:int -> ?label:string -> ?shape:int list ->
+  Ftn_ir.Types.t -> float array -> buffer
 val of_int_array :
-  ?memory_space:int -> ?shape:int list -> Ftn_ir.Types.t -> int array -> buffer
+  ?memory_space:int -> ?label:string -> ?shape:int list ->
+  Ftn_ir.Types.t -> int array -> buffer
 val pp : Format.formatter -> t -> unit

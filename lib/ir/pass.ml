@@ -1,6 +1,8 @@
 (* Pass manager: named module-to-module transformations with optional
    inter-pass verification, per-pass timing and IR dump hooks (the
-   equivalent of mlir-opt's -pass-pipeline driver). *)
+   equivalent of mlir-opt's -pass-pipeline driver). Every pass execution
+   is bracketed in an Ftn_obs wall-clock span; the stage_record list is a
+   thin view over those spans, kept for existing consumers. *)
 
 type t = {
   pass_name : string;
@@ -30,10 +32,32 @@ let run_pipeline ?(verify_between = false) ?on_stage passes m =
   let result =
     List.fold_left
       (fun m p ->
-        let t0 = Unix.gettimeofday () in
-        let m' = p.run m in
-        let elapsed = Unix.gettimeofday () -. t0 in
+        let ops_before = count_ops m in
+        let pass_span = ref None in
+        let m' =
+          Ftn_obs.Span.with_span_sp ~name:("pass." ^ p.pass_name)
+            (fun sp ->
+              pass_span := Some sp;
+              p.run m)
+        in
+        (match !pass_span with
+        | Some sp ->
+          let ops_after = count_ops m' in
+          Ftn_obs.Span.set_attr sp ~key:"ops_in" (string_of_int ops_before);
+          Ftn_obs.Span.set_attr sp ~key:"ops_out" (string_of_int ops_after);
+          if ops_after < ops_before then
+            Ftn_obs.Metrics.incr ~by:(ops_before - ops_after)
+              "passes.ops_removed";
+          Ftn_obs.Log.debugf "pass %s: %d -> %d ops, %.3f ms" p.pass_name
+            ops_before ops_after
+            (sp.Ftn_obs.Span.dur_s *. 1e3)
+        | None -> ());
         if verify_between then Verifier.verify_exn m';
+        let elapsed =
+          match !pass_span with
+          | Some sp -> sp.Ftn_obs.Span.dur_s
+          | None -> 0.0
+        in
         notify p.pass_name elapsed m';
         m')
       m passes

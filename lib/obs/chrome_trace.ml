@@ -1,0 +1,134 @@
+(* Chrome trace-event exporter: renders a span collector (and optionally
+   a metrics registry) as Perfetto/chrome://tracing-loadable JSON.
+
+   Track layout (one process, one thread per track):
+     tid 1  compile           wall-clock spans (passes, codegen, synth)
+     tid 2  device.kernels    simulated kernel executions
+     tid 3  device.transfers  simulated h2d/d2h DMA
+     tid 4  device.overhead   simulated allocation/launch overheads
+   plus a "device.bytes_transferred" counter track fed by the cumulative
+   bytes of each transfer span.
+
+   Wall timestamps are normalised to the first wall span so traces are
+   reproducible run-to-run up to durations; simulated timestamps are
+   already relative to device-timeline zero. *)
+
+let pid = 1
+let compile_tid = 1
+let kernel_tid = 2
+let transfer_tid = 3
+let overhead_tid = 4
+
+let tid_of (sp : Span.span) =
+  match sp.Span.clock with
+  | Span.Wall -> compile_tid
+  | Span.Sim -> (
+    match Span.attr sp "track" with
+    | Some "kernel" -> kernel_tid
+    | Some "transfer" -> transfer_tid
+    | _ -> overhead_tid)
+
+let us t = t *. 1e6
+
+let args_of_attrs attrs =
+  List.rev_map (fun (k, v) -> (k, Json.String v)) attrs
+
+let meta_event ~name ~tid ~value =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String value) ]);
+    ]
+
+let metadata =
+  [
+    meta_event ~name:"process_name" ~tid:0 ~value:"ftnc";
+    meta_event ~name:"thread_name" ~tid:compile_tid ~value:"compile";
+    meta_event ~name:"thread_name" ~tid:kernel_tid ~value:"device.kernels";
+    meta_event ~name:"thread_name" ~tid:transfer_tid ~value:"device.transfers";
+    meta_event ~name:"thread_name" ~tid:overhead_tid ~value:"device.overhead";
+  ]
+
+let complete_event ~wall_zero (sp : Span.span) =
+  let ts =
+    match sp.Span.clock with
+    | Span.Wall -> us (sp.Span.start_s -. wall_zero)
+    | Span.Sim -> us sp.Span.start_s
+  in
+  Json.Obj
+    [
+      ("name", Json.String sp.Span.name);
+      ("cat", Json.String (match sp.Span.clock with Span.Wall -> "wall" | Span.Sim -> "sim"));
+      ("ph", Json.String "X");
+      ("ts", Json.Float ts);
+      ("dur", Json.Float (us sp.Span.dur_s));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int (tid_of sp));
+      ("args", Json.Obj (args_of_attrs sp.Span.attrs));
+    ]
+
+(* Cumulative bytes counter, sampled at the start of every transfer. *)
+let counter_events spans =
+  let total = ref 0 and h2d = ref 0 and d2h = ref 0 in
+  List.filter_map
+    (fun (sp : Span.span) ->
+      match (sp.Span.clock, Span.attr sp "bytes") with
+      | Span.Sim, Some b when tid_of sp = transfer_tid ->
+        let bytes = int_of_string_opt b |> Option.value ~default:0 in
+        total := !total + bytes;
+        (match Span.attr sp "direction" with
+        | Some "d2h" -> d2h := !d2h + bytes
+        | _ -> h2d := !h2d + bytes);
+        Some
+          (Json.Obj
+             [
+               ("name", Json.String "device.bytes_transferred");
+               ("ph", Json.String "C");
+               ("ts", Json.Float (us sp.Span.start_s));
+               ("pid", Json.Int pid);
+               ("args",
+                Json.Obj
+                  [
+                    ("total", Json.Int !total);
+                    ("h2d", Json.Int !h2d);
+                    ("d2h", Json.Int !d2h);
+                  ]);
+             ])
+      | _ -> None)
+    spans
+
+let to_json ?metrics collector =
+  let spans = Span.spans collector in
+  let wall_zero =
+    List.fold_left
+      (fun acc (sp : Span.span) ->
+        match sp.Span.clock with
+        | Span.Wall -> Float.min acc sp.Span.start_s
+        | Span.Sim -> acc)
+      infinity spans
+  in
+  let wall_zero = if Float.is_finite wall_zero then wall_zero else 0.0 in
+  let events =
+    metadata
+    @ List.map (complete_event ~wall_zero) spans
+    @ counter_events spans
+  in
+  let extra =
+    match metrics with
+    | Some registry -> [ ("metrics", Metrics.to_json ~registry ()) ]
+    | None -> []
+  in
+  Json.Obj
+    ([
+       ("traceEvents", Json.List events);
+       ("displayTimeUnit", Json.String "ms");
+     ]
+    @ extra)
+
+let to_string ?metrics collector = Json.to_string (to_json ?metrics collector)
+
+let write_file ?metrics collector path =
+  Json.write_file path (to_json ?metrics collector)

@@ -1,0 +1,9 @@
+(** Chrome trace-event exporter: renders a span collector (and optionally
+    a metrics registry, embedded under a top-level ["metrics"] key) as
+    JSON loadable in Perfetto / chrome://tracing. Compile stages, kernel
+    executions, transfers and overheads land on separate tracks, with a
+    cumulative ["device.bytes_transferred"] counter track. *)
+
+val to_json : ?metrics:Metrics.t -> Span.t -> Json.t
+val to_string : ?metrics:Metrics.t -> Span.t -> string
+val write_file : ?metrics:Metrics.t -> Span.t -> string -> unit

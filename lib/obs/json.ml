@@ -1,0 +1,109 @@
+(* Minimal JSON tree and serialiser — enough for metrics dumps and
+   Chrome trace-event export without pulling in an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let float_repr x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.12g" x
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float x ->
+    if not (Float.is_finite x) then Buffer.add_string buf "null"
+    else Buffer.add_string buf (float_repr x)
+  | String s ->
+    Buffer.add_char buf '"';
+    escape buf s;
+    Buffer.add_char buf '"'
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape buf k;
+        Buffer.add_string buf "\":";
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 1024 in
+  write buf j;
+  Buffer.contents buf
+
+(* Indented variant for human-facing dumps. *)
+let rec write_pretty buf indent = function
+  | List (_ :: _ as xs) ->
+    let pad = String.make indent ' ' in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf pad;
+        Buffer.add_string buf "  ";
+        write_pretty buf (indent + 2) x)
+      xs;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf pad;
+    Buffer.add_char buf ']'
+  | Obj (_ :: _ as fields) ->
+    let pad = String.make indent ' ' in
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf pad;
+        Buffer.add_string buf "  \"";
+        escape buf k;
+        Buffer.add_string buf "\": ";
+        write_pretty buf (indent + 2) v)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf pad;
+    Buffer.add_char buf '}'
+  | j -> write buf j
+
+let to_string_pretty j =
+  let buf = Buffer.create 1024 in
+  write_pretty buf 0 j;
+  Buffer.contents buf
+
+let write_file path j =
+  let oc = open_out path in
+  output_string oc (to_string j);
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,15 @@
+(** Minimal JSON tree used by the metrics registry and the Chrome
+    trace-event exporter. NaN/infinite floats serialise as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_string_pretty : t -> string
+val write_file : string -> t -> unit

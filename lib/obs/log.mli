@@ -1,0 +1,32 @@
+(** Structured, leveled logger with a pluggable sink (tests capture it,
+    the CLI routes it to stderr). Default level is [Error] so libraries
+    stay quiet unless a consumer opts in. *)
+
+type level =
+  | Debug
+  | Info
+  | Warn
+  | Error
+
+val severity : level -> int
+val string_of_level : level -> string
+val level_of_string : string -> level option
+
+type sink = level -> string -> unit
+
+val stderr_sink : sink
+val set_level : level -> unit
+val level : unit -> level
+val set_sink : sink -> unit
+val enabled : level -> bool
+
+val logf : level -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val debugf : ('a, Format.formatter, unit, unit) format4 -> 'a
+val infof : ('a, Format.formatter, unit, unit) format4 -> 'a
+val warnf : ('a, Format.formatter, unit, unit) format4 -> 'a
+val errorf : ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val with_capture :
+  ?level:level -> (unit -> 'a) -> 'a * (level * string) list
+(** Run [f] with messages captured (at [level] and above, default all);
+    restores the previous sink and level afterwards. *)

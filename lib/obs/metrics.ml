@@ -1,0 +1,118 @@
+(* Named metrics registry: counters (monotonic ints), gauges (last-set
+   floats) and histograms (count/sum/min/max summaries). Every layer of
+   the pipeline reports into the default registry; tests create private
+   registries for isolation. *)
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+type metric =
+  | Counter of int ref
+  | Gauge of float ref
+  | Histogram of histogram
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of {
+      count : int;
+      sum : float;
+      min_v : float;
+      max_v : float;
+    }
+
+type t = { metrics : (string, metric) Hashtbl.t }
+
+let create () = { metrics = Hashtbl.create 32 }
+let default = create ()
+
+exception Kind_mismatch of string
+
+let kind_error name =
+  raise
+    (Kind_mismatch
+       (Printf.sprintf "metric %S already registered with another kind" name))
+
+let get_metric ?(registry = default) name make =
+  match Hashtbl.find_opt registry.metrics name with
+  | Some m -> m
+  | None ->
+    let m = make () in
+    Hashtbl.replace registry.metrics name m;
+    m
+
+let incr ?registry ?(by = 1) name =
+  match get_metric ?registry name (fun () -> Counter (ref 0)) with
+  | Counter r -> r := !r + by
+  | _ -> kind_error name
+
+let set_gauge ?registry name v =
+  match get_metric ?registry name (fun () -> Gauge (ref 0.0)) with
+  | Gauge r -> r := v
+  | _ -> kind_error name
+
+let observe ?registry name v =
+  let make () =
+    Histogram { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity }
+  in
+  match get_metric ?registry name make with
+  | Histogram h ->
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    h.min_v <- Float.min h.min_v v;
+    h.max_v <- Float.max h.max_v v
+  | _ -> kind_error name
+
+let freeze = function
+  | Counter r -> Counter_v !r
+  | Gauge r -> Gauge_v !r
+  | Histogram h ->
+    Histogram_v { count = h.count; sum = h.sum; min_v = h.min_v; max_v = h.max_v }
+
+let find ?(registry = default) name =
+  Option.map freeze (Hashtbl.find_opt registry.metrics name)
+
+let counter_value ?registry name =
+  match find ?registry name with Some (Counter_v n) -> n | _ -> 0
+
+let snapshot ?(registry = default) () =
+  Hashtbl.fold (fun k m acc -> (k, freeze m) :: acc) registry.metrics []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset ?(registry = default) () = Hashtbl.reset registry.metrics
+
+let pp_value fmt = function
+  | Counter_v n -> Fmt.pf fmt "%d" n
+  | Gauge_v v -> Fmt.pf fmt "%g" v
+  | Histogram_v { count; sum; min_v; max_v } ->
+    if count = 0 then Fmt.pf fmt "count=0"
+    else
+      Fmt.pf fmt "count=%d sum=%g min=%g mean=%g max=%g" count sum min_v
+        (sum /. float_of_int count)
+        max_v
+
+let pp fmt registry =
+  Fmt.pf fmt "@[<v>%a@]"
+    (Fmt.list (fun fmt (name, v) -> Fmt.pf fmt "%-28s %a" name pp_value v))
+    (snapshot ~registry ())
+
+let json_of_value = function
+  | Counter_v n -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+  | Gauge_v v -> Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Float v) ]
+  | Histogram_v { count; sum; min_v; max_v } ->
+    Json.Obj
+      [
+        ("type", Json.String "histogram");
+        ("count", Json.Int count);
+        ("sum", Json.Float sum);
+        ("min", if count = 0 then Json.Null else Json.Float min_v);
+        ("max", if count = 0 then Json.Null else Json.Float max_v);
+      ]
+
+let to_json ?(registry = default) () =
+  Json.Obj
+    (List.map (fun (name, v) -> (name, json_of_value v)) (snapshot ~registry ()))

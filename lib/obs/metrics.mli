@@ -1,0 +1,38 @@
+(** Named metrics registry: counters, gauges and histogram summaries.
+    All operations default to the process-wide {!default} registry;
+    tests pass a private [?registry] for isolation. Metric names are
+    dotted paths, e.g. ["passes.ops_removed"], ["device.bytes_h2d"]. *)
+
+type t
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of {
+      count : int;
+      sum : float;
+      min_v : float;
+      max_v : float;
+    }
+
+exception Kind_mismatch of string
+(** Raised when a name is reused with a different metric kind. *)
+
+val create : unit -> t
+val default : t
+
+val incr : ?registry:t -> ?by:int -> string -> unit
+val set_gauge : ?registry:t -> string -> float -> unit
+val observe : ?registry:t -> string -> float -> unit
+
+val find : ?registry:t -> string -> value option
+val counter_value : ?registry:t -> string -> int
+(** 0 when absent or not a counter. *)
+
+val snapshot : ?registry:t -> unit -> (string * value) list
+(** Sorted by name. *)
+
+val reset : ?registry:t -> unit -> unit
+val pp_value : Format.formatter -> value -> unit
+val pp : Format.formatter -> t -> unit
+val to_json : ?registry:t -> unit -> Json.t

@@ -48,25 +48,42 @@ type compiled = {
 let run_mid_end ?(options = default_options) ?(to_llvm = true) m =
   let all_stages = ref [] in
   let record rs = all_stages := !all_stages @ rs in
-  let combined, stages =
-    Pass.run_pipeline ~verify_between:true (host_passes ~options ()) m
+  let combined =
+    Ftn_obs.Span.with_span ~name:"mid_end.host" (fun () ->
+        let combined, stages =
+          Pass.run_pipeline ~verify_between:true (host_passes ~options ()) m
+        in
+        record stages;
+        combined)
   in
-  record stages;
-  let split = Split_modules.run combined in
+  let split =
+    Ftn_obs.Span.with_span ~name:"mid_end.split_modules" (fun () ->
+        Split_modules.run combined)
+  in
   let device_core = split.Split_modules.device in
   let device_hls, device_llvm =
     match device_core with
     | None -> (None, None)
     | Some d ->
-      let hls, stages =
-        Pass.run_pipeline ~verify_between:true (device_passes ~options ()) d
+      let hls =
+        Ftn_obs.Span.with_span ~name:"mid_end.device" (fun () ->
+            let hls, stages =
+              Pass.run_pipeline ~verify_between:true
+                (device_passes ~options ()) d
+            in
+            record stages;
+            hls)
       in
-      record stages;
       if to_llvm then begin
-        let ll, stages =
-          Pass.run_pipeline ~verify_between:true (device_llvm_passes ()) hls
+        let ll =
+          Ftn_obs.Span.with_span ~name:"mid_end.device_llvm" (fun () ->
+              let ll, stages =
+                Pass.run_pipeline ~verify_between:true (device_llvm_passes ())
+                  hls
+              in
+              record stages;
+              ll)
         in
-        record stages;
         (Some hls, Some ll)
       end
       else (Some hls, None)

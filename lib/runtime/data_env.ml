@@ -42,7 +42,7 @@ let alloc t ~name ~memory_space ~elt ~shape =
   | Some b when b.Rtval.shape = shape && Ftn_ir.Types.equal b.Rtval.elt elt ->
     (b, false)
   | Some _ | None ->
-    let b = Rtval.alloc_buffer ~memory_space elt shape in
+    let b = Rtval.alloc_buffer ~memory_space ~label:name elt shape in
     e.buffer <- Some b;
     (b, true)
 

@@ -23,10 +23,15 @@ type context = {
   trace : Trace.t;
   handles : (int, kernel_handle) Hashtbl.t;
   mutable next_handle : int;
-  mutable device_time_s : float;  (** Simulated device-related time. *)
-  mutable kernel_time_s : float;
-  mutable transfer_time_s : float;
-  mutable overhead_time_s : float;
+  obs : Ftn_obs.Span.t;
+      (** Span collector (the ambient one at context creation): every
+          simulated charge lands here as a sim-clock span. *)
+  obs_base : int;
+      (** First span id belonging to this context, so timing sums ignore
+          spans recorded by earlier work in the same collector. *)
+  mutable sim_now_s : float;
+      (** Position on the simulated device timeline — the running total
+          of every charge, i.e. the device time so far. *)
   mutable kernel_state : Interp.state option;
       (** Lazily-created interpreter used when kernels are launched through
           the host API rather than from an interpreted host module. *)
@@ -46,6 +51,7 @@ type result = {
 }
 
 let create_context ?(spec = Fpga_spec.u280) ?(echo = false) bitstream =
+  let obs = Ftn_obs.Span.current () in
   {
     spec;
     bitstream;
@@ -53,25 +59,53 @@ let create_context ?(spec = Fpga_spec.u280) ?(echo = false) bitstream =
     trace = Trace.create ();
     handles = Hashtbl.create 8;
     next_handle = 0;
-    device_time_s = 0.0;
-    kernel_time_s = 0.0;
-    transfer_time_s = 0.0;
-    overhead_time_s = 0.0;
+    obs;
+    obs_base = Ftn_obs.Span.next_id obs;
+    sim_now_s = 0.0;
     kernel_state = None;
     sink = Intrinsics.make_sink ~echo ();
   }
 
-let charge_overhead (ctx : context) t =
-  ctx.device_time_s <- ctx.device_time_s +. t;
-  ctx.overhead_time_s <- ctx.overhead_time_s +. t
+(* Charge [t] simulated seconds to a track ("kernel", "transfer" or
+   "overhead"): records a span at the current device-timeline position
+   and advances the timeline. The per-category and total times reported
+   in [result] are folds over these spans, so the float additions happen
+   in exactly the order the old mutable accumulators used. *)
+let charge (ctx : context) ~track ~name ?(attrs = []) t =
+  ignore
+    (Ftn_obs.Span.record_sim ~collector:ctx.obs
+       ~attrs:(("track", track) :: attrs)
+       ~name ~start_s:ctx.sim_now_s ~dur_s:t ());
+  ctx.sim_now_s <- ctx.sim_now_s +. t
 
-let charge_transfer (ctx : context) t =
-  ctx.device_time_s <- ctx.device_time_s +. t;
-  ctx.transfer_time_s <- ctx.transfer_time_s +. t
+let charge_overhead (ctx : context) ~name ?attrs t =
+  charge ctx ~track:"overhead" ~name ?attrs t
 
-let charge_kernel (ctx : context) t =
-  ctx.device_time_s <- ctx.device_time_s +. t;
-  ctx.kernel_time_s <- ctx.kernel_time_s +. t
+let charge_transfer (ctx : context) ~name ?attrs t =
+  charge ctx ~track:"transfer" ~name ?attrs t
+
+let charge_kernel (ctx : context) ~name ?attrs t =
+  charge ctx ~track:"kernel" ~name ?attrs t
+
+let sim_spans (ctx : context) =
+  List.filter
+    (fun (sp : Ftn_obs.Span.span) ->
+      sp.Ftn_obs.Span.id >= ctx.obs_base
+      && sp.Ftn_obs.Span.clock = Ftn_obs.Span.Sim)
+    (Ftn_obs.Span.spans ctx.obs)
+
+let track_time (ctx : context) track =
+  List.fold_left
+    (fun acc (sp : Ftn_obs.Span.span) ->
+      if Ftn_obs.Span.attr sp "track" = Some track then
+        acc +. sp.Ftn_obs.Span.dur_s
+      else acc)
+    0.0 (sim_spans ctx)
+
+let device_time (ctx : context) = ctx.sim_now_s
+let kernel_time ctx = track_time ctx "kernel"
+let transfer_time ctx = track_time ctx "transfer"
+let overhead_time ctx = track_time ctx "overhead"
 
 let name_and_space op =
   match Op.string_attr op "name" with
@@ -103,8 +137,15 @@ let execute_kernel (ctx : context) state (design : Bitstream.kernel_design) args
       ignore (Interp.call_function state design.Bitstream.kd_function args));
   let t = Timing.kernel_time_s ctx.spec design.Bitstream.kd_schedule stats in
   let overhead = Timing.launch_overhead_s ctx.spec in
-  charge_kernel ctx t;
-  charge_overhead ctx overhead;
+  charge_kernel ctx ~name:design.Bitstream.kd_name
+    ~attrs:[ ("kernel", design.Bitstream.kd_name) ]
+    t;
+  charge_overhead ctx ~name:"launch_overhead"
+    ~attrs:[ ("kernel", design.Bitstream.kd_name) ]
+    overhead;
+  Ftn_obs.Metrics.incr "device.kernel_launches";
+  Ftn_obs.Log.debugf "launch %s: %.3f us kernel + %.3f us overhead"
+    design.Bitstream.kd_name (t *. 1e6) (overhead *. 1e6);
   Trace.record ctx.trace
     (Trace.Launch
        {
@@ -122,7 +163,12 @@ let api_alloc (ctx : context) ~name ~memory_space ~elt ~shape =
     Data_env.alloc ctx.data ~name ~memory_space ~elt ~shape
   in
   if fresh then begin
-    charge_overhead ctx (Timing.alloc_overhead_s ctx.spec);
+    charge_overhead ctx ~name:("alloc:" ^ name)
+      ~attrs:[ ("buffer", name);
+               ("bytes", string_of_int (Rtval.byte_size buffer)) ]
+      (Timing.alloc_overhead_s ctx.spec);
+    Ftn_obs.Metrics.incr "device.allocs";
+    Ftn_obs.Metrics.incr ~by:(Rtval.byte_size buffer) "device.bytes_allocated";
     Trace.record ctx.trace
       (Trace.Alloc
          {
@@ -137,13 +183,33 @@ let api_transfer (ctx : context) ~src ~dst =
   if src.Rtval.memory_space <> dst.Rtval.memory_space then begin
     let bytes = min (Rtval.byte_size src) (Rtval.byte_size dst) in
     let t = Timing.transfer_time_s ctx.spec ~bytes in
-    charge_transfer ctx t;
     let direction =
       if dst.Rtval.memory_space > 0 then Trace.Host_to_device
       else Trace.Device_to_host
     in
-    Trace.record ctx.trace
-      (Trace.Transfer { name = ""; direction; bytes; time_s = t })
+    (* Identify the moved array by the device-side buffer's label (named
+       by the data environment), falling back to the host side's. *)
+    let device_side, host_side =
+      if dst.Rtval.memory_space > 0 then (dst, src) else (src, dst)
+    in
+    let name =
+      if device_side.Rtval.label <> "" then device_side.Rtval.label
+      else host_side.Rtval.label
+    in
+    let dir_str =
+      match direction with Trace.Host_to_device -> "h2d" | _ -> "d2h"
+    in
+    charge_transfer ctx
+      ~name:(dir_str ^ ":" ^ name)
+      ~attrs:
+        [ ("buffer", name); ("direction", dir_str);
+          ("bytes", string_of_int bytes) ]
+      t;
+    Ftn_obs.Metrics.incr ~by:bytes
+      (match direction with
+      | Trace.Host_to_device -> "device.bytes_h2d"
+      | Trace.Device_to_host -> "device.bytes_d2h");
+    Trace.record ctx.trace (Trace.Transfer { name; direction; bytes; time_s = t })
   end;
   Rtval.copy_into ~src ~dst
 
@@ -177,10 +243,7 @@ let api_launch (ctx : context) ~kernel args =
             ctx.bitstream.Bitstream.xclbin_name))
 
 let summary (ctx : context) =
-  ( ctx.device_time_s,
-    ctx.kernel_time_s,
-    ctx.transfer_time_s,
-    ctx.overhead_time_s )
+  (device_time ctx, kernel_time ctx, transfer_time ctx, overhead_time ctx)
 
 (* The interpreter handler implementing device.* ops and intercepting DMA
    transfers that touch device memory. *)
@@ -212,7 +275,7 @@ let device_handler (ctx : context) : Interp.handler =
     Data_env.release ctx.data ~name ~memory_space;
     Some []
   | "device.counter_get" ->
-    let name, memory_space = (Option.value ~default:"" (Op.string_attr op "name"), 1) in
+    let name, memory_space = name_and_space op in
     Some [ Rtval.Int (Data_env.refcount ctx.data ~name ~memory_space) ]
   | "device.kernel_create" -> (
     match Op.symbol_attr op "device_function" with
@@ -247,6 +310,20 @@ let device_handler (ctx : context) : Interp.handler =
     | _ -> None)
   | _ -> None
 
+(* Build a result record from an API-driven context (hand-written host). *)
+let result_of_context (ctx : context) =
+  {
+    output = Intrinsics.contents ctx.sink;
+    device_time_s = device_time ctx;
+    kernel_time_s = kernel_time ctx;
+    transfer_time_s = transfer_time ctx;
+    overhead_time_s = overhead_time ctx;
+    kernel_launches = Trace.count_launches ctx.trace;
+    bytes_transferred = Trace.bytes_transferred ctx.trace;
+    trace = ctx.trace;
+    data = ctx.data;
+  }
+
 (* Run the host module's main (or a named entry) against a bitstream. *)
 let run ?spec ?(echo = false) ?entry ?(args = []) ~host ~bitstream () =
   let ctx = create_context ?spec ~echo bitstream in
@@ -264,31 +341,8 @@ let run ?spec ?(echo = false) ?entry ?(args = []) ~host ~bitstream () =
     match Interp.main_function host with
     | Some fn -> ignore (Interp.call_function state fn args)
     | None -> raise (Runtime_error "host module has no main program")));
-  {
-    output = Intrinsics.contents ctx.sink;
-    device_time_s = ctx.device_time_s;
-    kernel_time_s = ctx.kernel_time_s;
-    transfer_time_s = ctx.transfer_time_s;
-    overhead_time_s = ctx.overhead_time_s;
-    kernel_launches = Trace.count_launches ctx.trace;
-    bytes_transferred = Trace.bytes_transferred ctx.trace;
-    trace = ctx.trace;
-    data = ctx.data;
-  }
-
-(* Build a result record from an API-driven context (hand-written host). *)
-let result_of_context (ctx : context) =
-  {
-    output = Intrinsics.contents ctx.sink;
-    device_time_s = ctx.device_time_s;
-    kernel_time_s = ctx.kernel_time_s;
-    transfer_time_s = ctx.transfer_time_s;
-    overhead_time_s = ctx.overhead_time_s;
-    kernel_launches = Trace.count_launches ctx.trace;
-    bytes_transferred = Trace.bytes_transferred ctx.trace;
-    trace = ctx.trace;
-    data = ctx.data;
-  }
+  Ftn_obs.Metrics.incr ~by:state.Interp.steps "interp.steps";
+  result_of_context ctx
 
 (* CPU reference: run the core-level module with sequential OpenMP
    semantics (no device). *)
@@ -304,4 +358,5 @@ let run_cpu ?(echo = false) ?entry ?(args = []) core_module =
     match Interp.main_function core_module with
     | Some fn -> ignore (Interp.call_function state fn args)
     | None -> raise (Runtime_error "module has no main program")));
+  Ftn_obs.Metrics.incr ~by:state.Interp.steps "interp.steps";
   (Intrinsics.contents sink, state.Interp.steps)

@@ -1,0 +1,301 @@
+(* Tests for the observability subsystem: span nesting over both clocks,
+   the metrics registry, logger capture, and the Chrome trace-event
+   exporter (structure and ordering, never absolute timestamps). *)
+
+open Ftn_obs
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let span_tests =
+  [
+    tc "wall spans nest parent/child" (fun () ->
+        let c = Span.create () in
+        Span.with_collector c (fun () ->
+            Span.with_span ~name:"outer" (fun () ->
+                Span.with_span ~name:"inner" (fun () -> ());
+                Span.with_span ~name:"inner2" (fun () -> ())));
+        match Span.spans c with
+        | [ outer; inner; inner2 ] ->
+          check Alcotest.string "outer name" "outer" outer.Span.name;
+          check Alcotest.(option int) "outer is root" None outer.Span.parent;
+          check Alcotest.(option int) "inner child of outer"
+            (Some outer.Span.id) inner.Span.parent;
+          check Alcotest.(option int) "inner2 child of outer"
+            (Some outer.Span.id) inner2.Span.parent;
+          check Alcotest.bool "outer covers inner" true
+            (outer.Span.dur_s >= inner.Span.dur_s)
+        | spans -> Alcotest.failf "expected 3 spans, got %d" (List.length spans));
+    tc "spans close on exception" (fun () ->
+        let c = Span.create () in
+        (try
+           Span.with_collector c (fun () ->
+               Span.with_span ~name:"boom" (fun () -> failwith "x"))
+         with Failure _ -> ());
+        (match Span.spans c with
+        | [ sp ] -> check Alcotest.bool "closed" true (sp.Span.dur_s >= 0.0)
+        | _ -> Alcotest.fail "expected 1 span");
+        (* The stack unwound: a later span is again a root. *)
+        Span.with_collector c (fun () ->
+            Span.with_span ~name:"after" (fun () -> ()));
+        match Span.spans c with
+        | [ _; after ] ->
+          check Alcotest.(option int) "root again" None after.Span.parent
+        | _ -> Alcotest.fail "expected 2 spans");
+    tc "sim spans carry explicit timeline positions" (fun () ->
+        let c = Span.create () in
+        let _ =
+          Span.record_sim ~collector:c ~name:"k1" ~start_s:0.0 ~dur_s:2e-6 ()
+        in
+        let _ =
+          Span.record_sim ~collector:c
+            ~attrs:[ ("track", "transfer") ]
+            ~name:"t1" ~start_s:2e-6 ~dur_s:1e-6 ()
+        in
+        match Span.spans c with
+        | [ k1; t1 ] ->
+          check Alcotest.bool "sim clock" true (k1.Span.clock = Span.Sim);
+          check (Alcotest.float 1e-12) "k1 start" 0.0 k1.Span.start_s;
+          check (Alcotest.float 1e-12) "t1 start" 2e-6 t1.Span.start_s;
+          check Alcotest.(option string) "attr" (Some "transfer")
+            (Span.attr t1 "track")
+        | _ -> Alcotest.fail "expected 2 spans");
+    tc "set_attr replaces existing keys" (fun () ->
+        let c = Span.create () in
+        Span.with_collector c (fun () ->
+            Span.with_span_sp ~name:"s" (fun sp ->
+                Span.set_attr sp ~key:"k" "1";
+                Span.set_attr sp ~key:"k" "2"));
+        match Span.spans c with
+        | [ sp ] ->
+          check Alcotest.(option string) "last write wins" (Some "2")
+            (Span.attr sp "k");
+          check Alcotest.int "no duplicate" 1 (List.length sp.Span.attrs)
+        | _ -> Alcotest.fail "expected 1 span");
+  ]
+
+let metrics_tests =
+  [
+    tc "counters accumulate" (fun () ->
+        let r = Metrics.create () in
+        Metrics.incr ~registry:r "a.count";
+        Metrics.incr ~registry:r ~by:41 "a.count";
+        check Alcotest.int "sum" 42 (Metrics.counter_value ~registry:r "a.count"));
+    tc "gauges keep the last value" (fun () ->
+        let r = Metrics.create () in
+        Metrics.set_gauge ~registry:r "g" 1.5;
+        Metrics.set_gauge ~registry:r "g" 2.5;
+        match Metrics.find ~registry:r "g" with
+        | Some (Metrics.Gauge_v v) -> check (Alcotest.float 0.0) "last" 2.5 v
+        | _ -> Alcotest.fail "expected gauge");
+    tc "histograms summarise" (fun () ->
+        let r = Metrics.create () in
+        List.iter (Metrics.observe ~registry:r "h") [ 3.0; 1.0; 2.0 ];
+        match Metrics.find ~registry:r "h" with
+        | Some (Metrics.Histogram_v { count; sum; min_v; max_v }) ->
+          check Alcotest.int "count" 3 count;
+          check (Alcotest.float 1e-9) "sum" 6.0 sum;
+          check (Alcotest.float 0.0) "min" 1.0 min_v;
+          check (Alcotest.float 0.0) "max" 3.0 max_v
+        | _ -> Alcotest.fail "expected histogram");
+    tc "kind reuse is rejected" (fun () ->
+        let r = Metrics.create () in
+        Metrics.incr ~registry:r "m";
+        Alcotest.check_raises "mismatch"
+          (Metrics.Kind_mismatch
+             "metric \"m\" already registered with another kind") (fun () ->
+            Metrics.set_gauge ~registry:r "m" 1.0));
+    tc "snapshot is sorted and json serialises" (fun () ->
+        let r = Metrics.create () in
+        Metrics.incr ~registry:r "z.last";
+        Metrics.incr ~registry:r "a.first";
+        Metrics.set_gauge ~registry:r "m.mid" 0.5;
+        let names = List.map fst (Metrics.snapshot ~registry:r ()) in
+        check
+          Alcotest.(list string)
+          "sorted"
+          [ "a.first"; "m.mid"; "z.last" ]
+          names;
+        let j = Json.to_string (Metrics.to_json ~registry:r ()) in
+        check Alcotest.bool "counter json" true
+          (Astring_like.contains j "\"a.first\":{\"type\":\"counter\",\"value\":1}"));
+  ]
+
+let log_tests =
+  [
+    tc "capture records level and message" (fun () ->
+        let (), msgs =
+          Log.with_capture (fun () ->
+              Log.infof "hello %d" 42;
+              Log.errorf "bad")
+        in
+        check Alcotest.int "two messages" 2 (List.length msgs);
+        (match msgs with
+        | [ (l1, m1); (l2, m2) ] ->
+          check Alcotest.bool "info" true (l1 = Log.Info);
+          check Alcotest.string "formatted" "hello 42" m1;
+          check Alcotest.bool "error" true (l2 = Log.Error);
+          check Alcotest.string "msg" "bad" m2
+        | _ -> Alcotest.fail "unexpected capture"));
+    tc "messages below the level are dropped" (fun () ->
+        let (), msgs =
+          Log.with_capture ~level:Log.Warn (fun () ->
+              Log.debugf "quiet";
+              Log.infof "quiet too";
+              Log.warnf "loud")
+        in
+        check Alcotest.int "one message" 1 (List.length msgs));
+    tc "capture restores the previous sink and level" (fun () ->
+        let before = Log.level () in
+        let (), _ = Log.with_capture ~level:Log.Debug (fun () -> ()) in
+        check Alcotest.bool "level restored" true (Log.level () = before));
+    tc "level round-trips through strings" (fun () ->
+        List.iter
+          (fun l ->
+            check Alcotest.bool "round trip" true
+              (Log.level_of_string (Log.string_of_level l) = Some l))
+          [ Log.Debug; Log.Info; Log.Warn; Log.Error ]);
+  ]
+
+(* A deterministic collector: one wall span (compile work) and a sim
+   timeline with a transfer, a kernel and its overhead. *)
+let golden_collector () =
+  let c = Span.create () in
+  Span.with_collector c (fun () ->
+      Span.with_span ~name:"compile" (fun () ->
+          Span.with_span ~name:"pass.canonicalize" (fun () -> ())));
+  let _ =
+    Span.record_sim ~collector:c
+      ~attrs:[ ("track", "transfer"); ("direction", "h2d"); ("bytes", "64") ]
+      ~name:"h2d:x" ~start_s:0.0 ~dur_s:1e-6 ()
+  in
+  let _ =
+    Span.record_sim ~collector:c
+      ~attrs:[ ("track", "kernel"); ("kernel", "k") ]
+      ~name:"k" ~start_s:1e-6 ~dur_s:5e-6 ()
+  in
+  let _ =
+    Span.record_sim ~collector:c
+      ~attrs:[ ("track", "transfer"); ("direction", "d2h"); ("bytes", "32") ]
+      ~name:"d2h:y" ~start_s:6e-6 ~dur_s:1e-6 ()
+  in
+  c
+
+let chrome_tests =
+  [
+    tc "stable event names in order" (fun () ->
+        let j = Chrome_trace.to_string (golden_collector ()) in
+        (* Golden-ish: assert the event-name sequence, not timestamps. *)
+        let names = [ "compile"; "pass.canonicalize"; "h2d:x"; "k"; "d2h:y" ] in
+        let positions =
+          List.map
+            (fun n ->
+              let needle = "\"name\":\"" ^ n ^ "\"" in
+              check Alcotest.bool ("has " ^ n) true (Astring_like.contains j needle);
+              let rec find i =
+                if String.length needle + i > String.length j then -1
+                else if String.sub j i (String.length needle) = needle then i
+                else find (i + 1)
+              in
+              find 0)
+            names
+        in
+        check Alcotest.bool "ordered" true
+          (List.sort compare positions = positions));
+    tc "sim timestamps are relative microseconds" (fun () ->
+        let j = Chrome_trace.to_string (golden_collector ()) in
+        check Alcotest.bool "kernel at 1us" true
+          (Astring_like.contains j
+             "\"name\":\"k\",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":1.0,\"dur\":5.0"));
+    tc "wall timestamps are normalised, never absolute" (fun () ->
+        let j = Chrome_trace.to_string (golden_collector ()) in
+        (* First wall span starts at ts 0 regardless of wall-clock epoch. *)
+        check Alcotest.bool "compile at 0" true
+          (Astring_like.contains j
+             "\"name\":\"compile\",\"cat\":\"wall\",\"ph\":\"X\",\"ts\":0.0"));
+    tc "tracks and bytes counter" (fun () ->
+        let j = Chrome_trace.to_string (golden_collector ()) in
+        List.iter
+          (fun needle -> check Alcotest.bool needle true (Astring_like.contains j needle))
+          [
+            "\"name\":\"device.kernels\"";
+            "\"name\":\"device.transfers\"";
+            "\"name\":\"device.bytes_transferred\",\"ph\":\"C\"";
+            "{\"total\":64,\"h2d\":64,\"d2h\":0}";
+            "{\"total\":96,\"h2d\":64,\"d2h\":32}";
+          ]);
+    tc "metrics embed under a metrics key" (fun () ->
+        let r = Metrics.create () in
+        Metrics.incr ~registry:r ~by:7 "interp.steps";
+        let j = Chrome_trace.to_string ~metrics:r (golden_collector ()) in
+        check Alcotest.bool "metrics json" true
+          (Astring_like.contains j
+             "\"metrics\":{\"interp.steps\":{\"type\":\"counter\",\"value\":7}}"));
+  ]
+
+(* End-to-end: a compiled-and-executed SAXPY reports into one collector;
+   the executor's result record must agree with the span timeline. *)
+let e2e_tests =
+  [
+    tc "pipeline reports spans end-to-end" (fun () ->
+        let c = Span.create () in
+        let run =
+          Span.with_collector c (fun () ->
+              Core.Run.run (Ftn_linpack.Fortran_sources.saxpy ~n:64))
+        in
+        let spans = Span.spans c in
+        let with_name prefix =
+          List.filter
+            (fun (sp : Span.span) ->
+              String.length sp.Span.name >= String.length prefix
+              && String.sub sp.Span.name 0 (String.length prefix) = prefix)
+            spans
+        in
+        check Alcotest.bool "has pass spans" true
+          (List.length (with_name "pass.") >= 5);
+        check Alcotest.bool "has synth span" true
+          (with_name "synth.vpp" <> []);
+        let sim track =
+          List.filter
+            (fun (sp : Span.span) ->
+              sp.Span.clock = Span.Sim && Span.attr sp "track" = Some track)
+            spans
+        in
+        let exec = run.Core.Run.exec in
+        check Alcotest.int "one kernel span"
+          exec.Ftn_runtime.Executor.kernel_launches
+          (List.length (sim "kernel"));
+        let sum track =
+          List.fold_left (fun acc sp -> acc +. sp.Span.dur_s) 0.0 (sim track)
+        in
+        check (Alcotest.float 0.0) "kernel time from spans"
+          exec.Ftn_runtime.Executor.kernel_time_s (sum "kernel");
+        check (Alcotest.float 0.0) "transfer time from spans"
+          exec.Ftn_runtime.Executor.transfer_time_s (sum "transfer");
+        check (Alcotest.float 0.0) "overhead time from spans"
+          exec.Ftn_runtime.Executor.overhead_time_s (sum "overhead"));
+    tc "transfer trace events name the moved array" (fun () ->
+        let run = Core.Run.run (Ftn_linpack.Fortran_sources.saxpy ~n:32) in
+        let transfers =
+          List.filter_map
+            (function
+              | Ftn_runtime.Trace.Transfer { name; _ } -> Some name
+              | _ -> None)
+            (Ftn_runtime.Trace.events
+               run.Core.Run.exec.Ftn_runtime.Executor.trace)
+        in
+        check Alcotest.bool "has transfers" true (transfers <> []);
+        List.iter
+          (fun n -> check Alcotest.bool "named" true (n <> ""))
+          transfers);
+  ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("spans", span_tests);
+      ("metrics", metrics_tests);
+      ("log", log_tests);
+      ("chrome-trace", chrome_tests);
+      ("e2e", e2e_tests);
+    ]

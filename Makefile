@@ -10,8 +10,13 @@ build:
 test:
 	dune runtest
 
-check: ## build everything, then run the full test suite
+check: ## build everything, run the full test suite, then every example
 	dune build && dune runtest
+	@for src in examples/*.ml; do \
+	  name=$$(basename $$src .ml); \
+	  echo "example $$name"; \
+	  dune exec examples/$$name.exe > /dev/null || exit 1; \
+	done
 
 bench:
 	dune exec bench/main.exe

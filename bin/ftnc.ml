@@ -17,10 +17,27 @@ let read_source path =
   close_in ic;
   s
 
+(* Caret rendering reads the offending line back from the file named in
+   the diagnostic's location. *)
+let disk_source : Ftn_diag.Diag.source_lookup =
+ fun name ->
+  if name <> "" && Sys.file_exists name then Some (read_source name) else None
+
 let handle_errors f =
-  try f () with
-  | Ftn_frontend.Frontend.Frontend_error msg ->
-    Fmt.epr "error: %s@." msg;
+  try
+    let r = f () in
+    (* Warnings accumulated during a successful run (e.g. non-converging
+       rewrites) render with the same caret format. *)
+    (match Ftn_diag.Diag_engine.warnings Ftn_diag.Diag_engine.default with
+    | [] -> ()
+    | ws -> Fmt.epr "%s@." (Ftn_diag.Diag.render_all ~source:disk_source ws));
+    r
+  with
+  | Ftn_diag.Diag.Diag_failure diags ->
+    Fmt.epr "%s@." (Ftn_diag.Diag.render_all ~source:disk_source diags);
+    let errors = List.filter Ftn_diag.Diag.is_error diags in
+    if List.length errors > 1 then
+      Fmt.epr "%d errors generated.@." (List.length errors);
     exit 1
   | Ftn_hlsim.Synth.Synthesis_error msg ->
     Fmt.epr "synthesis error: %s@." msg;
@@ -40,6 +57,10 @@ let handle_errors f =
   | Sys_error msg ->
     Fmt.epr "error: %s@." msg;
     exit 1
+  | e ->
+    (* never leak a raw backtrace to the user *)
+    Fmt.epr "internal error: %s@." (Printexc.to_string e);
+    exit 1
 
 (* --- observability options, shared by every command --- *)
 
@@ -47,6 +68,7 @@ type obs_opts = {
   trace_out : string option;
   metrics : bool;
   log_level : Ftn_obs.Log.level option;
+  max_errors : int;
 }
 
 let obs_term =
@@ -78,7 +100,15 @@ let obs_term =
       value & flag
       & info [ "v"; "verbose" ] ~doc:"Shorthand for --log-level debug.")
   in
-  let make trace_out metrics log_level verbose =
+  let max_errors_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "max-errors" ] ~docv:"N"
+          ~doc:
+            "Stop after reporting $(docv) errors (semantic analysis keeps \
+             going past the first error up to this limit).")
+  in
+  let make trace_out metrics log_level verbose max_errors =
     let log_level =
       match (log_level, verbose) with
       | Some s, _ -> (
@@ -90,9 +120,11 @@ let obs_term =
       | None, true -> Some Ftn_obs.Log.Debug
       | None, false -> None
     in
-    { trace_out; metrics; log_level }
+    { trace_out; metrics; log_level; max_errors }
   in
-  Term.(const make $ trace_out_arg $ metrics_arg $ log_level_arg $ verbose_arg)
+  Term.(
+    const make $ trace_out_arg $ metrics_arg $ log_level_arg $ verbose_arg
+    $ max_errors_arg)
 
 (* Run [f] with logging configured, then emit the requested trace and
    metrics dumps from the ambient span collector and default registry. *)
@@ -100,6 +132,8 @@ let with_obs opts f =
   (match opts.log_level with
   | Some l -> Ftn_obs.Log.set_level l
   | None -> ());
+  Ftn_diag.Diag_engine.set_max_errors Ftn_diag.Diag_engine.default
+    opts.max_errors;
   let r = f () in
   (match opts.trace_out with
   | Some path ->
@@ -150,7 +184,8 @@ let compile_cmd =
   let run source emit obs =
     handle_errors (fun () ->
         with_obs obs @@ fun () ->
-        let artifacts = Core.Compiler.compile (read_source source) in
+        let artifacts = Core.Compiler.compile ~file:source
+            ~engine:Ftn_diag.Diag_engine.default (read_source source) in
         let print_module name m_opt =
           match m_opt with
           | Some m -> print_endline (Ftn_ir.Printer.to_string m)
@@ -186,7 +221,8 @@ let stages_cmd =
   let run source obs =
     handle_errors (fun () ->
         with_obs obs @@ fun () ->
-        let artifacts = Core.Compiler.compile (read_source source) in
+        let artifacts = Core.Compiler.compile ~file:source
+            ~engine:Ftn_diag.Diag_engine.default (read_source source) in
         List.iter
           (fun s -> Fmt.pr "%a@." Ftn_ir.Pass.pp_stage s)
           artifacts.Core.Compiler.stages)
@@ -199,7 +235,8 @@ let synth_cmd =
   let run source output obs =
     handle_errors (fun () ->
         with_obs obs @@ fun () ->
-        let artifacts = Core.Compiler.compile (read_source source) in
+        let artifacts = Core.Compiler.compile ~file:source
+            ~engine:Ftn_diag.Diag_engine.default (read_source source) in
         let bs = Core.Compiler.synthesise artifacts in
         List.iter print_endline bs.Ftn_hlsim.Bitstream.build_log;
         match output with
@@ -225,7 +262,10 @@ let run_term =
         with_obs obs @@ fun () ->
         let src = read_source source in
         if cpu then begin
-          let out, steps = Core.Run.run_cpu src in
+          let out, steps =
+            Core.Run.run_cpu ~file:source
+              ~engine:Ftn_diag.Diag_engine.default src
+          in
           print_string out;
           Fmt.pr "(cpu mode, %d interpreter steps)@." steps
         end
@@ -234,14 +274,19 @@ let run_term =
             match xclbin with
             | Some path ->
               (* execute the host program against a prebuilt bitstream *)
-              let artifacts = Core.Compiler.compile src in
+              let artifacts =
+                Core.Compiler.compile ~file:source
+                  ~engine:Ftn_diag.Diag_engine.default src
+              in
               let bitstream = Ftn_hlsim.Bitstream_io.load_file path in
               let exec =
                 Ftn_runtime.Executor.run ~host:artifacts.Core.Compiler.host
                   ~bitstream ()
               in
               { Core.Run.artifacts; bitstream; exec }
-            | None -> Core.Run.run src
+            | None ->
+              Core.Run.run ~file:source ~engine:Ftn_diag.Diag_engine.default
+                src
           in
           print_string (Core.Run.output r);
           if report then print_string (Core.Report.summary r);
@@ -271,7 +316,8 @@ let dse_cmd =
   let run source budget obs =
     handle_errors (fun () ->
         with_obs obs @@ fun () ->
-        let artifacts = Core.Compiler.compile (read_source source) in
+        let artifacts = Core.Compiler.compile ~file:source
+            ~engine:Ftn_diag.Diag_engine.default (read_source source) in
         match artifacts.Core.Compiler.device_hls with
         | None ->
           Fmt.epr "no offloaded region@.";

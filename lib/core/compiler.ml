@@ -19,11 +19,12 @@ type artifacts = {
   stages : Pass.stage_record list;
 }
 
-let compile ?(options = Options.default) source =
+let compile ?(options = Options.default) ?file ?engine source =
   Ftn_obs.Span.with_span ~name:"compile" (fun () ->
   let span name f = Ftn_obs.Span.with_span ~name f in
   let fir_module =
-    span "frontend.to_fir" (fun () -> Ftn_frontend.Frontend.to_fir source)
+    span "frontend.to_fir" (fun () ->
+        Ftn_frontend.Frontend.to_fir ?file ?engine source)
   in
   let core_module =
     span "frontend.fir_to_core" (fun () ->

@@ -16,9 +16,16 @@ type artifacts = {
   stages : Ftn_ir.Pass.stage_record list;  (** Per-pass timing/op counts. *)
 }
 
-val compile : ?options:Options.t -> string -> artifacts
-(** Raises [Ftn_frontend.Frontend.Frontend_error] on bad source. The
-    device-side artifacts are [None] when the program has no omp target. *)
+val compile :
+  ?options:Options.t ->
+  ?file:string ->
+  ?engine:Ftn_diag.Diag_engine.t ->
+  string ->
+  artifacts
+(** Raises [Ftn_diag.Diag.Diag_failure] with located diagnostics on bad
+    source ([file] names the source in them; [engine] accumulates multiple
+    semantic errors). The device-side artifacts are [None] when the
+    program has no omp target. *)
 
 val synthesise : ?options:Options.t -> artifacts -> Ftn_hlsim.Bitstream.t
 (** Simulated v++ over the compiled device module; raises

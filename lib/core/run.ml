@@ -10,8 +10,8 @@ type t = {
   exec : Executor.result;
 }
 
-let run ?(options = Options.default) ?(echo = false) source =
-  let artifacts = Compiler.compile ~options source in
+let run ?(options = Options.default) ?(echo = false) ?file ?engine source =
+  let artifacts = Compiler.compile ~options ?file ?engine source in
   let bitstream = Compiler.synthesise ~options artifacts in
   let exec =
     Executor.run ~spec:options.Options.spec ~echo ~host:artifacts.Compiler.host
@@ -20,8 +20,8 @@ let run ?(options = Options.default) ?(echo = false) source =
   { artifacts; bitstream; exec }
 
 (* CPU reference execution: sequential OpenMP semantics, no device. *)
-let run_cpu ?(echo = false) source =
-  let core = Ftn_frontend.Frontend.to_core source in
+let run_cpu ?(echo = false) ?file ?engine source =
+  let core = Ftn_frontend.Frontend.to_core ?file ?engine source in
   Executor.run_cpu ~echo core
 
 (* Read back a device buffer by its mapped identifier (memory space 1). *)

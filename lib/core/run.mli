@@ -7,9 +7,20 @@ type t = {
   exec : Ftn_runtime.Executor.result;
 }
 
-val run : ?options:Options.t -> ?echo:bool -> string -> t
+val run :
+  ?options:Options.t ->
+  ?echo:bool ->
+  ?file:string ->
+  ?engine:Ftn_diag.Diag_engine.t ->
+  string ->
+  t
 
-val run_cpu : ?echo:bool -> string -> string * int
+val run_cpu :
+  ?echo:bool ->
+  ?file:string ->
+  ?engine:Ftn_diag.Diag_engine.t ->
+  string ->
+  string * int
 (** CPU reference execution (sequential OpenMP, no device); returns
     (captured output, interpreter steps). *)
 

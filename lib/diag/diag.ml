@@ -1,0 +1,92 @@
+(* Structured diagnostics with clang-style caret rendering. *)
+
+type severity = Error | Warning | Note
+
+type t = {
+  severity : severity;
+  loc : Loc.t;
+  message : string;
+  notes : (Loc.t * string) list;
+}
+
+exception Diag_failure of t list
+
+let error ?(loc = Loc.unknown) ?(notes = []) message =
+  { severity = Error; loc; message; notes }
+
+let warning ?(loc = Loc.unknown) ?(notes = []) message =
+  { severity = Warning; loc; message; notes }
+
+let note ?(loc = Loc.unknown) message =
+  { severity = Note; loc; message; notes = [] }
+
+let add_note ?(loc = Loc.unknown) d message =
+  { d with notes = d.notes @ [ (loc, message) ] }
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let is_error d = d.severity = Error
+let fail ?loc ?notes message = raise (Diag_failure [ error ?loc ?notes message ])
+
+let pp_header fmt d =
+  if Loc.is_known d.loc then
+    Fmt.pf fmt "%a: %s: %s" Loc.pp_plain d.loc (severity_string d.severity)
+      d.message
+  else Fmt.pf fmt "%s: %s" (severity_string d.severity) d.message
+
+type source_lookup = string -> string option
+
+(* The driver compiles a single file, so serve [text] for any name the
+   diagnostics mention (locations synthesised without a file name included). *)
+let source_of_string ?file:_ text = fun _name -> Some text
+
+let no_source (_ : string) = None
+
+(* nth source line, 1-based, tolerating files without trailing newline *)
+let source_line text n =
+  let lines = String.split_on_char '\n' text in
+  List.nth_opt lines (n - 1)
+
+let caret_lines source loc =
+  if not (Loc.is_known loc) then []
+  else
+    match source loc.Loc.file with
+    | None -> []
+    | Some text -> (
+      match source_line text loc.Loc.line with
+      | None -> []
+      | Some line ->
+        let text_line = "  " ^ line in
+        if loc.Loc.col <= 0 then [ text_line ]
+        else begin
+          let width = max 1 (loc.Loc.end_col - loc.Loc.col) in
+          let width = min width (max 1 (String.length line - loc.Loc.col + 1)) in
+          let underline =
+            "  " ^ String.make (loc.Loc.col - 1) ' ' ^ "^"
+            ^ String.make (max 0 (width - 1)) '~'
+          in
+          [ text_line; underline ]
+        end)
+
+let render ?(source = no_source) d =
+  let buf = Buffer.create 128 in
+  let one severity loc message =
+    Buffer.add_string buf
+      (Fmt.str "%a"
+         pp_header
+         { severity; loc; message; notes = [] });
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun l ->
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n')
+      (caret_lines source loc)
+  in
+  one d.severity d.loc d.message;
+  List.iter (fun (loc, msg) -> one Note loc msg) d.notes;
+  Buffer.contents buf
+
+let render_all ?source ds = String.concat "" (List.map (render ?source) ds)

@@ -1,0 +1,47 @@
+(** Structured compiler diagnostics: severity + location + message, with
+    attached notes, and clang-style caret rendering against the original
+    source text. *)
+
+type severity = Error | Warning | Note
+
+type t = {
+  severity : severity;
+  loc : Loc.t;
+  message : string;
+  notes : (Loc.t * string) list;
+}
+
+exception Diag_failure of t list
+(** Carried by every layer of the compiler when located errors abort a
+    stage. The list is in emission order. *)
+
+val error : ?loc:Loc.t -> ?notes:(Loc.t * string) list -> string -> t
+val warning : ?loc:Loc.t -> ?notes:(Loc.t * string) list -> string -> t
+val note : ?loc:Loc.t -> string -> t
+
+val add_note : ?loc:Loc.t -> t -> string -> t
+(** Appends a note (used to attach pass / rewrite-pattern context). *)
+
+val severity_string : severity -> string
+val is_error : t -> bool
+
+val fail : ?loc:Loc.t -> ?notes:(Loc.t * string) list -> string -> 'a
+(** Raise [Diag_failure] with a single error diagnostic. *)
+
+val pp_header : Format.formatter -> t -> unit
+(** One-line form: [f.f90:3:7: error: message]. *)
+
+type source_lookup = string -> string option
+(** Maps a file name to its full source text, for caret rendering. *)
+
+val source_of_string : ?file:string -> string -> source_lookup
+(** Lookup serving [text] for [file] (and, as a fallback, for any file). *)
+
+val no_source : source_lookup
+
+val render : ?source:source_lookup -> t -> string
+(** Multi-line rendering: header, offending source line, caret underline
+    ([^~~~] spanning the location), then notes (each rendered the same
+    way). Without source (or for unknown locations) only headers print. *)
+
+val render_all : ?source:source_lookup -> t list -> string

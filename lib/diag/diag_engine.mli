@@ -1,0 +1,42 @@
+(** Diagnostic engine: accumulates diagnostics instead of failing on the
+    first error, up to a configurable cap (the driver's [--max-errors]).
+
+    Every emitted error/warning bumps the [diag.errors] / [diag.warnings]
+    metrics counters and warnings are mirrored into {!Ftn_obs.Log}; an
+    optional [on_emit] hook lets the driver render diagnostics eagerly. *)
+
+type t
+
+val create : ?max_errors:int -> unit -> t
+(** [max_errors] defaults to 20. *)
+
+val default : t
+(** Shared engine used by the compiler pipeline. *)
+
+val set_max_errors : t -> int -> unit
+val set_on_emit : t -> (Diag.t -> unit) -> unit
+
+val emit : t -> Diag.t -> unit
+(** Records the diagnostic. When the error count exceeds [max_errors] a
+    final "too many errors emitted" note is appended and
+    {!Diag.Diag_failure} is raised with everything accumulated so far. *)
+
+val error : t -> ?loc:Loc.t -> ?notes:(Loc.t * string) list -> string -> unit
+val warning : t -> ?loc:Loc.t -> ?notes:(Loc.t * string) list -> string -> unit
+val note : t -> ?loc:Loc.t -> string -> unit
+
+val diagnostics : t -> Diag.t list
+(** In emission order. *)
+
+val warnings : t -> Diag.t list
+val error_count : t -> int
+val warning_count : t -> int
+val has_errors : t -> bool
+
+val fail_if_errors : t -> unit
+(** Raises {!Diag.Diag_failure} with everything accumulated (errors and
+    warnings alike) if at least one error was emitted. *)
+
+val reset : t -> unit
+(** Drops accumulated diagnostics and counts; keeps [max_errors] and the
+    [on_emit] hook. *)

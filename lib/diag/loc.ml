@@ -1,0 +1,37 @@
+(* Source locations (file/line/col spans), 1-based, line 0 = unknown. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  end_col : int;
+}
+
+let unknown = { file = ""; line = 0; col = 0; end_col = 0 }
+
+let make ?end_col ~file ~line ~col () =
+  let end_col = match end_col with Some e when e > col -> e | _ -> col in
+  { file; line; col; end_col }
+
+let line_only ?(file = "") line = { file; line; col = 0; end_col = 0 }
+let is_known l = l.line > 0
+
+let equal a b =
+  String.equal a.file b.file
+  && a.line = b.line && a.col = b.col && a.end_col = b.end_col
+
+(* MLIR attribute form. [max col 1]: whole-line locations (col 0) still
+   print a valid column so the form round-trips through Ir_parser. *)
+let pp fmt l =
+  if not (is_known l) then Fmt.string fmt "unknown"
+  else if l.end_col > l.col then
+    Fmt.pf fmt "\"%s\":%d:%d to :%d:%d" l.file l.line (max l.col 1) l.line
+      l.end_col
+  else Fmt.pf fmt "\"%s\":%d:%d" l.file l.line (max l.col 1)
+
+let pp_plain fmt l =
+  if not (is_known l) then Fmt.string fmt "<unknown>"
+  else if l.col > 0 then Fmt.pf fmt "%s:%d:%d" l.file l.line l.col
+  else Fmt.pf fmt "%s:%d" l.file l.line
+
+let to_string l = Fmt.str "%a" pp_plain l

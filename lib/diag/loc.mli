@@ -1,0 +1,32 @@
+(** Source locations: a file / line / column span, mirroring MLIR's
+    FileLineColLoc. Lines and columns are 1-based; [end_col] is the column
+    one past the last character of the span (so a single-character token at
+    column 5 has [col = 5] and [end_col = 6]). A location with [line = 0]
+    is unknown. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  end_col : int;
+}
+
+val unknown : t
+
+val make : ?end_col:int -> file:string -> line:int -> col:int -> unit -> t
+(** [end_col] defaults to [col], i.e. a point location. *)
+
+val line_only : ?file:string -> int -> t
+(** Location covering a whole line (column unknown, printed as col 1). *)
+
+val is_known : t -> bool
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** MLIR attribute form: ["f.f90":12:3], with [ to :12:7] appended when the
+    span covers more than one column. Unknown prints as [unknown]. *)
+
+val pp_plain : Format.formatter -> t -> unit
+(** Diagnostic-header form without quotes: [f.f90:12:3]. *)
+
+val to_string : t -> string

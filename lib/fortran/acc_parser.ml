@@ -3,7 +3,10 @@
    Clauses are represented with the shared map-kind encoding:
    copyin = to, copyout = from, copy = tofrom, create = alloc. *)
 
-exception Acc_error of string
+exception Acc_error of string * Ftn_diag.Loc.t
+
+let current_loc = ref Ftn_diag.Loc.unknown
+let error msg = raise (Acc_error (msg, !current_loc))
 
 type directive =
   | Parallel_loop of Ast.omp_clause list
@@ -20,7 +23,7 @@ let parse_name_list toks =
   let rec go acc = function
     | Omp_parser.Word w :: Omp_parser.Comma :: rest -> go (w :: acc) rest
     | Omp_parser.Word w :: Omp_parser.Rp :: rest -> (List.rev (w :: acc), rest)
-    | _ -> raise (Acc_error "expected variable list")
+    | _ -> error "expected variable list"
   in
   go [] toks
 
@@ -50,7 +53,7 @@ let parse_clauses toks =
         | Star -> Ast.Red_mul
         | Word "max" -> Ast.Red_max
         | Word "min" -> Ast.Red_min
-        | _ -> raise (Acc_error "unknown reduction operator")
+        | _ -> error "unknown reduction operator"
       in
       let names, rest = parse_name_list rest in
       go (Ast.Cl_reduction (red, names) :: acc) rest
@@ -70,12 +73,13 @@ let parse_clauses toks =
        the backend derives the schedule from the loop structure *)
     | Word ("gang" | "worker" | "vector" | "seq" | "independent") :: rest ->
       go acc rest
-    | Word w :: _ -> raise (Acc_error ("unknown OpenACC clause " ^ w))
-    | _ -> raise (Acc_error "malformed clause list")
+    | Word w :: _ -> error ("unknown OpenACC clause " ^ w)
+    | _ -> error "malformed clause list"
   in
   go [] toks
 
-let parse text : directive =
+let parse ?(loc = Ftn_diag.Loc.unknown) text : directive =
+  current_loc := loc;
   match scan text with
   | Omp_parser.Word "end" :: rest ->
     let words =
@@ -95,5 +99,5 @@ let parse text : directive =
     Exit_data (parse_clauses rest)
   | Omp_parser.Word "update" :: rest -> Update (parse_clauses rest)
   | Omp_parser.Word w :: _ ->
-    raise (Acc_error ("unsupported OpenACC directive " ^ w))
-  | _ -> raise (Acc_error "empty OpenACC directive")
+    error ("unsupported OpenACC directive " ^ w)
+  | _ -> error "empty OpenACC directive"

@@ -2,7 +2,7 @@
     OpenMP support. Clauses use the shared map-kind encoding
     (copyin = to, copyout = from, copy = tofrom, create = alloc). *)
 
-exception Acc_error of string
+exception Acc_error of string * Ftn_diag.Loc.t
 
 type directive =
   | Parallel_loop of Ast.omp_clause list
@@ -12,4 +12,5 @@ type directive =
   | Update of Ast.omp_clause list
   | End_directive of string
 
-val parse : string -> directive
+val parse : ?loc:Ftn_diag.Loc.t -> string -> directive
+(** [loc] (the directive's source location) is attached to any error. *)

@@ -57,7 +57,7 @@ type decl = {
   d_dims : expr list;  (** Empty for scalars; one extent expr per dim. *)
   d_intent : intent;
   d_parameter : expr option;  (** [parameter :: n = e] named constants. *)
-  d_line : int;
+  d_loc : Ftn_diag.Loc.t;
 }
 
 (* --- OpenMP directives --- *)
@@ -86,7 +86,7 @@ type omp_clause =
   | Cl_firstprivate of string list
 
 type stmt = {
-  s_line : int;
+  s_loc : Ftn_diag.Loc.t;
   s_kind : stmt_kind;
 }
 
@@ -117,7 +117,7 @@ and stmt_kind =
 and acc_parallel_loop = {
   apl_clauses : omp_clause list;
   apl_loop : do_loop;
-  apl_line : int;
+  apl_loc : Ftn_diag.Loc.t;
 }
 
 and do_loop = {
@@ -132,7 +132,7 @@ and parallel_do = {
   pd_simd : bool;
   pd_clauses : omp_clause list;
   pd_loop : do_loop;
-  pd_line : int;
+  pd_loc : Ftn_diag.Loc.t;
 }
 
 type program_unit = {
@@ -141,7 +141,7 @@ type program_unit = {
   u_params : string list;  (** Dummy argument names, in order. *)
   u_decls : decl list;
   u_body : stmt list;
-  u_line : int;
+  u_loc : Ftn_diag.Loc.t;
 }
 
 and unit_kind =

@@ -76,7 +76,7 @@ and transform_op b subst op =
     Hashtbl.replace subst (Value.id (Op.result1 op)) (List.hd (Op.operands op));
     []
   | "fir.alloca" ->
-    [ { op with Op.name = "memref.alloca"; attrs = [] } ]
+    [ Op.set_loc { op with Op.name = "memref.alloca"; attrs = [] } (Op.loc op) ]
   | "fir.load" -> [ { op with Op.name = "memref.load" } ]
   | "fir.store" -> [ { op with Op.name = "memref.store" } ]
   | "fir.result" -> [ { op with Op.name = "scf.yield" } ]
@@ -86,26 +86,31 @@ and transform_op b subst op =
     let ty = Value.ty (Op.result1 op) in
     let ops, result = build_convert b v ty in
     Hashtbl.replace subst (Value.id (Op.result1 op)) result;
-    ops
+    List.map (fun o -> Op.set_loc o (Op.loc op)) ops
   | "fir.do_loop" -> (
     let op = transform_regions b subst op in
     match Op.operands op with
     | [ lb; ub; step ] ->
-      let one = Arith.const_index b 1 in
+      let loc = Op.loc op in
+      let one = Op.set_loc (Arith.const_index b 1) loc in
       let ub_excl =
-        Builder.op1 b "arith.addi"
-          ~operands:[ ub; Op.result1 one ]
-          Types.Index
+        Op.set_loc
+          (Builder.op1 b "arith.addi"
+             ~operands:[ ub; Op.result1 one ]
+             Types.Index)
+          loc
       in
       [
         one;
         ub_excl;
-        {
-          op with
-          Op.name = "scf.for";
-          operands = [ lb; Op.result1 ub_excl; step ];
-          attrs = [];
-        };
+        Op.set_loc
+          {
+            op with
+            Op.name = "scf.for";
+            operands = [ lb; Op.result1 ub_excl; step ];
+            attrs = [];
+          }
+          loc;
       ]
     | _ -> invalid_arg "fir.do_loop must have 3 operands")
   | "fir.if" -> [ transform_regions b subst { op with Op.name = "scf.if" } ]

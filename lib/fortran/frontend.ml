@@ -2,35 +2,39 @@
    module. Collects the stage results so tools can inspect each level, as
    mlir-opt would between passes. *)
 
-exception Frontend_error of string
-
 let () = Ftn_dialects.Registry.register_all ()
 
+(* Normalise the per-stage exceptions into structured, located
+   diagnostics so every consumer (ftnc, tests, library users) sees one
+   error shape. *)
 let wrap_errors f =
+  let fail loc msg =
+    raise (Ftn_diag.Diag.Diag_failure [ Ftn_diag.Diag.error ~loc msg ])
+  in
   try f () with
-  | Src_lexer.Lex_error (msg, line) ->
-    raise (Frontend_error (Fmt.str "lexical error at line %d: %s" line msg))
-  | Src_parser.Parse_error (msg, line) ->
-    raise (Frontend_error (Fmt.str "syntax error at line %d: %s" line msg))
-  | Omp_parser.Omp_error msg ->
-    raise (Frontend_error (Fmt.str "OpenMP directive error: %s" msg))
-  | Sema.Sema_error (msg, line) ->
-    raise (Frontend_error (Fmt.str "semantic error at line %d: %s" line msg))
-  | Lower_fir.Lower_error (msg, line) ->
-    raise (Frontend_error (Fmt.str "lowering error at line %d: %s" line msg))
+  | Src_lexer.Lex_error (msg, loc) -> fail loc ("lexical error: " ^ msg)
+  | Src_parser.Parse_error (msg, loc) -> fail loc ("syntax error: " ^ msg)
+  | Omp_parser.Omp_error (msg, loc) ->
+    fail loc ("OpenMP directive error: " ^ msg)
+  | Acc_parser.Acc_error (msg, loc) ->
+    fail loc ("OpenACC directive error: " ^ msg)
+  | Sema.Sema_error (msg, loc) -> fail loc ("semantic error: " ^ msg)
+  | Lower_fir.Lower_error (msg, loc) -> fail loc ("lowering error: " ^ msg)
 
-let parse source = wrap_errors (fun () -> Src_parser.parse source)
+let parse ?file source = wrap_errors (fun () -> Src_parser.parse ?file source)
 
-let check source = wrap_errors (fun () -> Sema.check (Src_parser.parse source))
+let check ?file ?engine source =
+  wrap_errors (fun () -> Sema.check ?engine (Src_parser.parse ?file source))
 
 (* Fortran source -> FIR + omp dialect module (Flang's output level). *)
-let to_fir source = wrap_errors (fun () -> Lower_fir.lower (check source))
+let to_fir ?file ?engine source =
+  wrap_errors (fun () -> Lower_fir.lower (check ?file ?engine source))
 
 (* Fortran source -> core dialects + omp (the level the paper's device
    passes consume, after the lowering of [3]). *)
-let to_core source = Fir_to_core.run (to_fir source)
+let to_core ?file ?engine source = Fir_to_core.run (to_fir ?file ?engine source)
 
-let to_core_verified source =
-  let m = to_core source in
+let to_core_verified ?file ?engine source =
+  let m = to_core ?file ?engine source in
   Ftn_ir.Verifier.verify_exn m;
   m

@@ -1,18 +1,26 @@
 (** Frontend driver: Fortran source text to IR, mirroring Flang's stages.
-    All frontend exceptions are normalised into {!Frontend_error} with
-    line information in the message. *)
+    Every per-stage exception (lexer, parser, directive parsers, sema,
+    lowering) is normalised into {!Ftn_diag.Diag.Diag_failure} carrying
+    located, severity-tagged diagnostics.
 
-exception Frontend_error of string
+    [file] is recorded in every source location (and thus in the IR's
+    [loc(...)] attributes). [engine] enables multi-error accumulation in
+    semantic analysis: errors are collected up to the engine's limit and
+    raised together. *)
 
-val parse : string -> Ast.program
-val check : string -> Sema.checked
+val parse : ?file:string -> string -> Ast.program
+val check :
+  ?file:string -> ?engine:Ftn_diag.Diag_engine.t -> string -> Sema.checked
 
-val to_fir : string -> Ftn_ir.Op.t
+val to_fir :
+  ?file:string -> ?engine:Ftn_diag.Diag_engine.t -> string -> Ftn_ir.Op.t
 (** Source -> FIR + omp dialect module (Flang's output level). *)
 
-val to_core : string -> Ftn_ir.Op.t
+val to_core :
+  ?file:string -> ?engine:Ftn_diag.Diag_engine.t -> string -> Ftn_ir.Op.t
 (** Source -> core dialects + omp (the level the device passes consume,
     after the lowering of [3]). *)
 
-val to_core_verified : string -> Ftn_ir.Op.t
+val to_core_verified :
+  ?file:string -> ?engine:Ftn_diag.Diag_engine.t -> string -> Ftn_ir.Op.t
 (** [to_core] followed by IR verification. *)

@@ -17,9 +17,9 @@
 open Ftn_ir
 open Ftn_dialects
 
-exception Lower_error of string * int
+exception Lower_error of string * Ftn_diag.Loc.t
 
-let error line msg = raise (Lower_error (msg, line))
+let error loc msg = raise (Lower_error (msg, loc))
 
 module Env = Sema.Env
 
@@ -28,9 +28,12 @@ type ctx = {
   symbols : Sema.symbol Env.t;
   mutable bindings : Value.t Env.t;  (** var name -> storage memref *)
   mutable out : Op.t list;  (** current block, reversed *)
+  mutable cur_loc : Ftn_diag.Loc.t;
+      (** Source location of the statement being lowered; stamped onto
+          every emitted op. *)
 }
 
-let emit ctx op = ctx.out <- op :: ctx.out
+let emit ctx op = ctx.out <- Op.set_loc op ctx.cur_loc :: ctx.out
 
 let emit_get ctx op =
   emit ctx op;
@@ -66,15 +69,15 @@ let storage_type sym =
   in
   Types.memref dims elt
 
-let storage ctx line name =
+let storage ctx loc name =
   match Env.find_opt name ctx.bindings with
   | Some v -> v
-  | None -> error line ("no storage for variable " ^ name)
+  | None -> error loc ("no storage for variable " ^ name)
 
-let symbol ctx line name =
+let symbol ctx loc name =
   match Env.find_opt name ctx.symbols with
   | Some s -> s
-  | None -> error line ("unknown symbol " ^ name)
+  | None -> error loc ("unknown symbol " ^ name)
 
 (* --- conversions --- *)
 
@@ -86,61 +89,61 @@ let to_index ctx v = convert ctx v Types.Index
 
 (* --- expressions --- *)
 
-let rec lower_expr ctx line e =
+let rec lower_expr ctx loc e =
   match e with
   | Ast.Int_lit n -> emit_get ctx (Arith.const_i32 ctx.b n)
   | Ast.Real_lit (x, Ast.Ty_double) -> emit_get ctx (Arith.const_f64 ctx.b x)
   | Ast.Real_lit (x, _) -> emit_get ctx (Arith.const_f32 ctx.b x)
   | Ast.Logical_lit v -> emit_get ctx (Arith.const_bool ctx.b v)
   | Ast.Var name -> (
-    let sym = symbol ctx line name in
+    let sym = symbol ctx loc name in
     match sym.Sema.sym_constant with
-    | Some c -> lower_expr ctx line c
+    | Some c -> lower_expr ctx loc c
     | None ->
-      let st = storage ctx line name in
+      let st = storage ctx loc name in
       emit_get ctx (Fir.load ctx.b st []))
   | Ast.Index (name, subscripts) ->
-    let st = storage ctx line name in
-    let indices = lower_subscripts ctx line name subscripts in
+    let st = storage ctx loc name in
+    let indices = lower_subscripts ctx loc name subscripts in
     emit_get ctx (Fir.load ctx.b st indices)
-  | Ast.Binop (op, a, bx) -> lower_binop ctx line op a bx
+  | Ast.Binop (op, a, bx) -> lower_binop ctx loc op a bx
   | Ast.Unop (Ast.Neg, a) ->
-    let v = lower_expr ctx line a in
+    let v = lower_expr ctx loc a in
     if Types.is_float (Value.ty v) then emit_get ctx (Arith.negf ctx.b v)
     else
       let zero = emit_get ctx (Arith.const_int ctx.b 0 (Value.ty v)) in
       emit_get ctx (Arith.subi ctx.b zero v)
   | Ast.Unop (Ast.Not, a) ->
-    let v = lower_expr ctx line a in
+    let v = lower_expr ctx loc a in
     let one = emit_get ctx (Arith.const_int ctx.b 1 Types.I1) in
     emit_get ctx (Arith.xori ctx.b v one)
-  | Ast.Intrinsic (name, args) -> lower_intrinsic ctx line name args
+  | Ast.Intrinsic (name, args) -> lower_intrinsic ctx loc name args
   | Ast.User_call (name, ret_ty, args) ->
-    let operands = List.map (lower_call_arg ctx line) args in
+    let operands = List.map (lower_call_arg ctx loc) args in
     emit_get ctx
       (Fir.call ctx.b ~callee:name ~operands
          ~result_tys:[ scalar_type ret_ty ])
 
 (* Fortran passes arguments by reference: named variables pass their
    storage, other expressions pass a temporary. *)
-and lower_call_arg ctx line a =
+and lower_call_arg ctx loc a =
   match a with
-  | Ast.Var vn when (symbol ctx line vn).Sema.sym_constant = None ->
-    storage ctx line vn
+  | Ast.Var vn when (symbol ctx loc vn).Sema.sym_constant = None ->
+    storage ctx loc vn
   | _ ->
-    let v = lower_expr ctx line a in
+    let v = lower_expr ctx loc a in
     let tmp_ty = Types.memref [] (Value.ty v) in
     let tmp = emit_get ctx (Fir.alloca ctx.b ~bindc_name:"tmp" tmp_ty) in
     emit ctx (Fir.store ~value:v ~ref_:tmp []);
     tmp
 
 (* 0-based, order-reversed subscript list for memref access. *)
-and lower_subscripts ctx line name subscripts =
+and lower_subscripts ctx loc name subscripts =
   ignore name;
   let lowered =
     List.map
       (fun e ->
-        let v = lower_expr ctx line e in
+        let v = lower_expr ctx loc e in
         let v = to_index ctx v in
         let one = emit_get ctx (Arith.const_index ctx.b 1) in
         emit_get ctx (Arith.subi ctx.b v one))
@@ -155,9 +158,9 @@ and binary_result_type a b =
   | Types.F32, _ | _, Types.F32 -> Types.F32
   | _ -> ta
 
-and lower_binop ctx line op a_e b_e =
-  let a = lower_expr ctx line a_e in
-  let b = lower_expr ctx line b_e in
+and lower_binop ctx loc op a_e b_e =
+  let a = lower_expr ctx loc a_e in
+  let b = lower_expr ctx loc b_e in
   match op with
   | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
     let ty = binary_result_type a b in
@@ -179,7 +182,7 @@ and lower_binop ctx line op a_e b_e =
         | _ -> assert false
     in
     emit_get ctx (build a b)
-  | Ast.Pow -> lower_pow ctx line a b b_e
+  | Ast.Pow -> lower_pow ctx loc a b b_e
   | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
     let ty = binary_result_type a b in
     let a = convert ctx a ty and b = convert ctx b ty in
@@ -210,7 +213,7 @@ and lower_binop ctx line op a_e b_e =
   | Ast.And -> emit_get ctx (Arith.andi ctx.b a b)
   | Ast.Or -> emit_get ctx (Arith.ori ctx.b a b)
 
-and lower_pow ctx line base expo expo_ast =
+and lower_pow ctx loc base expo expo_ast =
   (* Integer constant exponents expand to multiplications (the common
      Fortran idiom x**2); everything else goes through math.powf. *)
   match expo_ast with
@@ -233,19 +236,19 @@ and lower_pow ctx line base expo expo_ast =
     in
     let fexpo = convert ctx expo (Value.ty fbase) in
     let r = emit_get ctx (Math_d.powf ctx.b fbase fexpo) in
-    ignore line;
+    ignore loc;
     r
 
-and lower_intrinsic ctx line name args =
+and lower_intrinsic ctx loc name args =
   let unary build =
     match args with
     | [ a ] ->
-      let v = lower_expr ctx line a in
+      let v = lower_expr ctx loc a in
       let v =
         if Types.is_float (Value.ty v) then v else convert ctx v Types.F32
       in
       emit_get ctx (build v)
-    | _ -> error line (name ^ " expects one argument")
+    | _ -> error loc (name ^ " expects one argument")
   in
   match name with
   | "sqrt" -> unary (Math_d.sqrt ctx.b)
@@ -257,7 +260,7 @@ and lower_intrinsic ctx line name args =
   | "abs" -> (
     match args with
     | [ a ] ->
-      let v = lower_expr ctx line a in
+      let v = lower_expr ctx loc a in
       if Types.is_float (Value.ty v) then emit_get ctx (Math_d.absf ctx.b v)
       else begin
         let zero = emit_get ctx (Arith.const_int ctx.b 0 (Value.ty v)) in
@@ -265,19 +268,19 @@ and lower_intrinsic ctx line name args =
         let is_neg = emit_get ctx (Arith.cmpi ctx.b Arith.Slt v zero) in
         emit_get ctx (Arith.select ctx.b is_neg neg v)
       end
-    | _ -> error line "abs expects one argument")
+    | _ -> error loc "abs expects one argument")
   | "mod" -> (
     match args with
     | [ a; b ] ->
-      let va = lower_expr ctx line a in
-      let vb = lower_expr ctx line b in
+      let va = lower_expr ctx loc a in
+      let vb = lower_expr ctx loc b in
       if Types.is_float (Value.ty va) || Types.is_float (Value.ty vb) then
-        error line "mod on reals is not supported"
+        error loc "mod on reals is not supported"
       else emit_get ctx (Arith.remsi ctx.b va vb)
-    | _ -> error line "mod expects two arguments")
+    | _ -> error loc "mod expects two arguments")
   | "max" | "min" -> (
-    match List.map (lower_expr ctx line) args with
-    | [] | [ _ ] -> error line (name ^ " expects at least two arguments")
+    match List.map (lower_expr ctx loc) args with
+    | [] | [ _ ] -> error loc (name ^ " expects at least two arguments")
     | v0 :: rest ->
       let ty =
         List.fold_left
@@ -295,17 +298,17 @@ and lower_intrinsic ctx line name args =
       List.fold_left fold v0 rest)
   | "real" | "float" -> (
     match args with
-    | [ a ] -> convert ctx (lower_expr ctx line a) Types.F32
-    | _ -> error line "real expects one argument")
+    | [ a ] -> convert ctx (lower_expr ctx loc a) Types.F32
+    | _ -> error loc "real expects one argument")
   | "dble" -> (
     match args with
-    | [ a ] -> convert ctx (lower_expr ctx line a) Types.F64
-    | _ -> error line "dble expects one argument")
+    | [ a ] -> convert ctx (lower_expr ctx loc a) Types.F64
+    | _ -> error loc "dble expects one argument")
   | "int" | "nint" -> (
     match args with
-    | [ a ] -> convert ctx (lower_expr ctx line a) Types.I32
-    | _ -> error line "int expects one argument")
-  | other -> error line ("intrinsic " ^ other ^ " cannot be lowered")
+    | [ a ] -> convert ctx (lower_expr ctx loc a) Types.I32
+    | _ -> error loc "int expects one argument")
+  | other -> error loc ("intrinsic " ^ other ^ " cannot be lowered")
 
 and binary_result_type_v ta tb =
   match (ta, tb) with
@@ -336,7 +339,7 @@ let private_loop_vars stmts =
 (* Explicit + implicit mappings for a target construct. Returns
    (name, map_type, implicit) in a deterministic order: explicit clauses
    first, then implicit captures sorted by name. *)
-let compute_mappings ctx line clauses body =
+let compute_mappings ctx loc clauses body =
   let explicit =
     List.concat_map
       (function
@@ -362,7 +365,7 @@ let compute_mappings ctx line clauses body =
            let s = Env.find n ctx.symbols in
            s.Sema.sym_constant = None)
     |> List.map (fun n ->
-           let s = symbol ctx line n in
+           let s = symbol ctx loc n in
            let kind =
              (* firstprivate: by-value copy in, never copied back *)
              if List.mem n clause_fpriv then Omp.To
@@ -376,10 +379,10 @@ let compute_mappings ctx line clauses body =
 
 (* Emit omp.map_info (with bounds for arrays) for each mapping; returns
    (name, map result value) pairs. *)
-let emit_map_infos ctx line mappings =
+let emit_map_infos ctx loc mappings =
   List.map
     (fun (name, kind, implicit) ->
-      let var = storage ctx line name in
+      let var = storage ctx loc name in
       let bounds =
         match Value.ty var with
         | Types.Memref { shape = []; _ } -> []
@@ -411,10 +414,10 @@ let emit_map_infos ctx line mappings =
 
 (* acc.copy_info ops for each mapping (the OpenACC analogue of
    emit_map_infos; copy kinds share the omp map-kind encoding). *)
-let emit_copy_infos ctx line mappings =
+let emit_copy_infos ctx loc mappings =
   List.map
     (fun (name, kind, implicit) ->
-      let var = storage ctx line name in
+      let var = storage ctx loc name in
       let acc_kind =
         match kind with
         | Omp.To -> Acc.Copyin
@@ -432,22 +435,23 @@ let emit_copy_infos ctx line mappings =
 (* --- statements --- *)
 
 let rec lower_stmt ctx stmt =
-  let line = stmt.Ast.s_line in
+  let loc = stmt.Ast.s_loc in
+  ctx.cur_loc <- loc;
   match stmt.Ast.s_kind with
   | Ast.Assign (lhs, rhs) -> (
-    let value = lower_expr ctx line rhs in
+    let value = lower_expr ctx loc rhs in
     match lhs with
     | Ast.Var name ->
-      let sym = symbol ctx line name in
+      let sym = symbol ctx loc name in
       let value = convert ctx value (scalar_type sym.Sema.sym_type) in
-      emit ctx (Fir.store ~value ~ref_:(storage ctx line name) [])
+      emit ctx (Fir.store ~value ~ref_:(storage ctx loc name) [])
     | Ast.Index (name, subscripts) ->
-      let sym = symbol ctx line name in
+      let sym = symbol ctx loc name in
       let value = convert ctx value (scalar_type sym.Sema.sym_type) in
-      let indices = lower_subscripts ctx line name subscripts in
-      emit ctx (Fir.store ~value ~ref_:(storage ctx line name) indices)
-    | _ -> error line "invalid assignment target")
-  | Ast.Do loop -> lower_do ctx line loop
+      let indices = lower_subscripts ctx loc name subscripts in
+      emit ctx (Fir.store ~value ~ref_:(storage ctx loc name) indices)
+    | _ -> error loc "invalid assignment target")
+  | Ast.Do loop -> lower_do ctx loc loop
   | Ast.Do_while (cond, body) ->
     (* scf.while with no carried values: the condition re-evaluates the
        variables through their storage each round *)
@@ -455,17 +459,18 @@ let rec lower_stmt ctx stmt =
       Scf.while_ ctx.b ~inits:[]
         ~make_before:(fun _ ->
           in_block ctx (fun () ->
-              let c = lower_expr ctx line cond in
+              let c = lower_expr ctx loc cond in
               emit ctx (Scf.condition ~cond:c ~operands:[])))
         ~make_after:(fun _ ->
           in_block ctx (fun () ->
               lower_stmts ctx body;
               emit ctx (Scf.yield ())))
     in
+    ctx.cur_loc <- loc;
     emit ctx while_op
-  | Ast.If (arms, else_body) -> lower_if ctx line arms else_body
+  | Ast.If (arms, else_body) -> lower_if ctx loc arms else_body
   | Ast.Call (name, args) ->
-    let operands = List.map (lower_call_arg ctx line) args in
+    let operands = List.map (lower_call_arg ctx loc) args in
     emit ctx (Fir.call ctx.b ~callee:name ~operands ~result_tys:[])
   | Ast.Print items ->
     List.iter
@@ -478,7 +483,7 @@ let rec lower_stmt ctx stmt =
                   ~result_tys:[])
                "text" (Attr.String text))
         | e ->
-          let v = lower_expr ctx line e in
+          let v = lower_expr ctx loc e in
           let callee =
             match Value.ty v with
             | Types.F32 -> "ftn_print_f32"
@@ -491,73 +496,75 @@ let rec lower_stmt ctx stmt =
     emit ctx
       (Fir.call ctx.b ~callee:"ftn_print_newline" ~operands:[] ~result_tys:[])
   | Ast.Exit_stmt | Ast.Cycle_stmt ->
-    error line "exit/cycle are not supported in this subset"
-  | Ast.Omp_target (clauses, body) -> lower_target ctx line clauses body
+    error loc "exit/cycle are not supported in this subset"
+  | Ast.Omp_target (clauses, body) -> lower_target ctx loc clauses body
   | Ast.Omp_target_data (clauses, body) ->
-    let mappings = compute_mappings ctx line clauses [] in
+    let mappings = compute_mappings ctx loc clauses [] in
     (* target data maps only the explicit clauses *)
-    let maps = emit_map_infos ctx line mappings in
+    let maps = emit_map_infos ctx loc mappings in
     let body_ops = in_block ctx (fun () -> lower_stmts ctx body) in
+    ctx.cur_loc <- loc;
     emit ctx
       (Omp.target_data
          ~map_operands:(List.map snd maps)
          (body_ops @ [ Omp.terminator () ]))
   | Ast.Omp_target_enter_data clauses ->
-    let maps = emit_map_infos ctx line (compute_mappings ctx line clauses []) in
+    let maps = emit_map_infos ctx loc (compute_mappings ctx loc clauses []) in
     emit ctx (Omp.target_enter_data ~map_operands:(List.map snd maps))
   | Ast.Omp_target_exit_data clauses ->
-    let maps = emit_map_infos ctx line (compute_mappings ctx line clauses []) in
+    let maps = emit_map_infos ctx loc (compute_mappings ctx loc clauses []) in
     emit ctx (Omp.target_exit_data ~map_operands:(List.map snd maps))
   | Ast.Omp_target_update clauses ->
     let motion, names =
       match clauses with
       | [ Ast.Cl_from names ] -> ("from", names)
       | [ Ast.Cl_to names ] -> ("to", names)
-      | _ -> error line "target update expects a single to(...) or from(...)"
+      | _ -> error loc "target update expects a single to(...) or from(...)"
     in
     let kind = if motion = "from" then Omp.From else Omp.To in
     let maps =
-      emit_map_infos ctx line (List.map (fun n -> (n, kind, false)) names)
+      emit_map_infos ctx loc (List.map (fun n -> (n, kind, false)) names)
     in
     emit ctx (Omp.target_update ~motion ~map_operands:(List.map snd maps))
   | Ast.Omp_parallel_do pd -> lower_parallel_do ctx pd
   | Ast.Acc_parallel_loop apl -> lower_acc_parallel_loop ctx apl
   | Ast.Acc_data (clauses, body) ->
-    let maps = emit_copy_infos ctx line (compute_mappings ctx line clauses []) in
+    let maps = emit_copy_infos ctx loc (compute_mappings ctx loc clauses []) in
     let body_ops = in_block ctx (fun () -> lower_stmts ctx body) in
+    ctx.cur_loc <- loc;
     emit ctx
       (Acc.data
          ~data_operands:(List.map snd maps)
          (body_ops @ [ Acc.terminator () ]))
   | Ast.Acc_enter_data clauses ->
-    let maps = emit_copy_infos ctx line (compute_mappings ctx line clauses []) in
+    let maps = emit_copy_infos ctx loc (compute_mappings ctx loc clauses []) in
     emit ctx (Acc.enter_data ~data_operands:(List.map snd maps))
   | Ast.Acc_exit_data clauses ->
-    let maps = emit_copy_infos ctx line (compute_mappings ctx line clauses []) in
+    let maps = emit_copy_infos ctx loc (compute_mappings ctx loc clauses []) in
     emit ctx (Acc.exit_data ~data_operands:(List.map snd maps))
   | Ast.Acc_update clauses ->
     let direction, names =
       match clauses with
       | [ Ast.Cl_from names ] -> ("host", names)
       | [ Ast.Cl_to names ] -> ("device", names)
-      | _ -> error line "acc update expects a single host(...) or device(...)"
+      | _ -> error loc "acc update expects a single host(...) or device(...)"
     in
     let kind = if direction = "host" then Omp.From else Omp.To in
     let maps =
-      emit_copy_infos ctx line
+      emit_copy_infos ctx loc
         (List.map (fun n -> (n, kind, false)) names)
     in
     emit ctx (Acc.update ~direction ~data_operands:(List.map snd maps))
 
-and lower_do ctx line loop =
-  let lb = to_index ctx (lower_expr ctx line loop.Ast.do_lb) in
-  let ub = to_index ctx (lower_expr ctx line loop.Ast.do_ub) in
+and lower_do ctx loc loop =
+  let lb = to_index ctx (lower_expr ctx loc loop.Ast.do_lb) in
+  let ub = to_index ctx (lower_expr ctx loc loop.Ast.do_ub) in
   let step =
     match loop.Ast.do_step with
-    | Some e -> to_index ctx (lower_expr ctx line e)
+    | Some e -> to_index ctx (lower_expr ctx loc e)
     | None -> emit_get ctx (Arith.const_index ctx.b 1)
   in
-  let var_storage = storage ctx line loop.Ast.do_var in
+  let var_storage = storage ctx loc loop.Ast.do_var in
   let loop_op =
     Fir.do_loop ctx.b ~lb ~ub ~step (fun iv ->
         in_block ctx (fun () ->
@@ -566,13 +573,14 @@ and lower_do ctx line loop =
             lower_stmts ctx loop.Ast.do_body;
             emit ctx (Fir.result ())))
   in
+  ctx.cur_loc <- loc;
   emit ctx loop_op
 
-and lower_if ctx line arms else_body =
+and lower_if ctx loc arms else_body =
   match arms with
   | [] -> lower_stmts ctx else_body
   | (cond, body) :: rest ->
-    let cond_v = lower_expr ctx line cond in
+    let cond_v = lower_expr ctx loc cond in
     let then_ops =
       in_block ctx (fun () ->
           lower_stmts ctx body;
@@ -580,18 +588,19 @@ and lower_if ctx line arms else_body =
     in
     let else_ops =
       in_block ctx (fun () ->
-          lower_if ctx line rest else_body;
+          lower_if ctx loc rest else_body;
           emit ctx (Fir.result ()))
     in
     let else_ops =
       (* collapse an else branch that only holds the terminator *)
       match else_ops with [ _ ] when rest = [] && else_body = [] -> [] | ops -> ops
     in
+    ctx.cur_loc <- loc;
     emit ctx (Fir.if_ ~cond:cond_v ~then_ops ~else_ops ())
 
-and lower_target ctx line clauses body =
-  let mappings = compute_mappings ctx line clauses body in
-  let maps = emit_map_infos ctx line mappings in
+and lower_target ctx loc clauses body =
+  let mappings = compute_mappings ctx loc clauses body in
+  let maps = emit_map_infos ctx loc mappings in
   let target_op =
     Omp.target ctx.b ~map_operands:(List.map snd maps) (fun args ->
         in_block ctx (fun () ->
@@ -618,10 +627,11 @@ and lower_target ctx line clauses body =
             lower_stmts ctx body;
             emit ctx (Omp.terminator ())))
   in
+  ctx.cur_loc <- loc;
   emit ctx target_op
 
 and lower_parallel_do ctx pd =
-  let line = pd.Ast.pd_line in
+  let loc = pd.Ast.pd_loc in
   let collapse =
     List.fold_left
       (fun acc c -> match c with Ast.Cl_collapse k -> k | _ -> acc)
@@ -658,17 +668,17 @@ and lower_parallel_do ctx pd =
       | [ { Ast.s_kind = Ast.Do inner; _ } ] ->
         let loops, body = collect_nest (depth - 1) inner in
         (loop :: loops, body)
-      | _ -> error line "collapse requires a perfectly nested loop"
+      | _ -> error loc "collapse requires a perfectly nested loop"
   in
   let loops, innermost_body = collect_nest collapse pd.Ast.pd_loop in
   let bounds =
     List.map
       (fun loop ->
-        let lb = to_index ctx (lower_expr ctx line loop.Ast.do_lb) in
-        let ub = to_index ctx (lower_expr ctx line loop.Ast.do_ub) in
+        let lb = to_index ctx (lower_expr ctx loc loop.Ast.do_lb) in
+        let ub = to_index ctx (lower_expr ctx loc loop.Ast.do_ub) in
         let step =
           match loop.Ast.do_step with
-          | Some e -> to_index ctx (lower_expr ctx line e)
+          | Some e -> to_index ctx (lower_expr ctx loc e)
           | None -> emit_get ctx (Arith.const_index ctx.b 1)
         in
         (lb, ub, step))
@@ -676,7 +686,7 @@ and lower_parallel_do ctx pd =
   in
   let red_accs =
     List.map
-      (fun (kind, name) -> (kind, storage ctx line name))
+      (fun (kind, name) -> (kind, storage ctx loc name))
       reductions
   in
   let op =
@@ -691,7 +701,7 @@ and lower_parallel_do ctx pd =
             List.iter2
               (fun loop iv ->
                 let name = loop.Ast.do_var in
-                let sym = symbol ctx line name in
+                let sym = symbol ctx loc name in
                 let st =
                   match Env.find_opt name ctx.bindings with
                   | Some st -> st
@@ -706,20 +716,21 @@ and lower_parallel_do ctx pd =
             lower_stmts ctx innermost_body;
             emit ctx (Omp.yield ())))
   in
+  ctx.cur_loc <- loc;
   emit ctx op
 
 and lower_acc_parallel_loop ctx apl =
-  let line = apl.Ast.apl_line in
+  let loc = apl.Ast.apl_loc in
   let map_clauses, loop_clauses =
     List.partition
       (function Ast.Cl_map _ -> true | _ -> false)
       apl.Ast.apl_clauses
   in
   let body_stmt =
-    { Ast.s_line = line; Ast.s_kind = Ast.Do apl.Ast.apl_loop }
+    { Ast.s_loc = loc; Ast.s_kind = Ast.Do apl.Ast.apl_loop }
   in
-  let mappings = compute_mappings ctx line map_clauses [ body_stmt ] in
-  let maps = emit_copy_infos ctx line mappings in
+  let mappings = compute_mappings ctx loc map_clauses [ body_stmt ] in
+  let maps = emit_copy_infos ctx loc mappings in
   let vector_length =
     List.fold_left
       (fun acc c -> match c with Ast.Cl_simdlen k -> Some k | _ -> acc)
@@ -775,17 +786,17 @@ and lower_acc_parallel_loop ctx apl =
                 | [ { Ast.s_kind = Ast.Do inner; _ } ] ->
                   let loops, body = collect_nest (depth - 1) inner in
                   (loop :: loops, body)
-                | _ -> error line "collapse requires a perfectly nested loop"
+                | _ -> error loc "collapse requires a perfectly nested loop"
             in
             let loops, innermost_body = collect_nest collapse apl.Ast.apl_loop in
             let bounds =
               List.map
                 (fun loop ->
-                  let lb = to_index ctx (lower_expr ctx line loop.Ast.do_lb) in
-                  let ub = to_index ctx (lower_expr ctx line loop.Ast.do_ub) in
+                  let lb = to_index ctx (lower_expr ctx loc loop.Ast.do_lb) in
+                  let ub = to_index ctx (lower_expr ctx loc loop.Ast.do_ub) in
                   let step =
                     match loop.Ast.do_step with
-                    | Some e -> to_index ctx (lower_expr ctx line e)
+                    | Some e -> to_index ctx (lower_expr ctx loc e)
                     | None -> emit_get ctx (Arith.const_index ctx.b 1)
                   in
                   (lb, ub, step))
@@ -793,7 +804,7 @@ and lower_acc_parallel_loop ctx apl =
             in
             let red_accs =
               List.map
-                (fun (kind, name) -> (kind, storage ctx line name))
+                (fun (kind, name) -> (kind, storage ctx loc name))
                 reductions
             in
             let loop_op =
@@ -807,7 +818,7 @@ and lower_acc_parallel_loop ctx apl =
                       List.iter2
                         (fun loop iv ->
                           let name = loop.Ast.do_var in
-                          let sym = symbol ctx line name in
+                          let sym = symbol ctx loc name in
                           let st =
                             match Env.find_opt name ctx.bindings with
                             | Some st -> st
@@ -826,6 +837,7 @@ and lower_acc_parallel_loop ctx apl =
             emit ctx loop_op;
             emit ctx (Acc.terminator ())))
   in
+  ctx.cur_loc <- loc;
   emit ctx parallel_op
 
 and lower_stmts ctx stmts = List.iter (lower_stmt ctx) stmts
@@ -835,7 +847,9 @@ and lower_stmts ctx stmts = List.iter (lower_stmt ctx) stmts
 let lower_unit info =
   let { Sema.ui_unit = unit_; ui_symbols = symbols } = info in
   let b = Builder.create () in
-  let ctx = { b; symbols; bindings = Env.empty; out = [] } in
+  let ctx =
+    { b; symbols; bindings = Env.empty; out = []; cur_loc = unit_.Ast.u_loc }
+  in
   (* Dummy arguments become function parameters (memrefs). *)
   let params =
     List.map
@@ -856,8 +870,8 @@ let lower_unit info =
           |> List.filter_map (function
                | Sema.Dim_const _ -> None
                | Sema.Dim_expr e ->
-                 let line = unit_.Ast.u_line in
-                 Some (to_index ctx (lower_expr ctx line e)))
+                 let loc = unit_.Ast.u_loc in
+                 Some (to_index ctx (lower_expr ctx loc e)))
         in
         let st =
           emit_get ctx
@@ -871,7 +885,7 @@ let lower_unit info =
   let result_tys, return_op =
     match unit_.Ast.u_kind with
     | Ast.Function ty ->
-      let ret_storage = storage ctx unit_.Ast.u_line unit_.Ast.u_name in
+      let ret_storage = storage ctx unit_.Ast.u_loc unit_.Ast.u_name in
       let v = emit_get ctx (Fir.load ctx.b ret_storage []) in
       ([ scalar_type ty ], Func_d.return ~operands:[ v ] ())
     | Ast.Main_program | Ast.Subroutine -> ([], Func_d.return ())
@@ -882,8 +896,10 @@ let lower_unit info =
     | Ast.Main_program -> [ ("ftn.main", Attr.Bool true) ]
     | Ast.Subroutine | Ast.Function _ -> []
   in
-  Func_d.func ~sym_name:unit_.Ast.u_name ~args:params ~result_tys ~attrs
-    (List.rev ctx.out)
+  Op.set_loc
+    (Func_d.func ~sym_name:unit_.Ast.u_name ~args:params ~result_tys ~attrs
+       (List.rev ctx.out))
+    unit_.Ast.u_loc
 
 (* Builder ids are per-unit; rebase so ids are unique module-wide. *)
 let lower checked =

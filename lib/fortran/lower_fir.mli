@@ -9,7 +9,7 @@
     the paper, with scalars written in a region (including reduction
     variables) mapped tofrom. *)
 
-exception Lower_error of string * int
+exception Lower_error of string * Ftn_diag.Loc.t
 
 val lower : Sema.checked -> Ftn_ir.Op.t
 (** Whole-program lowering into one [builtin.module] with module-wide

@@ -3,7 +3,13 @@
    unstructured data regions, update, and worksharing loops with simd /
    simdlen / reduction / collapse clauses. *)
 
-exception Omp_error of string
+exception Omp_error of string * Ftn_diag.Loc.t
+
+(* Location of the directive currently being parsed; [parse ~loc] sets it
+   so the deeply nested clause parsers can raise located errors without
+   threading the location through every helper. *)
+let current_loc = ref Ftn_diag.Loc.unknown
+let error msg = raise (Omp_error (msg, !current_loc))
 
 type directive =
   | Target of {
@@ -75,7 +81,7 @@ let scan text =
       | ':' -> out := Colon :: !out
       | '+' -> out := Plus :: !out
       | '*' -> out := Star :: !out
-      | c -> raise (Omp_error (Fmt.str "unexpected %C in directive" c))
+      | c -> error (Fmt.str "unexpected %C in directive" c)
     end
   done;
   List.rev !out
@@ -87,7 +93,7 @@ let parse_name_list toks =
   let rec go acc = function
     | Word w :: Comma :: rest -> go (w :: acc) rest
     | Word w :: Rp :: rest -> (List.rev (w :: acc), rest)
-    | _ -> raise (Omp_error "expected variable list")
+    | _ -> error "expected variable list"
   in
   go [] toks
 
@@ -103,7 +109,7 @@ let parse_clauses toks =
           | "from" -> Ast.Map_from
           | "tofrom" -> Ast.Map_tofrom
           | "alloc" -> Ast.Map_alloc
-          | other -> raise (Omp_error ("unknown map type " ^ other))
+          | other -> error ("unknown map type " ^ other)
         in
         let names, rest = parse_name_list rest in
         go (Ast.Cl_map (kind, names) :: acc) rest
@@ -124,7 +130,7 @@ let parse_clauses toks =
         | Star -> Ast.Red_mul
         | Word "max" -> Ast.Red_max
         | Word "min" -> Ast.Red_min
-        | _ -> raise (Omp_error "unknown reduction operator")
+        | _ -> error "unknown reduction operator"
       in
       let names, rest = parse_name_list rest in
       go (Ast.Cl_reduction (red, names) :: acc) rest
@@ -140,14 +146,15 @@ let parse_clauses toks =
     | Word "to" :: Lp :: rest ->
       let names, rest = parse_name_list rest in
       go (Ast.Cl_to names :: acc) rest
-    | Word w :: _ -> raise (Omp_error ("unknown clause " ^ w))
-    | _ -> raise (Omp_error "malformed clause list")
+    | Word w :: _ -> error ("unknown clause " ^ w)
+    | _ -> error "malformed clause list"
   in
   go [] toks
 
 (* --- directive parsing --- *)
 
-let parse text =
+let parse ?(loc = Ftn_diag.Loc.unknown) text =
+  current_loc := loc;
   match scan text with
   | Word "end" :: rest ->
     let words =
@@ -174,8 +181,8 @@ let parse text =
   | Word "parallel" :: Word "do" :: rest ->
     Parallel_do { simd = false; clauses = parse_clauses rest }
   | Word "simd" :: rest -> Simd (parse_clauses rest)
-  | Word w :: _ -> raise (Omp_error ("unsupported OpenMP directive " ^ w))
-  | _ -> raise (Omp_error "empty OpenMP directive")
+  | Word w :: _ -> error ("unsupported OpenMP directive " ^ w)
+  | _ -> error "empty OpenMP directive"
 
 (* Split the clauses of a combined construct between the target part (data
    mapping) and the loop part (everything else). *)

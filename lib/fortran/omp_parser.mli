@@ -3,7 +3,7 @@
     regions, update, and worksharing loops with simd/simdlen/reduction/
     collapse clauses. *)
 
-exception Omp_error of string
+exception Omp_error of string * Ftn_diag.Loc.t
 
 type directive =
   | Target of {
@@ -37,7 +37,8 @@ type tok =
 
 val scan : string -> tok list
 val parse_clauses : tok list -> Ast.omp_clause list
-val parse : string -> directive
+val parse : ?loc:Ftn_diag.Loc.t -> string -> directive
+(** [loc] (the directive's source location) is attached to any error. *)
 
 val split_combined_clauses :
   Ast.omp_clause list -> Ast.omp_clause list * Ast.omp_clause list

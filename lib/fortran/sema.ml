@@ -3,9 +3,9 @@
    type-checks expressions and statements. The checked AST (with Intrinsic
    nodes resolved) plus the symbol tables feed the FIR lowering. *)
 
-exception Sema_error of string * int
+exception Sema_error of string * Ftn_diag.Loc.t
 
-let error line msg = raise (Sema_error (msg, line))
+let error loc msg = raise (Sema_error (msg, loc))
 
 type dim =
   | Dim_const of int
@@ -41,10 +41,10 @@ let is_intrinsic name = List.mem name intrinsics
 
 let find env name = Env.find_opt name env
 
-let lookup env line name =
+let lookup env loc name =
   match find env name with
   | Some s -> s
-  | None -> error line ("undeclared variable " ^ name)
+  | None -> error loc ("undeclared variable " ^ name)
 
 (* --- constant folding for parameters and dimension extents --- *)
 
@@ -90,115 +90,115 @@ let promote a b =
   | Ast.Ty_logical, Ast.Ty_logical -> Ast.Ty_logical
   | _ -> Ast.Ty_real
 
-let intrinsic_type line name arg_tys =
+let intrinsic_type loc name arg_tys =
   match name with
   | "sqrt" | "exp" | "log" | "sin" | "cos" | "tanh" -> (
     match arg_tys with
     | [ (Ast.Ty_real | Ast.Ty_double) as t ] -> t
     | [ Ast.Ty_integer ] -> Ast.Ty_real
-    | _ -> error line (name ^ " expects one numeric argument"))
+    | _ -> error loc (name ^ " expects one numeric argument"))
   | "abs" -> (
     match arg_tys with
     | [ t ] -> t
-    | _ -> error line "abs expects one argument")
+    | _ -> error loc "abs expects one argument")
   | "mod" -> (
     match arg_tys with
     | [ a; b ] -> promote a b
-    | _ -> error line "mod expects two arguments")
+    | _ -> error loc "mod expects two arguments")
   | "max" | "min" ->
     if List.length arg_tys < 2 then
-      error line (name ^ " expects at least two arguments")
+      error loc (name ^ " expects at least two arguments")
     else List.fold_left promote Ast.Ty_integer arg_tys
   | "real" | "float" -> Ast.Ty_real
   | "dble" -> Ast.Ty_double
   | "int" | "nint" -> Ast.Ty_integer
   | "__str" -> Ast.Ty_integer
-  | _ -> error line ("unknown intrinsic " ^ name)
+  | _ -> error loc ("unknown intrinsic " ^ name)
 
 (* Resolve Index nodes into array references or intrinsic calls, and
    return the rewritten expression with its type. *)
-let rec check_expr env line e =
+let rec check_expr env loc e =
   match e with
   | Ast.Int_lit _ -> (e, Ast.Ty_integer)
   | Ast.Real_lit (_, k) -> (e, k)
   | Ast.Logical_lit _ -> (e, Ast.Ty_logical)
   | Ast.Var name ->
-    let s = lookup env line name in
+    let s = lookup env loc name in
     if s.sym_dims <> [] then
-      error line ("whole-array reference to " ^ name ^ " is not supported")
+      error loc ("whole-array reference to " ^ name ^ " is not supported")
     else (e, s.sym_type)
   | Ast.Index (name, args) -> (
     match find env name with
     | Some s when s.sym_dims <> [] ->
       if List.length args <> List.length s.sym_dims then
-        error line
+        error loc
           (Fmt.str "array %s has rank %d but %d subscripts given" name
              (List.length s.sym_dims) (List.length args));
       let args' =
         List.map
           (fun a ->
-            let a', ty = check_expr env line a in
+            let a', ty = check_expr env loc a in
             match ty with
             | Ast.Ty_integer -> a'
-            | _ -> error line ("subscript of " ^ name ^ " must be integer"))
+            | _ -> error loc ("subscript of " ^ name ^ " must be integer"))
           args
       in
       (Ast.Index (name, args'), s.sym_type)
-    | Some _ -> error line (name ^ " is not an array")
+    | Some _ -> error loc (name ^ " is not an array")
     | None ->
       if is_intrinsic name then begin
         let args', tys =
-          List.split (List.map (check_expr env line) args)
+          List.split (List.map (check_expr env loc) args)
         in
-        (Ast.Intrinsic (name, args'), intrinsic_type line name tys)
+        (Ast.Intrinsic (name, args'), intrinsic_type loc name tys)
       end
       else begin
         match Hashtbl.find_opt current_functions name with
         | Some (result_ty, arity) ->
           if List.length args <> arity then
-            error line
+            error loc
               (Fmt.str "function %s expects %d argument(s), got %d" name
                  arity (List.length args));
-          let args' = List.map (fun a -> fst (check_expr env line a)) args in
+          let args' = List.map (fun a -> fst (check_expr env loc a)) args in
           (Ast.User_call (name, result_ty, args'), result_ty)
-        | None -> error line ("unknown array or function " ^ name)
+        | None -> error loc ("unknown array or function " ^ name)
       end)
   | Ast.Binop (op, a, b) -> (
-    let a', ta = check_expr env line a in
-    let b', tb = check_expr env line b in
+    let a', ta = check_expr env loc a in
+    let b', tb = check_expr env loc b in
     match op with
     | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Pow ->
       if ta = Ast.Ty_logical || tb = Ast.Ty_logical then
-        error line "arithmetic on logical values";
+        error loc "arithmetic on logical values";
       (Ast.Binop (op, a', b'), promote ta tb)
     | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
       (Ast.Binop (op, a', b'), Ast.Ty_logical)
     | Ast.And | Ast.Or ->
       if ta <> Ast.Ty_logical || tb <> Ast.Ty_logical then
-        error line "logical operator on non-logical values";
+        error loc "logical operator on non-logical values";
       (Ast.Binop (op, a', b'), Ast.Ty_logical))
   | Ast.Unop (Ast.Neg, a) ->
-    let a', ta = check_expr env line a in
-    if ta = Ast.Ty_logical then error line "negation of a logical value";
+    let a', ta = check_expr env loc a in
+    if ta = Ast.Ty_logical then error loc "negation of a logical value";
     (Ast.Unop (Ast.Neg, a'), ta)
   | Ast.Unop (Ast.Not, a) ->
-    let a', ta = check_expr env line a in
-    if ta <> Ast.Ty_logical then error line ".not. on non-logical value";
+    let a', ta = check_expr env loc a in
+    if ta <> Ast.Ty_logical then error loc ".not. on non-logical value";
     (Ast.Unop (Ast.Not, a'), Ast.Ty_logical)
   | Ast.Intrinsic (name, args) ->
-    let args', tys = List.split (List.map (check_expr env line) args) in
-    (Ast.Intrinsic (name, args'), intrinsic_type line name tys)
+    let args', tys = List.split (List.map (check_expr env loc) args) in
+    (Ast.Intrinsic (name, args'), intrinsic_type loc name tys)
   | Ast.User_call (name, ty, args) ->
-    let args' = List.map (fun a -> fst (check_expr env line a)) args in
+    let args' = List.map (fun a -> fst (check_expr env loc a)) args in
     (Ast.User_call (name, ty, args'), ty)
 
-let expr_type env line e = snd (check_expr env line e)
+let expr_type env loc e = snd (check_expr env loc e)
 
 (* --- statements --- *)
 
-let check_clause_vars env line clauses =
+let check_clause_vars env loc clauses =
   let check_names names =
-    List.iter (fun n -> ignore (lookup env line n)) names
+    List.iter (fun n -> ignore (lookup env loc n)) names
   in
   List.iter
     (function
@@ -210,98 +210,98 @@ let check_clause_vars env line clauses =
       | Ast.Cl_firstprivate names ->
         check_names names
       | Ast.Cl_simdlen k | Ast.Cl_safelen k | Ast.Cl_collapse k ->
-        if k <= 0 then error line "clause argument must be positive")
+        if k <= 0 then error loc "clause argument must be positive")
     clauses
 
 let rec check_stmt env stmt =
-  let line = stmt.Ast.s_line in
+  let loc = stmt.Ast.s_loc in
   let kind =
     match stmt.Ast.s_kind with
     | Ast.Assign (lhs, rhs) -> (
-      let rhs', _rty = check_expr env line rhs in
+      let rhs', _rty = check_expr env loc rhs in
       match lhs with
       | Ast.Var name ->
-        let s = lookup env line name in
+        let s = lookup env loc name in
         if s.sym_dims <> [] then
-          error line ("assignment to whole array " ^ name);
+          error loc ("assignment to whole array " ^ name);
         if s.sym_constant <> None then
-          error line ("assignment to parameter " ^ name);
+          error loc ("assignment to parameter " ^ name);
         Ast.Assign (lhs, rhs')
       | Ast.Index (name, args) -> (
-        let lhs', _ = check_expr env line (Ast.Index (name, args)) in
+        let lhs', _ = check_expr env loc (Ast.Index (name, args)) in
         match lhs' with
         | Ast.Index _ -> Ast.Assign (lhs', rhs')
-        | _ -> error line ("assignment target " ^ name ^ " is not an array"))
-      | _ -> error line "invalid assignment target")
-    | Ast.Do loop -> Ast.Do (check_do env line loop)
+        | _ -> error loc ("assignment target " ^ name ^ " is not an array"))
+      | _ -> error loc "invalid assignment target")
+    | Ast.Do loop -> Ast.Do (check_do env loc loop)
     | Ast.Do_while (cond, body) ->
-      let cond', ty = check_expr env line cond in
+      let cond', ty = check_expr env loc cond in
       if ty <> Ast.Ty_logical then
-        error line "do while condition must be logical";
+        error loc "do while condition must be logical";
       Ast.Do_while (cond', check_stmts env body)
     | Ast.If (arms, else_body) ->
       let arms' =
         List.map
           (fun (cond, body) ->
-            let cond', ty = check_expr env line cond in
+            let cond', ty = check_expr env loc cond in
             if ty <> Ast.Ty_logical then
-              error line "if condition must be logical";
+              error loc "if condition must be logical";
             (cond', check_stmts env body))
           arms
       in
       Ast.If (arms', check_stmts env else_body)
     | Ast.Call (name, args) ->
-      let args' = List.map (fun a -> fst (check_expr_arg env line a)) args in
+      let args' = List.map (fun a -> fst (check_expr_arg env loc a)) args in
       Ast.Call (name, args')
     | Ast.Print args ->
-      Ast.Print (List.map (fun a -> fst (check_print_item env line a)) args)
+      Ast.Print (List.map (fun a -> fst (check_print_item env loc a)) args)
     | Ast.Exit_stmt -> Ast.Exit_stmt
     | Ast.Cycle_stmt -> Ast.Cycle_stmt
     | Ast.Omp_target (clauses, body) ->
-      check_clause_vars env line clauses;
+      check_clause_vars env loc clauses;
       Ast.Omp_target (clauses, check_stmts env body)
     | Ast.Omp_target_data (clauses, body) ->
-      check_clause_vars env line clauses;
+      check_clause_vars env loc clauses;
       Ast.Omp_target_data (clauses, check_stmts env body)
     | Ast.Omp_target_enter_data clauses ->
-      check_clause_vars env line clauses;
+      check_clause_vars env loc clauses;
       Ast.Omp_target_enter_data clauses
     | Ast.Omp_target_exit_data clauses ->
-      check_clause_vars env line clauses;
+      check_clause_vars env loc clauses;
       Ast.Omp_target_exit_data clauses
     | Ast.Omp_target_update clauses ->
-      check_clause_vars env line clauses;
+      check_clause_vars env loc clauses;
       Ast.Omp_target_update clauses
     | Ast.Omp_parallel_do pd ->
-      check_clause_vars env line pd.Ast.pd_clauses;
+      check_clause_vars env loc pd.Ast.pd_clauses;
       Ast.Omp_parallel_do
-        { pd with Ast.pd_loop = check_do env pd.Ast.pd_line pd.Ast.pd_loop }
+        { pd with Ast.pd_loop = check_do env pd.Ast.pd_loc pd.Ast.pd_loop }
     | Ast.Acc_parallel_loop apl ->
-      check_clause_vars env line apl.Ast.apl_clauses;
+      check_clause_vars env loc apl.Ast.apl_clauses;
       Ast.Acc_parallel_loop
-        { apl with Ast.apl_loop = check_do env apl.Ast.apl_line apl.Ast.apl_loop }
+        { apl with Ast.apl_loop = check_do env apl.Ast.apl_loc apl.Ast.apl_loop }
     | Ast.Acc_data (clauses, body) ->
-      check_clause_vars env line clauses;
+      check_clause_vars env loc clauses;
       Ast.Acc_data (clauses, check_stmts env body)
     | Ast.Acc_enter_data clauses ->
-      check_clause_vars env line clauses;
+      check_clause_vars env loc clauses;
       Ast.Acc_enter_data clauses
     | Ast.Acc_exit_data clauses ->
-      check_clause_vars env line clauses;
+      check_clause_vars env loc clauses;
       Ast.Acc_exit_data clauses
     | Ast.Acc_update clauses ->
-      check_clause_vars env line clauses;
+      check_clause_vars env loc clauses;
       Ast.Acc_update clauses
   in
   { stmt with Ast.s_kind = kind }
 
-and check_do env line loop =
-  let s = lookup env line loop.Ast.do_var in
+and check_do env loc loop =
+  let s = lookup env loc loop.Ast.do_var in
   if s.sym_type <> Ast.Ty_integer || s.sym_dims <> [] then
-    error line ("do variable " ^ loop.Ast.do_var ^ " must be an integer scalar");
+    error loc ("do variable " ^ loop.Ast.do_var ^ " must be an integer scalar");
   let check_int e =
-    let e', ty = check_expr env line e in
-    if ty <> Ast.Ty_integer then error line "loop bounds must be integer";
+    let e', ty = check_expr env loc e in
+    if ty <> Ast.Ty_integer then error loc "loop bounds must be integer";
     e'
   in
   {
@@ -316,34 +316,33 @@ and check_stmts env stmts = List.map (check_stmt env) stmts
 
 (* Subroutine arguments may be whole arrays (pass-by-reference); allow a
    bare Var naming an array here, unlike in expressions. *)
-and check_expr_arg env line e =
+and check_expr_arg env loc e =
   match e with
   | Ast.Var name ->
-    let s = lookup env line name in
+    let s = lookup env loc name in
     (e, s.sym_type)
-  | _ -> check_expr env line e
+  | _ -> check_expr env loc e
 
-and check_print_item env line e =
+and check_print_item env loc e =
   match e with
   | Ast.Intrinsic ("__str", _) -> (e, Ast.Ty_integer)
-  | _ -> check_expr env line e
+  | _ -> check_expr env loc e
 
 (* --- declarations and units --- *)
 
-let build_symbols unit_ =
-  let { Ast.u_params; u_decls; u_line; _ } = unit_ in
+let build_symbols ?engine unit_ =
+  let { Ast.u_params; u_decls; u_loc; _ } = unit_ in
   let env = ref Env.empty in
-  List.iter
-    (fun d ->
-      let line = d.Ast.d_line in
+  let add_decl d =
+      let loc = d.Ast.d_loc in
       if Env.mem d.Ast.d_name !env then
-        error line ("duplicate declaration of " ^ d.Ast.d_name);
+        error loc ("duplicate declaration of " ^ d.Ast.d_name);
       let constant =
         match d.Ast.d_parameter with
         | Some e -> (
           match fold_const !env e with
           | Some c -> Some c
-          | None -> error line ("parameter " ^ d.Ast.d_name ^ " is not constant"))
+          | None -> error loc ("parameter " ^ d.Ast.d_name ^ " is not constant"))
         | None -> None
       in
       let dims =
@@ -365,21 +364,45 @@ let build_symbols unit_ =
             sym_is_dummy = is_dummy;
             sym_constant = constant;
           }
-          !env)
+          !env
+  in
+  (* With an engine, a bad declaration is reported and skipped so the rest
+     of the unit can still be checked (multi-error reporting); without one,
+     the first Sema_error propagates as before. *)
+  List.iter
+    (fun d ->
+      match engine with
+      | None -> add_decl d
+      | Some eng -> (
+        try add_decl d
+        with Sema_error (msg, loc) -> Ftn_diag.Diag_engine.error eng ~loc msg))
     u_decls;
   List.iter
     (fun p ->
       if not (Env.mem p !env) then
-        error u_line ("dummy argument " ^ p ^ " is not declared"))
+        error u_loc ("dummy argument " ^ p ^ " is not declared"))
     u_params;
   !env
 
-let check_unit unit_ =
-  let symbols = build_symbols unit_ in
-  let body = check_stmts symbols unit_.Ast.u_body in
+let check_unit ?engine unit_ =
+  let symbols = build_symbols ?engine unit_ in
+  let body =
+    match engine with
+    | None -> check_stmts symbols unit_.Ast.u_body
+    | Some eng ->
+      (* Recover per top-level statement: an error inside a statement
+         reports it and moves on to the next. *)
+      List.map
+        (fun stmt ->
+          try check_stmt symbols stmt
+          with Sema_error (msg, loc) ->
+            Ftn_diag.Diag_engine.error eng ~loc msg;
+            stmt)
+        unit_.Ast.u_body
+  in
   { ui_unit = { unit_ with Ast.u_body = body }; ui_symbols = symbols }
 
-let check program =
+let check ?engine program =
   Hashtbl.reset current_functions;
   List.iter
     (fun u ->
@@ -389,4 +412,8 @@ let check program =
           (ty, List.length u.Ast.u_params)
       | Ast.Main_program | Ast.Subroutine -> ())
     program;
-  List.map check_unit program
+  let checked = List.map (check_unit ?engine) program in
+  (match engine with
+  | Some eng -> Ftn_diag.Diag_engine.fail_if_errors eng
+  | None -> ());
+  checked

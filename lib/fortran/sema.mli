@@ -3,7 +3,7 @@
     folding, and type checking. The checked AST plus the symbol tables
     feed the FIR lowering. *)
 
-exception Sema_error of string * int
+exception Sema_error of string * Ftn_diag.Loc.t
 
 type dim =
   | Dim_const of int
@@ -29,7 +29,11 @@ type checked = unit_info list
 val is_intrinsic : string -> bool
 val fold_const : symbol Env.t -> Ast.expr -> Ast.expr option
 val const_int : symbol Env.t -> Ast.expr -> int option
-val expr_type : symbol Env.t -> int -> Ast.expr -> Ast.base_type
+val expr_type : symbol Env.t -> Ftn_diag.Loc.t -> Ast.expr -> Ast.base_type
 (** Raises {!Sema_error} on ill-typed expressions. *)
 
-val check : Ast.program -> checked
+val check : ?engine:Ftn_diag.Diag_engine.t -> Ast.program -> checked
+(** With [engine], semantic errors are accumulated (recovering per
+    declaration and per top-level statement) and raised together as
+    {!Ftn_diag.Diag.Diag_failure} at the end; without it the first error
+    raises {!Sema_error}. *)

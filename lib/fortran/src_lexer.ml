@@ -37,12 +37,13 @@ type token =
 
 type spanned = {
   tok : token;
-  line : int;
+  line : int;  (** = [loc.line], kept for convenience. *)
+  loc : Ftn_diag.Loc.t;
 }
 
-exception Lex_error of string * int
+exception Lex_error of string * Ftn_diag.Loc.t
 
-let error line msg = raise (Lex_error (msg, line))
+let error loc msg = raise (Lex_error (msg, loc))
 
 let string_of_token = function
   | IDENT s -> Fmt.str "identifier %S" s
@@ -130,7 +131,8 @@ let directive_sentinel s =
 (* Collapse continuation lines into logical lines. A '&' at the end
    continues onto the next non-blank line; a leading '&' on the
    continuation is consumed. OpenMP directives continue with '!$omp &'. *)
-let logical_lines source =
+let logical_lines ?(file = "") source =
+  let line_loc line = Ftn_diag.Loc.line_only ~file line in
   let lines = String.split_on_char '\n' source in
   let rec go acc line_no = function
     | [] -> List.rev acc
@@ -153,9 +155,10 @@ let logical_lines source =
                 let dir = String.sub dir 0 (String.length dir - 1) in
                 continue_dir (String.trim dir ^ " " ^ cont) (line_no + 1) rest'
               | Some _ | None ->
-                error line_no
+                error (line_loc line_no)
                   "directive continuation must repeat the same sentinel")
-            | [] -> error line_no "dangling directive continuation"
+            | [] ->
+              error (line_loc line_no) "dangling directive continuation"
           else (dir, line_no, rest)
         in
         let dir, end_line, rest = continue_dir dir line_no rest in
@@ -183,7 +186,7 @@ let logical_lines source =
                   in
                   let t = String.sub t 0 (String.length t - 1) in
                   continue_line (t ^ " " ^ cont) (line_no + 1) rest'
-              | [] -> error line_no "dangling continuation '&'"
+              | [] -> error (line_loc line_no) "dangling continuation '&'"
             else (text, line_no, rest)
           in
           let text, end_line, rest = continue_line stripped line_no rest in
@@ -214,9 +217,16 @@ let dot_operators =
     (".ge.", GE);
   ]
 
-let tokenize_line line_no text emit =
+let tokenize_line ?(file = "") line_no text emit =
   let n = String.length text in
   let pos = ref 0 in
+  (* Span of the token currently being scanned: [start] is its first char
+     (0-based), [!pos] is one past its last. Columns are 1-based. *)
+  let mk_loc start =
+    Ftn_diag.Loc.make ~file ~line:line_no ~col:(start + 1)
+      ~end_col:(max (start + 2) (!pos + 1)) ()
+  in
+  let error_at start msg = error (mk_loc start) msg in
   let peek k = if !pos + k < n then Some text.[!pos + k] else None in
   let starts_with s =
     let l = String.length s in
@@ -228,10 +238,12 @@ let tokenize_line line_no text emit =
   in
   while !pos < n do
     let c = text.[!pos] in
+    let tok_start = !pos in
+    let emit_tok t = emit (mk_loc tok_start) t in
     if c = ' ' || c = '\t' || c = '\r' then incr pos
     else if c = ';' then begin
-      emit NEWLINE;
-      incr pos
+      incr pos;
+      emit_tok NEWLINE
     end
     else if is_digit c then begin
       (* number: integer or real; exponent letters e/d; kind suffixes like
@@ -272,19 +284,20 @@ let tokenize_line line_no text emit =
         let normalized =
           String.map (fun c -> if c = 'd' || c = 'D' then 'e' else c) lit
         in
-        emit (REAL (float_of_string normalized, !is_double))
+        emit_tok (REAL (float_of_string normalized, !is_double))
       end
       else
         match int_of_string_opt lit with
-        | Some n -> emit (INT n)
-        | None -> error line_no ("integer literal out of range: " ^ lit)
+        | Some n -> emit_tok (INT n)
+        | None ->
+          error_at start ("integer literal out of range: " ^ lit)
     end
     else if is_alpha c then begin
       let start = !pos in
       while !pos < n && is_alnum text.[!pos] do
         incr pos
       done;
-      emit (IDENT (String.lowercase_ascii (String.sub text start (!pos - start))))
+      emit_tok (IDENT (String.lowercase_ascii (String.sub text start (!pos - start))))
     end
     else if c = '\'' || c = '"' then begin
       let quote = c in
@@ -292,7 +305,7 @@ let tokenize_line line_no text emit =
       let buf = Buffer.create 16 in
       let closed = ref false in
       while not !closed do
-        if !pos >= n then error line_no "unterminated string literal"
+        if !pos >= n then error_at tok_start "unterminated string literal"
         else if text.[!pos] = quote then
           if peek 1 = Some quote then begin
             Buffer.add_char buf quote;
@@ -307,68 +320,77 @@ let tokenize_line line_no text emit =
           incr pos
         end
       done;
-      emit (STRING (Buffer.contents buf))
+      emit_tok (STRING (Buffer.contents buf))
     end
     else if c = '.' then begin
       match
         List.find_opt (fun (s, _) -> starts_with s) dot_operators
       with
       | Some (s, tok) ->
-        emit tok;
-        pos := !pos + String.length s
-      | None -> error line_no "unexpected '.'"
+        pos := !pos + String.length s;
+        emit_tok tok
+      | None -> error_at tok_start "unexpected '.'"
     end
     else begin
       let two = if !pos + 1 < n then String.sub text !pos 2 else "" in
       match two with
       | "**" ->
-        emit POW;
-        pos := !pos + 2
+        pos := !pos + 2;
+        emit_tok POW
       | "::" ->
-        emit COLONCOLON;
-        pos := !pos + 2
+        pos := !pos + 2;
+        emit_tok COLONCOLON
       | "==" ->
-        emit EQ;
-        pos := !pos + 2
+        pos := !pos + 2;
+        emit_tok EQ
       | "/=" ->
-        emit NE;
-        pos := !pos + 2
+        pos := !pos + 2;
+        emit_tok NE
       | "<=" ->
-        emit LE;
-        pos := !pos + 2
+        pos := !pos + 2;
+        emit_tok LE
       | ">=" ->
-        emit GE;
-        pos := !pos + 2
-      | "=>" -> error line_no "pointer association is not supported"
+        pos := !pos + 2;
+        emit_tok GE
+      | "=>" -> error_at tok_start "pointer association is not supported"
       | _ -> (
         incr pos;
         match c with
-        | '+' -> emit PLUS
-        | '-' -> emit MINUS
-        | '*' -> emit STAR
-        | '/' -> emit SLASH
-        | '(' -> emit LPAREN
-        | ')' -> emit RPAREN
-        | ',' -> emit COMMA
-        | ':' -> emit COLON
-        | '=' -> emit ASSIGN
-        | '<' -> emit LT
-        | '>' -> emit GT
-        | '%' -> emit PERCENT
-        | c -> error line_no (Fmt.str "unexpected character %C" c))
+        | '+' -> emit_tok PLUS
+        | '-' -> emit_tok MINUS
+        | '*' -> emit_tok STAR
+        | '/' -> emit_tok SLASH
+        | '(' -> emit_tok LPAREN
+        | ')' -> emit_tok RPAREN
+        | ',' -> emit_tok COMMA
+        | ':' -> emit_tok COLON
+        | '=' -> emit_tok ASSIGN
+        | '<' -> emit_tok LT
+        | '>' -> emit_tok GT
+        | '%' -> emit_tok PERCENT
+        | c -> error_at tok_start (Fmt.str "unexpected character %C" c))
     end
   done
 
-let tokenize source =
+let tokenize ?(file = "") source =
   let out = ref [] in
-  let emit line tok = out := { tok; line } :: !out in
+  let emit loc tok =
+    out := { tok; line = loc.Ftn_diag.Loc.line; loc } :: !out
+  in
+  let line_loc line = Ftn_diag.Loc.line_only ~file line in
+  let dir_loc line text =
+    (* Directive tokens span the whole directive text after the sentinel. *)
+    Ftn_diag.Loc.make ~file ~line ~col:1
+      ~end_col:(String.length text + 1) ()
+  in
   List.iter
     (fun ll ->
       (match ll.kind with
-      | Omp_line -> emit ll.ll_line (OMP ll.text)
-      | Acc_line -> emit ll.ll_line (ACC ll.text)
-      | Plain_line -> tokenize_line ll.ll_line ll.text (emit ll.ll_line));
-      emit ll.ll_line NEWLINE)
-    (logical_lines source);
-  emit (-1) EOF;
+      | Omp_line -> emit (dir_loc ll.ll_line ll.text) (OMP ll.text)
+      | Acc_line -> emit (dir_loc ll.ll_line ll.text) (ACC ll.text)
+      | Plain_line -> tokenize_line ~file ll.ll_line ll.text emit);
+      emit (line_loc ll.ll_line) NEWLINE)
+    (logical_lines ~file source);
+  let last_line = List.length (String.split_on_char '\n' source) in
+  emit (line_loc last_line) EOF;
   List.rev !out

@@ -37,13 +37,17 @@ type token =
 
 type spanned = {
   tok : token;
-  line : int;
+  line : int;  (** = [loc.line], kept for convenience. *)
+  loc : Ftn_diag.Loc.t;
+      (** Column span of the token within its logical line. Exact for the
+          first physical line; on '&'-continued lines columns index into
+          the joined logical-line text. *)
 }
 
-exception Lex_error of string * int
+exception Lex_error of string * Ftn_diag.Loc.t
 
 val string_of_token : token -> string
 
-val tokenize : string -> spanned list
+val tokenize : ?file:string -> string -> spanned list
 (** Whole-source tokenisation; each logical line ends in [NEWLINE] and the
-    stream in [EOF]. *)
+    stream in [EOF]. [file] is recorded in every token's location. *)

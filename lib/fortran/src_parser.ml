@@ -6,19 +6,20 @@
 
 open Src_lexer
 
-exception Parse_error of string * int
+exception Parse_error of string * Ftn_diag.Loc.t
 
 type state = {
   toks : spanned array;
   mutable pos : int;
 }
 
-let error st msg =
-  let line = if st.pos < Array.length st.toks then st.toks.(st.pos).line else 0 in
-  raise (Parse_error (msg, line))
+let cur_loc st =
+  if st.pos < Array.length st.toks then st.toks.(st.pos).loc
+  else Ftn_diag.Loc.unknown
+
+let error st msg = raise (Parse_error (msg, cur_loc st))
 
 let cur st = st.toks.(st.pos).tok
-let cur_line st = st.toks.(st.pos).line
 let peek st k =
   if st.pos + k < Array.length st.toks then st.toks.(st.pos + k).tok else EOF
 
@@ -208,7 +209,7 @@ let parse_declaration st =
     []
   end
   else begin
-    let line = cur_line st in
+    let loc = cur_loc st in
     let base =
       match type_keyword st with
       | Some Ast.Ty_double ->
@@ -280,7 +281,7 @@ let parse_declaration st =
         d_dims = dims;
         d_intent = !intent;
         d_parameter = (if !is_parameter then value else None);
-        d_line = line;
+        d_loc = loc;
       }
     in
     let rec go acc =
@@ -314,7 +315,7 @@ let at_acc_end st construct =
     | exception Acc_parser.Acc_error _ -> false)
   | _ -> false
 
-let stmt line kind = { Ast.s_line = line; s_kind = kind }
+let stmt loc kind = { Ast.s_loc = loc; s_kind = kind }
 
 let rec parse_stmts st ~stop =
   let rec go acc =
@@ -325,10 +326,10 @@ let rec parse_stmts st ~stop =
   go []
 
 and parse_stmt st =
-  let line = cur_line st in
+  let loc = cur_loc st in
   match cur st with
-  | OMP text -> parse_omp_stmt st line text
-  | ACC text -> parse_acc_stmt st line text
+  | OMP text -> parse_omp_stmt st loc text
+  | ACC text -> parse_acc_stmt st loc text
   | IDENT "do" -> (
     match peek st 1 with
     | IDENT "while" ->
@@ -351,13 +352,13 @@ and parse_stmt st =
          expect_ident st "do"
        end);
       expect_end_of_stmt st;
-      stmt line (Ast.Do_while (cond, body))
+      stmt loc (Ast.Do_while (cond, body))
     | _ ->
       advance st;
-      stmt line (Ast.Do (parse_do_tail st)))
+      stmt loc (Ast.Do (parse_do_tail st)))
   | IDENT "if" ->
     advance st;
-    parse_if st line
+    parse_if st loc
   | IDENT "call" ->
     advance st;
     let name = parse_name st in
@@ -372,7 +373,7 @@ and parse_stmt st =
       else []
     in
     expect_end_of_stmt st;
-    stmt line (Ast.Call (name, args))
+    stmt loc (Ast.Call (name, args))
   | IDENT "print" ->
     advance st;
     expect st STAR;
@@ -380,7 +381,7 @@ and parse_stmt st =
       if accept st COMMA then parse_print_items st else []
     in
     expect_end_of_stmt st;
-    stmt line (Ast.Print args)
+    stmt loc (Ast.Print args)
   | IDENT "write" ->
     (* write(*,*) items — list-directed output, same as print *)
     advance st;
@@ -395,15 +396,15 @@ and parse_stmt st =
       | _ -> parse_print_items st
     in
     expect_end_of_stmt st;
-    stmt line (Ast.Print args)
+    stmt loc (Ast.Print args)
   | IDENT "exit" ->
     advance st;
     expect_end_of_stmt st;
-    stmt line Ast.Exit_stmt
+    stmt loc Ast.Exit_stmt
   | IDENT "cycle" ->
     advance st;
     expect_end_of_stmt st;
-    stmt line Ast.Cycle_stmt
+    stmt loc Ast.Cycle_stmt
   | IDENT _ ->
     (* assignment: lvalue = expr *)
     let lhs = parse_primary st in
@@ -413,7 +414,7 @@ and parse_stmt st =
     expect st ASSIGN;
     let rhs = parse_expr st in
     expect_end_of_stmt st;
-    stmt line (Ast.Assign (lhs, rhs))
+    stmt loc (Ast.Assign (lhs, rhs))
   | tok -> error st (Fmt.str "unexpected %s" (string_of_token tok))
 
 and parse_print_items st =
@@ -457,7 +458,7 @@ and parse_do_tail st =
   expect_end_of_stmt st;
   { Ast.do_var = var; do_lb = lb; do_ub = ub; do_step = step; do_body = body }
 
-and parse_if st line =
+and parse_if st loc =
   expect st LPAREN;
   let cond = parse_expr st in
   expect st RPAREN;
@@ -503,18 +504,18 @@ and parse_if st line =
       expect_end_of_stmt st
     in
     let arms, else_body = parse_tail [] in
-    stmt line (Ast.If ((cond, then_body) :: arms, else_body))
+    stmt loc (Ast.If ((cond, then_body) :: arms, else_body))
   end
   else begin
     (* one-line if *)
     let body = parse_stmt st in
-    stmt line (Ast.If ([ (cond, [ body ]) ], []))
+    stmt loc (Ast.If ([ (cond, [ body ]) ], []))
   end
 
-and parse_omp_stmt st line text =
+and parse_omp_stmt st loc text =
   let directive =
-    try Omp_parser.parse text
-    with Omp_parser.Omp_error msg -> raise (Parse_error (msg, line))
+    try Omp_parser.parse ~loc text
+    with Omp_parser.Omp_error (msg, l) -> raise (Parse_error (msg, l))
   in
   advance st;
   (* past the OMP token *)
@@ -529,55 +530,55 @@ and parse_omp_stmt st line text =
       if c_simd then "target parallel do simd" else "target parallel do"
     in
     consume_optional_end st construct;
-    stmt line
+    stmt loc
       (Ast.Omp_target
          ( map_clauses,
            [
-             stmt line
+             stmt loc
                (Ast.Omp_parallel_do
                   {
                     pd_simd = c_simd;
                     pd_clauses = loop_clauses;
                     pd_loop = loop;
-                    pd_line = line;
+                    pd_loc = loc;
                   });
            ] ))
   | Omp_parser.Target { clauses; combined_loop = None } ->
     let body = parse_stmts st ~stop:(fun () -> at_omp_end st "target") in
-    consume_end st "target" line;
-    stmt line (Ast.Omp_target (clauses, body))
+    consume_end st "target" loc;
+    stmt loc (Ast.Omp_target (clauses, body))
   | Omp_parser.Target_data clauses ->
     let body =
       parse_stmts st ~stop:(fun () -> at_omp_end st "target data")
     in
-    consume_end st "target data" line;
-    stmt line (Ast.Omp_target_data (clauses, body))
+    consume_end st "target data" loc;
+    stmt loc (Ast.Omp_target_data (clauses, body))
   | Omp_parser.Target_enter_data clauses ->
-    stmt line (Ast.Omp_target_enter_data clauses)
+    stmt loc (Ast.Omp_target_enter_data clauses)
   | Omp_parser.Target_exit_data clauses ->
-    stmt line (Ast.Omp_target_exit_data clauses)
+    stmt loc (Ast.Omp_target_exit_data clauses)
   | Omp_parser.Target_update clauses ->
-    stmt line (Ast.Omp_target_update clauses)
+    stmt loc (Ast.Omp_target_update clauses)
   | Omp_parser.Parallel_do { simd; clauses } ->
     let loop = parse_do_stmt st in
     consume_optional_end st
       (if simd then "parallel do simd" else "parallel do");
-    stmt line
+    stmt loc
       (Ast.Omp_parallel_do
-         { pd_simd = simd; pd_clauses = clauses; pd_loop = loop; pd_line = line })
+         { pd_simd = simd; pd_clauses = clauses; pd_loop = loop; pd_loc = loc })
   | Omp_parser.Simd clauses ->
     let loop = parse_do_stmt st in
     consume_optional_end st "simd";
-    stmt line
+    stmt loc
       (Ast.Omp_parallel_do
-         { pd_simd = true; pd_clauses = clauses; pd_loop = loop; pd_line = line })
+         { pd_simd = true; pd_clauses = clauses; pd_loop = loop; pd_loc = loc })
   | Omp_parser.End_directive name ->
-    raise (Parse_error ("unmatched !$omp end " ^ name, line))
+    raise (Parse_error ("unmatched !$omp end " ^ name, loc))
 
-and parse_acc_stmt st line text =
+and parse_acc_stmt st loc text =
   let directive =
-    try Acc_parser.parse text
-    with Acc_parser.Acc_error msg -> raise (Parse_error (msg, line))
+    try Acc_parser.parse ~loc text
+    with Acc_parser.Acc_error (msg, l) -> raise (Parse_error (msg, l))
   in
   advance st;
   skip_newlines st;
@@ -589,9 +590,9 @@ and parse_acc_stmt st line text =
       advance st;
       skip_newlines st
     end;
-    stmt line
+    stmt loc
       (Ast.Acc_parallel_loop
-         { apl_clauses = clauses; apl_loop = loop; apl_line = line })
+         { apl_clauses = clauses; apl_loop = loop; apl_loc = loc })
   | Acc_parser.Data clauses ->
     let body = parse_stmts st ~stop:(fun () -> at_acc_end st "data") in
     skip_newlines st;
@@ -599,13 +600,13 @@ and parse_acc_stmt st line text =
       advance st;
       skip_newlines st
     end
-    else raise (Parse_error ("missing !$acc end data", line));
-    stmt line (Ast.Acc_data (clauses, body))
-  | Acc_parser.Enter_data clauses -> stmt line (Ast.Acc_enter_data clauses)
-  | Acc_parser.Exit_data clauses -> stmt line (Ast.Acc_exit_data clauses)
-  | Acc_parser.Update clauses -> stmt line (Ast.Acc_update clauses)
+    else raise (Parse_error ("missing !$acc end data", loc));
+    stmt loc (Ast.Acc_data (clauses, body))
+  | Acc_parser.Enter_data clauses -> stmt loc (Ast.Acc_enter_data clauses)
+  | Acc_parser.Exit_data clauses -> stmt loc (Ast.Acc_exit_data clauses)
+  | Acc_parser.Update clauses -> stmt loc (Ast.Acc_update clauses)
   | Acc_parser.End_directive name ->
-    raise (Parse_error ("unmatched !$acc end " ^ name, line))
+    raise (Parse_error ("unmatched !$acc end " ^ name, loc))
 
 and parse_do_stmt st =
   skip_newlines st;
@@ -615,13 +616,13 @@ and parse_do_stmt st =
     parse_do_tail st
   | _ -> error st "expected a do loop after OpenMP loop directive"
 
-and consume_end st construct line =
+and consume_end st construct loc =
   skip_newlines st;
   if at_omp_end st construct then begin
     advance st;
     skip_newlines st
   end
-  else raise (Parse_error ("missing !$omp end " ^ construct, line))
+  else raise (Parse_error ("missing !$omp end " ^ construct, loc))
 
 and consume_optional_end st construct =
   skip_newlines st;
@@ -668,7 +669,7 @@ let unit_end st () =
 
 let parse_program_unit st =
   skip_newlines st;
-  let line = cur_line st in
+  let loc = cur_loc st in
   if accept_ident st "program" then begin
     let name = parse_name st in
     expect_end_of_stmt st;
@@ -680,7 +681,7 @@ let parse_program_unit st =
       u_params = [];
       u_decls = decls;
       u_body = body;
-      u_line = line;
+      u_loc = loc;
     }
   end
   else if accept_ident st "subroutine" then begin
@@ -708,7 +709,7 @@ let parse_program_unit st =
       u_params = params;
       u_decls = decls;
       u_body = body;
-      u_line = line;
+      u_loc = loc;
     }
   end
   else
@@ -738,12 +739,12 @@ let parse_program_unit st =
         u_params = params;
         u_decls = decls;
         u_body = body;
-        u_line = line;
+        u_loc = loc;
       }
     | _ -> error st "expected program, subroutine or function"
 
-let parse source =
-  let toks = Array.of_list (Src_lexer.tokenize source) in
+let parse ?file source =
+  let toks = Array.of_list (Src_lexer.tokenize ?file source) in
   let st = { toks; pos = 0 } in
   let rec go acc =
     skip_newlines st;

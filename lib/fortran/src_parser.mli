@@ -2,7 +2,8 @@
     the lexer are parsed by {!Omp_parser} / {!Acc_parser}; this module
     pairs begin/end directives with the statements they enclose. *)
 
-exception Parse_error of string * int
-(** Message and source line. *)
+exception Parse_error of string * Ftn_diag.Loc.t
+(** Message and source location. *)
 
-val parse : string -> Ast.program
+val parse : ?file:string -> string -> Ast.program
+(** [file] is recorded in every AST node's location. *)

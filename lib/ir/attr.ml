@@ -10,6 +10,7 @@ type t =
   | Type of Types.t
   | Array of t list
   | Dict of (string * t) list
+  | Loc of Ftn_diag.Loc.t
 
 let i32 n = Int (n, Types.I32)
 let i64 n = Int (n, Types.I64)
@@ -32,50 +33,57 @@ let rec equal a b =
     && List.for_all2
          (fun (kx, vx) (ky, vy) -> String.equal kx ky && equal vx vy)
          xs ys
+  | Loc x, Loc y -> Ftn_diag.Loc.equal x y
   | ( Unit | Bool _ | Int _ | Float _ | String _ | Symbol _ | Type _
-    | Array _ | Dict _ ), _ ->
+    | Array _ | Dict _ | Loc _ ), _ ->
     false
 
 let as_int = function
   | Int (n, _) -> Some n
   | Unit | Bool _ | Float _ | String _ | Symbol _ | Type _ | Array _
-  | Dict _ ->
+  | Dict _ | Loc _ ->
     None
 
 let as_float = function
   | Float (x, _) -> Some x
   | Unit | Bool _ | Int _ | String _ | Symbol _ | Type _ | Array _ | Dict _
-    ->
+  | Loc _ ->
     None
 
 let as_string = function
   | String s -> Some s
   | Unit | Bool _ | Int _ | Float _ | Symbol _ | Type _ | Array _ | Dict _
-    ->
+  | Loc _ ->
     None
 
 let as_symbol = function
   | Symbol s -> Some s
   | Unit | Bool _ | Int _ | Float _ | String _ | Type _ | Array _ | Dict _
-    ->
+  | Loc _ ->
     None
 
 let as_bool = function
   | Bool b -> Some b
   | Unit | Int _ | Float _ | String _ | Symbol _ | Type _ | Array _
-  | Dict _ ->
+  | Dict _ | Loc _ ->
     None
 
 let as_type = function
   | Type ty -> Some ty
   | Unit | Bool _ | Int _ | Float _ | String _ | Symbol _ | Array _
-  | Dict _ ->
+  | Dict _ | Loc _ ->
     None
 
 let as_array = function
   | Array xs -> Some xs
   | Unit | Bool _ | Int _ | Float _ | String _ | Symbol _ | Type _ | Dict _
-    ->
+  | Loc _ ->
+    None
+
+let as_loc = function
+  | Loc l -> Some l
+  | Unit | Bool _ | Int _ | Float _ | String _ | Symbol _ | Type _
+  | Array _ | Dict _ ->
     None
 
 (* Escapes the minimal set needed for round-tripping string attributes. *)
@@ -107,6 +115,7 @@ let rec pp fmt = function
   | Dict kvs ->
     let pp_kv fmt (k, v) = Fmt.pf fmt "%s = %a" k pp v in
     Fmt.pf fmt "{%a}" (Fmt.list ~sep:(Fmt.any ", ") pp_kv) kvs
+  | Loc l -> Fmt.pf fmt "loc(%a)" Ftn_diag.Loc.pp l
 
 let to_string x =
   let buf = Buffer.create 64 in

@@ -11,6 +11,8 @@ type t =
   | Type of Types.t
   | Array of t list
   | Dict of (string * t) list
+  | Loc of Ftn_diag.Loc.t
+      (** Source location, printed [loc("f.f90":12:3)]. *)
 
 val i32 : int -> t
 val i64 : int -> t
@@ -26,6 +28,7 @@ val as_symbol : t -> string option
 val as_bool : t -> bool option
 val as_type : t -> Types.t option
 val as_array : t -> t list option
+val as_loc : t -> Ftn_diag.Loc.t option
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -160,6 +160,28 @@ let parse_string_lit st =
   go ();
   Buffer.contents buf
 
+(* Location body, after the opening ["loc("] has been consumed:
+   "file":LINE:COL, optionally followed by [to :LINE:END_COL] for spans
+   (MLIR's FileLineColRange form). *)
+let parse_loc_body st =
+  let file = parse_string_lit st in
+  expect_char st ':';
+  let line = parse_int st in
+  expect_char st ':';
+  let col = parse_int st in
+  let end_col =
+    if looking_at st "to" then begin
+      expect_string st "to";
+      expect_char st ':';
+      let _line2 = parse_int st in
+      expect_char st ':';
+      parse_int st
+    end
+    else col
+  in
+  expect_char st ')';
+  Ftn_diag.Loc.make ~end_col ~file ~line ~col ()
+
 (* --- types --- *)
 
 let rec parse_type st =
@@ -346,6 +368,10 @@ let rec parse_attr st =
       expect_string st "unit";
       Attr.Unit
     end
+    else if looking_at st "loc(" then begin
+      expect_string st "loc(";
+      Attr.Loc (parse_loc_body st)
+    end
     else Attr.Type (parse_type st)
 
 let parse_attr_dict st =
@@ -433,6 +459,14 @@ let rec parse_op st =
   expect_string st "->";
   expect_char st '(';
   let result_tys = parse_type_list_until' st ')' in
+  (* trailing source location, e.g. [... : (f32) -> (f32) loc("f.f90":3:7)] *)
+  let attrs =
+    if looking_at st "loc(" then begin
+      expect_string st "loc(";
+      ("loc", Attr.Loc (parse_loc_body st)) :: attrs
+    end
+    else attrs
+  in
   let zip ids tys what =
     if List.length ids <> List.length tys then
       error st (Fmt.str "%s count mismatch in %s" what name);

@@ -41,6 +41,18 @@ let set_attr op key attr =
 
 let remove_attr op key = { op with attrs = List.remove_assoc key op.attrs }
 
+(* Source location, stored as the reserved "loc" attribute (printed in
+   trailing [loc(...)] position by Printer rather than in the attr dict). *)
+let loc op =
+  match Option.bind (find_attr op "loc") Attr.as_loc with
+  | Some l -> l
+  | None -> Ftn_diag.Loc.unknown
+
+let set_loc op l =
+  if Ftn_diag.Loc.is_known l then
+    { op with attrs = ("loc", Attr.Loc l) :: List.remove_assoc "loc" op.attrs }
+  else op
+
 let int_attr op key = Option.bind (find_attr op key) Attr.as_int
 let string_attr op key = Option.bind (find_attr op key) Attr.as_string
 let symbol_attr op key = Option.bind (find_attr op key) Attr.as_symbol

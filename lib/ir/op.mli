@@ -43,6 +43,12 @@ val find_attr : t -> string -> Attr.t option
 val has_attr : t -> string -> bool
 val set_attr : t -> string -> Attr.t -> t
 val remove_attr : t -> string -> t
+val loc : t -> Ftn_diag.Loc.t
+(** The op's source location ([Loc.unknown] if none attached). *)
+
+val set_loc : t -> Ftn_diag.Loc.t -> t
+(** Attach a source location (no-op for unknown locations). *)
+
 val int_attr : t -> string -> int option
 val string_attr : t -> string -> string option
 val symbol_attr : t -> string -> string option

@@ -21,28 +21,46 @@ let run p m = p.run m
 
 let count_ops m = Op.count (fun _ -> true) m
 
+(* Attach pass identity to any located diagnostics escaping [f], so the
+   driver can report which pipeline stage tripped. *)
+let with_pass_context context f =
+  try f () with
+  | Ftn_diag.Diag.Diag_failure ds ->
+    raise
+      (Ftn_diag.Diag.Diag_failure
+         (List.map (fun d -> Ftn_diag.Diag.add_note d context) ds))
+  | Invalid_argument msg | Failure msg ->
+    (* legacy unlocated failures still gain pass context *)
+    raise
+      (Ftn_diag.Diag.Diag_failure
+         [ Ftn_diag.Diag.add_note (Ftn_diag.Diag.error msg) context ])
+
 let run_pipeline ?(verify_between = false) ?on_stage passes m =
   let records = ref [] in
-  let notify stage_name elapsed_s m =
-    let r = { stage_name; elapsed_s; op_count = count_ops m } in
+  let notify stage_name elapsed_s op_count m =
+    let r = { stage_name; elapsed_s; op_count } in
     records := r :: !records;
     match on_stage with Some f -> f r m | None -> ()
   in
-  notify "input" 0.0 m;
-  let result =
+  let initial_count = count_ops m in
+  notify "input" 0.0 initial_count m;
+  (* The op count of stage N's output is stage N+1's input: compute each
+     count once and thread it through the fold. *)
+  let result, _ =
     List.fold_left
-      (fun m p ->
-        let ops_before = count_ops m in
+      (fun (m, ops_before) p ->
         let pass_span = ref None in
         let m' =
           Ftn_obs.Span.with_span_sp ~name:("pass." ^ p.pass_name)
             (fun sp ->
               pass_span := Some sp;
-              p.run m)
+              with_pass_context
+                (Fmt.str "while running pass '%s'" p.pass_name)
+                (fun () -> p.run m))
         in
+        let ops_after = count_ops m' in
         (match !pass_span with
         | Some sp ->
-          let ops_after = count_ops m' in
           Ftn_obs.Span.set_attr sp ~key:"ops_in" (string_of_int ops_before);
           Ftn_obs.Span.set_attr sp ~key:"ops_out" (string_of_int ops_after);
           if ops_after < ops_before then
@@ -52,15 +70,18 @@ let run_pipeline ?(verify_between = false) ?on_stage passes m =
             ops_before ops_after
             (sp.Ftn_obs.Span.dur_s *. 1e3)
         | None -> ());
-        if verify_between then Verifier.verify_exn m';
+        if verify_between then
+          with_pass_context
+            (Fmt.str "in IR verification after pass '%s'" p.pass_name)
+            (fun () -> Verifier.verify_exn m');
         let elapsed =
           match !pass_span with
           | Some sp -> sp.Ftn_obs.Span.dur_s
           | None -> 0.0
         in
-        notify p.pass_name elapsed m';
-        m')
-      m passes
+        notify p.pass_name elapsed ops_after m';
+        (m', ops_after))
+      (m, initial_count) passes
   in
   (result, List.rev !records)
 

@@ -13,6 +13,10 @@ let pp_attrs fmt attrs =
   let pp_kv fmt (k, v) = Fmt.pf fmt "%s = %a" k Attr.pp v in
   Fmt.pf fmt " <{%a}>" (Fmt.list ~sep:(Fmt.any ", ") pp_kv) attrs
 
+(* The "loc" attribute is pulled out of the <{...}> dict and printed in
+   MLIR's trailing [loc(...)] position instead. *)
+let is_loc_attr = function _, Attr.Loc _ -> true | _ -> false
+
 let rec pp_op indent fmt op =
   let pad = String.make indent ' ' in
   Fmt.string fmt pad;
@@ -20,7 +24,9 @@ let rec pp_op indent fmt op =
   | [] -> ()
   | rs -> Fmt.pf fmt "%a = " pp_value_list rs);
   Fmt.pf fmt "\"%s\"(%a)" op.Op.name pp_value_list op.Op.operands;
-  (match op.Op.attrs with [] -> () | attrs -> pp_attrs fmt attrs);
+  (match List.filter (fun a -> not (is_loc_attr a)) op.Op.attrs with
+  | [] -> ()
+  | attrs -> pp_attrs fmt attrs);
   (match op.Op.regions with
   | [] -> ()
   | regions ->
@@ -33,7 +39,9 @@ let rec pp_op indent fmt op =
     Fmt.string fmt ")");
   Fmt.pf fmt " : %a -> %a"
     pp_type_list (List.map Value.ty op.Op.operands)
-    pp_type_list (List.map Value.ty op.Op.results)
+    pp_type_list (List.map Value.ty op.Op.results);
+  let l = Op.loc op in
+  if Ftn_diag.Loc.is_known l then Fmt.pf fmt " loc(%a)" Ftn_diag.Loc.pp l
 
 and pp_region indent fmt blocks =
   Fmt.string fmt "{";

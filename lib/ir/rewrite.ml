@@ -22,8 +22,9 @@ let erase = { new_ops = []; replacements = [] }
 
 (* One bottom-up sweep. Returns the rewritten body and whether anything
    changed. Substitutions are applied to the remainder of the enclosing
-   block and propagate outward through the returned mapping. *)
-let apply_once patterns builder top =
+   block and propagate outward through the returned mapping. [on_fire]
+   observes each pattern that fires (used for non-convergence reporting). *)
+let apply_once ?(on_fire = fun _ -> ()) patterns builder top =
   let changed = ref false in
   (* Accumulated value substitution (old -> new), applied lazily. *)
   let subst : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
@@ -50,9 +51,24 @@ let apply_once patterns builder top =
     let rec try_patterns = function
       | [] -> [ op ]
       | p :: rest -> (
-        match p.match_and_rewrite builder op with
+        let outcome =
+          (* Attach rewrite-pattern context to any diagnostics escaping a
+             pattern body. *)
+          try p.match_and_rewrite builder op
+          with Ftn_diag.Diag.Diag_failure ds ->
+            raise
+              (Ftn_diag.Diag.Diag_failure
+                 (List.map
+                    (fun d ->
+                      Ftn_diag.Diag.add_note d
+                        (Fmt.str "while applying rewrite pattern '%s' to '%s'"
+                           p.pat_name op.Op.name))
+                    ds))
+        in
+        match outcome with
         | Some { new_ops; replacements } ->
           changed := true;
+          on_fire p.pat_name;
           List.iter
             (fun (old_v, new_v) ->
               Hashtbl.replace subst (Value.id old_v) new_v)
@@ -86,10 +102,23 @@ let apply_once patterns builder top =
 
 let apply ?(max_iterations = 32) patterns top =
   let builder = Builder.for_op top in
+  let last_fired = ref None in
+  let on_fire name = last_fired := Some name in
   let rec go op n =
-    if n = 0 then op
+    if n = 0 then begin
+      (* Only reached when the final sweep still changed something: the
+         driver ran out of iterations before a fixpoint. *)
+      Ftn_obs.Metrics.incr "rewrite.nonconverged";
+      Ftn_diag.Diag_engine.warning Ftn_diag.Diag_engine.default
+        (Fmt.str
+           "rewrite did not converge after %d iterations (last pattern to \
+            fire: %s)"
+           max_iterations
+           (Option.value ~default:"<none>" !last_fired));
+      op
+    end
     else
-      let op', changed = apply_once patterns builder op in
+      let op', changed = apply_once ~on_fire patterns builder op in
       if changed then go op' (n - 1) else op'
   in
   go top max_iterations

@@ -8,25 +8,26 @@
    Isolated-from-above ops (builtin.module, func.func, device.kernel_create)
    reset visibility: their regions may not reference outer values, except
    that kernel_create regions may use the op's own operands (they are
-   re-bound as block args after outlining). *)
+   re-bound as block args after outlining).
 
-type diag = {
-  op_name : string;
-  message : string;
-}
-
-let pp_diag fmt d = Fmt.pf fmt "[%s] %s" d.op_name d.message
+   Diagnostics are located (each carries the op's [loc] attribute when
+   present) and collected rather than thrown one at a time. *)
 
 let isolated_from_above name =
-  List.mem name [ "builtin.module"; "func.func" ]
+  List.mem name [ "builtin.module"; "func.func"; "device.kernel_create" ]
 
 let verify ?(strict = false) top =
   let diags = ref [] in
-  let add op_name message = diags := { op_name; message } :: !diags in
+  let add op message =
+    diags :=
+      Ftn_diag.Diag.error ~loc:(Op.loc op)
+        (Fmt.str "'%s': %s" op.Op.name message)
+      :: !diags
+  in
   let defined : (int, unit) Hashtbl.t = Hashtbl.create 64 in
-  let define op_name v =
+  let define op v =
     if Hashtbl.mem defined (Value.id v) then
-      add op_name (Fmt.str "value %%%d defined twice" (Value.id v))
+      add op (Fmt.str "value %%%d defined twice" (Value.id v))
     else Hashtbl.add defined (Value.id v) ()
   in
   (* [visible] is the set of value ids in scope. *)
@@ -34,19 +35,24 @@ let verify ?(strict = false) top =
     List.iter
       (fun v ->
         if not (Value.Set.mem v visible) then
-          add op.Op.name
-            (Fmt.str "use of undefined value %%%d" (Value.id v)))
+          add op (Fmt.str "use of undefined value %%%d" (Value.id v)))
       op.Op.operands;
-    List.iter (define op.Op.name) op.Op.results;
+    List.iter (define op) op.Op.results;
     (match Dialect.lookup op.Op.name with
     | Some info -> (
       match info.Dialect.verify op with
       | Ok () -> ()
-      | Error msg -> add op.Op.name msg)
-    | None ->
-      if strict then add op.Op.name "unregistered operation");
+      | Error msg -> add op msg)
+    | None -> if strict then add op "unregistered operation");
     let inner_visible =
-      if isolated_from_above op.Op.name then Value.Set.empty
+      if isolated_from_above op.Op.name then
+        if String.equal op.Op.name "device.kernel_create" then
+          (* kernel_create regions may reference the op's own operands:
+             they become block args of the outlined device function. *)
+          List.fold_left
+            (fun acc v -> Value.Set.add v acc)
+            Value.Set.empty op.Op.operands
+        else Value.Set.empty
       else
         List.fold_left
           (fun acc v -> Value.Set.add v acc)
@@ -66,7 +72,7 @@ let verify ?(strict = false) top =
         ignore
           (List.fold_left
              (fun visible b ->
-               List.iter (define op.Op.name) b.Op.args;
+               List.iter (define op) b.Op.args;
                let visible =
                  List.fold_left
                    (fun acc v -> Value.Set.add v acc)
@@ -88,8 +94,6 @@ let verify ?(strict = false) top =
 let verify_exn ?strict top =
   match verify ?strict top with
   | [] -> ()
-  | diags ->
-    let msg = Fmt.str "@[<v>%a@]" (Fmt.list pp_diag) diags in
-    failwith ("IR verification failed:\n" ^ msg)
+  | diags -> raise (Ftn_diag.Diag.Diag_failure diags)
 
 let is_valid ?strict top = verify ?strict top = []

@@ -154,11 +154,19 @@ let cse m =
       | None -> v
     in
     let key op =
+      (* Source locations are metadata, not semantics: two ops that differ
+         only in their "loc" attribute are still the same computation. *)
+      let semantic_attrs =
+        List.filter
+          (fun (k, v) ->
+            not (String.equal k "loc" && Option.is_some (Attr.as_loc v)))
+          (Op.attrs op)
+      in
       Fmt.str "%s(%a)%a" (Op.name op)
         (Fmt.list ~sep:(Fmt.any ", ") Fmt.int)
         (List.map Value.id (Op.operands op))
         (Fmt.list ~sep:(Fmt.any ", ") (Fmt.pair Fmt.string Attr.pp))
-        (Op.attrs op)
+        semantic_attrs
     in
     let body =
       List.concat_map

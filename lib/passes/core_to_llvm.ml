@@ -144,6 +144,18 @@ let arith_to_llvm = function
 let rec emit_ops ctx ops = List.iter (emit_op ctx) ops
 
 and emit_op ctx op =
+  (* Attach the op's source location to unsupported-construct failures so
+     the driver can point at the offending source line. *)
+  try emit_op_raw ctx op
+  with Unsupported msg when Ftn_diag.Loc.is_known (Op.loc op) ->
+    raise
+      (Ftn_diag.Diag.Diag_failure
+         [
+           Ftn_diag.Diag.error ~loc:(Op.loc op)
+             (Fmt.str "in llvm conversion of '%s': %s" (Op.name op) msg);
+         ])
+
+and emit_op_raw ctx op =
   let name = Op.name op in
   let mapped () = List.map (map_value ctx) (Op.operands op) in
   match name with

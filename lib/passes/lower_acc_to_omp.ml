@@ -31,12 +31,16 @@ let run m =
             op.Op.regions;
       }
     in
+    (* Conversions that rebuild the attribute list re-stamp the source
+       location afterwards so loc(...) survives the dialect switch. *)
+    let relocate o = Op.set_loc o (Op.loc op) in
     match Op.name op with
     | "acc.copy_info" ->
       let kind =
         Option.bind (Op.string_attr op "copy_kind") Acc.copy_kind_of_string
         |> Option.value ~default:Acc.Copy
       in
+      relocate
       {
         op with
         Op.name = "omp.map_info";
@@ -52,7 +56,7 @@ let run m =
                 (Option.value ~default:false (Op.bool_attr op "implicit")) );
           ];
       }
-    | "acc.parallel" -> { op with Op.name = "omp.target"; attrs = [] }
+    | "acc.parallel" -> relocate { op with Op.name = "omp.target"; attrs = [] }
     | "acc.loop" ->
       let vector_length = Op.int_attr op "vector_length" in
       let attrs =
@@ -68,14 +72,15 @@ let run m =
         | Some r -> [ ("reductions", r) ]
         | None -> []
       in
-      { op with Op.name = "omp.parallel_do"; attrs }
-    | "acc.data" -> { op with Op.name = "omp.target_data"; attrs = [] }
+      relocate { op with Op.name = "omp.parallel_do"; attrs }
+    | "acc.data" -> relocate { op with Op.name = "omp.target_data"; attrs = [] }
     | "acc.enter_data" -> { op with Op.name = "omp.target_enter_data" }
     | "acc.exit_data" -> { op with Op.name = "omp.target_exit_data" }
     | "acc.update" ->
       let direction =
         Option.value ~default:"host" (Op.string_attr op "direction")
       in
+      relocate
       {
         op with
         Op.name = "omp.target_update";

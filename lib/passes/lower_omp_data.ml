@@ -164,12 +164,20 @@ let run ?(options = default_options) m =
   in
   (* map_info result id -> parts *)
   let infos : (int, Omp.map_parts) Hashtbl.t = Hashtbl.create 16 in
-  let parts_of v =
+  (* Malformed input IR is a user-facing condition (hand-written IR fed to
+     ftnc stages): report it as a located diagnostic on the consuming op. *)
+  let op_error op msg =
+    raise
+      (Ftn_diag.Diag.Diag_failure
+         [
+           Ftn_diag.Diag.error ~loc:(Op.loc op)
+             (Fmt.str "'%s': %s" (Op.name op) msg);
+         ])
+  in
+  let parts_of op v =
     match Hashtbl.find_opt infos (Value.id v) with
     | Some p -> p
-    | None ->
-      invalid_arg
-        "lower_omp_data: operand is not the result of an omp.map_info"
+    | None -> op_error op "operand is not the result of an omp.map_info"
   in
   let rec walk_op op =
     let op =
@@ -194,12 +202,12 @@ let run ?(options = default_options) m =
       | Some parts ->
         Hashtbl.replace infos (Value.id parts.Omp.result) parts;
         []
-      | None -> invalid_arg "malformed omp.map_info")
+      | None -> op_error op "malformed omp.map_info (missing var_name)")
     | "omp.target_data" ->
       let mappings_entry =
         List.map
           (fun v ->
-            let parts = parts_of v in
+            let parts = parts_of op v in
             let ops, dev =
               emit_entry b ~memory_space:(space_of parts.Omp.var_name)
                 parts
@@ -227,14 +235,14 @@ let run ?(options = default_options) m =
     | "omp.target_enter_data" ->
       List.concat_map
         (fun v ->
-          let parts = parts_of v in
+          let parts = parts_of op v in
           fst
             (emit_entry b ~memory_space:(space_of parts.Omp.var_name) parts))
         (Op.operands op)
     | "omp.target_exit_data" ->
       List.concat_map
         (fun v ->
-          let parts = parts_of v in
+          let parts = parts_of op v in
           let memory_space = space_of parts.Omp.var_name in
           (* releasing needs the device buffer for a potential copy-back *)
           let dev_ty =
@@ -253,7 +261,7 @@ let run ?(options = default_options) m =
       in
       List.concat_map
         (fun v ->
-          let parts = parts_of v in
+          let parts = parts_of op v in
           let memory_space = space_of parts.Omp.var_name in
           let dev_ty =
             device_memref_ty memory_space (Value.ty parts.Omp.var)
@@ -275,7 +283,7 @@ let run ?(options = default_options) m =
       let mappings_entry =
         List.map
           (fun v ->
-            let parts = parts_of v in
+            let parts = parts_of op v in
             let ops, dev =
               emit_entry b ~memory_space:(space_of parts.Omp.var_name)
                 parts

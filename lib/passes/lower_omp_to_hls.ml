@@ -251,7 +251,13 @@ let lower_parallel_do b opts op =
             ~regions:[ Op.region ~args:[ iv ] (inner @ [ Scf.yield () ]) ]
         in
         [ one; ub_excl; for_op ]
-      | _ -> invalid_arg "lower_parallel_do: rank mismatch"
+      | _ ->
+        raise
+          (Ftn_diag.Diag.Diag_failure
+             [
+               Ftn_diag.Diag.error ~loc:(Op.loc op)
+                 "'omp.parallel_do': bound/induction-variable rank mismatch";
+             ])
     in
     let nest =
       build_nest parts.Omp.lbs parts.Omp.ubs parts.Omp.steps parts.Omp.ivs

@@ -1,0 +1,234 @@
+(* Tests for the diagnostics subsystem: caret rendering, the accumulating
+   engine with its --max-errors cap, loc(...) round-tripping through the
+   printer/parser, and the kernel_create isolation rule in the verifier. *)
+
+open Ftn_ir
+open Ftn_dialects
+module Loc = Ftn_diag.Loc
+module Diag = Ftn_diag.Diag
+module Diag_engine = Ftn_diag.Diag_engine
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains what needle haystack =
+  if not (contains ~needle haystack) then
+    Alcotest.failf "%s: expected %S in:\n%s" what needle haystack
+
+(* --- locations --- *)
+
+let loc_tests =
+  [
+    tc "plain printing" (fun () ->
+        check Alcotest.string "full" "t.f90:3:7"
+          (Loc.to_string (Loc.make ~file:"t.f90" ~line:3 ~col:7 ()));
+        check Alcotest.string "line-only" "t.f90:3"
+          (Loc.to_string (Loc.line_only ~file:"t.f90" 3));
+        check Alcotest.string "unknown" "<unknown>" (Loc.to_string Loc.unknown));
+    tc "attribute printing covers spans" (fun () ->
+        check Alcotest.string "point" "\"t.f90\":3:7"
+          (Fmt.str "%a" Loc.pp (Loc.make ~file:"t.f90" ~line:3 ~col:7 ()));
+        check Alcotest.string "span" "\"t.f90\":3:7 to :3:12"
+          (Fmt.str "%a" Loc.pp
+             (Loc.make ~file:"t.f90" ~line:3 ~col:7 ~end_col:12 ())));
+  ]
+
+(* --- caret rendering --- *)
+
+let render_tests =
+  [
+    tc "caret points at the offending column" (fun () ->
+        let src = "program p\nx = 1 + y\nend program" in
+        let loc = Loc.make ~file:"t.f90" ~line:2 ~col:9 ~end_col:10 () in
+        let rendered =
+          Diag.render
+            ~source:(Diag.source_of_string src)
+            (Diag.error ~loc "y is not declared")
+        in
+        check_contains "header" "t.f90:2:9: error: y is not declared" rendered;
+        check_contains "source line" "x = 1 + y" rendered;
+        check_contains "caret" "^" rendered;
+        (* caret sits under column 9 (2-space indent) *)
+        let caret_line =
+          List.find (fun l -> contains ~needle:"^" l)
+            (String.split_on_char '\n' rendered)
+        in
+        check Alcotest.int "caret column" 10 (String.index caret_line '^'));
+    tc "span underlines with tildes" (fun () ->
+        let src = "call missing_sub(a, b)" in
+        let loc = Loc.make ~file:"t.f90" ~line:1 ~col:6 ~end_col:17 () in
+        let rendered =
+          Diag.render
+            ~source:(Diag.source_of_string src)
+            (Diag.error ~loc "unknown subroutine")
+        in
+        check_contains "underline" "^~~~~~~~~~" rendered);
+    tc "notes render beneath the diagnostic" (fun () ->
+        let d =
+          Diag.add_note
+            (Diag.error ~loc:(Loc.make ~file:"t.f90" ~line:4 ~col:1 ()) "boom")
+            "while running pass 'canonicalize'"
+        in
+        let rendered = Diag.render d in
+        check_contains "note" "note: while running pass 'canonicalize'" rendered);
+    tc "unknown locations render header-only" (fun () ->
+        let rendered = Diag.render (Diag.error "global failure") in
+        check_contains "header" "error: global failure" rendered;
+        check Alcotest.bool "no caret" false (contains ~needle:"^" rendered));
+  ]
+
+(* --- engine --- *)
+
+let engine_tests =
+  [
+    tc "accumulates until max-errors then fails" (fun () ->
+        let eng = Diag_engine.create ~max_errors:2 () in
+        Diag_engine.error eng "first";
+        check Alcotest.int "one so far" 1 (Diag_engine.error_count eng);
+        (try
+           Diag_engine.error eng "second";
+           Alcotest.fail "expected Diag_failure at the cap"
+         with Diag.Diag_failure ds ->
+           check Alcotest.int "both errors reported" 2
+             (List.length (List.filter Diag.is_error ds));
+           check Alcotest.bool "cap note" true
+             (List.exists
+                (fun d ->
+                  d.Diag.severity = Diag.Note
+                  && contains ~needle:"--max-errors" d.Diag.message)
+                ds)));
+    tc "warnings never trip the cap" (fun () ->
+        let eng = Diag_engine.create ~max_errors:1 () in
+        Diag_engine.warning eng "w1";
+        Diag_engine.warning eng "w2";
+        check Alcotest.int "warnings" 2 (Diag_engine.warning_count eng);
+        check Alcotest.bool "no errors" false (Diag_engine.has_errors eng);
+        Diag_engine.fail_if_errors eng);
+    tc "frontend accumulates multiple semantic errors" (fun () ->
+        let eng = Diag_engine.create () in
+        try
+          ignore
+            (Ftn_frontend.Frontend.check ~file:"multi.f90" ~engine:eng
+               "program p\nx = 1\ny = 2\nend program");
+          Alcotest.fail "expected Diag_failure"
+        with Diag.Diag_failure ds ->
+          check Alcotest.bool "more than one" true (List.length ds > 1);
+          let lines =
+            List.map (fun d -> d.Diag.loc.Loc.line) ds |> List.sort compare
+          in
+          check (Alcotest.list Alcotest.int) "both statements" [ 2; 3 ] lines);
+    tc "on_emit hook observes every diagnostic" (fun () ->
+        let eng = Diag_engine.create () in
+        let seen = ref 0 in
+        Diag_engine.set_on_emit eng (fun _ -> incr seen);
+        Diag_engine.warning eng "w";
+        Diag_engine.error eng "e";
+        check Alcotest.int "hook calls" 2 !seen);
+  ]
+
+(* --- loc round-trip through the printer and parser --- *)
+
+let roundtrip_tests =
+  [
+    tc "loc attribute survives print/parse" (fun () ->
+        let b = Builder.create () in
+        let loc = Loc.make ~file:"t.f90" ~line:12 ~col:3 ~end_col:8 () in
+        let c = Op.set_loc (Arith.const_i32 b 7) loc in
+        let m = Op.module_op [ c ] in
+        let text = Printer.to_string m in
+        check_contains "printed trailing loc" "loc(\"t.f90\":12:3 to :12:8)"
+          text;
+        let m' = Ir_parser.parse_module text in
+        check Alcotest.string "text-stable" text (Printer.to_string m');
+        let c' = List.hd (Op.module_body m') in
+        check Alcotest.bool "loc preserved" true (Loc.equal loc (Op.loc c')));
+    tc "compiled IR carries source lines end to end" (fun () ->
+        let src =
+          "program p\nreal :: x\nx = 1.0\nend program"
+        in
+        let m = Ftn_frontend.Frontend.to_core ~file:"p.f90" src in
+        let text = Printer.to_string m in
+        check_contains "store located on line 3" "loc(\"p.f90\":3" text;
+        let m' = Ir_parser.parse_module text in
+        check Alcotest.string "re-parses stably" text (Printer.to_string m'));
+    tc "loc does not defeat CSE" (fun () ->
+        (* identical constants from different source lines still dedup *)
+        let b = Builder.create () in
+        let c1 =
+          Op.set_loc (Arith.const_i32 b 5)
+            (Loc.make ~file:"a.f90" ~line:1 ~col:1 ())
+        in
+        let c2 =
+          Op.set_loc (Arith.const_i32 b 5)
+            (Loc.make ~file:"a.f90" ~line:2 ~col:1 ())
+        in
+        let use =
+          Op.make "test.use" ~operands:[ Op.result1 c1; Op.result1 c2 ]
+        in
+        let m = Op.module_op [ c1; c2; use ] in
+        let m' = Ftn_passes.Canonicalize.run m in
+        let constants =
+          List.filter
+            (fun o -> String.equal (Op.name o) "arith.constant")
+            (Op.module_body m')
+        in
+        check Alcotest.int "one constant left" 1 (List.length constants));
+  ]
+
+(* --- verifier: kernel_create isolation --- *)
+
+let verifier_tests =
+  [
+    tc "kernel_create region may use its own operands" (fun () ->
+        let b = Builder.create () in
+        let arg = Builder.fresh b (Types.memref [ Types.Static 4 ] Types.F32) in
+        let body = [ Op.make "test.use" ~operands:[ arg ] ] in
+        let kc = Device.kernel_create b ~args:[ arg ] ~body () in
+        let f =
+          Func_d.func ~sym_name:"k" ~args:[ arg ] ~result_tys:[] [ kc ]
+        in
+        check (Alcotest.list Alcotest.string) "no diagnostics" []
+          (List.map (fun d -> d.Diag.message)
+             (Verifier.verify (Op.module_op [ f ]))));
+    tc "kernel_create region may not reach other outer values" (fun () ->
+        let b = Builder.create () in
+        let arg = Builder.fresh b (Types.memref [ Types.Static 4 ] Types.F32) in
+        let stray = Builder.op1 b "test.def" Types.F32 in
+        let body =
+          [ Op.make "test.use" ~operands:[ Op.result1 stray ] ]
+        in
+        let kc = Device.kernel_create b ~args:[ arg ] ~body () in
+        let f =
+          Func_d.func ~sym_name:"k" ~args:[ arg ] ~result_tys:[]
+            [ stray; kc ]
+        in
+        match Verifier.verify (Op.module_op [ f ]) with
+        | [] -> Alcotest.fail "expected an isolation diagnostic"
+        | d :: _ ->
+          check_contains "message" "use of undefined value" d.Diag.message);
+    tc "verifier diagnostics carry the op loc" (fun () ->
+        let b = Builder.create () in
+        let loc = Loc.make ~file:"v.f90" ~line:9 ~col:2 () in
+        let dangling = Builder.fresh b Types.I32 in
+        let bad =
+          Op.set_loc (Op.make "test.use" ~operands:[ dangling ]) loc
+        in
+        match Verifier.verify (Op.module_op [ bad ]) with
+        | [ d ] -> check Alcotest.bool "located" true (Loc.equal loc d.Diag.loc)
+        | ds -> Alcotest.failf "expected 1 diagnostic, got %d" (List.length ds));
+  ]
+
+let () =
+  Alcotest.run "diag"
+    [
+      ("loc", loc_tests);
+      ("render", render_tests);
+      ("engine", engine_tests);
+      ("roundtrip", roundtrip_tests);
+      ("verifier", verifier_tests);
+    ]

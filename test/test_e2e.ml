@@ -181,8 +181,18 @@ let e2e_tests =
         in
         (try
            ignore (Core.Compiler.compile src);
-           Alcotest.fail "expected Unsupported"
-         with Ftn_passes.Core_to_llvm.Unsupported _ -> ());
+           Alcotest.fail "expected a located diagnostic"
+         with Ftn_diag.Diag.Diag_failure (d :: _) ->
+           check Alcotest.bool "names the construct" true
+             (let m = d.Ftn_diag.Diag.message in
+              let needle = "scf.while" in
+              let nl = String.length needle and hl = String.length m in
+              let rec go i =
+                i + nl <= hl && (String.sub m i nl = needle || go (i + 1))
+              in
+              go 0);
+           check Alcotest.bool "located" true
+             (Ftn_diag.Loc.is_known d.Ftn_diag.Diag.loc));
         (* but compiling without the llvm stage works, and it executes *)
         let core = Ftn_frontend.Frontend.to_core src in
         let r = Ftn_passes.Pipeline.run_mid_end ~to_llvm:false core in

@@ -65,8 +65,8 @@ let lexer_tests =
         (try
            ignore (toks "x = 'oops");
            Alcotest.fail "expected error"
-         with Src_lexer.Lex_error (_, line) ->
-           check Alcotest.int "line" 1 line));
+         with Src_lexer.Lex_error (_, loc) ->
+           check Alcotest.int "line" 1 loc.Ftn_diag.Loc.line));
     tc "line numbers track" (fun () ->
         let spanned = Src_lexer.tokenize "x = 1\ny = 2" in
         let line_of tok =
@@ -279,7 +279,8 @@ let parser_tests =
         try
           ignore (Src_parser.parse "program p\n42\nend program");
           Alcotest.fail "expected error"
-        with Src_parser.Parse_error (_, line) -> check Alcotest.int "line" 2 line);
+        with Src_parser.Parse_error (_, loc) ->
+          check Alcotest.int "line" 2 loc.Ftn_diag.Loc.line);
   ]
 
 (* --- sema --- *)
@@ -492,15 +493,16 @@ let lowering_tests =
         Alcotest.(check bool) "i32" true (List.mem "ftn_print_i32" callees);
         Alcotest.(check bool) "newline" true
           (List.mem "ftn_print_newline" callees));
-    tc "frontend errors are wrapped" (fun () ->
+    tc "frontend errors are located diagnostics" (fun () ->
         (try
            ignore (Frontend.to_core "program p\nx = 1\nend program");
-           Alcotest.fail "expected Frontend_error"
-         with Frontend.Frontend_error _ -> ());
+           Alcotest.fail "expected Diag_failure"
+         with Ftn_diag.Diag.Diag_failure [ d ] ->
+           check Alcotest.int "line" 2 d.Ftn_diag.Diag.loc.Ftn_diag.Loc.line);
         try
           ignore (Frontend.to_core "program p\nend");
           ()
-        with Frontend.Frontend_error _ -> ());
+        with Ftn_diag.Diag.Diag_failure _ -> ());
     tc "user-defined function calls resolve and execute" (fun () ->
         let src =
           "real function square(v)\nreal :: v, square\nsquare = v * v\nend function\nprogram p\nreal :: t\nt = square(3.0) + square(2.0)\nprint *, t\nend program"
@@ -549,6 +551,47 @@ let lowering_tests =
              m));
   ]
 
+(* --- driver behaviour on bad source --- *)
+
+let driver_tests =
+  [
+    tc "ftnc reports located caret diagnostics and exits 1" (fun () ->
+        let src_file = Filename.temp_file "bad" ".f90" in
+        let err_file = Filename.temp_file "bad" ".err" in
+        let oc = open_out src_file in
+        output_string oc "program p\nx = 1\ny = 2\nend program\n";
+        close_out oc;
+        let code =
+          Sys.command
+            (Fmt.str "../bin/ftnc.exe compile %s 2> %s"
+               (Filename.quote src_file) (Filename.quote err_file))
+        in
+        let ic = open_in_bin err_file in
+        let err = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Sys.remove src_file;
+        Sys.remove err_file;
+        Alcotest.(check int) "exit code" 1 code;
+        let contains needle =
+          let nl = String.length needle and hl = String.length err in
+          let rec go i =
+            i + nl <= hl && (String.sub err i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        (* both semantic errors, each located with file:line:col, with the
+           offending source line and a caret underneath *)
+        Alcotest.(check bool) "first error located" true
+          (contains (Filename.basename src_file ^ "") && contains ".f90:2:");
+        Alcotest.(check bool) "second error reported" true (contains ".f90:3:");
+        Alcotest.(check bool) "severity tag" true (contains "error:");
+        Alcotest.(check bool) "source line echoed" true (contains "x = 1");
+        Alcotest.(check bool) "caret" true (contains "^");
+        Alcotest.(check bool) "error count summary" true
+          (contains "2 errors generated.");
+        Alcotest.(check bool) "no backtrace" false (contains "Raised at"));
+  ]
+
 let () =
   Alcotest.run "frontend"
     [
@@ -557,4 +600,5 @@ let () =
       ("parser", parser_tests);
       ("sema", sema_tests);
       ("lowering", lowering_tests);
+      ("driver", driver_tests);
     ]

@@ -480,7 +480,18 @@ let pass_tests =
            ignore
              (Pass.run_pipeline ~verify_between:true [ breaker ] (Op.module_op []));
            Alcotest.fail "expected verification failure"
-         with Failure _ -> ()));
+         with Ftn_diag.Diag.Diag_failure (d :: _) ->
+           (* the diagnostic names the pass that broke the IR *)
+           check Alcotest.bool "pass context" true
+             (List.exists
+                (fun (_, m) ->
+                  let needle = "after pass 'break'" in
+                  let nl = String.length needle and hl = String.length m in
+                  let rec go i =
+                    i + nl <= hl && (String.sub m i nl = needle || go (i + 1))
+                  in
+                  go 0)
+                d.Ftn_diag.Diag.notes)));
     tc "op counting" (fun () ->
         let b = Builder.create () in
         let c = Ftn_dialects.Arith.const_i32 b 1 in

@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench bench-rewrite clean
 
 all: build
 
@@ -10,16 +10,20 @@ build:
 test:
 	dune runtest
 
-check: ## build everything, run the full test suite, then every example
+check: ## build everything, run the full test suite, every example, and the rewrite-driver sanity gate
 	dune build && dune runtest
 	@for src in examples/*.ml; do \
 	  name=$$(basename $$src .ml); \
 	  echo "example $$name"; \
 	  dune exec examples/$$name.exe > /dev/null || exit 1; \
 	done
+	$(MAKE) bench-rewrite
 
 bench:
 	dune exec bench/main.exe
+
+bench-rewrite: ## worklist vs sweep comparison; fails unless patterns fired and outputs agree
+	dune exec bench/main.exe -- --rewrite --quick
 
 clean:
 	dune clean

@@ -13,6 +13,10 @@ open Ftn_runtime
 let quick = Array.exists (String.equal "--quick") Sys.argv
 let skip_bechamel = Array.exists (String.equal "--skip-bechamel") Sys.argv
 
+(* --rewrite runs only the rewrite-driver comparison (BENCH_rewrite.json),
+   which doubles as the `make bench-rewrite` sanity gate. *)
+let rewrite_only = Array.exists (String.equal "--rewrite") Sys.argv
+
 let progress fmt = Fmt.epr (fmt ^^ "@.")
 
 let saxpy_sizes =
@@ -596,6 +600,146 @@ let obs_report () =
   Ftn_obs.Json.write_file "BENCH_obs.json" j;
   Fmt.pr "  wrote BENCH_obs.json@."
 
+(* --- BENCH_rewrite.json: worklist vs sweep rewrite-driver comparison.
+   Compiles the LINPACK SGESL solver and the heat-diffusion stencil
+   end-to-end under each driver and records ops visited, patterns fired,
+   folds, erasures and wall time, plus the visit ratio (the sweep driver
+   visits every op on every sweep, so its visit count is exactly the
+   ops-times-iterations product the worklist engine must beat). The run
+   is also a sanity gate: it exits nonzero unless patterns fired under
+   both drivers and all three outputs — worklist, sweep, and the CPU
+   interpreter reference — agree. *)
+
+let stencil_source ~n ~steps =
+  Fmt.str
+    "program heat\n\
+     implicit none\n\
+     integer, parameter :: n = %d\n\
+     integer, parameter :: steps = %d\n\
+     real :: u(n), v(n)\n\
+     integer :: i, t\n\
+     do i = 1, n\n\
+     u(i) = 0.0\n\
+     v(i) = 0.0\n\
+     end do\n\
+     u(1) = 100.0\n\
+     u(n) = 100.0\n\
+     !$omp target data map(tofrom:u) map(alloc:v)\n\
+     do t = 1, steps\n\
+     !$omp target parallel do\n\
+     do i = 2, n - 1\n\
+     v(i) = u(i) + 0.25 * (u(i - 1) - 2.0 * u(i) + u(i + 1))\n\
+     end do\n\
+     !$omp end target parallel do\n\
+     !$omp target parallel do\n\
+     do i = 2, n - 1\n\
+     u(i) = v(i)\n\
+     end do\n\
+     !$omp end target parallel do\n\
+     end do\n\
+     !$omp end target data\n\
+     print *, 'u(2) =', u(2), ' u(n/2) =', u(n / 2)\n\
+     end program heat\n"
+    n steps
+
+type rewrite_measurement = {
+  rm_visited : int;
+  rm_fired : int;
+  rm_folded : int;
+  rm_erased : int;
+  rm_wall_s : float;
+  rm_output : string;
+}
+
+let measure_rewrite driver src =
+  let open Ftn_obs in
+  let saved = Ftn_ir.Rewrite.default_driver () in
+  Ftn_ir.Rewrite.set_default_driver driver;
+  Fun.protect
+    ~finally:(fun () -> Ftn_ir.Rewrite.set_default_driver saved)
+    (fun () ->
+      let grab name = Metrics.counter_value ("rewrite." ^ name) in
+      let v0 = grab "ops_visited" and f0 = grab "patterns_fired" in
+      let fo0 = grab "ops_folded" and e0 = grab "ops_erased" in
+      let sp = ref None in
+      let run =
+        Span.with_span_sp ~name:"bench.rewrite" (fun s ->
+            sp := Some s;
+            Core.Run.run src)
+      in
+      {
+        rm_visited = grab "ops_visited" - v0;
+        rm_fired = grab "patterns_fired" - f0;
+        rm_folded = grab "ops_folded" - fo0;
+        rm_erased = grab "ops_erased" - e0;
+        rm_wall_s =
+          (match !sp with Some s -> s.Span.dur_s | None -> 0.0);
+        rm_output = Core.Run.output run;
+      })
+
+let rewrite_report () =
+  header "Rewrite driver comparison (BENCH_rewrite.json)";
+  let n_sgesl = if quick then 64 else 256 in
+  let stencil_n = if quick then 64 else 128 in
+  let cases =
+    [
+      (Fmt.str "sgesl_n%d" n_sgesl, Ftn_linpack.Fortran_sources.sgesl ~n:n_sgesl);
+      ( Fmt.str "stencil_n%d" stencil_n,
+        stencil_source ~n:stencil_n ~steps:(if quick then 5 else 10) );
+    ]
+  in
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
+  let case_json (name, src) =
+    progress "  rewrite bench: %s ..." name;
+    let wl = measure_rewrite Ftn_ir.Rewrite.Worklist src in
+    let sw = measure_rewrite Ftn_ir.Rewrite.Sweep src in
+    let cpu_out, _ = Core.Run.run_cpu src in
+    if wl.rm_fired = 0 then fail "%s: no patterns fired under the worklist driver" name;
+    if sw.rm_fired = 0 then fail "%s: no patterns fired under the sweep driver" name;
+    if not (String.equal wl.rm_output sw.rm_output) then
+      fail "%s: worklist and sweep outputs differ" name;
+    if not (String.equal wl.rm_output cpu_out) then
+      fail "%s: device output differs from the CPU interpreter reference" name;
+    if wl.rm_visited >= sw.rm_visited then
+      fail "%s: worklist visited %d ops, not fewer than the sweep driver's %d"
+        name wl.rm_visited sw.rm_visited;
+    let ratio = float_of_int sw.rm_visited /. float_of_int (max 1 wl.rm_visited) in
+    let speedup = sw.rm_wall_s /. Float.max 1e-9 wl.rm_wall_s in
+    Fmt.pr "  %-16s worklist %6d visits %5d fired %6.2f ms | sweep %6d visits %5d fired %6.2f ms | %.2fx fewer visits@."
+      name wl.rm_visited wl.rm_fired (wl.rm_wall_s *. 1e3)
+      sw.rm_visited sw.rm_fired (sw.rm_wall_s *. 1e3) ratio;
+    let side m =
+      Ftn_obs.Json.Obj
+        [
+          ("ops_visited", Ftn_obs.Json.Int m.rm_visited);
+          ("patterns_fired", Ftn_obs.Json.Int m.rm_fired);
+          ("ops_folded", Ftn_obs.Json.Int m.rm_folded);
+          ("ops_erased", Ftn_obs.Json.Int m.rm_erased);
+          ("wall_s", Ftn_obs.Json.Float m.rm_wall_s);
+        ]
+    in
+    ( name,
+      Ftn_obs.Json.Obj
+        [
+          ("worklist", side wl);
+          ("sweep", side sw);
+          ("visit_ratio", Ftn_obs.Json.Float ratio);
+          ("wall_speedup", Ftn_obs.Json.Float speedup);
+          ( "outputs_identical",
+            Ftn_obs.Json.Bool
+              (String.equal wl.rm_output sw.rm_output
+              && String.equal wl.rm_output cpu_out) );
+        ] )
+  in
+  let j = Ftn_obs.Json.Obj [ ("cases", Ftn_obs.Json.Obj (List.map case_json cases)) ] in
+  Ftn_obs.Json.write_file "BENCH_rewrite.json" j;
+  Fmt.pr "  wrote BENCH_rewrite.json@.";
+  if !failures <> [] then begin
+    List.iter (fun s -> Fmt.epr "rewrite bench FAILED: %s@." s) (List.rev !failures);
+    exit 1
+  end
+
 (* --- Bechamel micro-benchmarks: one Test.make per table --- *)
 
 let bechamel_tests () =
@@ -669,6 +813,11 @@ let () =
   Fmt.pr "Simulated device: %s, %g MHz kernel clock%s@." spec.Fpga_spec.name
     spec.Fpga_spec.clock_mhz
     (if quick then " [--quick sizes]" else "");
+  if rewrite_only then begin
+    rewrite_report ();
+    Fmt.pr "@.done.@.";
+    exit 0
+  end;
   figure1 ();
   figure2 ();
   table1 ();
@@ -684,5 +833,6 @@ let () =
   ablation_canonicalise ();
   ablation_burst ();
   obs_report ();
+  rewrite_report ();
   if not skip_bechamel then run_bechamel ();
   Fmt.pr "@.done.@."

@@ -50,6 +50,11 @@ let run_pipeline ?(verify_between = false) ?on_stage passes m =
     List.fold_left
       (fun (m, ops_before) p ->
         let pass_span = ref None in
+        (* delta of the rewrite-driver counters across this pass: how many
+           ops the driver examined and how many patterns fired on its
+           behalf (0 for passes not built on Rewrite) *)
+        let visited0 = Ftn_obs.Metrics.counter_value "rewrite.ops_visited" in
+        let fired0 = Ftn_obs.Metrics.counter_value "rewrite.patterns_fired" in
         let m' =
           Ftn_obs.Span.with_span_sp ~name:("pass." ^ p.pass_name)
             (fun sp ->
@@ -59,16 +64,28 @@ let run_pipeline ?(verify_between = false) ?on_stage passes m =
                 (fun () -> p.run m))
         in
         let ops_after = count_ops m' in
+        let visited =
+          Ftn_obs.Metrics.counter_value "rewrite.ops_visited" - visited0
+        in
+        let fired =
+          Ftn_obs.Metrics.counter_value "rewrite.patterns_fired" - fired0
+        in
         (match !pass_span with
         | Some sp ->
           Ftn_obs.Span.set_attr sp ~key:"ops_in" (string_of_int ops_before);
           Ftn_obs.Span.set_attr sp ~key:"ops_out" (string_of_int ops_after);
+          Ftn_obs.Span.set_attr sp ~key:"rewrite_ops_visited"
+            (string_of_int visited);
+          Ftn_obs.Span.set_attr sp ~key:"rewrite_patterns_fired"
+            (string_of_int fired);
           if ops_after < ops_before then
             Ftn_obs.Metrics.incr ~by:(ops_before - ops_after)
               "passes.ops_removed";
-          Ftn_obs.Log.debugf "pass %s: %d -> %d ops, %.3f ms" p.pass_name
-            ops_before ops_after
+          Ftn_obs.Log.debugf
+            "pass %s: %d -> %d ops, %.3f ms (%d rewrites over %d visits)"
+            p.pass_name ops_before ops_after
             (sp.Ftn_obs.Span.dur_s *. 1e3)
+            fired visited
         | None -> ());
         if verify_between then
           with_pass_context

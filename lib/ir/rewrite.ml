@@ -1,7 +1,25 @@
 (* Greedy pattern-rewrite driver, in the spirit of MLIR's
    applyPatternsAndFoldGreedily. A pattern either leaves an op alone or
    replaces it by a list of new ops plus a value substitution that redirects
-   the old results. Patterns are applied bottom-up until fixpoint. *)
+   the old results.
+
+   Two engines share the pattern/fold/dead-op semantics:
+
+   - Worklist (the default): the op tree is loaded into a mutable node
+     graph with global def/use indices. Patterns are indexed by root op
+     name; a successful rewrite re-enqueues only the replacement ops, the
+     users of redirected values and the producers feeding the erased op —
+     everything else is never looked at again. Cost is proportional to the
+     number of rewrites, not ops x sweeps.
+
+   - Sweep (the pre-worklist engine, kept for fixpoint-equivalence tests
+     and as the bench baseline): rebuild the entire tree bottom-up until a
+     whole sweep changes nothing.
+
+   Value redirections go through a substitution table whose [resolve] is
+   cycle-guarded (two patterns replacing each other's results raise a
+   located diagnostic naming the second pattern, instead of spinning) and
+   path-compressed (long chains are pointed directly at their root). *)
 
 type outcome = {
   new_ops : Op.t list;
@@ -9,116 +27,792 @@ type outcome = {
       (* old result -> replacement value *)
 }
 
-type pattern = {
-  pat_name : string;
-  match_and_rewrite : Builder.t -> Op.t -> outcome option;
+type ctx = {
+  ctx_builder : Builder.t;
+  ctx_def_of : Value.t -> Op.t option;
+  ctx_const_of : Value.t -> Attr.t option;
+  ctx_parents : unit -> Op.t list;
 }
 
-let pattern pat_name match_and_rewrite = { pat_name; match_and_rewrite }
+let builder ctx = ctx.ctx_builder
+let def_of ctx v = ctx.ctx_def_of v
+let const_of ctx v = ctx.ctx_const_of v
+let parents ctx = ctx.ctx_parents ()
+
+type pattern = {
+  pat_name : string;
+  pat_roots : string list;
+  match_and_rewrite : ctx -> Op.t -> outcome option;
+}
+
+let pattern ?(roots = []) pat_name match_and_rewrite =
+  { pat_name; pat_roots = roots; match_and_rewrite }
 
 let replace_with ?(replacements = []) new_ops = { new_ops; replacements }
 
 let erase = { new_ops = []; replacements = [] }
 
-(* One bottom-up sweep. Returns the rewritten body and whether anything
-   changed. Substitutions are applied to the remainder of the enclosing
-   block and propagate outward through the returned mapping. [on_fire]
-   observes each pattern that fires (used for non-convergence reporting). *)
-let apply_once ?(on_fire = fun _ -> ()) patterns builder top =
-  let changed = ref false in
-  (* Accumulated value substitution (old -> new), applied lazily. *)
-  let subst : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
-  let rec resolve v =
-    match Hashtbl.find_opt subst (Value.id v) with
-    | Some v' -> resolve v'
-    | None -> v
+type folded = To_value of Value.t | To_constant of Attr.t
+
+type folder = ctx -> Op.t -> folded list option
+
+type config = {
+  max_iterations : int;
+  fold : folder option;
+  is_trivially_dead : Op.t -> bool;
+}
+
+let default_trivially_dead op =
+  (match Op.dialect op with "arith" | "math" -> true | _ -> false)
+  && Op.regions op = []
+
+let default_config =
+  { max_iterations = 32; fold = None; is_trivially_dead = default_trivially_dead }
+
+type driver = Worklist | Sweep
+
+let driver_ref = ref Worklist
+let set_default_driver d = driver_ref := d
+let default_driver () = !driver_ref
+
+type stats = {
+  ops_visited : int;
+  patterns_fired : int;
+  ops_folded : int;
+  ops_erased : int;
+  converged : bool;
+}
+
+(* --- cycle-guarded, path-compressing substitution resolution --- *)
+
+let cycle_error ~pat_name ~loc chain =
+  raise
+    (Ftn_diag.Diag.Diag_failure
+       [
+         Ftn_diag.Diag.error ~loc
+           (Fmt.str
+              "substitution cycle detected while applying rewrite pattern \
+               '%s' (replacement chain: %s)"
+              pat_name
+              (String.concat " -> "
+                 (List.rev_map (fun v -> Fmt.str "%%%d" (Value.id v)) chain)));
+       ])
+
+(* Follow [v] through [subst] to its root. Values revisited along the way
+   mean two rewrites redirected each other's results: report the pattern
+   that closed the loop. All traversed entries are re-pointed at the root
+   so later lookups are O(1). *)
+let resolve_tbl subst ~pat_name ~loc v =
+  match Hashtbl.find_opt subst (Value.id v) with
+  | None -> v
+  | Some _ ->
+    let rec follow visited v =
+      match Hashtbl.find_opt subst (Value.id v) with
+      | None -> (v, visited)
+      | Some v' ->
+        if List.exists (fun u -> Value.id u = Value.id v') (v :: visited) then
+          cycle_error ~pat_name ~loc (v' :: v :: visited)
+        else follow (v :: visited) v'
+    in
+    let root, visited = follow [] v in
+    List.iter
+      (fun u ->
+        if Value.id u <> Value.id root then
+          Hashtbl.replace subst (Value.id u) root)
+      visited;
+    root
+
+(* Record [old -> repl], detecting the two-pattern cycle a->b, b->a at
+   insertion time: if [repl] already resolves back to [old], the rewrite
+   that introduced this replacement closed a loop. *)
+let record_subst subst ~pat_name ~loc old_v repl =
+  let root = resolve_tbl subst ~pat_name ~loc repl in
+  if Value.id root = Value.id old_v then
+    cycle_error ~pat_name ~loc [ root; repl; old_v ]
+  else Hashtbl.replace subst (Value.id old_v) root;
+  root
+
+(* Constant materialisation reuses the folded op's result value, so folds
+   need no value redirection and leave SSA ids untouched. *)
+let constant_op result attr =
+  Op.make "arith.constant" ~attrs:[ ("value", attr) ] ~results:[ result ]
+
+let is_constant_like ~name ~operands ~regions ~results =
+  ignore name;
+  operands = [] && regions = [] && List.length results = 1
+
+(* Pattern bodies re-raise located diagnostics with rewrite context. *)
+let with_pattern_context p op f =
+  try f () with
+  | Ftn_diag.Diag.Diag_failure ds ->
+    raise
+      (Ftn_diag.Diag.Diag_failure
+         (List.map
+            (fun d ->
+              Ftn_diag.Diag.add_note d
+                (Fmt.str "while applying rewrite pattern '%s' to '%s'"
+                   p.pat_name op.Op.name))
+            ds))
+
+let warn_nonconverged ~budget ~unit_name last_fired =
+  Ftn_obs.Metrics.incr "rewrite.nonconverged";
+  Ftn_diag.Diag_engine.warning Ftn_diag.Diag_engine.default
+    (Fmt.str "rewrite did not converge after %d %s (last pattern to fire: %s)"
+       budget unit_name
+       (Option.value ~default:"<none>" last_fired))
+
+let publish_stats st =
+  if st.ops_visited > 0 then
+    Ftn_obs.Metrics.incr ~by:st.ops_visited "rewrite.ops_visited";
+  if st.patterns_fired > 0 then
+    Ftn_obs.Metrics.incr ~by:st.patterns_fired "rewrite.patterns_fired";
+  if st.ops_folded > 0 then
+    Ftn_obs.Metrics.incr ~by:st.ops_folded "rewrite.ops_folded";
+  if st.ops_erased > 0 then
+    Ftn_obs.Metrics.incr ~by:st.ops_erased "rewrite.ops_erased"
+
+(* Patterns indexed by root op name, with a wildcard bucket; relative
+   pattern order is preserved across the two buckets. *)
+type index = {
+  by_root : (string, (int * pattern) list) Hashtbl.t;
+  wildcard : (int * pattern) list;
+}
+
+let make_index patterns =
+  let by_root = Hashtbl.create 16 in
+  let wildcard = ref [] in
+  List.iteri
+    (fun i p ->
+      match p.pat_roots with
+      | [] -> wildcard := (i, p) :: !wildcard
+      | roots ->
+        List.iter
+          (fun r ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt by_root r) in
+            Hashtbl.replace by_root r ((i, p) :: prev))
+          roots)
+    patterns;
+  { by_root; wildcard = List.rev !wildcard }
+
+let candidates index name =
+  let rooted =
+    List.rev (Option.value ~default:[] (Hashtbl.find_opt index.by_root name))
   in
-  let rec rewrite_op op =
+  match (rooted, index.wildcard) with
+  | [], ws -> List.map snd ws
+  | rs, [] -> List.map snd rs
+  | rs, ws ->
+    List.map snd
+      (List.sort (fun (i, _) (j, _) -> Int.compare i j) (rs @ ws))
+
+(* ===================== worklist engine ===================== *)
+
+module Wl = struct
+  type node = {
+    nid : int;
+    n_name : string;
+    mutable n_operands : Value.t list;
+    n_results : Value.t list;
+    n_attrs : (string * Attr.t) list;
+    mutable n_regions : nblock list list;
+    n_parent : node option;
+    n_block : nblock option;
+    mutable n_live : bool;
+    mutable n_queued : bool;
+  }
+
+  and nblock = {
+    nb_label : string;
+    nb_args : Value.t list;
+    mutable nb_body : node list;
+  }
+
+  type t = {
+    eb : Builder.t;
+    cfg : config;
+    index : index;
+    mutable next_nid : int;
+    defs : (int, node) Hashtbl.t;  (* value id -> defining node *)
+    uses : (int, (int, node) Hashtbl.t) Hashtbl.t;  (* value id -> users *)
+    subst : (int, Value.t) Hashtbl.t;
+    queue : node Queue.t;
+    mutable root : node option;
+    mutable visited : int;
+    mutable fired : int;
+    mutable folded : int;
+    mutable erased : int;
+    mutable last_fired : string option;
+  }
+
+  let create cfg index top =
+    {
+      eb = Builder.for_op top;
+      cfg;
+      index;
+      next_nid = 0;
+      defs = Hashtbl.create 256;
+      uses = Hashtbl.create 256;
+      subst = Hashtbl.create 64;
+      queue = Queue.create ();
+      root = None;
+      visited = 0;
+      fired = 0;
+      folded = 0;
+      erased = 0;
+      last_fired = None;
+    }
+
+  let add_use e v n =
+    let tbl =
+      match Hashtbl.find_opt e.uses (Value.id v) with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 4 in
+        Hashtbl.replace e.uses (Value.id v) t;
+        t
+    in
+    Hashtbl.replace tbl n.nid n
+
+  let remove_use e v n =
+    match Hashtbl.find_opt e.uses (Value.id v) with
+    | None -> ()
+    | Some t ->
+      Hashtbl.remove t n.nid;
+      if Hashtbl.length t = 0 then Hashtbl.remove e.uses (Value.id v)
+
+  let live_users e v =
+    match Hashtbl.find_opt e.uses (Value.id v) with
+    | None -> []
+    | Some t ->
+      Hashtbl.fold (fun _ n acc -> if n.n_live then n :: acc else acc) t []
+
+  let num_uses e v =
+    match Hashtbl.find_opt e.uses (Value.id v) with
+    | None -> 0
+    | Some t -> Hashtbl.length t
+
+  let enqueue e n =
+    if n.n_live && not n.n_queued then begin
+      n.n_queued <- true;
+      Queue.push n e.queue
+    end
+
+  (* Post-order (children first), matching the sweep engine's bottom-up
+     visit order on the initial tree. *)
+  let rec enqueue_tree e n =
+    List.iter
+      (fun blocks ->
+        List.iter (fun nb -> List.iter (enqueue_tree e) nb.nb_body) blocks)
+      n.n_regions;
+    enqueue e n
+
+  let resolve e v = resolve_tbl e.subst ~pat_name:"<engine>" ~loc:Ftn_diag.Loc.unknown v
+
+  let rec import e parent block (op : Op.t) =
+    let operands = List.map (resolve e) op.Op.operands in
+    let n =
+      {
+        nid = (e.next_nid <- e.next_nid + 1; e.next_nid);
+        n_name = op.Op.name;
+        n_operands = operands;
+        n_results = op.Op.results;
+        n_attrs = op.Op.attrs;
+        n_regions = [];
+        n_parent = parent;
+        n_block = block;
+        n_live = true;
+        n_queued = false;
+      }
+    in
+    List.iter (fun r -> Hashtbl.replace e.defs (Value.id r) n) n.n_results;
+    List.iter (fun v -> add_use e v n) operands;
+    List.iter
+      (fun v -> Builder.reserve_above e.eb (Value.id v))
+      (n.n_results @ operands);
+    n.n_regions <-
+      List.map
+        (fun blocks ->
+          List.map
+            (fun (b : Op.block) ->
+              let nb =
+                { nb_label = b.Op.label; nb_args = b.Op.args; nb_body = [] }
+              in
+              List.iter
+                (fun v -> Builder.reserve_above e.eb (Value.id v))
+                b.Op.args;
+              nb.nb_body <-
+                List.map (fun o -> import e (Some n) (Some nb) o) b.Op.body;
+              nb)
+            blocks)
+        op.Op.regions;
+    n
+
+  let rec materialize n =
+    {
+      Op.name = n.n_name;
+      operands = n.n_operands;
+      results = n.n_results;
+      attrs = n.n_attrs;
+      regions =
+        List.map
+          (fun blocks ->
+            List.map
+              (fun nb ->
+                {
+                  Op.label = nb.nb_label;
+                  args = nb.nb_args;
+                  body = List.map materialize nb.nb_body;
+                })
+              blocks)
+          n.n_regions;
+    }
+
+  (* Killing a node unregisters its uses; producers that just lost a user
+     are re-enqueued so the driver can notice they became trivially dead. *)
+  let rec kill e n =
+    if n.n_live then begin
+      n.n_live <- false;
+      List.iter
+        (fun blocks -> List.iter (fun nb -> List.iter (kill e) nb.nb_body) blocks)
+        n.n_regions;
+      List.iter
+        (fun v ->
+          remove_use e v n;
+          match Hashtbl.find_opt e.defs (Value.id v) with
+          | Some d when d.n_live -> enqueue e d
+          | _ -> ())
+        n.n_operands;
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt e.defs (Value.id r) with
+          | Some d when d == n -> Hashtbl.remove e.defs (Value.id r)
+          | _ -> ())
+        n.n_results
+    end
+
+  (* Replace [n] with [new_ops] in its containing block; enqueue the fresh
+     nodes and the users of any result value a new op redefines in place. *)
+  let splice e n new_ops =
+    let old_results = n.n_results in
+    match n.n_block with
+    | None -> (
+      match new_ops with
+      | [ op ] ->
+        kill e n;
+        let n' = import e None None op in
+        e.root <- Some n';
+        enqueue_tree e n'
+      | _ -> invalid_arg "Rewrite: top-level op was erased or split")
+    | Some nb ->
+      kill e n;
+      let news = List.map (import e n.n_parent (Some nb)) new_ops in
+      nb.nb_body <-
+        List.concat_map (fun m -> if m == n then news else [ m ]) nb.nb_body;
+      List.iter (enqueue_tree e) news;
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt e.defs (Value.id r) with
+          | Some d when d.n_live ->
+            List.iter (enqueue e) (live_users e r)
+          | _ -> ())
+        old_results
+
+  (* Redirect every user of [old_v], eagerly: their operand lists are
+     rewritten in place and they are re-enqueued. *)
+  let record_replacement e ~pat_name ~loc old_v repl =
+    let root = record_subst e.subst ~pat_name ~loc old_v repl in
+    let users = live_users e old_v in
+    Hashtbl.remove e.uses (Value.id old_v);
+    List.iter
+      (fun u ->
+        u.n_operands <-
+          List.map
+            (fun v -> if Value.id v = Value.id old_v then root else v)
+            u.n_operands;
+        add_use e root u;
+        enqueue e u)
+      users
+
+  let shallow n =
+    {
+      Op.name = n.n_name;
+      operands = n.n_operands;
+      results = n.n_results;
+      attrs = n.n_attrs;
+      regions = [];
+    }
+
+  let ctx_of e n =
+    let def_node v =
+      let v = resolve e v in
+      match Hashtbl.find_opt e.defs (Value.id v) with
+      | Some d when d.n_live -> Some d
+      | _ -> None
+    in
+    let rec up = function
+      | None -> []
+      | Some p -> shallow p :: up p.n_parent
+    in
+    {
+      ctx_builder = e.eb;
+      ctx_def_of = (fun v -> Option.map materialize (def_node v));
+      ctx_const_of =
+        (fun v ->
+          match def_node v with
+          | Some d
+            when is_constant_like ~name:d.n_name ~operands:d.n_operands
+                   ~regions:d.n_regions ~results:d.n_results ->
+            List.assoc_opt "value" d.n_attrs
+          | _ -> None);
+      ctx_parents = (fun () -> up n.n_parent);
+    }
+
+  let apply_fold e ctx n op folded =
+    if List.length folded <> List.length n.n_results then
+      invalid_arg
+        (Fmt.str "Rewrite: fold of '%s' returned %d values for %d results"
+           n.n_name (List.length folded) (List.length n.n_results));
+    ignore ctx;
+    let loc = Op.loc op in
+    let pat_name = Fmt.str "fold(%s)" n.n_name in
+    let const_ops =
+      List.concat
+        (List.map2
+           (fun r f ->
+             match f with
+             | To_value v ->
+               record_replacement e ~pat_name ~loc r v;
+               []
+             | To_constant a -> [ constant_op r a ])
+           n.n_results folded)
+    in
+    e.folded <- e.folded + 1;
+    splice e n const_ops
+
+  let visit e ctx n =
+    let op = lazy (materialize n) in
+    let folded =
+      match e.cfg.fold with
+      | Some f when n.n_results <> [] -> (
+        match f ctx (Lazy.force op) with
+        | Some folded ->
+          apply_fold e ctx n (Lazy.force op) folded;
+          true
+        | None -> false)
+      | _ -> false
+    in
+    if (not folded) && n.n_live then begin
+      let dead =
+        List.for_all (fun r -> num_uses e r = 0) n.n_results
+        && n.n_parent <> None
+        && e.cfg.is_trivially_dead (Lazy.force op)
+      in
+      if dead then begin
+        e.erased <- e.erased + 1;
+        splice e n []
+      end
+      else
+        let rec go = function
+          | [] -> ()
+          | p :: rest -> (
+            let outcome =
+              with_pattern_context p (Lazy.force op) (fun () ->
+                  p.match_and_rewrite ctx (Lazy.force op))
+            in
+            match outcome with
+            | None -> go rest
+            | Some { new_ops; replacements } ->
+              e.fired <- e.fired + 1;
+              e.last_fired <- Some p.pat_name;
+              let loc = Op.loc (Lazy.force op) in
+              List.iter
+                (fun (old_v, repl) ->
+                  record_replacement e ~pat_name:p.pat_name ~loc old_v repl)
+                replacements;
+              splice e n new_ops)
+        in
+        go (candidates e.index n.n_name)
+    end
+
+  let run cfg index top =
+    let e = create cfg index top in
+    let root = import e None None top in
+    e.root <- Some root;
+    enqueue_tree e root;
+    let initial = e.next_nid in
+    let budget = cfg.max_iterations * (initial + 16) in
+    let converged = ref true in
+    (try
+       while not (Queue.is_empty e.queue) do
+         let n = Queue.pop e.queue in
+         n.n_queued <- false;
+         if n.n_live then begin
+           if e.visited >= budget then begin
+             converged := false;
+             raise Exit
+           end;
+           e.visited <- e.visited + 1;
+           visit e (ctx_of e n) n
+         end
+       done
+     with Exit -> warn_nonconverged ~budget ~unit_name:"op visits" e.last_fired);
+    let result =
+      match e.root with
+      | Some r -> materialize r
+      | None -> invalid_arg "Rewrite: lost the root op"
+    in
+    ( result,
+      {
+        ops_visited = e.visited;
+        patterns_fired = e.fired;
+        ops_folded = e.folded;
+        ops_erased = e.erased;
+        converged = !converged;
+      } )
+end
+
+(* ===================== sweep engine ===================== *)
+
+module Sw = struct
+  (* One bottom-up sweep. Substitutions are applied to the remainder of the
+     enclosing block and propagate outward through the returned mapping. *)
+  type t = {
+    eb : Builder.t;
+    cfg : config;
+    index : index;
+    subst : (int, Value.t) Hashtbl.t;
+    mutable defs : (int, Op.t) Hashtbl.t;  (* rebuilt each sweep *)
+    mutable used : (int, int) Hashtbl.t;  (* value id -> use count, per sweep *)
+    mutable visited : int;
+    mutable fired : int;
+    mutable folded : int;
+    mutable erased : int;
+    mutable last_fired : string option;
+    mutable changed : bool;
+    mutable parent_stack : Op.t list;  (* innermost first, shallow copies *)
+  }
+
+  let resolve e v =
+    resolve_tbl e.subst ~pat_name:"<engine>" ~loc:Ftn_diag.Loc.unknown v
+
+  let ctx_of e =
+    let def_node v =
+      let v = resolve e v in
+      Hashtbl.find_opt e.defs (Value.id v)
+    in
+    {
+      ctx_builder = e.eb;
+      ctx_def_of = def_node;
+      ctx_const_of =
+        (fun v ->
+          match def_node v with
+          | Some op
+            when is_constant_like ~name:(Op.name op) ~operands:op.Op.operands
+                   ~regions:op.Op.regions ~results:op.Op.results ->
+            Op.find_attr op "value"
+          | _ -> None);
+      ctx_parents = (fun () -> e.parent_stack);
+    }
+
+  let snapshot e top =
+    let defs = Hashtbl.create 256 in
+    let used = Hashtbl.create 256 in
+    Op.walk
+      (fun o ->
+        List.iter (fun r -> Hashtbl.replace defs (Value.id r) o) o.Op.results;
+        List.iter
+          (fun v ->
+            let v = resolve e v in
+            Hashtbl.replace used (Value.id v)
+              (1 + Option.value ~default:0 (Hashtbl.find_opt used (Value.id v))))
+          o.Op.operands)
+      top;
+    e.defs <- defs;
+    e.used <- used
+
+  let unused e v = Hashtbl.find_opt e.used (Value.id v) = None
+
+  let rec rewrite_op e ctx op =
+    e.visited <- e.visited + 1;
+    let op =
+      { op with Op.operands = List.map (resolve e) op.Op.operands }
+    in
+    e.parent_stack <- { op with Op.regions = [] } :: e.parent_stack;
     let op =
       {
         op with
-        Op.operands = List.map resolve op.Op.operands;
-        regions =
+        Op.regions =
           List.map
             (fun blocks ->
               List.map
                 (fun b ->
-                  { b with Op.body = List.concat_map rewrite_op b.Op.body })
+                  { b with Op.body = List.concat_map (rewrite_op e ctx) b.Op.body })
                 blocks)
             op.Op.regions;
       }
     in
-    let rec try_patterns = function
+    e.parent_stack <- List.tl e.parent_stack;
+    let folded =
+      match e.cfg.fold with
+      | Some f when op.Op.results <> [] -> (
+        match f ctx op with
+        | Some folded ->
+          if List.length folded <> List.length op.Op.results then
+            invalid_arg
+              (Fmt.str
+                 "Rewrite: fold of '%s' returned %d values for %d results"
+                 op.Op.name (List.length folded)
+                 (List.length op.Op.results));
+          let loc = Op.loc op in
+          let pat_name = Fmt.str "fold(%s)" op.Op.name in
+          let const_ops =
+            List.concat
+              (List.map2
+                 (fun r f ->
+                   match f with
+                   | To_value v ->
+                     ignore (record_subst e.subst ~pat_name ~loc r v);
+                     []
+                   | To_constant a -> [ constant_op r a ])
+                 op.Op.results folded)
+          in
+          e.folded <- e.folded + 1;
+          e.changed <- true;
+          Some const_ops
+        | None -> None)
+      | _ -> None
+    in
+    match folded with
+    | Some ops -> ops
+    | None ->
+      if
+        op.Op.results <> [] || e.cfg.is_trivially_dead op
+      then begin
+        if
+          List.for_all (unused e) op.Op.results
+          && (not (Op.is_module op))
+          && e.cfg.is_trivially_dead op
+        then begin
+          e.erased <- e.erased + 1;
+          e.changed <- true;
+          []
+        end
+        else try_patterns e ctx op
+      end
+      else try_patterns e ctx op
+
+  and try_patterns e ctx op =
+    let rec go = function
       | [] -> [ op ]
       | p :: rest -> (
         let outcome =
-          (* Attach rewrite-pattern context to any diagnostics escaping a
-             pattern body. *)
-          try p.match_and_rewrite builder op
-          with Ftn_diag.Diag.Diag_failure ds ->
-            raise
-              (Ftn_diag.Diag.Diag_failure
-                 (List.map
-                    (fun d ->
-                      Ftn_diag.Diag.add_note d
-                        (Fmt.str "while applying rewrite pattern '%s' to '%s'"
-                           p.pat_name op.Op.name))
-                    ds))
+          with_pattern_context p op (fun () -> p.match_and_rewrite ctx op)
         in
         match outcome with
         | Some { new_ops; replacements } ->
-          changed := true;
-          on_fire p.pat_name;
+          e.changed <- true;
+          e.fired <- e.fired + 1;
+          e.last_fired <- Some p.pat_name;
+          let loc = Op.loc op in
           List.iter
-            (fun (old_v, new_v) ->
-              Hashtbl.replace subst (Value.id old_v) new_v)
+            (fun (old_v, repl) ->
+              ignore (record_subst e.subst ~pat_name:p.pat_name ~loc old_v repl))
             replacements;
           (* New ops may still use stale values produced earlier in this
              sweep. *)
-          List.map (Op.substitute (fun v ->
-              let v' = resolve v in
-              if Value.equal v v' then None else Some v')) new_ops
-        | None -> try_patterns rest)
+          List.map
+            (Op.substitute (fun v ->
+                 let v' = resolve e v in
+                 if Value.equal v v' then None else Some v'))
+            new_ops
+        | None -> go rest)
     in
-    try_patterns patterns
-  in
-  let result =
-    match rewrite_op top with
-    | [ op ] -> op
-    | _ -> invalid_arg "Rewrite.apply_once: top-level op was erased or split"
-  in
-  (* Apply any substitutions that were recorded after their uses were
-     already emitted (e.g. a later op folded into an earlier value). *)
-  let result =
-    if Hashtbl.length subst = 0 then result
-    else
-      Op.substitute
-        (fun v ->
-          let v' = resolve v in
-          if Value.equal v v' then None else Some v')
-        result
-  in
-  (result, !changed)
+    go (candidates e.index op.Op.name)
 
-let apply ?(max_iterations = 32) patterns top =
-  let builder = Builder.for_op top in
-  let last_fired = ref None in
-  let on_fire name = last_fired := Some name in
-  let rec go op n =
-    if n = 0 then begin
-      (* Only reached when the final sweep still changed something: the
-         driver ran out of iterations before a fixpoint. *)
-      Ftn_obs.Metrics.incr "rewrite.nonconverged";
-      Ftn_diag.Diag_engine.warning Ftn_diag.Diag_engine.default
-        (Fmt.str
-           "rewrite did not converge after %d iterations (last pattern to \
-            fire: %s)"
-           max_iterations
-           (Option.value ~default:"<none>" !last_fired));
-      op
-    end
-    else
-      let op', changed = apply_once ~on_fire patterns builder op in
-      if changed then go op' (n - 1) else op'
+  let sweep_once e top =
+    e.changed <- false;
+    snapshot e top;
+    let ctx = ctx_of e in
+    let result =
+      match rewrite_op e ctx top with
+      | [ op ] -> op
+      | _ -> invalid_arg "Rewrite: top-level op was erased or split"
+    in
+    (* Apply any substitutions that were recorded after their uses were
+       already emitted (e.g. a later op folded into an earlier value). *)
+    let result =
+      if Hashtbl.length e.subst = 0 then result
+      else
+        Op.substitute
+          (fun v ->
+            let v' = resolve e v in
+            if Value.equal v v' then None else Some v')
+          result
+    in
+    result
+
+  let run cfg index top =
+    let e =
+      {
+        eb = Builder.for_op top;
+        cfg;
+        index;
+        subst = Hashtbl.create 64;
+        defs = Hashtbl.create 0;
+        used = Hashtbl.create 0;
+        visited = 0;
+        fired = 0;
+        folded = 0;
+        erased = 0;
+        last_fired = None;
+        changed = false;
+        parent_stack = [];
+      }
+    in
+    let converged = ref false in
+    let rec go op n =
+      if n = 0 then begin
+        (* Only reached when the final sweep still changed something: the
+           driver ran out of iterations before a fixpoint. *)
+        warn_nonconverged ~budget:cfg.max_iterations ~unit_name:"iterations"
+          e.last_fired;
+        op
+      end
+      else
+        let op' = sweep_once e op in
+        if e.changed then go op' (n - 1)
+        else begin
+          converged := true;
+          op'
+        end
+    in
+    let result = go top cfg.max_iterations in
+    ( result,
+      {
+        ops_visited = e.visited;
+        patterns_fired = e.fired;
+        ops_folded = e.folded;
+        ops_erased = e.erased;
+        converged = !converged;
+      } )
+end
+
+let apply_with_stats ?driver ?(config = default_config) ?max_iterations
+    patterns top =
+  let config =
+    match max_iterations with
+    | Some n -> { config with max_iterations = n }
+    | None -> config
   in
-  go top max_iterations
+  let driver = Option.value ~default:(default_driver ()) driver in
+  let index = make_index patterns in
+  let result, st =
+    match driver with
+    | Worklist -> Wl.run config index top
+    | Sweep -> Sw.run config index top
+  in
+  publish_stats st;
+  (result, st)
+
+let apply ?driver ?config ?max_iterations patterns top =
+  fst (apply_with_stats ?driver ?config ?max_iterations patterns top)

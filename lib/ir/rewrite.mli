@@ -1,6 +1,16 @@
-(** Greedy pattern-rewrite driver (MLIR's
-    [applyPatternsAndFoldGreedily] analogue). Patterns are applied
-    bottom-up over the op tree until fixpoint or an iteration cap. *)
+(** Greedy pattern-rewrite driver (MLIR's [applyPatternsAndFoldGreedily]
+    analogue). The default engine is worklist-driven: patterns are indexed
+    by the op name they root at (with a wildcard bucket for root-agnostic
+    patterns), and a successful rewrite only re-enqueues the ops that could
+    have been affected — the replacement ops, the users of any redirected
+    values, and the producers of operands the erased op was keeping alive.
+    Constant folding (via a per-pass {!folder} hook) and trivially-dead-op
+    elimination run as part of the driver.
+
+    The pre-worklist sweep driver — rebuild the whole tree bottom-up until
+    a sweep changes nothing — is kept as {!Sweep}, both as the reference
+    for fixpoint-equivalence property tests and as the baseline the
+    [BENCH_rewrite.json] scenario measures the worklist engine against. *)
 
 type outcome = {
   new_ops : Op.t list;  (** Replacement ops (empty to erase). *)
@@ -8,12 +18,37 @@ type outcome = {
       (** Redirections: uses of the first value become the second. *)
 }
 
+(** Context handed to patterns and fold hooks. *)
+type ctx
+
+val builder : ctx -> Builder.t
+(** Fresh-value allocator scoped to the module being rewritten. *)
+
+val def_of : ctx -> Value.t -> Op.t option
+(** The op currently defining [v] (after pending redirections), if any.
+    Block arguments and erased ops yield [None]. *)
+
+val const_of : ctx -> Value.t -> Attr.t option
+(** The "value" attribute of the constant-like op defining [v]: an op with
+    no operands, no regions, a single result and a "value" attribute
+    ([arith.constant], [llvm.mlir.constant], ...). *)
+
+val parents : ctx -> Op.t list
+(** The ops enclosing the op currently being visited, innermost first
+    (ending at the top op [apply] was called on). The returned ops are
+    shallow: name, operands, results and attributes are faithful, but
+    their regions are empty — enough to test enclosing op names and
+    symbol attributes without paying for a deep copy. *)
+
 type pattern = {
   pat_name : string;
-  match_and_rewrite : Builder.t -> Op.t -> outcome option;
+  pat_roots : string list;
+      (** Op names this pattern can fire on; [[]] = any op (wildcard). *)
+  match_and_rewrite : ctx -> Op.t -> outcome option;
 }
 
-val pattern : string -> (Builder.t -> Op.t -> outcome option) -> pattern
+val pattern :
+  ?roots:string list -> string -> (ctx -> Op.t -> outcome option) -> pattern
 
 val replace_with :
   ?replacements:(Value.t * Value.t) list -> Op.t list -> outcome
@@ -21,4 +56,61 @@ val replace_with :
 val erase : outcome
 (** Drop the op entirely (only valid for ops whose results are unused). *)
 
-val apply : ?max_iterations:int -> pattern list -> Op.t -> Op.t
+(** One folded result: redirect to an existing value, or materialise a
+    constant op (which reuses the folded op's result value, so no
+    redirection is needed). *)
+type folded = To_value of Value.t | To_constant of Attr.t
+
+type folder = ctx -> Op.t -> folded list option
+(** Returns one {!folded} per result of the op, or [None] if the op does
+    not fold. *)
+
+type config = {
+  max_iterations : int;
+      (** Sweep driver: sweeps until fixpoint. Worklist driver: the visit
+          budget is [max_iterations * (initial op count + 16)]. *)
+  fold : folder option;
+  is_trivially_dead : Op.t -> bool;
+      (** Erase the op when this holds and none of its results are used.
+          The default accepts region-free [arith]/[math] ops. *)
+}
+
+val default_config : config
+(** [max_iterations = 32], no folder, pure-arith/math dead-op predicate. *)
+
+type driver = Worklist | Sweep
+
+val set_default_driver : driver -> unit
+val default_driver : unit -> driver
+(** Process-wide default ({!Worklist} initially); the bench harness flips
+    it to compare engines over an unchanged pass pipeline. *)
+
+type stats = {
+  ops_visited : int;  (** Ops examined (sweep: every op, every sweep). *)
+  patterns_fired : int;
+  ops_folded : int;
+  ops_erased : int;  (** Trivially-dead ops removed by the driver. *)
+  converged : bool;
+}
+
+val apply :
+  ?driver:driver ->
+  ?config:config ->
+  ?max_iterations:int ->
+  pattern list ->
+  Op.t ->
+  Op.t
+
+val apply_with_stats :
+  ?driver:driver ->
+  ?config:config ->
+  ?max_iterations:int ->
+  pattern list ->
+  Op.t ->
+  Op.t * stats
+(** Both drivers bump the [rewrite.ops_visited], [rewrite.patterns_fired],
+    [rewrite.ops_folded] and [rewrite.ops_erased] metrics counters, and on
+    budget exhaustion [rewrite.nonconverged] plus a warning naming the last
+    pattern that fired. A substitution cycle (two patterns redirecting each
+    other's results) raises a located diagnostic naming the offending
+    pattern instead of hanging. *)

@@ -1,7 +1,13 @@
 (* Canonicalisation: constant folding, common-subexpression elimination,
    store-to-load forwarding on scalar allocas (the paper's "simple
    canonicalisation to remove dependencies between loop iterations"), dead
-   code and dead allocation elimination. *)
+   code and dead allocation elimination.
+
+   Constant folding and dead-op elimination are driver hooks of the
+   rewrite engine (Rewrite.config.fold / is_trivially_dead), so this pass
+   is mostly configuration; CSE and store forwarding remain bespoke
+   block-local sweeps (they need whole-block context a per-op pattern does
+   not have). *)
 
 open Ftn_ir
 open Ftn_dialects
@@ -13,126 +19,141 @@ let pure_op op =
     List.mem (Op.name op)
       [ "memref.dim"; "omp.bounds_info"; "hls.axi_protocol" ]
 
-(* --- constant folding --- *)
+(* --- constant folding + identity simplification (driver fold hook) --- *)
 
-(* Sequentially walks blocks keeping a table of known-constant values. *)
-let fold_constants m =
-  let b = Builder.for_op m in
-  let consts : (int, Attr.t) Hashtbl.t = Hashtbl.create 64 in
-  let const_of v = Hashtbl.find_opt consts (Value.id v) in
+let folder ctx op =
   let int_of v =
-    match const_of v with Some (Attr.Int (n, _)) -> Some n | _ -> None
+    match Rewrite.const_of ctx v with
+    | Some (Attr.Int (n, _)) -> Some n
+    | _ -> None
   in
   let float_of v =
-    match const_of v with Some (Attr.Float (x, _)) -> Some x | _ -> None
+    match Rewrite.const_of ctx v with
+    | Some (Attr.Float (x, _)) -> Some x
+    | _ -> None
   in
-  let remember op =
-    match Arith.constant_value op with
-    | Some a -> Hashtbl.replace consts (Value.id (Op.result1 op)) a
-    | None -> ()
-  in
-  let replace_with_const op attr =
-    let c = Arith.constant b attr (Value.ty (Op.result1 op)) in
-    let c = { c with Op.results = [ Op.result1 op ] } in
-    remember c;
-    [ c ]
-  in
-  let try_fold op =
-    let name = Op.name op in
-    if Arith.is_constant op then begin
-      remember op;
-      [ op ]
-    end
-    else if List.mem name Arith.int_binop_names then
-      match Op.operands op with
-      | [ x; y ] -> (
-        match (int_of x, int_of y) with
-        | Some a, Some c -> (
-          match Arith.fold_int_binop name a c with
-          | Some r -> replace_with_const op (Attr.Int (r, Value.ty (Op.result1 op)))
-          | None -> [ op ])
-        | _ -> [ op ])
-      | _ -> [ op ]
-    else if List.mem name Arith.float_binop_names then
-      match Op.operands op with
-      | [ x; y ] -> (
-        match (float_of x, float_of y) with
-        | Some a, Some c -> (
-          match Arith.fold_float_binop name a c with
-          | Some r ->
-            replace_with_const op (Attr.Float (r, Value.ty (Op.result1 op)))
-          | None -> [ op ])
-        | _ -> [ op ])
-      | _ -> [ op ]
-    else if String.equal name "arith.cmpi" then
-      match Op.operands op with
-      | [ x; y ] -> (
-        match (int_of x, int_of y, Op.string_attr op "predicate") with
-        | Some a, Some c, Some pred_s -> (
-          match Arith.int_pred_of_string pred_s with
-          | Some pred ->
-            let r = if Arith.eval_int_pred pred a c then 1 else 0 in
-            replace_with_const op (Attr.Int (r, Types.I1))
-          | None -> [ op ])
-        | _ -> [ op ])
-      | _ -> [ op ]
-    else if String.equal name "arith.index_cast" then
-      match Op.operands op with
-      | [ x ] -> (
-        match int_of x with
-        | Some a ->
-          replace_with_const op (Attr.Int (a, Value.ty (Op.result1 op)))
-        | None -> [ op ])
-      | _ -> [ op ]
-    else if String.equal name "arith.sitofp" then
-      match Op.operands op with
-      | [ x ] -> (
-        match int_of x with
-        | Some a ->
-          replace_with_const op
-            (Attr.Float (float_of_int a, Value.ty (Op.result1 op)))
-        | None -> [ op ])
-      | _ -> [ op ]
-    else [ op ]
-  in
-  (* Folded selects forward one of their operands, which needs a value
-     substitution applied to later uses. *)
-  let subst : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
-  let resolve v =
-    match Hashtbl.find_opt subst (Value.id v) with Some v' -> v' | None -> v
-  in
-  let rec walk_op op =
-    let op = { op with Op.operands = List.map resolve op.Op.operands } in
-    let op =
-      {
-        op with
-        Op.regions =
-          List.map
-            (fun blocks ->
-              List.map
-                (fun blk ->
-                  { blk with Op.body = List.concat_map walk_op blk.Op.body })
-                blocks)
-            op.Op.regions;
-      }
-    in
-    if String.equal (Op.name op) "arith.select" then
-      match Op.operands op with
-      | [ c; t; f ] -> (
-        match int_of c with
-        | Some 1 ->
-          Hashtbl.replace subst (Value.id (Op.result1 op)) t;
-          []
-        | Some 0 ->
-          Hashtbl.replace subst (Value.id (Op.result1 op)) f;
-          []
-        | _ -> [ op ])
-      | _ -> [ op ]
-    else try_fold op
-  in
-  match walk_op m with
-  | [ m' ] -> m'
-  | _ -> invalid_arg "fold_constants: module vanished"
+  let name = Op.name op in
+  let to_const a = Some [ Rewrite.To_constant a ] in
+  let to_value v = Some [ Rewrite.To_value v ] in
+  if Arith.is_constant op then None
+  else if List.mem name Arith.int_binop_names then
+    match Op.operands op with
+    | [ x; y ] -> (
+      let ty = Value.ty (Op.result1 op) in
+      match (int_of x, int_of y) with
+      | Some a, Some c -> (
+        match Arith.fold_int_binop name a c with
+        | Some r -> to_const (Attr.Int (r, ty))
+        | None -> None)
+      (* identities: x+0, x-0, x*1, x*0, x/1 (and commuted forms) *)
+      | _, Some 0 when List.mem name [ "arith.addi"; "arith.subi" ] ->
+        to_value x
+      | Some 0, _ when String.equal name "arith.addi" -> to_value y
+      | _, Some 1 when List.mem name [ "arith.muli"; "arith.divsi" ] ->
+        to_value x
+      | Some 1, _ when String.equal name "arith.muli" -> to_value y
+      | _, Some 0 when String.equal name "arith.muli" ->
+        to_const (Attr.Int (0, ty))
+      | Some 0, _ when String.equal name "arith.muli" ->
+        to_const (Attr.Int (0, ty))
+      | _ -> None)
+    | _ -> None
+  else if List.mem name Arith.float_binop_names then
+    match Op.operands op with
+    | [ x; y ] -> (
+      match (float_of x, float_of y) with
+      | Some a, Some c -> (
+        match Arith.fold_float_binop name a c with
+        | Some r -> to_const (Attr.Float (r, Value.ty (Op.result1 op)))
+        | None -> None)
+      (* x*1.0 and x/1.0 are exact; x+0.0 is not (-0.0 + 0.0 = +0.0) *)
+      | _, Some 1.0 when List.mem name [ "arith.mulf"; "arith.divf" ] ->
+        to_value x
+      | Some 1.0, _ when String.equal name "arith.mulf" -> to_value y
+      | _ -> None)
+    | _ -> None
+  else if String.equal name "arith.cmpi" then
+    match Op.operands op with
+    | [ x; y ] -> (
+      match (int_of x, int_of y, Op.string_attr op "predicate") with
+      | Some a, Some c, Some pred_s -> (
+        match Arith.int_pred_of_string pred_s with
+        | Some pred ->
+          let r = if Arith.eval_int_pred pred a c then 1 else 0 in
+          to_const (Attr.Int (r, Types.I1))
+        | None -> None)
+      | _ -> None)
+    | _ -> None
+  else if String.equal name "arith.index_cast" then
+    match Op.operands op with
+    | [ x ] -> (
+      match int_of x with
+      | Some a -> to_const (Attr.Int (a, Value.ty (Op.result1 op)))
+      | None -> None)
+    | _ -> None
+  else if String.equal name "arith.sitofp" then
+    match Op.operands op with
+    | [ x ] -> (
+      match int_of x with
+      | Some a ->
+        to_const (Attr.Float (float_of_int a, Value.ty (Op.result1 op)))
+      | None -> None)
+    | _ -> None
+  else if String.equal name "arith.select" then
+    match Op.operands op with
+    | [ c; t; f ] -> (
+      match int_of c with
+      | Some 1 -> to_value t
+      | Some 0 -> to_value f
+      | _ -> None)
+    | _ -> None
+  else None
+
+(* --- dead code elimination (driver dead-op hook) --- *)
+
+let has_side_effects op =
+  match Op.name op with
+  | "memref.store" | "memref.dealloc" | "memref.copy" | "memref.dma_start"
+  | "memref.dma_wait" | "func.call" | "func.return" | "func.func"
+  | "fir.call" | "fir.store" | "scf.yield" | "scf.condition"
+  | "builtin.module" ->
+    true
+  | name when String.length name >= 4 && String.sub name 0 4 = "omp." -> true
+  | name when String.length name >= 7 && String.sub name 0 7 = "device." ->
+    not (String.equal name "device.lookup")
+  | name when String.length name >= 4 && String.sub name 0 4 = "hls." ->
+    not (String.equal name "hls.axi_protocol")
+  | name when String.length name >= 5 && String.sub name 0 5 = "llvm." -> true
+  | "scf.for" | "scf.if" | "scf.while" ->
+    (* structured control flow is kept unless it has no side effects
+       inside; keep conservatively *)
+    true
+  | _ -> false
+
+let erasable op =
+  (not (has_side_effects op))
+  && (pure_op op
+     || List.mem (Op.name op)
+          [
+            "memref.alloca"; "memref.alloc"; "memref.get_global";
+            "device.lookup"; "hls.axi_protocol";
+            "builtin.unrealized_conversion_cast";
+          ])
+
+let config =
+  {
+    Rewrite.default_config with
+    Rewrite.fold = Some folder;
+    is_trivially_dead = erasable;
+  }
+
+let fold_constants m =
+  Rewrite.apply
+    ~config:{ config with Rewrite.is_trivially_dead = (fun _ -> false) }
+    [] m
+
+let dce m =
+  Rewrite.apply ~config:{ config with Rewrite.fold = None } [] m
 
 (* --- common subexpression elimination (per block, pure ops only) --- *)
 
@@ -277,95 +298,17 @@ let forward_stores m =
   in
   walk_op m
 
-(* --- dead code elimination --- *)
-
-let has_side_effects op =
-  match Op.name op with
-  | "memref.store" | "memref.dealloc" | "memref.copy" | "memref.dma_start"
-  | "memref.dma_wait" | "func.call" | "func.return" | "func.func"
-  | "fir.call" | "fir.store" | "scf.yield" | "scf.condition"
-  | "builtin.module" ->
-    true
-  | name when String.length name >= 4 && String.sub name 0 4 = "omp." -> true
-  | name when String.length name >= 7 && String.sub name 0 7 = "device." ->
-    not (String.equal name "device.lookup")
-  | name when String.length name >= 4 && String.sub name 0 4 = "hls." ->
-    not (String.equal name "hls.axi_protocol")
-  | name when String.length name >= 5 && String.sub name 0 5 = "llvm." -> true
-  | "scf.for" | "scf.if" | "scf.while" ->
-    (* structured control flow is kept unless it has no side effects
-       inside; keep conservatively *)
-    true
-  | _ -> false
-
-let dce m =
-  let changed = ref true in
-  let result = ref m in
-  while !changed do
-    changed := false;
-    let used = ref Value.Set.empty in
-    Op.walk
-      (fun op ->
-        List.iter (fun v -> used := Value.Set.add v !used) (Op.operands op))
-      !result;
-    let rec walk_op op =
-      let op =
-        {
-          op with
-          Op.regions =
-            List.map
-              (fun blocks ->
-                List.map
-                  (fun blk ->
-                    { blk with Op.body = List.concat_map walk_op blk.Op.body })
-                  blocks)
-            op.Op.regions;
-        }
-      in
-      let results_unused =
-        List.for_all (fun r -> not (Value.Set.mem r !used)) (Op.results op)
-      in
-      if
-        results_unused
-        && (not (has_side_effects op))
-        && (pure_op op
-           || List.mem (Op.name op) [ "memref.alloca"; "memref.alloc";
-                                      "memref.get_global"; "device.lookup";
-                                      "hls.axi_protocol";
-                                      "builtin.unrealized_conversion_cast" ])
-      then begin
-        changed := true;
-        []
-      end
-      else [ op ]
-    in
-    match walk_op !result with
-    | [ m' ] -> result := m'
-    | _ -> invalid_arg "dce: module vanished"
-  done;
-  !result
-
 (* Remove allocas whose only remaining uses are stores. *)
 let dead_alloca_elimination m =
   let store_only = ref Value.Set.empty in
-  let disqualified = ref Value.Set.empty in
   Op.walk
     (fun op ->
       match Op.name op with
       | "memref.alloca" -> store_only := Value.Set.add (Op.result1 op) !store_only
-      | "memref.store" -> (
-        match Op.operands op with
-        | value :: _mr :: _ ->
-          (* storing an alloca's address disqualifies it *)
-          disqualified := Value.Set.add value !disqualified
-        | _ -> ())
-      | _ ->
-        List.iter
-          (fun v -> disqualified := Value.Set.add v !disqualified)
-          (Op.operands op))
+      | _ -> ())
     m;
-  (* memref.store's target position must not disqualify: recompute --
-     disqualify uses except as the memref operand of a store *)
+  (* memref.store's target position must not disqualify: disqualify uses
+     except as the memref operand of a store *)
   let disqualified = ref Value.Set.empty in
   Op.walk
     (fun op ->
@@ -412,8 +355,10 @@ let dead_alloca_elimination m =
     | [ m' ] -> m'
     | _ -> invalid_arg "dead_alloca_elimination: module vanished"
 
+let simplify m = Rewrite.apply ~config [] m
+
 let run m =
-  m |> fold_constants |> cse |> forward_stores |> dce
-  |> dead_alloca_elimination |> dce
+  m |> simplify |> cse |> forward_stores |> simplify
+  |> dead_alloca_elimination |> simplify
 
 let pass = Pass.make "canonicalize" run

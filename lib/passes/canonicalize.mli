@@ -1,8 +1,18 @@
 (** Canonicalisation: constant folding, per-block CSE of pure ops,
     store-to-load forwarding on scalar allocas (the paper's "simple
     canonicalisation to remove dependencies between loop iterations"),
-    dead-code and dead-allocation elimination. The individual sweeps are
-    exposed for testing and ablation. *)
+    dead-code and dead-allocation elimination. Folding and dead-op
+    elimination are rewrite-driver hooks ({!config}); the individual
+    sweeps are exposed for testing and ablation. *)
+
+val folder : Ftn_ir.Rewrite.folder
+(** Constant folding for arith ops (binops, cmpi, index_cast, sitofp,
+    select) plus exact identity simplifications (x+0, x*1, x*0, x/1,
+    x*1.0, x/1.0). *)
+
+val config : Ftn_ir.Rewrite.config
+(** Driver configuration: {!folder} plus dead-op elimination for pure
+    ops ([arith]/[math], memref.dim, allocas, device.lookup, ...). *)
 
 val fold_constants : Ftn_ir.Op.t -> Ftn_ir.Op.t
 val cse : Ftn_ir.Op.t -> Ftn_ir.Op.t

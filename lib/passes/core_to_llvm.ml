@@ -469,16 +469,28 @@ let convert_func b fn =
           (Attr.Type (Types.Func (arg_tys, [ ret ]))))
       f ctx.math_decls
 
+(* Conversion applies to functions directly inside the module being
+   lowered (matching mlir-opt's behaviour of leaving nested modules to
+   their own pass applications). *)
+let func_to_llvm =
+  Rewrite.pattern ~roots:[ "func.func" ] "func-to-llvm" (fun ctx fn ->
+      match Rewrite.parents ctx with
+      | [ m ] when Op.is_module m ->
+        Some (Rewrite.replace_with [ convert_func (Rewrite.builder ctx) fn ])
+      | _ -> None)
+
 let run m =
-  let b = Builder.for_op m in
-  let body = Op.module_body m in
+  let m = Rewrite.apply [ func_to_llvm ] m in
+  (* hoist math declarations recorded on converted functions, and restore
+     the module layout: non-function ops, then declarations, then the
+     converted functions *)
   let funcs, others =
-    List.partition (fun o -> Func_d.is_func o) body
+    List.partition
+      (fun o -> String.equal (Op.name o) "llvm.func")
+      (Op.module_body m)
   in
-  let converted = List.map (convert_func b) funcs in
-  (* hoist math declarations recorded on functions *)
   let decls = ref [] in
-  let converted =
+  let funcs =
     List.map
       (fun f ->
         let math_attrs =
@@ -501,8 +513,8 @@ let run m =
             | _ -> ())
           math_attrs;
         List.fold_left (fun f (k, _) -> Op.remove_attr f k) f math_attrs)
-      converted
+      funcs
   in
-  Op.with_module_body m (others @ List.rev !decls @ converted)
+  Op.with_module_body m (others @ List.rev !decls @ funcs)
 
 let pass = Pass.make "convert-to-llvm" run

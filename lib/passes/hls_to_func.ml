@@ -16,100 +16,61 @@ let spec_dataflow = "_ssdm_op_SpecDataflow"
 let stream_read = "_hls_stream_read"
 let stream_write = "_hls_stream_write"
 
-let run m =
-  let b = Builder.for_op m in
-  let used = ref [] in
+let patterns used =
   let use name arg_tys =
     if not (List.mem_assoc name !used) then used := (name, arg_tys) :: !used
   in
-  (* protocol token -> underlying i32 kind value *)
-  let proto_subst : (int, Value.t) Hashtbl.t = Hashtbl.create 8 in
-  let resolve v =
-    match Hashtbl.find_opt proto_subst (Value.id v) with
-    | Some v' -> v'
-    | None -> v
+  let to_call ?(keep_attrs = false) ?(keep_results = false) root callee
+      arg_tys =
+    Rewrite.pattern ~roots:[ root ] (root ^ "-to-call") (fun _ op ->
+        use callee arg_tys;
+        Some
+          (Rewrite.replace_with
+             [
+               Op.make "func.call" ~operands:(Op.operands op)
+                 ~results:(if keep_results then Op.results op else [])
+                 ~attrs:
+                   (("callee", Attr.Symbol callee)
+                   :: (if keep_attrs then Op.attrs op else []));
+             ]))
   in
-  let rec walk_op op =
-    let op = { op with Op.operands = List.map resolve op.Op.operands } in
-    let op =
-      {
-        op with
-        Op.regions =
-          List.map
-            (fun blocks ->
-              List.map
-                (fun blk ->
-                  { blk with Op.body = List.concat_map walk_op blk.Op.body })
-                blocks)
-            op.Op.regions;
-      }
+  [
+    (* the protocol token folds into its integer kind operand *)
+    Rewrite.pattern ~roots:[ "hls.axi_protocol" ] "fold-axi-protocol"
+      (fun _ op ->
+        Some
+          (Rewrite.replace_with
+             ~replacements:[ (Op.result1 op, List.hd (Op.operands op)) ]
+             []));
+    to_call ~keep_attrs:true "hls.interface" spec_interface [];
+    to_call "hls.pipeline" spec_pipeline [ Types.I32 ];
+    to_call "hls.unroll" spec_unroll [ Types.I32 ];
+    to_call ~keep_attrs:true "hls.array_partition" spec_array_partition [];
+    Rewrite.pattern ~roots:[ "hls.dataflow" ] "hls.dataflow-to-call"
+      (fun _ _ ->
+        use spec_dataflow [];
+        Some
+          (Rewrite.replace_with
+             [
+               Op.make "func.call"
+                 ~attrs:[ ("callee", Attr.Symbol spec_dataflow) ];
+             ]));
+    to_call ~keep_results:true "hls.stream_read" stream_read [];
+    to_call "hls.stream_write" stream_write [];
+  ]
+
+let run m =
+  let used = ref [] in
+  let m' = Rewrite.apply (patterns used) m in
+  if Op.is_module m' && !used <> [] then begin
+    let decls =
+      List.map
+        (fun (name, arg_tys) ->
+          Func_d.func_decl ~sym_name:name ~arg_tys ~result_tys:[] ())
+        (List.rev !used)
     in
-    match Op.name op with
-    | "hls.axi_protocol" ->
-      Hashtbl.replace proto_subst
-        (Value.id (Op.result1 op))
-        (List.hd (Op.operands op));
-      []
-    | "hls.interface" ->
-      use spec_interface [];
-      [
-        Op.make "func.call" ~operands:(Op.operands op)
-          ~attrs:
-            (("callee", Attr.Symbol spec_interface) :: Op.attrs op);
-      ]
-    | "hls.pipeline" ->
-      use spec_pipeline [ Types.I32 ];
-      [
-        Op.make "func.call" ~operands:(Op.operands op)
-          ~attrs:[ ("callee", Attr.Symbol spec_pipeline) ];
-      ]
-    | "hls.unroll" ->
-      use spec_unroll [ Types.I32 ];
-      [
-        Op.make "func.call" ~operands:(Op.operands op)
-          ~attrs:[ ("callee", Attr.Symbol spec_unroll) ];
-      ]
-    | "hls.array_partition" ->
-      use spec_array_partition [];
-      [
-        Op.make "func.call" ~operands:(Op.operands op)
-          ~attrs:
-            (("callee", Attr.Symbol spec_array_partition) :: Op.attrs op);
-      ]
-    | "hls.dataflow" ->
-      use spec_dataflow [];
-      [
-        Op.make "func.call"
-          ~attrs:[ ("callee", Attr.Symbol spec_dataflow) ];
-      ]
-    | "hls.stream_read" ->
-      use stream_read [];
-      [
-        Op.make "func.call" ~operands:(Op.operands op)
-          ~results:(Op.results op)
-          ~attrs:[ ("callee", Attr.Symbol stream_read) ];
-      ]
-    | "hls.stream_write" ->
-      use stream_write [];
-      [
-        Op.make "func.call" ~operands:(Op.operands op)
-          ~attrs:[ ("callee", Attr.Symbol stream_write) ];
-      ]
-    | _ -> [ op ]
-  in
-  ignore b;
-  match walk_op m with
-  | [ m' ] ->
-    if Op.is_module m' && !used <> [] then begin
-      let decls =
-        List.map
-          (fun (name, arg_tys) ->
-            Func_d.func_decl ~sym_name:name ~arg_tys ~result_tys:[] ())
-          (List.rev !used)
-      in
-      Op.with_module_body m' (decls @ Op.module_body m')
-    end
-    else m'
-  | _ -> invalid_arg "hls_to_func: module vanished"
+    Op.with_module_body m' (decls @ Op.module_body m')
+  end
+  else m'
 
 let pass = Pass.make "lower-hls-to-func-call" run

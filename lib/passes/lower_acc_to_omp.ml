@@ -17,80 +17,79 @@ let map_type_of_copy = function
   | Acc.Copy -> Omp.Tofrom
   | Acc.Create -> Omp.Alloc
 
-let run m =
-  let rec walk op =
-    let op =
-      {
-        op with
-        Op.regions =
-          List.map
-            (fun blocks ->
-              List.map
-                (fun blk -> { blk with Op.body = List.map walk blk.Op.body })
-                blocks)
-            op.Op.regions;
-      }
-    in
-    (* Conversions that rebuild the attribute list re-stamp the source
-       location afterwards so loc(...) survives the dialect switch. *)
-    let relocate o = Op.set_loc o (Op.loc op) in
-    match Op.name op with
-    | "acc.copy_info" ->
-      let kind =
-        Option.bind (Op.string_attr op "copy_kind") Acc.copy_kind_of_string
-        |> Option.value ~default:Acc.Copy
-      in
-      relocate
-      {
-        op with
-        Op.name = "omp.map_info";
-        attrs =
+(* Each conversion keeps the op's result values, so no value replacements
+   are needed; the renamed op simply redefines them in place. Conversions
+   that rebuild the attribute list re-stamp the source location afterwards
+   so loc(...) survives the dialect switch. *)
+let rename root convert =
+  Rewrite.pattern ~roots:[ root ] ("lower-" ^ root) (fun _ op ->
+      let relocate o = Op.set_loc o (Op.loc op) in
+      Some (Rewrite.replace_with [ relocate (convert op) ]))
+
+let patterns =
+  [
+    rename "acc.copy_info" (fun op ->
+        let kind =
+          Option.bind (Op.string_attr op "copy_kind") Acc.copy_kind_of_string
+          |> Option.value ~default:Acc.Copy
+        in
+        {
+          op with
+          Op.name = "omp.map_info";
+          attrs =
+            [
+              ( "var_name",
+                Attr.String
+                  (Option.value ~default:"" (Op.string_attr op "var_name")) );
+              ( "map_type",
+                Attr.String (Omp.string_of_map_type (map_type_of_copy kind)) );
+              ( "implicit",
+                Attr.Bool
+                  (Option.value ~default:false (Op.bool_attr op "implicit")) );
+            ];
+        });
+    rename "acc.parallel" (fun op ->
+        { op with Op.name = "omp.target"; attrs = [] });
+    rename "acc.loop" (fun op ->
+        let vector_length = Op.int_attr op "vector_length" in
+        let attrs =
           [
-            ( "var_name",
-              Attr.String
-                (Option.value ~default:"" (Op.string_attr op "var_name")) );
-            ( "map_type",
-              Attr.String (Omp.string_of_map_type (map_type_of_copy kind)) );
-            ( "implicit",
-              Attr.Bool
-                (Option.value ~default:false (Op.bool_attr op "implicit")) );
-          ];
-      }
-    | "acc.parallel" -> relocate { op with Op.name = "omp.target"; attrs = [] }
-    | "acc.loop" ->
-      let vector_length = Op.int_attr op "vector_length" in
-      let attrs =
-        [
-          ("collapse", Attr.i32 (Option.value ~default:1 (Op.int_attr op "collapse")));
-          ("simd", Attr.Bool (vector_length <> None));
-        ]
-        @ (match vector_length with
-          | Some k -> [ ("simdlen", Attr.i32 k) ]
-          | None -> [])
-        @
-        match Op.find_attr op "reductions" with
-        | Some r -> [ ("reductions", r) ]
-        | None -> []
-      in
-      relocate { op with Op.name = "omp.parallel_do"; attrs }
-    | "acc.data" -> relocate { op with Op.name = "omp.target_data"; attrs = [] }
-    | "acc.enter_data" -> { op with Op.name = "omp.target_enter_data" }
-    | "acc.exit_data" -> { op with Op.name = "omp.target_exit_data" }
-    | "acc.update" ->
-      let direction =
-        Option.value ~default:"host" (Op.string_attr op "direction")
-      in
-      relocate
-      {
-        op with
-        Op.name = "omp.target_update";
-        attrs =
-          [ ("motion", Attr.String (if direction = "host" then "from" else "to")) ];
-      }
-    | "acc.yield" -> { op with Op.name = "omp.yield" }
-    | "acc.terminator" -> { op with Op.name = "omp.terminator" }
-    | _ -> op
-  in
-  walk m
+            ( "collapse",
+              Attr.i32 (Option.value ~default:1 (Op.int_attr op "collapse")) );
+            ("simd", Attr.Bool (vector_length <> None));
+          ]
+          @ (match vector_length with
+            | Some k -> [ ("simdlen", Attr.i32 k) ]
+            | None -> [])
+          @
+          match Op.find_attr op "reductions" with
+          | Some r -> [ ("reductions", r) ]
+          | None -> []
+        in
+        { op with Op.name = "omp.parallel_do"; attrs });
+    rename "acc.data" (fun op ->
+        { op with Op.name = "omp.target_data"; attrs = [] });
+    rename "acc.enter_data" (fun op ->
+        { op with Op.name = "omp.target_enter_data" });
+    rename "acc.exit_data" (fun op ->
+        { op with Op.name = "omp.target_exit_data" });
+    rename "acc.update" (fun op ->
+        let direction =
+          Option.value ~default:"host" (Op.string_attr op "direction")
+        in
+        {
+          op with
+          Op.name = "omp.target_update";
+          attrs =
+            [
+              ( "motion",
+                Attr.String (if direction = "host" then "from" else "to") );
+            ];
+        });
+    rename "acc.yield" (fun op -> { op with Op.name = "omp.yield" });
+    rename "acc.terminator" (fun op -> { op with Op.name = "omp.terminator" });
+  ]
+
+let run m = Rewrite.apply patterns m
 
 let pass = Pass.make "lower-acc-to-omp" run

@@ -145,8 +145,25 @@ let emit_exit b ~memory_space (mapping : mapping) =
   end;
   List.rev !ops
 
-let run ?(options = default_options) m =
-  let b = Builder.for_op m in
+(* Malformed input IR is a user-facing condition (hand-written IR fed to
+   ftnc stages): report it as a located diagnostic on the consuming op. *)
+let op_error op msg =
+  raise
+    (Ftn_diag.Diag.Diag_failure
+       [
+         Ftn_diag.Diag.error ~loc:(Op.loc op)
+           (Fmt.str "'%s': %s" (Op.name op) msg);
+       ])
+
+(* An already-lowered mapped operand: a memref placed in a device memory
+   space. Used to keep the omp.target pattern from re-firing on its own
+   output (the op keeps its name; only the operands change). *)
+let is_device_memref v =
+  match Value.ty v with
+  | Types.Memref { Types.memory_space; _ } -> memory_space > 0
+  | _ -> false
+
+let patterns options =
   (* Stable bank assignment: an identifier keeps its memory space across
      every construct in the program (SGESL remaps the same names on each
      outer iteration). *)
@@ -162,171 +179,144 @@ let run ?(options = default_options) m =
       Hashtbl.replace bank_table name s;
       s
   in
-  (* map_info result id -> parts *)
-  let infos : (int, Omp.map_parts) Hashtbl.t = Hashtbl.create 16 in
-  (* Malformed input IR is a user-facing condition (hand-written IR fed to
-     ftnc stages): report it as a located diagnostic on the consuming op. *)
-  let op_error op msg =
-    raise
-      (Ftn_diag.Diag.Diag_failure
-         [
-           Ftn_diag.Diag.error ~loc:(Op.loc op)
-             (Fmt.str "'%s': %s" (Op.name op) msg);
-         ])
+  let parts_of ctx op v =
+    match Rewrite.def_of ctx v with
+    | Some mi when Omp.is_map_info mi -> (
+      match Omp.map_parts mi with
+      | Some p -> p
+      | None -> op_error mi "malformed omp.map_info (missing var_name)")
+    | Some _ | None ->
+      op_error op "operand is not the result of an omp.map_info"
   in
-  let parts_of op v =
-    match Hashtbl.find_opt infos (Value.id v) with
-    | Some p -> p
-    | None -> op_error op "operand is not the result of an omp.map_info"
-  in
-  let rec walk_op op =
-    let op =
-      {
-        op with
-        Op.regions =
-          List.map
-            (fun blocks ->
-              List.map
-                (fun blk ->
-                  { blk with Op.body = List.concat_map walk_op blk.Op.body })
-                blocks)
-            op.Op.regions;
-      }
+  let entry_for ctx op v =
+    let parts = parts_of ctx op v in
+    let ops, dev =
+      emit_entry (Rewrite.builder ctx)
+        ~memory_space:(space_of parts.Omp.var_name) parts
     in
-    match Op.name op with
-    | "omp.bounds_info" ->
-      (* consumed only by map_info; transfer granularity is whole-array *)
-      []
-    | "omp.map_info" -> (
-      match Omp.map_parts op with
-      | Some parts ->
-        Hashtbl.replace infos (Value.id parts.Omp.result) parts;
-        []
-      | None -> op_error op "malformed omp.map_info (missing var_name)")
-    | "omp.target_data" ->
-      let mappings_entry =
-        List.map
-          (fun v ->
-            let parts = parts_of op v in
-            let ops, dev =
-              emit_entry b ~memory_space:(space_of parts.Omp.var_name)
-                parts
-            in
-            (ops, { host = parts.Omp.var; device = dev; parts }))
-          (Op.operands op)
-      in
-      let entry_ops = List.concat_map fst mappings_entry in
-      let mappings = List.map snd mappings_entry in
-      let body =
-        match Op.region_body op 0 with
-        | ops ->
+    (ops, { host = parts.Omp.var; device = dev; parts })
+  in
+  let exits ctx mappings =
+    List.concat_map
+      (fun mp ->
+        emit_exit (Rewrite.builder ctx)
+          ~memory_space:(space_of mp.parts.Omp.var_name) mp)
+      mappings
+  in
+  [
+    Rewrite.pattern ~roots:[ "omp.target_data" ] "lower-omp-target-data"
+      (fun ctx op ->
+        let mappings_entry = List.map (entry_for ctx op) (Op.operands op) in
+        let entry_ops = List.concat_map fst mappings_entry in
+        let mappings = List.map snd mappings_entry in
+        let body =
           List.filter
             (fun o -> not (String.equal (Op.name o) "omp.terminator"))
-            ops
-      in
-      let exit_ops =
-        List.concat_map
-          (fun mp ->
-            emit_exit b
-              ~memory_space:(space_of mp.parts.Omp.var_name) mp)
-          mappings
-      in
-      entry_ops @ body @ exit_ops
-    | "omp.target_enter_data" ->
-      List.concat_map
-        (fun v ->
-          let parts = parts_of op v in
-          fst
-            (emit_entry b ~memory_space:(space_of parts.Omp.var_name) parts))
-        (Op.operands op)
-    | "omp.target_exit_data" ->
-      List.concat_map
-        (fun v ->
-          let parts = parts_of op v in
-          let memory_space = space_of parts.Omp.var_name in
-          (* releasing needs the device buffer for a potential copy-back *)
-          let dev_ty =
-            device_memref_ty memory_space (Value.ty parts.Omp.var)
+            (Op.region_body op 0)
+        in
+        Some (Rewrite.replace_with (entry_ops @ body @ exits ctx mappings)));
+    Rewrite.pattern ~roots:[ "omp.target_enter_data" ]
+      "lower-omp-target-enter-data" (fun ctx op ->
+        Some
+          (Rewrite.replace_with
+             (List.concat_map
+                (fun v -> fst (entry_for ctx op v))
+                (Op.operands op))));
+    Rewrite.pattern ~roots:[ "omp.target_exit_data" ]
+      "lower-omp-target-exit-data" (fun ctx op ->
+        let b = Rewrite.builder ctx in
+        let ops =
+          List.concat_map
+            (fun v ->
+              let parts = parts_of ctx op v in
+              let memory_space = space_of parts.Omp.var_name in
+              (* releasing needs the device buffer for a potential copy-back *)
+              let dev_ty =
+                device_memref_ty memory_space (Value.ty parts.Omp.var)
+              in
+              let lookup =
+                Device.lookup b ~name:parts.Omp.var_name ~memory_space dev_ty
+              in
+              lookup
+              :: emit_exit b ~memory_space
+                   { host = parts.Omp.var; device = Op.result1 lookup; parts })
+            (Op.operands op)
+        in
+        Some (Rewrite.replace_with ops));
+    Rewrite.pattern ~roots:[ "omp.target_update" ] "lower-omp-target-update"
+      (fun ctx op ->
+        let b = Rewrite.builder ctx in
+        let motion =
+          Option.value ~default:"from" (Op.string_attr op "motion")
+        in
+        let ops =
+          List.concat_map
+            (fun v ->
+              let parts = parts_of ctx op v in
+              let memory_space = space_of parts.Omp.var_name in
+              let dev_ty =
+                device_memref_ty memory_space (Value.ty parts.Omp.var)
+              in
+              let lookup =
+                Device.lookup b ~name:parts.Omp.var_name ~memory_space dev_ty
+              in
+              let dev = Op.result1 lookup in
+              let src, dst =
+                if String.equal motion "from" then (dev, parts.Omp.var)
+                else (parts.Omp.var, dev)
+              in
+              [ lookup; Memref_d.dma_start ~src ~dst (); Memref_d.dma_wait () ])
+            (Op.operands op)
+        in
+        Some (Rewrite.replace_with ops));
+    Rewrite.pattern ~roots:[ "omp.target" ] "lower-omp-target-map-operands"
+      (fun ctx op ->
+        (* Rewrite mapped operands into device memrefs: entry code before,
+           exit code after, and the region's block arguments retyped to the
+           device memory space. The op keeps its name, so skip targets with
+           nothing to map or whose operands are already device memrefs. *)
+        match Op.operands op with
+        | [] -> None
+        | operands when List.for_all is_device_memref operands -> None
+        | operands ->
+          let b = Rewrite.builder ctx in
+          let mappings_entry = List.map (entry_for ctx op) operands in
+          let entry_ops = List.concat_map fst mappings_entry in
+          let mappings = List.map snd mappings_entry in
+          let blk = Op.region_block op 0 in
+          let arg_subst, new_args =
+            List.fold_left2
+              (fun (subst, args) old_arg mapping ->
+                let new_arg = Builder.fresh b (Value.ty mapping.device) in
+                (Value.Map.add old_arg new_arg subst, new_arg :: args))
+              (Value.Map.empty, []) blk.Op.args mappings
           in
-          let lookup =
-            Device.lookup b ~name:parts.Omp.var_name ~memory_space dev_ty
+          let new_args = List.rev new_args in
+          let new_body = List.map (Op.substitute_map arg_subst) blk.Op.body in
+          let target =
+            {
+              op with
+              Op.operands = List.map (fun mp -> mp.device) mappings;
+              regions = [ [ { blk with Op.args = new_args; body = new_body } ] ];
+            }
           in
-          lookup
-          :: emit_exit b ~memory_space
-               { host = parts.Omp.var; device = Op.result1 lookup; parts })
-        (Op.operands op)
-    | "omp.target_update" ->
-      let motion =
-        Option.value ~default:"from" (Op.string_attr op "motion")
-      in
-      List.concat_map
-        (fun v ->
-          let parts = parts_of op v in
-          let memory_space = space_of parts.Omp.var_name in
-          let dev_ty =
-            device_memref_ty memory_space (Value.ty parts.Omp.var)
-          in
-          let lookup =
-            Device.lookup b ~name:parts.Omp.var_name ~memory_space dev_ty
-          in
-          let dev = Op.result1 lookup in
-          let src, dst =
-            if String.equal motion "from" then (dev, parts.Omp.var)
-            else (parts.Omp.var, dev)
-          in
-          [ lookup; Memref_d.dma_start ~src ~dst (); Memref_d.dma_wait () ])
-        (Op.operands op)
-    | "omp.target" ->
-      (* Rewrite mapped operands into device memrefs: entry code before,
-         exit code after, and the region's block arguments retyped to the
-         device memory space. *)
-      let mappings_entry =
-        List.map
-          (fun v ->
-            let parts = parts_of op v in
-            let ops, dev =
-              emit_entry b ~memory_space:(space_of parts.Omp.var_name)
-                parts
-            in
-            (ops, { host = parts.Omp.var; device = dev; parts }))
-          (Op.operands op)
-      in
-      let entry_ops = List.concat_map fst mappings_entry in
-      let mappings = List.map snd mappings_entry in
-      let blk = Op.region_block op 0 in
-      let arg_subst, new_args =
-        List.fold_left2
-          (fun (subst, args) old_arg mapping ->
-            let new_arg =
-              Builder.fresh b (Value.ty mapping.device)
-            in
-            (Value.Map.add old_arg new_arg subst, new_arg :: args))
-          (Value.Map.empty, []) blk.Op.args mappings
-      in
-      let new_args = List.rev new_args in
-      let new_body =
-        List.map (Op.substitute_map arg_subst) blk.Op.body
-      in
-      let target =
-        {
-          op with
-          Op.operands = List.map (fun mp -> mp.device) mappings;
-          regions = [ [ { blk with Op.args = new_args; body = new_body } ] ];
-        }
-      in
-      let exit_ops =
-        List.concat_map
-          (fun mp ->
-            emit_exit b
-              ~memory_space:(space_of mp.parts.Omp.var_name) mp)
-          mappings
-      in
-      entry_ops @ [ target ] @ exit_ops
-    | _ -> [ op ]
-  in
-  match walk_op m with
-  | [ m' ] -> m'
-  | _ -> invalid_arg "lower_omp_data: module vanished"
+          Some
+            (Rewrite.replace_with (entry_ops @ [ target ] @ exits ctx mappings)));
+  ]
+
+(* map_info / bounds_info carry no behaviour of their own: once the data
+   constructs consuming them are lowered they fall dead and the driver
+   erases them (transfer granularity is whole-array). *)
+let config =
+  {
+    Rewrite.default_config with
+    Rewrite.is_trivially_dead =
+      (fun op ->
+        List.mem (Op.name op) [ "omp.map_info"; "omp.bounds_info" ]);
+  }
+
+let run ?(options = default_options) m =
+  Rewrite.apply ~config (patterns options) m
 
 let pass ?options () =
   Pass.make "lower-omp-mapped-data" (fun m -> run ?options m)

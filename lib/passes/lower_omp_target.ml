@@ -19,32 +19,16 @@ let fresh_kernel_name enclosing =
 
 (* --- step 1: omp.target -> device.kernel_* --- *)
 
-let to_kernel_ops m =
-  let b = Builder.for_op m in
-  let rec walk_op ~enclosing op =
-    let enclosing =
-      if Func_d.is_func op then
-        Option.value ~default:enclosing (Func_d.func_name op)
-      else enclosing
-    in
-    let op =
-      {
-        op with
-        Op.regions =
-          List.map
-            (fun blocks ->
-              List.map
-                (fun blk ->
-                  {
-                    blk with
-                    Op.body =
-                      List.concat_map (walk_op ~enclosing) blk.Op.body;
-                  })
-                blocks)
-            op.Op.regions;
-      }
-    in
-    if Omp.is_target op then begin
+let target_to_kernel =
+  Rewrite.pattern ~roots:[ "omp.target" ] "omp-target-to-kernel-ops"
+    (fun ctx op ->
+      let b = Rewrite.builder ctx in
+      (* kernel names are derived from the enclosing function *)
+      let enclosing =
+        match List.find_opt Func_d.is_func (Rewrite.parents ctx) with
+        | Some fn -> Option.value ~default:"kernel" (Func_d.func_name fn)
+        | None -> "kernel"
+      in
       let name = fresh_kernel_name enclosing in
       let blk = Op.region_block op 0 in
       (* strip the omp.terminator; the outlined function will return *)
@@ -60,36 +44,20 @@ let to_kernel_ops m =
           Types.Kernel_handle
       in
       let handle = Op.result1 create in
-      [ create; Device.kernel_launch handle; Device.kernel_wait handle ]
-    end
-    else [ op ]
-  in
-  match walk_op ~enclosing:"kernel" m with
-  | [ m' ] -> m'
-  | _ -> invalid_arg "lower_omp_target: module vanished"
+      Some
+        (Rewrite.replace_with
+           [ create; Device.kernel_launch handle; Device.kernel_wait handle ]))
+
+let to_kernel_ops m = Rewrite.apply [ target_to_kernel ] m
 
 (* --- step 2: outline kernel regions into a device module --- *)
 
-let outline m =
-  let b = Builder.for_op m in
-  let device_funcs = ref [] in
-  let rec walk_op op =
-    let op =
-      {
-        op with
-        Op.regions =
-          List.map
-            (fun blocks ->
-              List.map
-                (fun blk ->
-                  { blk with Op.body = List.concat_map walk_op blk.Op.body })
-                blocks)
-            op.Op.regions;
-      }
-    in
-    if Device.is_kernel_create op && Op.regions op <> [] then
+let outline_kernel device_funcs =
+  Rewrite.pattern ~roots:[ "device.kernel_create" ] "outline-kernel-region"
+    (fun ctx op ->
       match Op.regions op with
       | [ [ blk ] ] when blk.Op.body <> [] ->
+        let b = Rewrite.builder ctx in
         let name =
           match Device.kernel_function op with
           | Some n -> n
@@ -121,21 +89,20 @@ let outline m =
         (* uniquify the outlined function's values *)
         let fn, _ = Builder.clone b fn in
         device_funcs := fn :: !device_funcs;
-        [
-          {
-            op with
-            Op.operands = Op.operands op @ extra;
-            regions = [ Op.region [] ];
-          };
-        ]
-      | _ -> [ op ]
-    else [ op ]
-  in
-  let m' =
-    match walk_op m with
-    | [ m' ] -> m'
-    | _ -> invalid_arg "outline: module vanished"
-  in
+        Some
+          (Rewrite.replace_with
+             [
+               {
+                 op with
+                 Op.operands = Op.operands op @ extra;
+                 regions = [ Op.region [] ];
+               };
+             ])
+      | _ -> None)
+
+let outline m =
+  let device_funcs = ref [] in
+  let m' = Rewrite.apply [ outline_kernel device_funcs ] m in
   if !device_funcs = [] then m'
   else begin
     let device_module = Builtin.device_module (List.rev !device_funcs) in

@@ -91,8 +91,13 @@ let insert_interfaces b fn =
           | _ -> [])
         args
     in
-    let blk = Op.region_block fn 0 in
-    { fn with Op.regions = [ [ { blk with Op.body = iface_ops @ blk.Op.body } ] ] }
+    if iface_ops = [] then fn
+    else
+      let blk = Op.region_block fn 0 in
+      {
+        fn with
+        Op.regions = [ [ { blk with Op.body = iface_ops @ blk.Op.body } ] ];
+      }
   end
 
 (* --- parallel_do lowering --- *)
@@ -264,29 +269,30 @@ let lower_parallel_do b opts op =
     in
     List.rev !pre_ops @ nest @ !post_ops
 
-let run ?(options = default_options) m =
-  let b = Builder.for_op m in
-  let rec walk_op op =
-    let op =
-      {
-        op with
-        Op.regions =
-          List.map
-            (fun blocks ->
-              List.map
-                (fun blk ->
-                  { blk with Op.body = List.concat_map walk_op blk.Op.body })
-                blocks)
-            op.Op.regions;
-      }
-    in
-    if Omp.is_parallel_do op then lower_parallel_do b options op
-    else if Func_d.is_func op then [ insert_interfaces b op ]
-    else [ op ]
-  in
-  match walk_op m with
-  | [ m' ] -> m'
-  | _ -> invalid_arg "lower_omp_to_hls: module vanished"
+let patterns options =
+  [
+    Rewrite.pattern ~roots:[ "omp.parallel_do" ] "parallel-do-to-scf-for"
+      (fun ctx op ->
+        match Omp.loop_parts op with
+        | None -> None
+        | Some _ ->
+          Some
+            (Rewrite.replace_with
+               (lower_parallel_do (Rewrite.builder ctx) options op)));
+    Rewrite.pattern ~roots:[ "func.func" ] "insert-hls-interfaces"
+      (fun ctx fn ->
+        (* func.func keeps its name across the rewrite: fire only once, on
+           functions with a body and ports but no interfaces yet. *)
+        if
+          (not (Func_d.has_body fn))
+          || Op.exists (fun o -> String.equal (Op.name o) "hls.interface") fn
+        then None
+        else
+          let fn' = insert_interfaces (Rewrite.builder ctx) fn in
+          if fn' == fn then None else Some (Rewrite.replace_with [ fn' ]));
+  ]
+
+let run ?(options = default_options) m = Rewrite.apply (patterns options) m
 
 let pass ?options () =
   Pass.make "lower-omp-loops-to-hls" (fun m -> run ?options m)

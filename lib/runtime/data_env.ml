@@ -64,10 +64,23 @@ let acquire t ~name ~memory_space =
   let e = get_entry t ~name ~memory_space in
   e.refcount <- e.refcount + 1
 
+(* Over-releasing (double device.data_release, or releasing a name that was
+   never acquired) indicates a refcount bug in the lowered data-environment
+   sequence. The count still clamps at zero so the environment stays usable,
+   but the event is surfaced instead of masked. *)
+let over_release ~name ~memory_space reason =
+  Ftn_obs.Metrics.incr "data_env.over_release";
+  Ftn_diag.Diag_engine.warning Ftn_diag.Diag_engine.default
+    (Fmt.str "release of device data %S in memory space %d %s" name
+       memory_space reason)
+
 let release t ~name ~memory_space =
   match find t ~name ~memory_space with
-  | Some e -> e.refcount <- max 0 (e.refcount - 1)
-  | None -> ()
+  | Some e when e.refcount > 0 -> e.refcount <- e.refcount - 1
+  | Some _ ->
+    over_release ~name ~memory_space
+      "whose reference count is already 0 (double release?)"
+  | None -> over_release ~name ~memory_space "that was never acquired"
 
 let exists t ~name ~memory_space =
   match find t ~name ~memory_space with

@@ -113,14 +113,28 @@ let name_and_space op =
     (name, Option.value ~default:0 (Op.int_attr op "memory_space"))
   | None -> raise (Runtime_error (Op.name op ^ " without a name attribute"))
 
-let resolve_shape mi dynamic =
+let resolve_shape ~op_name mi dynamic =
+  let wanted =
+    List.length
+      (List.filter (fun d -> d = Types.Dynamic) mi.Types.shape)
+  in
+  let supplied = List.length dynamic in
+  if supplied <> wanted then
+    (* Surplus extents mean the bounds lowering produced sizes the type
+       cannot absorb: wrong data if silently dropped, so fail loudly. *)
+    raise
+      (Runtime_error
+         (Fmt.str
+            "%s: %d dynamic extents supplied for a memref type with %d \
+             dynamic dimensions"
+            op_name supplied wanted));
   let rec go shape dynamic =
     match (shape, dynamic) with
     | [], _ -> []
     | Types.Static n :: rest, dynamic -> n :: go rest dynamic
     | Types.Dynamic :: rest, d :: dynamic -> d :: go rest dynamic
     | Types.Dynamic :: _, [] ->
-      raise (Runtime_error "missing dynamic size for device.alloc")
+      raise (Runtime_error ("missing dynamic size for " ^ op_name))
   in
   go mi.Types.shape dynamic
 
@@ -254,7 +268,9 @@ let device_handler (ctx : context) : Interp.handler =
     let name, memory_space = name_and_space op in
     (match Value.ty (Op.result1 op) with
     | Types.Memref mi ->
-      let shape = resolve_shape mi (List.map Rtval.as_int operands) in
+      let shape =
+        resolve_shape ~op_name:(Op.name op) mi (List.map Rtval.as_int operands)
+      in
       let buffer =
         api_alloc ctx ~name ~memory_space ~elt:mi.Types.elt ~shape
       in

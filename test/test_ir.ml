@@ -392,39 +392,43 @@ let verifier_tests =
 (* --- rewrite driver --- *)
 
 let rewrite_tests =
-  [
-    tc "pattern replaces op and redirects uses" (fun () ->
-        let b = Builder.create () in
-        let x = Builder.fresh b Types.I32 in
-        let dbl = Op.make "test.double" ~operands:[ x ]
-            ~results:[ Builder.fresh b Types.I32 ] in
-        let use = Op.make "test.use" ~operands:[ Op.result1 dbl ] in
-        let fn =
-          Ftn_dialects.Func_d.func ~sym_name:"f" ~args:[ x ] ~result_tys:[]
-            [ dbl; use; Ftn_dialects.Func_d.return () ]
-        in
-        let pat =
-          Rewrite.pattern "double-to-add" (fun bld op ->
-              if Op.name op = "test.double" then begin
-                let a = Op.operand op 0 in
-                let add = Ftn_dialects.Arith.addi bld a a in
-                Some
-                  (Rewrite.replace_with ~replacements:[ (Op.result1 op, Op.result1 add) ]
-                     [ add ])
-              end
-              else None)
-        in
-        let m = Rewrite.apply [ pat ] (Op.module_op [ fn ]) in
-        check Alcotest.int "no doubles left" 0
-          (Op.count (fun o -> Op.name o = "test.double") m);
-        check Alcotest.int "one add" 1
-          (Op.count (fun o -> Op.name o = "arith.addi") m);
-        (* the use now points at the add's result *)
-        let add = List.hd (Op.collect (fun o -> Op.name o = "arith.addi") m) in
-        let use = List.hd (Op.collect (fun o -> Op.name o = "test.use") m) in
-        check Alcotest.bool "use redirected" true
-          (Value.equal (Op.result1 add) (Op.operand use 0)));
-    tc "erase drops dead ops" (fun () ->
+  let both_drivers name f =
+    [
+      tc (name ^ " (worklist)") (fun () -> f Rewrite.Worklist);
+      tc (name ^ " (sweep)") (fun () -> f Rewrite.Sweep);
+    ]
+  in
+  both_drivers "pattern replaces op and redirects uses" (fun driver ->
+      let b = Builder.create () in
+      let x = Builder.fresh b Types.I32 in
+      let dbl = Op.make "test.double" ~operands:[ x ]
+          ~results:[ Builder.fresh b Types.I32 ] in
+      let use = Op.make "test.use" ~operands:[ Op.result1 dbl ] in
+      let fn =
+        Ftn_dialects.Func_d.func ~sym_name:"f" ~args:[ x ] ~result_tys:[]
+          [ dbl; use; Ftn_dialects.Func_d.return () ]
+      in
+      let pat =
+        Rewrite.pattern ~roots:[ "test.double" ] "double-to-add"
+          (fun ctx op ->
+            let a = Op.operand op 0 in
+            let add = Ftn_dialects.Arith.addi (Rewrite.builder ctx) a a in
+            Some
+              (Rewrite.replace_with
+                 ~replacements:[ (Op.result1 op, Op.result1 add) ]
+                 [ add ]))
+      in
+      let m = Rewrite.apply ~driver [ pat ] (Op.module_op [ fn ]) in
+      check Alcotest.int "no doubles left" 0
+        (Op.count (fun o -> Op.name o = "test.double") m);
+      check Alcotest.int "one add" 1
+        (Op.count (fun o -> Op.name o = "arith.addi") m);
+      (* the use now points at the add's result *)
+      let add = List.hd (Op.collect (fun o -> Op.name o = "arith.addi") m) in
+      let use = List.hd (Op.collect (fun o -> Op.name o = "test.use") m) in
+      check Alcotest.bool "use redirected" true
+        (Value.equal (Op.result1 add) (Op.operand use 0)))
+  @ both_drivers "erase drops dead ops" (fun driver ->
         let marker = Op.make "test.dead" in
         let fn =
           Ftn_dialects.Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[]
@@ -434,13 +438,15 @@ let rewrite_tests =
           Rewrite.pattern "drop" (fun _ op ->
               if Op.name op = "test.dead" then Some Rewrite.erase else None)
         in
-        let m = Rewrite.apply [ pat ] (Op.module_op [ fn ]) in
-        check Alcotest.int "gone" 0 (Op.count (fun o -> Op.name o = "test.dead") m));
-    tc "fixpoint terminates on cyclic-looking rewrites" (fun () ->
+        let m = Rewrite.apply ~driver [ pat ] (Op.module_op [ fn ]) in
+        check Alcotest.int "gone" 0
+          (Op.count (fun o -> Op.name o = "test.dead") m))
+  @ both_drivers "fixpoint terminates on cyclic-looking rewrites"
+      (fun driver ->
         let count = ref 0 in
         let pat =
-          Rewrite.pattern "spin" (fun _ op ->
-              if Op.name op = "test.spin" && !count < 1000 then begin
+          Rewrite.pattern ~roots:[ "test.spin" ] "spin" (fun _ _ ->
+              if !count < 1000 then begin
                 incr count;
                 Some (Rewrite.replace_with [ Op.make "test.spin" ])
               end
@@ -450,10 +456,133 @@ let rewrite_tests =
           Ftn_dialects.Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[]
             [ Op.make "test.spin"; Ftn_dialects.Func_d.return () ]
         in
-        let m = Rewrite.apply ~max_iterations:5 [ pat ] (Op.module_op [ fn ]) in
-        check Alcotest.bool "bounded" true (!count <= 10);
-        ignore m);
-  ]
+        let m =
+          Rewrite.apply ~driver ~max_iterations:5 [ pat ] (Op.module_op [ fn ])
+        in
+        (* the worklist budget is max_iterations * (op count + 16), the
+           sweep budget max_iterations sweeps: both must stop well short of
+           the pattern's own 1000-firing fuse *)
+        check Alcotest.bool "bounded" true (!count <= 200);
+        ignore m)
+  @ both_drivers "substitution cycle raises a located diagnostic"
+      (fun driver ->
+        (* two patterns that replace each other's results: a -> b, b -> a *)
+        let b = Builder.create () in
+        let x = Builder.fresh b Types.I32 in
+        let a_op = Op.make "test.a" ~operands:[ x ]
+            ~results:[ Builder.fresh b Types.I32 ] in
+        let b_op = Op.make "test.b" ~operands:[ Op.result1 a_op ]
+            ~results:[ Builder.fresh b Types.I32 ] in
+        let use = Op.make "test.use" ~operands:[ Op.result1 b_op ] in
+        let fn =
+          Ftn_dialects.Func_d.func ~sym_name:"f" ~args:[ x ] ~result_tys:[]
+            [ a_op; b_op; use; Ftn_dialects.Func_d.return () ]
+        in
+        let swap root other =
+          Rewrite.pattern ~roots:[ root ] (root ^ "-to-" ^ other)
+            (fun _ op ->
+              Some
+                (Rewrite.replace_with
+                   ~replacements:
+                     [ (Op.result1 op, Op.result1 (if root = "test.a" then b_op else a_op)) ]
+                   [ { op with Op.name = other } ]))
+        in
+        match
+          Rewrite.apply ~driver
+            [ swap "test.a" "test.b'"; swap "test.b" "test.a'" ]
+            (Op.module_op [ fn ])
+        with
+        | _ -> Alcotest.fail "expected a substitution-cycle diagnostic"
+        | exception Ftn_diag.Diag.Diag_failure (d :: _) ->
+          let msg = d.Ftn_diag.Diag.message in
+          let contains sub =
+            let n = String.length sub and m = String.length msg in
+            let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+            go 0
+          in
+          check Alcotest.bool "mentions the cycle" true
+            (contains "substitution cycle"))
+  @ both_drivers "fold hook folds constants and erases dead ops"
+      (fun driver ->
+        let b = Builder.create () in
+        let two = Ftn_dialects.Arith.const_i32 b 2 in
+        let three = Ftn_dialects.Arith.const_i32 b 3 in
+        let sum =
+          Ftn_dialects.Arith.addi b (Op.result1 two) (Op.result1 three)
+        in
+        let use = Op.make "test.use" ~operands:[ Op.result1 sum ] in
+        let fn =
+          Ftn_dialects.Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[]
+            [ two; three; sum; use; Ftn_dialects.Func_d.return () ]
+        in
+        let fold ctx op =
+          if Op.name op = "arith.addi" then
+            match
+              ( Rewrite.const_of ctx (Op.operand op 0),
+                Rewrite.const_of ctx (Op.operand op 1) )
+            with
+            | Some (Attr.Int (x, ty)), Some (Attr.Int (y, _)) ->
+              Some [ Rewrite.To_constant (Attr.Int (x + y, ty)) ]
+            | _ -> None
+          else None
+        in
+        let config = { Rewrite.default_config with Rewrite.fold = Some fold } in
+        let m, stats =
+          Rewrite.apply_with_stats ~driver ~config [] (Op.module_op [ fn ])
+        in
+        check Alcotest.int "no add left" 0
+          (Op.count (fun o -> Op.name o = "arith.addi") m);
+        (* the sum op folded to a constant reusing its result value, and
+           the now-dead 2 and 3 constants were erased by the driver *)
+        check Alcotest.int "one constant left" 1
+          (Op.count (fun o -> Op.name o = "arith.constant") m);
+        let konst =
+          List.hd (Op.collect (fun o -> Op.name o = "arith.constant") m)
+        in
+        check Alcotest.bool "use kept its value" true
+          (Value.equal (Op.result1 konst) (Op.result1 sum));
+        check Alcotest.bool "folded" true (stats.Rewrite.ops_folded >= 1);
+        check Alcotest.bool "erased" true (stats.Rewrite.ops_erased >= 2))
+  @ [
+      tc "root-indexed patterns only visit matching ops" (fun () ->
+          let fired_on = ref [] in
+          let pat =
+            Rewrite.pattern ~roots:[ "test.only" ] "rooted" (fun _ op ->
+                fired_on := Op.name op :: !fired_on;
+                None)
+          in
+          let fn =
+            Ftn_dialects.Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[]
+              [
+                Op.make "test.only"; Op.make "test.other";
+                Ftn_dialects.Func_d.return ();
+              ]
+          in
+          ignore (Rewrite.apply [ pat ] (Op.module_op [ fn ]));
+          check (Alcotest.list Alcotest.string) "only the rooted op"
+            [ "test.only" ] !fired_on);
+      tc "worklist and sweep drivers agree on the fixpoint" (fun () ->
+          (* a -> b -> c rename chain with no fresh values: the printed
+             fixpoints must match byte for byte *)
+          let rename from into =
+            Rewrite.pattern ~roots:[ from ] (from ^ "->" ^ into) (fun _ op ->
+                Some (Rewrite.replace_with [ { op with Op.name = into } ]))
+          in
+          let pats = [ rename "test.a" "test.b"; rename "test.b" "test.c" ] in
+          let fn =
+            Ftn_dialects.Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[]
+              [
+                Op.make "test.a"; Op.make "test.b";
+                Ftn_dialects.Func_d.return ();
+              ]
+          in
+          let m = Op.module_op [ fn ] in
+          let wl = Rewrite.apply ~driver:Rewrite.Worklist pats m in
+          let sw = Rewrite.apply ~driver:Rewrite.Sweep pats m in
+          check Alcotest.string "same fixpoint"
+            (Format.asprintf "%a" Printer.pp sw)
+            (Format.asprintf "%a" Printer.pp wl));
+    ]
 
 (* --- pass manager --- *)
 

@@ -309,6 +309,206 @@ let clone_preserves_structure =
       in
       names m = names m')
 
+(* --- rewrite engine properties --- *)
+
+(* Worklist and sweep drivers reach the same fixpoint on random arith
+   modules under confluent pattern sets: either the canonicalisation
+   config alone (fold + dead-op elimination), or pure rename patterns
+   with folding and erasure off (renames that race the folder are NOT
+   confluent — the two engines may legitimately pick different normal
+   forms). The printed IR must be byte-identical: none of these rewrites
+   allocates fresh values, so even value numbering agrees. *)
+let drivers_agree =
+  let rename from into =
+    Rewrite.pattern ~roots:[ from ] (from ^ "->" ^ into) (fun _ op ->
+        Some (Rewrite.replace_with [ { op with Op.name = into } ]))
+  in
+  let gen =
+    let open QCheck.Gen in
+    let* m = arith_module_gen in
+    let* mode = int_range 0 2 in
+    return (m, mode)
+  in
+  QCheck.Test.make ~count:50
+    ~name:"worklist and sweep reach the same fixpoint"
+    (QCheck.make gen ~print:(fun (m, mode) ->
+         Printf.sprintf "mode=%d\n%s" mode (Printer.to_string m)))
+    (fun (m, mode) ->
+      let pats, config =
+        match mode with
+        | 0 -> ([], Ftn_passes.Canonicalize.config)
+        | _ ->
+          ( (if mode = 1 then [ rename "arith.subi" "arith.addi" ] else [])
+            @ [ rename "arith.muli" "test.opaque_mul" ],
+            {
+              Rewrite.default_config with
+              Rewrite.fold = None;
+              is_trivially_dead = (fun _ -> false);
+            } )
+      in
+      let wl = Rewrite.apply ~driver:Rewrite.Worklist ~config pats m in
+      let sw = Rewrite.apply ~driver:Rewrite.Sweep ~config pats m in
+      String.equal (Printer.to_string wl) (Printer.to_string sw))
+
+(* Substitution cycles of any length — pattern i redirects result i to
+   result (i+1) mod k — are detected and reported as a located diagnostic
+   naming a pattern, never an infinite loop, under both drivers. *)
+let cycle_detection =
+  let gen =
+    let open QCheck.Gen in
+    let* k = int_range 2 5 in
+    let* d = oneofl [ Rewrite.Worklist; Rewrite.Sweep ] in
+    return (k, d)
+  in
+  QCheck.Test.make ~count:30 ~name:"substitution cycles raise a diagnostic"
+    (QCheck.make gen ~print:(fun (k, d) ->
+         Printf.sprintf "k=%d %s" k
+           (match d with Rewrite.Worklist -> "worklist" | _ -> "sweep")))
+    (fun (k, driver) ->
+      let b = Builder.create () in
+      let ops =
+        List.init k (fun i ->
+            Op.make (Printf.sprintf "test.n%d" i)
+              ~results:[ Builder.fresh b Types.I32 ])
+      in
+      let results = List.map Op.result1 ops in
+      let use = Op.make "test.use" ~operands:results in
+      let fn =
+        Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[]
+          (ops @ [ use; Func_d.return () ])
+      in
+      let pats =
+        List.mapi
+          (fun i op ->
+            let next = List.nth results ((i + 1) mod k) in
+            Rewrite.pattern
+              ~roots:[ Op.name op ]
+              (Printf.sprintf "cycle-%d" i)
+              (fun _ o ->
+                Some
+                  (Rewrite.replace_with
+                     ~replacements:[ (Op.result1 o, next) ]
+                     [ { o with Op.name = Op.name o ^ "'" } ])))
+          ops
+      in
+      match Rewrite.apply ~driver pats (Op.module_op [ fn ]) with
+      | _ -> false
+      | exception Ftn_diag.Diag.Diag_failure (d :: _) ->
+        Astring_like.contains d.Ftn_diag.Diag.message "substitution cycle")
+
+(* The driver fold hook preserves semantics: folding + DCE under either
+   driver leaves the interpreted result of the function unchanged. *)
+let fold_matches_interp =
+  let gen =
+    let open QCheck.Gen in
+    let* m = arith_module_gen in
+    let* d = oneofl [ Rewrite.Worklist; Rewrite.Sweep ] in
+    return (m, d)
+  in
+  QCheck.Test.make ~count:50 ~name:"driver folding preserves interpreted results"
+    (QCheck.make gen ~print:(fun (m, _) -> Printer.to_string m))
+    (fun (m, driver) ->
+      let fn = List.hd (Op.module_body m) in
+      let body = Func_d.body fn in
+      let last_val =
+        List.rev body
+        |> List.find_map (fun o ->
+               match Op.results o with [ r ] -> Some r | _ -> None)
+      in
+      match last_val with
+      | None -> true
+      | Some r ->
+        let body' =
+          List.filter (fun o -> not (Func_d.is_return o)) body
+          @ [ Func_d.return ~operands:[ r ] () ]
+        in
+        let fn' =
+          Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[ Value.ty r ] body'
+        in
+        let m = Op.module_op [ fn' ] in
+        let interp_of mm =
+          let state = Ftn_interp.Interp.make [ mm ] in
+          Ftn_interp.Interp.run state ~entry:"f" ~args:[]
+        in
+        let folded =
+          Rewrite.apply ~driver ~config:Ftn_passes.Canonicalize.config [] m
+        in
+        interp_of m = interp_of folded)
+
+(* Budget exhaustion is observable: a pattern that never stops firing
+   trips the rewrite.nonconverged counter and emits a warning on the
+   default diagnostics engine naming the last pattern that fired. *)
+let nonconvergence_reported =
+  let gen =
+    let open QCheck.Gen in
+    let* iters = int_range 1 4 in
+    let* d = oneofl [ Rewrite.Worklist; Rewrite.Sweep ] in
+    return (iters, d)
+  in
+  QCheck.Test.make ~count:20 ~name:"nonconvergence bumps metric and warns"
+    (QCheck.make gen ~print:(fun (i, d) ->
+         Printf.sprintf "iters=%d %s" i
+           (match d with Rewrite.Worklist -> "worklist" | _ -> "sweep")))
+    (fun (iters, driver) ->
+      let spin =
+        Rewrite.pattern ~roots:[ "test.spin" ] "spin-forever" (fun _ _ ->
+            Some (Rewrite.replace_with [ Op.make "test.spin" ]))
+      in
+      let fn =
+        Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[]
+          [ Op.make "test.spin"; Func_d.return () ]
+      in
+      let eng = Ftn_diag.Diag_engine.default in
+      let warnings0 = Ftn_diag.Diag_engine.warning_count eng in
+      let metric0 =
+        Ftn_obs.Metrics.counter_value "rewrite.nonconverged"
+      in
+      let _, stats =
+        Rewrite.apply_with_stats ~driver ~max_iterations:iters [ spin ]
+          (Op.module_op [ fn ])
+      in
+      (not stats.Rewrite.converged)
+      && Ftn_obs.Metrics.counter_value "rewrite.nonconverged" > metric0
+      && Ftn_diag.Diag_engine.warning_count eng > warnings0
+      &&
+      let last_warning =
+        List.hd (List.rev (Ftn_diag.Diag_engine.warnings eng))
+      in
+      Astring_like.contains last_warning.Ftn_diag.Diag.message "spin-forever")
+
+(* Over-releasing device data no longer hides silently: every release of
+   an entry with refcount 0 (or never acquired) bumps the
+   data_env.over_release metric and warns on the default engine. *)
+let over_release_reported =
+  QCheck.Test.make ~count ~name:"over-release warns and bumps its metric"
+    QCheck.(
+      list_of_size (Gen.int_range 0 40) (QCheck.make (QCheck.Gen.int_range 0 2)))
+    (fun actions ->
+      let env = Ftn_runtime.Data_env.create () in
+      let model = ref 0 in
+      let overs = ref 0 in
+      let metric0 =
+        Ftn_obs.Metrics.counter_value "data_env.over_release"
+      in
+      let warnings0 =
+        Ftn_diag.Diag_engine.warning_count Ftn_diag.Diag_engine.default
+      in
+      List.iter
+        (fun action ->
+          match action with
+          | 0 ->
+            Ftn_runtime.Data_env.acquire env ~name:"v" ~memory_space:1;
+            incr model
+          | 1 ->
+            Ftn_runtime.Data_env.release env ~name:"v" ~memory_space:1;
+            if !model = 0 then incr overs else decr model
+          | _ -> ())
+        actions;
+      Ftn_obs.Metrics.counter_value "data_env.over_release" - metric0 = !overs
+      && Ftn_diag.Diag_engine.warning_count Ftn_diag.Diag_engine.default
+         - warnings0
+         >= !overs)
+
 (* The IR parser is total: on arbitrarily mutated input it either parses
    or raises Parse_error — never any other exception. *)
 let parser_totality =
@@ -354,5 +554,10 @@ let () =
             clone_preserves_structure;
             acc_omp_equivalence;
             parser_totality;
+            drivers_agree;
+            cycle_detection;
+            fold_matches_interp;
+            nonconvergence_reported;
+            over_release_reported;
           ] );
     ]

@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench bench-rewrite clean
+.PHONY: all build test check bench bench-rewrite bench-interp clean
 
 all: build
 
@@ -18,12 +18,16 @@ check: ## build everything, run the full test suite, every example, and the rewr
 	  dune exec examples/$$name.exe > /dev/null || exit 1; \
 	done
 	$(MAKE) bench-rewrite
+	$(MAKE) bench-interp
 
 bench:
 	dune exec bench/main.exe
 
 bench-rewrite: ## worklist vs sweep comparison; fails unless patterns fired and outputs agree
 	dune exec bench/main.exe -- --rewrite --quick
+
+bench-interp: ## tree-walker vs closure-compiled interpreter; fails unless outputs agree and compiled is >= 3x faster
+	dune exec bench/main.exe -- --interp --quick
 
 clean:
 	dune clean

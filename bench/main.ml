@@ -17,6 +17,10 @@ let skip_bechamel = Array.exists (String.equal "--skip-bechamel") Sys.argv
    which doubles as the `make bench-rewrite` sanity gate. *)
 let rewrite_only = Array.exists (String.equal "--rewrite") Sys.argv
 
+(* --interp runs only the interpreter-engine comparison (BENCH_interp.json),
+   which doubles as the `make bench-interp` sanity gate. *)
+let interp_only = Array.exists (String.equal "--interp") Sys.argv
+
 let progress fmt = Fmt.epr (fmt ^^ "@.")
 
 let saxpy_sizes =
@@ -740,6 +744,138 @@ let rewrite_report () =
     exit 1
   end
 
+(* --- BENCH_interp.json: tree-walking vs closure-compiled interpreter.
+   Compiles and synthesises SGESL and the heat-diffusion stencil once,
+   then executes the host program against the bitstream under each
+   engine, measuring wall time, steps/second and (for the compiled
+   engine) closure-compilation time. The run is also a sanity gate: it
+   exits nonzero unless both engines produce byte-identical output,
+   identical simulated device times, identical step counts, and the
+   compiled engine is at least 3x faster. *)
+
+type interp_measurement = {
+  im_wall_s : float;  (** Best-of-reps executor wall time. *)
+  im_steps : int;
+  im_compile_ms : float;  (** Closure-compilation time, first rep. *)
+  im_output : string;
+  im_device_time_s : float;
+}
+
+let hist_sum name =
+  match Ftn_obs.Metrics.find name with
+  | Some (Ftn_obs.Metrics.Histogram_v { sum; _ }) -> sum
+  | _ -> 0.0
+
+let measure_interp engine ~host ~bitstream ~reps =
+  let open Ftn_obs in
+  let best = ref infinity in
+  let steps = ref 0 in
+  let compile_ms = ref 0.0 in
+  let last = ref None in
+  for rep = 1 to reps do
+    let s0 = Metrics.counter_value "interp.steps" in
+    let c0 = hist_sum "interp.compile_ms" in
+    let sp = ref None in
+    let r =
+      Span.with_span_sp ~name:"bench.interp" (fun s ->
+          sp := Some s;
+          Executor.run ~engine ~host ~bitstream ())
+    in
+    let wall = match !sp with Some s -> s.Span.dur_s | None -> 0.0 in
+    if wall < !best then best := wall;
+    if rep = 1 then begin
+      steps := Metrics.counter_value "interp.steps" - s0;
+      compile_ms := hist_sum "interp.compile_ms" -. c0
+    end;
+    last := Some r
+  done;
+  let r = Option.get !last in
+  {
+    im_wall_s = !best;
+    im_steps = !steps;
+    im_compile_ms = !compile_ms;
+    im_output = r.Executor.output;
+    im_device_time_s = r.Executor.device_time_s;
+  }
+
+let interp_report () =
+  header "Interpreter engine comparison (BENCH_interp.json)";
+  let n_sgesl = if quick then 64 else 256 in
+  let stencil_n = if quick then 64 else 128 in
+  let cases =
+    [
+      (Fmt.str "sgesl_n%d" n_sgesl, Ftn_linpack.Fortran_sources.sgesl ~n:n_sgesl);
+      ( Fmt.str "stencil_n%d" stencil_n,
+        stencil_source ~n:stencil_n ~steps:(if quick then 5 else 10) );
+    ]
+  in
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
+  let case_json (name, src) =
+    progress "  interp bench: %s ..." name;
+    let art = Core.Compiler.compile src in
+    let bitstream = Core.Compiler.synthesise art in
+    let host = art.Core.Compiler.host in
+    let reps = 3 in
+    let tree = measure_interp `Tree ~host ~bitstream ~reps in
+    let comp = measure_interp `Compiled ~host ~bitstream ~reps in
+    if not (String.equal tree.im_output comp.im_output) then
+      fail "%s: tree and compiled outputs differ" name;
+    if tree.im_device_time_s <> comp.im_device_time_s then
+      fail "%s: simulated device times differ between engines" name;
+    if tree.im_steps <> comp.im_steps then
+      fail "%s: step counts differ (%d tree, %d compiled)" name tree.im_steps
+        comp.im_steps;
+    let speedup = tree.im_wall_s /. Float.max 1e-9 comp.im_wall_s in
+    if speedup < 3.0 then
+      fail "%s: compiled engine only %.2fx faster than the tree walker (< 3x)"
+        name speedup;
+    let steps_per_sec m =
+      float_of_int m.im_steps /. Float.max 1e-9 m.im_wall_s
+    in
+    Fmt.pr
+      "  %-16s tree %8.2f ms (%11.0f steps/s) | compiled %8.2f ms (%11.0f \
+       steps/s, compile %5.2f ms) | %5.2fx@."
+      name
+      (tree.im_wall_s *. 1e3)
+      (steps_per_sec tree)
+      (comp.im_wall_s *. 1e3)
+      (steps_per_sec comp) comp.im_compile_ms speedup;
+    let side m =
+      Ftn_obs.Json.Obj
+        [
+          ("wall_s", Ftn_obs.Json.Float m.im_wall_s);
+          ("steps", Ftn_obs.Json.Int m.im_steps);
+          ("steps_per_sec", Ftn_obs.Json.Float (steps_per_sec m));
+          ("compile_ms", Ftn_obs.Json.Float m.im_compile_ms);
+          ("device_time_s", Ftn_obs.Json.Float m.im_device_time_s);
+        ]
+    in
+    ( name,
+      Ftn_obs.Json.Obj
+        [
+          ("tree", side tree);
+          ("compiled", side comp);
+          ("speedup", Ftn_obs.Json.Float speedup);
+          ( "outputs_identical",
+            Ftn_obs.Json.Bool (String.equal tree.im_output comp.im_output) );
+          ( "device_time_identical",
+            Ftn_obs.Json.Bool (tree.im_device_time_s = comp.im_device_time_s)
+          );
+        ] )
+  in
+  let j =
+    Ftn_obs.Json.Obj [ ("cases", Ftn_obs.Json.Obj (List.map case_json cases)) ]
+  in
+  Ftn_obs.Json.write_file "BENCH_interp.json" j;
+  Fmt.pr "  wrote BENCH_interp.json@.";
+  if !failures <> [] then begin
+    List.iter
+      (fun s -> Fmt.epr "interp bench FAILED: %s@." s)
+      (List.rev !failures);
+    exit 1
+  end
+
 (* --- Bechamel micro-benchmarks: one Test.make per table --- *)
 
 let bechamel_tests () =
@@ -818,6 +954,11 @@ let () =
     Fmt.pr "@.done.@.";
     exit 0
   end;
+  if interp_only then begin
+    interp_report ();
+    Fmt.pr "@.done.@.";
+    exit 0
+  end;
   figure1 ();
   figure2 ();
   table1 ();
@@ -834,5 +975,6 @@ let () =
   ablation_burst ();
   obs_report ();
   rewrite_report ();
+  interp_report ();
   if not skip_bechamel then run_bechamel ();
   Fmt.pr "@.done.@."

@@ -69,6 +69,7 @@ type obs_opts = {
   metrics : bool;
   log_level : Ftn_obs.Log.level option;
   max_errors : int;
+  interp_engine : Ftn_interp.Interp.engine option;
 }
 
 let obs_term =
@@ -108,7 +109,17 @@ let obs_term =
             "Stop after reporting $(docv) errors (semantic analysis keeps \
              going past the first error up to this limit).")
   in
-  let make trace_out metrics log_level verbose max_errors =
+  let interp_engine_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("tree", `Tree); ("compiled", `Compiled) ])) None
+      & info [ "interp-engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Interpreter execution engine: $(b,compiled) (the default; \
+             functions are compiled to closures once and reused) or \
+             $(b,tree) (the reference tree-walker).")
+  in
+  let make trace_out metrics log_level verbose max_errors interp_engine =
     let log_level =
       match (log_level, verbose) with
       | Some s, _ -> (
@@ -120,11 +131,11 @@ let obs_term =
       | None, true -> Some Ftn_obs.Log.Debug
       | None, false -> None
     in
-    { trace_out; metrics; log_level; max_errors }
+    { trace_out; metrics; log_level; max_errors; interp_engine }
   in
   Term.(
     const make $ trace_out_arg $ metrics_arg $ log_level_arg $ verbose_arg
-    $ max_errors_arg)
+    $ max_errors_arg $ interp_engine_arg)
 
 (* Run [f] with logging configured, then emit the requested trace and
    metrics dumps from the ambient span collector and default registry. *)
@@ -134,6 +145,9 @@ let with_obs opts f =
   | None -> ());
   Ftn_diag.Diag_engine.set_max_errors Ftn_diag.Diag_engine.default
     opts.max_errors;
+  (match opts.interp_engine with
+  | Some e -> Ftn_interp.Interp.set_default_engine e
+  | None -> ());
   let r = f () in
   (match opts.trace_out with
   | Some path ->

@@ -19,16 +19,19 @@ let unary_names =
   [ "math.sqrt"; "math.exp"; "math.log"; "math.sin"; "math.cos";
     "math.tanh"; "math.absf" ]
 
-let eval_unary name x =
+let unary_fn name =
   match name with
-  | "math.sqrt" -> Some (Float.sqrt x)
-  | "math.exp" -> Some (Float.exp x)
-  | "math.log" -> Some (Float.log x)
-  | "math.sin" -> Some (Float.sin x)
-  | "math.cos" -> Some (Float.cos x)
-  | "math.tanh" -> Some (Float.tanh x)
-  | "math.absf" -> Some (Float.abs x)
+  | "math.sqrt" -> Some Float.sqrt
+  | "math.exp" -> Some Float.exp
+  | "math.log" -> Some Float.log
+  | "math.sin" -> Some Float.sin
+  | "math.cos" -> Some Float.cos
+  | "math.tanh" -> Some Float.tanh
+  | "math.absf" -> Some Float.abs
   | _ -> None
+
+let eval_unary name x =
+  match unary_fn name with Some f -> Some (f x) | None -> None
 
 let register () =
   let open Dialect in

@@ -13,6 +13,10 @@ val absf : Builder.t -> Value.t -> Op.t
 val powf : Builder.t -> Value.t -> Value.t -> Op.t
 val unary_names : string list
 
+val unary_fn : string -> (float -> float) option
+(** Resolve a [math.*] op name to its evaluation function, so callers can
+    hoist the name dispatch out of hot loops. *)
+
 val eval_unary : string -> float -> float option
 (** Evaluation table shared with the interpreter. *)
 

@@ -1,0 +1,861 @@
+(* Closure-compiled execution engine.
+
+   [compile_function] walks a func.func body once and produces a tree of
+   [code : frame -> unit] closures: op-name dispatch, constant and
+   attribute decoding, cmp-predicate resolution, loop-part destructuring,
+   result arities and callee resolution are all paid at compile time. SSA
+   values are renumbered into a per-function dense slot space so a frame
+   is a plain [Rtval.t array] rather than the tree-walker's hashtable.
+
+   The engine preserves [Tree]'s observable contract exactly:
+   - [steps] is bumped once per executed op (including no-op terminators)
+     before the op runs, and the [max_steps] error fires at the same op;
+   - handlers still intercept ops before default semantics — ops whose
+     name matches a handler's [domain] compile to a trampoline that tries
+     the matching handlers and falls back to the compiled default;
+   - [on_loop] fires for scf.for with the same [loop_key] (the induction
+     value's id) and the same trip count;
+   - f32 results round per operation, as in [Tree].
+
+   Structurally malformed ops (wrong operand count, bad predicate,
+   missing attribute) compile to a closure raising the tree-walker's
+   error message when — and only when — the op would execute, so dead
+   malformed code stays dead, as under the tree-walker.
+
+   Compiled functions are cached per interpreter state, keyed by the
+   func.func op's physical identity, so func.call sites and kernel
+   relaunches reuse code. Compilation is lazy: a call site only forces
+   its callee's compilation on first execution (this also handles
+   recursion). *)
+
+open Ftn_ir
+open Ftn_dialects
+module Span = Ftn_obs.Span
+module Metrics = Ftn_obs.Metrics
+
+type frame = Rtval.t array
+type code = frame -> unit
+
+let error = Tree.error
+
+(* A closure raising [fmt] when executed — deferred so malformed ops only
+   fail if reached, mirroring the tree-walker's runtime errors. *)
+let raisef fmt =
+  Fmt.kstr (fun s -> fun (_ : frame) -> raise (Tree.Interp_error s)) fmt
+
+(* Compiled entry for one function: the op and its lazily-built closure. *)
+type entry = {
+  e_fn : Op.t;
+  mutable e_call : (Rtval.t list -> Rtval.t list) option;
+}
+
+type cache = {
+  mutable entries : (Op.t * entry) list;  (** Keyed by physical identity. *)
+  scratch : Tree.frame;
+      (** Frame handed to handler trampolines, with the intercepted op's
+          operands bound. *)
+}
+
+type Tree.cache += Compiled of cache
+
+let get_cache (st : Tree.state) =
+  match st.Tree.exec_cache with
+  | Compiled c -> c
+  | _ ->
+    let c = { entries = []; scratch = Tree.new_frame () } in
+    st.Tree.exec_cache <- Compiled c;
+    c
+
+let entry_for cache fn =
+  match List.assq_opt fn cache.entries with
+  | Some e -> e
+  | None ->
+    let e = { e_fn = fn; e_call = None } in
+    cache.entries <- (fn, e) :: cache.entries;
+    e
+
+(* Slot assignment: first reference wins a fresh dense index. Compilation
+   visits defs and uses in program order, so a function's params, op
+   results and block args all land in one contiguous slot space. *)
+type ctx = {
+  st : Tree.state;
+  cache : cache;
+  slots : (int, int) Hashtbl.t;
+  mutable nslots : int;
+}
+
+let slot ctx v =
+  let id = Value.id v in
+  match Hashtbl.find_opt ctx.slots id with
+  | Some s -> s
+  | None ->
+    let s = ctx.nslots in
+    ctx.nslots <- s + 1;
+    Hashtbl.add ctx.slots id s;
+    s
+
+let slot_array ctx vs = Array.of_list (List.map (slot ctx) vs)
+
+(* Execute a compiled op sequence, accounting one step per op before it
+   runs — exactly [Tree.exec_op]'s bump-then-check-then-execute order. *)
+let run_seq (st : Tree.state) (codes : code array) (f : frame) =
+  for i = 0 to Array.length codes - 1 do
+    st.Tree.steps <- st.Tree.steps + 1;
+    if st.Tree.steps > st.Tree.max_steps then error "step limit exceeded";
+    (Array.unsafe_get codes i) f
+  done
+
+(* Parallel slot-to-slot copy. Reads all sources before writing (via a
+   per-closure scratch buffer) so overlapping src/dst sets — a yield
+   forwarding an iter arg — behave like the tree-walker's read-the-list-
+   then-bind sequence. The scratch is safe to share across invocations:
+   no interpreted code runs between its fill and drain. *)
+let copy_slots ~src ~dst =
+  let n = Array.length src in
+  if Array.length dst <> n then
+    invalid_arg "Compile.copy_slots: length mismatch";
+  if n = 0 then fun (_ : frame) -> ()
+  else if n = 1 then (
+    let s = src.(0) and d = dst.(0) in
+    fun f -> f.(d) <- f.(s))
+  else
+    let tmp = Array.make n Rtval.Unit in
+    fun f ->
+      for k = 0 to n - 1 do
+        tmp.(k) <- f.(src.(k))
+      done;
+      for k = 0 to n - 1 do
+        f.(dst.(k)) <- tmp.(k)
+      done
+
+(* Write a runtime result list into result slots, with the tree-walker's
+   arity error. *)
+let set_result_list op (dst : int array) (f : frame) rvs =
+  let n = Array.length dst in
+  let err () =
+    error "%s produced %d values for %d results" (Op.name op)
+      (List.length rvs) n
+  in
+  let rec go k = function
+    | [] -> if k <> n then err ()
+    | v :: rest ->
+      if k >= n then err ()
+      else begin
+        f.(dst.(k)) <- v;
+        go (k + 1) rest
+      end
+  in
+  go 0 rvs
+
+let rec force st cache entry =
+  match entry.e_call with
+  | Some c -> c
+  | None ->
+    let c = compile_function st cache entry.e_fn in
+    entry.e_call <- Some c;
+    c
+
+and compile_function st cache fn =
+  let fname = Option.value ~default:"?" (Func_d.func_name fn) in
+  let sp_ref = ref None in
+  let code =
+    Span.with_span_sp ~name:"interp.compile" ~attrs:[ ("fn", fname) ]
+      (fun sp ->
+        sp_ref := Some sp;
+        compile_fn_body st cache fn fname)
+  in
+  (match !sp_ref with
+  | Some sp -> Metrics.observe "interp.compile_ms" (sp.Span.dur_s *. 1000.)
+  | None -> ());
+  Metrics.incr "interp.compiled_fns";
+  code
+
+and compile_fn_body st cache fn fname =
+  let ctx = { st; cache; slots = Hashtbl.create 64; nslots = 0 } in
+  let param_slots = slot_array ctx (Func_d.params fn) in
+  let codes = compile_seq ctx (Func_d.body fn) in
+  let nslots = ctx.nslots in
+  let nparams = Array.length param_slots in
+  fun args ->
+    let f = Array.make nslots Rtval.Unit in
+    let arity_err () =
+      error "function %s called with %d arguments (expects %d)" fname
+        (List.length args) nparams
+    in
+    let rec bind k = function
+      | [] -> if k <> nparams then arity_err ()
+      | v :: rest ->
+        if k >= nparams then arity_err ()
+        else begin
+          f.(param_slots.(k)) <- v;
+          bind (k + 1) rest
+        end
+    in
+    bind 0 args;
+    try
+      run_seq st codes f;
+      []
+    with Tree.Return rvs -> rvs
+
+and compile_seq ctx ops = Array.of_list (List.map (compile_op ctx) ops)
+
+(* Handler interception: ops whose name falls in some handler's domain get
+   a trampoline. The matching handlers are selected at compile time; at
+   run time the trampoline evaluates the operands, binds them into the
+   shared scratch tree-frame (handlers expect a [Tree.frame]) and tries
+   the handlers in order, falling back to the compiled default. *)
+and compile_op ctx op : code =
+  let base = compile_default ctx op in
+  let name = Op.name op in
+  match
+    List.filter
+      (fun h -> Tree.domain_matches h.Tree.h_domain name)
+      ctx.st.Tree.handlers
+  with
+  | [] -> base
+  | hs ->
+    let operand_binds =
+      List.map (fun v -> (Value.id v, slot ctx v)) (Op.operands op)
+    in
+    let result_slots = slot_array ctx (Op.results op) in
+    let st = ctx.st in
+    let scratch = ctx.cache.scratch in
+    fun f ->
+      let vals = List.map (fun (_, s) -> f.(s)) operand_binds in
+      List.iter
+        (fun (id, s) -> Hashtbl.replace scratch.Tree.vals id f.(s))
+        operand_binds;
+      let rec try_handlers = function
+        | [] -> base f
+        | h :: rest -> (
+          match h.Tree.h_run st scratch op vals with
+          | Some rvs -> set_result_list op result_slots f rvs
+          | None -> try_handlers rest)
+      in
+      try_handlers hs
+
+and compile_default ctx op : code =
+  let name = Op.name op in
+  let sl v = slot ctx v in
+  let d1 () = sl (Op.result1 op) in
+  let int_binop g =
+    match Op.operands op with
+    | [ a; b ] ->
+      let a = sl a and b = sl b in
+      let d = d1 () in
+      fun f ->
+        f.(d) <- Rtval.Int (g (Rtval.as_int f.(a)) (Rtval.as_int f.(b)))
+    | _ -> raisef "%s expects two operands" name
+  in
+  (* andi/ori/xori act on booleans when both operands are booleans. *)
+  let int_logic bool_g int_g =
+    match Op.operands op with
+    | [ a; b ] ->
+      let a = sl a and b = sl b in
+      let d = d1 () in
+      fun f ->
+        f.(d) <-
+          (match (f.(a), f.(b)) with
+          | Rtval.Bool x, Rtval.Bool y -> Rtval.Bool (bool_g x y)
+          | x, y -> Rtval.Int (int_g (Rtval.as_int x) (Rtval.as_int y)))
+    | _ -> raisef "%s expects two operands" name
+  in
+  (* Division operators check the divisor first, like the tree-walker. *)
+  let int_div g msg =
+    match Op.operands op with
+    | [ a; b ] ->
+      let a = sl a and b = sl b in
+      let d = d1 () in
+      fun f ->
+        let y = Rtval.as_int f.(b) in
+        if y = 0 then error "%s" msg
+        else f.(d) <- Rtval.Int (g (Rtval.as_int f.(a)) y)
+    | _ -> raisef "%s expects two operands" name
+  in
+  let float_binop g =
+    match Op.operands op with
+    | [ a; b ] ->
+      let a = sl a and b = sl b in
+      let d = d1 () in
+      (* f32-typed arithmetic rounds to single precision per operation *)
+      (match Value.ty (Op.result1 op) with
+      | Types.F32 ->
+        fun f ->
+          f.(d) <-
+            Rtval.Float
+              (Rtval.round_to_elt Types.F32
+                 (g (Rtval.as_float f.(a)) (Rtval.as_float f.(b))))
+      | _ ->
+        fun f ->
+          f.(d) <- Rtval.Float (g (Rtval.as_float f.(a)) (Rtval.as_float f.(b))))
+    | _ -> raisef "%s expects two operands" name
+  in
+  let nop : code = fun _ -> () in
+  match name with
+  | "arith.constant" -> (
+    match Op.find_attr op "value" with
+    | Some (Attr.Int (n, Types.I1)) ->
+      let d = d1 () and rv = Rtval.Bool (n <> 0) in
+      fun f -> f.(d) <- rv
+    | Some (Attr.Int (n, _)) ->
+      let d = d1 () and rv = Rtval.Int n in
+      fun f -> f.(d) <- rv
+    | Some (Attr.Float (x, _)) ->
+      let d = d1 () and rv = Rtval.Float x in
+      fun f -> f.(d) <- rv
+    | Some (Attr.Bool b) ->
+      let d = d1 () and rv = Rtval.Bool b in
+      fun f -> f.(d) <- rv
+    | _ -> raisef "arith.constant without a value")
+  | "arith.addi" -> int_binop ( + )
+  | "arith.subi" -> int_binop ( - )
+  | "arith.muli" -> int_binop ( * )
+  | "arith.divsi" -> int_div ( / ) "integer division by zero"
+  | "arith.remsi" -> int_div (fun x y -> x mod y) "integer remainder by zero"
+  | "arith.maxsi" -> int_binop max
+  | "arith.minsi" -> int_binop min
+  | "arith.andi" -> int_logic ( && ) ( land )
+  | "arith.ori" -> int_logic ( || ) ( lor )
+  | "arith.xori" -> int_logic ( <> ) ( lxor )
+  | "arith.addf" -> float_binop ( +. )
+  | "arith.subf" -> float_binop ( -. )
+  | "arith.mulf" -> float_binop ( *. )
+  | "arith.divf" -> float_binop ( /. )
+  | "arith.maximumf" -> float_binop Float.max
+  | "arith.minimumf" -> float_binop Float.min
+  | "arith.negf" -> (
+    match Op.operands op with
+    | [ a ] ->
+      let a = sl a in
+      let d = d1 () in
+      fun f -> f.(d) <- Rtval.Float (-.Rtval.as_float f.(a))
+    | _ -> raisef "arith.negf expects one operand")
+  | "arith.cmpi" -> (
+    match (Op.operands op, Op.string_attr op "predicate") with
+    | [ a; b ], Some pred_s -> (
+      match Arith.int_pred_of_string pred_s with
+      | Some pred ->
+        let a = sl a and b = sl b in
+        let d = d1 () in
+        fun f ->
+          f.(d) <-
+            Rtval.Bool
+              (Arith.eval_int_pred pred (Rtval.as_int f.(a))
+                 (Rtval.as_int f.(b)))
+      | None -> raisef "unknown cmpi predicate %s" pred_s)
+    | _ -> raisef "malformed arith.cmpi")
+  | "arith.cmpf" -> (
+    match (Op.operands op, Op.string_attr op "predicate") with
+    | [ a; b ], Some pred_s -> (
+      match Arith.float_pred_of_string pred_s with
+      | Some pred ->
+        let a = sl a and b = sl b in
+        let d = d1 () in
+        fun f ->
+          f.(d) <-
+            Rtval.Bool
+              (Arith.eval_float_pred pred (Rtval.as_float f.(a))
+                 (Rtval.as_float f.(b)))
+      | None -> raisef "unknown cmpf predicate %s" pred_s)
+    | _ -> raisef "malformed arith.cmpf")
+  | "arith.select" -> (
+    match Op.operands op with
+    | [ c; t; e ] ->
+      let c = sl c and t = sl t and e = sl e in
+      let d = d1 () in
+      fun f -> f.(d) <- (if Rtval.as_bool f.(c) then f.(t) else f.(e))
+    | _ -> raisef "arith.select expects three operands")
+  | "arith.index_cast" | "arith.extsi" | "arith.trunci" | "arith.sitofp"
+  | "arith.fptosi" | "arith.extf" | "arith.truncf" -> (
+    match Op.operands op with
+    | [ a ] -> (
+      let a = sl a in
+      let d = d1 () in
+      match Value.ty (Op.result1 op) with
+      | Types.F32 ->
+        fun f ->
+          f.(d) <-
+            Rtval.Float (Rtval.round_to_elt Types.F32 (Rtval.as_float f.(a)))
+      | Types.F64 -> fun f -> f.(d) <- Rtval.Float (Rtval.as_float f.(a))
+      | Types.I1 -> fun f -> f.(d) <- Rtval.Bool (Rtval.as_bool f.(a))
+      | _ -> fun f -> f.(d) <- Rtval.Int (Rtval.as_int f.(a)))
+    | _ -> raisef "%s expects one operand" name)
+  | "math.sqrt" | "math.exp" | "math.log" | "math.sin" | "math.cos"
+  | "math.tanh" | "math.absf" -> (
+    match Op.operands op with
+    | [ a ] -> (
+      match Math_d.unary_fn name with
+      | Some g ->
+        let a = sl a in
+        let d = d1 () in
+        fun f -> f.(d) <- Rtval.Float (g (Rtval.as_float f.(a)))
+      | None -> raisef "cannot evaluate %s" name)
+    | _ -> raisef "%s expects one operand" name)
+  | "math.powf" -> (
+    match Op.operands op with
+    | [ a; b ] ->
+      let a = sl a and b = sl b in
+      let d = d1 () in
+      fun f ->
+        f.(d) <-
+          Rtval.Float (Float.pow (Rtval.as_float f.(a)) (Rtval.as_float f.(b)))
+    | _ -> raisef "math.powf expects two operands")
+  | "memref.alloca" | "memref.alloc" -> (
+    match Value.ty (Op.result1 op) with
+    | Types.Memref mi ->
+      let dyn_slots = List.map sl (Op.operands op) in
+      let d = sl (Op.result1 op) in
+      let elt = mi.Types.elt and mspace = mi.Types.memory_space in
+      fun f ->
+        let dynamic = List.map (fun s -> Rtval.as_int f.(s)) dyn_slots in
+        let shape = Tree.resolve_shape mi dynamic in
+        f.(d) <- Rtval.Buf (Rtval.alloc_buffer ~memory_space:mspace elt shape)
+    | _ -> raisef "allocation must produce a memref")
+  | "memref.dealloc" -> nop
+  | "memref.load" -> (
+    match Op.operands op with
+    | buf :: indices -> (
+      let b = sl buf in
+      let d = d1 () in
+      match List.map sl indices with
+      | [] -> fun f -> f.(d) <- Rtval.load (Rtval.as_buffer f.(b)) []
+      | [ i ] ->
+        fun f ->
+          f.(d) <- Rtval.load (Rtval.as_buffer f.(b)) [ Rtval.as_int f.(i) ]
+      | [ i; j ] ->
+        fun f ->
+          f.(d) <-
+            Rtval.load (Rtval.as_buffer f.(b))
+              [ Rtval.as_int f.(i); Rtval.as_int f.(j) ]
+      | idx ->
+        fun f ->
+          f.(d) <-
+            Rtval.load (Rtval.as_buffer f.(b))
+              (List.map (fun s -> Rtval.as_int f.(s)) idx))
+    | [] -> raisef "memref.load expects operands")
+  | "memref.store" -> (
+    match Op.operands op with
+    | value :: buf :: indices -> (
+      let v = sl value and b = sl buf in
+      match List.map sl indices with
+      | [] -> fun f -> Rtval.store (Rtval.as_buffer f.(b)) [] f.(v)
+      | [ i ] ->
+        fun f ->
+          Rtval.store (Rtval.as_buffer f.(b)) [ Rtval.as_int f.(i) ] f.(v)
+      | [ i; j ] ->
+        fun f ->
+          Rtval.store (Rtval.as_buffer f.(b))
+            [ Rtval.as_int f.(i); Rtval.as_int f.(j) ]
+            f.(v)
+      | idx ->
+        fun f ->
+          Rtval.store (Rtval.as_buffer f.(b))
+            (List.map (fun s -> Rtval.as_int f.(s)) idx)
+            f.(v))
+    | _ -> raisef "memref.store expects operands")
+  | "memref.dim" -> (
+    match Op.operands op with
+    | [ buf; idx ] ->
+      let b = sl buf and i = sl idx in
+      let d = d1 () in
+      fun f -> (
+        let bv = Rtval.as_buffer f.(b) in
+        match List.nth_opt bv.Rtval.shape (Rtval.as_int f.(i)) with
+        | Some n -> f.(d) <- Rtval.Int n
+        | None -> error "memref.dim out of range")
+    | _ -> raisef "memref.dim expects two operands")
+  | "memref.copy" -> (
+    match Op.operands op with
+    | [ src; dst ] ->
+      let s = sl src and d = sl dst in
+      fun f ->
+        Rtval.copy_into ~src:(Rtval.as_buffer f.(s))
+          ~dst:(Rtval.as_buffer f.(d))
+    | _ -> raisef "memref.copy expects two operands")
+  | "memref.dma_start" -> (
+    match Op.operands op with
+    | [ src; dst ] ->
+      let s = sl src and d = sl dst in
+      fun f ->
+        Rtval.copy_into ~src:(Rtval.as_buffer f.(s))
+          ~dst:(Rtval.as_buffer f.(d))
+    | _ -> raisef "memref.dma_start expects two operands")
+  | "memref.dma_wait" -> nop
+  | "memref.cast" -> (
+    match Op.operands op with
+    | [ a ] ->
+      let a = sl a in
+      let d = d1 () in
+      fun f -> f.(d) <- f.(a)
+    | _ -> raisef "memref.cast expects one operand")
+  | "scf.for" -> compile_for ctx op
+  | "scf.if" -> compile_if ctx op
+  | "scf.while" -> compile_while ctx op
+  | "scf.yield" | "scf.condition" | "omp.yield" | "omp.terminator" -> nop
+  | "func.call" | "fir.call" -> compile_call ctx op
+  | "func.return" -> (
+    match List.map sl (Op.operands op) with
+    | [] -> fun _ -> raise (Tree.Return [])
+    | srcs -> fun f -> raise (Tree.Return (List.map (fun s -> f.(s)) srcs)))
+  | "func.func" -> nop
+  | "builtin.module" -> nop
+  | "builtin.unrealized_conversion_cast" -> (
+    match Op.operands op with
+    | [ a ] ->
+      let a = sl a in
+      let d = d1 () in
+      fun f -> f.(d) <- f.(a)
+    | _ -> raisef "unrealized cast expects one operand")
+  | "omp.map_info" -> (
+    match Op.operands op with
+    | var :: _ ->
+      let s = sl var in
+      let d = d1 () in
+      fun f -> f.(d) <- f.(s)
+    | [] -> raisef "omp.map_info expects the variable operand")
+  | "omp.bounds_info" ->
+    let d = d1 () in
+    fun f -> f.(d) <- Rtval.Int 0
+  | "omp.target" -> compile_region_entry ctx op "malformed omp.target"
+  | "omp.target_data" ->
+    let body = compile_seq ctx (Op.region_body op 0) in
+    let st = ctx.st in
+    fun f -> run_seq st body f
+  | "omp.target_enter_data" | "omp.target_exit_data" | "omp.target_update"
+    ->
+    nop
+  | "omp.parallel_do" -> compile_parallel_do ctx op
+  | "acc.copy_info" -> (
+    match Op.operands op with
+    | var :: _ ->
+      let s = sl var in
+      let d = d1 () in
+      fun f -> f.(d) <- f.(s)
+    | [] -> raisef "acc.copy_info expects the variable operand")
+  | "acc.parallel" -> compile_region_entry ctx op "malformed acc.parallel"
+  | "acc.data" ->
+    let body = compile_seq ctx (Op.region_body op 0) in
+    let st = ctx.st in
+    fun f -> run_seq st body f
+  | "acc.enter_data" | "acc.exit_data" | "acc.update" -> nop
+  | "acc.loop" -> compile_acc_loop ctx op
+  | "acc.yield" | "acc.terminator" -> nop
+  | "hls.pipeline" | "hls.unroll" | "hls.interface" | "hls.array_partition"
+  | "hls.dataflow" ->
+    nop
+  | "hls.axi_protocol" -> (
+    match Op.operands op with
+    | [ a ] ->
+      let a = sl a in
+      let d = d1 () in
+      fun f -> f.(d) <- Rtval.Proto (Rtval.as_int f.(a))
+    | _ -> raisef "hls.axi_protocol expects one operand")
+  | "hls.stream_create" ->
+    let d = d1 () in
+    fun f -> f.(d) <- Rtval.StreamQ (Queue.create ())
+  | "hls.stream_read" -> (
+    match Op.operands op with
+    | [ a ] ->
+      let a = sl a in
+      let d = d1 () in
+      fun f -> (
+        match f.(a) with
+        | Rtval.StreamQ q ->
+          if Queue.is_empty q then error "read on an empty hls.stream"
+          else f.(d) <- Queue.pop q
+        | _ -> error "hls.stream_read expects a stream")
+    | _ -> raisef "hls.stream_read expects a stream")
+  | "hls.stream_write" -> (
+    match Op.operands op with
+    | [ a; v ] ->
+      let a = sl a and v = sl v in
+      fun f -> (
+        match f.(a) with
+        | Rtval.StreamQ q -> Queue.push f.(v) q
+        | _ -> error "hls.stream_write expects a stream and a value")
+    | _ -> raisef "hls.stream_write expects a stream and a value")
+  | other -> raisef "no semantics for operation %s" other
+
+(* omp.target / acc.parallel: bind the region's block args from the op's
+   operands, then run the body inline. *)
+and compile_region_entry ctx op malformed : code =
+  let blk = Op.region_block op 0 in
+  if List.length blk.Op.args <> List.length (Op.operands op) then
+    raisef "%s" malformed
+  else begin
+    let bind =
+      copy_slots
+        ~src:(slot_array ctx (Op.operands op))
+        ~dst:(slot_array ctx blk.Op.args)
+    in
+    let body = compile_seq ctx blk.Op.body in
+    let st = ctx.st in
+    fun f ->
+      bind f;
+      run_seq st body f
+  end
+
+and compile_call ctx op : code =
+  match Op.symbol_attr op "callee" with
+  | None -> raisef "call without callee"
+  | Some callee -> (
+    match Tree.find_function ctx.st callee with
+    | None -> raisef "call to unknown function %s" callee
+    | Some fn ->
+      let arg_slots = List.map (slot ctx) (Op.operands op) in
+      let result_slots = slot_array ctx (Op.results op) in
+      let entry = entry_for ctx.cache fn in
+      let st = ctx.st and cache = ctx.cache in
+      fun f ->
+        let args = List.map (fun s -> f.(s)) arg_slots in
+        let rvs = (force st cache entry) args in
+        set_result_list op result_slots f rvs)
+
+and compile_for ctx op : code =
+  match Scf.for_parts op with
+  | None -> raisef "malformed scf.for"
+  | Some parts ->
+    if
+      List.length parts.Scf.iter_inits <> List.length parts.Scf.iter_args
+      || List.length (Op.results op) <> List.length parts.Scf.iter_args
+    then raisef "malformed scf.for"
+    else begin
+      let lb_s = slot ctx parts.Scf.lb in
+      let ub_s = slot ctx parts.Scf.ub in
+      let step_s = slot ctx parts.Scf.step in
+      let init_slots = slot_array ctx parts.Scf.iter_inits in
+      let ind_s = slot ctx parts.Scf.induction in
+      let arg_slots = slot_array ctx parts.Scf.iter_args in
+      let res_slots = slot_array ctx (Op.results op) in
+      let body = compile_seq ctx parts.Scf.body in
+      (* Iter values live in the block-arg slots across iterations: a
+         trailing yield writes them back, results read them at exit. *)
+      let yield_copy =
+        match List.rev parts.Scf.body with
+        | last :: _
+          when Scf.is_yield last
+               && List.length (Op.operands last) = Array.length arg_slots ->
+          copy_slots ~src:(slot_array ctx (Op.operands last)) ~dst:arg_slots
+        | _ -> fun _ -> ()
+      in
+      let init_copy = copy_slots ~src:init_slots ~dst:arg_slots in
+      let res_copy = copy_slots ~src:arg_slots ~dst:res_slots in
+      let ind_id = Value.id parts.Scf.induction in
+      let st = ctx.st in
+      fun f ->
+        let lb = Rtval.as_int f.(lb_s) in
+        let ub = Rtval.as_int f.(ub_s) in
+        let step = Rtval.as_int f.(step_s) in
+        if step <= 0 then error "scf.for requires a positive step";
+        init_copy f;
+        let i = ref lb in
+        while !i < ub do
+          f.(ind_s) <- Rtval.Int !i;
+          run_seq st body f;
+          yield_copy f;
+          i := !i + step
+        done;
+        (match st.Tree.on_loop with
+        | Some cb ->
+          cb ~loop_key:ind_id ~iters:(max 0 ((ub - lb + step - 1) / step))
+        | None -> ());
+        res_copy f
+    end
+
+and compile_if ctx op : code =
+  match Op.operands op with
+  | [] -> raisef "malformed scf.if"
+  | cond :: _ ->
+    let c = slot ctx cond in
+    let res_slots = slot_array ctx (Op.results op) in
+    let compile_branch ops =
+      let codes = compile_seq ctx ops in
+      let after =
+        match List.rev ops with
+        | last :: _
+          when Scf.is_yield last
+               && List.length (Op.operands last) = Array.length res_slots ->
+          copy_slots ~src:(slot_array ctx (Op.operands last)) ~dst:res_slots
+        | _ ->
+          if Array.length res_slots <> 0 then
+            raisef "scf.if with results needs yields"
+          else fun _ -> ()
+      in
+      (codes, after)
+    in
+    let then_codes, then_after = compile_branch (Op.region_body op 0) in
+    let else_codes, else_after =
+      compile_branch
+        (if List.length (Op.regions op) > 1 then Op.region_body op 1 else [])
+    in
+    let st = ctx.st in
+    fun f ->
+      if Rtval.as_bool f.(c) then begin
+        run_seq st then_codes f;
+        then_after f
+      end
+      else begin
+        run_seq st else_codes f;
+        else_after f
+      end
+
+and compile_while ctx op : code =
+  match Op.regions op with
+  | [ [ before ]; [ after ] ] -> (
+    let init_slots = slot_array ctx (Op.operands op) in
+    let barg_slots = slot_array ctx before.Op.args in
+    if Array.length barg_slots <> Array.length init_slots then
+      raisef "malformed scf.while"
+    else
+      let bind_inits = copy_slots ~src:init_slots ~dst:barg_slots in
+      let before_codes = compile_seq ctx before.Op.body in
+      let res_slots = slot_array ctx (Op.results op) in
+      let st = ctx.st in
+      (* The tree-walker only discovers a malformed loop structure after
+         running the before-region, so the error closures below execute it
+         first — same steps, same side effects. *)
+      match List.rev before.Op.body with
+      | cond_op :: _ when String.equal (Op.name cond_op) "scf.condition"
+        -> (
+        match Op.operands cond_op with
+        | c :: forwarded ->
+          let c = slot ctx c in
+          let fwd_slots = slot_array ctx forwarded in
+          let aarg_slots = slot_array ctx after.Op.args in
+          let after_codes = compile_seq ctx after.Op.body in
+          if
+            Array.length fwd_slots <> Array.length aarg_slots
+            || Array.length fwd_slots <> Array.length res_slots
+          then raisef "malformed scf.while"
+          else
+            let fwd_to_after = copy_slots ~src:fwd_slots ~dst:aarg_slots in
+            let fwd_to_res = copy_slots ~src:fwd_slots ~dst:res_slots in
+            let yield_to_bargs =
+              match List.rev after.Op.body with
+              | y :: _
+                when Scf.is_yield y
+                     && List.length (Op.operands y)
+                        = Array.length barg_slots ->
+                Some
+                  (copy_slots
+                     ~src:(slot_array ctx (Op.operands y))
+                     ~dst:barg_slots)
+              | _ -> None
+            in
+            fun f ->
+              bind_inits f;
+              let continue_ = ref true in
+              while !continue_ do
+                run_seq st before_codes f;
+                if Rtval.as_bool f.(c) then begin
+                  fwd_to_after f;
+                  run_seq st after_codes f;
+                  match yield_to_bargs with
+                  | Some cp -> cp f
+                  | None -> error "scf.while body must end in scf.yield"
+                end
+                else begin
+                  continue_ := false;
+                  fwd_to_res f
+                end
+              done
+        | [] ->
+          fun f ->
+            bind_inits f;
+            run_seq st before_codes f;
+            error "scf.condition needs a condition")
+      | _ ->
+        fun f ->
+          bind_inits f;
+          run_seq st before_codes f;
+          error "scf.while before-region must end in scf.condition")
+  | _ -> raisef "malformed scf.while"
+
+(* Shared n-dimensional loop nest for omp.parallel_do / acc.loop:
+   inclusive upper bounds, all bounds resolved up-front (matching the
+   tree-walker's evaluation order), induction variables optional past the
+   block-arg count. *)
+and compile_nd_loop ctx ~step_err bound_vals iv_vals body_ops : code =
+  let bounds =
+    Array.of_list
+      (List.map
+         (fun (lb, ub, step) -> (slot ctx lb, slot ctx ub, slot ctx step))
+         bound_vals)
+  in
+  let ivs = slot_array ctx iv_vals in
+  let body = compile_seq ctx body_ops in
+  let st = ctx.st in
+  let ndims = Array.length bounds in
+  let rec mk k : (int * int * int) array -> frame -> unit =
+    if k = ndims then fun _ f -> run_seq st body f
+    else
+      let inner = mk (k + 1) in
+      if k < Array.length ivs then (
+        let iv = ivs.(k) in
+        fun b f ->
+          let lb, ub, step = b.(k) in
+          if step <= 0 then error "%s" step_err;
+          let i = ref lb in
+          while !i <= ub do
+            f.(iv) <- Rtval.Int !i;
+            inner b f;
+            i := !i + step
+          done)
+      else
+        fun b f ->
+        let lb, ub, step = b.(k) in
+        if step <= 0 then error "%s" step_err;
+        let i = ref lb in
+        while !i <= ub do
+          inner b f;
+          i := !i + step
+        done
+  in
+  let runner = mk 0 in
+  fun f ->
+    let b =
+      Array.map
+        (fun (l, u, s) ->
+          (Rtval.as_int f.(l), Rtval.as_int f.(u), Rtval.as_int f.(s)))
+        bounds
+    in
+    runner b f
+
+and compile_parallel_do ctx op : code =
+  match Omp.loop_parts op with
+  | None -> raisef "malformed omp.parallel_do"
+  | Some parts ->
+    let bound_vals =
+      List.map2
+        (fun (lb, ub) step -> (lb, ub, step))
+        (List.combine parts.Omp.lbs parts.Omp.ubs)
+        parts.Omp.steps
+    in
+    compile_nd_loop ctx ~step_err:"omp.parallel_do requires positive steps"
+      bound_vals parts.Omp.ivs parts.Omp.loop_body
+
+and compile_acc_loop ctx op : code =
+  let collapse = Option.value ~default:1 (Op.int_attr op "collapse") in
+  let blk = Op.region_block op 0 in
+  let rec split i ops acc =
+    if i = collapse then Some (List.rev acc)
+    else
+      match ops with
+      | lb :: ub :: step :: rest -> split (i + 1) rest ((lb, ub, step) :: acc)
+      | _ -> None
+  in
+  match split 0 (Op.operands op) [] with
+  | None -> raisef "malformed acc.loop bounds"
+  | Some bound_vals ->
+    compile_nd_loop ctx ~step_err:"acc.loop requires positive steps"
+      bound_vals blk.Op.args blk.Op.body
+
+(* Public entry: run [fn] with [args] under the compiled engine, reusing
+   the state's cache across calls and relaunches. *)
+let call_function (st : Tree.state) fn args =
+  let cache = get_cache st in
+  let entry = entry_for cache fn in
+  (match entry.e_call with
+  | Some _ -> Metrics.incr "interp.compile_cache_hits"
+  | None -> Metrics.incr "interp.compile_cache_misses");
+  (force st cache entry) args

@@ -1,518 +1,59 @@
-(* IR interpreter: functionally executes modules at the core-dialect level.
-
-   Default semantics cover arith, math, scf, memref, func and — so that
-   un-offloaded Fortran can run as a CPU reference — sequential OpenMP
-   (omp.target executes inline, omp.parallel_do runs as an ordinary loop).
-   hls directives are no-ops for functional execution.
-
-   device.* operations have no default semantics: the host runtime
-   (Ftn_runtime) installs a handler for them. Handlers run before default
-   semantics, so embedders can also intercept DMA transfers or external
-   calls for bookkeeping. *)
+(* Public interpreter facade: shared types re-exported from [Tree] plus
+   engine dispatch between the tree-walking reference engine ([Tree]) and
+   the closure-compiled engine ([Compile]). Both are referenced directly
+   here so linking the facade always links both engines. *)
 
 open Ftn_ir
-open Ftn_dialects
 
-exception Interp_error of string
+exception Interp_error = Tree.Interp_error
 
-let error fmt = Fmt.kstr (fun s -> raise (Interp_error s)) fmt
+type frame = Tree.frame
 
-type frame = {
-  vals : (int, Rtval.t) Hashtbl.t;
-}
+type domain = Tree.domain =
+  | All
+  | Names of string list
 
-type state = {
-  modules : Op.t list;  (** Searched for func.func bodies, in order. *)
+type engine = Tree.engine
+
+type cache = Tree.cache = ..
+
+type state = Tree.state = {
+  modules : Op.t list;  (** Searched for function bodies, in order. *)
   handlers : handler list;
-  mutable steps : int;  (** Executed op count (a crude work measure). *)
+  mutable steps : int;  (** Executed op count. *)
   max_steps : int;
   mutable on_loop : (loop_key:int -> iters:int -> unit) option;
-      (** Called after each loop completes, keyed by the induction
-          variable's id — used by the runtime to gather timing stats. *)
+      (** Called after each scf.for completes with the induction variable's
+          id and the trip count — the runtime's timing probe. *)
+  engine : engine;
+  mutable exec_cache : cache;
 }
 
-and handler = state -> frame -> Op.t -> Rtval.t list -> Rtval.t list option
+and handler = Tree.handler = {
+  h_domain : domain;
+  h_run : state -> frame -> Op.t -> Rtval.t list -> Rtval.t list option;
+}
 
-exception Return of Rtval.t list
+exception Return = Tree.Return
 
-let make ?(handlers = []) ?(max_steps = 2_000_000_000) modules =
-  { modules; handlers; steps = 0; max_steps; on_loop = None }
+let handler = Tree.handler
+let calls = Tree.calls_domain
+let domain_matches = Tree.domain_matches
+let default_engine = Tree.default_engine
+let set_default_engine = Tree.set_default_engine
+let make = Tree.make
+let get = Tree.get
+let set = Tree.set
+let find_function = Tree.find_function
+let main_function = Tree.main_function
 
-let new_frame () = { vals = Hashtbl.create 64 }
-
-let get frame v =
-  match Hashtbl.find_opt frame.vals (Value.id v) with
-  | Some rv -> rv
-  | None -> error "value %%%d is not bound" (Value.id v)
-
-let set frame v rv = Hashtbl.replace frame.vals (Value.id v) rv
-
-let set_results frame op rvs =
-  try List.iter2 (set frame) (Op.results op) rvs
-  with Invalid_argument _ ->
-    error "%s produced %d values for %d results" (Op.name op)
-      (List.length rvs)
-      (List.length (Op.results op))
-
-let find_function state name =
-  List.find_map
-    (fun m ->
-      if Op.is_module m then
-        match Op.find_function m name with
-        | Some f when Func_d.has_body f -> Some f
-        | _ -> None
-      else None)
-    state.modules
-
-(* --- scalar operations --- *)
-
-let lift_arith_int f a b = Rtval.Int (f (Rtval.as_int a) (Rtval.as_int b))
-let lift_arith_float f a b = Rtval.Float (f (Rtval.as_float a) (Rtval.as_float b))
-
-let eval_cast op v =
-  let dst = Value.ty (Op.result1 op) in
-  match dst with
-  | Types.F32 -> Rtval.Float (Rtval.round_to_elt Types.F32 (Rtval.as_float v))
-  | Types.F64 -> Rtval.Float (Rtval.as_float v)
-  | Types.I1 -> Rtval.Bool (Rtval.as_bool v)
-  | _ -> Rtval.Int (Rtval.as_int v)
-
-(* --- op dispatch --- *)
-
-let rec exec_op state frame op =
-  state.steps <- state.steps + 1;
-  if state.steps > state.max_steps then error "step limit exceeded";
-  let operand_values = List.map (get frame) op.Op.operands in
-  let handled =
-    let rec try_handlers = function
-      | [] -> None
-      | h :: rest -> (
-        match h state frame op operand_values with
-        | Some rvs -> Some rvs
-        | None -> try_handlers rest)
-    in
-    try_handlers state.handlers
-  in
-  match handled with
-  | Some rvs -> set_results frame op rvs
-  | None -> exec_default state frame op operand_values
-
-and exec_default state frame op operand_values =
-  let name = Op.name op in
-  let operands () = operand_values in
-  let ret1 rv = set frame (Op.result1 op) rv in
-  match name with
-  | "arith.constant" -> (
-    match Op.find_attr op "value" with
-    | Some (Attr.Int (n, Types.I1)) -> ret1 (Rtval.Bool (n <> 0))
-    | Some (Attr.Int (n, _)) -> ret1 (Rtval.Int n)
-    | Some (Attr.Float (x, _)) -> ret1 (Rtval.Float x)
-    | Some (Attr.Bool b) -> ret1 (Rtval.Bool b)
-    | _ -> error "arith.constant without a value")
-  | "arith.addi" | "arith.subi" | "arith.muli" | "arith.divsi"
-  | "arith.remsi" | "arith.maxsi" | "arith.minsi" | "arith.andi"
-  | "arith.ori" | "arith.xori" -> (
-    match operands () with
-    | [ a; b ] -> ret1 (eval_int_binop name a b)
-    | _ -> error "%s expects two operands" name)
-  | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf"
-  | "arith.maximumf" | "arith.minimumf" -> (
-    match operands () with
-    | [ a; b ] ->
-      (* f32-typed arithmetic rounds to single precision per operation *)
-      let r = eval_float_binop name a b in
-      let r =
-        match (r, Value.ty (Op.result1 op)) with
-        | Rtval.Float x, Types.F32 ->
-          Rtval.Float (Rtval.round_to_elt Types.F32 x)
-        | _ -> r
-      in
-      ret1 r
-    | _ -> error "%s expects two operands" name)
-  | "arith.negf" -> (
-    match operands () with
-    | [ a ] -> ret1 (Rtval.Float (-.Rtval.as_float a))
-    | _ -> error "arith.negf expects one operand")
-  | "arith.cmpi" -> (
-    match (operands (), Op.string_attr op "predicate") with
-    | [ a; b ], Some pred_s -> (
-      match Arith.int_pred_of_string pred_s with
-      | Some pred ->
-        ret1
-          (Rtval.Bool
-             (Arith.eval_int_pred pred (Rtval.as_int a) (Rtval.as_int b)))
-      | None -> error "unknown cmpi predicate %s" pred_s)
-    | _ -> error "malformed arith.cmpi")
-  | "arith.cmpf" -> (
-    match (operands (), Op.string_attr op "predicate") with
-    | [ a; b ], Some pred_s -> (
-      match Arith.float_pred_of_string pred_s with
-      | Some pred ->
-        ret1
-          (Rtval.Bool
-             (Arith.eval_float_pred pred (Rtval.as_float a)
-                (Rtval.as_float b)))
-      | None -> error "unknown cmpf predicate %s" pred_s)
-    | _ -> error "malformed arith.cmpf")
-  | "arith.select" -> (
-    match operands () with
-    | [ c; t; f ] -> ret1 (if Rtval.as_bool c then t else f)
-    | _ -> error "arith.select expects three operands")
-  | "arith.index_cast" | "arith.extsi" | "arith.trunci" | "arith.sitofp"
-  | "arith.fptosi" | "arith.extf" | "arith.truncf" -> (
-    match operands () with
-    | [ v ] -> ret1 (eval_cast op v)
-    | _ -> error "%s expects one operand" name)
-  | "math.sqrt" | "math.exp" | "math.log" | "math.sin" | "math.cos"
-  | "math.tanh" | "math.absf" -> (
-    match (operands (), Math_d.eval_unary name) with
-    | [ v ], _ -> (
-      match Math_d.eval_unary name (Rtval.as_float v) with
-      | Some r -> ret1 (Rtval.Float r)
-      | None -> error "cannot evaluate %s" name)
-    | _ -> error "%s expects one operand" name)
-  | "math.powf" -> (
-    match operands () with
-    | [ a; b ] ->
-      ret1 (Rtval.Float (Float.pow (Rtval.as_float a) (Rtval.as_float b)))
-    | _ -> error "math.powf expects two operands")
-  | "memref.alloca" | "memref.alloc" -> (
-    match Value.ty (Op.result1 op) with
-    | Types.Memref mi ->
-      let dynamic = List.map Rtval.as_int (operands ()) in
-      let shape = resolve_shape mi dynamic in
-      ret1
-        (Rtval.Buf
-           (Rtval.alloc_buffer ~memory_space:mi.Types.memory_space
-              mi.Types.elt shape))
-    | _ -> error "allocation must produce a memref")
-  | "memref.dealloc" -> ()
-  | "memref.load" -> (
-    match operands () with
-    | buf :: indices ->
-      ret1 (Rtval.load (Rtval.as_buffer buf) (List.map Rtval.as_int indices))
-    | [] -> error "memref.load expects operands")
-  | "memref.store" -> (
-    match operands () with
-    | value :: buf :: indices ->
-      Rtval.store (Rtval.as_buffer buf) (List.map Rtval.as_int indices) value
-    | _ -> error "memref.store expects operands")
-  | "memref.dim" -> (
-    match operands () with
-    | [ buf; idx ] ->
-      let b = Rtval.as_buffer buf in
-      let i = Rtval.as_int idx in
-      (match List.nth_opt b.Rtval.shape i with
-      | Some d -> ret1 (Rtval.Int d)
-      | None -> error "memref.dim out of range")
-    | _ -> error "memref.dim expects two operands")
-  | "memref.copy" -> (
-    match operands () with
-    | [ src; dst ] ->
-      Rtval.copy_into ~src:(Rtval.as_buffer src) ~dst:(Rtval.as_buffer dst)
-    | _ -> error "memref.copy expects two operands")
-  | "memref.dma_start" -> (
-    match operands () with
-    | [ src; dst ] ->
-      Rtval.copy_into ~src:(Rtval.as_buffer src) ~dst:(Rtval.as_buffer dst)
-    | _ -> error "memref.dma_start expects two operands")
-  | "memref.dma_wait" -> ()
-  | "memref.cast" -> (
-    match operands () with
-    | [ v ] -> ret1 v
-    | _ -> error "memref.cast expects one operand")
-  | "scf.for" -> exec_for state frame op
-  | "scf.if" -> exec_if state frame op
-  | "scf.while" -> exec_while state frame op
-  | "scf.yield" | "scf.condition" | "omp.yield" | "omp.terminator" -> ()
-  | "func.call" | "fir.call" -> exec_call state frame op
-  | "func.return" -> raise (Return (operands ()))
-  | "func.func" -> ()
-  | "builtin.module" -> ()
-  | "builtin.unrealized_conversion_cast" -> (
-    match operands () with
-    | [ v ] -> ret1 v
-    | _ -> error "unrealized cast expects one operand")
-  (* sequential OpenMP semantics *)
-  | "omp.map_info" -> (
-    match Op.operands op with
-    | var :: _ -> ret1 (get frame var)
-    | [] -> error "omp.map_info expects the variable operand")
-  | "omp.bounds_info" -> ret1 (Rtval.Int 0)
-  | "omp.target" ->
-    let blk = Op.region_block op 0 in
-    List.iter2 (fun arg v -> set frame arg (get frame v)) blk.Op.args
-      (Op.operands op);
-    exec_ops state frame blk.Op.body
-  | "omp.target_data" -> exec_ops state frame (Op.region_body op 0)
-  | "omp.target_enter_data" | "omp.target_exit_data" | "omp.target_update"
-    ->
-    ()
-  | "omp.parallel_do" -> exec_parallel_do state frame op
-  (* sequential OpenACC semantics, mirroring the omp cases *)
-  | "acc.copy_info" -> (
-    match Op.operands op with
-    | var :: _ -> ret1 (get frame var)
-    | [] -> error "acc.copy_info expects the variable operand")
-  | "acc.parallel" ->
-    let blk = Op.region_block op 0 in
-    List.iter2 (fun arg v -> set frame arg (get frame v)) blk.Op.args
-      (Op.operands op);
-    exec_ops state frame blk.Op.body
-  | "acc.data" -> exec_ops state frame (Op.region_body op 0)
-  | "acc.enter_data" | "acc.exit_data" | "acc.update" -> ()
-  | "acc.loop" -> exec_acc_loop state frame op
-  | "acc.yield" | "acc.terminator" -> ()
-  (* hls directives are no-ops functionally *)
-  | "hls.pipeline" | "hls.unroll" | "hls.interface" | "hls.array_partition"
-  | "hls.dataflow" ->
-    ()
-  | "hls.axi_protocol" -> (
-    match operands () with
-    | [ v ] -> ret1 (Rtval.Proto (Rtval.as_int v))
-    | _ -> error "hls.axi_protocol expects one operand")
-  | "hls.stream_create" -> ret1 (Rtval.StreamQ (Queue.create ()))
-  | "hls.stream_read" -> (
-    match operands () with
-    | [ Rtval.StreamQ q ] ->
-      if Queue.is_empty q then error "read on an empty hls.stream"
-      else ret1 (Queue.pop q)
-    | _ -> error "hls.stream_read expects a stream")
-  | "hls.stream_write" -> (
-    match operands () with
-    | [ Rtval.StreamQ q; v ] -> Queue.push v q
-    | _ -> error "hls.stream_write expects a stream and a value")
-  | other -> error "no semantics for operation %s" other
-
-and eval_int_binop name a b =
-  match name with
-  | "arith.addi" -> lift_arith_int ( + ) a b
-  | "arith.subi" -> lift_arith_int ( - ) a b
-  | "arith.muli" -> lift_arith_int ( * ) a b
-  | "arith.divsi" ->
-    if Rtval.as_int b = 0 then error "integer division by zero"
-    else lift_arith_int ( / ) a b
-  | "arith.remsi" ->
-    if Rtval.as_int b = 0 then error "integer remainder by zero"
-    else lift_arith_int (fun x y -> x mod y) a b
-  | "arith.maxsi" -> lift_arith_int max a b
-  | "arith.minsi" -> lift_arith_int min a b
-  | "arith.andi" -> (
-    match (a, b) with
-    | Rtval.Bool x, Rtval.Bool y -> Rtval.Bool (x && y)
-    | _ -> lift_arith_int ( land ) a b)
-  | "arith.ori" -> (
-    match (a, b) with
-    | Rtval.Bool x, Rtval.Bool y -> Rtval.Bool (x || y)
-    | _ -> lift_arith_int ( lor ) a b)
-  | "arith.xori" -> (
-    match (a, b) with
-    | Rtval.Bool x, Rtval.Bool y -> Rtval.Bool (x <> y)
-    | _ -> lift_arith_int ( lxor ) a b)
-  | _ -> error "unknown integer binop %s" name
-
-and eval_float_binop name a b =
-  match name with
-  | "arith.addf" -> lift_arith_float ( +. ) a b
-  | "arith.subf" -> lift_arith_float ( -. ) a b
-  | "arith.mulf" -> lift_arith_float ( *. ) a b
-  | "arith.divf" -> lift_arith_float ( /. ) a b
-  | "arith.maximumf" -> lift_arith_float Float.max a b
-  | "arith.minimumf" -> lift_arith_float Float.min a b
-  | _ -> error "unknown float binop %s" name
-
-and resolve_shape mi dynamic =
-  let rec go shape dynamic =
-    match shape with
-    | [] -> []
-    | Types.Static n :: rest -> n :: go rest dynamic
-    | Types.Dynamic :: rest -> (
-      match dynamic with
-      | d :: dynamic -> d :: go rest dynamic
-      | [] -> error "missing dynamic dimension operand")
-  in
-  go mi.Types.shape dynamic
-
-and exec_for state frame op =
-  match Scf.for_parts op with
-  | None -> error "malformed scf.for"
-  | Some parts ->
-    let lb = Rtval.as_int (get frame parts.Scf.lb) in
-    let ub = Rtval.as_int (get frame parts.Scf.ub) in
-    let step = Rtval.as_int (get frame parts.Scf.step) in
-    if step <= 0 then error "scf.for requires a positive step";
-    let iters = ref (List.map (get frame) parts.Scf.iter_inits) in
-    let i = ref lb in
-    while !i < ub do
-      set frame parts.Scf.induction (Rtval.Int !i);
-      List.iter2 (set frame) parts.Scf.iter_args !iters;
-      exec_ops state frame parts.Scf.body;
-      (match List.rev parts.Scf.body with
-      | last :: _ when Scf.is_yield last ->
-        iters := List.map (get frame) (Op.operands last)
-      | _ -> ());
-      i := !i + step
-    done;
-    (match state.on_loop with
-    | Some f ->
-      f ~loop_key:(Value.id parts.Scf.induction)
-        ~iters:(if step > 0 then max 0 ((ub - lb + step - 1) / step) else 0)
-    | None -> ());
-    List.iter2 (set frame) (Op.results op) !iters
-
-and exec_if state frame op =
-  let cond = Rtval.as_bool (get frame (List.hd (Op.operands op))) in
-  let body =
-    if cond then Op.region_body op 0
-    else if List.length (Op.regions op) > 1 then Op.region_body op 1
-    else []
-  in
-  exec_ops state frame body;
-  match List.rev body with
-  | last :: _ when Scf.is_yield last ->
-    List.iter2 (set frame) (Op.results op)
-      (List.map (get frame) (Op.operands last))
-  | _ ->
-    if Op.results op <> [] then error "scf.if with results needs yields"
-
-and exec_while state frame op =
-  match Op.regions op with
-  | [ [ before ]; [ after ] ] ->
-    let current = ref (List.map (get frame) (Op.operands op)) in
-    let continue_ = ref true in
-    let results = ref !current in
-    while !continue_ do
-      List.iter2 (set frame) before.Op.args !current;
-      exec_ops state frame before.Op.body;
-      (match List.rev before.Op.body with
-      | cond_op :: _ when String.equal (Op.name cond_op) "scf.condition" -> (
-        match Op.operands cond_op with
-        | c :: forwarded ->
-          let vals = List.map (get frame) forwarded in
-          if Rtval.as_bool (get frame c) then begin
-            List.iter2 (set frame) after.Op.args vals;
-            exec_ops state frame after.Op.body;
-            match List.rev after.Op.body with
-            | y :: _ when Scf.is_yield y ->
-              current := List.map (get frame) (Op.operands y)
-            | _ -> error "scf.while body must end in scf.yield"
-          end
-          else begin
-            continue_ := false;
-            results := vals
-          end
-        | [] -> error "scf.condition needs a condition")
-      | _ -> error "scf.while before-region must end in scf.condition")
-    done;
-    List.iter2 (set frame) (Op.results op) !results
-  | _ -> error "malformed scf.while"
-
-and exec_parallel_do state frame op =
-  match Omp.loop_parts op with
-  | None -> error "malformed omp.parallel_do"
-  | Some parts ->
-    (* Sequential execution with Fortran's inclusive upper bound. *)
-    let bounds =
-      List.map2
-        (fun (lb, ub) step ->
-          ( Rtval.as_int (get frame lb),
-            Rtval.as_int (get frame ub),
-            Rtval.as_int (get frame step) ))
-        (List.combine parts.Omp.lbs parts.Omp.ubs)
-        parts.Omp.steps
-    in
-    let rec loop dims ivs =
-      match dims with
-      | [] -> exec_ops state frame parts.Omp.loop_body
-      | (lb, ub, step) :: rest ->
-        if step <= 0 then error "omp.parallel_do requires positive steps";
-        let i = ref lb in
-        while !i <= ub do
-          (match ivs with
-          | iv :: _ -> set frame iv (Rtval.Int !i)
-          | [] -> ());
-          loop rest (List.tl ivs);
-          i := !i + step
-        done
-    in
-    loop bounds parts.Omp.ivs
-
-and exec_acc_loop state frame op =
-  (* same shape as omp.parallel_do: (lb, ub, step) per collapsed dim then
-     reduction operands; inclusive upper bound *)
-  let collapse = Option.value ~default:1 (Op.int_attr op "collapse") in
-  let operands = Op.operands op in
-  let blk = Op.region_block op 0 in
-  let rec split i ops acc =
-    if i = collapse then List.rev acc
-    else
-      match ops with
-      | lb :: ub :: step :: rest -> split (i + 1) rest ((lb, ub, step) :: acc)
-      | _ -> error "malformed acc.loop bounds"
-  in
-  let bounds =
-    List.map
-      (fun (lb, ub, step) ->
-        ( Rtval.as_int (get frame lb),
-          Rtval.as_int (get frame ub),
-          Rtval.as_int (get frame step) ))
-      (split 0 operands [])
-  in
-  let rec loop dims ivs =
-    match dims with
-    | [] -> exec_ops state frame blk.Op.body
-    | (lb, ub, step) :: rest ->
-      if step <= 0 then error "acc.loop requires positive steps";
-      let i = ref lb in
-      while !i <= ub do
-        (match ivs with
-        | iv :: _ -> set frame iv (Rtval.Int !i)
-        | [] -> ());
-        loop rest (match ivs with _ :: t -> t | [] -> []);
-        i := !i + step
-      done
-  in
-  loop bounds blk.Op.args
-
-and exec_call state frame op =
-  let callee =
-    match Op.symbol_attr op "callee" with
-    | Some c -> c
-    | None -> error "call without callee"
-  in
-  let args = List.map (get frame) (Op.operands op) in
-  match find_function state callee with
-  | Some fn ->
-    let results = call_function state fn args in
-    set_results frame op results
-  | None -> error "call to unknown function %s" callee
-
-and call_function state fn args =
-  let callee_frame = new_frame () in
-  let params = Func_d.params fn in
-  (try List.iter2 (set callee_frame) params args
-   with Invalid_argument _ ->
-     error "function %s called with %d arguments (expects %d)"
-       (Option.value ~default:"?" (Func_d.func_name fn))
-       (List.length args) (List.length params));
-  try
-    exec_ops state callee_frame (Func_d.body fn);
-    []
-  with Return rvs -> rvs
-
-and exec_ops state frame ops = List.iter (exec_op state frame) ops
+let call_function state fn args =
+  match state.engine with
+  | `Tree -> Tree.call_function state fn args
+  | `Compiled -> Compile.call_function state fn args
 
 (* Run a function by name with the given arguments. *)
 let run state ~entry ~args =
   match find_function state entry with
   | Some fn -> call_function state fn args
-  | None -> error "entry function %s not found" entry
-
-(* Find the Fortran main program in a module. *)
-let main_function m =
-  List.find_opt
-    (fun op ->
-      Func_d.is_func op
-      && Op.bool_attr op "ftn.main" = Some true
-      && Func_d.has_body op)
-    (Op.module_body m)
+  | None -> Tree.error "entry function %s not found" entry

@@ -7,12 +7,30 @@
     programs run as CPU references. hls directives are functional no-ops.
     device.* operations have no default semantics: the host runtime
     installs a {!handler} for them; handlers run before defaults, so
-    embedders can also intercept DMA or external calls. *)
+    embedders can also intercept DMA or external calls.
+
+    Two execution engines share these semantics: [`Tree], the reference
+    tree-walker ({!Tree}), and [`Compiled] (the default), which compiles
+    each function body once into OCaml closures over dense slot frames
+    ({!Compile}) — typically several times faster. The engines are
+    observationally equivalent: same results, same [steps] counts, same
+    handler and [on_loop] callbacks, same error messages on executed
+    malformed ops. *)
 
 exception Interp_error of string
 
 type frame
 (** Per-function-call value bindings. *)
+
+type domain =
+  | All  (** Consult the handler on every executed op. *)
+  | Names of string list  (** Only on ops with one of these names. *)
+
+type engine = [ `Tree | `Compiled ]
+
+type cache = Tree.cache = ..
+(** Engine-private per-state storage (the compiled engine's function
+    cache); opaque to callers. *)
 
 type state = {
   modules : Ftn_ir.Op.t list;  (** Searched for function bodies, in order. *)
@@ -22,17 +40,45 @@ type state = {
   mutable on_loop : (loop_key:int -> iters:int -> unit) option;
       (** Called after each scf.for completes with the induction variable's
           id and the trip count — the runtime's timing probe. *)
+  engine : engine;
+  mutable exec_cache : cache;
 }
 
-and handler =
-  state -> frame -> Ftn_ir.Op.t -> Rtval.t list -> Rtval.t list option
+and handler = {
+  h_domain : domain;
+  h_run :
+    state -> frame -> Ftn_ir.Op.t -> Rtval.t list -> Rtval.t list option;
+}
 (** Receives the op and its evaluated operands; [Some results] handles the
-    op, [None] defers to the next handler or the default semantics. *)
+    op, [None] defers to the next handler or the default semantics. The
+    [h_domain] narrows which ops the handler is consulted for — the
+    compiled engine only pays for interception on those ops. *)
 
 exception Return of Rtval.t list
 
+val handler :
+  ?domain:domain ->
+  (state -> frame -> Ftn_ir.Op.t -> Rtval.t list -> Rtval.t list option) ->
+  handler
+(** Build a handler; [domain] defaults to {!All}. *)
+
+val calls : domain
+(** The call ops ([func.call], [fir.call]) — the domain of intrinsic
+    handlers. *)
+
+val domain_matches : domain -> string -> bool
+
+val default_engine : unit -> engine
+val set_default_engine : engine -> unit
+(** Engine used by {!make} when [?engine] is omitted; initially
+    [`Compiled]. *)
+
 val make :
-  ?handlers:handler list -> ?max_steps:int -> Ftn_ir.Op.t list -> state
+  ?handlers:handler list ->
+  ?max_steps:int ->
+  ?engine:engine ->
+  Ftn_ir.Op.t list ->
+  state
 
 val get : frame -> Ftn_ir.Value.t -> Rtval.t
 val set : frame -> Ftn_ir.Value.t -> Rtval.t -> unit

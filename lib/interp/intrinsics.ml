@@ -25,7 +25,7 @@ let format_float x =
 
 (* Handler for the ftn_print_* family. *)
 let print_handler sink : Interp.handler =
- fun _state _frame op operands ->
+  Interp.handler ~domain:Interp.calls @@ fun _state _frame op operands ->
   match Op.symbol_attr op "callee" with
   | Some "ftn_print_str" ->
     let text = Option.value ~default:"" (Op.string_attr op "text") in
@@ -57,7 +57,7 @@ let print_handler sink : Interp.handler =
 (* Device runtime-library calls (type conversion, stream IO) referenced by
    generated device code; functional no-op equivalents. *)
 let runtime_library_handler : Interp.handler =
- fun _state _frame op operands ->
+  Interp.handler ~domain:Interp.calls @@ fun _state _frame op operands ->
   match Op.symbol_attr op "callee" with
   | Some "_hls_f32_to_f64" -> (
     match operands with

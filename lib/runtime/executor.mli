@@ -25,7 +25,14 @@ type result = {
 }
 
 val create_context :
-  ?spec:Ftn_hlsim.Fpga_spec.t -> ?echo:bool -> Ftn_hlsim.Bitstream.t -> context
+  ?spec:Ftn_hlsim.Fpga_spec.t ->
+  ?echo:bool ->
+  ?engine:Ftn_interp.Interp.engine ->
+  Ftn_hlsim.Bitstream.t ->
+  context
+(** [engine] selects the interpreter engine for kernels and host modules
+    run against this context; defaults to
+    [Ftn_interp.Interp.default_engine ()]. *)
 
 (** {2 Host API} *)
 
@@ -50,7 +57,13 @@ val api_launch : context -> kernel:string -> Ftn_interp.Rtval.t list -> unit
 
 val result_of_context : context -> result
 val summary : context -> float * float * float * float
-(** (device, kernel, transfer, overhead) seconds so far. *)
+(** (device, kernel, transfer, overhead) seconds so far — O(1), read from
+    running totals maintained by the charging functions. *)
+
+val track_time_from_spans : context -> string -> float
+(** Recompute one track's total ("kernel", "transfer" or "overhead") by
+    folding the context's sim-clock spans — the totals' cross-check,
+    exposed for tests. *)
 
 (** {2 Interpreted host modules} *)
 
@@ -63,6 +76,7 @@ val run :
   ?echo:bool ->
   ?entry:string ->
   ?args:Ftn_interp.Rtval.t list ->
+  ?engine:Ftn_interp.Interp.engine ->
   host:Ftn_ir.Op.t ->
   bitstream:Ftn_hlsim.Bitstream.t ->
   unit ->
@@ -74,6 +88,7 @@ val run_cpu :
   ?echo:bool ->
   ?entry:string ->
   ?args:Ftn_interp.Rtval.t list ->
+  ?engine:Ftn_interp.Interp.engine ->
   Ftn_ir.Op.t ->
   string * int
 (** CPU reference: run a core-level module with sequential OpenMP

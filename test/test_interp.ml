@@ -1,6 +1,8 @@
 (* Tests for the IR interpreter: runtime values and buffers, scalar
    semantics, structured control flow, memory, calls, sequential OpenMP,
-   and the loop statistics hook. *)
+   and the loop statistics hook. Every suite that executes IR runs under
+   both engines — the tree-walker and the closure compiler — and an
+   "engines" suite checks the two agree on results and step counts. *)
 
 open Ftn_ir
 open Ftn_dialects
@@ -8,16 +10,17 @@ open Ftn_interp
 
 let tc name f = Alcotest.test_case name `Quick f
 let check = Alcotest.check
+let engines = [ ("tree", `Tree); ("compiled", `Compiled) ]
 
 (* Build a module with one function "f" and run it. *)
-let run_fn ?handlers ~args ~arg_tys ~result_tys body_fn =
+let run_fn ?engine ?handlers ~args ~arg_tys ~result_tys body_fn =
   let b = Builder.create () in
   let params = List.map (Builder.fresh b) arg_tys in
   let body = body_fn b params in
   let fn = Func_d.func ~sym_name:"f" ~args:params ~result_tys body in
   let m = Op.module_op [ fn ] in
   Verifier.verify_exn m;
-  let state = Interp.make ?handlers [ m ] in
+  let state = Interp.make ?handlers ?engine [ m ] in
   Interp.run state ~entry:"f" ~args
 
 let rtval = Alcotest.testable Rtval.pp (fun a b -> a = b)
@@ -69,11 +72,11 @@ let rtval_tests =
 
 (* --- scalar ops --- *)
 
-let scalar_tests =
+let scalar_tests engine =
   [
     tc "integer arithmetic" (fun () ->
         let r =
-          run_fn ~args:[ Rtval.Int 7; Rtval.Int 3 ]
+          run_fn ~engine ~args:[ Rtval.Int 7; Rtval.Int 3 ]
             ~arg_tys:[ Types.I32; Types.I32 ] ~result_tys:[ Types.I32 ]
             (fun b params ->
               match params with
@@ -86,7 +89,7 @@ let scalar_tests =
         check (Alcotest.list rtval) "result" [ Rtval.Int 12 ] r);
     tc "float arithmetic rounds f32" (fun () ->
         let r =
-          run_fn ~args:[ Rtval.Float 1.0 ] ~arg_tys:[ Types.F32 ]
+          run_fn ~engine ~args:[ Rtval.Float 1.0 ] ~arg_tys:[ Types.F32 ]
             ~result_tys:[ Types.F32 ]
             (fun b params ->
               match params with
@@ -104,7 +107,7 @@ let scalar_tests =
     tc "division by zero raises" (fun () ->
         try
           ignore
-            (run_fn ~args:[ Rtval.Int 1; Rtval.Int 0 ]
+            (run_fn ~engine ~args:[ Rtval.Int 1; Rtval.Int 0 ]
                ~arg_tys:[ Types.I32; Types.I32 ] ~result_tys:[ Types.I32 ]
                (fun b params ->
                  match params with
@@ -116,7 +119,7 @@ let scalar_tests =
         with Interp.Interp_error _ -> ());
     tc "comparisons and select" (fun () ->
         let r =
-          run_fn ~args:[ Rtval.Int 5; Rtval.Int 9 ]
+          run_fn ~engine ~args:[ Rtval.Int 5; Rtval.Int 9 ]
             ~arg_tys:[ Types.I32; Types.I32 ] ~result_tys:[ Types.I32 ]
             (fun b params ->
               match params with
@@ -129,7 +132,7 @@ let scalar_tests =
         check (Alcotest.list rtval) "max" [ Rtval.Int 9 ] r);
     tc "math functions" (fun () ->
         let r =
-          run_fn ~args:[ Rtval.Float 4.0 ] ~arg_tys:[ Types.F64 ]
+          run_fn ~engine ~args:[ Rtval.Float 4.0 ] ~arg_tys:[ Types.F64 ]
             ~result_tys:[ Types.F64 ]
             (fun b params ->
               match params with
@@ -141,7 +144,7 @@ let scalar_tests =
         check (Alcotest.list rtval) "sqrt" [ Rtval.Float 2.0 ] r);
     tc "casts" (fun () ->
         let r =
-          run_fn ~args:[ Rtval.Float 3.7 ] ~arg_tys:[ Types.F64 ]
+          run_fn ~engine ~args:[ Rtval.Float 3.7 ] ~arg_tys:[ Types.F64 ]
             ~result_tys:[ Types.I32 ]
             (fun b params ->
               match params with
@@ -155,12 +158,12 @@ let scalar_tests =
 
 (* --- control flow --- *)
 
-let control_tests =
+let control_tests engine =
   [
     tc "scf.for accumulates through iter args" (fun () ->
         (* sum 0..9 *)
         let r =
-          run_fn ~args:[] ~arg_tys:[] ~result_tys:[ Types.Index ]
+          run_fn ~engine ~args:[] ~arg_tys:[] ~result_tys:[ Types.Index ]
             (fun b _ ->
               let z = Arith.const_index b 0 in
               let n = Arith.const_index b 10 in
@@ -179,7 +182,7 @@ let control_tests =
         check (Alcotest.list rtval) "sum" [ Rtval.Int 45 ] r);
     tc "scf.for with step" (fun () ->
         let r =
-          run_fn ~args:[] ~arg_tys:[] ~result_tys:[ Types.Index ]
+          run_fn ~engine ~args:[] ~arg_tys:[] ~result_tys:[ Types.Index ]
             (fun b _ ->
               let z = Arith.const_index b 0 in
               let n = Arith.const_index b 10 in
@@ -199,7 +202,7 @@ let control_tests =
         check (Alcotest.list rtval) "trip count" [ Rtval.Int 4 ] r);
     tc "scf.if takes the right branch" (fun () ->
         let branch cond_val =
-          run_fn ~args:[ Rtval.Bool cond_val ] ~arg_tys:[ Types.I1 ]
+          run_fn ~engine ~args:[ Rtval.Bool cond_val ] ~arg_tys:[ Types.I1 ]
             ~result_tys:[ Types.I32 ]
             (fun b params ->
               match params with
@@ -219,7 +222,7 @@ let control_tests =
         check (Alcotest.list rtval) "else" [ Rtval.Int 2 ] (branch false));
     tc "scf.while counts down" (fun () ->
         let r =
-          run_fn ~args:[ Rtval.Int 5 ] ~arg_tys:[ Types.I32 ]
+          run_fn ~engine ~args:[ Rtval.Int 5 ] ~arg_tys:[ Types.I32 ]
             ~result_tys:[ Types.I32 ]
             (fun b params ->
               match params with
@@ -257,59 +260,47 @@ let control_tests =
             [ call; Func_d.return ~operands:[ Op.result1 call ] () ]
         in
         let m = Op.module_op [ inner; outer ] in
-        let state = Interp.make [ m ] in
+        let state = Interp.make ~engine [ m ] in
         check (Alcotest.list rtval) "result" [ Rtval.Int 42 ]
           (Interp.run state ~entry:"main_fn" ~args:[ Rtval.Int 21 ]));
     tc "unknown function errors" (fun () ->
-        let state = Interp.make [ Op.module_op [] ] in
+        let state = Interp.make ~engine [ Op.module_op [] ] in
         try
           ignore (Interp.run state ~entry:"ghost" ~args:[]);
           Alcotest.fail "expected error"
         with Interp.Interp_error _ -> ());
     tc "step limit aborts runaway loops" (fun () ->
+        let b = Builder.create () in
+        let z = Arith.const_index b 0 in
+        let n = Arith.const_index b 1000000 in
+        let one = Arith.const_index b 1 in
+        let loop =
+          Scf.for_ b ~lb:(Op.result1 z) ~ub:(Op.result1 n)
+            ~step:(Op.result1 one) (fun _ _ -> [ Scf.yield () ])
+        in
+        let fn =
+          Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[]
+            [ z; n; one; loop; Func_d.return () ]
+        in
+        let state =
+          Interp.make ~engine ~max_steps:100 [ Op.module_op [ fn ] ]
+        in
         try
-          ignore
-            (run_fn ~args:[] ~arg_tys:[] ~result_tys:[]
-               (fun b _ ->
-                 let z = Arith.const_index b 0 in
-                 let n = Arith.const_index b 1000000 in
-                 let one = Arith.const_index b 1 in
-                 let loop =
-                   Scf.for_ b ~lb:(Op.result1 z) ~ub:(Op.result1 n)
-                     ~step:(Op.result1 one) (fun _ _ -> [ Scf.yield () ])
-                 in
-                 [ z; n; one; loop; Func_d.return () ])
-             |> fun _ -> ());
-          (* also check with a tiny limit using a manual state *)
-          let b = Builder.create () in
-          let z = Arith.const_index b 0 in
-          let n = Arith.const_index b 1000000 in
-          let one = Arith.const_index b 1 in
-          let loop =
-            Scf.for_ b ~lb:(Op.result1 z) ~ub:(Op.result1 n)
-              ~step:(Op.result1 one) (fun _ _ -> [ Scf.yield () ])
-          in
-          let fn =
-            Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[]
-              [ z; n; one; loop; Func_d.return () ]
-          in
-          let state = Interp.make ~max_steps:100 [ Op.module_op [ fn ] ] in
-          (try
-             ignore (Interp.run state ~entry:"f" ~args:[]);
-             Alcotest.fail "expected step limit"
-           with Interp.Interp_error _ -> ())
-        with Interp.Interp_error _ -> Alcotest.fail "unexpected early error");
+          ignore (Interp.run state ~entry:"f" ~args:[]);
+          Alcotest.fail "expected step limit"
+        with Interp.Interp_error _ -> ());
     tc "handlers run before defaults" (fun () ->
         let intercepted = ref false in
-        let handler _ _ op _ =
-          if Op.name op = "arith.constant" then begin
-            intercepted := true;
-            Some [ Rtval.Int 99 ]
-          end
-          else None
+        let h =
+          Interp.handler (fun _ _ op _ ->
+              if Op.name op = "arith.constant" then begin
+                intercepted := true;
+                Some [ Rtval.Int 99 ]
+              end
+              else None)
         in
         let r =
-          run_fn ~handlers:[ handler ] ~args:[] ~arg_tys:[]
+          run_fn ~engine ~handlers:[ h ] ~args:[] ~arg_tys:[]
             ~result_tys:[ Types.I32 ]
             (fun b _ ->
               let c = Arith.const_i32 b 1 in
@@ -317,6 +308,25 @@ let control_tests =
         in
         check Alcotest.bool "intercepted" true !intercepted;
         check (Alcotest.list rtval) "handler value" [ Rtval.Int 99 ] r);
+    tc "Names-domain handlers only see their ops" (fun () ->
+        let seen = ref [] in
+        let h =
+          Interp.handler ~domain:(Interp.Names [ "arith.addi" ])
+            (fun _ _ op _ ->
+              seen := Op.name op :: !seen;
+              Some [ Rtval.Int 41 ])
+        in
+        let r =
+          run_fn ~engine ~handlers:[ h ] ~args:[] ~arg_tys:[]
+            ~result_tys:[ Types.I32 ]
+            (fun b _ ->
+              let c = Arith.const_i32 b 1 in
+              let a = Arith.addi b (Op.result1 c) (Op.result1 c) in
+              [ c; a; Func_d.return ~operands:[ Op.result1 a ] () ])
+        in
+        check (Alcotest.list rtval) "intercepted value" [ Rtval.Int 41 ] r;
+        check (Alcotest.list Alcotest.string) "only addi" [ "arith.addi" ]
+          !seen);
     tc "on_loop reports iteration counts" (fun () ->
         let counts = ref [] in
         let b = Builder.create () in
@@ -331,7 +341,7 @@ let control_tests =
           Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[]
             [ z; n; one; loop; Func_d.return () ]
         in
-        let state = Interp.make [ Op.module_op [ fn ] ] in
+        let state = Interp.make ~engine [ Op.module_op [ fn ] ] in
         state.Interp.on_loop <-
           Some (fun ~loop_key ~iters -> counts := (loop_key, iters) :: !counts);
         ignore (Interp.run state ~entry:"f" ~args:[]);
@@ -342,11 +352,11 @@ let control_tests =
 
 (* --- memory and omp --- *)
 
-let memory_tests =
+let memory_tests engine =
   [
     tc "alloca, store, load" (fun () ->
         let r =
-          run_fn ~args:[] ~arg_tys:[] ~result_tys:[ Types.F64 ]
+          run_fn ~engine ~args:[] ~arg_tys:[] ~result_tys:[ Types.F64 ]
             (fun b _ ->
               let buf = Memref_d.alloca b (Types.memref_static [ 4 ] Types.F64) in
               let i = Arith.const_index b 2 in
@@ -358,7 +368,7 @@ let memory_tests =
         check (Alcotest.list rtval) "roundtrip" [ Rtval.Float 6.5 ] r);
     tc "dynamic alloca takes size operands" (fun () ->
         let r =
-          run_fn ~args:[ Rtval.Int 5 ] ~arg_tys:[ Types.Index ]
+          run_fn ~engine ~args:[ Rtval.Int 5 ] ~arg_tys:[ Types.Index ]
             ~result_tys:[ Types.Index ]
             (fun b params ->
               match params with
@@ -392,7 +402,7 @@ let memory_tests =
           Func_d.func ~sym_name:"m" ~args:[] ~result_tys:[ Types.I32 ]
             [ buf; call; ld; Func_d.return ~operands:[ Op.result1 ld ] () ]
         in
-        let state = Interp.make [ Op.module_op [ callee; main_fn ] ] in
+        let state = Interp.make ~engine [ Op.module_op [ callee; main_fn ] ] in
         check (Alcotest.list rtval) "aliased" [ Rtval.Int 77 ]
           (Interp.run state ~entry:"m" ~args:[]));
     tc "omp.parallel_do executes sequentially with inclusive bounds" (fun () ->
@@ -400,21 +410,56 @@ let memory_tests =
           Ftn_frontend.Frontend.to_core
             "program p\nreal :: a(5)\ninteger :: i\n!$omp target parallel do\ndo i = 1, 5\na(i) = real(i)\nend do\n!$omp end target parallel do\nprint *, a(5)\nend program"
         in
-        let out, _ = Ftn_runtime.Executor.run_cpu m in
+        let out, _ = Ftn_runtime.Executor.run_cpu ~engine m in
         check Alcotest.bool "a(5)=5" true
           (Astring_like.contains out "5.000000"));
+    tc "omp.parallel_do with more bound dims than ivs doesn't crash" (fun () ->
+        (* collapse=2 with a single induction variable is rejected by the
+           verifier, but the interpreter must still take the safe tail
+           rather than crash on List.tl — run it unverified. *)
+        let b = Builder.create () in
+        let lb = Arith.const_index b 1 in
+        let ub = Arith.const_index b 2 in
+        let step = Arith.const_index b 1 in
+        let buf = Memref_d.alloca b (Types.memref [] Types.I32) in
+        let iv = Builder.fresh b Types.Index in
+        let body =
+          let ld = Memref_d.load b (Op.result1 buf) [] in
+          let one = Arith.const_i32 b 1 in
+          let s = Arith.addi b (Op.result1 ld) (Op.result1 one) in
+          [ ld; one; s;
+            Memref_d.store (Op.result1 s) (Op.result1 buf) [];
+            Omp.terminator () ]
+        in
+        let pd =
+          Op.make "omp.parallel_do"
+            ~operands:
+              [ Op.result1 lb; Op.result1 ub; Op.result1 step;
+                Op.result1 lb; Op.result1 ub; Op.result1 step ]
+            ~attrs:[ ("collapse", Attr.i32 2); ("simd", Attr.Bool false) ]
+            ~regions:[ Op.region ~args:[ iv ] body ]
+        in
+        let ld2 = Memref_d.load b (Op.result1 buf) [] in
+        let fn =
+          Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[ Types.I32 ]
+            [ lb; ub; step; buf; pd; ld2;
+              Func_d.return ~operands:[ Op.result1 ld2 ] () ]
+        in
+        let state = Interp.make ~engine [ Op.module_op [ fn ] ] in
+        check (Alcotest.list rtval) "2x2 iterations" [ Rtval.Int 4 ]
+          (Interp.run state ~entry:"f" ~args:[]));
     tc "print intrinsics capture output" (fun () ->
         let m =
           Ftn_frontend.Frontend.to_core
             "program p\nprint *, 'hello', 3, 2.5\nend program"
         in
-        let out, _ = Ftn_runtime.Executor.run_cpu m in
+        let out, _ = Ftn_runtime.Executor.run_cpu ~engine m in
         check Alcotest.bool "text" true (Astring_like.contains out "hello");
         check Alcotest.bool "int" true (Astring_like.contains out "3");
         check Alcotest.bool "float" true (Astring_like.contains out "2.5"));
   ]
 
-let stream_tests =
+let stream_tests engine =
   [
     tc "streams are FIFOs" (fun () ->
         let b = Builder.create () in
@@ -437,7 +482,7 @@ let stream_tests =
           Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[ Types.F32 ]
             (List.rev !ops)
         in
-        let state = Interp.make [ Op.module_op [ fn ] ] in
+        let state = Interp.make ~engine [ Op.module_op [ fn ] ] in
         check (Alcotest.list rtval) "fifo order" [ Rtval.Float 1.0 ]
           (Interp.run state ~entry:"f" ~args:[]));
     tc "reading an empty stream errors" (fun () ->
@@ -448,19 +493,97 @@ let stream_tests =
           Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[]
             [ s_op; rd; Func_d.return () ]
         in
-        let state = Interp.make [ Op.module_op [ fn ] ] in
+        let state = Interp.make ~engine [ Op.module_op [ fn ] ] in
         try
           ignore (Interp.run state ~entry:"f" ~args:[]);
           Alcotest.fail "expected error"
         with Interp.Interp_error _ -> ());
   ]
 
+(* --- engine equivalence --- *)
+
+let engine_tests =
+  [
+    tc "tree and compiled agree on results and steps" (fun () ->
+        let b = Builder.create () in
+        let x = Builder.fresh b Types.I32 in
+        let inner =
+          let d = Arith.addi b x x in
+          Func_d.func ~sym_name:"double" ~args:[ x ] ~result_tys:[ Types.I32 ]
+            [ d; Func_d.return ~operands:[ Op.result1 d ] () ]
+        in
+        let main_fn =
+          let z = Arith.const_i32 b 0 in
+          let lb = Arith.const_index b 0 in
+          let ub = Arith.const_index b 8 in
+          let one = Arith.const_index b 1 in
+          let loop =
+            Scf.for_ b ~lb:(Op.result1 lb) ~ub:(Op.result1 ub)
+              ~step:(Op.result1 one)
+              ~iter_args:[ Op.result1 z ]
+              (fun iv args ->
+                let i32 = Arith.index_cast b iv Types.I32 in
+                let c =
+                  Func_d.call b ~callee:"double"
+                    ~operands:[ Op.result1 i32 ] ~result_tys:[ Types.I32 ]
+                in
+                let s = Arith.addi b (List.hd args) (Op.result1 c) in
+                [ i32; c; s; Scf.yield ~operands:[ Op.result1 s ] () ])
+          in
+          Func_d.func ~sym_name:"m" ~args:[] ~result_tys:[ Types.I32 ]
+            [ z; lb; ub; one; loop;
+              Func_d.return ~operands:[ Op.result1 loop ] () ]
+        in
+        let m = Op.module_op [ inner; main_fn ] in
+        Verifier.verify_exn m;
+        let run engine =
+          let state = Interp.make ~engine [ m ] in
+          let r = Interp.run state ~entry:"m" ~args:[] in
+          (r, state.Interp.steps)
+        in
+        let r_tree, steps_tree = run `Tree in
+        let r_comp, steps_comp = run `Compiled in
+        check (Alcotest.list rtval) "same results" r_tree r_comp;
+        check Alcotest.int "same steps" steps_tree steps_comp;
+        (* sum over i in 0..7 of 2i *)
+        check (Alcotest.list rtval) "value" [ Rtval.Int 56 ] r_comp);
+    tc "compiled functions are cached per state" (fun () ->
+        let b = Builder.create () in
+        let x = Builder.fresh b Types.I32 in
+        let fn =
+          let d = Arith.addi b x x in
+          Func_d.func ~sym_name:"double" ~args:[ x ] ~result_tys:[ Types.I32 ]
+            [ d; Func_d.return ~operands:[ Op.result1 d ] () ]
+        in
+        let m = Op.module_op [ fn ] in
+        let state = Interp.make ~engine:`Compiled [ m ] in
+        let before =
+          Ftn_obs.Metrics.counter_value "interp.compile_cache_hits"
+        in
+        ignore (Interp.run state ~entry:"double" ~args:[ Rtval.Int 1 ]);
+        ignore (Interp.run state ~entry:"double" ~args:[ Rtval.Int 2 ]);
+        ignore (Interp.run state ~entry:"double" ~args:[ Rtval.Int 3 ]);
+        let after =
+          Ftn_obs.Metrics.counter_value "interp.compile_cache_hits"
+        in
+        check Alcotest.bool "relaunches hit the cache" true
+          (after - before >= 2));
+  ]
+
 let () =
+  let per_engine mk =
+    List.map (fun (tag, engine) -> (tag, mk engine)) engines
+  in
   Alcotest.run "interp"
-    [
-      ("rtval", rtval_tests);
-      ("scalars", scalar_tests);
-      ("control", control_tests);
-      ("memory", memory_tests);
-      ("streams", stream_tests);
-    ]
+    ([ ("rtval", rtval_tests) ]
+    @ List.concat_map
+        (fun (name, mk) ->
+          per_engine mk
+          |> List.map (fun (tag, tests) -> (name ^ "-" ^ tag, tests)))
+        [
+          ("scalars", scalar_tests);
+          ("control", control_tests);
+          ("memory", memory_tests);
+          ("streams", stream_tests);
+        ]
+    @ [ ("engines", engine_tests) ])

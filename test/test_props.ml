@@ -509,6 +509,84 @@ let over_release_reported =
          - warnings0
          >= !overs)
 
+(* Differential testing of the two interpreter engines: random programs
+   mixing straight-line arith, scf.if and scf.for must produce identical
+   results AND identical step counts under the tree-walker and the
+   closure compiler. *)
+let interp_program_gen =
+  let open QCheck.Gen in
+  let* choices =
+    list_size (int_range 4 16)
+      (pair (int_range 0 5) (pair (int_range 0 20) (int_range 0 20)))
+  in
+  return
+    (let b = Builder.create () in
+     let ops = ref [] in
+     let pool = ref [] in
+     let emit op = ops := op :: !ops in
+     let emit_val op =
+       emit op;
+       pool := Op.result1 op :: !pool
+     in
+     emit_val (Arith.const_i32 b 3);
+     emit_val (Arith.const_i32 b 5);
+     let pick k = List.nth !pool (k mod List.length !pool) in
+     List.iter
+       (fun (kind, (a, c)) ->
+         match kind with
+         | 0 -> emit_val (Arith.addi b (pick a) (pick c))
+         | 1 -> emit_val (Arith.muli b (pick a) (pick c))
+         | 2 -> emit_val (Arith.subi b (pick a) (pick c))
+         | 3 ->
+           let cmp = Arith.cmpi b Arith.Slt (pick a) (pick c) in
+           emit cmp;
+           let one = Arith.const_i32 b 1 in
+           let tv = Arith.addi b (pick a) (Op.result1 one) in
+           emit_val
+             (Scf.if_ b ~cond:(Op.result1 cmp) ~result_tys:[ Types.I32 ]
+                ~then_ops:[ one; tv; Scf.yield ~operands:[ Op.result1 tv ] () ]
+                ~else_ops:[ Scf.yield ~operands:[ pick c ] () ]
+                ())
+         | 4 ->
+           let lb = Arith.const_index b 0 in
+           let ub = Arith.const_index b ((a mod 6) + 1) in
+           let st = Arith.const_index b ((c mod 2) + 1) in
+           emit lb;
+           emit ub;
+           emit st;
+           emit_val
+             (Scf.for_ b ~lb:(Op.result1 lb) ~ub:(Op.result1 ub)
+                ~step:(Op.result1 st)
+                ~iter_args:[ pick a ]
+                (fun iv args ->
+                  let ivc = Arith.index_cast b iv Types.I32 in
+                  let s = Arith.addi b (List.hd args) (Op.result1 ivc) in
+                  [ ivc; s; Scf.yield ~operands:[ Op.result1 s ] () ]))
+         | _ ->
+           let cmp = Arith.cmpi b Arith.Sgt (pick a) (pick c) in
+           emit cmp;
+           emit_val (Arith.select b (Op.result1 cmp) (pick a) (pick c)))
+       choices;
+     let last = List.hd !pool in
+     Op.module_op
+       [
+         Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[ Types.I32 ]
+           (List.rev (Func_d.return ~operands:[ last ] () :: !ops));
+       ])
+
+let engines_differential =
+  QCheck.Test.make ~count:60
+    ~name:"tree and compiled engines agree on results and steps"
+    (QCheck.make interp_program_gen ~print:Printer.to_string)
+    (fun m ->
+      Verifier.verify_exn m;
+      let run engine =
+        let state = Ftn_interp.Interp.make ~engine [ m ] in
+        let r = Ftn_interp.Interp.run state ~entry:"f" ~args:[] in
+        (r, state.Ftn_interp.Interp.steps)
+      in
+      run `Tree = run `Compiled)
+
 (* The IR parser is total: on arbitrarily mutated input it either parses
    or raises Parse_error — never any other exception. *)
 let parser_totality =
@@ -559,5 +637,6 @@ let () =
             fold_matches_interp;
             nonconvergence_reported;
             over_release_reported;
+            engines_differential;
           ] );
     ]

@@ -93,6 +93,54 @@ let executor_tests =
           r.Executor.device_time_s
           (r.Executor.kernel_time_s +. r.Executor.transfer_time_s
           +. r.Executor.overhead_time_s));
+    tc "running totals match span-folded totals" (fun () ->
+        (* The O(1) per-track totals maintained by [charge] must agree
+           exactly with a fold over the sim-clock spans — drive the host
+           API directly so we can interrogate the context. *)
+        let n = 32 in
+        let spec = Fpga_spec.u280 in
+        let bitstream =
+          Synth.synthesise ~frontend:Resources.Clang_hls ~spec
+            ~xclbin_name:"crosscheck.xclbin"
+            (Ftn_linpack.Hls_baselines.saxpy_device ~n)
+        in
+        let ctx = Executor.create_context ~spec bitstream in
+        let x, y = Ftn_linpack.References.saxpy_inputs ~n in
+        let hx = Rtval.of_float_array Ftn_ir.Types.F32 x in
+        let hy = Rtval.of_float_array Ftn_ir.Types.F32 y in
+        let ha = Rtval.of_float_array ~shape:[] Ftn_ir.Types.F32 [| 2.0 |] in
+        let dx =
+          Executor.api_alloc ctx ~name:"x" ~memory_space:1
+            ~elt:Ftn_ir.Types.F32 ~shape:[ n ]
+        in
+        let dy =
+          Executor.api_alloc ctx ~name:"y" ~memory_space:1
+            ~elt:Ftn_ir.Types.F32 ~shape:[ n ]
+        in
+        let da =
+          Executor.api_alloc ctx ~name:"a" ~memory_space:1
+            ~elt:Ftn_ir.Types.F32 ~shape:[]
+        in
+        Executor.api_transfer ctx ~src:hx ~dst:dx;
+        Executor.api_transfer ctx ~src:hy ~dst:dy;
+        Executor.api_transfer ctx ~src:ha ~dst:da;
+        Executor.api_launch ctx ~kernel:"saxpy_hw"
+          [ Rtval.Buf dx; Rtval.Buf dy; Rtval.Buf da ];
+        Executor.api_transfer ctx ~src:dy ~dst:hy;
+        let _, kernel, transfer, overhead = Executor.summary ctx in
+        check Alcotest.bool "kernel > 0" true (kernel > 0.0);
+        check Alcotest.bool "transfer > 0" true (transfer > 0.0);
+        check Alcotest.bool "overhead > 0" true (overhead > 0.0);
+        List.iter
+          (fun (track, total) ->
+            check (Alcotest.float 0.0) track
+              (Executor.track_time_from_spans ctx track)
+              total)
+          [
+            ("kernel", kernel);
+            ("transfer", transfer);
+            ("overhead", overhead);
+          ]);
     tc "one launch for a single target" (fun () ->
         let run = saxpy_run 64 in
         check Alcotest.int "launches" 1 run.Core.Run.exec.Executor.kernel_launches);

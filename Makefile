@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench bench-rewrite bench-interp clean
+.PHONY: all build test check bench bench-rewrite bench-interp bench-fault clean
 
 all: build
 
@@ -19,6 +19,7 @@ check: ## build everything, run the full test suite, every example, and the rewr
 	done
 	$(MAKE) bench-rewrite
 	$(MAKE) bench-interp
+	$(MAKE) bench-fault
 
 bench:
 	dune exec bench/main.exe
@@ -28,6 +29,9 @@ bench-rewrite: ## worklist vs sweep comparison; fails unless patterns fired and 
 
 bench-interp: ## tree-walker vs closure-compiled interpreter; fails unless outputs agree and compiled is >= 3x faster
 	dune exec bench/main.exe -- --interp --quick
+
+bench-fault: ## fault-free vs fault-injected runs; fails unless outputs agree and recovery/fallback behave
+	dune exec bench/main.exe -- --faults --quick
 
 clean:
 	dune clean

@@ -21,6 +21,10 @@ let rewrite_only = Array.exists (String.equal "--rewrite") Sys.argv
    which doubles as the `make bench-interp` sanity gate. *)
 let interp_only = Array.exists (String.equal "--interp") Sys.argv
 
+(* --faults runs only the fault-injection comparison (BENCH_fault.json),
+   which doubles as the `make bench-fault` sanity gate. *)
+let fault_only = Array.exists (String.equal "--faults") Sys.argv
+
 let progress fmt = Fmt.epr (fmt ^^ "@.")
 
 let saxpy_sizes =
@@ -876,6 +880,140 @@ let interp_report () =
     exit 1
   end
 
+(* --- BENCH_fault.json: fault-injection robustness comparison. Compiles
+   and synthesises SGESL and the heat-diffusion stencil once, then
+   executes the host program fault-free, under a transient fault plan
+   covering every injection site, and under a persistent kernel fault
+   that forces the CPU fallback. Records wall and simulated time, retry
+   and injection counts and the fallback cost. The run is also a sanity
+   gate: it exits nonzero unless both faulted outputs are byte-identical
+   to the fault-free run, the transient run pays strictly more simulated
+   time without degrading, and the persistent run completes degraded
+   through the CPU fallback. *)
+
+module Fault = Ftn_fault.Fault
+
+type fault_measurement = {
+  fm_wall_s : float;
+  fm_result : Executor.result;
+}
+
+let measure_faulted ?faults ~host ~bitstream () =
+  let open Ftn_obs in
+  let sp = ref None in
+  let r =
+    Span.with_span_sp ~name:"bench.fault" (fun s ->
+        sp := Some s;
+        Executor.run ?faults
+          ~diag:(Ftn_diag.Diag_engine.create ())
+          ~host ~bitstream ())
+  in
+  {
+    fm_wall_s = (match !sp with Some s -> s.Span.dur_s | None -> 0.0);
+    fm_result = r;
+  }
+
+let fault_report () =
+  header "Fault-injection robustness (BENCH_fault.json)";
+  let n_sgesl = if quick then 64 else 256 in
+  let stencil_n = if quick then 64 else 128 in
+  let cases =
+    [
+      (Fmt.str "sgesl_n%d" n_sgesl, Ftn_linpack.Fortran_sources.sgesl ~n:n_sgesl);
+      ( Fmt.str "stencil_n%d" stencil_n,
+        stencil_source ~n:stencil_n ~steps:(if quick then 5 else 10) );
+    ]
+  in
+  let transient_plan =
+    match Fault.parse_plan "transfer:nth=1,alloc:nth=1,launch:nth=1,timeout:nth=2" with
+    | Ok p -> p
+    | Error msg -> Fmt.failwith "bad transient plan: %s" msg
+  in
+  let persistent_plan =
+    match Fault.parse_plan "launch:nth=1:persistent" with
+    | Ok p -> p
+    | Error msg -> Fmt.failwith "bad persistent plan: %s" msg
+  in
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
+  let case_json (name, src) =
+    progress "  fault bench: %s ..." name;
+    let art = Core.Compiler.compile src in
+    let bitstream = Core.Compiler.synthesise art in
+    let host = art.Core.Compiler.host in
+    let clean = measure_faulted ~host ~bitstream () in
+    let transient = measure_faulted ~faults:transient_plan ~host ~bitstream () in
+    let persistent = measure_faulted ~faults:persistent_plan ~host ~bitstream () in
+    let out m = m.fm_result.Executor.output in
+    if not (String.equal (out clean) (out transient)) then
+      fail "%s: transient-fault output differs from the fault-free run" name;
+    if not (String.equal (out clean) (out persistent)) then
+      fail "%s: persistent-fault output differs from the fault-free run" name;
+    if transient.fm_result.Executor.faults_injected = 0 then
+      fail "%s: the transient plan injected nothing" name;
+    if transient.fm_result.Executor.degraded then
+      fail "%s: transient faults must not degrade the run" name;
+    if
+      transient.fm_result.Executor.device_time_s
+      <= clean.fm_result.Executor.device_time_s
+    then
+      fail "%s: recovery charged no simulated time" name;
+    if not persistent.fm_result.Executor.degraded then
+      fail "%s: the persistent kernel fault did not degrade the run" name;
+    if persistent.fm_result.Executor.cpu_fallbacks < 1 then
+      fail "%s: the persistent kernel fault never fell back to the CPU" name;
+    Fmt.pr
+      "  %-16s clean %8.3f ms sim | transient %8.3f ms sim, %d faults, %d \
+       retries | persistent: %d cpu fallback(s), %.3f ms on host@."
+      name
+      (clean.fm_result.Executor.device_time_s *. 1e3)
+      (transient.fm_result.Executor.device_time_s *. 1e3)
+      transient.fm_result.Executor.faults_injected
+      transient.fm_result.Executor.retries
+      persistent.fm_result.Executor.cpu_fallbacks
+      (persistent.fm_result.Executor.fallback_time_s *. 1e3);
+    let side m =
+      Ftn_obs.Json.Obj
+        [
+          ("wall_s", Ftn_obs.Json.Float m.fm_wall_s);
+          ("device_time_s", Ftn_obs.Json.Float m.fm_result.Executor.device_time_s);
+          ( "fallback_time_s",
+            Ftn_obs.Json.Float m.fm_result.Executor.fallback_time_s );
+          ("faults_injected", Ftn_obs.Json.Int m.fm_result.Executor.faults_injected);
+          ("retries", Ftn_obs.Json.Int m.fm_result.Executor.retries);
+          ("cpu_fallbacks", Ftn_obs.Json.Int m.fm_result.Executor.cpu_fallbacks);
+          ("degraded", Ftn_obs.Json.Bool m.fm_result.Executor.degraded);
+        ]
+    in
+    ( name,
+      Ftn_obs.Json.Obj
+        [
+          ("clean", side clean);
+          ("transient", side transient);
+          ("persistent", side persistent);
+          ( "outputs_identical",
+            Ftn_obs.Json.Bool
+              (String.equal (out clean) (out transient)
+              && String.equal (out clean) (out persistent)) );
+        ] )
+  in
+  let j =
+    Ftn_obs.Json.Obj
+      [
+        ("transient_plan", Ftn_obs.Json.String (Fault.plan_to_string transient_plan));
+        ("persistent_plan", Ftn_obs.Json.String (Fault.plan_to_string persistent_plan));
+        ("cases", Ftn_obs.Json.Obj (List.map case_json cases));
+      ]
+  in
+  Ftn_obs.Json.write_file "BENCH_fault.json" j;
+  Fmt.pr "  wrote BENCH_fault.json@.";
+  if !failures <> [] then begin
+    List.iter
+      (fun s -> Fmt.epr "fault bench FAILED: %s@." s)
+      (List.rev !failures);
+    exit 1
+  end
+
 (* --- Bechamel micro-benchmarks: one Test.make per table --- *)
 
 let bechamel_tests () =
@@ -959,6 +1097,11 @@ let () =
     Fmt.pr "@.done.@.";
     exit 0
   end;
+  if fault_only then begin
+    fault_report ();
+    Fmt.pr "@.done.@.";
+    exit 0
+  end;
   figure1 ();
   figure2 ();
   table1 ();
@@ -976,5 +1119,6 @@ let () =
   obs_report ();
   rewrite_report ();
   interp_report ();
+  fault_report ();
   if not skip_bechamel then run_bechamel ();
   Fmt.pr "@.done.@."

@@ -42,8 +42,15 @@ let handle_errors f =
   | Ftn_hlsim.Synth.Synthesis_error msg ->
     Fmt.epr "synthesis error: %s@." msg;
     exit 1
-  | Ftn_runtime.Executor.Runtime_error msg ->
-    Fmt.epr "runtime error: %s@." msg;
+  | Ftn_fault.Fault.Error (e, loc) ->
+    (* Structured runtime errors render like compile-time diagnostics,
+       caret and all, pointing at the launching op's source line. *)
+    Fmt.epr "%s@."
+      (Ftn_diag.Diag.render ~source:disk_source
+         (Ftn_diag.Diag.error ~loc
+            (Fmt.str "[%s] %s"
+               (Ftn_fault.Fault.error_code e)
+               (Ftn_fault.Fault.message e))));
     exit 1
   | Ftn_passes.Core_to_llvm.Unsupported msg ->
     Fmt.epr
@@ -192,6 +199,63 @@ let cpu_arg =
     value & flag
     & info [ "cpu" ] ~doc:"Execute with sequential OpenMP on the host only.")
 
+(* --- fault-injection options for the run command --- *)
+
+let fault_term =
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-plan" ] ~docv:"PLAN"
+          ~doc:
+            "Inject deterministic device faults. $(docv) is a \
+             comma-separated rule list; each rule is \
+             $(i,kind)[@kernel][:nth=N|:p=P][:transient|:persistent] with \
+             kind one of $(b,alloc), $(b,transfer), $(b,launch) or \
+             $(b,timeout); e.g. \
+             $(b,transfer:nth=2,timeout\\@saxpy_hw:persistent).")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Seed for probabilistic fault triggers (p=...).")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-retries" ] ~docv:"N"
+          ~doc:
+            "Retry budget per faulted operation (total attempts including \
+             the first; default 4).")
+  in
+  let make plan seed retries =
+    let fault_plan =
+      match plan with
+      | None -> None
+      | Some s -> (
+        match Ftn_fault.Fault.parse_plan ?seed s with
+        | Ok p -> Some p
+        | Error msg ->
+          Fmt.epr "error: invalid --fault-plan: %s@." msg;
+          exit 1)
+    in
+    let retry =
+      match retries with
+      | None -> Ftn_fault.Fault.default_retry
+      | Some n ->
+        if n < 1 then begin
+          Fmt.epr "error: --fault-retries must be at least 1@.";
+          exit 1
+        end;
+        { Ftn_fault.Fault.default_retry with Ftn_fault.Fault.max_attempts = n }
+    in
+    (fault_plan, retry)
+  in
+  Term.(const make $ plan_arg $ seed_arg $ retries_arg)
+
 (* --- commands --- *)
 
 let compile_cmd =
@@ -271,9 +335,12 @@ let synth_cmd =
     Term.(const run $ source_arg $ output_arg $ obs_term)
 
 let run_term =
-  let run source report trace cpu xclbin obs =
+  let run source report trace cpu xclbin (fault_plan, retry) obs =
     handle_errors (fun () ->
         with_obs obs @@ fun () ->
+        let options =
+          { Core.Options.default with Core.Options.fault_plan; retry }
+        in
         let src = read_source source in
         if cpu then begin
           let out, steps =
@@ -294,13 +361,13 @@ let run_term =
               in
               let bitstream = Ftn_hlsim.Bitstream_io.load_file path in
               let exec =
-                Ftn_runtime.Executor.run ~host:artifacts.Core.Compiler.host
-                  ~bitstream ()
+                Ftn_runtime.Executor.run ?faults:fault_plan ~retry
+                  ~host:artifacts.Core.Compiler.host ~bitstream ()
               in
               { Core.Run.artifacts; bitstream; exec }
             | None ->
-              Core.Run.run ~file:source ~engine:Ftn_diag.Diag_engine.default
-                src
+              Core.Run.run ~options ~file:source
+                ~engine:Ftn_diag.Diag_engine.default src
           in
           print_string (Core.Run.output r);
           if report then print_string (Core.Report.summary r);
@@ -319,7 +386,7 @@ let run_term =
   in
   Term.(
     const run $ source_arg $ report_arg $ trace_arg $ cpu_arg $ xclbin_arg
-    $ obs_term)
+    $ fault_term $ obs_term)
 
 let run_cmd =
   Cmd.v

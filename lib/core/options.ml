@@ -9,6 +9,10 @@ type t = {
   emit_llvm : bool;  (** Produce LLVM-IR text (and its LLVM-7 downgrade). *)
   emit_cpp : bool;  (** Produce the C++/OpenCL host program. *)
   xclbin_name : string;
+  fault_plan : Ftn_fault.Fault.plan option;
+      (** Deterministic fault-injection plan for the device runtime. *)
+  retry : Ftn_fault.Fault.retry_policy;
+      (** Recovery policy (retry budget, backoff, watchdog, fallback cost). *)
 }
 
 let default =
@@ -19,4 +23,6 @@ let default =
     emit_llvm = true;
     emit_cpp = true;
     xclbin_name = "kernel.xclbin";
+    fault_plan = None;
+    retry = Ftn_fault.Fault.default_retry;
   }

@@ -9,6 +9,11 @@ type t = {
   emit_llvm : bool;
   emit_cpp : bool;
   xclbin_name : string;
+  fault_plan : Ftn_fault.Fault.plan option;
+      (** Deterministic fault-injection plan for the device runtime;
+          [None] disables injection. *)
+  retry : Ftn_fault.Fault.retry_policy;
+      (** Recovery policy (retry budget, backoff, watchdog, fallback cost). *)
 }
 
 val default : t

@@ -24,7 +24,20 @@ let pp_exec fmt (r : Executor.result) =
     (r.Executor.kernel_time_s *. 1e3)
     (r.Executor.transfer_time_s *. 1e3)
     (r.Executor.overhead_time_s *. 1e3)
-    r.Executor.kernel_launches r.Executor.bytes_transferred
+    r.Executor.kernel_launches r.Executor.bytes_transferred;
+  (* Fault-injection runs report their recovery story; fault-free runs
+     keep the historic one-line format. *)
+  if
+    r.Executor.faults_injected > 0 || r.Executor.retries > 0
+    || r.Executor.degraded
+  then
+    Fmt.pf fmt
+      "@.faults: %d injected, %d retries, %d cpu fallback%s (%.3f ms on \
+       host)%s"
+      r.Executor.faults_injected r.Executor.retries r.Executor.cpu_fallbacks
+      (if r.Executor.cpu_fallbacks = 1 then "" else "s")
+      (r.Executor.fallback_time_s *. 1e3)
+      (if r.Executor.degraded then " — run degraded" else "")
 
 let pp_run fmt (run : Run.t) =
   pp_bitstream fmt run.Run.bitstream;

@@ -14,8 +14,9 @@ let run ?(options = Options.default) ?(echo = false) ?file ?engine source =
   let artifacts = Compiler.compile ~options ?file ?engine source in
   let bitstream = Compiler.synthesise ~options artifacts in
   let exec =
-    Executor.run ~spec:options.Options.spec ~echo ~host:artifacts.Compiler.host
-      ~bitstream ()
+    Executor.run ~spec:options.Options.spec ~echo ?diag:engine
+      ?faults:options.Options.fault_plan ~retry:options.Options.retry
+      ~host:artifacts.Compiler.host ~bitstream ()
   in
   { artifacts; bitstream; exec }
 

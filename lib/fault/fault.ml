@@ -1,0 +1,269 @@
+(* Fault model for the simulated device runtime.
+
+   Real OpenCL-on-FPGA deployments hit allocation failures, DMA errors
+   and kernel hangs; the blanket `Runtime_error of string` the executor
+   used to raise could neither classify nor recover from any of them.
+   This module defines the structured taxonomy shared by the injector,
+   the executor's retry/fallback machinery and the CLI: fault kinds per
+   device-interaction site, transient/persistent lifetimes, deterministic
+   seeded injection plans, and the retry policy that governs recovery. *)
+
+type site =
+  | Alloc
+  | Transfer
+  | Launch
+
+type persistence =
+  | Transient
+  | Persistent
+
+type kind =
+  | Alloc_failure
+  | Transfer_error
+  | Kernel_timeout
+  | Launch_failure
+
+let site_of_kind = function
+  | Alloc_failure -> Alloc
+  | Transfer_error -> Transfer
+  | Kernel_timeout | Launch_failure -> Launch
+
+let kind_code = function
+  | Alloc_failure -> "alloc_failure"
+  | Transfer_error -> "transfer_error"
+  | Kernel_timeout -> "kernel_timeout"
+  | Launch_failure -> "launch_failure"
+
+let site_code = function
+  | Alloc -> "alloc"
+  | Transfer -> "transfer"
+  | Launch -> "launch"
+
+let persistence_code = function
+  | Transient -> "transient"
+  | Persistent -> "persistent"
+
+type fault = {
+  kind : kind;
+  persistence : persistence;
+  occurrence : int;
+      (** 1-based index of the faulted operation among those matching the
+          rule that fired. *)
+  kernel : string option;  (** Kernel name for launch-site faults. *)
+  attempt : int;  (** Attempt number that observed this fault (1-based). *)
+}
+
+let describe_fault f =
+  Fmt.str "%s %s%s (occurrence %d, attempt %d)"
+    (persistence_code f.persistence)
+    (kind_code f.kind)
+    (match f.kernel with Some k -> " of kernel " ^ k | None -> "")
+    f.occurrence f.attempt
+
+(* --- error taxonomy --- *)
+
+type error =
+  | Retries_exhausted of {
+      fault : fault;
+      attempts : int;
+    }
+  | Transfer_mismatch of {
+      src_elt : string;
+      dst_elt : string;
+      src_bytes : int;
+      dst_bytes : int;
+    }
+  | Missing_kernel of {
+      kernel : string;
+      xclbin : string;
+    }
+  | Invalid_host of {
+      op : string;
+      reason : string;
+    }
+
+exception Error of error * Ftn_diag.Loc.t
+
+let message = function
+  | Retries_exhausted { fault; attempts } ->
+    Fmt.str "device operation failed permanently after %d attempt%s: %s"
+      attempts
+      (if attempts = 1 then "" else "s")
+      (describe_fault fault)
+  | Transfer_mismatch { src_elt; dst_elt; src_bytes; dst_bytes } ->
+    Fmt.str
+      "transfer between incompatible buffers: source is %s (%d bytes), \
+       destination is %s (%d bytes)"
+      src_elt src_bytes dst_elt dst_bytes
+  | Missing_kernel { kernel; xclbin } ->
+    Fmt.str "kernel %s not found in bitstream %s" kernel xclbin
+  | Invalid_host { op; reason } -> Fmt.str "%s: %s" op reason
+
+let error_code = function
+  | Retries_exhausted _ -> "retries_exhausted"
+  | Transfer_mismatch _ -> "transfer_mismatch"
+  | Missing_kernel _ -> "missing_kernel"
+  | Invalid_host _ -> "invalid_host"
+
+let fail ?(loc = Ftn_diag.Loc.unknown) err = raise (Error (err, loc))
+
+let () =
+  Printexc.register_printer (function
+    | Error (e, loc) ->
+      Some
+        (if Ftn_diag.Loc.is_known loc then
+           Fmt.str "device runtime error at %s: %s" (Ftn_diag.Loc.to_string loc)
+             (message e)
+         else "device runtime error: " ^ message e)
+    | _ -> None)
+
+(* --- retry policy --- *)
+
+type retry_policy = {
+  max_attempts : int;  (** Total attempts per operation, including the first. *)
+  backoff_base_s : float;
+      (** Simulated backoff charged before the first retry. *)
+  backoff_factor : float;  (** Exponential growth per further retry. *)
+  timeout_s : float;
+      (** Simulated time a hung kernel consumes before the watchdog
+          declares a {!Kernel_timeout}. *)
+  cpu_step_s : float;
+      (** Simulated host seconds per interpreter step, costing the CPU
+          fallback path of a permanently failing kernel. *)
+}
+
+let default_retry =
+  {
+    max_attempts = 4;
+    backoff_base_s = 1e-5;
+    backoff_factor = 2.0;
+    timeout_s = 1e-3;
+    cpu_step_s = 2e-9;
+  }
+
+let backoff_s p ~attempt =
+  p.backoff_base_s *. (p.backoff_factor ** float_of_int (attempt - 1))
+
+(* --- injection plans --- *)
+
+type trigger =
+  | Nth of int  (** Fire on the Nth operation matching the rule (1-based). *)
+  | Probability of float  (** Fire on each match with seeded probability. *)
+
+type rule = {
+  r_kind : kind;
+  r_kernel : string option;
+      (** Restrict launch-site rules to one kernel name. *)
+  r_trigger : trigger;
+  r_persistence : persistence;
+}
+
+type plan = {
+  rules : rule list;
+  seed : int;  (** Seeds the probability draws; plans are deterministic. *)
+}
+
+let plan ?(seed = 0) rules = { rules; seed }
+let empty_plan = { rules = []; seed = 0 }
+
+let rule ?kernel ?(persistence = Transient) kind trigger =
+  { r_kind = kind; r_kernel = kernel; r_trigger = trigger; r_persistence = persistence }
+
+let trigger_to_string = function
+  | Nth n -> Fmt.str "nth=%d" n
+  | Probability p -> Fmt.str "p=%g" p
+
+let rule_to_string r =
+  let kind_s =
+    match r.r_kind with
+    | Alloc_failure -> "alloc"
+    | Transfer_error -> "transfer"
+    | Launch_failure -> "launch"
+    | Kernel_timeout -> "timeout"
+  in
+  Fmt.str "%s%s:%s:%s" kind_s
+    (match r.r_kernel with Some k -> "@" ^ k | None -> "")
+    (trigger_to_string r.r_trigger)
+    (persistence_code r.r_persistence)
+
+let plan_to_string p = String.concat "," (List.map rule_to_string p.rules)
+
+(* Plan syntax (the ftnc --fault-plan argument):
+
+     plan  := rule (',' rule)*
+     rule  := kind ('@' kernel)? (':' part)*
+     kind  := 'alloc' | 'transfer' | 'launch' | 'timeout'
+     part  := 'nth=' INT | 'p=' FLOAT | 'transient' | 'persistent'
+
+   The trigger defaults to nth=1 and the persistence to transient, so
+   "transfer" alone means "the first DMA fails once". *)
+let parse_rule s =
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' (String.trim s) with
+  | [] | [ "" ] -> Result.error "empty fault rule"
+  | head :: parts ->
+    let kind_s, kernel =
+      match String.index_opt head '@' with
+      | Some i ->
+        ( String.sub head 0 i,
+          Some (String.sub head (i + 1) (String.length head - i - 1)) )
+      | None -> (head, None)
+    in
+    let* kind =
+      match kind_s with
+      | "alloc" -> Result.ok Alloc_failure
+      | "transfer" -> Result.ok Transfer_error
+      | "launch" -> Result.ok Launch_failure
+      | "timeout" -> Result.ok Kernel_timeout
+      | other ->
+        Result.error
+          (Fmt.str
+             "unknown fault kind %S (expected alloc, transfer, launch or \
+              timeout)"
+             other)
+    in
+    let* () =
+      if kernel <> None && site_of_kind kind <> Launch then
+        Result.error
+          (Fmt.str "@%s: only launch and timeout faults take a kernel name"
+             (Option.get kernel))
+      else Result.ok ()
+    in
+    let parse_part (trigger, persistence) part =
+      if part = "transient" then Result.ok (trigger, Some Transient)
+      else if part = "persistent" then Result.ok (trigger, Some Persistent)
+      else if String.length part > 4 && String.sub part 0 4 = "nth=" then
+        match int_of_string_opt (String.sub part 4 (String.length part - 4)) with
+        | Some n when n >= 1 -> Result.ok (Some (Nth n), persistence)
+        | _ -> Result.error (Fmt.str "bad occurrence in %S" part)
+      else if String.length part > 2 && String.sub part 0 2 = "p=" then
+        match float_of_string_opt (String.sub part 2 (String.length part - 2)) with
+        | Some p when p >= 0.0 && p <= 1.0 -> Result.ok (Some (Probability p), persistence)
+        | _ -> Result.error (Fmt.str "bad probability in %S (want [0,1])" part)
+      else Result.error (Fmt.str "unknown fault rule part %S" part)
+    in
+    let* trigger, persistence =
+      List.fold_left
+        (fun acc part -> Result.bind acc (fun tp -> parse_part tp part))
+        (Result.ok (None, None))
+        (List.filter (fun p -> p <> "") parts)
+    in
+    Result.ok
+      {
+        r_kind = kind;
+        r_kernel = kernel;
+        r_trigger = Option.value ~default:(Nth 1) trigger;
+        r_persistence = Option.value ~default:Transient persistence;
+      }
+
+let parse_plan ?(seed = 0) s =
+  let rec go acc = function
+    | [] -> Result.ok { rules = List.rev acc; seed }
+    | r :: rest -> (
+      match parse_rule r with
+      | Result.Ok rule -> go (rule :: acc) rest
+      | Result.Error _ as e -> e)
+  in
+  match List.filter (fun s -> String.trim s <> "") (String.split_on_char ',' s) with
+  | [] -> Result.error "empty fault plan"
+  | rules -> go [] rules

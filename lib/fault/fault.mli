@@ -1,0 +1,136 @@
+(** Fault model for the simulated device runtime: a structured error
+    taxonomy (replacing the executor's old [Runtime_error of string]),
+    deterministic seeded injection plans, and the retry policy governing
+    recovery.
+
+    Every fault classifies a host/device interaction site — buffer
+    allocation, DMA transfer, or kernel launch — and is either transient
+    (clears on retry) or persistent (survives every retry; kernels then
+    degrade to host CPU execution, other sites fail with
+    {!Retries_exhausted}). *)
+
+(** {2 Taxonomy} *)
+
+type site =
+  | Alloc
+  | Transfer
+  | Launch
+
+type persistence =
+  | Transient  (** Clears on the first retry. *)
+  | Persistent  (** Survives every retry. *)
+
+type kind =
+  | Alloc_failure  (** Device buffer allocation failed (OOM-like). *)
+  | Transfer_error  (** DMA transfer aborted. *)
+  | Kernel_timeout  (** Kernel hung; detected after [timeout_s]. *)
+  | Launch_failure  (** Launch rejected before execution. *)
+
+val site_of_kind : kind -> site
+val kind_code : kind -> string
+val site_code : site -> string
+val persistence_code : persistence -> string
+
+type fault = {
+  kind : kind;
+  persistence : persistence;
+  occurrence : int;
+      (** 1-based index of the faulted operation among those matching the
+          rule that fired. *)
+  kernel : string option;  (** Kernel name for launch-site faults. *)
+  attempt : int;  (** Attempt number that observed this fault (1-based). *)
+}
+
+val describe_fault : fault -> string
+
+(** {2 Structured errors} *)
+
+type error =
+  | Retries_exhausted of {
+      fault : fault;
+      attempts : int;
+    }  (** A persistent alloc/transfer fault outlived the retry budget. *)
+  | Transfer_mismatch of {
+      src_elt : string;
+      dst_elt : string;
+      src_bytes : int;
+      dst_bytes : int;
+    }  (** Transfer endpoints disagree on element type or byte size. *)
+  | Missing_kernel of {
+      kernel : string;
+      xclbin : string;
+    }
+  | Invalid_host of {
+      op : string;
+      reason : string;
+    }  (** Malformed host-module IR reaching the runtime. *)
+
+exception Error of error * Ftn_diag.Loc.t
+(** Raised by the executor. The location names the launching op when the
+    error escapes an interpreted host module (the interpreter attaches it;
+    see handler error propagation), [Loc.unknown] from the raw host API. *)
+
+val message : error -> string
+val error_code : error -> string
+
+val fail : ?loc:Ftn_diag.Loc.t -> error -> 'a
+(** Raise {!Error}; [loc] defaults to unknown so the interpreter can
+    attach the executing op's location. *)
+
+(** {2 Retry policy} *)
+
+type retry_policy = {
+  max_attempts : int;  (** Total attempts per operation, including the first. *)
+  backoff_base_s : float;
+      (** Simulated backoff charged before the first retry. *)
+  backoff_factor : float;  (** Exponential growth per further retry. *)
+  timeout_s : float;
+      (** Simulated time a hung kernel consumes before the watchdog
+          declares a {!Kernel_timeout}. *)
+  cpu_step_s : float;
+      (** Simulated host seconds per interpreter step, costing the CPU
+          fallback of a permanently failing kernel. *)
+}
+
+val default_retry : retry_policy
+(** 4 attempts, 10 us base backoff doubling per retry, 1 ms kernel
+    watchdog, 2 ns per interpreter step on the fallback path. *)
+
+val backoff_s : retry_policy -> attempt:int -> float
+(** Simulated backoff charged after failed attempt [attempt] (1-based):
+    [backoff_base_s * backoff_factor^(attempt-1)]. *)
+
+(** {2 Injection plans} *)
+
+type trigger =
+  | Nth of int  (** Fire on the Nth operation matching the rule (1-based). *)
+  | Probability of float  (** Fire on each match with seeded probability. *)
+
+type rule = {
+  r_kind : kind;
+  r_kernel : string option;
+      (** Restrict launch-site rules to one kernel name. *)
+  r_trigger : trigger;
+  r_persistence : persistence;
+}
+
+type plan = {
+  rules : rule list;
+  seed : int;  (** Seeds the probability draws; plans are deterministic. *)
+}
+
+val plan : ?seed:int -> rule list -> plan
+val empty_plan : plan
+val rule : ?kernel:string -> ?persistence:persistence -> kind -> trigger -> rule
+
+val parse_plan : ?seed:int -> string -> (plan, string) result
+(** Parse the [--fault-plan] syntax:
+    [rule (',' rule)*] where [rule] is
+    [kind('@'kernel)?(':'nth=N|':'p=P)?(':'transient|':'persistent)?] and
+    [kind] is [alloc], [transfer], [launch] or [timeout]. The trigger
+    defaults to [nth=1], the persistence to [transient]; e.g.
+    ["transfer:nth=2,timeout@saxpy_hw:persistent"]. *)
+
+val plan_to_string : plan -> string
+val rule_to_string : rule -> string
+val trigger_to_string : trigger -> string

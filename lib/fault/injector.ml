@@ -1,0 +1,105 @@
+(* Deterministic fault injector: evaluates a Fault.plan against the
+   stream of device operations the executor performs.
+
+   The executor arms the injector once per *logical* operation (so a
+   retry of the same transfer is the same occurrence, not a new one),
+   then asks per attempt whether that attempt fails. Probability
+   triggers draw from a splitmix64 generator seeded by the plan, and
+   every matching rule's counter and draw advances on every arm whether
+   or not an earlier rule already fired — so a given plan, seed and
+   operation stream always produces the same injections, which is what
+   makes differential fault testing possible. *)
+
+(* splitmix64: tiny, fast, and stable across platforms — we must not
+   depend on Stdlib.Random's global state or algorithm. *)
+type rng = { mutable s : int64 }
+
+let next_u64 rng =
+  rng.s <- Int64.add rng.s 0x9E3779B97F4A7C15L;
+  let z = rng.s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0,1): the top 53 bits scaled by 2^-53. *)
+let float01 rng =
+  Int64.to_float (Int64.shift_right_logical (next_u64 rng) 11)
+  /. 9007199254740992.0
+
+type rule_state = {
+  rule : Fault.rule;
+  mutable matches : int;  (** Operations so far matching this rule's filter. *)
+}
+
+type t = {
+  rules : rule_state list;
+  rng : rng;
+  mutable injected : int;
+}
+
+type token = {
+  inj : t;
+  mutable armed : (Fault.rule * int) option;
+      (** The rule that fired for this operation and its occurrence index. *)
+  kernel : string option;
+  mutable cured : bool;
+}
+
+let create (plan : Fault.plan) =
+  {
+    rules = List.map (fun rule -> { rule; matches = 0 }) plan.Fault.rules;
+    rng = { s = Int64.of_int plan.Fault.seed };
+    injected = 0;
+  }
+
+let injected t = t.injected
+
+let matches (r : Fault.rule) ~site ~kernel =
+  Fault.site_of_kind r.Fault.r_kind = site
+  &&
+  match r.Fault.r_kernel with
+  | None -> true
+  | Some k -> kernel = Some k
+
+let arm t ~site ?kernel () =
+  let armed =
+    List.fold_left
+      (fun armed rs ->
+        if not (matches rs.rule ~site ~kernel) then armed
+        else begin
+          rs.matches <- rs.matches + 1;
+          let fires =
+            match rs.rule.Fault.r_trigger with
+            | Fault.Nth n -> rs.matches = n
+            | Fault.Probability p ->
+              (* Always draw, even if an earlier rule fired: rule
+                 evaluation must not depend on what else is in the plan. *)
+              float01 t.rng < p
+          in
+          match armed with
+          | Some _ -> armed
+          | None -> if fires then Some (rs.rule, rs.matches) else None
+        end)
+      None t.rules
+  in
+  { inj = t; armed; kernel; cured = false }
+
+let fire token ~attempt =
+  match token.armed with
+  | None -> None
+  | Some _ when token.cured -> None
+  | Some (rule, occurrence) ->
+    if rule.Fault.r_persistence = Fault.Transient && attempt > 1 then None
+    else begin
+      token.inj.injected <- token.inj.injected + 1;
+      Some
+        {
+          Fault.kind = rule.Fault.r_kind;
+          persistence = rule.Fault.r_persistence;
+          occurrence;
+          kernel = token.kernel;
+          attempt;
+        }
+    end
+
+let cure token = token.cured <- true

@@ -1,0 +1,33 @@
+(** Deterministic fault injector: evaluates a {!Fault.plan} against the
+    stream of device operations the executor performs.
+
+    Arm once per {e logical} operation (a retry of the same operation is
+    the same occurrence), then ask per attempt whether that attempt
+    fails. A given plan, seed and operation stream always produces the
+    same injections — probability triggers draw from a private
+    splitmix64 generator, and every matching rule advances on every arm
+    regardless of what else fired. *)
+
+type t
+
+val create : Fault.plan -> t
+
+val injected : t -> int
+(** Faults fired so far (counting each failing attempt). *)
+
+type token
+(** One armed operation: remembers which rule (if any) fires for it. *)
+
+val arm : t -> site:Fault.site -> ?kernel:string -> unit -> token
+(** Advance every rule matching [site] (and [kernel], for rules that name
+    one) and capture the first rule that fires. Call exactly once per
+    logical operation, before the first attempt. *)
+
+val fire : token -> attempt:int -> Fault.fault option
+(** Does attempt [attempt] (1-based) of the armed operation fail?
+    Transient faults fail only the first attempt; persistent faults fail
+    every attempt until {!cure}. *)
+
+val cure : token -> unit
+(** Recovery succeeded out of band (e.g. buffers were evicted after an
+    allocation failure): stop failing this operation's attempts. *)

@@ -228,7 +228,7 @@ and compile_op ctx op : code =
       let rec try_handlers = function
         | [] -> base f
         | h :: rest -> (
-          match h.Tree.h_run st scratch op vals with
+          match Tree.run_handler h st scratch op vals with
           | Some rvs -> set_result_list op result_slots f rvs
           | None -> try_handlers rest)
       in

@@ -76,6 +76,17 @@ and handler = {
 
 let handler ?(domain = All) h_run = { h_domain = domain; h_run }
 
+(* Invoke one handler on [op], attaching the op's source location to any
+   structured runtime error that escapes without one: the runtime raises
+   Fault.Error with an unknown location because only the interpreter
+   knows which op was executing. Shared by both engines so errors carry
+   the launching op's location regardless of how the module runs. *)
+let run_handler h state frame op operand_values =
+  try h.h_run state frame op operand_values
+  with
+  | Ftn_fault.Fault.Error (e, loc) when not (Ftn_diag.Loc.is_known loc) ->
+    raise (Ftn_fault.Fault.Error (e, Op.loc op))
+
 exception Return of Rtval.t list
 
 let default_engine_ref : engine ref = ref `Compiled
@@ -148,7 +159,7 @@ let rec exec_op state frame op =
       | h :: rest -> (
         if not (domain_matches h.h_domain name) then try_handlers rest
         else
-          match h.h_run state frame op operand_values with
+          match run_handler h state frame op operand_values with
           | Some rvs -> Some rvs
           | None -> try_handlers rest)
     in

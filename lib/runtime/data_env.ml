@@ -95,3 +95,55 @@ let live_names t =
     (fun k e acc -> if e.refcount > 0 then k :: acc else acc)
     t.entries []
   |> List.sort String.compare
+
+(* Drop the storage of zero-refcount entries — the recovery action for
+   device allocation failures (freeing unpinned buffers is how a real
+   runtime answers CL_MEM_OBJECT_ALLOCATION_FAILURE). [except] protects
+   the entry currently being (re)allocated so the victim is never the
+   buffer we are trying to produce. Evicted names lose their contents:
+   a later allocation recreates fresh zeroed storage. *)
+let evict_unreferenced ?except t =
+  let keep =
+    match except with
+    | Some (name, memory_space) -> key ~name ~memory_space
+    | None -> ""
+  in
+  Hashtbl.fold
+    (fun k e n ->
+      if k <> keep && e.refcount = 0 && e.buffer <> None then begin
+        e.buffer <- None;
+        n + 1
+      end
+      else n)
+    t.entries 0
+
+let leaks t =
+  Hashtbl.fold
+    (fun k e acc -> if e.refcount > 0 then (k, e.refcount) :: acc else acc)
+    t.entries []
+  |> List.sort compare
+
+(* Deterministic dump of the complete environment — keys, counts, element
+   types, shapes and exact cell contents (hex floats) — so differential
+   tests can require byte-identical state across fault-free and
+   transient-fault runs. *)
+let snapshot t =
+  let buf = Buffer.create 256 in
+  Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.entries []
+  |> List.sort compare
+  |> List.iter (fun (k, e) ->
+         Buffer.add_string buf (Fmt.str "%s rc=%d" k e.refcount);
+         (match e.buffer with
+         | None -> Buffer.add_string buf " (no storage)"
+         | Some b ->
+           Buffer.add_string buf
+             (Fmt.str " %s[%s]"
+                (Ftn_ir.Types.to_string b.Rtval.elt)
+                (String.concat "x" (List.map string_of_int b.Rtval.shape)));
+           (match b.Rtval.mem with
+           | Rtval.F fs ->
+             Array.iter (fun f -> Buffer.add_string buf (Fmt.str " %h" f)) fs
+           | Rtval.I is ->
+             Array.iter (fun i -> Buffer.add_string buf (Fmt.str " %d" i)) is));
+         Buffer.add_char buf '\n');
+  Buffer.contents buf

@@ -42,3 +42,19 @@ val refcount : t -> name:string -> memory_space:int -> int
 
 val live_names : t -> string list
 (** Sorted ["space:name"] keys with a positive counter. *)
+
+val evict_unreferenced : ?except:string * int -> t -> int
+(** Drop the storage of every zero-refcount entry — the recovery action
+    for device allocation failures. [except] is a [(name, memory_space)]
+    pair protecting the entry being (re)allocated. Returns the number of
+    buffers evicted; evicted names lose their contents. *)
+
+val leaks : t -> (string * int) list
+(** Sorted ["space:name"] keys still holding a positive counter — at
+    teardown these are reference-count leaks in the lowered
+    data-environment sequence. *)
+
+val snapshot : t -> string
+(** Deterministic dump of keys, counts, element types, shapes and exact
+    cell contents (hex floats), for differential tests that require
+    byte-identical state between two runs. *)

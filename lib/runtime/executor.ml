@@ -3,13 +3,19 @@
    simulated FPGA. Kernels named by device.kernel_create are executed
    functionally through the interpreter (so results are real numbers) while
    the timing model charges the simulated device timeline for transfers,
-   launches, allocations and kernel cycles. *)
+   launches, allocations and kernel cycles.
+
+   The executor is fault-tolerant: an optional Fault.plan injects
+   deterministic alloc/transfer/launch failures, which the retry machinery
+   absorbs (exponential backoff charged to the simulated overhead track,
+   eviction after device OOM, host-CPU fallback for kernels that fail
+   persistently). All runtime errors are the structured Fault.Error. *)
 
 open Ftn_ir
 open Ftn_interp
 open Ftn_hlsim
-
-exception Runtime_error of string
+module Fault = Ftn_fault.Fault
+module Injector = Ftn_fault.Injector
 
 type kernel_handle = {
   kh_design : Bitstream.kernel_design;
@@ -37,11 +43,21 @@ type context = {
           are O(1); the span fold remains as a test cross-check. *)
   mutable transfer_time_s : float;
   mutable overhead_time_s : float;
+  mutable fallback_time_s : float;
   mutable kernel_state : Interp.state option;
       (** Lazily-created interpreter used when kernels are launched through
           the host API rather than from an interpreted host module. *)
   engine : Interp.engine;
   sink : Intrinsics.sink;
+  diag : Ftn_diag.Diag_engine.t;
+  retry : Fault.retry_policy;
+  injector : Injector.t option;
+  mutable cur_loc : Ftn_diag.Loc.t;
+      (** Location of the device op currently executing, so recovery
+          warnings point at the launching source line. *)
+  mutable degraded : bool;
+  mutable retries : int;
+  mutable cpu_fallbacks : int;
 }
 
 type result = {
@@ -50,14 +66,20 @@ type result = {
   kernel_time_s : float;
   transfer_time_s : float;
   overhead_time_s : float;
+  fallback_time_s : float;
   kernel_launches : int;
   bytes_transferred : int;
+  degraded : bool;
+  retries : int;
+  cpu_fallbacks : int;
+  faults_injected : int;
   trace : Trace.t;
   data : Data_env.t;
 }
 
 let create_context ?(spec = Fpga_spec.u280) ?(echo = false) ?engine
-    bitstream =
+    ?(diag = Ftn_diag.Diag_engine.default) ?faults
+    ?(retry = Fault.default_retry) bitstream =
   let obs = Ftn_obs.Span.current () in
   {
     spec;
@@ -72,17 +94,25 @@ let create_context ?(spec = Fpga_spec.u280) ?(echo = false) ?engine
     kernel_time_s = 0.0;
     transfer_time_s = 0.0;
     overhead_time_s = 0.0;
+    fallback_time_s = 0.0;
     kernel_state = None;
     engine =
       (match engine with Some e -> e | None -> Interp.default_engine ());
     sink = Intrinsics.make_sink ~echo ();
+    diag;
+    retry;
+    injector = Option.map Injector.create faults;
+    cur_loc = Ftn_diag.Loc.unknown;
+    degraded = false;
+    retries = 0;
+    cpu_fallbacks = 0;
   }
 
-(* Charge [t] simulated seconds to a track ("kernel", "transfer" or
-   "overhead"): records a span at the current device-timeline position,
-   advances the timeline and bumps the track's running total. Totals
-   accumulate one addition per charge, in charge order — the same float
-   additions the span fold over this context performs. *)
+(* Charge [t] simulated seconds to a track ("kernel", "transfer",
+   "overhead" or "fallback"): records a span at the current device-timeline
+   position, advances the timeline and bumps the track's running total.
+   Totals accumulate one addition per charge, in charge order — the same
+   float additions the span fold over this context performs. *)
 let charge (ctx : context) ~track ~name ?(attrs = []) t =
   ignore
     (Ftn_obs.Span.record_sim ~collector:ctx.obs
@@ -93,6 +123,7 @@ let charge (ctx : context) ~track ~name ?(attrs = []) t =
   | "kernel" -> ctx.kernel_time_s <- ctx.kernel_time_s +. t
   | "transfer" -> ctx.transfer_time_s <- ctx.transfer_time_s +. t
   | "overhead" -> ctx.overhead_time_s <- ctx.overhead_time_s +. t
+  | "fallback" -> ctx.fallback_time_s <- ctx.fallback_time_s +. t
   | _ -> ()
 
 let charge_overhead (ctx : context) ~name ?attrs t =
@@ -125,12 +156,82 @@ let device_time (ctx : context) = ctx.sim_now_s
 let kernel_time (ctx : context) = ctx.kernel_time_s
 let transfer_time (ctx : context) = ctx.transfer_time_s
 let overhead_time (ctx : context) = ctx.overhead_time_s
+let fallback_time (ctx : context) = ctx.fallback_time_s
+
+(* --- fault injection and retry --- *)
+
+(* Account for one injected fault: metrics, trace, and — for a hung
+   kernel — the watchdog timeout the device burns before the failure is
+   even observable. Other fault kinds are detected immediately. *)
+let note_fault (ctx : context) ~name (fault : Fault.fault) =
+  let code = Fault.kind_code fault.Fault.kind in
+  Ftn_obs.Metrics.incr "fault.injected";
+  Ftn_obs.Metrics.incr ("fault." ^ code);
+  let cost =
+    match fault.Fault.kind with
+    | Fault.Kernel_timeout -> ctx.retry.Fault.timeout_s
+    | Fault.Alloc_failure | Fault.Transfer_error | Fault.Launch_failure -> 0.0
+  in
+  if cost > 0.0 then
+    charge_overhead ctx ~name:("watchdog:" ^ name) ~attrs:[ ("fault", code) ]
+      cost;
+  Trace.record ctx.trace
+    (Trace.Fault
+       { target = name; kind = code; attempt = fault.Fault.attempt;
+         time_s = cost });
+  Ftn_obs.Log.debugf "injected %s on %s" (Fault.describe_fault fault) name
+
+(* Run one device operation under the fault plan: arm the injector once
+   for the logical operation (a retry is the same occurrence), then
+   attempt it up to the retry budget. The injector is consulted *before*
+   [f] runs, so a failed attempt performs no work and charges nothing but
+   exponential backoff on the overhead track — the kernel and transfer
+   tracks are only ever charged by the attempt that succeeds, which is
+   what keeps retry accounting honest. [recover] runs between attempts
+   and may cure the token (e.g. eviction after a device OOM). *)
+let with_faults (ctx : context) ~site ?kernel ~name
+    ?(recover = fun _ _ -> ()) f =
+  match ctx.injector with
+  | None -> Ok (f ())
+  | Some inj ->
+    let token = Injector.arm inj ~site ?kernel () in
+    let max_attempts = max 1 ctx.retry.Fault.max_attempts in
+    let rec attempt_loop attempt =
+      match Injector.fire token ~attempt with
+      | None -> Ok (f ())
+      | Some fault ->
+        note_fault ctx ~name fault;
+        if attempt >= max_attempts then Error fault
+        else begin
+          charge_overhead ctx ~name:("backoff:" ^ name)
+            ~attrs:
+              [ ("fault", Fault.kind_code fault.Fault.kind);
+                ("attempt", string_of_int attempt) ]
+            (Fault.backoff_s ctx.retry ~attempt);
+          ctx.retries <- ctx.retries + 1;
+          Ftn_obs.Metrics.incr "fault.retries";
+          recover fault token;
+          Ftn_diag.Diag_engine.warning ctx.diag ~loc:ctx.cur_loc
+            (Fmt.str "retrying %s after %s (attempt %d of %d)" name
+               (Fault.describe_fault fault) (attempt + 1) max_attempts);
+          attempt_loop (attempt + 1)
+        end
+    in
+    attempt_loop 1
+
+let exhausted (ctx : context) fault =
+  Fault.fail
+    (Fault.Retries_exhausted
+       { fault; attempts = max 1 ctx.retry.Fault.max_attempts })
 
 let name_and_space op =
   match Op.string_attr op "name" with
   | Some name ->
     (name, Option.value ~default:0 (Op.int_attr op "memory_space"))
-  | None -> raise (Runtime_error (Op.name op ^ " without a name attribute"))
+  | None ->
+    Fault.fail
+      (Fault.Invalid_host
+         { op = Op.name op; reason = "missing a name attribute" })
 
 let resolve_shape ~op_name mi dynamic =
   let wanted =
@@ -141,80 +242,168 @@ let resolve_shape ~op_name mi dynamic =
   if supplied <> wanted then
     (* Surplus extents mean the bounds lowering produced sizes the type
        cannot absorb: wrong data if silently dropped, so fail loudly. *)
-    raise
-      (Runtime_error
-         (Fmt.str
-            "%s: %d dynamic extents supplied for a memref type with %d \
-             dynamic dimensions"
-            op_name supplied wanted));
+    Fault.fail
+      (Fault.Invalid_host
+         {
+           op = op_name;
+           reason =
+             Fmt.str
+               "%d dynamic extents supplied for a memref type with %d \
+                dynamic dimensions"
+               supplied wanted;
+         });
   let rec go shape dynamic =
     match (shape, dynamic) with
     | [], _ -> []
     | Types.Static n :: rest, dynamic -> n :: go rest dynamic
     | Types.Dynamic :: rest, d :: dynamic -> d :: go rest dynamic
     | Types.Dynamic :: _, [] ->
-      raise (Runtime_error ("missing dynamic size for " ^ op_name))
+      Fault.fail
+        (Fault.Invalid_host
+           { op = op_name; reason = "missing dynamic size" })
   in
   go mi.Types.shape dynamic
 
-(* Execute one kernel: run its function body in the interpreter with loop
-   statistics recording, then convert the statistics to cycles. *)
-let execute_kernel (ctx : context) state (design : Bitstream.kernel_design) args =
+(* Run the kernel's function body in the interpreter with loop statistics
+   recording; returns the statistics and the interpreter steps consumed
+   (the latter costs the CPU-fallback path). *)
+let interpret_kernel state (design : Bitstream.kernel_design) args =
   let stats = Timing.make_stats () in
   let saved = state.Interp.on_loop in
+  let before = state.Interp.steps in
   state.Interp.on_loop <-
     Some (fun ~loop_key ~iters -> Timing.record_loop stats ~loop_key ~iters);
   Fun.protect
     ~finally:(fun () -> state.Interp.on_loop <- saved)
     (fun () ->
       ignore (Interp.call_function state design.Bitstream.kd_function args));
-  let t = Timing.kernel_time_s ctx.spec design.Bitstream.kd_schedule stats in
-  let overhead = Timing.launch_overhead_s ctx.spec in
-  charge_kernel ctx ~name:design.Bitstream.kd_name
-    ~attrs:[ ("kernel", design.Bitstream.kd_name) ]
+  (stats, state.Interp.steps - before)
+
+(* Graceful degradation: a kernel that persistently fails on the device
+   runs on the host CPU instead. Results stay correct (the same function
+   body runs in the same interpreter); the cost lands on the "fallback"
+   track at cpu_step_s per interpreter step, and the run is flagged
+   degraded. *)
+let cpu_fallback (ctx : context) state (design : Bitstream.kernel_design)
+    args =
+  let name = design.Bitstream.kd_name in
+  let _stats, steps = interpret_kernel state design args in
+  let t = float_of_int steps *. ctx.retry.Fault.cpu_step_s in
+  charge ctx ~track:"fallback"
+    ~name:("cpu_fallback:" ^ name)
+    ~attrs:[ ("kernel", name); ("steps", string_of_int steps) ]
     t;
-  charge_overhead ctx ~name:"launch_overhead"
-    ~attrs:[ ("kernel", design.Bitstream.kd_name) ]
-    overhead;
-  Ftn_obs.Metrics.incr "device.kernel_launches";
-  Ftn_obs.Log.debugf "launch %s: %.3f us kernel + %.3f us overhead"
-    design.Bitstream.kd_name (t *. 1e6) (overhead *. 1e6);
-  Trace.record ctx.trace
-    (Trace.Launch
-       {
-         kernel = design.Bitstream.kd_name;
-         kernel_time_s = t;
-         overhead_s = overhead;
-       })
+  ctx.degraded <- true;
+  ctx.cpu_fallbacks <- ctx.cpu_fallbacks + 1;
+  Ftn_obs.Metrics.incr "fault.cpu_fallbacks";
+  Trace.record ctx.trace (Trace.Fallback { kernel = name; steps; time_s = t });
+  Ftn_obs.Log.debugf "cpu fallback %s: %d steps, %.3f us" name steps
+    (t *. 1e6);
+  Ftn_diag.Diag_engine.warning ctx.diag ~loc:ctx.cur_loc
+    (Fmt.str
+       "kernel %s failed persistently on the device; executed on the host \
+        CPU instead (%d steps)"
+       name steps)
+
+(* Execute one kernel: run its function body in the interpreter, then
+   convert the recorded loop statistics to cycles. Injected launch faults
+   fire before the body runs (a failed launch computes nothing); a
+   persistently failing kernel degrades to host execution. *)
+let execute_kernel (ctx : context) state (design : Bitstream.kernel_design)
+    args =
+  let name = design.Bitstream.kd_name in
+  let run_on_device () =
+    let stats, _steps = interpret_kernel state design args in
+    let t = Timing.kernel_time_s ctx.spec design.Bitstream.kd_schedule stats in
+    let overhead = Timing.launch_overhead_s ctx.spec in
+    charge_kernel ctx ~name ~attrs:[ ("kernel", name) ] t;
+    charge_overhead ctx ~name:"launch_overhead" ~attrs:[ ("kernel", name) ]
+      overhead;
+    Ftn_obs.Metrics.incr "device.kernel_launches";
+    Ftn_obs.Log.debugf "launch %s: %.3f us kernel + %.3f us overhead" name
+      (t *. 1e6) (overhead *. 1e6);
+    Trace.record ctx.trace
+      (Trace.Launch { kernel = name; kernel_time_s = t; overhead_s = overhead })
+  in
+  match
+    with_faults ctx ~site:Fault.Launch ~kernel:name ~name run_on_device
+  with
+  | Ok () -> ()
+  | Error _fault -> cpu_fallback ctx state design args
 
 (* --- host API: the OpenCL-level operations a (hand-written) host
    program performs against the simulated device. The interpreter handler
    below routes the device dialect through these same functions. --- *)
 
 let api_alloc (ctx : context) ~name ~memory_space ~elt ~shape =
-  let buffer, fresh =
-    Data_env.alloc ctx.data ~name ~memory_space ~elt ~shape
+  let do_alloc () =
+    let buffer, fresh =
+      Data_env.alloc ctx.data ~name ~memory_space ~elt ~shape
+    in
+    if fresh then begin
+      charge_overhead ctx ~name:("alloc:" ^ name)
+        ~attrs:[ ("buffer", name);
+                 ("bytes", string_of_int (Rtval.byte_size buffer)) ]
+        (Timing.alloc_overhead_s ctx.spec);
+      Ftn_obs.Metrics.incr "device.allocs";
+      Ftn_obs.Metrics.incr ~by:(Rtval.byte_size buffer) "device.bytes_allocated";
+      Trace.record ctx.trace
+        (Trace.Alloc
+           {
+             name;
+             bytes = Rtval.byte_size buffer;
+             time_s = Timing.alloc_overhead_s ctx.spec;
+           })
+    end;
+    buffer
   in
-  if fresh then begin
-    charge_overhead ctx ~name:("alloc:" ^ name)
-      ~attrs:[ ("buffer", name);
-               ("bytes", string_of_int (Rtval.byte_size buffer)) ]
-      (Timing.alloc_overhead_s ctx.spec);
-    Ftn_obs.Metrics.incr "device.allocs";
-    Ftn_obs.Metrics.incr ~by:(Rtval.byte_size buffer) "device.bytes_allocated";
-    Trace.record ctx.trace
-      (Trace.Alloc
-         {
-           name;
-           bytes = Rtval.byte_size buffer;
-           time_s = Timing.alloc_overhead_s ctx.spec;
-         })
-  end;
-  buffer
+  (* A persistent allocation failure models device OOM: evict unpinned
+     buffers and cure the fault when anything was actually freed. A
+     transient fault must not evict — its recovery is a plain retry, so
+     the data environment stays identical to a fault-free run. *)
+  let recover (fault : Fault.fault) token =
+    if fault.Fault.persistence = Fault.Persistent then begin
+      let evicted =
+        Data_env.evict_unreferenced ~except:(name, memory_space) ctx.data
+      in
+      if evicted > 0 then begin
+        Ftn_obs.Metrics.incr ~by:evicted "fault.evictions";
+        Ftn_diag.Diag_engine.warning ctx.diag ~loc:ctx.cur_loc
+          (Fmt.str
+             "evicted %d unreferenced device buffer%s to satisfy allocation \
+              of %S"
+             evicted
+             (if evicted = 1 then "" else "s")
+             name);
+        Injector.cure token
+      end
+    end
+  in
+  match
+    with_faults ctx ~site:Fault.Alloc ~name:("alloc:" ^ name) ~recover
+      do_alloc
+  with
+  | Ok buffer -> buffer
+  | Error fault -> exhausted ctx fault
 
 let api_transfer (ctx : context) ~src ~dst =
+  (* Endpoint validation: transfers between buffers that disagree on
+     element type or byte size corrupt data silently on real hardware, so
+     they fail here with a structured shape-mismatch error. *)
+  if
+    (not (Types.equal src.Rtval.elt dst.Rtval.elt))
+    || Rtval.byte_size src <> Rtval.byte_size dst
+  then
+    Fault.fail
+      (Fault.Transfer_mismatch
+         {
+           src_elt = Types.to_string src.Rtval.elt;
+           dst_elt = Types.to_string dst.Rtval.elt;
+           src_bytes = Rtval.byte_size src;
+           dst_bytes = Rtval.byte_size dst;
+         });
   if src.Rtval.memory_space <> dst.Rtval.memory_space then begin
-    let bytes = min (Rtval.byte_size src) (Rtval.byte_size dst) in
+    let bytes = Rtval.byte_size src in
     let t = Timing.transfer_time_s ctx.spec ~bytes in
     let direction =
       if dst.Rtval.memory_space > 0 then Trace.Host_to_device
@@ -232,19 +421,30 @@ let api_transfer (ctx : context) ~src ~dst =
     let dir_str =
       match direction with Trace.Host_to_device -> "h2d" | _ -> "d2h"
     in
-    charge_transfer ctx
-      ~name:(dir_str ^ ":" ^ name)
-      ~attrs:
-        [ ("buffer", name); ("direction", dir_str);
-          ("bytes", string_of_int bytes) ]
-      t;
-    Ftn_obs.Metrics.incr ~by:bytes
-      (match direction with
-      | Trace.Host_to_device -> "device.bytes_h2d"
-      | Trace.Device_to_host -> "device.bytes_d2h");
-    Trace.record ctx.trace (Trace.Transfer { name; direction; bytes; time_s = t })
-  end;
-  Rtval.copy_into ~src ~dst
+    let do_transfer () =
+      charge_transfer ctx
+        ~name:(dir_str ^ ":" ^ name)
+        ~attrs:
+          [ ("buffer", name); ("direction", dir_str);
+            ("bytes", string_of_int bytes) ]
+        t;
+      Ftn_obs.Metrics.incr ~by:bytes
+        (match direction with
+        | Trace.Host_to_device -> "device.bytes_h2d"
+        | Trace.Device_to_host -> "device.bytes_d2h");
+      Trace.record ctx.trace
+        (Trace.Transfer { name; direction; bytes; time_s = t });
+      Rtval.copy_into ~src ~dst
+    in
+    match
+      with_faults ctx ~site:Fault.Transfer
+        ~name:(dir_str ^ ":" ^ name)
+        do_transfer
+    with
+    | Ok () -> ()
+    | Error fault -> exhausted ctx fault
+  end
+  else Rtval.copy_into ~src ~dst
 
 let kernel_interp_state (ctx : context) =
   match ctx.kernel_state with
@@ -270,10 +470,9 @@ let api_launch (ctx : context) ~kernel args =
   match Bitstream.find_kernel ctx.bitstream kernel with
   | Some design -> execute_kernel ctx (kernel_interp_state ctx) design args
   | None ->
-    raise
-      (Runtime_error
-         (Fmt.str "kernel %s not found in bitstream %s" kernel
-            ctx.bitstream.Bitstream.xclbin_name))
+    Fault.fail
+      (Fault.Missing_kernel
+         { kernel; xclbin = ctx.bitstream.Bitstream.xclbin_name })
 
 let summary (ctx : context) =
   (device_time ctx, kernel_time ctx, transfer_time ctx, overhead_time ctx)
@@ -291,6 +490,7 @@ let device_domain =
    transfers that touch device memory. *)
 let device_handler (ctx : context) : Interp.handler =
   Interp.handler ~domain:device_domain @@ fun state _frame op operands ->
+  ctx.cur_loc <- Op.loc op;
   match Op.name op with
   | "device.alloc" ->
     let name, memory_space = name_and_space op in
@@ -303,7 +503,10 @@ let device_handler (ctx : context) : Interp.handler =
         api_alloc ctx ~name ~memory_space ~elt:mi.Types.elt ~shape
       in
       Some [ Rtval.Buf buffer ]
-    | _ -> raise (Runtime_error "device.alloc must produce a memref"))
+    | _ ->
+      Fault.fail
+        (Fault.Invalid_host
+           { op = "device.alloc"; reason = "must produce a memref result" }))
   | "device.lookup" ->
     let name, memory_space = name_and_space op in
     Some [ Rtval.Buf (Data_env.lookup_exn ctx.data ~name ~memory_space) ]
@@ -331,20 +534,30 @@ let device_handler (ctx : context) : Interp.handler =
         Hashtbl.replace ctx.handles h { kh_design = design; kh_args = operands };
         Some [ Rtval.Handle h ]
       | None ->
-        raise
-          (Runtime_error
-             (Fmt.str "kernel %s not found in bitstream %s" fname
-                ctx.bitstream.Bitstream.xclbin_name)))
+        Fault.fail
+          (Fault.Missing_kernel
+             { kernel = fname; xclbin = ctx.bitstream.Bitstream.xclbin_name }))
     | None ->
-      raise (Runtime_error "device.kernel_create without device_function"))
+      Fault.fail
+        (Fault.Invalid_host
+           {
+             op = "device.kernel_create";
+             reason = "missing a device_function attribute";
+           }))
   | "device.kernel_launch" -> (
     match operands with
     | [ Rtval.Handle h ] ->
       (match Hashtbl.find_opt ctx.handles h with
       | Some kh -> execute_kernel ctx state kh.kh_design kh.kh_args
-      | None -> raise (Runtime_error "launch of unknown kernel handle"));
+      | None ->
+        Fault.fail
+          (Fault.Invalid_host
+             { op = "device.kernel_launch"; reason = "unknown kernel handle" }));
       Some []
-    | _ -> raise (Runtime_error "device.kernel_launch expects a handle"))
+    | _ ->
+      Fault.fail
+        (Fault.Invalid_host
+           { op = "device.kernel_launch"; reason = "expects a handle operand" }))
   | "device.kernel_wait" -> Some []
   | "memref.dma_start" -> (
     match operands with
@@ -354,24 +567,49 @@ let device_handler (ctx : context) : Interp.handler =
     | _ -> None)
   | _ -> None
 
+(* End-of-run leak report: any entry still holding references at teardown
+   means the lowered data-environment sequence lost a device.data_release
+   on some path. Surfaced as a metric plus a diagnostic warning. *)
+let report_leaks (ctx : context) =
+  match Data_env.leaks ctx.data with
+  | [] -> ()
+  | leaks ->
+    Ftn_obs.Metrics.incr ~by:(List.length leaks) "data_env.leaked";
+    List.iter
+      (fun (key, rc) ->
+        Ftn_diag.Diag_engine.warning ctx.diag
+          (Fmt.str
+             "device data %s still holds %d reference%s at teardown \
+              (missing device.data_release?)"
+             key rc
+             (if rc = 1 then "" else "s")))
+      leaks
+
 (* Build a result record from an API-driven context (hand-written host). *)
 let result_of_context (ctx : context) =
+  report_leaks ctx;
   {
     output = Intrinsics.contents ctx.sink;
     device_time_s = device_time ctx;
     kernel_time_s = kernel_time ctx;
     transfer_time_s = transfer_time ctx;
     overhead_time_s = overhead_time ctx;
+    fallback_time_s = fallback_time ctx;
     kernel_launches = Trace.count_launches ctx.trace;
     bytes_transferred = Trace.bytes_transferred ctx.trace;
+    degraded = ctx.degraded;
+    retries = ctx.retries;
+    cpu_fallbacks = ctx.cpu_fallbacks;
+    faults_injected =
+      (match ctx.injector with Some i -> Injector.injected i | None -> 0);
     trace = ctx.trace;
     data = ctx.data;
   }
 
 (* Run the host module's main (or a named entry) against a bitstream. *)
-let run ?spec ?(echo = false) ?entry ?(args = []) ?engine ~host ~bitstream
-    () =
-  let ctx = create_context ?spec ~echo ?engine bitstream in
+let run ?spec ?(echo = false) ?entry ?(args = []) ?engine ?diag ?faults
+    ?retry ~host ~bitstream () =
+  let ctx = create_context ?spec ~echo ?engine ?diag ?faults ?retry bitstream in
   let handlers =
     [
       device_handler ctx;
@@ -380,12 +618,23 @@ let run ?spec ?(echo = false) ?entry ?(args = []) ?engine ~host ~bitstream
     ]
   in
   let state = Interp.make ~handlers ~engine:ctx.engine [ host ] in
-  (match entry with
-  | Some entry -> ignore (Interp.run state ~entry ~args)
-  | None -> (
-    match Interp.main_function host with
-    | Some fn -> ignore (Interp.call_function state fn args)
-    | None -> raise (Runtime_error "host module has no main program")));
+  (try
+     match entry with
+     | Some entry -> ignore (Interp.run state ~entry ~args)
+     | None -> (
+       match Interp.main_function host with
+       | Some fn -> ignore (Interp.call_function state fn args)
+       | None ->
+         Fault.fail
+           (Fault.Invalid_host
+              { op = "module"; reason = "host module has no main program" }))
+   with Fault.Error (e, loc) as exn ->
+     (* Record the structured runtime error in the context's diagnostics
+        stream before propagating, so drivers that accumulate diagnostics
+        see it alongside compile-time errors, with the launching op's
+        source location. *)
+     Ftn_diag.Diag_engine.error ctx.diag ~loc (Fault.message e);
+     raise exn);
   Ftn_obs.Metrics.incr ~by:state.Interp.steps "interp.steps";
   result_of_context ctx
 
@@ -402,6 +651,9 @@ let run_cpu ?(echo = false) ?entry ?(args = []) ?engine core_module =
   | None -> (
     match Interp.main_function core_module with
     | Some fn -> ignore (Interp.call_function state fn args)
-    | None -> raise (Runtime_error "module has no main program")));
+    | None ->
+      Fault.fail
+        (Fault.Invalid_host
+           { op = "module"; reason = "module has no main program" })));
   Ftn_obs.Metrics.incr ~by:state.Interp.steps "interp.steps";
   (Intrinsics.contents sink, state.Interp.steps)

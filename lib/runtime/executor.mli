@@ -6,20 +6,34 @@
 
     The host API functions ([api_*]) expose the same OpenCL-level
     operations to hand-written OCaml host drivers (used by the hand-written
-    HLS baselines), so both paths share one cost model. *)
+    HLS baselines), so both paths share one cost model.
 
-exception Runtime_error of string
+    The executor is fault-tolerant: pass a {!Ftn_fault.Fault.plan} to
+    inject deterministic alloc/transfer/launch failures, absorbed by the
+    retry machinery (exponential backoff charged to the simulated overhead
+    track, eviction after device OOM, host-CPU fallback for kernels that
+    fail persistently). All runtime errors raise the structured
+    {!Ftn_fault.Fault.Error}. *)
 
 type context
 
 type result = {
   output : string;  (** Captured [print *] output. *)
-  device_time_s : float;  (** kernel + transfers + overheads. *)
+  device_time_s : float;
+      (** kernel + transfers + overheads + CPU fallback. *)
   kernel_time_s : float;
   transfer_time_s : float;
   overhead_time_s : float;
+  fallback_time_s : float;
+      (** Simulated host time spent executing kernels that degraded to
+          the CPU. *)
   kernel_launches : int;
   bytes_transferred : int;
+  degraded : bool;
+      (** At least one kernel fell back to host execution. *)
+  retries : int;  (** Operation attempts repeated after an injected fault. *)
+  cpu_fallbacks : int;
+  faults_injected : int;
   trace : Trace.t;
   data : Data_env.t;
 }
@@ -28,11 +42,17 @@ val create_context :
   ?spec:Ftn_hlsim.Fpga_spec.t ->
   ?echo:bool ->
   ?engine:Ftn_interp.Interp.engine ->
+  ?diag:Ftn_diag.Diag_engine.t ->
+  ?faults:Ftn_fault.Fault.plan ->
+  ?retry:Ftn_fault.Fault.retry_policy ->
   Ftn_hlsim.Bitstream.t ->
   context
 (** [engine] selects the interpreter engine for kernels and host modules
     run against this context; defaults to
-    [Ftn_interp.Interp.default_engine ()]. *)
+    [Ftn_interp.Interp.default_engine ()]. [diag] receives recovery
+    warnings and runtime errors (defaults to the shared engine); [faults]
+    enables deterministic fault injection; [retry] tunes the recovery
+    policy (defaults to {!Ftn_fault.Fault.default_retry}). *)
 
 (** {2 Host API} *)
 
@@ -44,26 +64,37 @@ val api_alloc :
   shape:int list ->
   Ftn_interp.Rtval.buffer
 (** Allocate (or reuse) a named device buffer, charging the first-touch
-    overhead. *)
+    overhead. A persistent injected allocation failure is recovered by
+    evicting unreferenced buffers; if nothing can be evicted the call
+    raises [Retries_exhausted]. *)
 
 val api_transfer :
   context -> src:Ftn_interp.Rtval.buffer -> dst:Ftn_interp.Rtval.buffer -> unit
 (** Copy between buffers; crossing memory spaces charges DMA time and
-    records a trace event. *)
+    records a trace event. Endpoints must agree on element type and byte
+    size or the call raises a structured [Transfer_mismatch]. *)
 
 val api_launch : context -> kernel:string -> Ftn_interp.Rtval.t list -> unit
 (** Execute a bitstream kernel functionally and charge its modelled
-    cycles plus launch overhead. *)
+    cycles plus launch overhead. A persistently failing kernel degrades
+    to host-CPU execution. *)
 
 val result_of_context : context -> result
+(** Also emits the end-of-run leak report: entries still holding
+    references at teardown bump the [data_env.leaked] metric and warn
+    through the context's diagnostic engine. *)
+
 val summary : context -> float * float * float * float
 (** (device, kernel, transfer, overhead) seconds so far — O(1), read from
     running totals maintained by the charging functions. *)
 
+val fallback_time : context -> float
+(** Simulated seconds charged to the CPU-fallback track so far. *)
+
 val track_time_from_spans : context -> string -> float
-(** Recompute one track's total ("kernel", "transfer" or "overhead") by
-    folding the context's sim-clock spans — the totals' cross-check,
-    exposed for tests. *)
+(** Recompute one track's total ("kernel", "transfer", "overhead" or
+    "fallback") by folding the context's sim-clock spans — the totals'
+    cross-check, exposed for tests. *)
 
 (** {2 Interpreted host modules} *)
 
@@ -77,12 +108,17 @@ val run :
   ?entry:string ->
   ?args:Ftn_interp.Rtval.t list ->
   ?engine:Ftn_interp.Interp.engine ->
+  ?diag:Ftn_diag.Diag_engine.t ->
+  ?faults:Ftn_fault.Fault.plan ->
+  ?retry:Ftn_fault.Fault.retry_policy ->
   host:Ftn_ir.Op.t ->
   bitstream:Ftn_hlsim.Bitstream.t ->
   unit ->
   result
 (** Interpret the host module (its [ftn.main] program unless [entry] is
-    given) against a bitstream. *)
+    given) against a bitstream. An escaping {!Ftn_fault.Fault.Error} is
+    recorded in [diag] (with the launching op's source location) before
+    it propagates. *)
 
 val run_cpu :
   ?echo:bool ->

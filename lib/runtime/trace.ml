@@ -22,6 +22,17 @@ type event =
       kernel_time_s : float;
       overhead_s : float;
     }
+  | Fault of {
+      target : string;
+      kind : string;  (** Fault.kind_code of the injected fault. *)
+      attempt : int;
+      time_s : float;  (** Simulated cost charged on detection. *)
+    }
+  | Fallback of {
+      kernel : string;
+      steps : int;  (** Interpreter steps of the host-CPU execution. *)
+      time_s : float;
+    }
 
 type t = { mutable events : event list (* reversed *) }
 
@@ -50,5 +61,11 @@ let pp_event fmt = function
   | Launch { kernel; kernel_time_s; overhead_s } ->
     Fmt.pf fmt "launch   %-12s  kernel %.3f us (+%.3f us overhead)" kernel
       (kernel_time_s *. 1e6) (overhead_s *. 1e6)
+  | Fault { target; kind; attempt; time_s } ->
+    Fmt.pf fmt "fault    %-12s  %s attempt %d  %.3f us" target kind attempt
+      (time_s *. 1e6)
+  | Fallback { kernel; steps; time_s } ->
+    Fmt.pf fmt "fallback %-12s  %d host steps  %.3f us" kernel steps
+      (time_s *. 1e6)
 
 let pp fmt t = Fmt.pf fmt "@[<v>%a@]" (Fmt.list pp_event) (events t)

@@ -22,6 +22,17 @@ type event =
       kernel_time_s : float;
       overhead_s : float;
     }
+  | Fault of {
+      target : string;  (** Buffer or kernel the fault was injected into. *)
+      kind : string;  (** {!Ftn_fault.Fault.kind_code} of the fault. *)
+      attempt : int;
+      time_s : float;  (** Simulated cost charged on detection. *)
+    }
+  | Fallback of {
+      kernel : string;
+      steps : int;  (** Interpreter steps of the host-CPU execution. *)
+      time_s : float;
+    }
 
 type t
 

@@ -587,6 +587,93 @@ let engines_differential =
       in
       run `Tree = run `Compiled)
 
+(* --- fault-injection differential properties --- *)
+
+module Fault = Ftn_fault.Fault
+module Executor = Ftn_runtime.Executor
+
+(* One compiled SAXPY shared by every fault property (compilation
+   dominates the cost; the executor runs are cheap). *)
+let fault_saxpy =
+  lazy
+    (let art = Core.Compiler.compile (Ftn_linpack.Fortran_sources.saxpy ~n:24) in
+     let bs = Core.Compiler.synthesise art in
+     (art.Core.Compiler.host, bs))
+
+let fault_exec ?faults () =
+  let host, bitstream = Lazy.force fault_saxpy in
+  Executor.run ?faults
+    ~diag:(Ftn_diag.Diag_engine.create ())
+    ~host ~bitstream ()
+
+let transient_plan_gen =
+  let open QCheck.Gen in
+  let rule_gen =
+    let* kind =
+      oneofl
+        [
+          Fault.Alloc_failure; Fault.Transfer_error; Fault.Kernel_timeout;
+          Fault.Launch_failure;
+        ]
+    in
+    let* trigger =
+      oneof
+        [
+          map (fun n -> Fault.Nth n) (int_range 1 4);
+          map (fun p -> Fault.Probability (p *. 0.5)) (float_bound_inclusive 1.0);
+        ]
+    in
+    return (Fault.rule kind trigger)
+  in
+  let* rules = list_size (int_range 1 3) rule_gen in
+  let* seed = int_range 0 10_000 in
+  return (Fault.plan ~seed rules)
+
+(* The central robustness guarantee: a plan of only transient faults
+   changes timing but never semantics. Output and the full device data
+   environment are byte-identical to the fault-free run, and the run is
+   never degraded; simulated time strictly grows iff something fired. *)
+let transient_faults_transparent =
+  QCheck.Test.make ~count:40
+    ~name:"transient fault plans are semantically transparent"
+    (QCheck.make transient_plan_gen ~print:Fault.plan_to_string)
+    (fun plan ->
+      let clean = fault_exec () in
+      let faulted = fault_exec ~faults:plan () in
+      String.equal clean.Executor.output faulted.Executor.output
+      && String.equal
+           (Ftn_runtime.Data_env.snapshot clean.Executor.data)
+           (Ftn_runtime.Data_env.snapshot faulted.Executor.data)
+      && (not faulted.Executor.degraded)
+      && faulted.Executor.cpu_fallbacks = 0
+      &&
+      if faulted.Executor.faults_injected > 0 then
+        faulted.Executor.device_time_s > clean.Executor.device_time_s
+      else
+        Float.equal faulted.Executor.device_time_s clean.Executor.device_time_s)
+
+(* Persistent kernel-site faults must complete through the host-CPU
+   fallback: flagged degraded, yet numerically indistinguishable. *)
+let persistent_kernel_degrades =
+  QCheck.Test.make ~count:20
+    ~name:"persistent kernel faults degrade to a correct CPU fallback"
+    (QCheck.make
+       (QCheck.Gen.oneofl [ Fault.Launch_failure; Fault.Kernel_timeout ])
+       ~print:Fault.kind_code)
+    (fun kind ->
+      let plan =
+        Fault.plan [ Fault.rule ~persistence:Fault.Persistent kind (Fault.Nth 1) ]
+      in
+      let clean = fault_exec () in
+      let faulted = fault_exec ~faults:plan () in
+      String.equal clean.Executor.output faulted.Executor.output
+      && String.equal
+           (Ftn_runtime.Data_env.snapshot clean.Executor.data)
+           (Ftn_runtime.Data_env.snapshot faulted.Executor.data)
+      && faulted.Executor.degraded
+      && faulted.Executor.cpu_fallbacks >= 1
+      && faulted.Executor.fallback_time_s > 0.0)
+
 (* The IR parser is total: on arbitrarily mutated input it either parses
    or raises Parse_error — never any other exception. *)
 let parser_totality =
@@ -638,5 +725,7 @@ let () =
             nonconvergence_reported;
             over_release_reported;
             engines_differential;
+            transient_faults_transparent;
+            persistent_kernel_degrades;
           ] );
     ]

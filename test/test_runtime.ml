@@ -92,7 +92,7 @@ let executor_tests =
         check (Alcotest.float 1e-12) "sum"
           r.Executor.device_time_s
           (r.Executor.kernel_time_s +. r.Executor.transfer_time_s
-          +. r.Executor.overhead_time_s));
+          +. r.Executor.overhead_time_s +. r.Executor.fallback_time_s));
     tc "running totals match span-folded totals" (fun () ->
         (* The O(1) per-track totals maintained by [charge] must agree
            exactly with a fold over the sim-clock spans — drive the host
@@ -190,7 +190,7 @@ let executor_tests =
           ignore
             (Executor.run ~host:art.Core.Compiler.host ~bitstream:wrong_bs ());
           Alcotest.fail "expected error"
-        with Executor.Runtime_error _ -> ());
+        with Ftn_fault.Fault.Error (Ftn_fault.Fault.Missing_kernel _, _) -> ());
     tc "host API mirrors interpreted flow" (fun () ->
         (* the hand-written baseline and the compiled flow agree numerically *)
         let n = 32 in

@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench bench-rewrite bench-interp bench-fault clean
+.PHONY: all build test check bench bench-rewrite bench-interp bench-fault bench-profile clean
 
 all: build
 
@@ -20,6 +20,7 @@ check: ## build everything, run the full test suite, every example, and the rewr
 	$(MAKE) bench-rewrite
 	$(MAKE) bench-interp
 	$(MAKE) bench-fault
+	$(MAKE) bench-profile
 
 bench:
 	dune exec bench/main.exe
@@ -32,6 +33,9 @@ bench-interp: ## tree-walker vs closure-compiled interpreter; fails unless outpu
 
 bench-fault: ## fault-free vs fault-injected runs; fails unless outputs agree and recovery/fallback behave
 	dune exec bench/main.exe -- --faults --quick
+
+bench-profile: ## profiling on vs off; fails unless output is byte-identical, overhead <= 5% and profile data was recorded
+	dune exec bench/main.exe -- --profile --quick
 
 clean:
 	dune clean

@@ -25,6 +25,10 @@ let interp_only = Array.exists (String.equal "--interp") Sys.argv
    which doubles as the `make bench-fault` sanity gate. *)
 let fault_only = Array.exists (String.equal "--faults") Sys.argv
 
+(* --profile runs only the profiling-overhead gate (BENCH_profile.json),
+   which doubles as the `make bench-profile` sanity gate. *)
+let profile_only = Array.exists (String.equal "--profile") Sys.argv
+
 let progress fmt = Fmt.epr (fmt ^^ "@.")
 
 let saxpy_sizes =
@@ -1014,6 +1018,137 @@ let fault_report () =
     exit 1
   end
 
+(* --- BENCH_profile.json: profiling-overhead gate. Compiles and
+   synthesises SGESL and the stencil once (with profiling on, so the
+   compiler's own pattern/pass profile is populated), then executes each
+   host program with profiling off and on, best-of-reps. The run exits
+   nonzero unless profiling keeps program output byte-identical, costs
+   at most 5% wall overhead (with a small absolute slack so quick runs
+   are not gated on scheduler noise), and actually recorded data (op
+   counts, per-kernel launch-latency histograms, pattern timings). *)
+
+let measure_profiled ~enabled ~host ~bitstream ~reps =
+  Ftn_obs.Profile.set_enabled enabled;
+  Fun.protect
+    ~finally:(fun () -> Ftn_obs.Profile.set_enabled false)
+    (fun () ->
+      let best = ref infinity in
+      let last = ref None in
+      for _ = 1 to reps do
+        let sp = ref None in
+        let r =
+          Ftn_obs.Span.with_span_sp ~name:"bench.profile" (fun s ->
+              sp := Some s;
+              Executor.run ~host ~bitstream ())
+        in
+        let wall =
+          match !sp with Some s -> s.Ftn_obs.Span.dur_s | None -> 0.0
+        in
+        if wall < !best then best := wall;
+        last := Some r
+      done;
+      (!best, Option.get !last))
+
+let profile_report () =
+  header "Profiling overhead gate (BENCH_profile.json)";
+  let n_sgesl = if quick then 64 else 256 in
+  let stencil_n = if quick then 64 else 128 in
+  let cases =
+    [
+      (Fmt.str "sgesl_n%d" n_sgesl, Ftn_linpack.Fortran_sources.sgesl ~n:n_sgesl);
+      ( Fmt.str "stencil_n%d" stencil_n,
+        stencil_source ~n:stencil_n ~steps:(if quick then 5 else 10) );
+    ]
+  in
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
+  let case_json (name, src) =
+    progress "  profile bench: %s ..." name;
+    (* compile with profiling enabled so pattern/pass self-profiling has
+       data to assert on *)
+    Ftn_obs.Profile.set_enabled true;
+    let art =
+      Fun.protect
+        ~finally:(fun () -> Ftn_obs.Profile.set_enabled false)
+        (fun () -> Core.Compiler.compile src)
+    in
+    let bitstream = Core.Compiler.synthesise art in
+    let host = art.Core.Compiler.host in
+    let reps = if quick then 3 else 5 in
+    let wall_off, r_off = measure_profiled ~enabled:false ~host ~bitstream ~reps in
+    Ftn_obs.Profile.reset ();
+    let wall_on, r_on = measure_profiled ~enabled:true ~host ~bitstream ~reps in
+    let ops_counted = Ftn_obs.Profile.total_ops () in
+    if not (String.equal r_off.Executor.output r_on.Executor.output) then
+      fail "%s: program output differs with profiling on" name;
+    let overhead = (wall_on -. wall_off) /. Float.max 1e-9 wall_off in
+    (* absolute slack: sub-millisecond deltas are scheduler noise, not
+       profiling cost *)
+    if overhead > 0.05 && wall_on -. wall_off > 2e-3 then
+      fail "%s: profiling overhead %.1f%% exceeds the 5%% budget" name
+        (overhead *. 100.);
+    if ops_counted <= 0 then
+      fail "%s: profiling recorded no op counts" name;
+    let kernels =
+      List.map
+        (fun (k : Bitstream.kernel_design) -> k.Bitstream.kd_name)
+        bitstream.Bitstream.kernels
+    in
+    let latency_json =
+      List.filter_map
+        (fun k ->
+          let h = "device.kernel." ^ k ^ ".launch_latency_s" in
+          match
+            ( Ftn_obs.Metrics.histogram_quantile h 0.5,
+              Ftn_obs.Metrics.histogram_quantile h 0.99 )
+          with
+          | Some p50, Some p99 ->
+            Some
+              ( k,
+                Ftn_obs.Json.Obj
+                  [
+                    ("p50_us", Ftn_obs.Json.Float (p50 *. 1e6));
+                    ("p99_us", Ftn_obs.Json.Float (p99 *. 1e6));
+                  ] )
+          | _ ->
+            fail "%s: no launch-latency histogram for kernel %s" name k;
+            None)
+        kernels
+    in
+    if Ftn_ir.Rewrite.pattern_profile () = [] then
+      fail "%s: no rewrite-pattern profile was recorded" name;
+    Fmt.pr
+      "  %-16s off %8.2f ms | on %8.2f ms | overhead %+6.2f%% | %9d ops \
+       counted@."
+      name (wall_off *. 1e3) (wall_on *. 1e3) (overhead *. 100.) ops_counted;
+    ( name,
+      Ftn_obs.Json.Obj
+        [
+          ("wall_off_s", Ftn_obs.Json.Float wall_off);
+          ("wall_on_s", Ftn_obs.Json.Float wall_on);
+          ("overhead_pct", Ftn_obs.Json.Float (overhead *. 100.));
+          ( "outputs_identical",
+            Ftn_obs.Json.Bool (String.equal r_off.Executor.output r_on.Executor.output) );
+          ("ops_counted", Ftn_obs.Json.Int ops_counted);
+          ("kernel_launch_latency", Ftn_obs.Json.Obj latency_json);
+        ] )
+  in
+  let j =
+    Ftn_obs.Json.Obj
+      [
+        ("overhead_budget_pct", Ftn_obs.Json.Float 5.0);
+        ("cases", Ftn_obs.Json.Obj (List.map case_json cases));
+      ]
+  in
+  Ftn_obs.Json.write_file "BENCH_profile.json" j;
+  Fmt.pr "  wrote BENCH_profile.json@.";
+  if !failures <> [] then begin
+    List.iter
+      (fun s -> Fmt.epr "profile bench FAILED: %s@." s)
+      (List.rev !failures);
+    exit 1
+  end
+
 (* --- Bechamel micro-benchmarks: one Test.make per table --- *)
 
 let bechamel_tests () =
@@ -1099,6 +1234,11 @@ let () =
   end;
   if fault_only then begin
     fault_report ();
+    Fmt.pr "@.done.@.";
+    exit 0
+  end;
+  if profile_only then begin
+    profile_report ();
     Fmt.pr "@.done.@.";
     exit 0
   end;

@@ -48,9 +48,10 @@ let handle_errors f =
     Fmt.epr "%s@."
       (Ftn_diag.Diag.render ~source:disk_source
          (Ftn_diag.Diag.error ~loc
-            (Fmt.str "[%s] %s"
+            (Fmt.str "[%s] %s%s"
                (Ftn_fault.Fault.error_code e)
-               (Ftn_fault.Fault.message e))));
+               (Ftn_fault.Fault.message e)
+               (Ftn_fault.Fault.flight_note ()))));
     exit 1
   | Ftn_passes.Core_to_llvm.Unsupported msg ->
     Fmt.epr
@@ -74,6 +75,10 @@ let handle_errors f =
 type obs_opts = {
   trace_out : string option;
   metrics : bool;
+  metrics_format : [ `Text | `Json | `Openmetrics ] option;
+      (* an explicit --metrics-format implies printing the registry *)
+  profile : bool;
+  flight_size : int option;
   log_level : Ftn_obs.Log.level option;
   max_errors : int;
   interp_engine : Ftn_interp.Interp.engine option;
@@ -95,6 +100,40 @@ let obs_term =
       value & flag
       & info [ "metrics" ]
           ~doc:"Print the metrics registry (counters, gauges, histograms).")
+  in
+  let metrics_format_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("text", `Text); ("json", `Json);
+                  ("openmetrics", `Openmetrics) ]))
+          None
+      & info [ "metrics-format" ] ~docv:"FORMAT"
+          ~doc:
+            "Metrics output format: $(b,text) (the default), $(b,json) or \
+             $(b,openmetrics) (Prometheus exposition text). Giving this \
+             flag implies $(b,--metrics).")
+  in
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Enable the profiler and print a report: hot interpreter ops, \
+             hottest rewrite patterns, per-pass wall/alloc deltas, \
+             per-kernel launch-latency quantiles, compute-unit occupancy \
+             and a device-utilization timeline.")
+  in
+  let flight_size_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "flight-size" ] ~docv:"N"
+          ~doc:
+            "Capacity of the flight recorder (the ring buffer of recent \
+             device events dumped when a fault escapes; default 256).")
   in
   let log_level_arg =
     Arg.(
@@ -126,7 +165,8 @@ let obs_term =
              functions are compiled to closures once and reused) or \
              $(b,tree) (the reference tree-walker).")
   in
-  let make trace_out metrics log_level verbose max_errors interp_engine =
+  let make trace_out metrics metrics_format profile flight_size log_level
+      verbose max_errors interp_engine =
     let log_level =
       match (log_level, verbose) with
       | Some s, _ -> (
@@ -138,10 +178,25 @@ let obs_term =
       | None, true -> Some Ftn_obs.Log.Debug
       | None, false -> None
     in
-    { trace_out; metrics; log_level; max_errors; interp_engine }
+    (match flight_size with
+    | Some n when n < 1 ->
+      Fmt.epr "error: --flight-size must be at least 1@.";
+      exit 1
+    | _ -> ());
+    {
+      trace_out;
+      metrics;
+      metrics_format;
+      profile;
+      flight_size;
+      log_level;
+      max_errors;
+      interp_engine;
+    }
   in
   Term.(
-    const make $ trace_out_arg $ metrics_arg $ log_level_arg $ verbose_arg
+    const make $ trace_out_arg $ metrics_arg $ metrics_format_arg
+    $ profile_arg $ flight_size_arg $ log_level_arg $ verbose_arg
     $ max_errors_arg $ interp_engine_arg)
 
 (* Run [f] with logging configured, then emit the requested trace and
@@ -155,6 +210,10 @@ let with_obs opts f =
   (match opts.interp_engine with
   | Some e -> Ftn_interp.Interp.set_default_engine e
   | None -> ());
+  if opts.profile then Ftn_obs.Profile.set_enabled true;
+  (match opts.flight_size with
+  | Some n -> Ftn_obs.Flight.set_capacity n
+  | None -> ());
   let r = f () in
   (match opts.trace_out with
   | Some path ->
@@ -162,8 +221,13 @@ let with_obs opts f =
       (Ftn_obs.Span.current ()) path;
     Fmt.epr "wrote trace to %s@." path
   | None -> ());
-  if opts.metrics then
-    Fmt.pr "%a@." Ftn_obs.Metrics.pp Ftn_obs.Metrics.default;
+  if opts.metrics || opts.metrics_format <> None then begin
+    match Option.value ~default:`Text opts.metrics_format with
+    | `Text -> Fmt.pr "%a@." Ftn_obs.Metrics.pp Ftn_obs.Metrics.default
+    | `Json ->
+      Fmt.pr "%s@." (Ftn_obs.Json.to_string (Ftn_obs.Metrics.to_json ()))
+    | `Openmetrics -> print_string (Ftn_obs.Openmetrics.render ())
+  end;
   r
 
 (* --- arguments --- *)
@@ -371,6 +435,7 @@ let run_term =
           in
           print_string (Core.Run.output r);
           if report then print_string (Core.Report.summary r);
+          if obs.profile then print_string (Core.Report.profile_summary r);
           if trace then
             Fmt.pr "%a@." Ftn_runtime.Trace.pp
               r.Core.Run.exec.Ftn_runtime.Executor.trace

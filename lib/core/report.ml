@@ -39,6 +39,157 @@ let pp_exec fmt (r : Executor.result) =
       (r.Executor.fallback_time_s *. 1e3)
       (if r.Executor.degraded then " — run degraded" else "")
 
+(* --- profiling report (ftnc --profile) --- *)
+
+let quantile_us name q =
+  match Ftn_obs.Metrics.histogram_quantile name q with
+  | Some v -> Fmt.str "%8.3f" (v *. 1e6)
+  | None -> Fmt.str "%8s" "-"
+
+let hist_count name =
+  match Ftn_obs.Metrics.find name with
+  | Some (Ftn_obs.Metrics.Histogram_v { count; _ }) -> count
+  | _ -> 0
+
+(* One character per bin of the device-active window, labelled by the
+   track that dominates the bin: K kernel, T transfer, O overhead,
+   F cpu-fallback, '.' idle. Built from the ambient collector's
+   sim-clock spans, so it must run before the collector is cleared. *)
+let utilization_timeline ?(bins = 60) () =
+  let sim =
+    List.filter
+      (fun (sp : Ftn_obs.Span.span) -> sp.Ftn_obs.Span.clock = Ftn_obs.Span.Sim)
+      (Ftn_obs.Span.spans (Ftn_obs.Span.current ()))
+  in
+  match sim with
+  | [] -> None
+  | _ ->
+    let t_end =
+      List.fold_left
+        (fun acc (sp : Ftn_obs.Span.span) ->
+          Float.max acc (sp.Ftn_obs.Span.start_s +. sp.Ftn_obs.Span.dur_s))
+        0.0 sim
+    in
+    if t_end <= 0.0 then None
+    else begin
+      (* busy.(bin).(track): simulated seconds of each track inside the
+         bin; the dominant track labels the bin. *)
+      let tracks = [| "kernel"; "transfer"; "overhead"; "fallback" |] in
+      let chars = [| 'K'; 'T'; 'O'; 'F' |] in
+      let busy = Array.make_matrix bins (Array.length tracks) 0.0 in
+      let bin_w = t_end /. float_of_int bins in
+      List.iter
+        (fun (sp : Ftn_obs.Span.span) ->
+          match Ftn_obs.Span.attr sp "track" with
+          | None -> ()
+          | Some track -> (
+            let ti = ref (-1) in
+            Array.iteri
+              (fun i t -> if String.equal t track then ti := i)
+              tracks;
+            match !ti with
+            | -1 -> ()
+            | ti ->
+              let s = sp.Ftn_obs.Span.start_s in
+              let e = s +. sp.Ftn_obs.Span.dur_s in
+              let b0 = max 0 (int_of_float (s /. bin_w)) in
+              let b1 = min (bins - 1) (int_of_float (e /. bin_w)) in
+              for b = b0 to b1 do
+                let lo = Float.max s (float_of_int b *. bin_w) in
+                let hi = Float.min e (float_of_int (b + 1) *. bin_w) in
+                if hi > lo then busy.(b).(ti) <- busy.(b).(ti) +. (hi -. lo)
+              done))
+        sim;
+      let line =
+        String.init bins (fun b ->
+            let best = ref (-1) and best_t = ref 0.0 in
+            Array.iteri
+              (fun ti t ->
+                if t > !best_t then begin
+                  best := ti;
+                  best_t := t
+                end)
+              busy.(b);
+            if !best < 0 then '.' else chars.(!best))
+      in
+      Some (line, t_end)
+    end
+
+let pp_profile fmt (run : Run.t) =
+  let exec = run.Run.exec in
+  Fmt.pf fmt "== profile ==@.";
+  (* hot ops: interpreter dispatch counts, device + host combined *)
+  let total = Ftn_obs.Profile.total_ops () in
+  (match Ftn_obs.Profile.top_ops 12 with
+  | [] -> Fmt.pf fmt "@.hot ops: none recorded (profiling off?)@."
+  | tops ->
+    Fmt.pf fmt "@.hot ops (%d executed):@." total;
+    List.iter
+      (fun (name, n) ->
+        Fmt.pf fmt "  %-28s %9d  %5.1f%%@." name n
+          (100.0 *. float_of_int n /. float_of_int (max 1 total)))
+      tops);
+  (* hottest rewrite patterns, by attributed time *)
+  (match Ftn_ir.Rewrite.pattern_profile () with
+  | [] -> ()
+  | profile ->
+    Fmt.pf fmt "@.hottest rewrite patterns:@.";
+    List.iteri
+      (fun i (name, attempts, fired, time_s) ->
+        if i < 10 then
+          Fmt.pf fmt "  %-32s %7.3f ms  %6d fired / %6d attempts@." name
+            (time_s *. 1e3) fired attempts)
+      profile);
+  (* per-pass wall time, op counts and allocation *)
+  Fmt.pf fmt "@.passes:@.";
+  List.iter
+    (fun r -> Fmt.pf fmt "  %a@." Ftn_ir.Pass.pp_stage r)
+    run.Run.artifacts.Compiler.stages;
+  (* per-kernel launch-latency quantiles *)
+  let kernels = run.Run.bitstream.Bitstream.kernels in
+  if kernels <> [] then begin
+    Fmt.pf fmt "@.kernel launch latency (us):@.";
+    Fmt.pf fmt "  %-20s %8s %8s %8s %8s@." "kernel" "launches" "p50" "p90"
+      "p99";
+    List.iter
+      (fun (k : Bitstream.kernel_design) ->
+        let h = "device.kernel." ^ k.Bitstream.kd_name ^ ".launch_latency_s" in
+        Fmt.pf fmt "  %-20s %8d %s %s %s@." k.Bitstream.kd_name (hist_count h)
+          (quantile_us h 0.5) (quantile_us h 0.9) (quantile_us h 0.99))
+      kernels
+  end;
+  (* compute-unit occupancy *)
+  if exec.Executor.cus <> [] then begin
+    Fmt.pf fmt "@.compute units:@.";
+    List.iter
+      (fun cu -> Fmt.pf fmt "  %a@." Cu_stats.pp_snapshot cu)
+      exec.Executor.cus
+  end;
+  (* device utilization timeline *)
+  (match utilization_timeline () with
+  | None -> ()
+  | Some (line, t_end) ->
+    Fmt.pf fmt
+      "@.device timeline (%.3f ms; K kernel, T transfer, O overhead, F \
+       fallback, . idle):@.  |%s|@."
+      (t_end *. 1e3) line);
+  (* transfer-vs-compute roofline summary *)
+  let kt = exec.Executor.kernel_time_s
+  and tt = exec.Executor.transfer_time_s in
+  let bytes = exec.Executor.bytes_transferred in
+  Fmt.pf fmt "@.roofline: %d bytes moved in %.3f ms (%.2f GB/s), compute \
+              %.3f ms — %s@."
+    bytes (tt *. 1e3)
+    (if tt > 0.0 then float_of_int bytes /. tt /. 1e9 else 0.0)
+    (kt *. 1e3)
+    (if tt > kt then
+       Fmt.str "transfer-bound (%.1fx compute)" (tt /. Float.max kt 1e-12)
+     else if kt > 0.0 then
+       Fmt.str "compute-bound (%.1fx transfer)" (kt /. Float.max tt 1e-12)
+     else "no device work")
+
+let profile_summary run = Fmt.str "%a" pp_profile run
+
 let pp_run fmt (run : Run.t) =
   pp_bitstream fmt run.Run.bitstream;
   Fmt.pf fmt "%a@." pp_exec run.Run.exec;

@@ -7,3 +7,13 @@ val pp_run : Format.formatter -> Run.t -> unit
 
 val summary : Run.t -> string
 (** Bitstream, timing breakdown and program output as one string. *)
+
+val pp_profile : Format.formatter -> Run.t -> unit
+(** The [--profile] report: top hot ops (interpreter dispatch counts),
+    hottest rewrite patterns by attributed time, per-pass wall/alloc
+    table, per-kernel launch-latency quantiles, per-CU occupancy, an
+    ASCII device-utilization timeline (from the ambient collector's sim
+    spans — render before clearing it) and a transfer-vs-compute
+    roofline summary. *)
+
+val profile_summary : Run.t -> string

@@ -107,6 +107,18 @@ let error_code = function
 
 let fail ?(loc = Ftn_diag.Loc.unknown) err = raise (Error (err, loc))
 
+(* Flight-recorder context for an escaping or degrading fault: the last
+   events from the default recorder, ready to append to an error or
+   warning message. "" when nothing was recorded. *)
+let flight_note ?(limit = 16) () =
+  match Ftn_obs.Flight.excerpt ~limit () with
+  | "" -> ""
+  | ex ->
+    let n = min limit (Ftn_obs.Flight.length ()) in
+    Fmt.str "\nflight recorder (last %d event%s):\n%s" n
+      (if n = 1 then "" else "s")
+      ex
+
 let () =
   Printexc.register_printer (function
     | Error (e, loc) ->

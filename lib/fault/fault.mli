@@ -92,6 +92,13 @@ type retry_policy = {
           fallback of a permanently failing kernel. *)
 }
 
+val flight_note : ?limit:int -> unit -> string
+(** The last [limit] (default 16) events from the default
+    {!Ftn_obs.Flight} recorder, rendered as an indented block headed
+    ["flight recorder (last N events):"] with a leading newline — ready
+    to append to an escaping error or degradation warning. [""] when the
+    recorder is empty. *)
+
 val default_retry : retry_policy
 (** 4 attempts, 10 us base backoff doubling per retry, 1 ms kernel
     watchdog, 2 ns per interpreter step on the fallback path. *)

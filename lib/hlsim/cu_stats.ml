@@ -1,0 +1,73 @@
+(* Per-compute-unit occupancy accounting for the simulated device.
+
+   The simulated U280 instantiates one compute unit per kernel_design in
+   the programmed bitstream. Each launch occupies its kernel's CU for the
+   kernel's simulated duration; everything else on the device timeline
+   (transfers, launch overhead, retry backoff) is idle time from the CU's
+   point of view. The table is fed by the runtime executor as launches
+   retire and frozen into a snapshot for reports. *)
+
+type cu = {
+  cu_kernel : string;
+  mutable cu_launches : int;
+  mutable cu_busy_s : float;  (* summed simulated kernel-execution time *)
+  mutable cu_fallbacks : int;  (* launches that degraded to CPU *)
+}
+
+type t = {
+  tbl : (string, cu) Hashtbl.t;
+  mutable order : string list;  (* first-launch order, reversed *)
+}
+
+type snapshot = {
+  kernel : string;
+  launches : int;
+  busy_s : float;
+  fallbacks : int;
+  occupancy : float;  (** busy_s / device-active window, in [0, 1]. *)
+}
+
+let create () = { tbl = Hashtbl.create 7; order = [] }
+
+let cu_for t kernel =
+  match Hashtbl.find_opt t.tbl kernel with
+  | Some c -> c
+  | None ->
+    let c =
+      { cu_kernel = kernel; cu_launches = 0; cu_busy_s = 0.0; cu_fallbacks = 0 }
+    in
+    Hashtbl.add t.tbl kernel c;
+    t.order <- kernel :: t.order;
+    c
+
+let note_launch t ~kernel ~busy_s =
+  let c = cu_for t kernel in
+  c.cu_launches <- c.cu_launches + 1;
+  c.cu_busy_s <- c.cu_busy_s +. busy_s
+
+let note_fallback t ~kernel =
+  let c = cu_for t kernel in
+  c.cu_fallbacks <- c.cu_fallbacks + 1
+
+(* [window_s] is the span of simulated time the device was active (first
+   device op to last); occupancy is busy time over that window. *)
+let snapshot t ~window_s =
+  List.rev_map
+    (fun kernel ->
+      let c = Hashtbl.find t.tbl kernel in
+      let occupancy =
+        if window_s > 0.0 then Float.min 1.0 (c.cu_busy_s /. window_s) else 0.0
+      in
+      {
+        kernel;
+        launches = c.cu_launches;
+        busy_s = c.cu_busy_s;
+        fallbacks = c.cu_fallbacks;
+        occupancy;
+      })
+    t.order
+
+let pp_snapshot fmt s =
+  Fmt.pf fmt "cu:%-16s %4d launches  busy %10.3f us  occupancy %5.1f%%"
+    s.kernel s.launches (s.busy_s *. 1e6) (s.occupancy *. 100.);
+  if s.fallbacks > 0 then Fmt.pf fmt "  (%d cpu fallbacks)" s.fallbacks

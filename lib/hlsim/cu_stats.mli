@@ -1,0 +1,26 @@
+(** Per-compute-unit occupancy accounting for the simulated device.
+
+    One compute unit per kernel in the programmed bitstream; the runtime
+    executor notes each retiring launch (and each CPU fallback) against
+    its kernel's CU, and reports freeze the table into snapshots. *)
+
+type t
+
+type snapshot = {
+  kernel : string;
+  launches : int;
+  busy_s : float;  (** Summed simulated kernel-execution time. *)
+  fallbacks : int;  (** Launches that degraded to CPU. *)
+  occupancy : float;  (** [busy_s] over the device-active window, 0..1. *)
+}
+
+val create : unit -> t
+
+val note_launch : t -> kernel:string -> busy_s:float -> unit
+val note_fallback : t -> kernel:string -> unit
+
+val snapshot : t -> window_s:float -> snapshot list
+(** Snapshots in first-launch order. [window_s] is the device-active
+    simulated window used as the occupancy denominator (0 yields 0). *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

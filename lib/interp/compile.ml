@@ -205,6 +205,21 @@ and compile_seq ctx ops = Array.of_list (List.map (compile_op ctx) ops)
    shared scratch tree-frame (handlers expect a [Tree.frame]) and tries
    the handlers in order, falling back to the compiled default. *)
 and compile_op ctx op : code =
+  let code = compile_op_dispatch ctx op in
+  (* The profiling decision is paid at compile time: when enabled, the
+     op's shared counter ref is resolved once and each execution is a
+     single [incr]; when disabled the closure is untouched. Functions
+     compiled while profiling was off stay uninstrumented (the cache is
+     per interpreter state, which never outlives a run). *)
+  if !Ftn_obs.Profile.on then begin
+    let c = Ftn_obs.Profile.op_counter (Op.name op) in
+    fun f ->
+      incr c;
+      code f
+  end
+  else code
+
+and compile_op_dispatch ctx op : code =
   let base = compile_default ctx op in
   let name = Op.name op in
   match

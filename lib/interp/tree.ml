@@ -151,6 +151,7 @@ let eval_cast op v =
 let rec exec_op state frame op =
   state.steps <- state.steps + 1;
   if state.steps > state.max_steps then error "step limit exceeded";
+  if !Ftn_obs.Profile.on then Ftn_obs.Profile.count_op (Op.name op);
   let operand_values = List.map (get frame) op.Op.operands in
   let handled =
     let name = Op.name op in

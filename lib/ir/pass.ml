@@ -13,6 +13,9 @@ type stage_record = {
   stage_name : string;
   elapsed_s : float;
   op_count : int;
+  alloc_bytes : float;
+      (* OCaml heap allocated while the pass ran (Gc.allocated_bytes
+         delta); 0 for the synthetic "input" record *)
 }
 
 let make pass_name run = { pass_name; run }
@@ -37,13 +40,13 @@ let with_pass_context context f =
 
 let run_pipeline ?(verify_between = false) ?on_stage passes m =
   let records = ref [] in
-  let notify stage_name elapsed_s op_count m =
-    let r = { stage_name; elapsed_s; op_count } in
+  let notify stage_name elapsed_s op_count alloc_bytes m =
+    let r = { stage_name; elapsed_s; op_count; alloc_bytes } in
     records := r :: !records;
     match on_stage with Some f -> f r m | None -> ()
   in
   let initial_count = count_ops m in
-  notify "input" 0.0 initial_count m;
+  notify "input" 0.0 initial_count 0.0 m;
   (* The op count of stage N's output is stage N+1's input: compute each
      count once and thread it through the fold. *)
   let result, _ =
@@ -55,6 +58,7 @@ let run_pipeline ?(verify_between = false) ?on_stage passes m =
            behalf (0 for passes not built on Rewrite) *)
         let visited0 = Ftn_obs.Metrics.counter_value "rewrite.ops_visited" in
         let fired0 = Ftn_obs.Metrics.counter_value "rewrite.patterns_fired" in
+        let alloc0 = Gc.allocated_bytes () in
         let m' =
           Ftn_obs.Span.with_span_sp ~name:("pass." ^ p.pass_name)
             (fun sp ->
@@ -64,6 +68,7 @@ let run_pipeline ?(verify_between = false) ?on_stage passes m =
                 (fun () -> p.run m))
         in
         let ops_after = count_ops m' in
+        let alloc_bytes = Gc.allocated_bytes () -. alloc0 in
         let visited =
           Ftn_obs.Metrics.counter_value "rewrite.ops_visited" - visited0
         in
@@ -78,6 +83,16 @@ let run_pipeline ?(verify_between = false) ?on_stage passes m =
             (string_of_int visited);
           Ftn_obs.Span.set_attr sp ~key:"rewrite_patterns_fired"
             (string_of_int fired);
+          Ftn_obs.Span.set_attr sp ~key:"alloc_bytes"
+            (Printf.sprintf "%.0f" alloc_bytes);
+          if !Ftn_obs.Profile.on then begin
+            Ftn_obs.Metrics.observe
+              ("pass." ^ p.pass_name ^ ".wall_ms")
+              (sp.Ftn_obs.Span.dur_s *. 1e3);
+            Ftn_obs.Metrics.observe
+              ("pass." ^ p.pass_name ^ ".alloc_kb")
+              (alloc_bytes /. 1024.)
+          end;
           if ops_after < ops_before then
             Ftn_obs.Metrics.incr ~by:(ops_before - ops_after)
               "passes.ops_removed";
@@ -96,7 +111,7 @@ let run_pipeline ?(verify_between = false) ?on_stage passes m =
           | Some sp -> sp.Ftn_obs.Span.dur_s
           | None -> 0.0
         in
-        notify p.pass_name elapsed ops_after m';
+        notify p.pass_name elapsed ops_after alloc_bytes m';
         (m', ops_after))
       (m, initial_count) passes
   in
@@ -107,4 +122,6 @@ let run_pipeline_exn ?verify_between ?on_stage passes m =
 
 let pp_stage fmt r =
   Fmt.pf fmt "%-28s %6.2f ms  %5d ops" r.stage_name (r.elapsed_s *. 1000.)
-    r.op_count
+    r.op_count;
+  if r.alloc_bytes > 0.0 then
+    Fmt.pf fmt "  %8.1f kB" (r.alloc_bytes /. 1024.)

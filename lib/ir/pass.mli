@@ -7,6 +7,9 @@ type stage_record = {
   stage_name : string;
   elapsed_s : float;
   op_count : int;
+  alloc_bytes : float;
+      (** OCaml heap allocated while the pass ran; 0 for the synthetic
+          ["input"] record. *)
 }
 
 val make : string -> (Op.t -> Op.t) -> t

@@ -161,6 +161,51 @@ let warn_nonconverged ~budget ~unit_name last_fired =
        budget unit_name
        (Option.value ~default:"<none>" last_fired))
 
+(* --- per-pattern profiling --- *)
+
+(* Firing counts and attributed wall time per pattern name, process-wide
+   (patterns are shared across pass instances). Only populated while
+   [Ftn_obs.Profile.on] — the timing calls would otherwise tax every
+   match attempt of every compile. *)
+type pattern_stat = {
+  mutable ps_attempts : int;
+  mutable ps_fired : int;
+  mutable ps_time_s : float;
+}
+
+let pattern_stats : (string, pattern_stat) Hashtbl.t = Hashtbl.create 32
+
+let stat_for name =
+  match Hashtbl.find_opt pattern_stats name with
+  | Some s -> s
+  | None ->
+    let s = { ps_attempts = 0; ps_fired = 0; ps_time_s = 0.0 } in
+    Hashtbl.replace pattern_stats name s;
+    s
+
+let reset_pattern_profile () = Hashtbl.reset pattern_stats
+
+let pattern_profile () =
+  Hashtbl.fold
+    (fun name s acc -> (name, s.ps_attempts, s.ps_fired, s.ps_time_s) :: acc)
+    pattern_stats []
+  |> List.sort (fun (na, _, _, a) (nb, _, _, b) ->
+         match Float.compare b a with 0 -> String.compare na nb | c -> c)
+
+(* One pattern attempt, shared by both engines. *)
+let run_pattern p ctx op =
+  if not !Ftn_obs.Profile.on then
+    with_pattern_context p op (fun () -> p.match_and_rewrite ctx op)
+  else begin
+    let st = stat_for p.pat_name in
+    st.ps_attempts <- st.ps_attempts + 1;
+    let t0 = Unix.gettimeofday () in
+    let r = with_pattern_context p op (fun () -> p.match_and_rewrite ctx op) in
+    st.ps_time_s <- st.ps_time_s +. (Unix.gettimeofday () -. t0);
+    (match r with Some _ -> st.ps_fired <- st.ps_fired + 1 | None -> ());
+    r
+  end
+
 let publish_stats st =
   if st.ops_visited > 0 then
     Ftn_obs.Metrics.incr ~by:st.ops_visited "rewrite.ops_visited";
@@ -515,10 +560,7 @@ module Wl = struct
         let rec go = function
           | [] -> ()
           | p :: rest -> (
-            let outcome =
-              with_pattern_context p (Lazy.force op) (fun () ->
-                  p.match_and_rewrite ctx (Lazy.force op))
-            in
+            let outcome = run_pattern p ctx (Lazy.force op) in
             match outcome with
             | None -> go rest
             | Some { new_ops; replacements } ->
@@ -705,9 +747,7 @@ module Sw = struct
     let rec go = function
       | [] -> [ op ]
       | p :: rest -> (
-        let outcome =
-          with_pattern_context p op (fun () -> p.match_and_rewrite ctx op)
-        in
+        let outcome = run_pattern p ctx op in
         match outcome with
         | Some { new_ops; replacements } ->
           e.changed <- true;

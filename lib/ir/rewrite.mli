@@ -93,6 +93,13 @@ type stats = {
   converged : bool;
 }
 
+val pattern_profile : unit -> (string * int * int * float) list
+(** Per-pattern profiling data — [(name, attempts, fired, seconds)] —
+    accumulated process-wide while [Ftn_obs.Profile.on] is set, sorted by
+    attributed time descending. Empty when profiling never ran. *)
+
+val reset_pattern_profile : unit -> unit
+
 val apply :
   ?driver:driver ->
   ?config:config ->

@@ -2,12 +2,16 @@
    a metrics registry) as Perfetto/chrome://tracing-loadable JSON.
 
    Track layout (one process, one thread per track):
-     tid 1  compile           wall-clock spans (passes, codegen, synth)
-     tid 2  device.kernels    simulated kernel executions
-     tid 3  device.transfers  simulated h2d/d2h DMA
-     tid 4  device.overhead   simulated allocation/launch overheads
+     tid 1   compile           wall-clock spans (passes, codegen, synth)
+     tid 2   device.kernels    simulated kernel executions (no CU attr)
+     tid 3   device.transfers  simulated h2d/d2h DMA
+     tid 4   device.overhead   simulated allocation/launch overheads
+     tid 10+ cu:<kernel>       one lane per compute unit: kernel spans
+                               carrying a "kernel" attribute
    plus a "device.bytes_transferred" counter track fed by the cumulative
-   bytes of each transfer span.
+   bytes of each transfer span. Every lane gets "ph":"M" process_name /
+   thread_name / thread_sort_index metadata so Perfetto shows readable
+   names instead of bare pids/tids.
 
    Wall timestamps are normalised to the first wall span so traces are
    reproducible run-to-run up to durations; simulated timestamps are
@@ -18,13 +22,39 @@ let compile_tid = 1
 let kernel_tid = 2
 let transfer_tid = 3
 let overhead_tid = 4
+let cu_base_tid = 10
 
-let tid_of (sp : Span.span) =
+(* One lane per distinct kernel (= per compute unit on the simulated
+   device: the default Vitis link instantiates one CU per kernel),
+   assigned in first-launch order. *)
+let cu_assignment spans =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  let next = ref cu_base_tid in
+  List.iter
+    (fun (sp : Span.span) ->
+      if sp.Span.clock = Span.Sim && Span.attr sp "track" = Some "kernel" then
+        match Span.attr sp "kernel" with
+        | Some k when not (Hashtbl.mem tbl k) ->
+          Hashtbl.replace tbl k !next;
+          order := (k, !next) :: !order;
+          incr next
+        | _ -> ())
+    spans;
+  (tbl, List.rev !order)
+
+let tid_of ~cus (sp : Span.span) =
   match sp.Span.clock with
   | Span.Wall -> compile_tid
   | Span.Sim -> (
     match Span.attr sp "track" with
-    | Some "kernel" -> kernel_tid
+    | Some "kernel" -> (
+      match Span.attr sp "kernel" with
+      | Some k -> (
+        match Hashtbl.find_opt cus k with
+        | Some tid -> tid
+        | None -> kernel_tid)
+      | None -> kernel_tid)
     | Some "transfer" -> transfer_tid
     | _ -> overhead_tid)
 
@@ -43,16 +73,28 @@ let meta_event ~name ~tid ~value =
       ("args", Json.Obj [ ("name", Json.String value) ]);
     ]
 
-let metadata =
-  [
-    meta_event ~name:"process_name" ~tid:0 ~value:"ftnc";
-    meta_event ~name:"thread_name" ~tid:compile_tid ~value:"compile";
-    meta_event ~name:"thread_name" ~tid:kernel_tid ~value:"device.kernels";
-    meta_event ~name:"thread_name" ~tid:transfer_tid ~value:"device.transfers";
-    meta_event ~name:"thread_name" ~tid:overhead_tid ~value:"device.overhead";
-  ]
+let sort_event ~tid idx =
+  Json.Obj
+    [
+      ("name", Json.String "thread_sort_index");
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("sort_index", Json.Int idx) ]);
+    ]
 
-let complete_event ~wall_zero (sp : Span.span) =
+let metadata cu_order =
+  let lane tid name =
+    [ meta_event ~name:"thread_name" ~tid ~value:name; sort_event ~tid tid ]
+  in
+  [ meta_event ~name:"process_name" ~tid:0 ~value:"ftnc" ]
+  @ lane compile_tid "compile"
+  @ lane kernel_tid "device.kernels"
+  @ lane transfer_tid "device.transfers"
+  @ lane overhead_tid "device.overhead"
+  @ List.concat_map (fun (k, tid) -> lane tid ("cu:" ^ k)) cu_order
+
+let complete_event ~wall_zero ~cus (sp : Span.span) =
   let ts =
     match sp.Span.clock with
     | Span.Wall -> us (sp.Span.start_s -. wall_zero)
@@ -66,7 +108,7 @@ let complete_event ~wall_zero (sp : Span.span) =
       ("ts", Json.Float ts);
       ("dur", Json.Float (us sp.Span.dur_s));
       ("pid", Json.Int pid);
-      ("tid", Json.Int (tid_of sp));
+      ("tid", Json.Int (tid_of ~cus sp));
       ("args", Json.Obj (args_of_attrs sp.Span.attrs));
     ]
 
@@ -76,7 +118,7 @@ let counter_events spans =
   List.filter_map
     (fun (sp : Span.span) ->
       match (sp.Span.clock, Span.attr sp "bytes") with
-      | Span.Sim, Some b when tid_of sp = transfer_tid ->
+      | Span.Sim, Some b when Span.attr sp "track" = Some "transfer" ->
         let bytes = int_of_string_opt b |> Option.value ~default:0 in
         total := !total + bytes;
         (match Span.attr sp "direction" with
@@ -102,6 +144,7 @@ let counter_events spans =
 
 let to_json ?metrics collector =
   let spans = Span.spans collector in
+  let cus, cu_order = cu_assignment spans in
   let wall_zero =
     List.fold_left
       (fun acc (sp : Span.span) ->
@@ -112,8 +155,8 @@ let to_json ?metrics collector =
   in
   let wall_zero = if Float.is_finite wall_zero then wall_zero else 0.0 in
   let events =
-    metadata
-    @ List.map (complete_event ~wall_zero) spans
+    metadata cu_order
+    @ List.map (complete_event ~wall_zero ~cus) spans
     @ counter_events spans
   in
   let extra =

@@ -2,7 +2,11 @@
     a metrics registry, embedded under a top-level ["metrics"] key) as
     JSON loadable in Perfetto / chrome://tracing. Compile stages, kernel
     executions, transfers and overheads land on separate tracks, with a
-    cumulative ["device.bytes_transferred"] counter track. *)
+    cumulative ["device.bytes_transferred"] counter track. Kernel spans
+    carrying a ["kernel"] attribute additionally get one lane per
+    compute unit (tid 10+, named ["cu:<kernel>"]); every lane is
+    labelled with ["ph":"M"] process_name / thread_name /
+    thread_sort_index metadata events so Perfetto shows readable names. *)
 
 val to_json : ?metrics:Metrics.t -> Span.t -> Json.t
 val to_string : ?metrics:Metrics.t -> Span.t -> string

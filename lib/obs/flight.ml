@@ -1,0 +1,118 @@
+(* Flight recorder: an always-on bounded ring buffer of recent runtime
+   events (device ops, transfers, launches, retries, fallbacks). Cheap
+   enough to leave recording unconditionally; when a fault escapes or a
+   kernel degrades, the last entries are dumped alongside the structured
+   error so the failure carries its own context.
+
+   Locations are stored pre-rendered (a string, not a Loc.t): ftn_diag
+   depends on this library, so the recorder cannot name diag types.
+
+   The ring is a struct-of-arrays so [record] allocates nothing — the
+   executor records one entry per device op, which puts this on the
+   interpreter-benchmark hot path. Sequence numbers are not stored:
+   the buffer always holds the latest [len] events, so they are the
+   consecutive run ending at [seq]. *)
+
+type entry = {
+  seq : int;  (* monotonically increasing, never recycled *)
+  cat : string;  (* "op" | "transfer" | "launch" | "fault" | ... *)
+  msg : string;
+  time_s : float;  (* simulated-timeline position, when known *)
+  loc : string;  (* pre-rendered source location, "" if unknown *)
+}
+
+type t = {
+  mutable cats : string array;
+  mutable msgs : string array;
+  mutable times : float array;  (* unboxed float storage *)
+  mutable locs : string array;
+  mutable head : int;  (* next write position *)
+  mutable len : int;
+  mutable seq : int;
+}
+
+let create ?(capacity = 256) () =
+  let capacity = max 1 capacity in
+  {
+    cats = Array.make capacity "";
+    msgs = Array.make capacity "";
+    times = Array.make capacity Float.nan;
+    locs = Array.make capacity "";
+    head = 0;
+    len = 0;
+    seq = 0;
+  }
+
+let default = create ()
+
+let capacity ?(recorder = default) () = Array.length recorder.cats
+
+let set_capacity ?(recorder = default) n =
+  let n = max 1 n in
+  if n <> Array.length recorder.cats then begin
+    recorder.cats <- Array.make n "";
+    recorder.msgs <- Array.make n "";
+    recorder.times <- Array.make n Float.nan;
+    recorder.locs <- Array.make n "";
+    recorder.head <- 0;
+    recorder.len <- 0
+  end
+
+let clear ?(recorder = default) () =
+  Array.fill recorder.cats 0 (Array.length recorder.cats) "";
+  Array.fill recorder.msgs 0 (Array.length recorder.msgs) "";
+  Array.fill recorder.locs 0 (Array.length recorder.locs) "";
+  recorder.head <- 0;
+  recorder.len <- 0;
+  recorder.seq <- 0
+
+let record ?(recorder = default) ?(time_s = Float.nan) ?(loc = "") ~cat msg =
+  let r = recorder in
+  r.seq <- r.seq + 1;
+  let h = r.head in
+  r.cats.(h) <- cat;
+  r.msgs.(h) <- msg;
+  r.times.(h) <- time_s;
+  r.locs.(h) <- loc;
+  r.head <- (if h + 1 = Array.length r.cats then 0 else h + 1);
+  if r.len < Array.length r.cats then r.len <- r.len + 1
+
+let recordf ?recorder ?time_s ?loc ~cat fmt =
+  Fmt.kstr (fun msg -> record ?recorder ?time_s ?loc ~cat msg) fmt
+
+(* Oldest first; seqs are the consecutive run ending at [r.seq]. *)
+let entries ?(recorder = default) () =
+  let r = recorder in
+  let cap = Array.length r.cats in
+  let start = (r.head - r.len + cap) mod cap in
+  List.init r.len (fun i ->
+      let j = (start + i) mod cap in
+      {
+        seq = r.seq - r.len + 1 + i;
+        cat = r.cats.(j);
+        msg = r.msgs.(j);
+        time_s = r.times.(j);
+        loc = r.locs.(j);
+      })
+
+let length ?(recorder = default) () = recorder.len
+
+let dropped ?(recorder = default) () = recorder.seq - recorder.len
+
+let pp_entry fmt (e : entry) =
+  Fmt.pf fmt "#%-5d %-9s" e.seq e.cat;
+  if not (Float.is_nan e.time_s) then Fmt.pf fmt " %10.3f us" (e.time_s *. 1e6)
+  else Fmt.pf fmt " %13s" "";
+  Fmt.pf fmt "  %s" e.msg;
+  if e.loc <> "" then Fmt.pf fmt "  @@ %s" e.loc
+
+(* The last [limit] entries as indented lines, ready to append to an
+   error message; "" when nothing was recorded. *)
+let excerpt ?(recorder = default) ?(limit = 16) () =
+  let es = entries ~recorder () in
+  let n = List.length es in
+  let es = if n > limit then List.filteri (fun i _ -> i >= n - limit) es else es in
+  match es with
+  | [] -> ""
+  | es ->
+    String.concat "\n" (List.map (fun e -> "  " ^ Fmt.str "%a" pp_entry e) es)

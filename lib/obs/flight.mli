@@ -1,0 +1,57 @@
+(** Flight recorder: an always-on bounded ring buffer of recent runtime
+    events. The executor records device ops, transfers, launches,
+    retries and fallbacks; when a fault escapes or a kernel degrades to
+    the CPU, the tail of the ring is dumped alongside the structured
+    error. All operations default to the process-wide {!default}
+    recorder; tests pass a private [?recorder].
+
+    Locations are pre-rendered strings — this library sits below
+    [ftn_diag] and cannot mention [Loc.t]. *)
+
+type entry = {
+  seq : int;  (** Monotonic event number (never recycled). *)
+  cat : string;  (** Event category: "op", "transfer", "launch", ... *)
+  msg : string;
+  time_s : float;  (** Simulated-timeline seconds; [nan] when unknown. *)
+  loc : string;  (** Rendered source location; [""] when unknown. *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 256 entries. *)
+
+val default : t
+
+val capacity : ?recorder:t -> unit -> int
+
+val set_capacity : ?recorder:t -> int -> unit
+(** Resize (clamped to >= 1). Discards buffered entries when the size
+    actually changes; the sequence counter is preserved. *)
+
+val clear : ?recorder:t -> unit -> unit
+
+val record :
+  ?recorder:t -> ?time_s:float -> ?loc:string -> cat:string -> string -> unit
+
+val recordf :
+  ?recorder:t ->
+  ?time_s:float ->
+  ?loc:string ->
+  cat:string ->
+  ('a, Format.formatter, unit, unit) format4 ->
+  'a
+
+val entries : ?recorder:t -> unit -> entry list
+(** Oldest first; at most [capacity] entries. *)
+
+val length : ?recorder:t -> unit -> int
+
+val dropped : ?recorder:t -> unit -> int
+(** Events recorded and since overwritten by the ring. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val excerpt : ?recorder:t -> ?limit:int -> unit -> string
+(** The last [limit] (default 16) entries as indented lines, ready to
+    append to an error message; [""] when nothing was recorded. *)

@@ -13,3 +13,9 @@ type t =
 val to_string : t -> string
 val to_string_pretty : t -> string
 val write_file : string -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parse the subset the serialiser emits (all of JSON minus exotic
+    number forms). Numbers written with '.', 'e' or 'E' parse as
+    {!Float}, the rest as {!Int}; [\uXXXX] escapes decode to UTF-8. *)
+

@@ -1,0 +1,64 @@
+(* OpenMetrics / Prometheus text exposition of a metrics registry.
+
+   Counters gain the conventional [_total] suffix; histograms render as
+   cumulative [_bucket{le="..."}] samples (only the populated buckets
+   plus the mandatory +Inf bucket — the shared log-scaled layout has 74
+   buckets and emitting empty ones would bury the signal), followed by
+   [_sum] and [_count]. Metric names are sanitised to the
+   [a-zA-Z_:][a-zA-Z0-9_:]* charset Prometheus requires; our dotted
+   paths become underscore-separated. *)
+
+let sanitize name =
+  let buf = Buffer.create (String.length name) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> Buffer.add_char buf c
+      | '0' .. '9' ->
+        if i = 0 then Buffer.add_char buf '_';
+        Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let float_repr x =
+  if Float.is_nan x then "NaN"
+  else if x = infinity then "+Inf"
+  else if x = neg_infinity then "-Inf"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.12g" x
+
+let render ?(registry = Metrics.default) () =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun (name, v) ->
+      let m = sanitize name in
+      match v with
+      | Metrics.Counter_v n ->
+        line "# TYPE %s counter" m;
+        line "%s_total %d" m n
+      | Metrics.Gauge_v x ->
+        line "# TYPE %s gauge" m;
+        line "%s %s" m (float_repr x)
+      | Metrics.Histogram_v { count; sum; _ } ->
+        line "# TYPE %s histogram" m;
+        let cum = ref 0 in
+        List.iter
+          (fun (le, n) ->
+            cum := !cum + n;
+            if n > 0 && Float.is_finite le then
+              line "%s_bucket{le=\"%s\"} %d" m (float_repr le) !cum)
+          (Metrics.histogram_buckets v);
+        line "%s_bucket{le=\"+Inf\"} %d" m count;
+        line "%s_sum %s" m (float_repr sum);
+        line "%s_count %d" m count)
+    (Metrics.snapshot ~registry ());
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let write_file ?registry path =
+  let oc = open_out path in
+  output_string oc (render ?registry ());
+  close_out oc

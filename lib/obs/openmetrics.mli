@@ -1,0 +1,11 @@
+(** OpenMetrics / Prometheus text exposition format for a metrics
+    registry: [# TYPE] comments, [_total]-suffixed counters, cumulative
+    [_bucket{le="..."}] histogram samples with [_sum]/[_count], and a
+    terminating [# EOF]. *)
+
+val sanitize : string -> string
+(** Map a dotted metric path onto the Prometheus name charset
+    ([a-zA-Z0-9_:], no leading digit). *)
+
+val render : ?registry:Metrics.t -> unit -> string
+val write_file : ?registry:Metrics.t -> string -> unit

@@ -37,16 +37,26 @@ let target_to_kernel =
           (fun o -> not (String.equal (Op.name o) "omp.terminator"))
           blk.Op.body
       in
+      (* The kernel ops inherit the omp.target's source location so
+         runtime failures (and the flight recorder) point at the
+         offloaded construct. *)
+      let loc = Op.loc op in
       let create =
-        Builder.op1 b "device.kernel_create" ~operands:(Op.operands op)
-          ~attrs:[ ("device_function", Attr.Symbol name) ]
-          ~regions:[ [ { blk with Op.body = body } ] ]
-          Types.Kernel_handle
+        Op.set_loc
+          (Builder.op1 b "device.kernel_create" ~operands:(Op.operands op)
+             ~attrs:[ ("device_function", Attr.Symbol name) ]
+             ~regions:[ [ { blk with Op.body = body } ] ]
+             Types.Kernel_handle)
+          loc
       in
       let handle = Op.result1 create in
       Some
         (Rewrite.replace_with
-           [ create; Device.kernel_launch handle; Device.kernel_wait handle ]))
+           [
+             create;
+             Op.set_loc (Device.kernel_launch handle) loc;
+             Op.set_loc (Device.kernel_wait handle) loc;
+           ]))
 
 let to_kernel_ops m = Rewrite.apply [ target_to_kernel ] m
 

@@ -55,9 +55,15 @@ type context = {
   mutable cur_loc : Ftn_diag.Loc.t;
       (** Location of the device op currently executing, so recovery
           warnings point at the launching source line. *)
+  mutable cur_loc_str : string;
+      (** [cur_loc] pre-rendered for flight-recorder entries ([""] when
+          unknown) — rendered once per location change, not per event. *)
   mutable degraded : bool;
   mutable retries : int;
   mutable cpu_fallbacks : int;
+  cus : Cu_stats.t;
+      (** Per-compute-unit launch/busy accounting (one CU per bitstream
+          kernel on the simulated device). *)
 }
 
 type result = {
@@ -75,6 +81,7 @@ type result = {
   faults_injected : int;
   trace : Trace.t;
   data : Data_env.t;
+  cus : Cu_stats.snapshot list;
 }
 
 let create_context ?(spec = Fpga_spec.u280) ?(echo = false) ?engine
@@ -103,9 +110,11 @@ let create_context ?(spec = Fpga_spec.u280) ?(echo = false) ?engine
     retry;
     injector = Option.map Injector.create faults;
     cur_loc = Ftn_diag.Loc.unknown;
+    cur_loc_str = "";
     degraded = false;
     retries = 0;
     cpu_fallbacks = 0;
+    cus = Cu_stats.create ();
   }
 
 (* Charge [t] simulated seconds to a track ("kernel", "transfer",
@@ -134,6 +143,18 @@ let charge_transfer (ctx : context) ~name ?attrs t =
 
 let charge_kernel (ctx : context) ~name ?attrs t =
   charge ctx ~track:"kernel" ~name ?attrs t
+
+(* Flight-recorder entry stamped with the device-timeline position and
+   the source location of the device op currently executing. *)
+let flight (ctx : context) ~cat fmt =
+  Ftn_obs.Flight.recordf ~time_s:ctx.sim_now_s ~loc:ctx.cur_loc_str ~cat fmt
+
+let set_cur_loc (ctx : context) loc =
+  if loc <> ctx.cur_loc then begin
+    ctx.cur_loc <- loc;
+    ctx.cur_loc_str <-
+      (if Ftn_diag.Loc.is_known loc then Ftn_diag.Loc.to_string loc else "")
+  end
 
 let sim_spans (ctx : context) =
   List.filter
@@ -179,6 +200,7 @@ let note_fault (ctx : context) ~name (fault : Fault.fault) =
     (Trace.Fault
        { target = name; kind = code; attempt = fault.Fault.attempt;
          time_s = cost });
+  flight ctx ~cat:"fault" "%s on %s" (Fault.describe_fault fault) name;
   Ftn_obs.Log.debugf "injected %s on %s" (Fault.describe_fault fault) name
 
 (* Run one device operation under the fault plan: arm the injector once
@@ -210,6 +232,8 @@ let with_faults (ctx : context) ~site ?kernel ~name
             (Fault.backoff_s ctx.retry ~attempt);
           ctx.retries <- ctx.retries + 1;
           Ftn_obs.Metrics.incr "fault.retries";
+          flight ctx ~cat:"retry" "retry %s (attempt %d of %d)" name
+            (attempt + 1) max_attempts;
           recover fault token;
           Ftn_diag.Diag_engine.warning ctx.diag ~loc:ctx.cur_loc
             (Fmt.str "retrying %s after %s (attempt %d of %d)" name
@@ -296,14 +320,16 @@ let cpu_fallback (ctx : context) state (design : Bitstream.kernel_design)
   ctx.degraded <- true;
   ctx.cpu_fallbacks <- ctx.cpu_fallbacks + 1;
   Ftn_obs.Metrics.incr "fault.cpu_fallbacks";
+  Cu_stats.note_fallback ctx.cus ~kernel:name;
   Trace.record ctx.trace (Trace.Fallback { kernel = name; steps; time_s = t });
+  flight ctx ~cat:"fallback" "cpu fallback %s (%d steps)" name steps;
   Ftn_obs.Log.debugf "cpu fallback %s: %d steps, %.3f us" name steps
     (t *. 1e6);
   Ftn_diag.Diag_engine.warning ctx.diag ~loc:ctx.cur_loc
     (Fmt.str
        "kernel %s failed persistently on the device; executed on the host \
-        CPU instead (%d steps)"
-       name steps)
+        CPU instead (%d steps)%s"
+       name steps (Fault.flight_note ()))
 
 (* Execute one kernel: run its function body in the interpreter, then
    convert the recorded loop statistics to cycles. Injected launch faults
@@ -312,7 +338,12 @@ let cpu_fallback (ctx : context) state (design : Bitstream.kernel_design)
 let execute_kernel (ctx : context) state (design : Bitstream.kernel_design)
     args =
   let name = design.Bitstream.kd_name in
+  (* Device-timeline position when the launch was requested; everything
+     the timeline accumulates between here and the kernel actually
+     starting (retry backoff, watchdog timeouts) is queue wait. *)
+  let t_req = ctx.sim_now_s in
   let run_on_device () =
+    let queue_wait = ctx.sim_now_s -. t_req in
     let stats, _steps = interpret_kernel state design args in
     let t = Timing.kernel_time_s ctx.spec design.Bitstream.kd_schedule stats in
     let overhead = Timing.launch_overhead_s ctx.spec in
@@ -320,6 +351,16 @@ let execute_kernel (ctx : context) state (design : Bitstream.kernel_design)
     charge_overhead ctx ~name:"launch_overhead" ~attrs:[ ("kernel", name) ]
       overhead;
     Ftn_obs.Metrics.incr "device.kernel_launches";
+    Cu_stats.note_launch ctx.cus ~kernel:name ~busy_s:t;
+    let latency = queue_wait +. overhead in
+    Ftn_obs.Metrics.observe "device.launch_latency_s" latency;
+    Ftn_obs.Metrics.observe
+      ("device.kernel." ^ name ^ ".launch_latency_s")
+      latency;
+    Ftn_obs.Metrics.observe ("device.kernel." ^ name ^ ".time_s") t;
+    Ftn_obs.Metrics.observe "device.queue_wait_s" queue_wait;
+    Ftn_obs.Flight.record ~time_s:ctx.sim_now_s ~loc:ctx.cur_loc_str
+      ~cat:"launch" ("launch " ^ name);
     Ftn_obs.Log.debugf "launch %s: %.3f us kernel + %.3f us overhead" name
       (t *. 1e6) (overhead *. 1e6);
     Trace.record ctx.trace
@@ -347,6 +388,10 @@ let api_alloc (ctx : context) ~name ~memory_space ~elt ~shape =
         (Timing.alloc_overhead_s ctx.spec);
       Ftn_obs.Metrics.incr "device.allocs";
       Ftn_obs.Metrics.incr ~by:(Rtval.byte_size buffer) "device.bytes_allocated";
+      Ftn_obs.Flight.record ~time_s:ctx.sim_now_s ~loc:ctx.cur_loc_str
+        ~cat:"alloc"
+        ("alloc " ^ name ^ " (" ^ string_of_int (Rtval.byte_size buffer)
+        ^ " bytes)");
       Trace.record ctx.trace
         (Trace.Alloc
            {
@@ -434,6 +479,11 @@ let api_transfer (ctx : context) ~src ~dst =
         | Trace.Device_to_host -> "device.bytes_d2h");
       Trace.record ctx.trace
         (Trace.Transfer { name; direction; bytes; time_s = t });
+      (* hot path: plain concatenation, the entry's [time_s] already
+         positions it on the device timeline *)
+      Ftn_obs.Flight.record ~time_s:ctx.sim_now_s ~loc:ctx.cur_loc_str
+        ~cat:"transfer"
+        (dir_str ^ " " ^ name ^ " (" ^ string_of_int bytes ^ " bytes)");
       Rtval.copy_into ~src ~dst
     in
     match
@@ -490,7 +540,9 @@ let device_domain =
    transfers that touch device memory. *)
 let device_handler (ctx : context) : Interp.handler =
   Interp.handler ~domain:device_domain @@ fun state _frame op operands ->
-  ctx.cur_loc <- Op.loc op;
+  set_cur_loc ctx (Op.loc op);
+  Ftn_obs.Flight.record ~time_s:ctx.sim_now_s ~loc:ctx.cur_loc_str ~cat:"op"
+    (Op.name op);
   match Op.name op with
   | "device.alloc" ->
     let name, memory_space = name_and_space op in
@@ -521,9 +573,32 @@ let device_handler (ctx : context) : Interp.handler =
     let name, memory_space = name_and_space op in
     Data_env.release ctx.data ~name ~memory_space;
     Some []
-  | "device.counter_get" ->
-    let name, memory_space = name_and_space op in
-    Some [ Rtval.Int (Data_env.refcount ctx.data ~name ~memory_space) ]
+  | "device.counter_get" -> (
+    (* With a "counter" attribute the op reads a device-level telemetry
+       counter; without one it keeps its original meaning, the refcount
+       of a named data-environment entry. *)
+    match Op.string_attr op "counter" with
+    | Some counter ->
+      let v =
+        match counter with
+        | "kernel_launches" -> Trace.count_launches ctx.trace
+        | "bytes_transferred" -> Trace.bytes_transferred ctx.trace
+        | "retries" -> ctx.retries
+        | "cpu_fallbacks" -> ctx.cpu_fallbacks
+        | "faults_injected" -> (
+          match ctx.injector with Some i -> Injector.injected i | None -> 0)
+        | other ->
+          Fault.fail
+            (Fault.Invalid_host
+               {
+                 op = "device.counter_get";
+                 reason = Fmt.str "unknown device counter %S" other;
+               })
+      in
+      Some [ Rtval.Int v ]
+    | None ->
+      let name, memory_space = name_and_space op in
+      Some [ Rtval.Int (Data_env.refcount ctx.data ~name ~memory_space) ])
   | "device.kernel_create" -> (
     match Op.symbol_attr op "device_function" with
     | Some fname -> (
@@ -604,6 +679,7 @@ let result_of_context (ctx : context) =
       (match ctx.injector with Some i -> Injector.injected i | None -> 0);
     trace = ctx.trace;
     data = ctx.data;
+    cus = Cu_stats.snapshot ctx.cus ~window_s:ctx.sim_now_s;
   }
 
 (* Run the host module's main (or a named entry) against a bitstream. *)
@@ -633,7 +709,8 @@ let run ?spec ?(echo = false) ?entry ?(args = []) ?engine ?diag ?faults
         stream before propagating, so drivers that accumulate diagnostics
         see it alongside compile-time errors, with the launching op's
         source location. *)
-     Ftn_diag.Diag_engine.error ctx.diag ~loc (Fault.message e);
+     Ftn_diag.Diag_engine.error ctx.diag ~loc
+       (Fault.message e ^ Fault.flight_note ());
      raise exn);
   Ftn_obs.Metrics.incr ~by:state.Interp.steps "interp.steps";
   result_of_context ctx

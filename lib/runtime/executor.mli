@@ -36,6 +36,9 @@ type result = {
   faults_injected : int;
   trace : Trace.t;
   data : Data_env.t;
+  cus : Ftn_hlsim.Cu_stats.snapshot list;
+      (** Per-compute-unit launch/busy/occupancy snapshots, in
+          first-launch order (occupancy over the device-active window). *)
 }
 
 val create_context :

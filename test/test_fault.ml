@@ -427,6 +427,49 @@ let api_tests =
           (List.exists (function Trace.Fallback _ -> true | _ -> false) events));
   ]
 
+(* --- flight recorder dumps --- *)
+
+let flight_tests =
+  [
+    tc "persistent launch fault dumps a flight excerpt with the op's loc"
+      (fun () ->
+        Ftn_obs.Flight.clear ();
+        let diag = Ftn_diag.Diag_engine.create () in
+        ignore (exec ~faults:(plan_of "launch:nth=1:persistent") ~diag ());
+        match
+          List.find_opt
+            (fun (d : Ftn_diag.Diag.t) ->
+              Astring_like.contains d.Ftn_diag.Diag.message "flight recorder")
+            (Ftn_diag.Diag_engine.warnings diag)
+        with
+        | None -> Alcotest.fail "no flight-recorder dump in the warnings"
+        | Some d ->
+          let msg = d.Ftn_diag.Diag.message in
+          check Alcotest.bool "shows the failing launch" true
+            (Astring_like.contains msg "device.kernel_launch");
+          check Alcotest.bool "shows the injected fault" true
+            (Astring_like.contains msg "fault");
+          (* the kernel ops carry the omp.target's source location *)
+          check Alcotest.bool "entries carry a loc" true
+            (Astring_like.contains msg "@ "));
+    tc "ring is bounded: dump holds recent events only" (fun () ->
+        Ftn_obs.Flight.clear ();
+        let cap0 = Ftn_obs.Flight.capacity () in
+        Ftn_obs.Flight.set_capacity 8;
+        Fun.protect
+          ~finally:(fun () -> Ftn_obs.Flight.set_capacity cap0)
+          (fun () ->
+            ignore
+              (exec ~faults:(plan_of "launch:nth=1:persistent")
+                 ~diag:(Ftn_diag.Diag_engine.create ()) ());
+            check Alcotest.int "bounded" 8 (Ftn_obs.Flight.length ());
+            check Alcotest.bool "older events dropped" true
+              (Ftn_obs.Flight.dropped () > 0)));
+    tc "flight_note is empty when nothing was recorded" (fun () ->
+        Ftn_obs.Flight.clear ();
+        check Alcotest.string "empty" "" (Fault.flight_note ()));
+  ]
+
 let () =
   Alcotest.run "fault"
     [
@@ -436,4 +479,5 @@ let () =
       ("sites-tree", site_tests_for (List.nth engines 0));
       ("sites-compiled", site_tests_for (List.nth engines 1));
       ("api", api_tests);
+      ("flight", flight_tests);
     ]

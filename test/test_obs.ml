@@ -92,7 +92,7 @@ let metrics_tests =
         let r = Metrics.create () in
         List.iter (Metrics.observe ~registry:r "h") [ 3.0; 1.0; 2.0 ];
         match Metrics.find ~registry:r "h" with
-        | Some (Metrics.Histogram_v { count; sum; min_v; max_v }) ->
+        | Some (Metrics.Histogram_v { count; sum; min_v; max_v; _ }) ->
           check Alcotest.int "count" 3 count;
           check (Alcotest.float 1e-9) "sum" 6.0 sum;
           check (Alcotest.float 0.0) "min" 1.0 min_v;
@@ -290,11 +290,381 @@ let e2e_tests =
           transfers);
   ]
 
+(* --- bucketed histograms and quantiles --- *)
+
+let quantile_tests =
+  [
+    tc "single-value histogram is exact at every quantile" (fun () ->
+        let r = Metrics.create () in
+        for _ = 1 to 3 do
+          Metrics.observe ~registry:r "h" 5.0
+        done;
+        List.iter
+          (fun q ->
+            match Metrics.histogram_quantile ~registry:r "h" q with
+            | Some v -> check (Alcotest.float 1e-12) "exact" 5.0 v
+            | None -> Alcotest.fail "expected a quantile")
+          [ 0.0; 0.5; 0.9; 0.99; 1.0 ]);
+    tc "quantiles of a uniform range are bucket-accurate" (fun () ->
+        let r = Metrics.create () in
+        for i = 1 to 1000 do
+          Metrics.observe ~registry:r "h" (float_of_int i *. 1e-6)
+        done;
+        let expect q exact =
+          match Metrics.histogram_quantile ~registry:r "h" q with
+          | None -> Alcotest.fail "expected a quantile"
+          | Some v ->
+            (* one bucket spans a factor of 10^(1/4) ~ 1.78 *)
+            check Alcotest.bool
+              (Fmt.str "p%g within a bucket of %g (got %g)" (q *. 100.) exact v)
+              true
+              (v >= exact /. 1.8 && v <= exact *. 1.8)
+        in
+        expect 0.5 5e-4;
+        expect 0.9 9e-4;
+        expect 0.99 9.9e-4);
+    tc "quantiles clamp to the observed min and max" (fun () ->
+        let r = Metrics.create () in
+        Metrics.observe ~registry:r "h" 2e-6;
+        Metrics.observe ~registry:r "h" 8e-6;
+        (match Metrics.histogram_quantile ~registry:r "h" 0.0 with
+        | Some v -> check Alcotest.bool "p0 >= min" true (v >= 2e-6)
+        | None -> Alcotest.fail "p0");
+        match Metrics.histogram_quantile ~registry:r "h" 1.0 with
+        | Some v -> check Alcotest.bool "p100 <= max" true (v <= 8e-6)
+        | None -> Alcotest.fail "p100");
+    tc "observations land in the bucket whose upper bound they equal"
+      (fun () ->
+        let r = Metrics.create () in
+        let bound = Metrics.bucket_upper 10 in
+        Metrics.observe ~registry:r "h" bound;
+        match Metrics.find ~registry:r "h" with
+        | Some (Metrics.Histogram_v { buckets; _ }) ->
+          check Alcotest.int "le semantics" 1 buckets.(10)
+        | _ -> Alcotest.fail "expected a histogram");
+    tc "empty histogram has no quantiles" (fun () ->
+        let empty =
+          Metrics.Histogram_v
+            {
+              count = 0;
+              sum = 0.0;
+              min_v = infinity;
+              max_v = neg_infinity;
+              buckets = Array.make Metrics.n_buckets 0;
+            }
+        in
+        check Alcotest.bool "no quantile" true
+          (Metrics.quantile empty 0.5 = None));
+    tc "merge_into adds counters and merges buckets" (fun () ->
+        let a = Metrics.create () and b = Metrics.create () in
+        Metrics.incr ~registry:a ~by:2 "c";
+        Metrics.incr ~registry:b ~by:3 "c";
+        Metrics.observe ~registry:a "h" 1e-6;
+        Metrics.observe ~registry:b "h" 1e-3;
+        Metrics.observe ~registry:b "h" 1e-3;
+        Metrics.merge_into ~src:a ~dst:b;
+        check Alcotest.int "counter" 5 (Metrics.counter_value ~registry:b "c");
+        match Metrics.find ~registry:b "h" with
+        | Some (Metrics.Histogram_v { count; min_v; max_v; _ } as v) ->
+          check Alcotest.int "count" 3 count;
+          check (Alcotest.float 1e-12) "min" 1e-6 min_v;
+          check (Alcotest.float 1e-12) "max" 1e-3 max_v;
+          check Alcotest.bool "median in upper mass" true
+            (match Metrics.quantile v 0.5 with
+            | Some m -> m > 1e-5
+            | None -> false)
+        | _ -> Alcotest.fail "expected a histogram");
+  ]
+
+(* --- empty-histogram rendering (the count=0 sentinel fix) --- *)
+
+let empty_hist =
+  Metrics.Histogram_v
+    {
+      count = 0;
+      sum = 0.0;
+      min_v = infinity;
+      max_v = neg_infinity;
+      buckets = Array.make Metrics.n_buckets 0;
+    }
+
+let empty_render_tests =
+  [
+    tc "text render of an empty histogram omits min/mean/max" (fun () ->
+        let s = Fmt.str "%a" Metrics.pp_value empty_hist in
+        check Alcotest.bool "count=0" true (String.length s > 0);
+        check Alcotest.bool "no inf" false
+          (Astring_like.contains s "inf" || Astring_like.contains s "nan");
+        check Alcotest.bool "no min" false (Astring_like.contains s "min"));
+    tc "json render of an empty histogram omits derived fields" (fun () ->
+        let s = Json.to_string (Metrics.json_of_value empty_hist) in
+        check Alcotest.bool "has count" true
+          (Astring_like.contains s "\"count\":0");
+        List.iter
+          (fun field ->
+            check Alcotest.bool ("no " ^ field) false
+              (Astring_like.contains s field))
+          [ "min"; "max"; "mean"; "p50"; "p90"; "p99"; "buckets" ]);
+    tc "populated histogram still renders quantiles" (fun () ->
+        let r = Metrics.create () in
+        Metrics.observe ~registry:r "h" 3e-6;
+        match Metrics.find ~registry:r "h" with
+        | Some v ->
+          let s = Json.to_string (Metrics.json_of_value v) in
+          List.iter
+            (fun field ->
+              check Alcotest.bool ("has " ^ field) true
+                (Astring_like.contains s field))
+            [ "min"; "max"; "mean"; "p50"; "p90"; "p99"; "buckets" ]
+        | None -> Alcotest.fail "expected a histogram");
+  ]
+
+(* --- OpenMetrics exposition format --- *)
+
+let openmetrics_tests =
+  [
+    tc "sanitize maps invalid chars and leading digits" (fun () ->
+        check Alcotest.string "dots and dashes" "a_b_c"
+          (Openmetrics.sanitize "a.b-c");
+        check Alcotest.string "leading digit" "_9to5"
+          (Openmetrics.sanitize "9to5");
+        check Alcotest.string "kept" "ok_name:x" (Openmetrics.sanitize "ok_name:x"));
+    tc "counters render as _total with a TYPE line" (fun () ->
+        let r = Metrics.create () in
+        Metrics.incr ~registry:r ~by:3 "device.allocs";
+        let s = Openmetrics.render ~registry:r () in
+        check Alcotest.bool "type line" true
+          (Astring_like.contains s "# TYPE device_allocs counter");
+        check Alcotest.bool "total sample" true
+          (Astring_like.contains s "device_allocs_total 3"));
+    tc "histograms render cumulative buckets, sum and count" (fun () ->
+        let r = Metrics.create () in
+        Metrics.observe ~registry:r "lat" 1e-6;
+        Metrics.observe ~registry:r "lat" 1e-3;
+        let s = Openmetrics.render ~registry:r () in
+        check Alcotest.bool "type line" true
+          (Astring_like.contains s "# TYPE lat histogram");
+        check Alcotest.bool "inf bucket" true
+          (Astring_like.contains s "lat_bucket{le=\"+Inf\"} 2");
+        check Alcotest.bool "count" true (Astring_like.contains s "lat_count 2");
+        check Alcotest.bool "sum" true (Astring_like.contains s "lat_sum"));
+    tc "render terminates with EOF" (fun () ->
+        let r = Metrics.create () in
+        Metrics.set_gauge ~registry:r "g" 1.5;
+        let s = Openmetrics.render ~registry:r () in
+        check Alcotest.bool "eof" true
+          (Astring_like.contains s "# EOF");
+        check Alcotest.bool "gauge" true (Astring_like.contains s "g 1.5"));
+  ]
+
+(* --- flight recorder --- *)
+
+let flight_tests =
+  [
+    tc "ring keeps the last capacity entries and counts drops" (fun () ->
+        let r = Flight.create ~capacity:4 () in
+        for i = 1 to 6 do
+          Flight.recordf ~recorder:r ~cat:"op" "e%d" i
+        done;
+        check Alcotest.int "length" 4 (Flight.length ~recorder:r ());
+        check Alcotest.int "dropped" 2 (Flight.dropped ~recorder:r ());
+        let seqs =
+          List.map (fun (e : Flight.entry) -> e.Flight.seq) (Flight.entries ~recorder:r ())
+        in
+        check (Alcotest.list Alcotest.int) "oldest first" [ 3; 4; 5; 6 ] seqs);
+    tc "excerpt limits, indents and is empty when nothing recorded"
+      (fun () ->
+        let r = Flight.create ~capacity:8 () in
+        check Alcotest.string "empty" "" (Flight.excerpt ~recorder:r ());
+        for i = 1 to 5 do
+          Flight.recordf ~recorder:r ~cat:"op" "e%d" i
+        done;
+        let ex = Flight.excerpt ~recorder:r ~limit:2 () in
+        check Alcotest.bool "last kept" true (Astring_like.contains ex "e5");
+        check Alcotest.bool "older dropped" false (Astring_like.contains ex "e3");
+        check Alcotest.bool "indented" true (String.length ex > 2 && String.sub ex 0 2 = "  "));
+    tc "set_capacity resizes and clear resets" (fun () ->
+        let r = Flight.create ~capacity:2 () in
+        Flight.record ~recorder:r ~cat:"op" "x";
+        Flight.set_capacity ~recorder:r 8;
+        check Alcotest.int "capacity" 8 (Flight.capacity ~recorder:r ());
+        check Alcotest.int "entries discarded" 0 (Flight.length ~recorder:r ());
+        Flight.record ~recorder:r ~cat:"op" "y";
+        check Alcotest.bool "seq keeps increasing" true
+          ((List.hd (Flight.entries ~recorder:r ())).Flight.seq > 1);
+        Flight.clear ~recorder:r ();
+        check Alcotest.int "cleared" 0 (Flight.length ~recorder:r ()));
+    tc "entries carry loc and sim time into the rendered line" (fun () ->
+        let r = Flight.create () in
+        Flight.record ~recorder:r ~time_s:1.5e-6 ~loc:"t.f90:3:1" ~cat:"launch"
+          "launch k";
+        let ex = Flight.excerpt ~recorder:r () in
+        check Alcotest.bool "msg" true (Astring_like.contains ex "launch k");
+        check Alcotest.bool "loc" true (Astring_like.contains ex "t.f90:3:1");
+        check Alcotest.bool "time" true (Astring_like.contains ex "1.500"));
+  ]
+
+(* --- profiler op counters --- *)
+
+let profile_tests =
+  [
+    tc "count_op accumulates and top_ops sorts by count" (fun () ->
+        Profile.reset ();
+        for _ = 1 to 3 do
+          Profile.count_op "arith.addf"
+        done;
+        Profile.count_op "memref.load";
+        check Alcotest.int "total" 4 (Profile.total_ops ());
+        (match Profile.top_ops 1 with
+        | [ (name, n) ] ->
+          check Alcotest.string "hottest" "arith.addf" name;
+          check Alcotest.int "count" 3 n
+        | _ -> Alcotest.fail "expected one op");
+        Profile.reset ();
+        check Alcotest.int "reset" 0 (Profile.total_ops ()));
+    tc "op_counter returns the shared ref" (fun () ->
+        Profile.reset ();
+        let c = Profile.op_counter "scf.yield" in
+        incr c;
+        incr c;
+        check Alcotest.int "shared" 2
+          (match Profile.ops () with
+          | [ ("scf.yield", n) ] -> n
+          | _ -> -1);
+        Profile.reset ());
+    tc "both interpreter engines count the same ops" (fun () ->
+        let src =
+          "program p\nreal :: a(8)\ninteger :: i\n!$omp target parallel do\n\
+           do i = 1, 8\na(i) = a(i) * 2.0\nend do\n\
+           !$omp end target parallel do\nend program"
+        in
+        let count engine =
+          Profile.reset ();
+          Profile.set_enabled true;
+          Fun.protect
+            ~finally:(fun () -> Profile.set_enabled false)
+            (fun () ->
+              let art = Core.Compiler.compile src in
+              let bs = Core.Compiler.synthesise art in
+              ignore
+                (Ftn_runtime.Executor.run ~engine
+                   ~host:art.Core.Compiler.host ~bitstream:bs ());
+              Profile.ops ())
+        in
+        (* the compiled engine resolves counters at closure-compile
+           time, so ops that were compiled but never executed appear
+           with count 0; compare executed counts only *)
+        let executed l = List.filter (fun (_, n) -> n > 0) l in
+        let tree = executed (count `Tree)
+        and compiled = executed (count `Compiled) in
+        Profile.reset ();
+        check Alcotest.bool "nonempty" true (tree <> []);
+        check
+          Alcotest.(list (pair string int))
+          "engines agree" tree compiled);
+  ]
+
+(* --- Json parser round-trips (qcheck properties) --- *)
+
+let json_gen =
+  let open QCheck.Gen in
+  let any_string =
+    string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 10)
+  in
+  let float_gen =
+    oneofl
+      [ 0.0; 1.0; -1.5; 3.25; 1e30; -2.5e-9; Float.nan; Float.infinity;
+        Float.neg_infinity ]
+  in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map (fun f -> Json.Float f) float_gen;
+        map (fun s -> Json.String s) any_string;
+      ]
+  in
+  sized (fun size ->
+      fix
+        (fun self size ->
+          if size <= 0 then scalar
+          else
+            frequency
+              [
+                (3, scalar);
+                ( 1,
+                  map
+                    (fun xs -> Json.List xs)
+                    (list_size (int_bound 4) (self (size / 2))) );
+                ( 1,
+                  map
+                    (fun kvs -> Json.Obj kvs)
+                    (list_size (int_bound 4)
+                       (pair any_string (self (size / 2)))) );
+              ])
+        (min size 6))
+
+let parse_exn s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error m -> QCheck.Test.fail_reportf "parse failed on %S: %s" s m
+
+let json_prop_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~count:500 ~name:"string escaping round-trips any bytes"
+        (QCheck.make
+           QCheck.Gen.(
+             string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 24))
+           ~print:String.escaped)
+        (fun s ->
+          parse_exn (Json.to_string (Json.String s)) = Json.String s);
+      QCheck.Test.make ~count:300
+        ~name:"serialise/parse/serialise is idempotent (incl. non-finite)"
+        (QCheck.make json_gen ~print:Json.to_string)
+        (fun j ->
+          let s = Json.to_string j in
+          Json.to_string (parse_exn s) = s);
+      QCheck.Test.make ~count:300
+        ~name:"finite trees without floats round-trip structurally"
+        (QCheck.make json_gen ~print:Json.to_string)
+        (fun j ->
+          (* floats legitimately re-parse to a different constructor
+             (nan -> null) or lose precision; everything else must
+             round-trip exactly *)
+          let rec no_floats = function
+            | Json.Float _ -> false
+            | Json.List xs -> List.for_all no_floats xs
+            | Json.Obj kvs -> List.for_all (fun (_, v) -> no_floats v) kvs
+            | _ -> true
+          in
+          QCheck.assume (no_floats j);
+          parse_exn (Json.to_string j) = j);
+      QCheck.Test.make ~count:200 ~name:"control characters escape losslessly"
+        (QCheck.make
+           QCheck.Gen.(
+             string_size ~gen:(map Char.chr (int_range 0 31)) (int_bound 12))
+           ~print:String.escaped)
+        (fun s ->
+          let rendered = Json.to_string (Json.String s) in
+          (* nothing below 0x20 may appear raw in the output *)
+          String.for_all (fun c -> Char.code c >= 0x20) rendered
+          && parse_exn rendered = Json.String s);
+    ]
+
 let () =
   Alcotest.run "obs"
     [
       ("spans", span_tests);
       ("metrics", metrics_tests);
+      ("quantiles", quantile_tests);
+      ("empty-histogram", empty_render_tests);
+      ("openmetrics", openmetrics_tests);
+      ("flight", flight_tests);
+      ("profile", profile_tests);
+      ("json-props", json_prop_tests);
       ("log", log_tests);
       ("chrome-trace", chrome_tests);
       ("e2e", e2e_tests);

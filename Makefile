@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench bench-rewrite bench-interp bench-fault bench-profile clean
+.PHONY: all build test check bench bench-rewrite bench-interp bench-fault bench-profile bench-backend clean
 
 all: build
 
@@ -21,6 +21,7 @@ check: ## build everything, run the full test suite, every example, and the rewr
 	$(MAKE) bench-interp
 	$(MAKE) bench-fault
 	$(MAKE) bench-profile
+	$(MAKE) bench-backend
 
 bench:
 	dune exec bench/main.exe
@@ -36,6 +37,9 @@ bench-fault: ## fault-free vs fault-injected runs; fails unless outputs agree an
 
 bench-profile: ## profiling on vs off; fails unless output is byte-identical, overhead <= 5% and profile data was recorded
 	dune exec bench/main.exe -- --profile --quick
+
+bench-backend: ## vitis vs rv differential; fails unless all four programs produce byte-identical output on every backend
+	dune exec bench/main.exe -- --backends --quick
 
 clean:
 	dune clean

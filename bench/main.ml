@@ -25,6 +25,10 @@ let interp_only = Array.exists (String.equal "--interp") Sys.argv
    which doubles as the `make bench-fault` sanity gate. *)
 let fault_only = Array.exists (String.equal "--faults") Sys.argv
 
+(* --backends runs only the cross-backend comparison (BENCH_backend.json),
+   used as a sanity gate in `make check`. *)
+let backend_only = Array.exists (String.equal "--backends") Sys.argv
+
 (* --profile runs only the profiling-overhead gate (BENCH_profile.json),
    which doubles as the `make bench-profile` sanity gate. *)
 let profile_only = Array.exists (String.equal "--profile") Sys.argv
@@ -421,7 +425,7 @@ let ablation_unroll () =
         (Ftn_ir.Op.module_body d)
     in
     let ks = Schedule.analyse_kernel spec fn in
-    (match Dse.explore_kernel ~lut_budget:20_000 ks with
+    (match Dse.explore_kernel ~spec ~lut_budget:20_000 ks with
     | Some r -> Fmt.pr "%a" Dse.pp r
     | None -> Fmt.pr "  (no pipelined loop)@.");
     Fmt.pr
@@ -466,7 +470,10 @@ let ablation_launch_overhead () =
       in
       let run =
         Core.Run.run
-          ~options:{ Core.Options.default with Core.Options.spec = spec' }
+          ~options:
+            { Core.Options.default with
+              Core.Options.backend = Ftn_backend.Backend_vitis.make ~spec:spec' ()
+            }
           (Ftn_linpack.Fortran_sources.sgesl ~n)
       in
       Fmt.pr "  launch overhead %6.1f us -> total %8.3f ms (%d launches)@."
@@ -520,7 +527,10 @@ let ablation_burst () =
       let spec' = { spec with Fpga_spec.burst_inference = burst } in
       let run =
         Core.Run.run
-          ~options:{ Core.Options.default with Core.Options.spec = spec' }
+          ~options:
+            { Core.Options.default with
+              Core.Options.backend = Ftn_backend.Backend_vitis.make ~spec:spec' ()
+            }
           (Ftn_linpack.Fortran_sources.saxpy ~n)
       in
       Fmt.pr "  saxpy N=%d, burst %-3s -> kernel %8.3f ms@." n
@@ -533,7 +543,10 @@ let ablation_burst () =
       let spec' = { spec with Fpga_spec.burst_inference = burst } in
       let run =
         Core.Run.run
-          ~options:{ Core.Options.default with Core.Options.spec = spec' }
+          ~options:
+            { Core.Options.default with
+              Core.Options.backend = Ftn_backend.Backend_vitis.make ~spec:spec' ()
+            }
           (Ftn_linpack.Fortran_sources.sgesl ~n:n2)
       in
       Fmt.pr "  sgesl N=%d, burst %-3s  -> total  %8.3f ms@." n2
@@ -622,37 +635,7 @@ let obs_report () =
    both drivers and all three outputs — worklist, sweep, and the CPU
    interpreter reference — agree. *)
 
-let stencil_source ~n ~steps =
-  Fmt.str
-    "program heat\n\
-     implicit none\n\
-     integer, parameter :: n = %d\n\
-     integer, parameter :: steps = %d\n\
-     real :: u(n), v(n)\n\
-     integer :: i, t\n\
-     do i = 1, n\n\
-     u(i) = 0.0\n\
-     v(i) = 0.0\n\
-     end do\n\
-     u(1) = 100.0\n\
-     u(n) = 100.0\n\
-     !$omp target data map(tofrom:u) map(alloc:v)\n\
-     do t = 1, steps\n\
-     !$omp target parallel do\n\
-     do i = 2, n - 1\n\
-     v(i) = u(i) + 0.25 * (u(i - 1) - 2.0 * u(i) + u(i + 1))\n\
-     end do\n\
-     !$omp end target parallel do\n\
-     !$omp target parallel do\n\
-     do i = 2, n - 1\n\
-     u(i) = v(i)\n\
-     end do\n\
-     !$omp end target parallel do\n\
-     end do\n\
-     !$omp end target data\n\
-     print *, 'u(2) =', u(2), ' u(n/2) =', u(n / 2)\n\
-     end program heat\n"
-    n steps
+let stencil_source ~n ~steps = Ftn_linpack.Fortran_sources.stencil ~n ~steps
 
 type rewrite_measurement = {
   rm_visited : int;
@@ -776,6 +759,10 @@ let hist_sum name =
 
 let measure_interp engine ~host ~bitstream ~reps =
   let open Ftn_obs in
+  (* earlier report phases leave the major heap in an arbitrary state;
+     compact so the engine comparison isn't skewed by whose allocations
+     happen to trigger a major slice *)
+  Gc.compact ();
   let best = ref infinity in
   let steps = ref 0 in
   let compile_ms = ref 0.0 in
@@ -1177,7 +1164,7 @@ let bechamel_tests () =
     Test.make ~name:"table4_sgesl_synthesis"
       (Staged.stage (fun () ->
            ignore
-             (Synth.synthesise ~frontend:Resources.Clang_hls
+             (Synth.synthesise ~frontend:Resources.Clang_hls ~spec
                 (Ftn_linpack.Hls_baselines.sgesl_device ~n:32))));
     Test.make ~name:"table5_power_model"
       (Staged.stage (fun () ->
@@ -1215,6 +1202,124 @@ let run_bechamel () =
       | _ -> Fmt.pr "  %-42s (no estimate)@." name)
     results
 
+
+(* --- BENCH_backend.json: cross-backend comparison and differential
+   gate. Compiles the four evaluation programs once, synthesises and runs
+   them on every registered backend, and fails unless each program's
+   output is byte-identical across all backends (the host program and
+   kernels are the same computation — only the device cost model and
+   container differ) and the FTN container round-trips through
+   save/load. *)
+
+let backend_report () =
+  header "Cross-backend comparison (BENCH_backend.json)";
+  let n = if quick then 256 else 4096 in
+  let n_sgesl = if quick then 32 else 128 in
+  let stencil_n = if quick then 64 else 128 in
+  let cases =
+    [
+      (Fmt.str "saxpy_n%d" n, Ftn_linpack.Fortran_sources.saxpy ~n);
+      (Fmt.str "sgesl_n%d" n_sgesl, Ftn_linpack.Fortran_sources.sgesl ~n:n_sgesl);
+      ( Fmt.str "stencil_n%d" stencil_n,
+        stencil_source ~n:stencil_n ~steps:(if quick then 5 else 10) );
+      ( Fmt.str "reduction_n%d" n,
+        Ftn_linpack.Fortran_sources.dot_product ~n ~simdlen:10 );
+    ]
+  in
+  let backends = Ftn_backend.Backend_registry.all () in
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
+  let case_json (name, src) =
+    let sides =
+      List.map
+        (fun backend ->
+          let bname = Ftn_backend.Backend.name backend in
+          progress "  backend bench: %s on %s ..." name bname;
+          let options =
+            {
+              Core.Options.default with
+              Core.Options.backend;
+              xclbin_name = Ftn_backend.Backend.default_binary backend;
+            }
+          in
+          let t0 = Unix.gettimeofday () in
+          let art = Core.Compiler.compile ~options src in
+          let bitstream = Core.Compiler.synthesise ~options art in
+          let t1 = Unix.gettimeofday () in
+          let exec =
+            Executor.run ~host:art.Core.Compiler.host ~bitstream ()
+          in
+          let t2 = Unix.gettimeofday () in
+          (* the saved container must reload into an identical design *)
+          let reloaded =
+            Ftn_backend.Backend.load_bitstream backend
+              (Ftn_backend.Backend.save_bitstream backend bitstream)
+          in
+          if
+            List.map (fun k -> k.Ftn_hlsim.Bitstream.kd_name)
+              reloaded.Ftn_hlsim.Bitstream.kernels
+            <> List.map (fun k -> k.Ftn_hlsim.Bitstream.kd_name)
+                 bitstream.Ftn_hlsim.Bitstream.kernels
+          then fail "%s/%s: container did not round-trip" name bname;
+          ( bname,
+            exec.Executor.output,
+            Ftn_obs.Json.Obj
+              [
+                ("synth_wall_s", Ftn_obs.Json.Float (t1 -. t0));
+                ("run_wall_s", Ftn_obs.Json.Float (t2 -. t1));
+                ( "device_time_s",
+                  Ftn_obs.Json.Float exec.Executor.device_time_s );
+                ( "kernel_time_s",
+                  Ftn_obs.Json.Float exec.Executor.kernel_time_s );
+                ("launches", Ftn_obs.Json.Int exec.Executor.kernel_launches);
+              ] ))
+        backends
+    in
+    (match sides with
+    | (ref_name, ref_out, _) :: rest ->
+      List.iter
+        (fun (bname, out, _) ->
+          if not (String.equal ref_out out) then
+            fail "%s: output differs between backends %s and %s" name
+              ref_name bname)
+        rest
+    | [] -> ());
+    let identical =
+      match sides with
+      | (_, ref_out, _) :: rest ->
+        List.for_all (fun (_, out, _) -> String.equal ref_out out) rest
+      | [] -> true
+    in
+    Fmt.pr "  %-16s %s@." name
+      (String.concat " | "
+         (List.map (fun (b, _, _) -> Fmt.str "%s ok" b) sides)
+      ^ if identical then "  (outputs identical)" else "  (OUTPUTS DIFFER)");
+    ( name,
+      Ftn_obs.Json.Obj
+        (("outputs_identical", Ftn_obs.Json.Bool identical)
+        :: List.map (fun (b, _, j) -> (b, j)) sides) )
+  in
+  let j =
+    Ftn_obs.Json.Obj
+      [
+        ( "backends",
+          Ftn_obs.Json.List
+            (List.map
+               (fun b ->
+                 Ftn_obs.Json.String (Ftn_backend.Backend.name b))
+               backends) );
+        ("cases", Ftn_obs.Json.Obj (List.map case_json cases));
+      ]
+  in
+  Ftn_obs.Json.write_file "BENCH_backend.json" j;
+  Fmt.pr "  wrote BENCH_backend.json@.";
+  if !failures <> [] then begin
+    List.iter
+      (fun s -> Fmt.epr "backend bench FAILED: %s@." s)
+      (List.rev !failures);
+    exit 1
+  end
+
 let () =
   Fmt.pr
     "Reproduction of: An MLIR pipeline for offloading Fortran to FPGAs via \
@@ -1242,6 +1347,11 @@ let () =
     Fmt.pr "@.done.@.";
     exit 0
   end;
+  if backend_only then begin
+    backend_report ();
+    Fmt.pr "@.done.@.";
+    exit 0
+  end;
   figure1 ();
   figure2 ();
   table1 ();
@@ -1260,5 +1370,6 @@ let () =
   rewrite_report ();
   interp_report ();
   fault_report ();
+  backend_report ();
   if not skip_bechamel then run_bechamel ();
   Fmt.pr "@.done.@."

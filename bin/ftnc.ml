@@ -1,12 +1,14 @@
-(* ftnc: command-line driver for the Fortran -> FPGA OpenMP offload
-   pipeline. Mirrors the paper's toolchain: compile Fortran+OpenMP, dump
-   any intermediate stage, synthesise the (simulated) bitstream and run the
-   program on the simulated U280.
+(* ftnc: command-line driver for the Fortran -> OpenMP accelerator
+   offload pipeline. Mirrors the paper's toolchain: compile
+   Fortran+OpenMP, dump any intermediate stage, synthesise the (simulated)
+   device binary and run the program on the selected simulated
+   accelerator (--backend vitis | rv).
 
      ftnc compile prog.f90 --emit hls
-     ftnc run prog.f90 --report
+     ftnc run prog.f90 --report --backend rv
      ftnc synth prog.f90
-     ftnc stages prog.f90 *)
+     ftnc stages prog.f90
+     ftnc --list-backends *)
 
 open Cmdliner
 
@@ -41,6 +43,13 @@ let handle_errors f =
     exit 1
   | Ftn_hlsim.Synth.Synthesis_error msg ->
     Fmt.epr "synthesis error: %s@." msg;
+    exit 1
+  | Ftn_hlsim.Bitstream_io.Backend_mismatch { expected; found; format } ->
+    Fmt.epr
+      "error: device binary belongs to backend '%s' but '%s' is selected \
+       (container %s)@.note: rebuild with --backend %s or load it with the \
+       matching backend@."
+      found expected format found;
     exit 1
   | Ftn_fault.Fault.Error (e, loc) ->
     (* Structured runtime errors render like compile-time diagnostics,
@@ -230,6 +239,34 @@ let with_obs opts f =
   end;
   r
 
+(* --- backend selection, shared by every command --- *)
+
+let backend_term =
+  let backend_arg =
+    Arg.(
+      value & opt string "vitis"
+      & info [ "backend" ] ~docv:"NAME"
+          ~doc:
+            "Accelerator backend to compile for: $(b,vitis) (the paper's \
+             Vitis HLS / Alveo U280 flow, the default) or $(b,rv) (a \
+             RISC-V accelerator cluster). See $(b,--list-backends).")
+  in
+  let make name =
+    (* unknown names error through the diagnostic engine with a
+       did-you-mean note; rendering happens in handle_errors *)
+    handle_errors (fun () ->
+        Ftn_backend.Backend_registry.find_exn
+          ~diag:Ftn_diag.Diag_engine.default name)
+  in
+  Term.(const make $ backend_arg)
+
+let options_for backend =
+  {
+    Core.Options.default with
+    Core.Options.backend;
+    xclbin_name = Ftn_backend.Backend.default_binary backend;
+  }
+
 (* --- arguments --- *)
 
 let source_arg =
@@ -323,10 +360,11 @@ let fault_term =
 (* --- commands --- *)
 
 let compile_cmd =
-  let run source emit obs =
+  let run source emit backend obs =
     handle_errors (fun () ->
         with_obs obs @@ fun () ->
-        let artifacts = Core.Compiler.compile ~file:source
+        let artifacts = Core.Compiler.compile ~options:(options_for backend)
+            ~file:source
             ~engine:Ftn_diag.Diag_engine.default (read_source source) in
         let print_module name m_opt =
           match m_opt with
@@ -357,13 +395,14 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile and print an intermediate artifact.")
-    Term.(const run $ source_arg $ emit_arg $ obs_term)
+    Term.(const run $ source_arg $ emit_arg $ backend_term $ obs_term)
 
 let stages_cmd =
-  let run source obs =
+  let run source backend obs =
     handle_errors (fun () ->
         with_obs obs @@ fun () ->
-        let artifacts = Core.Compiler.compile ~file:source
+        let artifacts = Core.Compiler.compile ~options:(options_for backend)
+            ~file:source
             ~engine:Ftn_diag.Diag_engine.default (read_source source) in
         List.iter
           (fun s -> Fmt.pr "%a@." Ftn_ir.Pass.pp_stage s)
@@ -371,19 +410,20 @@ let stages_cmd =
   in
   Cmd.v
     (Cmd.info "stages" ~doc:"Show per-pass timing and op counts.")
-    Term.(const run $ source_arg $ obs_term)
+    Term.(const run $ source_arg $ backend_term $ obs_term)
 
 let synth_cmd =
-  let run source output obs =
+  let run source output backend obs =
     handle_errors (fun () ->
         with_obs obs @@ fun () ->
-        let artifacts = Core.Compiler.compile ~file:source
+        let options = options_for backend in
+        let artifacts = Core.Compiler.compile ~options ~file:source
             ~engine:Ftn_diag.Diag_engine.default (read_source source) in
-        let bs = Core.Compiler.synthesise artifacts in
+        let bs = Core.Compiler.synthesise ~options artifacts in
         List.iter print_endline bs.Ftn_hlsim.Bitstream.build_log;
         match output with
         | Some path ->
-          Ftn_hlsim.Bitstream_io.save_file bs path;
+          Ftn_backend.Backend.save_bitstream_file backend bs path;
           Fmt.pr "wrote %s@." path
         | None -> ())
   in
@@ -392,18 +432,18 @@ let synth_cmd =
       value
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE"
-          ~doc:"Write the simulated xclbin to FILE.")
+          ~doc:"Write the simulated device binary to FILE.")
   in
   Cmd.v
-    (Cmd.info "synth" ~doc:"Run the simulated Vitis synthesis flow.")
-    Term.(const run $ source_arg $ output_arg $ obs_term)
+    (Cmd.info "synth" ~doc:"Run the selected backend's synthesis flow.")
+    Term.(const run $ source_arg $ output_arg $ backend_term $ obs_term)
 
 let run_term =
-  let run source report trace cpu xclbin (fault_plan, retry) obs =
+  let run source report trace cpu xclbin backend (fault_plan, retry) obs =
     handle_errors (fun () ->
         with_obs obs @@ fun () ->
         let options =
-          { Core.Options.default with Core.Options.fault_plan; retry }
+          { (options_for backend) with Core.Options.fault_plan; retry }
         in
         let src = read_source source in
         if cpu then begin
@@ -420,10 +460,12 @@ let run_term =
             | Some path ->
               (* execute the host program against a prebuilt bitstream *)
               let artifacts =
-                Core.Compiler.compile ~file:source
+                Core.Compiler.compile ~options ~file:source
                   ~engine:Ftn_diag.Diag_engine.default src
               in
-              let bitstream = Ftn_hlsim.Bitstream_io.load_file path in
+              let bitstream =
+                Ftn_backend.Backend.load_bitstream_file backend path
+              in
               let exec =
                 Ftn_runtime.Executor.run ?faults:fault_plan ~retry
                   ~host:artifacts.Core.Compiler.host ~bitstream ()
@@ -446,30 +488,43 @@ let run_term =
       value
       & opt (some file) None
       & info [ "xclbin" ] ~docv:"FILE"
-          ~doc:"Program the device from a saved simulated xclbin instead of \
+          ~doc:"Program the device from a saved simulated device binary \
+                (xclbin / rvbin, matching the selected backend) instead of \
                 synthesising.")
   in
   Term.(
     const run $ source_arg $ report_arg $ trace_arg $ cpu_arg $ xclbin_arg
-    $ fault_term $ obs_term)
+    $ backend_term $ fault_term $ obs_term)
 
 let run_cmd =
   Cmd.v
-    (Cmd.info "run" ~doc:"Compile, synthesise and execute on the simulated FPGA.")
+    (Cmd.info "run"
+       ~doc:"Compile, synthesise and execute on the selected simulated \
+             accelerator.")
     run_term
 
 let dse_cmd =
-  let run source budget obs =
+  let run source budget backend obs =
     handle_errors (fun () ->
         with_obs obs @@ fun () ->
-        let artifacts = Core.Compiler.compile ~file:source
+        let spec =
+          match Ftn_backend.Backend.fpga_spec backend with
+          | Some spec -> spec
+          | None ->
+            Fmt.epr
+              "error: backend '%s' has no FPGA device spec; design-space \
+               exploration needs an HLS backend@."
+              (Ftn_backend.Backend.name backend);
+            exit 1
+        in
+        let artifacts = Core.Compiler.compile ~options:(options_for backend)
+            ~file:source
             ~engine:Ftn_diag.Diag_engine.default (read_source source) in
         match artifacts.Core.Compiler.device_hls with
         | None ->
           Fmt.epr "no offloaded region@.";
           exit 1
         | Some d ->
-          let spec = Ftn_hlsim.Fpga_spec.u280 in
           List.iter
             (fun op ->
               if
@@ -479,7 +534,7 @@ let dse_cmd =
                 let ks = Ftn_hlsim.Schedule.analyse_kernel spec op in
                 Fmt.pr "kernel %s:@." ks.Ftn_hlsim.Schedule.fn_name;
                 match
-                  Ftn_hlsim.Dse.explore_kernel ?lut_budget:budget ks
+                  Ftn_hlsim.Dse.explore_kernel ~spec ?lut_budget:budget ks
                 with
                 | Some r -> Fmt.pr "%a" Ftn_hlsim.Dse.pp r
                 | None -> Fmt.pr "  (no pipelined loop)@."
@@ -497,7 +552,24 @@ let dse_cmd =
     (Cmd.info "dse"
        ~doc:
          "Explore the unroll design space of each kernel's pipelined loop.")
-    Term.(const run $ source_arg $ budget_arg $ obs_term)
+    Term.(const run $ source_arg $ budget_arg $ backend_term $ obs_term)
+
+let backends_cmd =
+  let run () =
+    List.iter
+      (fun b ->
+        Fmt.pr "%-8s %-45s %s@."
+          (Ftn_backend.Backend.name b)
+          (Ftn_backend.Backend.device b)
+          (String.concat ", "
+             (List.map Ftn_backend.Backend.capability_name
+                (Ftn_backend.Backend.capabilities b))))
+      (Ftn_backend.Backend_registry.all ())
+  in
+  Cmd.v
+    (Cmd.info "backends"
+       ~doc:"List the registered backends (name, device, capabilities).")
+    Term.(const run $ const ())
 
 let main =
   (* [ftnc prog.f90 ...] with no subcommand behaves like [ftnc run]. *)
@@ -505,16 +577,22 @@ let main =
     ~default:run_term
     (Cmd.info "ftnc" ~version:"1.0.0"
        ~doc:
-         "Fortran + OpenMP to FPGA offload compiler (MLIR pipeline, \
-          simulated AMD U280 backend).")
-    [ compile_cmd; stages_cmd; synth_cmd; run_cmd; dse_cmd ]
+         "Fortran + OpenMP accelerator offload compiler (MLIR pipeline, \
+          simulated Vitis/U280 and RISC-V backends).")
+    [ compile_cmd; stages_cmd; synth_cmd; run_cmd; dse_cmd; backends_cmd ]
 
 (* Cmdliner only uses the default term when no positional is present, so
-   [ftnc prog.f90 ...] needs the implied "run" spliced in by hand. *)
+   [ftnc prog.f90 ...] needs the implied "run" spliced in by hand; the
+   conventional [--list-backends] spelling maps onto the backends
+   subcommand the same way. *)
 let argv =
   let argv = Sys.argv in
-  let subcommands = [ "compile"; "stages"; "synth"; "run"; "dse" ] in
-  if
+  let subcommands =
+    [ "compile"; "stages"; "synth"; "run"; "dse"; "backends" ]
+  in
+  if Array.length argv > 1 && argv.(1) = "--list-backends" then
+    [| argv.(0); "backends" |]
+  else if
     Array.length argv > 1
     && (not (List.mem argv.(1) subcommands))
     && Sys.file_exists argv.(1)

@@ -1,0 +1,161 @@
+(* First-class backend descriptor (ROADMAP's "Backend Interface" layer):
+   everything below the omp/device dialects that is target-specific —
+   device spec, codegen emitters, synthesis + timing/resource model,
+   bitstream container, host-code printer — packaged as one module value.
+   The pipeline, driver, runtime and bench select a backend once and go
+   through the descriptor; nothing outside lib/backend names a concrete
+   device. *)
+
+type capability =
+  | Dse  (** Design-space exploration over unroll factors. *)
+  | Dataflow  (** Overlapped top-level stages (hls.dataflow). *)
+  | Fault_tolerance  (** Works under the fault-injection runtime. *)
+  | Profiling  (** Works under the kernel-level profiler. *)
+  | Power_model  (** Can estimate device power draw. *)
+
+let capability_name = function
+  | Dse -> "dse"
+  | Dataflow -> "dataflow"
+  | Fault_tolerance -> "fault-tolerance"
+  | Profiling -> "profiling"
+  | Power_model -> "power-model"
+
+module type S = sig
+  val name : string
+  (** Registry name, as given to [--backend] and stamped into bitstream
+      containers. *)
+
+  val device : string
+  (** Human-readable device the backend models. *)
+
+  val description : string
+  val capabilities : capability list
+
+  val fpga_spec : Ftn_hlsim.Fpga_spec.t option
+  (** The FPGA device spec when the backend is an HLS flow ([None] for
+      non-FPGA targets); gates spec-driven features such as DSE. *)
+
+  val model : Ftn_hlsim.Device_model.t
+  (** Timing model the executor charges against; also carried inside
+      every bitstream this backend synthesises. *)
+
+  val default_binary : string
+  (** Default device-binary file name (e.g. kernel.xclbin, kernel.rvbin). *)
+
+  val synthesise :
+    ?frontend:Ftn_hlsim.Resources.frontend ->
+    ?binary_name:string ->
+    Ftn_ir.Op.t ->
+    Ftn_hlsim.Bitstream.t
+  (** Run the backend's synthesis flow over a device module at the
+      hls-dialect level. Raises {!Ftn_hlsim.Synth.Synthesis_error}. *)
+
+  val lower_device : Ftn_ir.Op.t -> Ftn_ir.Op.t
+  (** Backend-specific lowering of the llvm-dialect device module
+      (intrinsic mapping / erasure). *)
+
+  val emit_kernel_ir : Ftn_ir.Op.t -> string
+  (** Emit the lowered device module as target-flavoured LLVM-IR text. *)
+
+  val emit_kernel_compat : string -> string option
+  (** Optional compatibility rewrite of the emitted IR (the Vitis LLVM-7
+      downgrade); [None] when the target toolchain needs none. *)
+
+  val emit_host : ?binary:string -> Ftn_ir.Op.t -> string
+  (** Print the host program for this backend's runtime API; [binary]
+      names the device binary the generated setup code loads. *)
+
+  val save_bitstream : Ftn_hlsim.Bitstream.t -> string
+  val save_bitstream_file : Ftn_hlsim.Bitstream.t -> string -> unit
+
+  val load_bitstream : string -> Ftn_hlsim.Bitstream.t
+  (** Parse this backend's container format. Raises
+      {!Ftn_hlsim.Bitstream_io.Backend_mismatch} on a valid FTN container
+      owned by another backend and {!Ftn_hlsim.Bitstream_io.Format_error}
+      on unreadable input. *)
+
+  val load_bitstream_file : string -> Ftn_hlsim.Bitstream.t
+
+  val power_w :
+    Ftn_hlsim.Resources.report ->
+    kernel_time_s:float ->
+    device_time_s:float ->
+    float
+  (** Modelled device draw in watts over the measurement window. *)
+end
+
+type t = (module S)
+
+let name (b : t) =
+  let module B = (val b) in
+  B.name
+
+let device (b : t) =
+  let module B = (val b) in
+  B.device
+
+let description (b : t) =
+  let module B = (val b) in
+  B.description
+
+let capabilities (b : t) =
+  let module B = (val b) in
+  B.capabilities
+
+let has_capability (b : t) c = List.mem c (capabilities b)
+
+let fpga_spec (b : t) =
+  let module B = (val b) in
+  B.fpga_spec
+
+let model (b : t) =
+  let module B = (val b) in
+  B.model
+
+let default_binary (b : t) =
+  let module B = (val b) in
+  B.default_binary
+
+let synthesise (b : t) ?frontend ?binary_name m =
+  let module B = (val b) in
+  B.synthesise ?frontend ?binary_name m
+
+let lower_device (b : t) m =
+  let module B = (val b) in
+  B.lower_device m
+
+let emit_kernel_ir (b : t) m =
+  let module B = (val b) in
+  B.emit_kernel_ir m
+
+let emit_kernel_compat (b : t) text =
+  let module B = (val b) in
+  B.emit_kernel_compat text
+
+let emit_host (b : t) ?binary m =
+  let module B = (val b) in
+  B.emit_host ?binary m
+
+let save_bitstream (b : t) bs =
+  let module B = (val b) in
+  B.save_bitstream bs
+
+let save_bitstream_file (b : t) bs path =
+  let module B = (val b) in
+  B.save_bitstream_file bs path
+
+let load_bitstream (b : t) text =
+  let module B = (val b) in
+  B.load_bitstream text
+
+let load_bitstream_file (b : t) path =
+  let module B = (val b) in
+  B.load_bitstream_file path
+
+let power_w (b : t) report ~kernel_time_s ~device_time_s =
+  let module B = (val b) in
+  B.power_w report ~kernel_time_s ~device_time_s
+
+let pp fmt (b : t) =
+  Fmt.pf fmt "%s (%s): %s [%s]" (name b) (device b) (description b)
+    (String.concat ", " (List.map capability_name (capabilities b)))

@@ -1,0 +1,84 @@
+(** First-class backend descriptor: everything target-specific below the
+    omp/device dialects — device spec, codegen emitters, synthesis and
+    timing/resource model, bitstream container, host printer — packaged as
+    one module value. Select a backend once (registry lookup by name) and
+    go through the descriptor; nothing outside lib/backend names a
+    concrete device. *)
+
+type capability =
+  | Dse
+  | Dataflow
+  | Fault_tolerance
+  | Profiling
+  | Power_model
+
+val capability_name : capability -> string
+
+module type S = sig
+  val name : string
+  val device : string
+  val description : string
+  val capabilities : capability list
+  val fpga_spec : Ftn_hlsim.Fpga_spec.t option
+  val model : Ftn_hlsim.Device_model.t
+  val default_binary : string
+
+  val synthesise :
+    ?frontend:Ftn_hlsim.Resources.frontend ->
+    ?binary_name:string ->
+    Ftn_ir.Op.t ->
+    Ftn_hlsim.Bitstream.t
+
+  val lower_device : Ftn_ir.Op.t -> Ftn_ir.Op.t
+  val emit_kernel_ir : Ftn_ir.Op.t -> string
+  val emit_kernel_compat : string -> string option
+  val emit_host : ?binary:string -> Ftn_ir.Op.t -> string
+  val save_bitstream : Ftn_hlsim.Bitstream.t -> string
+  val save_bitstream_file : Ftn_hlsim.Bitstream.t -> string -> unit
+  val load_bitstream : string -> Ftn_hlsim.Bitstream.t
+  val load_bitstream_file : string -> Ftn_hlsim.Bitstream.t
+
+  val power_w :
+    Ftn_hlsim.Resources.report ->
+    kernel_time_s:float ->
+    device_time_s:float ->
+    float
+end
+
+type t = (module S)
+
+(** {2 Accessors over the packed module} *)
+
+val name : t -> string
+val device : t -> string
+val description : t -> string
+val capabilities : t -> capability list
+val has_capability : t -> capability -> bool
+val fpga_spec : t -> Ftn_hlsim.Fpga_spec.t option
+val model : t -> Ftn_hlsim.Device_model.t
+val default_binary : t -> string
+
+val synthesise :
+  t ->
+  ?frontend:Ftn_hlsim.Resources.frontend ->
+  ?binary_name:string ->
+  Ftn_ir.Op.t ->
+  Ftn_hlsim.Bitstream.t
+
+val lower_device : t -> Ftn_ir.Op.t -> Ftn_ir.Op.t
+val emit_kernel_ir : t -> Ftn_ir.Op.t -> string
+val emit_kernel_compat : t -> string -> string option
+val emit_host : t -> ?binary:string -> Ftn_ir.Op.t -> string
+val save_bitstream : t -> Ftn_hlsim.Bitstream.t -> string
+val save_bitstream_file : t -> Ftn_hlsim.Bitstream.t -> string -> unit
+val load_bitstream : t -> string -> Ftn_hlsim.Bitstream.t
+val load_bitstream_file : t -> string -> Ftn_hlsim.Bitstream.t
+
+val power_w :
+  t ->
+  Ftn_hlsim.Resources.report ->
+  kernel_time_s:float ->
+  device_time_s:float ->
+  float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+(* Backend registry: lookup by name with a did-you-mean suggestion on
+   unknown names. Lives in its own module (rather than Backend) so the
+   built-in backends are forced to link and register: referencing
+   Backend_vitis/Backend_rv here defeats OCaml's lazy module
+   initialisation dropping them. *)
+
+let registry : (string, Backend.t) Hashtbl.t = Hashtbl.create 4
+
+let register (b : Backend.t) = Hashtbl.replace registry (Backend.name b) b
+
+let () =
+  register Backend_vitis.backend;
+  register Backend_rv.backend
+
+let default = Backend_vitis.backend
+
+let all () =
+  Hashtbl.fold (fun _ b acc -> b :: acc) registry []
+  |> List.sort (fun a b -> String.compare (Backend.name a) (Backend.name b))
+
+let names () = List.map Backend.name (all ())
+
+let find name = Hashtbl.find_opt registry name
+
+(* Standard Levenshtein distance, for the did-you-mean suggestion. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let d = Array.make_matrix (la + 1) (lb + 1) 0 in
+  for i = 0 to la do
+    d.(i).(0) <- i
+  done;
+  for j = 0 to lb do
+    d.(0).(j) <- j
+  done;
+  for i = 1 to la do
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      d.(i).(j) <-
+        min
+          (min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1))
+          (d.(i - 1).(j - 1) + cost)
+    done
+  done;
+  d.(la).(lb)
+
+let suggestion name =
+  let scored =
+    List.map (fun n -> (edit_distance name n, n)) (names ())
+  in
+  match List.sort compare scored with
+  | (d, n) :: _ when d <= max 2 (String.length name / 2) -> Some n
+  | _ -> None
+
+let find_exn ?(diag = Ftn_diag.Diag_engine.default) ?loc name =
+  match find name with
+  | Some b -> b
+  | None ->
+    let note s = (Ftn_diag.Loc.unknown, s) in
+    let notes =
+      (match suggestion name with
+      | Some s -> [ note (Fmt.str "did you mean '%s'?" s) ]
+      | None -> [])
+      @ [
+          note
+            (Fmt.str "available backends: %s" (String.concat ", " (names ())));
+        ]
+    in
+    Ftn_diag.Diag_engine.error diag ?loc ~notes
+      (Fmt.str "unknown backend '%s'" name);
+    Ftn_diag.Diag_engine.fail_if_errors diag;
+    (* unreachable: the lookup error was just emitted *)
+    assert false

@@ -1,0 +1,28 @@
+(** Backend registry: the built-in backends ([vitis], [rv]) registered at
+    link time, lookup by name, and a did-you-mean suggestion for the
+    driver's [--backend] flag. *)
+
+val register : Backend.t -> unit
+(** Register (or replace) a backend under its own name — how a third
+    target plugs in. *)
+
+val default : Backend.t
+(** The paper's Vitis/U280 flow. *)
+
+val all : unit -> Backend.t list
+(** Sorted by name. *)
+
+val names : unit -> string list
+val find : string -> Backend.t option
+
+val suggestion : string -> string option
+(** Closest registered name by edit distance, when close enough to be a
+    plausible typo. *)
+
+val find_exn :
+  ?diag:Ftn_diag.Diag_engine.t -> ?loc:Ftn_diag.Loc.t -> string -> Backend.t
+(** Lookup that reports unknown names through the diagnostic engine (with
+    the did-you-mean note and the available list) and raises
+    {!Ftn_diag.Diag.Diag_failure}. *)
+
+val edit_distance : string -> string -> int

@@ -1,0 +1,31 @@
+(** RISC-V accelerator backend (after arXiv:2510.02170): the same
+    omp/device IR retargeted onto a simulated RV64GCV cluster — flat
+    binary image instead of a bitstream, driver-API host code instead of
+    OpenCL, Rv_model timing instead of HLS scheduling. *)
+
+val magic : string
+(** The FTN-RVBIN container header line. *)
+
+val spec : Rv_spec.t
+
+val synthesise :
+  ?frontend:Ftn_hlsim.Resources.frontend ->
+  ?binary_name:string ->
+  Ftn_ir.Op.t ->
+  Ftn_hlsim.Bitstream.t
+(** Compile a device module into a flat kernel image. Raises
+    {!Ftn_hlsim.Synth.Synthesis_error} (including when the image exceeds
+    the cluster's instruction memory). *)
+
+val save : Ftn_hlsim.Bitstream.t -> string
+val save_file : Ftn_hlsim.Bitstream.t -> string -> unit
+
+val load : string -> Ftn_hlsim.Bitstream.t
+(** Parse an FTN-RVBIN image. Raises
+    {!Ftn_hlsim.Bitstream_io.Backend_mismatch} on a foreign FTN container
+    and {!Ftn_hlsim.Bitstream_io.Format_error} on unreadable input. *)
+
+val load_file : string -> Ftn_hlsim.Bitstream.t
+
+val backend : Backend.t
+(** The descriptor registered as ["rv"]. *)

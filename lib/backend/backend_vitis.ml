@@ -1,0 +1,50 @@
+(* The paper's flow packaged as a backend descriptor: Vitis HLS codegen
+   (AMD intrinsic mapping, LLVM-7 downgrade), the simulated v++ synthesis
+   against the Alveo U280, the xclbin container and the C++/OpenCL host
+   printer. This module is the only place outside device tables where
+   Fpga_spec.u280 is named. *)
+
+open Ftn_hlsim
+
+let make ?(spec = Fpga_spec.u280) () : Backend.t =
+  (module struct
+    let name = "vitis"
+    let device = spec.Fpga_spec.name
+
+    let description =
+      "Vitis HLS flow onto a simulated Alveo U280 (the paper's pipeline)"
+
+    let capabilities =
+      Backend.
+        [ Dse; Dataflow; Fault_tolerance; Profiling; Power_model ]
+
+    let fpga_spec = Some spec
+    let model = Device_model.of_fpga_spec spec
+    let default_binary = "kernel.xclbin"
+
+    let synthesise ?frontend ?binary_name m =
+      Synth.synthesise ?frontend ~backend:name ~spec
+        ?xclbin_name:binary_name m
+
+    let lower_device = Ftn_codegen.Hls_intrinsics.run
+    let emit_kernel_ir m = Ftn_codegen.Llvm_ir.emit_module m
+
+    let emit_kernel_compat text =
+      Some (Ftn_codegen.Llvm_downgrade.run text).Ftn_codegen.Llvm_downgrade.text
+
+    let emit_host ?binary m =
+      Ftn_codegen.Host_cpp.emit_module ~target:Ftn_codegen.Host_cpp.Opencl
+        ?xclbin:binary m
+
+    let save_bitstream = Bitstream_io.save
+    let save_bitstream_file = Bitstream_io.save_file
+    let load_bitstream text = Bitstream_io.load ~expect_backend:name ~spec text
+
+    let load_bitstream_file path =
+      Bitstream_io.load_file ~expect_backend:name ~spec path
+
+    let power_w report ~kernel_time_s ~device_time_s =
+      Power.fpga_power_w spec report ~kernel_time_s ~device_time_s ()
+  end)
+
+let backend = make ()

@@ -1,0 +1,8 @@
+(** The paper's Vitis HLS / Alveo U280 flow as a backend descriptor. *)
+
+val make : ?spec:Ftn_hlsim.Fpga_spec.t -> unit -> Backend.t
+(** Build a Vitis backend over a (possibly ablated) device spec — bench's
+    model ablations construct modified U280 specs this way. *)
+
+val backend : Backend.t
+(** The default U280 instance, registered as ["vitis"]. *)

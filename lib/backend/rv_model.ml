@@ -1,0 +1,137 @@
+(* Timing and footprint model for the RISC-V accelerator. It consumes the
+   same kernel schedule the HLS scheduler produces but reads only its
+   structural outputs — op counts, port beats, unroll factors, observed
+   trip counts — and prices them with RISC-V rules: scalar loops pay
+   issue-width-limited compute plus full-latency DRAM beats; a loop the
+   directives asked to unroll maps onto the vector unit instead
+   (VL = min(unroll, lanes) element groups, amortised unit-stride beats,
+   fused vfmacc MACs); omp parallel-do iterations of top-level loops are
+   work-shared across the harts. *)
+
+open Ftn_hlsim
+
+let beats_per_iteration (l : Schedule.loop_info) =
+  List.fold_left (fun acc (_, r, w) -> acc + r + w) 0 l.Schedule.port_accesses
+
+let vectorised (l : Schedule.loop_info) = l.Schedule.unroll > 1
+
+(* Cycles per original loop iteration. *)
+let cycles_per_iteration (spec : Rv_spec.t) (l : Schedule.loop_info) =
+  let beats = float_of_int (beats_per_iteration l) in
+  let macs = l.Schedule.macs in
+  let fp_plain = max 0 (l.Schedule.fp_ops - (2 * macs)) in
+  let compute =
+    (float_of_int l.Schedule.int_ops /. float_of_int spec.Rv_spec.issue_width
+    *. spec.Rv_spec.int_op_cycles)
+    +. (float_of_int fp_plain *. spec.Rv_spec.fp_op_cycles)
+    +. (float_of_int macs *. spec.Rv_spec.fused_mac_cycles)
+  in
+  if vectorised l then
+    let vl = float_of_int (min l.Schedule.unroll spec.Rv_spec.vector_lanes) in
+    (compute /. vl) +. (beats *. spec.Rv_spec.vector_beat_cycles)
+  else compute +. (beats *. spec.Rv_spec.scalar_beat_cycles)
+
+(* Observed cycles for one loop nest. Top-level loops are the omp
+   parallel-do work-sharing region: their iteration work is divided
+   across the harts; nested loops run whole on one hart. *)
+let rec loop_cycles spec stats ~top (l : Schedule.loop_info) =
+  let find t k = Option.value ~default:0 (Hashtbl.find_opt t k) in
+  let entries = find stats.Timing.entries l.Schedule.loop_key in
+  let iters = find stats.Timing.iterations l.Schedule.loop_key in
+  let share = if top then float_of_int spec.Rv_spec.harts else 1.0 in
+  (float_of_int entries *. spec.Rv_spec.loop_overhead_cycles)
+  +. (float_of_int iters *. cycles_per_iteration spec l /. share)
+  +. List.fold_left
+       (fun acc n -> acc +. loop_cycles spec stats ~top:false n)
+       0.0 l.Schedule.nested
+
+(* The cluster has no dataflow fabric: top-level stages always serialise. *)
+let kernel_cycles spec (ks : Schedule.kernel_schedule) stats =
+  List.fold_left
+    (fun acc l -> acc +. loop_cycles spec stats ~top:true l)
+    0.0 ks.Schedule.loops
+
+let kernel_time_s spec ks stats =
+  kernel_cycles spec ks stats *. Rv_spec.clock_period_s spec
+
+let transfer_time_s spec ~bytes =
+  spec.Rv_spec.dma_fixed_overhead_s
+  +. (float_of_int bytes /. spec.Rv_spec.dma_bandwidth_bytes_per_s)
+
+let model (spec : Rv_spec.t) : Device_model.t =
+  {
+    Device_model.device_name = spec.Rv_spec.name;
+    clock_mhz = spec.Rv_spec.clock_mhz;
+    kernel_time_s = (fun ks stats -> kernel_time_s spec ks stats);
+    transfer_time_s = (fun ~bytes -> transfer_time_s spec ~bytes);
+    launch_overhead_s = spec.Rv_spec.kernel_launch_overhead_s;
+    alloc_overhead_s = spec.Rv_spec.buffer_alloc_overhead_s;
+  }
+
+(* Footprint estimate, reported through the shared Resources.report shape
+   with a documented reinterpretation: luts ≙ instruction words in the
+   kernel image, ffs ≙ architectural registers live across the loops,
+   brams ≙ 4 KiB scratchpad pages, dsps ≙ vector MAC slots engaged.
+   Percentages are against imem, scratchpad and lane capacity. *)
+let estimate (spec : Rv_spec.t) (ks : Schedule.kernel_schedule) =
+  let loops = Schedule.flatten_loops ks.Schedule.loops in
+  let insns_of_loop (l : Schedule.loop_info) =
+    (* compute + memory + induction/branch bookkeeping, once per loop:
+       vectorisation changes timing, not static code size *)
+    l.Schedule.int_ops + l.Schedule.fp_ops + beats_per_iteration l + 4
+  in
+  let insn_words =
+    16 (* prologue: argument unmarshal + doorbell handshake *)
+    + (8 * ks.Schedule.s_axilite_args)
+    + List.fold_left (fun acc l -> acc + insns_of_loop l) 0 loops
+  in
+  let image_bytes = insn_words * spec.Rv_spec.bytes_per_insn in
+  let pages = (ks.Schedule.local_buffer_bytes + 4095) / 4096 in
+  let vector_macs =
+    List.fold_left
+      (fun acc l -> if vectorised l then acc + l.Schedule.macs else acc)
+      0 loops
+  in
+  let scalar_macs =
+    List.fold_left
+      (fun acc l -> if vectorised l then acc else acc + l.Schedule.macs)
+      0 loops
+  in
+  let mac_slots = min vector_macs spec.Rv_spec.vector_lanes in
+  let live_regs =
+    List.fold_left
+      (fun acc l -> acc + beats_per_iteration l + 2)
+      (2 * ks.Schedule.s_axilite_args)
+      loops
+  in
+  let kernel =
+    {
+      Resources.luts = insn_words;
+      ffs = live_regs;
+      brams = pages;
+      dsps = mac_slots;
+    }
+  in
+  {
+    Resources.kernel;
+    total = kernel;
+    lut_pct =
+      100.0 *. float_of_int image_bytes /. float_of_int spec.Rv_spec.imem_bytes;
+    bram_pct =
+      100.0
+      *. float_of_int ks.Schedule.local_buffer_bytes
+      /. float_of_int spec.Rv_spec.scratchpad_bytes;
+    dsp_pct =
+      100.0 *. float_of_int mac_slots
+      /. float_of_int spec.Rv_spec.vector_lanes;
+    fused_macs = vector_macs;
+    lut_macs = scalar_macs;
+  }
+
+(* Static cluster floor plus dynamic draw scaled by the kernel duty cycle
+   over the device-active window — same duty definition as the FPGA
+   power model, different coefficients. *)
+let power_w (spec : Rv_spec.t) (_ : Resources.report) ~kernel_time_s
+    ~device_time_s =
+  let duty = Power.duty ~kernel_time_s ~device_time_s in
+  spec.Rv_spec.static_power_w +. (spec.Rv_spec.dynamic_power_full_w *. duty)

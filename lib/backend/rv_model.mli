@@ -1,0 +1,30 @@
+(** Timing and footprint model for the simulated RISC-V accelerator:
+    prices the structural outputs of the shared kernel scheduler (op
+    counts, beats, unroll, observed trips) with RISC-V rules — scalar
+    loops are issue-width and DRAM-latency bound, directive-unrolled
+    loops vectorise (VL = min(unroll, lanes), amortised beats, fused
+    vfmacc), top-level omp loops work-share across harts. *)
+
+open Ftn_hlsim
+
+val vectorised : Schedule.loop_info -> bool
+(** True when the loop's unroll directive maps it onto the vector unit. *)
+
+val cycles_per_iteration : Rv_spec.t -> Schedule.loop_info -> float
+val kernel_cycles : Rv_spec.t -> Schedule.kernel_schedule -> Timing.loop_stats -> float
+val kernel_time_s : Rv_spec.t -> Schedule.kernel_schedule -> Timing.loop_stats -> float
+val transfer_time_s : Rv_spec.t -> bytes:int -> float
+
+val model : Rv_spec.t -> Device_model.t
+
+val estimate : Rv_spec.t -> Schedule.kernel_schedule -> Resources.report
+(** Footprint through the shared report shape — documented
+    reinterpretation: luts ≙ instruction words, ffs ≙ live registers,
+    brams ≙ scratchpad pages, dsps ≙ vector MAC slots. *)
+
+val power_w :
+  Rv_spec.t ->
+  Resources.report ->
+  kernel_time_s:float ->
+  device_time_s:float ->
+  float

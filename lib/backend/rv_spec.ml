@@ -1,0 +1,61 @@
+(* Device description for the simulated RISC-V accelerator (after
+   "Programming RISC-V accelerators via Fortran", arXiv:2510.02170): a
+   memory-mapped cluster of in-order RV64GCV harts with a shared
+   scratchpad, fed by host DMA. As with Fpga_spec, the behavioural
+   constants are honest free parameters of an analytic model — every
+   kernel is costed by the same rules. *)
+
+type t = {
+  name : string;
+  (* --- cluster shape --- *)
+  harts : int;  (** Worker harts; omp parallel-do iterations are shared. *)
+  vector_lanes : int;  (** f32 lanes per hart's vector unit. *)
+  issue_width : int;  (** Scalar instructions issued per cycle. *)
+  clock_mhz : float;
+  imem_bytes : int;  (** Instruction memory the kernel image loads into. *)
+  scratchpad_bytes : int;  (** Shared on-cluster data scratchpad. *)
+  (* --- per-op cycle costs (per original loop iteration) --- *)
+  int_op_cycles : float;
+  fp_op_cycles : float;  (** Unfused f32 add/mul through the FPU. *)
+  fused_mac_cycles : float;  (** vfmacc: one fused multiply-accumulate. *)
+  scalar_beat_cycles : float;  (** One scalar load/store beat to DRAM. *)
+  vector_beat_cycles : float;
+      (** Amortised per-element cost of a unit-stride vector load/store. *)
+  loop_overhead_cycles : float;  (** Bookkeeping per loop entry. *)
+  (* --- host-visible overheads --- *)
+  kernel_launch_overhead_s : float;  (** Doorbell + argument staging. *)
+  buffer_alloc_overhead_s : float;
+  dma_fixed_overhead_s : float;
+  dma_bandwidth_bytes_per_s : float;
+  (* --- power model --- *)
+  static_power_w : float;
+  dynamic_power_full_w : float;
+  (* --- footprint model --- *)
+  bytes_per_insn : int;
+}
+
+let srv64 =
+  {
+    name = "SRV64 RISC-V accelerator cluster (simulated)";
+    harts = 8;
+    vector_lanes = 8;
+    issue_width = 2;
+    clock_mhz = 1_000.0;
+    imem_bytes = 256 * 1024;
+    scratchpad_bytes = 4 * 1024 * 1024;
+    int_op_cycles = 1.0;
+    fp_op_cycles = 4.0;
+    fused_mac_cycles = 4.0;
+    scalar_beat_cycles = 12.0;
+    vector_beat_cycles = 1.5;
+    loop_overhead_cycles = 6.0;
+    kernel_launch_overhead_s = 3.0e-6;
+    buffer_alloc_overhead_s = 8.0e-6;
+    dma_fixed_overhead_s = 0.5e-6;
+    dma_bandwidth_bytes_per_s = 8.0e9;
+    static_power_w = 3.5;
+    dynamic_power_full_w = 9.0;
+    bytes_per_insn = 4;
+  }
+
+let clock_period_s spec = 1.0 /. (spec.clock_mhz *. 1.0e6)

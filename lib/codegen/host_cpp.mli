@@ -1,12 +1,23 @@
 (** Host code printer: C++ with OpenCL from the host module (the paper's
     host printer). SSA values map onto single-assignment C++ locals; the
     device dialect maps onto a small [ftn::] helper layer (buffer cache,
-    reference counters, HBM bank selection) emitted as a prelude. *)
+    reference counters, HBM bank selection) emitted as a prelude.
+
+    The printer is target-parametric: the control-flow/arith core is
+    shared, while the device-dialect arms, prelude and setup switch on
+    {!target} — [Opencl] for the Vitis/XRT flow, [Rv] for the
+    memory-mapped driver API of a RISC-V accelerator (after
+    arXiv:2510.02170). *)
 
 exception Cpp_error of string
 
+type target = Opencl | Rv
+
 val cpp_scalar_type : Ftn_ir.Types.t -> string
 val prelude : string
+val rv_prelude : string
 
-val emit_module : ?xclbin:string -> Ftn_ir.Op.t -> string
-(** Emit a complete host program from the module's [ftn.main] function. *)
+val emit_module : ?target:target -> ?xclbin:string -> Ftn_ir.Op.t -> string
+(** Emit a complete host program from the module's [ftn.main] function.
+    [xclbin] names the device binary the setup section loads (an xclbin
+    for [Opencl], a flat [.rvbin] image for [Rv]). *)

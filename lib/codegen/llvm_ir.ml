@@ -314,10 +314,16 @@ let target_header =
    \"e-m:e-i64:64-i128:128-i256:256-i512:512-i1024:1024-i2048:2048-i4096:4096-n8:16:32:64-S128-v16:16-v24:32-v32:32-v48:64-v96:128-v192:256-v256:256-v512:512-v1024:1024\"\n\
    target triple = \"fpga64-xilinx-none\"\n\n"
 
-let emit_module m =
+let rv_target_header =
+  "; ModuleID = 'ftn-rv-kernel'\n\
+   source_filename = \"ftn-rv-kernel\"\n\
+   target datalayout = \"e-m:e-p:64:64-i64:64-i128:128-n32:64-S128\"\n\
+   target triple = \"riscv64-unknown-elf\"\n\n"
+
+let emit_module ?(header = target_header) m =
   if not (Op.is_module m) then raise (Emit_error "expected builtin.module");
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf target_header;
+  Buffer.add_string buf header;
   List.iter
     (fun op ->
       if String.equal (Op.name op) "llvm.func" then emit_function buf op)

@@ -11,5 +11,10 @@ val float_lit : float -> string
 val target_header : string
 (** ModuleID, datalayout and the [fpga64-xilinx-none] triple. *)
 
-val emit_module : Ftn_ir.Op.t -> string
-(** Emit a whole builtin.module of llvm.func ops as .ll text. *)
+val rv_target_header : string
+(** ModuleID, datalayout and the [riscv64-unknown-elf] triple, for the
+    RISC-V accelerator backend. *)
+
+val emit_module : ?header:string -> Ftn_ir.Op.t -> string
+(** Emit a whole builtin.module of llvm.func ops as .ll text. [header]
+    selects the target preamble (default {!target_header}). *)

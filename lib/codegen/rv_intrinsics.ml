@@ -1,0 +1,52 @@
+(* RISC-V accelerator intrinsic lowering (after arXiv:2510.02170): the
+   RISC-V target has no HLS directive primitives, so the _ssdm_op_Spec*
+   directive calls produced by the hls-to-func lowering — and their
+   declarations — are erased from the device module. The information they
+   carried (pipelining, unroll, partitioning) already lives in the loop
+   attributes the scheduler reads; on RISC-V it steers vectorisation in
+   the timing model instead of HLS synthesis. *)
+
+open Ftn_ir
+
+let is_spec_name n =
+  String.length n >= 9 && String.sub n 0 9 = "_ssdm_op_"
+
+let is_spec_call op =
+  String.equal (Op.name op) "llvm.call"
+  &&
+  match Op.symbol_attr op "callee" with
+  | Some callee -> is_spec_name callee
+  | None -> false
+
+let is_spec_decl op =
+  String.equal (Op.name op) "llvm.func"
+  &&
+  match Op.symbol_attr op "sym_name" with
+  | Some n -> is_spec_name n
+  | None -> false
+
+let run m =
+  let rec walk op =
+    {
+      op with
+      Op.regions =
+        List.map
+          (fun blocks ->
+            List.map
+              (fun blk ->
+                {
+                  blk with
+                  Op.body =
+                    List.filter_map
+                      (fun o ->
+                        if is_spec_call o || is_spec_decl o then None
+                        else Some (walk o))
+                      blk.Op.body;
+                })
+              blocks)
+          op.Op.regions;
+    }
+  in
+  walk m
+
+let pass = Pass.make "erase-hls-intrinsics-for-rv" run

@@ -1,0 +1,10 @@
+(** RISC-V accelerator intrinsic lowering: erases the [_ssdm_op_*] HLS
+    directive calls and declarations from a device module — the RISC-V
+    target consumes the same omp/device IR but has no HLS primitives; the
+    directives' intent (unroll, pipeline) steers the RV timing model via
+    loop attributes instead. *)
+
+val is_spec_call : Ftn_ir.Op.t -> bool
+val is_spec_decl : Ftn_ir.Op.t -> bool
+val run : Ftn_ir.Op.t -> Ftn_ir.Op.t
+val pass : Ftn_ir.Pass.t

@@ -36,11 +36,12 @@ let compile ?(options = Options.default) ?file ?engine source =
         Ftn_passes.Pipeline.run_mid_end ~options:options.Options.pipeline
           core_module)
   in
+  let backend = options.Options.backend in
   let device_llvm =
     Option.map
       (fun m ->
-        span "codegen.hls_intrinsics" (fun () ->
-            Ftn_codegen.Hls_intrinsics.run m))
+        span "codegen.lower_device" (fun () ->
+            Ftn_backend.Backend.lower_device backend m))
       r.Ftn_passes.Pipeline.device_llvm
   in
   let llvm_ir =
@@ -48,25 +49,22 @@ let compile ?(options = Options.default) ?file ?engine source =
       Option.map
         (fun m ->
           span "codegen.emit_llvm_ir" (fun () ->
-              Ftn_codegen.Llvm_ir.emit_module m))
+              Ftn_backend.Backend.emit_kernel_ir backend m))
         device_llvm
     else None
   in
   let llvm_ir_downgraded =
-    Option.map
-      (fun text ->
-        span "codegen.llvm_downgrade" (fun () ->
-            (Ftn_codegen.Llvm_downgrade.run text)
-              .Ftn_codegen.Llvm_downgrade.text))
-      llvm_ir
+    Option.bind llvm_ir (fun text ->
+        span "codegen.llvm_compat" (fun () ->
+            Ftn_backend.Backend.emit_kernel_compat backend text))
   in
   let host_cpp =
     if options.Options.emit_cpp && r.Ftn_passes.Pipeline.device_core <> None
     then
       Some
-        (span "codegen.host_cpp" (fun () ->
-             Ftn_codegen.Host_cpp.emit_module
-               ~xclbin:options.Options.xclbin_name r.Ftn_passes.Pipeline.host))
+        (span "codegen.host" (fun () ->
+             Ftn_backend.Backend.emit_host backend
+               ~binary:options.Options.xclbin_name r.Ftn_passes.Pipeline.host))
     else None
   in
   Ftn_obs.Metrics.incr "compile.runs";
@@ -88,12 +86,14 @@ let compile ?(options = Options.default) ?file ?engine source =
     stages = r.Ftn_passes.Pipeline.stages;
   })
 
-(* Synthesise the compiled device module into a bitstream. *)
+(* Synthesise the compiled device module into a device binary through the
+   selected backend's flow. *)
 let synthesise ?(options = Options.default) artifacts =
   match artifacts.device_hls with
   | Some d ->
-    Ftn_hlsim.Synth.synthesise ~frontend:options.Options.frontend
-      ~spec:options.Options.spec ~xclbin_name:options.Options.xclbin_name d
+    Ftn_backend.Backend.synthesise options.Options.backend
+      ~frontend:options.Options.frontend
+      ~binary_name:options.Options.xclbin_name d
   | None ->
     raise
       (Ftn_hlsim.Synth.Synthesis_error

@@ -2,7 +2,9 @@
 
 type t = {
   pipeline : Ftn_passes.Pipeline.options;
-  spec : Ftn_hlsim.Fpga_spec.t;
+  backend : Ftn_backend.Backend.t;
+      (** Selected accelerator backend; device spec, codegen emitters and
+          bitstream format all flow from the descriptor. *)
   frontend : Ftn_hlsim.Resources.frontend;
       (** Which frontend idiom the simulated backend sees; the Fortran
           flow is [Mlir_flow], hand-written baselines use [Clang_hls]. *)
@@ -18,7 +20,7 @@ type t = {
 let default =
   {
     pipeline = Ftn_passes.Pipeline.default_options;
-    spec = Ftn_hlsim.Fpga_spec.u280;
+    backend = Ftn_backend.Backend_registry.default;
     frontend = Ftn_hlsim.Resources.Mlir_flow;
     emit_llvm = true;
     emit_cpp = true;

@@ -2,7 +2,9 @@
 
 type t = {
   pipeline : Ftn_passes.Pipeline.options;
-  spec : Ftn_hlsim.Fpga_spec.t;  (** Target device model. *)
+  backend : Ftn_backend.Backend.t;
+      (** Selected accelerator backend; device spec, codegen emitters and
+          bitstream format all flow from the descriptor. *)
   frontend : Ftn_hlsim.Resources.frontend;
       (** Frontend idiom the simulated backend sees; [Mlir_flow] for the
           Fortran flow, [Clang_hls] for hand-written baselines. *)

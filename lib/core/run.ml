@@ -14,7 +14,7 @@ let run ?(options = Options.default) ?(echo = false) ?file ?engine source =
   let artifacts = Compiler.compile ~options ?file ?engine source in
   let bitstream = Compiler.synthesise ~options artifacts in
   let exec =
-    Executor.run ~spec:options.Options.spec ~echo ?diag:engine
+    Executor.run ~echo ?diag:engine
       ?faults:options.Options.fault_plan ~retry:options.Options.retry
       ~host:artifacts.Compiler.host ~bitstream ()
   in
@@ -35,10 +35,21 @@ let device_time run = run.exec.Executor.device_time_s
 let kernel_time run = run.exec.Executor.kernel_time_s
 let output run = run.exec.Executor.output
 
-let fpga_power ?(spec = Fpga_spec.u280) run =
+let fpga_power ?(backend = Ftn_backend.Backend_registry.default) run =
   match run.bitstream.Bitstream.kernels with
   | k :: _ ->
-    Power.fpga_power_w spec k.Bitstream.kd_resources
+    Ftn_backend.Backend.power_w backend k.Bitstream.kd_resources
       ~kernel_time_s:run.exec.Executor.kernel_time_s
-      ~device_time_s:run.exec.Executor.device_time_s ()
-  | [] -> spec.Fpga_spec.static_power_w
+      ~device_time_s:run.exec.Executor.device_time_s
+  | [] ->
+    Ftn_backend.Backend.power_w backend
+      {
+        Resources.kernel = Resources.zero;
+        total = Resources.zero;
+        lut_pct = 0.0;
+        bram_pct = 0.0;
+        dsp_pct = 0.0;
+        fused_macs = 0;
+        lut_macs = 0;
+      }
+      ~kernel_time_s:0.0 ~device_time_s:0.0

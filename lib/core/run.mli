@@ -31,5 +31,5 @@ val device_time : t -> float
 val kernel_time : t -> float
 val output : t -> string
 
-val fpga_power : ?spec:Ftn_hlsim.Fpga_spec.t -> t -> float
+val fpga_power : ?backend:Ftn_backend.Backend.t -> t -> float
 (** Modelled card draw for this run's kernel/duty profile. *)

@@ -11,7 +11,9 @@ type kernel_design = {
 
 type t = {
   xclbin_name : string;
+  backend : string;  (** Registry name of the backend that built this. *)
   device_name : string;
+  model : Device_model.t;  (** Timing model of the target device. *)
   frontend : Resources.frontend;
   kernels : kernel_design list;
   build_log : string list;

@@ -2,16 +2,62 @@
    small sectioned text format holding the build metadata and the device
    module's kernels as printed IR; loading re-parses the IR and re-runs
    scheduling and resource estimation (both deterministic), so a loaded
-   bitstream is indistinguishable from a freshly synthesised one. *)
+   bitstream is indistinguishable from a freshly synthesised one.
+
+   Since v2 the header carries the owning backend's registry name and the
+   container format version. Every simulated binary container in the
+   project — this one and any backend-specific format — starts with an
+   `FTN-<FORMAT> v<N>` line, so [sniff] can recognise a foreign-but-valid
+   container and [load] rejects it with {!Backend_mismatch} instead of
+   misinterpreting the payload as a corrupt xclbin. *)
 
 exception Format_error of string
 
-let magic = "FTN-XCLBIN v1"
+exception
+  Backend_mismatch of { expected : string; found : string; format : string }
+
+let magic = "FTN-XCLBIN v2"
+let format_name = "XCLBIN"
+let format_version = 2
+
+(* Any FTN container header: "FTN-<FORMAT> v<N>". *)
+let sniff text =
+  let first =
+    match String.index_opt text '\n' with
+    | Some i -> String.sub text 0 i
+    | None -> text
+  in
+  let first = String.trim first in
+  match String.split_on_char ' ' first with
+  | [ head; ver ]
+    when String.length head > 4
+         && String.sub head 0 4 = "FTN-"
+         && String.length ver > 1
+         && ver.[0] = 'v' -> (
+    let fmt = String.sub head 4 (String.length head - 4) in
+    match int_of_string_opt (String.sub ver 1 (String.length ver - 1)) with
+    | Some v -> Some (fmt, v)
+    | None -> None)
+  | _ -> None
+
+let header_field lines p =
+  let prefixed l =
+    let l = String.trim l in
+    if String.length l > String.length p && String.sub l 0 (String.length p) = p
+    then Some (String.sub l (String.length p) (String.length l - String.length p))
+    else None
+  in
+  List.find_map prefixed lines
+
+(* Backend name recorded in any FTN container, if present. *)
+let sniff_backend text =
+  header_field (String.split_on_char '\n' text) "backend: "
 
 let save (bs : Bitstream.t) =
   let buf = Buffer.create 4096 in
   let line fmt = Fmt.kstr (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   line "%s" magic;
+  line "backend: %s" bs.Bitstream.backend;
   line "name: %s" bs.Bitstream.xclbin_name;
   line "device: %s" bs.Bitstream.device_name;
   line "frontend: %s"
@@ -34,20 +80,32 @@ let save_file bs path =
   output_string oc (save bs);
   close_out oc
 
-let load ?(spec = Fpga_spec.u280) text =
+let load ?(expect_backend = "vitis") ~spec text =
+  (match sniff text with
+  | Some (fmt, ver) when fmt = format_name && ver = format_version -> ()
+  | Some (fmt, ver) ->
+    (* a valid FTN container owned by another backend (or another format
+       revision): structured rejection, not a parse error *)
+    let found =
+      match sniff_backend text with
+      | Some b -> b
+      | None -> Fmt.str "%s v%d" fmt ver
+    in
+    raise
+      (Backend_mismatch
+         {
+           expected = expect_backend;
+           found;
+           format = Fmt.str "FTN-%s v%d" fmt ver;
+         })
+  | None -> raise (Format_error "not a simulated xclbin (bad magic)"));
   let lines = String.split_on_char '\n' text in
-  (match lines with
-  | first :: _ when String.trim first = magic -> ()
-  | _ -> raise (Format_error "not a simulated xclbin (bad magic)"));
-  let prefixed p l =
-    let l = String.trim l in
-    if String.length l > String.length p && String.sub l 0 (String.length p) = p
-    then Some (String.sub l (String.length p) (String.length l - String.length p))
-    else None
-  in
-  let field p =
-    List.find_map (fun l -> prefixed p l) lines
-  in
+  let field = header_field lines in
+  (match field "backend: " with
+  | Some b when b <> expect_backend ->
+    raise
+      (Backend_mismatch { expected = expect_backend; found = b; format = magic })
+  | _ -> ());
   let name = Option.value ~default:"kernel.xclbin" (field "name: ") in
   let frontend =
     match field "frontend: " with
@@ -75,11 +133,12 @@ let load ?(spec = Fpga_spec.u280) text =
     with Ftn_ir.Ir_parser.Parse_error (msg, pos) ->
       raise (Format_error (Fmt.str "bad kernel IR at offset %d: %s" pos msg))
   in
-  Synth.synthesise ~frontend ~spec ~xclbin_name:name device_module
+  Synth.synthesise ~frontend ~backend:expect_backend ~spec ~xclbin_name:name
+    device_module
 
-let load_file ?spec path =
+let load_file ?expect_backend ~spec path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  load ?spec text
+  load ?expect_backend ~spec text

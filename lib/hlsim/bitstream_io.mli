@@ -1,12 +1,37 @@
 (** Bitstream (de)serialisation — the simulated xclbin container. Saving
     writes build metadata plus the kernels as printed IR; loading re-parses
     and re-synthesises (deterministically), so a loaded bitstream behaves
-    exactly like a fresh one. *)
+    exactly like a fresh one.
+
+    The v2 header embeds the owning backend's registry name and the
+    container format version; [load] raises {!Backend_mismatch} when handed
+    a valid FTN container belonging to another backend (or format
+    revision), and {!Format_error} only for genuinely unreadable input. *)
 
 exception Format_error of string
 
+exception
+  Backend_mismatch of { expected : string; found : string; format : string }
+
 val magic : string
+val format_name : string
+val format_version : int
+
+val sniff : string -> (string * int) option
+(** Recognise any [FTN-<FORMAT> v<N>] container header: returns the format
+    name and version, [None] if the text is not an FTN container. *)
+
+val sniff_backend : string -> string option
+(** The [backend:] header field of any FTN container, if present. *)
+
 val save : Bitstream.t -> string
 val save_file : Bitstream.t -> string -> unit
-val load : ?spec:Fpga_spec.t -> string -> Bitstream.t
-val load_file : ?spec:Fpga_spec.t -> string -> Bitstream.t
+
+val load : ?expect_backend:string -> spec:Fpga_spec.t -> string -> Bitstream.t
+(** [load ~spec text] re-synthesises the contained kernels against [spec].
+    [expect_backend] (default ["vitis"]) is the registry name of the
+    loading backend; a container stamped with a different backend raises
+    {!Backend_mismatch}. *)
+
+val load_file :
+  ?expect_backend:string -> spec:Fpga_spec.t -> string -> Bitstream.t

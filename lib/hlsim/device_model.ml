@@ -1,0 +1,27 @@
+(* Backend-neutral device timing model. The executor charges every cost
+   through this record — it never sees an Fpga_spec — so any backend that
+   can price a kernel schedule against observed loop statistics can drive
+   the runtime. The closures are built once, at synthesis time, and travel
+   inside the bitstream: a kernel is always timed with the model of the
+   device it was compiled for. *)
+
+type t = {
+  device_name : string;
+  clock_mhz : float;
+  kernel_time_s : Schedule.kernel_schedule -> Timing.loop_stats -> float;
+      (** Wall time of one kernel execution given observed loop entry and
+          iteration counts. *)
+  transfer_time_s : bytes:int -> float;  (** One host<->device DMA. *)
+  launch_overhead_s : float;  (** Fixed cost per kernel launch. *)
+  alloc_overhead_s : float;  (** First allocation of a named buffer. *)
+}
+
+let of_fpga_spec (spec : Fpga_spec.t) =
+  {
+    device_name = spec.Fpga_spec.name;
+    clock_mhz = spec.Fpga_spec.clock_mhz;
+    kernel_time_s = (fun ks stats -> Timing.kernel_time_s spec ks stats);
+    transfer_time_s = (fun ~bytes -> Timing.transfer_time_s spec ~bytes);
+    launch_overhead_s = Timing.launch_overhead_s spec;
+    alloc_overhead_s = Timing.alloc_overhead_s spec;
+  }

@@ -1,0 +1,17 @@
+(** Backend-neutral device timing model. The executor charges kernel,
+    transfer, launch and allocation costs exclusively through this record;
+    it is built at synthesis time and carried inside the bitstream, so a
+    kernel is always timed with the model of the device it was compiled
+    for. *)
+
+type t = {
+  device_name : string;
+  clock_mhz : float;
+  kernel_time_s : Schedule.kernel_schedule -> Timing.loop_stats -> float;
+  transfer_time_s : bytes:int -> float;
+  launch_overhead_s : float;
+  alloc_overhead_s : float;
+}
+
+val of_fpga_spec : Fpga_spec.t -> t
+(** The Vitis/U280 model: wraps {!Timing} over the given spec. *)

@@ -59,7 +59,7 @@ let luts_with_unroll spec ~frontend (ks : Schedule.kernel_schedule)
   let ks' = { ks with Schedule.loops = List.map patch ks.Schedule.loops } in
   (Resources.estimate ~frontend spec ks').Resources.kernel.Resources.luts
 
-let explore ?(spec = Fpga_spec.u280) ?(frontend = Resources.Mlir_flow)
+let explore ~spec ?(frontend = Resources.Mlir_flow)
     ?(factors = [ 1; 2; 4; 8; 10; 16; 32 ]) ?lut_budget ks
     (l : Schedule.loop_info) =
   Ftn_obs.Span.with_span_sp ~name:"dse.explore"
@@ -119,13 +119,13 @@ let explore ?(spec = Fpga_spec.u280) ?(frontend = Resources.Mlir_flow)
   { candidates; pareto; best })
 
 (* Convenience: explore the first pipelined loop of a kernel. *)
-let explore_kernel ?spec ?frontend ?factors ?lut_budget ks =
+let explore_kernel ~spec ?frontend ?factors ?lut_budget ks =
   match
     List.find_opt
       (fun (l : Schedule.loop_info) -> l.Schedule.pipelined)
       (Schedule.flatten_loops ks.Schedule.loops)
   with
-  | Some l -> Some (explore ?spec ?frontend ?factors ?lut_budget ks l)
+  | Some l -> Some (explore ~spec ?frontend ?factors ?lut_budget ks l)
   | None -> None
 
 let pp_candidate fmt c =

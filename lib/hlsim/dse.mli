@@ -18,7 +18,7 @@ type result = {
 }
 
 val explore :
-  ?spec:Fpga_spec.t ->
+  spec:Fpga_spec.t ->
   ?frontend:Resources.frontend ->
   ?factors:int list ->
   ?lut_budget:int ->
@@ -27,7 +27,7 @@ val explore :
   result
 
 val explore_kernel :
-  ?spec:Fpga_spec.t ->
+  spec:Fpga_spec.t ->
   ?frontend:Resources.frontend ->
   ?factors:int list ->
   ?lut_budget:int ->

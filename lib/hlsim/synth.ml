@@ -8,8 +8,11 @@ open Ftn_dialects
 
 exception Synthesis_error of string
 
-let synthesise ?(frontend = Resources.Mlir_flow) ?(spec = Fpga_spec.u280)
-    ?(xclbin_name = "kernel.xclbin") device_module =
+let synthesise ?(frontend = Resources.Mlir_flow) ?(backend = "vitis") ?model
+    ~spec ?(xclbin_name = "kernel.xclbin") device_module =
+  let model =
+    match model with Some m -> m | None -> Device_model.of_fpga_spec spec
+  in
   Ftn_obs.Span.with_span ~name:"synth.vpp"
     ~attrs:[ ("xclbin", xclbin_name) ]
     (fun () ->
@@ -65,7 +68,9 @@ let synthesise ?(frontend = Resources.Mlir_flow) ?(spec = Fpga_spec.u280)
   say "bitstream: %s" xclbin_name;
   {
     Bitstream.xclbin_name;
+    backend;
     device_name = spec.Fpga_spec.name;
+    model;
     frontend;
     kernels;
     build_log = List.rev !log;

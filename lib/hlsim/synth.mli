@@ -5,10 +5,16 @@ exception Synthesis_error of string
 
 val synthesise :
   ?frontend:Resources.frontend ->
-  ?spec:Fpga_spec.t ->
+  ?backend:string ->
+  ?model:Device_model.t ->
+  spec:Fpga_spec.t ->
   ?xclbin_name:string ->
   Ftn_ir.Op.t ->
   Bitstream.t
-(** [synthesise device_module] runs the simulated HLS + link + place +
-    route flow. Raises {!Synthesis_error} if the module is not a
+(** [synthesise ~spec device_module] runs the simulated HLS + link + place
+    + route flow against [spec] — there is no default device; the spec
+    always flows from the selected backend. [backend] stamps the registry
+    name into the bitstream (default ["vitis"]); [model] overrides the
+    timing model carried in the bitstream (default: the spec's Vitis
+    model). Raises {!Synthesis_error} if the module is not a
     builtin.module or contains no kernel functions. *)

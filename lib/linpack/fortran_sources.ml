@@ -121,3 +121,38 @@ let data_regions ~n =
 end program data_regions
 |}
     n
+
+(* 1-D heat-diffusion stencil: two offloaded sweeps per timestep inside
+   one target data region — the multi-kernel, data-resident pattern the
+   rewrite/fault/backend benches all share. *)
+let stencil ~n ~steps =
+  Fmt.str
+    "program heat\n\
+     implicit none\n\
+     integer, parameter :: n = %d\n\
+     integer, parameter :: steps = %d\n\
+     real :: u(n), v(n)\n\
+     integer :: i, t\n\
+     do i = 1, n\n\
+     u(i) = 0.0\n\
+     v(i) = 0.0\n\
+     end do\n\
+     u(1) = 100.0\n\
+     u(n) = 100.0\n\
+     !$omp target data map(tofrom:u) map(alloc:v)\n\
+     do t = 1, steps\n\
+     !$omp target parallel do\n\
+     do i = 2, n - 1\n\
+     v(i) = u(i) + 0.25 * (u(i - 1) - 2.0 * u(i) + u(i + 1))\n\
+     end do\n\
+     !$omp end target parallel do\n\
+     !$omp target parallel do\n\
+     do i = 2, n - 1\n\
+     u(i) = v(i)\n\
+     end do\n\
+     !$omp end target parallel do\n\
+     end do\n\
+     !$omp end target data\n\
+     print *, 'u(2) =', u(2), ' u(n/2) =', u(n / 2)\n\
+     end program heat\n"
+    n steps

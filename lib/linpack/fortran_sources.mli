@@ -13,3 +13,7 @@ val dot_product : n:int -> simdlen:int -> string
 
 val data_regions : n:int -> string
 (** Nested data regions, the paper's Listing 1 shape. *)
+
+val stencil : n:int -> steps:int -> string
+(** 1-D heat-diffusion stencil: two kernels per timestep inside one
+    target data region. *)

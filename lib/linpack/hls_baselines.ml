@@ -206,7 +206,7 @@ let run_scale_dataflow ?(spec = Fpga_spec.u280) ?(dataflow = true) ~n ~a ()
     Synth.synthesise ~frontend:Resources.Clang_hls ~spec
       ~xclbin_name:"scale.xclbin" device
   in
-  let ctx = Executor.create_context ~spec bitstream in
+  let ctx = Executor.create_context bitstream in
   let x = Array.init n (fun i -> float_of_int (i + 1)) in
   let hx = Rtval.of_float_array Types.F32 x in
   let hy = Rtval.of_float_array Types.F32 (Array.make n 0.0) in
@@ -239,7 +239,7 @@ let run_saxpy ?(spec = Fpga_spec.u280) ~n () =
     Synth.synthesise ~frontend:Resources.Clang_hls ~spec
       ~xclbin_name:"saxpy_hw.xclbin" device
   in
-  let ctx = Executor.create_context ~spec bitstream in
+  let ctx = Executor.create_context bitstream in
   let x, y = References.saxpy_inputs ~n in
   let hx = Rtval.of_float_array Types.F32 x in
   let hy = Rtval.of_float_array Types.F32 y in
@@ -273,7 +273,7 @@ let run_sgesl ?(spec = Fpga_spec.u280) ~n () =
     Synth.synthesise ~frontend:Resources.Clang_hls ~spec
       ~xclbin_name:"sgesl_hw.xclbin" device
   in
-  let ctx = Executor.create_context ~spec bitstream in
+  let ctx = Executor.create_context bitstream in
   let a, bvec, ipvt = References.sgesl_inputs ~n in
   let ha = Rtval.of_float_array Types.F32 a in
   let hb = Rtval.of_float_array Types.F32 bvec in

@@ -23,7 +23,9 @@ type kernel_handle = {
 }
 
 type context = {
-  spec : Fpga_spec.t;
+  model : Device_model.t;
+      (** Timing model carried by the bitstream: kernels are always timed
+          with the model of the device they were compiled for. *)
   bitstream : Bitstream.t;
   data : Data_env.t;
   trace : Trace.t;
@@ -84,12 +86,12 @@ type result = {
   cus : Cu_stats.snapshot list;
 }
 
-let create_context ?(spec = Fpga_spec.u280) ?(echo = false) ?engine
+let create_context ?(echo = false) ?engine
     ?(diag = Ftn_diag.Diag_engine.default) ?faults
     ?(retry = Fault.default_retry) bitstream =
   let obs = Ftn_obs.Span.current () in
   {
-    spec;
+    model = bitstream.Bitstream.model;
     bitstream;
     data = Data_env.create ();
     trace = Trace.create ();
@@ -345,8 +347,8 @@ let execute_kernel (ctx : context) state (design : Bitstream.kernel_design)
   let run_on_device () =
     let queue_wait = ctx.sim_now_s -. t_req in
     let stats, _steps = interpret_kernel state design args in
-    let t = Timing.kernel_time_s ctx.spec design.Bitstream.kd_schedule stats in
-    let overhead = Timing.launch_overhead_s ctx.spec in
+    let t = ctx.model.Device_model.kernel_time_s design.Bitstream.kd_schedule stats in
+    let overhead = ctx.model.Device_model.launch_overhead_s in
     charge_kernel ctx ~name ~attrs:[ ("kernel", name) ] t;
     charge_overhead ctx ~name:"launch_overhead" ~attrs:[ ("kernel", name) ]
       overhead;
@@ -385,7 +387,7 @@ let api_alloc (ctx : context) ~name ~memory_space ~elt ~shape =
       charge_overhead ctx ~name:("alloc:" ^ name)
         ~attrs:[ ("buffer", name);
                  ("bytes", string_of_int (Rtval.byte_size buffer)) ]
-        (Timing.alloc_overhead_s ctx.spec);
+        ctx.model.Device_model.alloc_overhead_s;
       Ftn_obs.Metrics.incr "device.allocs";
       Ftn_obs.Metrics.incr ~by:(Rtval.byte_size buffer) "device.bytes_allocated";
       Ftn_obs.Flight.record ~time_s:ctx.sim_now_s ~loc:ctx.cur_loc_str
@@ -397,7 +399,7 @@ let api_alloc (ctx : context) ~name ~memory_space ~elt ~shape =
            {
              name;
              bytes = Rtval.byte_size buffer;
-             time_s = Timing.alloc_overhead_s ctx.spec;
+             time_s = ctx.model.Device_model.alloc_overhead_s;
            })
     end;
     buffer
@@ -449,7 +451,7 @@ let api_transfer (ctx : context) ~src ~dst =
          });
   if src.Rtval.memory_space <> dst.Rtval.memory_space then begin
     let bytes = Rtval.byte_size src in
-    let t = Timing.transfer_time_s ctx.spec ~bytes in
+    let t = ctx.model.Device_model.transfer_time_s ~bytes in
     let direction =
       if dst.Rtval.memory_space > 0 then Trace.Host_to_device
       else Trace.Device_to_host
@@ -683,9 +685,9 @@ let result_of_context (ctx : context) =
   }
 
 (* Run the host module's main (or a named entry) against a bitstream. *)
-let run ?spec ?(echo = false) ?entry ?(args = []) ?engine ?diag ?faults
+let run ?(echo = false) ?entry ?(args = []) ?engine ?diag ?faults
     ?retry ~host ~bitstream () =
-  let ctx = create_context ?spec ~echo ?engine ?diag ?faults ?retry bitstream in
+  let ctx = create_context ~echo ?engine ?diag ?faults ?retry bitstream in
   let handlers =
     [
       device_handler ctx;

@@ -42,7 +42,6 @@ type result = {
 }
 
 val create_context :
-  ?spec:Ftn_hlsim.Fpga_spec.t ->
   ?echo:bool ->
   ?engine:Ftn_interp.Interp.engine ->
   ?diag:Ftn_diag.Diag_engine.t ->
@@ -50,7 +49,9 @@ val create_context :
   ?retry:Ftn_fault.Fault.retry_policy ->
   Ftn_hlsim.Bitstream.t ->
   context
-(** [engine] selects the interpreter engine for kernels and host modules
+(** The timing model is read from the bitstream's [model] field — there
+    is no device parameter and no U280 fallback. [engine] selects the
+    interpreter engine for kernels and host modules
     run against this context; defaults to
     [Ftn_interp.Interp.default_engine ()]. [diag] receives recovery
     warnings and runtime errors (defaults to the shared engine); [faults]
@@ -106,7 +107,6 @@ val device_handler : context -> Ftn_interp.Interp.handler
     cross-space memref.dma_start. *)
 
 val run :
-  ?spec:Ftn_hlsim.Fpga_spec.t ->
   ?echo:bool ->
   ?entry:string ->
   ?args:Ftn_interp.Rtval.t list ->

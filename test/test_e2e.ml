@@ -247,4 +247,69 @@ let e2e_tests =
           (fpga < cpu /. 1.7 && fpga > cpu /. 3.0));
   ]
 
-let () = Alcotest.run "e2e" [ ("pipeline", e2e_tests) ]
+
+(* --- the ftnc driver's backend selection, end to end --- *)
+
+let cli_capture cmd =
+  let out_file = Filename.temp_file "ftnc" ".out" in
+  let err_file = Filename.temp_file "ftnc" ".err" in
+  let code =
+    Sys.command
+      (Fmt.str "%s > %s 2> %s" cmd (Filename.quote out_file)
+         (Filename.quote err_file))
+  in
+  let slurp path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove path;
+    s
+  in
+  (code, slurp out_file, slurp err_file)
+
+let with_saxpy_file f =
+  let src_file = Filename.temp_file "saxpy" ".f90" in
+  let oc = open_out src_file in
+  output_string oc (Ftn_linpack.Fortran_sources.saxpy ~n:32);
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove src_file) (fun () -> f src_file)
+
+let backend_cli_tests =
+  [
+    tc "--list-backends prints the registry" (fun () ->
+        let code, out, _ = cli_capture "../bin/ftnc.exe --list-backends" in
+        check Alcotest.int "exit 0" 0 code;
+        check Alcotest.bool "vitis listed" true (contains out "vitis");
+        check Alcotest.bool "rv listed" true (contains out "rv");
+        check Alcotest.bool "device column" true (contains out "Alveo U280");
+        check Alcotest.bool "capability column" true (contains out "dse"));
+    tc "unknown --backend errors with a did-you-mean note" (fun () ->
+        with_saxpy_file (fun src ->
+            let code, _, err =
+              cli_capture
+                (Fmt.str "../bin/ftnc.exe run %s --backend vitsi"
+                   (Filename.quote src))
+            in
+            check Alcotest.int "exit 1" 1 code;
+            check Alcotest.bool "named" true
+              (contains err "unknown backend 'vitsi'");
+            check Alcotest.bool "did-you-mean" true
+              (contains err "did you mean 'vitis'?");
+            check Alcotest.bool "no backtrace" false (contains err "Raised at")));
+    tc "both backends produce the same program output via the CLI" (fun () ->
+        with_saxpy_file (fun src ->
+            let run b =
+              cli_capture
+                (Fmt.str "../bin/ftnc.exe run %s --backend %s"
+                   (Filename.quote src) b)
+            in
+            let vc, vout, _ = run "vitis" in
+            let rc, rout, _ = run "rv" in
+            check Alcotest.int "vitis exit 0" 0 vc;
+            check Alcotest.int "rv exit 0" 0 rc;
+            check Alcotest.string "identical output" vout rout));
+  ]
+
+let () =
+  Alcotest.run "e2e"
+    [ ("pipeline", e2e_tests); ("backend-cli", backend_cli_tests) ]

@@ -330,7 +330,7 @@ let api_ctx ?faults ?diag () =
       ~xclbin_name:"fault.xclbin"
       (Ftn_linpack.Hls_baselines.saxpy_device ~n:16)
   in
-  Executor.create_context ~spec ?faults ?diag bitstream
+  Executor.create_context ?faults ?diag bitstream
 
 let api_tests =
   [

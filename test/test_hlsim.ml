@@ -211,7 +211,7 @@ let dse_tests =
     match art.Core.Compiler.device_hls with
     | Some d ->
       let ks = Schedule.analyse_kernel spec (kernel_of_module d) in
-      Option.get (Dse.explore_kernel ks)
+      Option.get (Dse.explore_kernel ~spec ks)
     | None -> Alcotest.fail "no device module"
   in
   [
@@ -252,12 +252,12 @@ let dse_tests =
           | Some d -> Schedule.analyse_kernel spec (kernel_of_module d)
           | None -> Alcotest.fail "no device"
         in
-        let r = Option.get (Dse.explore_kernel ~lut_budget:9_500 ks) in
+        let r = Option.get (Dse.explore_kernel ~spec ~lut_budget:9_500 ks) in
         (match r.Dse.best with
         | Some b ->
           check Alcotest.bool "within budget" true (b.Dse.kernel_luts <= 9_500)
         | None -> Alcotest.fail "expected a feasible point");
-        let r2 = Option.get (Dse.explore_kernel ~lut_budget:1 ks) in
+        let r2 = Option.get (Dse.explore_kernel ~spec ~lut_budget:1 ks) in
         check Alcotest.bool "infeasible budget" true (r2.Dse.best = None));
     tc "non-pipelined kernels yield no exploration" (fun () ->
         let b = Ftn_ir.Builder.create () in
@@ -267,14 +267,14 @@ let dse_tests =
         in
         ignore b;
         let ks = Schedule.analyse_kernel spec fn in
-        check Alcotest.bool "none" true (Dse.explore_kernel ks = None));
+        check Alcotest.bool "none" true (Dse.explore_kernel ~spec ks = None));
   ]
 
 let synth_tests =
   [
     tc "synthesis packages kernels into a bitstream" (fun () ->
         let bs =
-          Synth.synthesise ~xclbin_name:"t.xclbin"
+          Synth.synthesise ~spec ~xclbin_name:"t.xclbin"
             (Ftn_linpack.Hls_baselines.saxpy_device ~n:100)
         in
         check Alcotest.string "name" "t.xclbin" bs.Bitstream.xclbin_name;
@@ -289,12 +289,12 @@ let synth_tests =
           (Bitstream.find_kernel bs "nope" = None));
     tc "empty device module is a synthesis error" (fun () ->
         try
-          ignore (Synth.synthesise (Op.module_op []));
+          ignore (Synth.synthesise ~spec (Op.module_op []));
           Alcotest.fail "expected error"
         with Synth.Synthesis_error _ -> ());
     tc "frontend choice is recorded" (fun () ->
         let bs =
-          Synth.synthesise ~frontend:Resources.Clang_hls
+          Synth.synthesise ~spec ~frontend:Resources.Clang_hls
             (Ftn_linpack.Hls_baselines.sgesl_device ~n:64)
         in
         check Alcotest.bool "clang" true (bs.Bitstream.frontend = Resources.Clang_hls));
@@ -345,12 +345,12 @@ let io_tests =
   [
     tc "save/load round-trips a bitstream" (fun () ->
         let bs =
-          Synth.synthesise ~frontend:Resources.Clang_hls
+          Synth.synthesise ~spec ~frontend:Resources.Clang_hls
             ~xclbin_name:"rt.xclbin"
             (Ftn_linpack.Hls_baselines.sgesl_device ~n:64)
         in
         let text = Bitstream_io.save bs in
-        let bs' = Bitstream_io.load text in
+        let bs' = Bitstream_io.load ~spec text in
         check Alcotest.string "name" bs.Bitstream.xclbin_name
           bs'.Bitstream.xclbin_name;
         check Alcotest.bool "frontend" true
@@ -366,7 +366,7 @@ let io_tests =
           Core.Compiler.compile (Ftn_linpack.Fortran_sources.saxpy ~n:32)
         in
         let bs = Core.Compiler.synthesise art in
-        let bs' = Bitstream_io.load (Bitstream_io.save bs) in
+        let bs' = Bitstream_io.load ~spec (Bitstream_io.save bs) in
         let run host bitstream =
           Ftn_runtime.Executor.run ~host ~bitstream ()
         in
@@ -379,15 +379,16 @@ let io_tests =
           b.Ftn_runtime.Executor.output);
     tc "bad magic is rejected" (fun () ->
         try
-          ignore (Bitstream_io.load "not an xclbin");
+          ignore (Bitstream_io.load ~spec "not an xclbin");
           Alcotest.fail "expected Format_error"
         with Bitstream_io.Format_error _ -> ());
     tc "corrupt IR is rejected" (fun () ->
         let text =
-          Bitstream_io.magic ^ "\nname: x\nfrontend: mlir\n=== MODULE ===\n\"oops"
+          Bitstream_io.magic
+          ^ "\nbackend: vitis\nname: x\nfrontend: mlir\n=== MODULE ===\n\"oops"
         in
         try
-          ignore (Bitstream_io.load text);
+          ignore (Bitstream_io.load ~spec text);
           Alcotest.fail "expected Format_error"
         with Bitstream_io.Format_error _ -> ());
   ]

@@ -587,6 +587,73 @@ let engines_differential =
       in
       run `Tree = run `Compiled)
 
+
+(* --- cross-backend differential property --- *)
+
+(* Random arith/scf programs: an offloaded loop whose body is a random
+   expression over x(i), y(i), a scalar coefficient and the index,
+   conditionally guarded so scf.if paths are exercised too. Both
+   backends interpret the same device IR, so results AND interpreter
+   step counts must match exactly; only the priced simulated time is
+   allowed to differ. *)
+let backend_program_gen =
+  let open QCheck.Gen in
+  let* n = int_range 2 48 in
+  let* coeff = float_bound_inclusive 4.0 in
+  let* shape = int_range 0 3 in
+  let* simdlen = oneofl [ 1; 4; 8 ] in
+  return (n, coeff, shape, simdlen)
+
+let backend_program_src (n, coeff, shape, simdlen) =
+  let body =
+    match shape with
+    | 0 -> "y(i) = y(i) + a * x(i)"
+    | 1 -> "y(i) = a * x(i) - y(i) * 0.5"
+    | 2 -> "if (x(i) > 2.0) then\ny(i) = y(i) + a\nelse\ny(i) = y(i) - x(i)\nend if"
+    | _ -> "y(i) = x(i) * x(i) + a * real(i)"
+  in
+  let pragma =
+    if simdlen > 1 then
+      Printf.sprintf "!$omp target parallel do simd simdlen(%d) map(to:x) map(tofrom:y)" simdlen
+    else "!$omp target parallel do map(to:x) map(tofrom:y)"
+  in
+  let close =
+    if simdlen > 1 then "!$omp end target parallel do simd"
+    else "!$omp end target parallel do"
+  in
+  Printf.sprintf
+    "program p\nreal :: x(%d), y(%d)\nreal :: a\ninteger :: i\na = %f\ndo i = 1, %d\nx(i) = real(i) * 0.5\ny(i) = real(%d - i) * 0.25\nend do\n%s\ndo i = 1, %d\n%s\nend do\n%s\nprint *, y(1), y(%d)\nend program"
+    n n coeff n n pragma n body close n
+
+let backends_differential =
+  QCheck.Test.make ~count:15
+    ~name:"vitis and rv backends agree on results and step counts"
+    (QCheck.make backend_program_gen ~print:(fun g -> backend_program_src g))
+    (fun g ->
+      let src = backend_program_src g in
+      let run_backend name =
+        let backend = Option.get (Ftn_backend.Backend_registry.find name) in
+        let options =
+          {
+            Core.Options.default with
+            Core.Options.backend;
+            xclbin_name = Ftn_backend.Backend.default_binary backend;
+          }
+        in
+        let before = Ftn_obs.Metrics.counter_value "interp.steps" in
+        let art = Core.Compiler.compile ~options src in
+        let bs = Core.Compiler.synthesise ~options art in
+        let r =
+          Ftn_runtime.Executor.run ~host:art.Core.Compiler.host ~bitstream:bs ()
+        in
+        let steps = Ftn_obs.Metrics.counter_value "interp.steps" - before in
+        ( r.Ftn_runtime.Executor.output,
+          r.Ftn_runtime.Executor.kernel_launches,
+          r.Ftn_runtime.Executor.bytes_transferred,
+          steps )
+      in
+      run_backend "vitis" = run_backend "rv")
+
 (* --- fault-injection differential properties --- *)
 
 module Fault = Ftn_fault.Fault
@@ -725,6 +792,7 @@ let () =
             nonconvergence_reported;
             over_release_reported;
             engines_differential;
+            backends_differential;
             transient_faults_transparent;
             persistent_kernel_degrades;
           ] );

@@ -104,7 +104,7 @@ let executor_tests =
             ~xclbin_name:"crosscheck.xclbin"
             (Ftn_linpack.Hls_baselines.saxpy_device ~n)
         in
-        let ctx = Executor.create_context ~spec bitstream in
+        let ctx = Executor.create_context bitstream in
         let x, y = Ftn_linpack.References.saxpy_inputs ~n in
         let hx = Rtval.of_float_array Ftn_ir.Types.F32 x in
         let hy = Rtval.of_float_array Ftn_ir.Types.F32 y in
@@ -184,7 +184,8 @@ let executor_tests =
         let art = Core.Compiler.compile (Ftn_linpack.Fortran_sources.saxpy ~n:8) in
         (* synthesise a bitstream for a DIFFERENT kernel *)
         let wrong_bs =
-          Synth.synthesise (Ftn_linpack.Hls_baselines.saxpy_device ~n:8)
+          Synth.synthesise ~spec:Fpga_spec.u280
+            (Ftn_linpack.Hls_baselines.saxpy_device ~n:8)
         in
         try
           ignore

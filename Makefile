@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench bench-rewrite bench-interp bench-fault bench-profile bench-backend clean
+.PHONY: all build test check bench bench-rewrite bench-interp bench-fault bench-profile bench-backend bench-sched clean
 
 all: build
 
@@ -22,6 +22,7 @@ check: ## build everything, run the full test suite, every example, and the rewr
 	$(MAKE) bench-fault
 	$(MAKE) bench-profile
 	$(MAKE) bench-backend
+	$(MAKE) bench-sched
 
 bench:
 	dune exec bench/main.exe
@@ -40,6 +41,9 @@ bench-profile: ## profiling on vs off; fails unless output is byte-identical, ov
 
 bench-backend: ## vitis vs rv differential; fails unless all four programs produce byte-identical output on every backend
 	dune exec bench/main.exe -- --backends --quick
+
+bench-sched: ## 1000-job queue on 1 vs 4 devices; fails unless zero drops, byte-identical output and >= 2x makespan speedup, plus drain/fallback fault runs
+	dune exec bench/main.exe -- --sched --quick
 
 clean:
 	dune clean

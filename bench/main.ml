@@ -33,6 +33,10 @@ let backend_only = Array.exists (String.equal "--backends") Sys.argv
    which doubles as the `make bench-profile` sanity gate. *)
 let profile_only = Array.exists (String.equal "--profile") Sys.argv
 
+(* --sched runs only the multi-device scheduler gate (BENCH_sched.json),
+   which doubles as the `make bench-sched` sanity gate. *)
+let sched_only = Array.exists (String.equal "--sched") Sys.argv
+
 let progress fmt = Fmt.epr (fmt ^^ "@.")
 
 let saxpy_sizes =
@@ -1005,6 +1009,204 @@ let fault_report () =
     exit 1
   end
 
+(* --- BENCH_sched.json: multi-device scheduler gate. Compiles a small
+   SAXPY/SGESL mix once, then pushes 1000 concurrent jobs (4 tenants,
+   sparse cross-tenant dependencies) through the job queue on 1 and on 4
+   simulated devices, reporting throughput and p50/p99 tail latency. The
+   run exits nonzero unless no job is dropped, the 4-device output is
+   byte-identical to the 1-device baseline, total kernel/transfer
+   sim-time matches across device counts (only queue wait and overhead
+   may differ) and 4 devices beat 1 on makespan. Two fault runs gate the
+   drain story: with device 1 persistently faulted all jobs must still
+   complete by draining to healthy peers, and on a single faulted device
+   by CPU fallback — both with unchanged output. *)
+
+let sched_report () =
+  header "Multi-device scheduler (BENCH_sched.json)";
+  let n_jobs = 1000 in
+  let n_fault_jobs = if quick then 120 else 240 in
+  let variants =
+    [|
+      ("saxpy64", Ftn_linpack.Fortran_sources.saxpy ~n:64);
+      ("saxpy100", Ftn_linpack.Fortran_sources.saxpy ~n:100);
+      ("sgesl12", Ftn_linpack.Fortran_sources.sgesl ~n:12);
+      ("sgesl20", Ftn_linpack.Fortran_sources.sgesl ~n:20);
+    |]
+  in
+  progress "  compiling %d job variants ..." (Array.length variants);
+  let compiled =
+    Array.map
+      (fun (name, src) ->
+        let art = Core.Compiler.compile src in
+        let bs = Core.Compiler.synthesise art in
+        (name, art.Core.Compiler.host, bs))
+      variants
+  in
+  let persistent_plan =
+    match Fault.parse_plan "launch:nth=1:persistent" with
+    | Ok p -> p
+    | Error msg -> Fmt.failwith "bad persistent plan: %s" msg
+  in
+  (* A fresh spec list per queue run: job i runs variant i mod 4 under
+     tenant t(i mod 4); every 7th job depends on the job 7 before it, so
+     the DAG has cross-tenant edges without ever deadlocking. *)
+  let specs n =
+    List.init n (fun i ->
+        let _vname, host, bs = compiled.(i mod Array.length compiled) in
+        let deps =
+          if i mod 7 = 0 && i >= 7 then [ Fmt.str "j%04d" (i - 7) ] else []
+        in
+        Jobs.job
+          ~tenant:(Fmt.str "t%d" (i mod 4))
+          ~deps
+          ~name:(Fmt.str "j%04d" i)
+          (fun ?faults ~sched ~device ~start_s () ->
+            Executor.run ?faults ~sched ~device ~start_s ~host
+              ~bitstream:bs ()))
+  in
+  let run_queue ?fault_device ~devices n =
+    let config =
+      {
+        Jobs.devices;
+        queue_depth = 8;
+        fault_device =
+          Option.map (fun d -> (d, persistent_plan)) fault_device;
+      }
+    in
+    Jobs.run ~config (specs n)
+  in
+  progress "  %d jobs on 1 device ..." n_jobs;
+  let s1 = run_queue ~devices:1 n_jobs in
+  progress "  %d jobs on 4 devices ..." n_jobs;
+  let s4 = run_queue ~devices:4 n_jobs in
+  progress "  %d jobs, clean fault baseline ..." n_fault_jobs;
+  let sfb = run_queue ~devices:1 n_fault_jobs in
+  progress "  %d jobs on 4 devices, device 1 persistently faulted ..."
+    n_fault_jobs;
+  let sdrain = run_queue ~devices:4 ~fault_device:1 n_fault_jobs in
+  progress "  %d jobs on 1 faulted device (cpu fallback) ..." n_fault_jobs;
+  let scpu = run_queue ~devices:1 ~fault_device:0 n_fault_jobs in
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
+  let close a b =
+    Float.abs (a -. b)
+    <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+  in
+  if s1.Jobs.jobs_dropped <> 0 || s4.Jobs.jobs_dropped <> 0 then
+    fail "jobs were dropped (%d on 1 device, %d on 4)" s1.Jobs.jobs_dropped
+      s4.Jobs.jobs_dropped;
+  if s1.Jobs.jobs_run <> n_jobs || s4.Jobs.jobs_run <> n_jobs then
+    fail "not all %d jobs completed (%d on 1 device, %d on 4)" n_jobs
+      s1.Jobs.jobs_run s4.Jobs.jobs_run;
+  if not (String.equal s1.Jobs.output s4.Jobs.output) then
+    fail "4-device output differs from the 1-device baseline";
+  if not (close s1.Jobs.total_kernel_s s4.Jobs.total_kernel_s) then
+    fail "total kernel sim-time differs across device counts (%.9f vs %.9f)"
+      s1.Jobs.total_kernel_s s4.Jobs.total_kernel_s;
+  if not (close s1.Jobs.total_transfer_s s4.Jobs.total_transfer_s) then
+    fail "total transfer sim-time differs across device counts (%.9f vs %.9f)"
+      s1.Jobs.total_transfer_s s4.Jobs.total_transfer_s;
+  let speedup =
+    if s4.Jobs.elapsed_s > 0.0 then s1.Jobs.elapsed_s /. s4.Jobs.elapsed_s
+    else 0.0
+  in
+  if speedup < 2.0 then
+    fail "4 devices only %.2fx faster than 1 on makespan (< 2x)" speedup;
+  if sdrain.Jobs.jobs_run <> n_fault_jobs || sdrain.Jobs.jobs_dropped <> 0
+  then
+    fail "faulted-device run lost jobs (%d run, %d dropped)"
+      sdrain.Jobs.jobs_run sdrain.Jobs.jobs_dropped;
+  if sdrain.Jobs.drained_jobs < 1 then
+    fail "faulted-device run never drained to a peer";
+  if
+    not
+      (List.exists
+         (fun ds -> ds.Scheduler.ds_failed)
+         (Scheduler.snapshot sdrain.Jobs.scheduler))
+  then fail "no device was marked failed in the drain run";
+  if not (String.equal sfb.Jobs.output sdrain.Jobs.output) then
+    fail "drain run changed the output";
+  if scpu.Jobs.jobs_run <> n_fault_jobs || scpu.Jobs.jobs_dropped <> 0 then
+    fail "single-faulted-device run lost jobs (%d run, %d dropped)"
+      scpu.Jobs.jobs_run scpu.Jobs.jobs_dropped;
+  if scpu.Jobs.degraded_jobs < 1 then
+    fail "single-faulted-device run never fell back to the CPU";
+  if not (String.equal sfb.Jobs.output scpu.Jobs.output) then
+    fail "cpu-fallback run changed the output";
+  let line name (s : Jobs.stats) =
+    Fmt.pr
+      "  %-22s %5d jobs  makespan %9.3f ms  %9.0f jobs/s  p50 %8.3f us  \
+       p99 %8.3f us  drained %d  degraded %d@."
+      name s.Jobs.jobs_run
+      (s.Jobs.elapsed_s *. 1e3)
+      s.Jobs.throughput_jps
+      (s.Jobs.p50_latency_s *. 1e6)
+      (s.Jobs.p99_latency_s *. 1e6)
+      s.Jobs.drained_jobs s.Jobs.degraded_jobs
+  in
+  line "1 device" s1;
+  line "4 devices" s4;
+  line "4 devices, dev1 bad" sdrain;
+  line "1 device, dev0 bad" scpu;
+  Fmt.pr "  makespan speedup 4/1: %.2fx; outputs byte-identical@." speedup;
+  let stats_json (s : Jobs.stats) =
+    Ftn_obs.Json.Obj
+      [
+        ("jobs_run", Ftn_obs.Json.Int s.Jobs.jobs_run);
+        ("jobs_dropped", Ftn_obs.Json.Int s.Jobs.jobs_dropped);
+        ("elapsed_s", Ftn_obs.Json.Float s.Jobs.elapsed_s);
+        ("throughput_jobs_per_s", Ftn_obs.Json.Float s.Jobs.throughput_jps);
+        ("p50_latency_s", Ftn_obs.Json.Float s.Jobs.p50_latency_s);
+        ("p99_latency_s", Ftn_obs.Json.Float s.Jobs.p99_latency_s);
+        ("total_kernel_s", Ftn_obs.Json.Float s.Jobs.total_kernel_s);
+        ("total_transfer_s", Ftn_obs.Json.Float s.Jobs.total_transfer_s);
+        ("degraded_jobs", Ftn_obs.Json.Int s.Jobs.degraded_jobs);
+        ("drained_jobs", Ftn_obs.Json.Int s.Jobs.drained_jobs);
+        ( "devices",
+          Ftn_obs.Json.List
+            (List.map
+               (fun ds ->
+                 Ftn_obs.Json.Obj
+                   [
+                     ("id", Ftn_obs.Json.Int ds.Scheduler.ds_id);
+                     ("jobs", Ftn_obs.Json.Int ds.Scheduler.ds_jobs);
+                     ("launches", Ftn_obs.Json.Int ds.Scheduler.ds_launches);
+                     ("busy_s", Ftn_obs.Json.Float ds.Scheduler.ds_busy_s);
+                     ( "makespan_s",
+                       Ftn_obs.Json.Float ds.Scheduler.ds_makespan_s );
+                     ("failed", Ftn_obs.Json.Bool ds.Scheduler.ds_failed);
+                     ("degraded", Ftn_obs.Json.Bool ds.Scheduler.ds_degraded);
+                   ])
+               (Scheduler.snapshot s.Jobs.scheduler)) );
+      ]
+  in
+  let j =
+    Ftn_obs.Json.Obj
+      [
+        ("jobs", Ftn_obs.Json.Int n_jobs);
+        ("fault_jobs", Ftn_obs.Json.Int n_fault_jobs);
+        ("tenants", Ftn_obs.Json.Int 4);
+        ("queue_depth", Ftn_obs.Json.Int 8);
+        ( "fault_plan",
+          Ftn_obs.Json.String (Fault.plan_to_string persistent_plan) );
+        ("makespan_speedup_4v1", Ftn_obs.Json.Float speedup);
+        ( "outputs_identical",
+          Ftn_obs.Json.Bool (String.equal s1.Jobs.output s4.Jobs.output) );
+        ("devices1", stats_json s1);
+        ("devices4", stats_json s4);
+        ("devices4_fault_device1", stats_json sdrain);
+        ("devices1_fault_device0", stats_json scpu);
+      ]
+  in
+  Ftn_obs.Json.write_file "BENCH_sched.json" j;
+  Fmt.pr "  wrote BENCH_sched.json@.";
+  if !failures <> [] then begin
+    List.iter
+      (fun s -> Fmt.epr "sched bench FAILED: %s@." s)
+      (List.rev !failures);
+    exit 1
+  end
+
 (* --- BENCH_profile.json: profiling-overhead gate. Compiles and
    synthesises SGESL and the stencil once (with profiling on, so the
    compiler's own pattern/pass profile is populated), then executes each
@@ -1352,6 +1554,11 @@ let () =
     Fmt.pr "@.done.@.";
     exit 0
   end;
+  if sched_only then begin
+    sched_report ();
+    Fmt.pr "@.done.@.";
+    exit 0
+  end;
   figure1 ();
   figure2 ();
   table1 ();
@@ -1371,5 +1578,6 @@ let () =
   interp_report ();
   fault_report ();
   backend_report ();
+  sched_report ();
   if not skip_bechamel then run_bechamel ();
   Fmt.pr "@.done.@."

@@ -357,6 +357,56 @@ let fault_term =
   in
   Term.(const make $ plan_arg $ seed_arg $ retries_arg)
 
+(* --- scheduler options for the run command --- *)
+
+let sched_term =
+  let devices_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "devices" ] ~docv:"N"
+          ~doc:
+            "Simulate $(docv) accelerator devices behind one scheduler \
+             (default 1). Job placement is least-loaded-first; output is \
+             byte-identical whatever the device count.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"K"
+          ~doc:
+            "Submit $(docv) concurrent copies of the program through the \
+             job queue (default 1 = plain single run), spread round-robin \
+             over 4 tenants; prints queue throughput and p50/p99 latency \
+             with $(b,--report).")
+  in
+  let fault_device_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-device" ] ~docv:"D"
+          ~doc:
+            "Apply $(b,--fault-plan) only to jobs placed on device \
+             $(docv), modelling one persistently bad board; with multiple \
+             devices its queue drains to healthy peers.")
+  in
+  let make devices jobs fault_device =
+    if devices < 1 then begin
+      Fmt.epr "error: --devices must be at least 1@.";
+      exit 1
+    end;
+    if jobs < 1 then begin
+      Fmt.epr "error: --jobs must be at least 1@.";
+      exit 1
+    end;
+    (match fault_device with
+    | Some d when d < 0 || d >= devices ->
+      Fmt.epr "error: --fault-device %d is outside 0..%d@." d (devices - 1);
+      exit 1
+    | _ -> ());
+    (devices, jobs, fault_device)
+  in
+  Term.(const make $ devices_arg $ jobs_arg $ fault_device_arg)
+
 (* --- commands --- *)
 
 let compile_cmd =
@@ -439,11 +489,13 @@ let synth_cmd =
     Term.(const run $ source_arg $ output_arg $ backend_term $ obs_term)
 
 let run_term =
-  let run source report trace cpu xclbin backend (fault_plan, retry) obs =
+  let run source report trace cpu xclbin backend (fault_plan, retry)
+      (devices, jobs, fault_device) obs =
     handle_errors (fun () ->
         with_obs obs @@ fun () ->
         let options =
-          { (options_for backend) with Core.Options.fault_plan; retry }
+          { (options_for backend) with
+            Core.Options.fault_plan; retry; devices; jobs }
         in
         let src = read_source source in
         if cpu then begin
@@ -453,6 +505,18 @@ let run_term =
           in
           print_string out;
           Fmt.pr "(cpu mode, %d interpreter steps)@." steps
+        end
+        else if jobs > 1 then begin
+          if xclbin <> None then begin
+            Fmt.epr "error: --jobs cannot be combined with --xclbin@.";
+            exit 1
+          end;
+          let _artifacts, _bitstream, stats =
+            Core.Run.run_jobs ~options ~file:source
+              ~engine:Ftn_diag.Diag_engine.default ?fault_device src
+          in
+          print_string stats.Ftn_runtime.Jobs.output;
+          if report then print_string (Core.Report.sched_summary stats)
         end
         else begin
           let r =
@@ -494,7 +558,7 @@ let run_term =
   in
   Term.(
     const run $ source_arg $ report_arg $ trace_arg $ cpu_arg $ xclbin_arg
-    $ backend_term $ fault_term $ obs_term)
+    $ backend_term $ fault_term $ sched_term $ obs_term)
 
 let run_cmd =
   Cmd.v

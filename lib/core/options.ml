@@ -15,6 +15,11 @@ type t = {
       (** Deterministic fault-injection plan for the device runtime. *)
   retry : Ftn_fault.Fault.retry_policy;
       (** Recovery policy (retry budget, backoff, watchdog, fallback cost). *)
+  devices : int;
+      (** Simulated devices the runtime scheduler manages (>= 1). *)
+  jobs : int;
+      (** Concurrent copies of the program submitted through the job
+          queue; 1 means a plain single run. *)
 }
 
 let default =
@@ -27,4 +32,6 @@ let default =
     xclbin_name = "kernel.xclbin";
     fault_plan = None;
     retry = Ftn_fault.Fault.default_retry;
+    devices = 1;
+    jobs = 1;
   }

@@ -16,6 +16,11 @@ type t = {
           [None] disables injection. *)
   retry : Ftn_fault.Fault.retry_policy;
       (** Recovery policy (retry budget, backoff, watchdog, fallback cost). *)
+  devices : int;
+      (** Simulated devices the runtime scheduler manages (>= 1). *)
+  jobs : int;
+      (** Concurrent copies of the program submitted through the job
+          queue; 1 means a plain single run. *)
 }
 
 val default : t

@@ -39,6 +39,17 @@ let pp_exec fmt (r : Executor.result) =
       (r.Executor.fallback_time_s *. 1e3)
       (if r.Executor.degraded then " — run degraded" else "")
 
+(* --- scheduler report (ftnc --jobs) --- *)
+
+let pp_sched fmt (stats : Jobs.stats) =
+  Fmt.pf fmt "== scheduler ==@.%a@." Jobs.pp_stats stats;
+  Fmt.pf fmt "devices:@.";
+  List.iter
+    (fun ds -> Fmt.pf fmt "  %a@." Scheduler.pp_device_snapshot ds)
+    (Scheduler.snapshot stats.Jobs.scheduler)
+
+let sched_summary stats = Fmt.str "%a" pp_sched stats
+
 (* --- profiling report (ftnc --profile) --- *)
 
 let quantile_us name q =

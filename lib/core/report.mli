@@ -8,6 +8,12 @@ val pp_run : Format.formatter -> Run.t -> unit
 val summary : Run.t -> string
 (** Bitstream, timing breakdown and program output as one string. *)
 
+val pp_sched : Format.formatter -> Ftn_runtime.Jobs.stats -> unit
+(** The [--jobs] report: queue statistics (throughput, p50/p99 latency,
+    drops, drains) plus one line per simulated device. *)
+
+val sched_summary : Ftn_runtime.Jobs.stats -> string
+
 val pp_profile : Format.formatter -> Run.t -> unit
 (** The [--profile] report: top hot ops (interpreter dispatch counts),
     hottest rewrite patterns by attributed time, per-pass wall/alloc

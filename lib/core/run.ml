@@ -13,12 +13,60 @@ type t = {
 let run ?(options = Options.default) ?(echo = false) ?file ?engine source =
   let artifacts = Compiler.compile ~options ?file ?engine source in
   let bitstream = Compiler.synthesise ~options artifacts in
+  let sched =
+    if options.Options.devices > 1 then
+      Some (Scheduler.create ~devices:options.Options.devices ())
+    else None
+  in
   let exec =
     Executor.run ~echo ?diag:engine
       ?faults:options.Options.fault_plan ~retry:options.Options.retry
-      ~host:artifacts.Compiler.host ~bitstream ()
+      ?sched ~host:artifacts.Compiler.host ~bitstream ()
   in
   { artifacts; bitstream; exec }
+
+(* Submit [options.jobs] copies of the program through the job queue,
+   spread round-robin over [tenants], on [options.devices] simulated
+   devices. Compiles and synthesises once; every job interprets the same
+   host module against the shared bitstream on its assigned device.
+   [fault_device] pairs the options' fault plan with one device id,
+   modelling a persistently bad board whose queue drains to peers; with
+   no [fault_device] the plan (if any) applies to every job. *)
+let run_jobs ?(options = Options.default) ?(echo = false) ?file ?engine
+    ?fault_device ?(queue_depth = 8)
+    ?(tenants = [ "t0"; "t1"; "t2"; "t3" ]) source =
+  let artifacts = Compiler.compile ~options ?file ?engine source in
+  let bitstream = Compiler.synthesise ~options artifacts in
+  let tenant_arr = Array.of_list tenants in
+  let n_tenants = max 1 (Array.length tenant_arr) in
+  let specs =
+    List.init (max 1 options.Options.jobs) (fun i ->
+        Jobs.job
+          ~tenant:tenant_arr.(i mod n_tenants)
+          ~name:(Fmt.str "job%05d" i)
+          (fun ?faults ~sched ~device ~start_s () ->
+            let faults =
+              match faults with
+              | Some _ as f -> f
+              | None ->
+                if fault_device = None then options.Options.fault_plan
+                else None
+            in
+            Executor.run ~echo ?diag:engine ?faults
+              ~retry:options.Options.retry ~sched ~device ~start_s
+              ~host:artifacts.Compiler.host ~bitstream ()))
+  in
+  let config =
+    {
+      Jobs.devices = max 1 options.Options.devices;
+      queue_depth;
+      fault_device =
+        (match (fault_device, options.Options.fault_plan) with
+        | Some d, Some p -> Some (d, p)
+        | _ -> None);
+    }
+  in
+  (artifacts, bitstream, Jobs.run ~config specs)
 
 (* CPU reference execution: sequential OpenMP semantics, no device. *)
 let run_cpu ?(echo = false) ?file ?engine source =

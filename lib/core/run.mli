@@ -15,6 +15,23 @@ val run :
   string ->
   t
 
+val run_jobs :
+  ?options:Options.t ->
+  ?echo:bool ->
+  ?file:string ->
+  ?engine:Ftn_diag.Diag_engine.t ->
+  ?fault_device:int ->
+  ?queue_depth:int ->
+  ?tenants:string list ->
+  string ->
+  Compiler.artifacts * Ftn_hlsim.Bitstream.t * Ftn_runtime.Jobs.stats
+(** Submit [options.jobs] copies of the program through the job queue on
+    [options.devices] simulated devices, round-robin over [tenants]
+    (default 4). Compiles and synthesises once. [fault_device] pairs the
+    options' fault plan with one device id (a persistently bad board
+    whose queue drains to peers); without it the plan applies to every
+    job. *)
+
 val run_cpu :
   ?echo:bool ->
   ?file:string ->

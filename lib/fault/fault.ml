@@ -142,6 +142,10 @@ type retry_policy = {
   cpu_step_s : float;
       (** Simulated host seconds per interpreter step, costing the CPU
           fallback path of a permanently failing kernel. *)
+  drain : bool;
+      (** When a kernel faults persistently and a healthy peer device
+          exists, migrate the work there (charging the re-staging
+          transfer) instead of degrading to the host CPU. *)
 }
 
 let default_retry =
@@ -151,6 +155,7 @@ let default_retry =
     backoff_factor = 2.0;
     timeout_s = 1e-3;
     cpu_step_s = 2e-9;
+    drain = true;
   }
 
 let backoff_s p ~attempt =

@@ -90,6 +90,11 @@ type retry_policy = {
   cpu_step_s : float;
       (** Simulated host seconds per interpreter step, costing the CPU
           fallback of a permanently failing kernel. *)
+  drain : bool;
+      (** When a kernel faults persistently and a healthy peer device
+          exists, migrate the work there (charging the re-staging
+          transfer to simulated time) instead of degrading to the host
+          CPU. Single-device runs are unaffected. *)
 }
 
 val flight_note : ?limit:int -> unit -> string
@@ -101,7 +106,8 @@ val flight_note : ?limit:int -> unit -> string
 
 val default_retry : retry_policy
 (** 4 attempts, 10 us base backoff doubling per retry, 1 ms kernel
-    watchdog, 2 ns per interpreter step on the fallback path. *)
+    watchdog, 2 ns per interpreter step on the fallback path, peer
+    drain enabled. *)
 
 val backoff_s : retry_policy -> attempt:int -> float
 (** Simulated backoff charged after failed attempt [attempt] (1-based):

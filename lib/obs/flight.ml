@@ -19,6 +19,7 @@ type entry = {
   msg : string;
   time_s : float;  (* simulated-timeline position, when known *)
   loc : string;  (* pre-rendered source location, "" if unknown *)
+  device : int;  (* simulated device id; -1 when not device-bound *)
 }
 
 type t = {
@@ -26,6 +27,7 @@ type t = {
   mutable msgs : string array;
   mutable times : float array;  (* unboxed float storage *)
   mutable locs : string array;
+  mutable devs : int array;
   mutable head : int;  (* next write position *)
   mutable len : int;
   mutable seq : int;
@@ -38,6 +40,7 @@ let create ?(capacity = 256) () =
     msgs = Array.make capacity "";
     times = Array.make capacity Float.nan;
     locs = Array.make capacity "";
+    devs = Array.make capacity (-1);
     head = 0;
     len = 0;
     seq = 0;
@@ -54,6 +57,7 @@ let set_capacity ?(recorder = default) n =
     recorder.msgs <- Array.make n "";
     recorder.times <- Array.make n Float.nan;
     recorder.locs <- Array.make n "";
+    recorder.devs <- Array.make n (-1);
     recorder.head <- 0;
     recorder.len <- 0
   end
@@ -66,7 +70,8 @@ let clear ?(recorder = default) () =
   recorder.len <- 0;
   recorder.seq <- 0
 
-let record ?(recorder = default) ?(time_s = Float.nan) ?(loc = "") ~cat msg =
+let record ?(recorder = default) ?(time_s = Float.nan) ?(loc = "")
+    ?(device = -1) ~cat msg =
   let r = recorder in
   r.seq <- r.seq + 1;
   let h = r.head in
@@ -74,11 +79,12 @@ let record ?(recorder = default) ?(time_s = Float.nan) ?(loc = "") ~cat msg =
   r.msgs.(h) <- msg;
   r.times.(h) <- time_s;
   r.locs.(h) <- loc;
+  r.devs.(h) <- device;
   r.head <- (if h + 1 = Array.length r.cats then 0 else h + 1);
   if r.len < Array.length r.cats then r.len <- r.len + 1
 
-let recordf ?recorder ?time_s ?loc ~cat fmt =
-  Fmt.kstr (fun msg -> record ?recorder ?time_s ?loc ~cat msg) fmt
+let recordf ?recorder ?time_s ?loc ?device ~cat fmt =
+  Fmt.kstr (fun msg -> record ?recorder ?time_s ?loc ?device ~cat msg) fmt
 
 (* Oldest first; seqs are the consecutive run ending at [r.seq]. *)
 let entries ?(recorder = default) () =
@@ -93,6 +99,7 @@ let entries ?(recorder = default) () =
         msg = r.msgs.(j);
         time_s = r.times.(j);
         loc = r.locs.(j);
+        device = r.devs.(j);
       })
 
 let length ?(recorder = default) () = recorder.len
@@ -103,6 +110,7 @@ let pp_entry fmt (e : entry) =
   Fmt.pf fmt "#%-5d %-9s" e.seq e.cat;
   if not (Float.is_nan e.time_s) then Fmt.pf fmt " %10.3f us" (e.time_s *. 1e6)
   else Fmt.pf fmt " %13s" "";
+  if e.device >= 0 then Fmt.pf fmt " d%d" e.device;
   Fmt.pf fmt "  %s" e.msg;
   if e.loc <> "" then Fmt.pf fmt "  @@ %s" e.loc
 

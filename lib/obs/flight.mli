@@ -14,6 +14,7 @@ type entry = {
   msg : string;
   time_s : float;  (** Simulated-timeline seconds; [nan] when unknown. *)
   loc : string;  (** Rendered source location; [""] when unknown. *)
+  device : int;  (** Simulated device id; [-1] when not device-bound. *)
 }
 
 type t
@@ -32,12 +33,19 @@ val set_capacity : ?recorder:t -> int -> unit
 val clear : ?recorder:t -> unit -> unit
 
 val record :
-  ?recorder:t -> ?time_s:float -> ?loc:string -> cat:string -> string -> unit
+  ?recorder:t ->
+  ?time_s:float ->
+  ?loc:string ->
+  ?device:int ->
+  cat:string ->
+  string ->
+  unit
 
 val recordf :
   ?recorder:t ->
   ?time_s:float ->
   ?loc:string ->
+  ?device:int ->
   cat:string ->
   ('a, Format.formatter, unit, unit) format4 ->
   'a

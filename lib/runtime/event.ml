@@ -1,0 +1,55 @@
+(* OpenCL-style events for the async host runtime. Every simulated
+   device operation — allocation, DMA transfer, kernel execution, launch
+   overhead, retry backoff — is an event scheduled on one engine lane of
+   one simulated device. An event knows when the host submitted it, when
+   the device picked it up (after its lane drained and its dependencies
+   finished) and when it retired; the gap between submission and pickup
+   is the operation's true queue wait.
+
+   Events are created by {!Scheduler.submit}; this module only defines
+   the data and derived measures so the scheduler, the executor and the
+   tests agree on one vocabulary. *)
+
+(* Engine lanes of a simulated device. Transfers run on duplex DMA
+   engines (h2d and d2h are independent, as on PCIe), kernels and their
+   launch overhead on the compute engine, and control-plane work
+   (allocations, retry backoff) on its own lane so it never blocks an
+   in-flight copy. *)
+type lane =
+  | Copy_in
+  | Copy_out
+  | Compute
+  | Ctrl
+
+let lane_code = function
+  | Copy_in -> "copy_in"
+  | Copy_out -> "copy_out"
+  | Compute -> "compute"
+  | Ctrl -> "ctrl"
+
+type t = {
+  ev_id : int;  (* unique within one scheduler *)
+  ev_device : int;
+  ev_lane : lane;
+  ev_track : string;  (* "kernel" | "transfer" | "overhead" | "fallback" *)
+  ev_label : string;
+  ev_submit_s : float;  (* host enqueued the operation *)
+  ev_start_s : float;  (* device picked it up *)
+  ev_finish_s : float;
+  ev_deps : int list;  (* ids of events this one waited on *)
+}
+
+let queue_wait_s ev = ev.ev_start_s -. ev.ev_submit_s
+let duration_s ev = ev.ev_finish_s -. ev.ev_start_s
+
+(* Two events overlap when their device-active intervals intersect with
+   positive measure — the witness the transfer/compute overlap tests use. *)
+let overlaps a b =
+  Float.min a.ev_finish_s b.ev_finish_s
+  -. Float.max a.ev_start_s b.ev_start_s
+  > 0.0
+
+let pp fmt ev =
+  Fmt.pf fmt "ev%d d%d %s %-10s %s [%.3f..%.3f us, submitted %.3f us]"
+    ev.ev_id ev.ev_device (lane_code ev.ev_lane) ev.ev_track ev.ev_label
+    (ev.ev_start_s *. 1e6) (ev.ev_finish_s *. 1e6) (ev.ev_submit_s *. 1e6)

@@ -5,11 +5,26 @@
    the timing model charges the simulated device timeline for transfers,
    launches, allocations and kernel cycles.
 
+   Timing is event-based and asynchronous: every charge becomes an
+   {!Event.t} scheduled on one engine lane of the context's simulated
+   device (see {!Scheduler}), so several contexts sharing a scheduler
+   queue against each other and overlap transfers with compute.
+   device.kernel_launch is a true async enqueue — it returns without
+   advancing the host's timeline cursor — and device.kernel_wait
+   genuinely blocks: the cursor jumps to the launch's completion event,
+   and waiting on an unknown, foreign or never-launched handle raises a
+   structured Invalid_host error. A single chained program on a fresh
+   scheduler sees timings bit-identical to the old synchronous model.
+
    The executor is fault-tolerant: an optional Fault.plan injects
    deterministic alloc/transfer/launch failures, which the retry machinery
    absorbs (exponential backoff charged to the simulated overhead track,
    eviction after device OOM, host-CPU fallback for kernels that fail
-   persistently). All runtime errors are the structured Fault.Error. *)
+   persistently). With multiple devices a persistently failing kernel
+   first drains to a healthy peer — the device is marked failed, the
+   kernel's buffers are re-staged at honest DMA cost and the attempt is
+   retried there — and only degrades to the CPU when no peer is left.
+   All runtime errors are the structured Fault.Error. *)
 
 open Ftn_ir
 open Ftn_interp
@@ -22,6 +37,11 @@ type kernel_handle = {
   kh_args : Rtval.t list;
 }
 
+(* Kernel handles are allocated from a process-wide counter so a handle
+   leaked from one context can never collide with one minted by another
+   — which is what lets kernel_wait distinguish "foreign" from "mine". *)
+let handle_counter = ref 0
+
 type context = {
   model : Device_model.t;
       (** Timing model carried by the bitstream: kernels are always timed
@@ -30,16 +50,31 @@ type context = {
   data : Data_env.t;
   trace : Trace.t;
   handles : (int, kernel_handle) Hashtbl.t;
-  mutable next_handle : int;
+  launched : (int, Event.t) Hashtbl.t;
+      (** Completion event of each launched kernel handle — what
+          device.kernel_wait blocks on. *)
   obs : Ftn_obs.Span.t;
       (** Span collector (the ambient one at context creation): every
           simulated charge lands here as a sim-clock span. *)
   obs_base : int;
       (** First span id belonging to this context, so timing sums ignore
           spans recorded by earlier work in the same collector. *)
-  mutable sim_now_s : float;
-      (** Position on the simulated device timeline — the running total
-          of every charge, i.e. the device time so far. *)
+  sched : Scheduler.t;
+  mutable device : Scheduler.device;
+      (** Current placement; a drain after a persistent device fault
+          migrates the context to a healthy peer. *)
+  mutable cursor_s : float;
+      (** The host program's position on the simulated timeline: where
+          the next operation is submitted. Blocking operations advance
+          it to their finish; async launches do not. *)
+  mutable charged_s : float;
+      (** Sum of every charge — the context's device time (busy time,
+          not makespan), accumulated in charge order exactly like the
+          old synchronous timeline. *)
+  mutable pending : Event.t list;
+      (** Completion events of async launches not yet waited on;
+          transfers depend on them (a DMA must not start before the
+          kernel producing or consuming its buffer retires). *)
   mutable kernel_time_s : float;
       (** Running per-track totals, updated by [charge] so timing queries
           are O(1); the span fold remains as a test cross-check. *)
@@ -61,11 +96,14 @@ type context = {
       (** [cur_loc] pre-rendered for flight-recorder entries ([""] when
           unknown) — rendered once per location change, not per event. *)
   mutable degraded : bool;
+      (** This context ran a kernel on the host CPU. Per-job, not
+          per-device: a peer's fallback never marks this context. *)
+  mutable drained : bool;
   mutable retries : int;
   mutable cpu_fallbacks : int;
   cus : Cu_stats.t;
-      (** Per-compute-unit launch/busy accounting (one CU per bitstream
-          kernel on the simulated device). *)
+      (** This context's compute-unit accounting; the owning device
+          keeps its own cross-context table in [device.dev_cus]. *)
 }
 
 type result = {
@@ -78,9 +116,12 @@ type result = {
   kernel_launches : int;
   bytes_transferred : int;
   degraded : bool;
+  drained : bool;
   retries : int;
   cpu_fallbacks : int;
   faults_injected : int;
+  device : int;
+  finish_s : float;
   trace : Trace.t;
   data : Data_env.t;
   cus : Cu_stats.snapshot list;
@@ -88,18 +129,29 @@ type result = {
 
 let create_context ?(echo = false) ?engine
     ?(diag = Ftn_diag.Diag_engine.default) ?faults
-    ?(retry = Fault.default_retry) bitstream =
+    ?(retry = Fault.default_retry) ?sched ?device ?(start_s = 0.0) bitstream =
   let obs = Ftn_obs.Span.current () in
+  let sched =
+    match sched with Some s -> s | None -> Scheduler.create ()
+  in
+  let device =
+    match device with Some d -> d | None -> Scheduler.pick_device sched
+  in
+  device.Scheduler.dev_jobs <- device.Scheduler.dev_jobs + 1;
   {
     model = bitstream.Bitstream.model;
     bitstream;
     data = Data_env.create ();
     trace = Trace.create ();
     handles = Hashtbl.create 8;
-    next_handle = 0;
+    launched = Hashtbl.create 8;
     obs;
     obs_base = Ftn_obs.Span.next_id obs;
-    sim_now_s = 0.0;
+    sched;
+    device;
+    cursor_s = start_s;
+    charged_s = 0.0;
+    pending = [];
     kernel_time_s = 0.0;
     transfer_time_s = 0.0;
     overhead_time_s = 0.0;
@@ -114,42 +166,61 @@ let create_context ?(echo = false) ?engine
     cur_loc = Ftn_diag.Loc.unknown;
     cur_loc_str = "";
     degraded = false;
+    drained = false;
     retries = 0;
     cpu_fallbacks = 0;
     cus = Cu_stats.create ();
   }
 
+let context_device (ctx : context) = ctx.device
+let context_scheduler (ctx : context) = ctx.sched
+
 (* Charge [t] simulated seconds to a track ("kernel", "transfer",
-   "overhead" or "fallback"): records a span at the current device-timeline
-   position, advances the timeline and bumps the track's running total.
-   Totals accumulate one addition per charge, in charge order — the same
-   float additions the span fold over this context performs. *)
-let charge (ctx : context) ~track ~name ?(attrs = []) t =
+   "overhead" or "fallback"): schedule an event on [lane] of the
+   context's device (submitted at the cursor unless [submit_s] says the
+   host enqueued it earlier), record a span at the event's scheduled
+   start and bump the track's running total. Totals accumulate one
+   addition per charge, in charge order — the same float additions the
+   span fold over this context performs. The caller decides whether the
+   operation blocks (advances the cursor to the event's finish). *)
+let charge (ctx : context) ~lane ~track ~name ?(attrs = []) ?submit_s
+    ?(deps = []) t =
+  let submit_s = Option.value ~default:ctx.cursor_s submit_s in
+  let ev =
+    Scheduler.submit ctx.sched ~device:ctx.device ~lane ~track ~label:name
+      ~submit_s ~ready_s:ctx.cursor_s ~deps ~dur_s:t ()
+  in
   ignore
     (Ftn_obs.Span.record_sim ~collector:ctx.obs
-       ~attrs:(("track", track) :: attrs)
-       ~name ~start_s:ctx.sim_now_s ~dur_s:t ());
-  ctx.sim_now_s <- ctx.sim_now_s +. t;
-  match track with
+       ~attrs:
+         (("track", track)
+         :: ("device", string_of_int ctx.device.Scheduler.dev_id)
+         :: attrs)
+       ~name ~start_s:ev.Event.ev_start_s ~dur_s:t ());
+  ctx.charged_s <- ctx.charged_s +. t;
+  (match track with
   | "kernel" -> ctx.kernel_time_s <- ctx.kernel_time_s +. t
   | "transfer" -> ctx.transfer_time_s <- ctx.transfer_time_s +. t
   | "overhead" -> ctx.overhead_time_s <- ctx.overhead_time_s +. t
   | "fallback" -> ctx.fallback_time_s <- ctx.fallback_time_s +. t
-  | _ -> ()
+  | _ -> ());
+  ev
+
+let block (ctx : context) (ev : Event.t) =
+  ctx.cursor_s <- Float.max ctx.cursor_s ev.Event.ev_finish_s
+
+(* A blocking charge: the host does not proceed until it retires. *)
+let charge_sync (ctx : context) ~lane ~track ~name ?attrs ?deps t =
+  block ctx (charge ctx ~lane ~track ~name ?attrs ?deps t)
 
 let charge_overhead (ctx : context) ~name ?attrs t =
-  charge ctx ~track:"overhead" ~name ?attrs t
+  charge_sync ctx ~lane:Event.Ctrl ~track:"overhead" ~name ?attrs t
 
-let charge_transfer (ctx : context) ~name ?attrs t =
-  charge ctx ~track:"transfer" ~name ?attrs t
-
-let charge_kernel (ctx : context) ~name ?attrs t =
-  charge ctx ~track:"kernel" ~name ?attrs t
-
-(* Flight-recorder entry stamped with the device-timeline position and
-   the source location of the device op currently executing. *)
+(* Flight-recorder entry stamped with the device-timeline position, the
+   owning device and the source location of the op currently executing. *)
 let flight (ctx : context) ~cat fmt =
-  Ftn_obs.Flight.recordf ~time_s:ctx.sim_now_s ~loc:ctx.cur_loc_str ~cat fmt
+  Ftn_obs.Flight.recordf ~time_s:ctx.cursor_s ~loc:ctx.cur_loc_str
+    ~device:ctx.device.Scheduler.dev_id ~cat fmt
 
 let set_cur_loc (ctx : context) loc =
   if loc <> ctx.cur_loc then begin
@@ -175,17 +246,24 @@ let track_time_from_spans (ctx : context) track =
       else acc)
     0.0 (sim_spans ctx)
 
-let device_time (ctx : context) = ctx.sim_now_s
+let device_time (ctx : context) = ctx.charged_s
 let kernel_time (ctx : context) = ctx.kernel_time_s
 let transfer_time (ctx : context) = ctx.transfer_time_s
 let overhead_time (ctx : context) = ctx.overhead_time_s
 let fallback_time (ctx : context) = ctx.fallback_time_s
 
+(* Where the context's work (including unwaited launches) retires. *)
+let finish_time (ctx : context) =
+  List.fold_left
+    (fun acc (ev : Event.t) -> Float.max acc ev.Event.ev_finish_s)
+    ctx.cursor_s ctx.pending
+
 (* --- fault injection and retry --- *)
 
 (* Account for one injected fault: metrics, trace, and — for a hung
    kernel — the watchdog timeout the device burns before the failure is
-   even observable. Other fault kinds are detected immediately. *)
+   even observable (charged on the compute engine, where the kernel
+   hung). Other fault kinds are detected immediately. *)
 let note_fault (ctx : context) ~name (fault : Fault.fault) =
   let code = Fault.kind_code fault.Fault.kind in
   Ftn_obs.Metrics.incr "fault.injected";
@@ -196,8 +274,8 @@ let note_fault (ctx : context) ~name (fault : Fault.fault) =
     | Fault.Alloc_failure | Fault.Transfer_error | Fault.Launch_failure -> 0.0
   in
   if cost > 0.0 then
-    charge_overhead ctx ~name:("watchdog:" ^ name) ~attrs:[ ("fault", code) ]
-      cost;
+    charge_sync ctx ~lane:Event.Compute ~track:"overhead"
+      ~name:("watchdog:" ^ name) ~attrs:[ ("fault", code) ] cost;
   Trace.record ctx.trace
     (Trace.Fault
        { target = name; kind = code; attempt = fault.Fault.attempt;
@@ -212,7 +290,8 @@ let note_fault (ctx : context) ~name (fault : Fault.fault) =
    exponential backoff on the overhead track — the kernel and transfer
    tracks are only ever charged by the attempt that succeeds, which is
    what keeps retry accounting honest. [recover] runs between attempts
-   and may cure the token (e.g. eviction after a device OOM). *)
+   and may cure the token (e.g. eviction after a device OOM, or a queue
+   drain to a peer device). *)
 let with_faults (ctx : context) ~site ?kernel ~name
     ?(recover = fun _ _ -> ()) f =
   match ctx.injector with
@@ -306,23 +385,29 @@ let interpret_kernel state (design : Bitstream.kernel_design) args =
   (stats, state.Interp.steps - before)
 
 (* Graceful degradation: a kernel that persistently fails on the device
-   runs on the host CPU instead. Results stay correct (the same function
-   body runs in the same interpreter); the cost lands on the "fallback"
-   track at cpu_step_s per interpreter step, and the run is flagged
-   degraded. *)
+   (and cannot drain to a peer) runs on the host CPU instead. Results
+   stay correct (the same function body runs in the same interpreter);
+   the cost lands on the "fallback" track at cpu_step_s per interpreter
+   step, and this context — plus the device that failed it, but no
+   healthy peer — is flagged degraded. *)
 let cpu_fallback (ctx : context) state (design : Bitstream.kernel_design)
     args =
   let name = design.Bitstream.kd_name in
   let _stats, steps = interpret_kernel state design args in
   let t = float_of_int steps *. ctx.retry.Fault.cpu_step_s in
-  charge ctx ~track:"fallback"
-    ~name:("cpu_fallback:" ^ name)
-    ~attrs:[ ("kernel", name); ("steps", string_of_int steps) ]
-    t;
+  let ev =
+    charge ctx ~lane:Event.Ctrl ~track:"fallback"
+      ~name:("cpu_fallback:" ^ name)
+      ~attrs:[ ("kernel", name); ("steps", string_of_int steps) ]
+      t
+  in
+  block ctx ev;
   ctx.degraded <- true;
+  ctx.device.Scheduler.dev_degraded <- true;
   ctx.cpu_fallbacks <- ctx.cpu_fallbacks + 1;
   Ftn_obs.Metrics.incr "fault.cpu_fallbacks";
   Cu_stats.note_fallback ctx.cus ~kernel:name;
+  Cu_stats.note_fallback ctx.device.Scheduler.dev_cus ~kernel:name;
   Trace.record ctx.trace (Trace.Fallback { kernel = name; steps; time_s = t });
   flight ctx ~cat:"fallback" "cpu fallback %s (%d steps)" name steps;
   Ftn_obs.Log.debugf "cpu fallback %s: %d steps, %.3f us" name steps
@@ -331,29 +416,94 @@ let cpu_fallback (ctx : context) state (design : Bitstream.kernel_design)
     (Fmt.str
        "kernel %s failed persistently on the device; executed on the host \
         CPU instead (%d steps)%s"
-       name steps (Fault.flight_note ()))
+       name steps (Fault.flight_note ()));
+  ev
+
+(* Drain recovery for a persistent launch-site fault: when a healthy
+   peer device exists, mark the faulted device failed, re-stage the
+   kernel's buffers on the peer at honest DMA cost and cure the fault so
+   the next attempt launches there. Leaves the token alone (falling
+   through to the CPU path) when the context is the only device. *)
+let drain_to_peer (ctx : context) ~name args (fault : Fault.fault) token =
+  if fault.Fault.persistence = Fault.Persistent && ctx.retry.Fault.drain
+  then
+    match
+      Scheduler.healthy_peer ctx.sched ~except:ctx.device.Scheduler.dev_id
+    with
+    | None -> ()
+    | Some peer ->
+      let bad = ctx.device in
+      Scheduler.fail_device ctx.sched bad;
+      ctx.device <- peer;
+      ctx.drained <- true;
+      Ftn_obs.Metrics.incr "sched.drains";
+      let bytes =
+        List.fold_left
+          (fun acc a ->
+            match a with
+            | Rtval.Buf b -> acc + Rtval.byte_size b
+            | _ -> acc)
+          0 args
+      in
+      if bytes > 0 then begin
+        let t = ctx.model.Device_model.transfer_time_s ~bytes in
+        charge_sync ctx ~lane:Event.Copy_in ~track:"transfer"
+          ~name:("drain:" ^ name)
+          ~attrs:
+            [ ("kernel", name); ("bytes", string_of_int bytes);
+              ("from", string_of_int bad.Scheduler.dev_id) ]
+          t;
+        Trace.record ctx.trace
+          (Trace.Transfer
+             { name = "drain:" ^ name; direction = Trace.Host_to_device;
+               bytes; time_s = t })
+      end;
+      flight ctx ~cat:"drain"
+        "device %d failed persistently; drained %s to device %d (%d bytes \
+         re-staged)"
+        bad.Scheduler.dev_id name peer.Scheduler.dev_id bytes;
+      Ftn_diag.Diag_engine.warning ctx.diag ~loc:ctx.cur_loc
+        (Fmt.str
+           "device %d failed persistently (%s); drained kernel %s to peer \
+            device %d"
+           bad.Scheduler.dev_id (Fault.describe_fault fault) name
+           peer.Scheduler.dev_id);
+      Injector.cure token
 
 (* Execute one kernel: run its function body in the interpreter, then
    convert the recorded loop statistics to cycles. Injected launch faults
    fire before the body runs (a failed launch computes nothing); a
-   persistently failing kernel degrades to host execution. *)
+   persistently failing kernel drains to a peer device when one exists
+   and degrades to host execution otherwise. Returns the completion
+   event — the launch is an async enqueue; the caller decides whether to
+   block on it. *)
 let execute_kernel (ctx : context) state (design : Bitstream.kernel_design)
     args =
   let name = design.Bitstream.kd_name in
-  (* Device-timeline position when the launch was requested; everything
-     the timeline accumulates between here and the kernel actually
-     starting (retry backoff, watchdog timeouts) is queue wait. *)
-  let t_req = ctx.sim_now_s in
+  (* Host-timeline position when the launch was requested; everything
+     between here and the compute engine picking the kernel up — retry
+     backoff, watchdog timeouts, an occupied compute lane — is queue
+     wait, measured on the owning device's timeline. *)
+  let enqueue_s = ctx.cursor_s in
   let run_on_device () =
-    let queue_wait = ctx.sim_now_s -. t_req in
     let stats, _steps = interpret_kernel state design args in
     let t = ctx.model.Device_model.kernel_time_s design.Bitstream.kd_schedule stats in
     let overhead = ctx.model.Device_model.launch_overhead_s in
-    charge_kernel ctx ~name ~attrs:[ ("kernel", name) ] t;
-    charge_overhead ctx ~name:"launch_overhead" ~attrs:[ ("kernel", name) ]
-      overhead;
+    let kev =
+      charge ctx ~lane:Event.Compute ~track:"kernel" ~name
+        ~attrs:[ ("kernel", name) ] ~submit_s:enqueue_s t
+    in
+    let oev =
+      charge ctx ~lane:Event.Compute ~track:"overhead"
+        ~name:"launch_overhead" ~attrs:[ ("kernel", name) ]
+        ~submit_s:enqueue_s ~deps:[ kev ] overhead
+    in
+    let queue_wait = Event.queue_wait_s kev in
     Ftn_obs.Metrics.incr "device.kernel_launches";
+    ctx.device.Scheduler.dev_launches <-
+      ctx.device.Scheduler.dev_launches + 1;
     Cu_stats.note_launch ctx.cus ~kernel:name ~busy_s:t;
+    Cu_stats.note_launch ctx.device.Scheduler.dev_cus ~kernel:name ~busy_s:t;
     let latency = queue_wait +. overhead in
     Ftn_obs.Metrics.observe "device.launch_latency_s" latency;
     Ftn_obs.Metrics.observe
@@ -361,17 +511,23 @@ let execute_kernel (ctx : context) state (design : Bitstream.kernel_design)
       latency;
     Ftn_obs.Metrics.observe ("device.kernel." ^ name ^ ".time_s") t;
     Ftn_obs.Metrics.observe "device.queue_wait_s" queue_wait;
-    Ftn_obs.Flight.record ~time_s:ctx.sim_now_s ~loc:ctx.cur_loc_str
-      ~cat:"launch" ("launch " ^ name);
+    Ftn_obs.Flight.record ~time_s:oev.Event.ev_finish_s ~loc:ctx.cur_loc_str
+      ~device:ctx.device.Scheduler.dev_id ~cat:"launch" ("launch " ^ name);
     Ftn_obs.Log.debugf "launch %s: %.3f us kernel + %.3f us overhead" name
       (t *. 1e6) (overhead *. 1e6);
     Trace.record ctx.trace
-      (Trace.Launch { kernel = name; kernel_time_s = t; overhead_s = overhead })
+      (Trace.Launch
+         { kernel = name; kernel_time_s = t; overhead_s = overhead;
+           queue_wait_s = queue_wait;
+           device = ctx.device.Scheduler.dev_id });
+    oev
   in
   match
-    with_faults ctx ~site:Fault.Launch ~kernel:name ~name run_on_device
+    with_faults ctx ~site:Fault.Launch ~kernel:name ~name
+      ~recover:(drain_to_peer ctx ~name args)
+      run_on_device
   with
-  | Ok () -> ()
+  | Ok ev -> ev
   | Error _fault -> cpu_fallback ctx state design args
 
 (* --- host API: the OpenCL-level operations a (hand-written) host
@@ -390,8 +546,8 @@ let api_alloc (ctx : context) ~name ~memory_space ~elt ~shape =
         ctx.model.Device_model.alloc_overhead_s;
       Ftn_obs.Metrics.incr "device.allocs";
       Ftn_obs.Metrics.incr ~by:(Rtval.byte_size buffer) "device.bytes_allocated";
-      Ftn_obs.Flight.record ~time_s:ctx.sim_now_s ~loc:ctx.cur_loc_str
-        ~cat:"alloc"
+      Ftn_obs.Flight.record ~time_s:ctx.cursor_s ~loc:ctx.cur_loc_str
+        ~device:ctx.device.Scheduler.dev_id ~cat:"alloc"
         ("alloc " ^ name ^ " (" ^ string_of_int (Rtval.byte_size buffer)
         ^ " bytes)");
       Trace.record ctx.trace
@@ -468,13 +624,22 @@ let api_transfer (ctx : context) ~src ~dst =
     let dir_str =
       match direction with Trace.Host_to_device -> "h2d" | _ -> "d2h"
     in
+    let lane =
+      match direction with
+      | Trace.Host_to_device -> Event.Copy_in
+      | Trace.Device_to_host -> Event.Copy_out
+    in
     let do_transfer () =
-      charge_transfer ctx
+      (* DMA engines are duplex, so the copy runs on its own lane and
+         overlaps compute — but it must not start before any in-flight
+         kernel of this context retires (the kernel produces or consumes
+         the buffers being moved). *)
+      charge_sync ctx ~lane ~track:"transfer"
         ~name:(dir_str ^ ":" ^ name)
         ~attrs:
           [ ("buffer", name); ("direction", dir_str);
             ("bytes", string_of_int bytes) ]
-        t;
+        ~deps:ctx.pending t;
       Ftn_obs.Metrics.incr ~by:bytes
         (match direction with
         | Trace.Host_to_device -> "device.bytes_h2d"
@@ -483,8 +648,8 @@ let api_transfer (ctx : context) ~src ~dst =
         (Trace.Transfer { name; direction; bytes; time_s = t });
       (* hot path: plain concatenation, the entry's [time_s] already
          positions it on the device timeline *)
-      Ftn_obs.Flight.record ~time_s:ctx.sim_now_s ~loc:ctx.cur_loc_str
-        ~cat:"transfer"
+      Ftn_obs.Flight.record ~time_s:ctx.cursor_s ~loc:ctx.cur_loc_str
+        ~device:ctx.device.Scheduler.dev_id ~cat:"transfer"
         (dir_str ^ " " ^ name ^ " (" ^ string_of_int bytes ^ " bytes)");
       Rtval.copy_into ~src ~dst
     in
@@ -518,13 +683,35 @@ let kernel_interp_state (ctx : context) =
     ctx.kernel_state <- Some s;
     s
 
-let api_launch (ctx : context) ~kernel args =
+let find_design (ctx : context) kernel =
   match Bitstream.find_kernel ctx.bitstream kernel with
-  | Some design -> execute_kernel ctx (kernel_interp_state ctx) design args
+  | Some design -> design
   | None ->
     Fault.fail
       (Fault.Missing_kernel
          { kernel; xclbin = ctx.bitstream.Bitstream.xclbin_name })
+
+(* Async enqueue: returns the completion event without advancing the
+   host cursor, so a subsequent operation from another context (or an
+   unordered one from this context) can overlap it. *)
+let api_launch_async (ctx : context) ~kernel args =
+  let ev =
+    execute_kernel ctx (kernel_interp_state ctx) (find_design ctx kernel) args
+  in
+  ctx.pending <- ev :: ctx.pending;
+  ev
+
+let wait_event (ctx : context) (ev : Event.t) =
+  block ctx ev;
+  ctx.pending <-
+    List.filter
+      (fun (p : Event.t) -> p.Event.ev_id <> ev.Event.ev_id)
+      ctx.pending
+
+(* The blocking launch the hand-written baselines use: enqueue and
+   immediately wait, exactly an OpenCL enqueue + clFinish pair. *)
+let api_launch (ctx : context) ~kernel args =
+  wait_event ctx (api_launch_async ctx ~kernel args)
 
 let summary (ctx : context) =
   (device_time ctx, kernel_time ctx, transfer_time ctx, overhead_time ctx)
@@ -543,8 +730,8 @@ let device_domain =
 let device_handler (ctx : context) : Interp.handler =
   Interp.handler ~domain:device_domain @@ fun state _frame op operands ->
   set_cur_loc ctx (Op.loc op);
-  Ftn_obs.Flight.record ~time_s:ctx.sim_now_s ~loc:ctx.cur_loc_str ~cat:"op"
-    (Op.name op);
+  Ftn_obs.Flight.record ~time_s:ctx.cursor_s ~loc:ctx.cur_loc_str
+    ~device:ctx.device.Scheduler.dev_id ~cat:"op" (Op.name op);
   match Op.name op with
   | "device.alloc" ->
     let name, memory_space = name_and_space op in
@@ -570,6 +757,13 @@ let device_handler (ctx : context) : Interp.handler =
   | "device.data_acquire" ->
     let name, memory_space = name_and_space op in
     Data_env.acquire ctx.data ~name ~memory_space;
+    (* The acquire is a zero-cost control-plane event: it participates
+       in the event graph (so ordering is inspectable) without charging
+       simulated time or recording a span. *)
+    ignore
+      (Scheduler.submit ctx.sched ~device:ctx.device ~lane:Event.Ctrl
+         ~track:"ctrl" ~label:("acquire:" ^ name) ~submit_s:ctx.cursor_s
+         ~dur_s:0.0 ());
     Some []
   | "device.data_release" ->
     let name, memory_space = name_and_space op in
@@ -606,8 +800,8 @@ let device_handler (ctx : context) : Interp.handler =
     | Some fname -> (
       match Bitstream.find_kernel ctx.bitstream fname with
       | Some design ->
-        let h = ctx.next_handle in
-        ctx.next_handle <- h + 1;
+        let h = !handle_counter in
+        incr handle_counter;
         Hashtbl.replace ctx.handles h { kh_design = design; kh_args = operands };
         Some [ Rtval.Handle h ]
       | None ->
@@ -625,7 +819,12 @@ let device_handler (ctx : context) : Interp.handler =
     match operands with
     | [ Rtval.Handle h ] ->
       (match Hashtbl.find_opt ctx.handles h with
-      | Some kh -> execute_kernel ctx state kh.kh_design kh.kh_args
+      | Some kh ->
+        (* True async enqueue: the completion event is parked on the
+           handle for device.kernel_wait; the host cursor stays put. *)
+        let ev = execute_kernel ctx state kh.kh_design kh.kh_args in
+        Hashtbl.replace ctx.launched h ev;
+        ctx.pending <- ev :: ctx.pending
       | None ->
         Fault.fail
           (Fault.Invalid_host
@@ -635,7 +834,41 @@ let device_handler (ctx : context) : Interp.handler =
       Fault.fail
         (Fault.Invalid_host
            { op = "device.kernel_launch"; reason = "expects a handle operand" }))
-  | "device.kernel_wait" -> Some []
+  | "device.kernel_wait" -> (
+    (* A real blocking wait. Waiting on a handle this context never
+       created (foreign or stale), never launched, or on a non-handle
+       operand is a structured host error — the silent-success no-op
+       this op used to be hid all three bugs. *)
+    match operands with
+    | [ Rtval.Handle h ] -> (
+      match Hashtbl.find_opt ctx.launched h with
+      | Some ev ->
+        wait_event ctx ev;
+        Some []
+      | None ->
+        if Hashtbl.mem ctx.handles h then
+          Fault.fail
+            (Fault.Invalid_host
+               {
+                 op = "device.kernel_wait";
+                 reason =
+                   Fmt.str "kernel handle %d was never launched" h;
+               })
+        else
+          Fault.fail
+            (Fault.Invalid_host
+               {
+                 op = "device.kernel_wait";
+                 reason =
+                   Fmt.str
+                     "unknown kernel handle %d (stale or from another \
+                      context)"
+                     h;
+               }))
+    | _ ->
+      Fault.fail
+        (Fault.Invalid_host
+           { op = "device.kernel_wait"; reason = "expects a handle operand" }))
   | "memref.dma_start" -> (
     match operands with
     | [ src; dst ] ->
@@ -675,19 +908,25 @@ let result_of_context (ctx : context) =
     kernel_launches = Trace.count_launches ctx.trace;
     bytes_transferred = Trace.bytes_transferred ctx.trace;
     degraded = ctx.degraded;
+    drained = ctx.drained;
     retries = ctx.retries;
     cpu_fallbacks = ctx.cpu_fallbacks;
     faults_injected =
       (match ctx.injector with Some i -> Injector.injected i | None -> 0);
+    device = ctx.device.Scheduler.dev_id;
+    finish_s = finish_time ctx;
     trace = ctx.trace;
     data = ctx.data;
-    cus = Cu_stats.snapshot ctx.cus ~window_s:ctx.sim_now_s;
+    cus = Cu_stats.snapshot ctx.cus ~window_s:ctx.charged_s;
   }
 
 (* Run the host module's main (or a named entry) against a bitstream. *)
 let run ?(echo = false) ?entry ?(args = []) ?engine ?diag ?faults
-    ?retry ~host ~bitstream () =
-  let ctx = create_context ~echo ?engine ?diag ?faults ?retry bitstream in
+    ?retry ?sched ?device ?start_s ~host ~bitstream () =
+  let ctx =
+    create_context ~echo ?engine ?diag ?faults ?retry ?sched ?device
+      ?start_s bitstream
+  in
   let handlers =
     [
       device_handler ctx;

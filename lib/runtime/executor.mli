@@ -4,6 +4,15 @@
     numbers) while the timing model charges the simulated timeline for
     transfers, launches, allocations and kernel cycles.
 
+    Timing is event-based and asynchronous (see {!Event} and
+    {!Scheduler}): every charge is scheduled on one engine lane of the
+    context's simulated device, several contexts can share a scheduler
+    and queue against each other, transfers overlap compute on duplex
+    DMA lanes, and [device.kernel_launch] / [device.kernel_wait] are a
+    true async enqueue + blocking wait pair. A single chained program on
+    a fresh scheduler sees timings identical to the old synchronous
+    model.
+
     The host API functions ([api_*]) expose the same OpenCL-level
     operations to hand-written OCaml host drivers (used by the hand-written
     HLS baselines), so both paths share one cost model.
@@ -11,8 +20,9 @@
     The executor is fault-tolerant: pass a {!Ftn_fault.Fault.plan} to
     inject deterministic alloc/transfer/launch failures, absorbed by the
     retry machinery (exponential backoff charged to the simulated overhead
-    track, eviction after device OOM, host-CPU fallback for kernels that
-    fail persistently). All runtime errors raise the structured
+    track, eviction after device OOM, drain to a healthy peer device for
+    persistent kernel faults when one exists, host-CPU fallback
+    otherwise). All runtime errors raise the structured
     {!Ftn_fault.Fault.Error}. *)
 
 type context
@@ -20,7 +30,8 @@ type context
 type result = {
   output : string;  (** Captured [print *] output. *)
   device_time_s : float;
-      (** kernel + transfers + overheads + CPU fallback. *)
+      (** kernel + transfers + overheads + CPU fallback — busy time (the
+          sum of charges), not the makespan; see [finish_s]. *)
   kernel_time_s : float;
   transfer_time_s : float;
   overhead_time_s : float;
@@ -30,10 +41,20 @@ type result = {
   kernel_launches : int;
   bytes_transferred : int;
   degraded : bool;
-      (** At least one kernel fell back to host execution. *)
+      (** At least one kernel of {e this context} fell back to host
+          execution. Per-job: a peer context's fallback on a shared
+          scheduler never sets it. *)
+  drained : bool;
+      (** This context migrated to a peer device after its original
+          device failed persistently. *)
   retries : int;  (** Operation attempts repeated after an injected fault. *)
   cpu_fallbacks : int;
   faults_injected : int;
+  device : int;
+      (** Simulated device the context finished on (0-based). *)
+  finish_s : float;
+      (** Scheduler-timeline instant the context's last operation
+          (including unwaited launches) retires. *)
   trace : Trace.t;
   data : Data_env.t;
   cus : Ftn_hlsim.Cu_stats.snapshot list;
@@ -47,6 +68,9 @@ val create_context :
   ?diag:Ftn_diag.Diag_engine.t ->
   ?faults:Ftn_fault.Fault.plan ->
   ?retry:Ftn_fault.Fault.retry_policy ->
+  ?sched:Scheduler.t ->
+  ?device:Scheduler.device ->
+  ?start_s:float ->
   Ftn_hlsim.Bitstream.t ->
   context
 (** The timing model is read from the bitstream's [model] field — there
@@ -56,7 +80,19 @@ val create_context :
     [Ftn_interp.Interp.default_engine ()]. [diag] receives recovery
     warnings and runtime errors (defaults to the shared engine); [faults]
     enables deterministic fault injection; [retry] tunes the recovery
-    policy (defaults to {!Ftn_fault.Fault.default_retry}). *)
+    policy (defaults to {!Ftn_fault.Fault.default_retry}).
+
+    [sched] places the context on a shared multi-device scheduler
+    (defaults to a fresh single-device one — the synchronous legacy
+    behaviour); [device] pins it to a specific device (defaults to
+    {!Scheduler.pick_device}); [start_s] is the scheduler-timeline
+    instant the context's program begins (its admission time — defaults
+    to 0). *)
+
+val context_device : context -> Scheduler.device
+(** Current placement (a drain moves it). *)
+
+val context_scheduler : context -> Scheduler.t
 
 (** {2 Host API} *)
 
@@ -74,14 +110,28 @@ val api_alloc :
 
 val api_transfer :
   context -> src:Ftn_interp.Rtval.buffer -> dst:Ftn_interp.Rtval.buffer -> unit
-(** Copy between buffers; crossing memory spaces charges DMA time and
-    records a trace event. Endpoints must agree on element type and byte
-    size or the call raises a structured [Transfer_mismatch]. *)
+(** Copy between buffers; crossing memory spaces charges DMA time on the
+    direction's DMA lane ([Copy_in] for h2d, [Copy_out] for d2h) and
+    records a trace event. The transfer waits for this context's
+    in-flight kernels but otherwise overlaps peer contexts' compute.
+    Endpoints must agree on element type and byte size or the call
+    raises a structured [Transfer_mismatch]. *)
 
 val api_launch : context -> kernel:string -> Ftn_interp.Rtval.t list -> unit
-(** Execute a bitstream kernel functionally and charge its modelled
-    cycles plus launch overhead. A persistently failing kernel degrades
-    to host-CPU execution. *)
+(** Blocking launch (enqueue + wait, an OpenCL enqueue/clFinish pair):
+    execute a bitstream kernel functionally and charge its modelled
+    cycles plus launch overhead. A persistently failing kernel drains to
+    a healthy peer device when one exists and degrades to host-CPU
+    execution otherwise. *)
+
+val api_launch_async :
+  context -> kernel:string -> Ftn_interp.Rtval.t list -> Event.t
+(** Async enqueue: charges the kernel on the device's compute lane and
+    returns its completion event without advancing the host's timeline
+    cursor. Pass the event to {!wait_event} to block on it. *)
+
+val wait_event : context -> Event.t -> unit
+(** Advance the context's timeline cursor to the event's finish. *)
 
 val result_of_context : context -> result
 (** Also emits the end-of-run leak report: entries still holding
@@ -95,6 +145,10 @@ val summary : context -> float * float * float * float
 val fallback_time : context -> float
 (** Simulated seconds charged to the CPU-fallback track so far. *)
 
+val finish_time : context -> float
+(** Scheduler-timeline instant the context's work so far (including
+    unwaited launches) retires. *)
+
 val track_time_from_spans : context -> string -> float
 (** Recompute one track's total ("kernel", "transfer", "overhead" or
     "fallback") by folding the context's sim-clock spans — the totals'
@@ -104,7 +158,10 @@ val track_time_from_spans : context -> string -> float
 
 val device_handler : context -> Ftn_interp.Interp.handler
 (** The interpreter handler implementing device.* ops and intercepting
-    cross-space memref.dma_start. *)
+    cross-space memref.dma_start. [device.kernel_launch] is an async
+    enqueue; [device.kernel_wait] genuinely blocks, and waiting on an
+    unknown, foreign or never-launched handle (or a non-handle operand)
+    raises a structured [Invalid_host] error. *)
 
 val run :
   ?echo:bool ->
@@ -114,6 +171,9 @@ val run :
   ?diag:Ftn_diag.Diag_engine.t ->
   ?faults:Ftn_fault.Fault.plan ->
   ?retry:Ftn_fault.Fault.retry_policy ->
+  ?sched:Scheduler.t ->
+  ?device:Scheduler.device ->
+  ?start_s:float ->
   host:Ftn_ir.Op.t ->
   bitstream:Ftn_hlsim.Bitstream.t ->
   unit ->
@@ -121,7 +181,8 @@ val run :
 (** Interpret the host module (its [ftn.main] program unless [entry] is
     given) against a bitstream. An escaping {!Ftn_fault.Fault.Error} is
     recorded in [diag] (with the launching op's source location) before
-    it propagates. *)
+    it propagates. [sched]/[device]/[start_s] place the run on a shared
+    multi-device scheduler, as in {!create_context}. *)
 
 val run_cpu :
   ?echo:bool ->

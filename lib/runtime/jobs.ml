@@ -1,0 +1,220 @@
+(* Job queue for the multi-device runtime: admission control, per-tenant
+   round-robin dispatch and latency accounting over a shared
+   {!Scheduler}.
+
+   A job is a named closure running one host program (usually
+   Executor.run on a compiled module) against the shared scheduler; the
+   queue decides *where* (least-loaded healthy device) and *when* (after
+   its dependencies finish and a slot in the device's bounded admission
+   queue frees up) each job starts on the simulated timeline. Jobs are
+   dispatched round-robin across tenants so one tenant's burst cannot
+   starve another's queue, and every completion is observed into a
+   private metrics registry so p50/p99 tail latency comes out of the
+   same histogram machinery the profiler uses.
+
+   Determinism: dispatch order depends only on the submission list
+   (tenant cycle over FIFO queues), device choice only on simulated lane
+   availability with lowest-id tie-break, and job outputs are
+   concatenated in submission order — so the same job list produces
+   byte-identical output whatever the device count. *)
+
+module Fault = Ftn_fault.Fault
+
+type spec = {
+  js_name : string;
+  js_tenant : string;
+  js_deps : string list;
+  js_run :
+    ?faults:Fault.plan ->
+    sched:Scheduler.t ->
+    device:Scheduler.device ->
+    start_s:float ->
+    unit ->
+    Executor.result;
+}
+
+let job ?(tenant = "default") ?(deps = []) ~name run =
+  { js_name = name; js_tenant = tenant; js_deps = deps; js_run = run }
+
+type config = {
+  devices : int;
+  queue_depth : int;
+      (* in-flight jobs a device accepts before admission blocks *)
+  fault_device : (int * Fault.plan) option;
+}
+
+let default_config = { devices = 1; queue_depth = 8; fault_device = None }
+
+type stats = {
+  jobs_run : int;
+  jobs_dropped : int;
+  elapsed_s : float;
+  throughput_jps : float;
+  p50_latency_s : float;
+  p99_latency_s : float;
+  total_kernel_s : float;
+  total_transfer_s : float;
+  degraded_jobs : int;
+  drained_jobs : int;
+  output : string;
+  results : (string * Executor.result) list;
+  scheduler : Scheduler.t;
+}
+
+let run ?(config = default_config) specs =
+  if config.queue_depth < 1 then invalid_arg "Jobs.run: queue_depth < 1";
+  let sched = Scheduler.create ~devices:config.devices () in
+  let registry = Ftn_obs.Metrics.create () in
+  let n = List.length specs in
+  let results : Executor.result option array = Array.make n None in
+  let specs_arr = Array.of_list specs in
+  (* Tenant queues in first-appearance order; each holds submission
+     indices in submission order. *)
+  let tenants = ref [] in
+  let queues : (string, int Queue.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri
+    (fun i s ->
+      let q =
+        match Hashtbl.find_opt queues s.js_tenant with
+        | Some q -> q
+        | None ->
+          let q = Queue.create () in
+          Hashtbl.add queues s.js_tenant q;
+          tenants := s.js_tenant :: !tenants;
+          q
+      in
+      Queue.push i q)
+    specs;
+  let tenants = List.rev !tenants in
+  (* Finish time of each completed job, keyed by name — dependency
+     arrivals read it, so a dep list naming an uncompleted job keeps the
+     dependent parked in its tenant queue. *)
+  let finished : (string, float) Hashtbl.t = Hashtbl.create (max 8 n) in
+  (* Per-device admission FIFO: finish times of the jobs admitted to the
+     device. Once [queue_depth] are in flight, the next admission gates
+     on the oldest completion. *)
+  let admission = Array.init config.devices (fun _ -> Queue.create ()) in
+  let dropped = ref 0 in
+  let run_one idx =
+    let spec = specs_arr.(idx) in
+    let arrival =
+      List.fold_left
+        (fun acc d ->
+          Float.max acc
+            (Option.value ~default:0.0 (Hashtbl.find_opt finished d)))
+        0.0 spec.js_deps
+    in
+    let device = Scheduler.pick_device sched in
+    let faults =
+      match config.fault_device with
+      | Some (fd, plan) when device.Scheduler.dev_id = fd -> Some plan
+      | _ -> None
+    in
+    let fifo = admission.(device.Scheduler.dev_id) in
+    let gate =
+      if Queue.length fifo >= config.queue_depth then Queue.pop fifo else 0.0
+    in
+    let start_s = Float.max arrival gate in
+    let res = spec.js_run ?faults ~sched ~device ~start_s () in
+    (* Admission is charged to the device the job was enqueued on, even
+       if a drain later moved it — the slot there was held regardless. *)
+    Queue.push res.Executor.finish_s fifo;
+    Hashtbl.replace finished spec.js_name res.Executor.finish_s;
+    Ftn_obs.Metrics.observe ~registry "sched.job_latency_s"
+      (res.Executor.finish_s -. arrival);
+    Ftn_obs.Metrics.observe ~registry "sched.admission_wait_s"
+      (start_s -. arrival);
+    results.(idx) <- Some res
+  in
+  (* Round-robin dispatch: one ready job per tenant per cycle. A cycle
+     with queued jobs but no progress means every head is waiting on a
+     dependency that can never finish (cyclic or unknown) — those jobs
+     are dropped, and counted, rather than looping forever. *)
+  let rec cycle () =
+    let progress = ref false in
+    List.iter
+      (fun tenant ->
+        let q = Hashtbl.find queues tenant in
+        if not (Queue.is_empty q) then begin
+          let idx = Queue.peek q in
+          let spec = specs_arr.(idx) in
+          if List.for_all (fun d -> Hashtbl.mem finished d) spec.js_deps
+          then begin
+            ignore (Queue.pop q);
+            run_one idx;
+            progress := true
+          end
+        end)
+      tenants;
+    let remaining =
+      List.exists
+        (fun t -> not (Queue.is_empty (Hashtbl.find queues t)))
+        tenants
+    in
+    if remaining then
+      if !progress then cycle ()
+      else
+        List.iter
+          (fun t ->
+            let q = Hashtbl.find queues t in
+            dropped := !dropped + Queue.length q;
+            Queue.clear q)
+          tenants
+  in
+  cycle ();
+  let completed = ref [] in
+  let output = Buffer.create 256 in
+  let total_kernel = ref 0.0 and total_transfer = ref 0.0 in
+  let degraded = ref 0 and drained = ref 0 in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | None -> ()
+      | Some (res : Executor.result) ->
+        completed := (specs_arr.(i).js_name, res) :: !completed;
+        Buffer.add_string output res.Executor.output;
+        total_kernel := !total_kernel +. res.Executor.kernel_time_s;
+        total_transfer := !total_transfer +. res.Executor.transfer_time_s;
+        if res.Executor.degraded then incr degraded;
+        if res.Executor.drained then incr drained)
+    results;
+  let jobs_run = List.length !completed in
+  let elapsed = Scheduler.elapsed_s sched in
+  let quantile q =
+    Option.value ~default:0.0
+      (Ftn_obs.Metrics.histogram_quantile ~registry "sched.job_latency_s" q)
+  in
+  {
+    jobs_run;
+    jobs_dropped = !dropped;
+    elapsed_s = elapsed;
+    throughput_jps =
+      (if elapsed > 0.0 then float_of_int jobs_run /. elapsed else 0.0);
+    p50_latency_s = quantile 0.5;
+    p99_latency_s = quantile 0.99;
+    total_kernel_s = !total_kernel;
+    total_transfer_s = !total_transfer;
+    degraded_jobs = !degraded;
+    drained_jobs = !drained;
+    output = Buffer.contents output;
+    results = List.rev !completed;
+    scheduler = sched;
+  }
+
+let pp_stats fmt (s : stats) =
+  Fmt.pf fmt
+    "@[<v>jobs        %d run, %d dropped@,\
+     elapsed     %.3f us (simulated makespan)@,\
+     throughput  %.1f jobs/s (simulated)@,\
+     latency     p50 %.3f us, p99 %.3f us@,\
+     kernel      %.3f us total@,\
+     transfer    %.3f us total@,\
+     degraded    %d job%s, %d drained@]"
+    s.jobs_run s.jobs_dropped (s.elapsed_s *. 1e6) s.throughput_jps
+    (s.p50_latency_s *. 1e6)
+    (s.p99_latency_s *. 1e6)
+    (s.total_kernel_s *. 1e6)
+    (s.total_transfer_s *. 1e6)
+    s.degraded_jobs
+    (if s.degraded_jobs = 1 then "" else "s")
+    s.drained_jobs

@@ -1,0 +1,82 @@
+(** Job queue for the multi-device runtime: admission control,
+    per-tenant round-robin dispatch and tail-latency accounting over a
+    shared {!Scheduler}.
+
+    Dispatch is deterministic: tenants are cycled in first-appearance
+    order taking one dependency-ready job each per cycle, devices are
+    chosen least-loaded-first with lowest-id tie-break, and outputs are
+    concatenated in submission order — so a job list produces
+    byte-identical output whatever the device count. *)
+
+type spec = {
+  js_name : string;  (** Unique job name; dependencies refer to it. *)
+  js_tenant : string;
+  js_deps : string list;
+      (** Names of jobs whose completion gates this one's arrival. *)
+  js_run :
+    ?faults:Ftn_fault.Fault.plan ->
+    sched:Scheduler.t ->
+    device:Scheduler.device ->
+    start_s:float ->
+    unit ->
+    Executor.result;
+      (** The job body — typically a closure over a compiled host module
+          calling {!Executor.run} with the given placement. [faults] is
+          injected by the queue when the job lands on the configured
+          fault device. *)
+}
+
+val job :
+  ?tenant:string ->
+  ?deps:string list ->
+  name:string ->
+  (?faults:Ftn_fault.Fault.plan ->
+  sched:Scheduler.t ->
+  device:Scheduler.device ->
+  start_s:float ->
+  unit ->
+  Executor.result) ->
+  spec
+(** [tenant] defaults to ["default"], [deps] to none. *)
+
+type config = {
+  devices : int;
+  queue_depth : int;
+      (** In-flight jobs a device accepts before admission blocks on the
+          oldest completion; must be [>= 1]. *)
+  fault_device : (int * Ftn_fault.Fault.plan) option;
+      (** Inject the plan into every job placed on this device id —
+          models a persistently bad board; with the default retry
+          policy's drain the device fails on first persistent kernel
+          fault and its queue migrates to healthy peers (or the host CPU
+          when none remain). *)
+}
+
+val default_config : config
+(** 1 device, queue depth 8, no fault device. *)
+
+type stats = {
+  jobs_run : int;
+  jobs_dropped : int;
+      (** Jobs never dispatched because a dependency could not finish
+          (cyclic or unknown name). *)
+  elapsed_s : float;  (** Simulated makespan: {!Scheduler.elapsed_s}. *)
+  throughput_jps : float;  (** [jobs_run / elapsed_s] (simulated). *)
+  p50_latency_s : float;
+      (** Median arrival-to-finish latency (arrival = last dependency's
+          finish), from the queue's private histogram registry. *)
+  p99_latency_s : float;
+  total_kernel_s : float;  (** Summed over completed jobs. *)
+  total_transfer_s : float;
+  degraded_jobs : int;  (** Jobs that ran at least one kernel on the CPU. *)
+  drained_jobs : int;  (** Jobs migrated off a failed device. *)
+  output : string;  (** All job outputs, concatenated in submission order. *)
+  results : (string * Executor.result) list;  (** Submission order. *)
+  scheduler : Scheduler.t;  (** For per-device snapshots after the run. *)
+}
+
+val run : ?config:config -> spec list -> stats
+(** Dispatch every job and return the aggregate statistics. Raises
+    [Invalid_argument] if [config.queue_depth < 1]. *)
+
+val pp_stats : Format.formatter -> stats -> unit

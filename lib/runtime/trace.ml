@@ -21,6 +21,9 @@ type event =
       kernel : string;
       kernel_time_s : float;
       overhead_s : float;
+      queue_wait_s : float;
+          (* pickup minus enqueue on the owning device's timeline *)
+      device : int;
     }
   | Fault of {
       target : string;
@@ -58,9 +61,13 @@ let pp_event fmt = function
       | Host_to_device -> "h2d     "
       | Device_to_host -> "d2h     ")
       name bytes (time_s *. 1e6)
-  | Launch { kernel; kernel_time_s; overhead_s } ->
-    Fmt.pf fmt "launch   %-12s  kernel %.3f us (+%.3f us overhead)" kernel
-      (kernel_time_s *. 1e6) (overhead_s *. 1e6)
+  | Launch { kernel; kernel_time_s; overhead_s; queue_wait_s; device } ->
+    Fmt.pf fmt "launch   %-12s  kernel %.3f us (+%.3f us overhead%s) d%d"
+      kernel (kernel_time_s *. 1e6) (overhead_s *. 1e6)
+      (if queue_wait_s > 0.0 then
+         Fmt.str ", %.3f us queued" (queue_wait_s *. 1e6)
+       else "")
+      device
   | Fault { target; kind; attempt; time_s } ->
     Fmt.pf fmt "fault    %-12s  %s attempt %d  %.3f us" target kind attempt
       (time_s *. 1e6)

@@ -21,6 +21,9 @@ type event =
       kernel : string;
       kernel_time_s : float;
       overhead_s : float;
+      queue_wait_s : float;
+          (** Pickup minus enqueue on the owning device's timeline. *)
+      device : int;  (** Simulated device the kernel ran on. *)
     }
   | Fault of {
       target : string;  (** Buffer or kernel the fault was injected into. *)

@@ -1,0 +1,35 @@
+(* Dense, growable int-indexed side tables. The rewrite engine keys its
+   def/use/substitution tables by SSA value id; ids are small and dense
+   (Builder allocates them sequentially), so a flat array beats a
+   hashtable on both lookup cost and allocation churn. Unset slots read
+   back as the creation-time default; [set] grows the backing store by
+   doubling. *)
+
+type 'a t = {
+  default : 'a;
+  mutable data : 'a array;
+}
+
+let create ?(capacity = 64) default =
+  { default; data = Array.make (max 1 capacity) default }
+
+let ensure t i =
+  let n = Array.length t.data in
+  if i >= n then begin
+    let n' = ref (n * 2) in
+    while i >= !n' do
+      n' := !n' * 2
+    done;
+    let d = Array.make !n' t.default in
+    Array.blit t.data 0 d 0 n;
+    t.data <- d
+  end
+
+let get t i = if i >= 0 && i < Array.length t.data then t.data.(i) else t.default
+
+let set t i v =
+  if i < 0 then invalid_arg "Arena.set: negative index";
+  ensure t i;
+  t.data.(i) <- v
+
+let capacity t = Array.length t.data

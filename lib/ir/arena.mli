@@ -1,0 +1,21 @@
+(** Dense, growable int-indexed side tables keyed by SSA value id.
+    Reads of never-set slots return the creation-time default; writes
+    grow the backing array by doubling. Used by the worklist rewrite
+    engine for its def/use/substitution tables, where value ids are
+    small and dense and a flat array beats a hashtable. *)
+
+type 'a t
+
+val create : ?capacity:int -> 'a -> 'a t
+(** [create default] makes an empty table whose unset slots read as
+    [default]. *)
+
+val get : 'a t -> int -> 'a
+(** Total: out-of-range (or never-set) indices return the default. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** Grows the table as needed. Raises [Invalid_argument] on a negative
+    index. *)
+
+val capacity : 'a t -> int
+(** Current backing-array length (for sizing diagnostics only). *)

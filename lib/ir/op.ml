@@ -199,6 +199,44 @@ let with_module_body op body =
   if not (is_module op) then invalid_arg "Op.with_module_body: not a module";
   { op with regions = [ region body ] }
 
+(* Canonical dense renumbering: every value defined in the tree (results
+   and block args) is reassigned a fresh id in pre-order traversal
+   position, starting at [start]. Operands defined inside the tree are
+   remapped; free values keep their original ids. Returns the next free
+   id, so callers can thread the counter across a sequence of trees
+   (Pass.run_pipeline_parallel renumbers the merged module this way to
+   make partitioned pipeline output independent of how fresh ids were
+   allocated per partition). *)
+let renumber ?(start = 0) op =
+  let map = Hashtbl.create 256 in
+  let next = ref start in
+  let fresh v =
+    let v' = Value.make !next (Value.ty v) in
+    incr next;
+    Hashtbl.replace map (Value.id v) v';
+    v'
+  in
+  let lookup v =
+    match Hashtbl.find_opt map (Value.id v) with Some v' -> v' | None -> v
+  in
+  let rec go op =
+    let operands = List.map lookup op.operands in
+    let results = List.map fresh op.results in
+    let regions =
+      List.map
+        (fun blocks ->
+          List.map
+            (fun b ->
+              let args = List.map fresh b.args in
+              { b with args; body = List.map go b.body })
+            blocks)
+        op.regions
+    in
+    { op with operands; results; regions }
+  in
+  let op' = go op in
+  (op', !next)
+
 (* Find a func.func by its sym_name inside a module. *)
 let find_function m fname =
   List.find_opt

@@ -5,12 +5,16 @@
 
    Two engines share the pattern/fold/dead-op semantics:
 
-   - Worklist (the default): the op tree is loaded into a mutable node
-     graph with global def/use indices. Patterns are indexed by root op
-     name; a successful rewrite re-enqueues only the replacement ops, the
-     users of redirected values and the producers feeding the erased op —
-     everything else is never looked at again. Cost is proportional to the
-     number of rewrites, not ops x sweeps.
+   - Worklist (the default): the op tree is loaded once into a mutable node
+     graph whose def/use/substitution side tables are dense arrays indexed
+     by SSA value id (Arena), not hashtables. Patterns are indexed by root
+     op name with the candidate list per root precomputed when the pattern
+     set is compiled; a successful rewrite re-enqueues only the replacement
+     ops, the users of redirected values and the producers feeding the
+     erased op. Each node caches its materialised Op.t subtree; a mutation
+     invalidates only the spine from the mutated node to the root, so
+     repeat visits and the final export share every unchanged subtree
+     instead of re-copying whole functions.
 
    - Sweep (the pre-worklist engine, kept for fixpoint-equivalence tests
      and as the bench baseline): rebuild the entire tree bottom-up until a
@@ -83,6 +87,12 @@ type stats = {
   converged : bool;
 }
 
+(* The module wrapper op is not counted as a visit: per-function pass
+   partitioning (Pass.run_pipeline_parallel) wraps each top-level op in
+   its own module, and keeping wrapper visits out of the totals makes the
+   rewrite metrics partition-invariant. *)
+let counted name = not (String.equal name "builtin.module")
+
 (* --- cycle-guarded, path-compressing substitution resolution --- *)
 
 let cycle_error ~pat_name ~loc chain =
@@ -132,6 +142,36 @@ let record_subst subst ~pat_name ~loc old_v repl =
   else Hashtbl.replace subst (Value.id old_v) root;
   root
 
+(* Arena-backed twins of the two functions above: same cycle guard and
+   path compression, over a dense id-indexed union-find array instead of
+   a hashtable. Used by the worklist engine. *)
+let resolve_arena subst ~pat_name ~loc v =
+  match Arena.get subst (Value.id v) with
+  | None -> v
+  | Some _ ->
+    let rec follow visited v =
+      match Arena.get subst (Value.id v) with
+      | None -> (v, visited)
+      | Some v' ->
+        if List.exists (fun u -> Value.id u = Value.id v') (v :: visited) then
+          cycle_error ~pat_name ~loc (v' :: v :: visited)
+        else follow (v :: visited) v'
+    in
+    let root, visited = follow [] v in
+    List.iter
+      (fun u ->
+        if Value.id u <> Value.id root then
+          Arena.set subst (Value.id u) (Some root))
+      visited;
+    root
+
+let record_subst_arena subst ~pat_name ~loc old_v repl =
+  let root = resolve_arena subst ~pat_name ~loc repl in
+  if Value.id root = Value.id old_v then
+    cycle_error ~pat_name ~loc [ root; repl; old_v ]
+  else Arena.set subst (Value.id old_v) (Some root);
+  root
+
 (* Constant materialisation reuses the folded op's result value, so folds
    need no value redirection and leave SSA ids untouched. *)
 let constant_op result attr =
@@ -166,7 +206,8 @@ let warn_nonconverged ~budget ~unit_name last_fired =
 (* Firing counts and attributed wall time per pattern name, process-wide
    (patterns are shared across pass instances). Only populated while
    [Ftn_obs.Profile.on] — the timing calls would otherwise tax every
-   match attempt of every compile. *)
+   match attempt of every compile. Guarded by a mutex: pass pipelines may
+   run rewrites from several domains concurrently. *)
 type pattern_stat = {
   mutable ps_attempts : int;
   mutable ps_fired : int;
@@ -174,7 +215,9 @@ type pattern_stat = {
 }
 
 let pattern_stats : (string, pattern_stat) Hashtbl.t = Hashtbl.create 32
+let pattern_stats_mu = Mutex.create ()
 
+(* callers hold [pattern_stats_mu] *)
 let stat_for name =
   match Hashtbl.find_opt pattern_stats name with
   | Some s -> s
@@ -183,12 +226,15 @@ let stat_for name =
     Hashtbl.replace pattern_stats name s;
     s
 
-let reset_pattern_profile () = Hashtbl.reset pattern_stats
+let reset_pattern_profile () =
+  Mutex.protect pattern_stats_mu (fun () -> Hashtbl.reset pattern_stats)
 
 let pattern_profile () =
-  Hashtbl.fold
-    (fun name s acc -> (name, s.ps_attempts, s.ps_fired, s.ps_time_s) :: acc)
-    pattern_stats []
+  Mutex.protect pattern_stats_mu (fun () ->
+      Hashtbl.fold
+        (fun name s acc ->
+          (name, s.ps_attempts, s.ps_fired, s.ps_time_s) :: acc)
+        pattern_stats [])
   |> List.sort (fun (na, _, _, a) (nb, _, _, b) ->
          match Float.compare b a with 0 -> String.compare na nb | c -> c)
 
@@ -197,12 +243,14 @@ let run_pattern p ctx op =
   if not !Ftn_obs.Profile.on then
     with_pattern_context p op (fun () -> p.match_and_rewrite ctx op)
   else begin
-    let st = stat_for p.pat_name in
-    st.ps_attempts <- st.ps_attempts + 1;
     let t0 = Unix.gettimeofday () in
     let r = with_pattern_context p op (fun () -> p.match_and_rewrite ctx op) in
-    st.ps_time_s <- st.ps_time_s +. (Unix.gettimeofday () -. t0);
-    (match r with Some _ -> st.ps_fired <- st.ps_fired + 1 | None -> ());
+    let dt = Unix.gettimeofday () -. t0 in
+    Mutex.protect pattern_stats_mu (fun () ->
+        let st = stat_for p.pat_name in
+        st.ps_attempts <- st.ps_attempts + 1;
+        st.ps_time_s <- st.ps_time_s +. dt;
+        match r with Some _ -> st.ps_fired <- st.ps_fired + 1 | None -> ());
     r
   end
 
@@ -216,39 +264,48 @@ let publish_stats st =
   if st.ops_erased > 0 then
     Ftn_obs.Metrics.incr ~by:st.ops_erased "rewrite.ops_erased"
 
-(* Patterns indexed by root op name, with a wildcard bucket; relative
-   pattern order is preserved across the two buckets. *)
-type index = {
-  by_root : (string, (int * pattern) list) Hashtbl.t;
-  wildcard : (int * pattern) list;
+(* Patterns indexed by root op name. Compiled once per pattern set (not
+   once per [run]): each root's candidate array already has the wildcard
+   patterns merged in at their original positions, so the per-visit
+   lookup is a single hashtable probe with no allocation or sorting. *)
+type compiled = {
+  by_root : (string, pattern array) Hashtbl.t;
+  wildcard_only : pattern array;
 }
 
-let make_index patterns =
-  let by_root = Hashtbl.create 16 in
-  let wildcard = ref [] in
+type index = compiled
+
+let compile patterns =
+  let rooted : (string, (int * pattern) list) Hashtbl.t = Hashtbl.create 16 in
+  let wild = ref [] in
   List.iteri
     (fun i p ->
       match p.pat_roots with
-      | [] -> wildcard := (i, p) :: !wildcard
+      | [] -> wild := (i, p) :: !wild
       | roots ->
         List.iter
           (fun r ->
-            let prev = Option.value ~default:[] (Hashtbl.find_opt by_root r) in
-            Hashtbl.replace by_root r ((i, p) :: prev))
+            let prev = Option.value ~default:[] (Hashtbl.find_opt rooted r) in
+            Hashtbl.replace rooted r ((i, p) :: prev))
           roots)
     patterns;
-  { by_root; wildcard = List.rev !wildcard }
+  let wild = List.rev !wild in
+  let by_root = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun r rs ->
+      let merged =
+        List.merge
+          (fun (i, _) (j, _) -> Int.compare i j)
+          (List.rev rs) wild
+      in
+      Hashtbl.replace by_root r (Array.of_list (List.map snd merged)))
+    rooted;
+  { by_root; wildcard_only = Array.of_list (List.map snd wild) }
 
 let candidates index name =
-  let rooted =
-    List.rev (Option.value ~default:[] (Hashtbl.find_opt index.by_root name))
-  in
-  match (rooted, index.wildcard) with
-  | [], ws -> List.map snd ws
-  | rs, [] -> List.map snd rs
-  | rs, ws ->
-    List.map snd
-      (List.sort (fun (i, _) (j, _) -> Int.compare i j) (rs @ ws))
+  match Hashtbl.find_opt index.by_root name with
+  | Some a -> a
+  | None -> index.wildcard_only
 
 (* ===================== worklist engine ===================== *)
 
@@ -264,6 +321,11 @@ module Wl = struct
     n_block : nblock option;
     mutable n_live : bool;
     mutable n_queued : bool;
+    mutable n_cached : Op.t option;
+        (* materialised subtree; invariant: a node with no cache has no
+           cached ancestor (materialising a node caches every
+           descendant, and invalidation clears the whole spine up to
+           the root) *)
   }
 
   and nblock = {
@@ -277,11 +339,14 @@ module Wl = struct
     cfg : config;
     index : index;
     mutable next_nid : int;
-    defs : (int, node) Hashtbl.t;  (* value id -> defining node *)
-    uses : (int, (int, node) Hashtbl.t) Hashtbl.t;  (* value id -> users *)
-    subst : (int, Value.t) Hashtbl.t;
+    defs : node option Arena.t;  (* value id -> defining node *)
+    uses : node list Arena.t;
+        (* value id -> user nodes; lazily deleted (dead nodes linger and
+           are filtered on read) *)
+    subst : Value.t option Arena.t;  (* path-compressed union-find *)
     queue : node Queue.t;
     mutable root : node option;
+    mutable cur : node option;  (* node being visited, for ctx_parents *)
     mutable visited : int;
     mutable fired : int;
     mutable folded : int;
@@ -289,17 +354,20 @@ module Wl = struct
     mutable last_fired : string option;
   }
 
-  let create cfg index top =
+  let create cfg index =
     {
-      eb = Builder.for_op top;
+      (* import reserves every value id it sees before any pattern runs,
+         so no up-front Builder.for_op pre-walk is needed *)
+      eb = Builder.create ();
       cfg;
       index;
       next_nid = 0;
-      defs = Hashtbl.create 256;
-      uses = Hashtbl.create 256;
-      subst = Hashtbl.create 64;
+      defs = Arena.create ~capacity:256 None;
+      uses = Arena.create ~capacity:256 [];
+      subst = Arena.create ~capacity:256 None;
       queue = Queue.create ();
       root = None;
+      cur = None;
       visited = 0;
       fired = 0;
       folded = 0;
@@ -308,33 +376,14 @@ module Wl = struct
     }
 
   let add_use e v n =
-    let tbl =
-      match Hashtbl.find_opt e.uses (Value.id v) with
-      | Some t -> t
-      | None ->
-        let t = Hashtbl.create 4 in
-        Hashtbl.replace e.uses (Value.id v) t;
-        t
-    in
-    Hashtbl.replace tbl n.nid n
-
-  let remove_use e v n =
-    match Hashtbl.find_opt e.uses (Value.id v) with
-    | None -> ()
-    | Some t ->
-      Hashtbl.remove t n.nid;
-      if Hashtbl.length t = 0 then Hashtbl.remove e.uses (Value.id v)
+    let id = Value.id v in
+    Arena.set e.uses id (n :: Arena.get e.uses id)
 
   let live_users e v =
-    match Hashtbl.find_opt e.uses (Value.id v) with
-    | None -> []
-    | Some t ->
-      Hashtbl.fold (fun _ n acc -> if n.n_live then n :: acc else acc) t []
+    List.filter (fun n -> n.n_live) (Arena.get e.uses (Value.id v))
 
-  let num_uses e v =
-    match Hashtbl.find_opt e.uses (Value.id v) with
-    | None -> 0
-    | Some t -> Hashtbl.length t
+  let has_live_user e v =
+    List.exists (fun n -> n.n_live) (Arena.get e.uses (Value.id v))
 
   let enqueue e n =
     if n.n_live && not n.n_queued then begin
@@ -351,7 +400,18 @@ module Wl = struct
       n.n_regions;
     enqueue e n
 
-  let resolve e v = resolve_tbl e.subst ~pat_name:"<engine>" ~loc:Ftn_diag.Loc.unknown v
+  let resolve e v =
+    resolve_arena e.subst ~pat_name:"<engine>" ~loc:Ftn_diag.Loc.unknown v
+
+  (* Drop a node's cached materialisation and its ancestors' (theirs embed
+     this subtree). Stops at the first uncached node: by the invariant its
+     ancestors are uncached too. *)
+  let rec invalidate n =
+    match n.n_cached with
+    | None -> ()
+    | Some _ ->
+      n.n_cached <- None;
+      (match n.n_parent with Some p -> invalidate p | None -> ())
 
   let rec import e parent block (op : Op.t) =
     let operands = List.map (resolve e) op.Op.operands in
@@ -367,9 +427,10 @@ module Wl = struct
         n_block = block;
         n_live = true;
         n_queued = false;
+        n_cached = None;
       }
     in
-    List.iter (fun r -> Hashtbl.replace e.defs (Value.id r) n) n.n_results;
+    List.iter (fun r -> Arena.set e.defs (Value.id r) (Some n)) n.n_results;
     List.iter (fun v -> add_use e v n) operands;
     List.iter
       (fun v -> Builder.reserve_above e.eb (Value.id v))
@@ -392,28 +453,38 @@ module Wl = struct
         op.Op.regions;
     n
 
+  (* Materialise a node's subtree, reusing every cached descendant. Cost
+     is proportional to the invalidated spine, not the subtree size. *)
   let rec materialize n =
-    {
-      Op.name = n.n_name;
-      operands = n.n_operands;
-      results = n.n_results;
-      attrs = n.n_attrs;
-      regions =
-        List.map
-          (fun blocks ->
+    match n.n_cached with
+    | Some op -> op
+    | None ->
+      let op =
+        {
+          Op.name = n.n_name;
+          operands = n.n_operands;
+          results = n.n_results;
+          attrs = n.n_attrs;
+          regions =
             List.map
-              (fun nb ->
-                {
-                  Op.label = nb.nb_label;
-                  args = nb.nb_args;
-                  body = List.map materialize nb.nb_body;
-                })
-              blocks)
-          n.n_regions;
-    }
+              (fun blocks ->
+                List.map
+                  (fun nb ->
+                    {
+                      Op.label = nb.nb_label;
+                      args = nb.nb_args;
+                      body = List.map materialize nb.nb_body;
+                    })
+                  blocks)
+              n.n_regions;
+        }
+      in
+      n.n_cached <- Some op;
+      op
 
-  (* Killing a node unregisters its uses; producers that just lost a user
-     are re-enqueued so the driver can notice they became trivially dead. *)
+  (* Killing a node unregisters its defs; producers that just lost a user
+     are re-enqueued so the driver can notice they became trivially dead
+     (the use lists themselves are lazily deleted). *)
   let rec kill e n =
     if n.n_live then begin
       n.n_live <- false;
@@ -422,15 +493,14 @@ module Wl = struct
         n.n_regions;
       List.iter
         (fun v ->
-          remove_use e v n;
-          match Hashtbl.find_opt e.defs (Value.id v) with
+          match Arena.get e.defs (Value.id v) with
           | Some d when d.n_live -> enqueue e d
           | _ -> ())
         n.n_operands;
       List.iter
         (fun r ->
-          match Hashtbl.find_opt e.defs (Value.id r) with
-          | Some d when d == n -> Hashtbl.remove e.defs (Value.id r)
+          match Arena.get e.defs (Value.id r) with
+          | Some d when d == n -> Arena.set e.defs (Value.id r) None
           | _ -> ())
         n.n_results
     end
@@ -450,30 +520,32 @@ module Wl = struct
       | _ -> invalid_arg "Rewrite: top-level op was erased or split")
     | Some nb ->
       kill e n;
+      (match n.n_parent with Some p -> invalidate p | None -> ());
       let news = List.map (import e n.n_parent (Some nb)) new_ops in
       nb.nb_body <-
         List.concat_map (fun m -> if m == n then news else [ m ]) nb.nb_body;
       List.iter (enqueue_tree e) news;
       List.iter
         (fun r ->
-          match Hashtbl.find_opt e.defs (Value.id r) with
-          | Some d when d.n_live ->
-            List.iter (enqueue e) (live_users e r)
+          match Arena.get e.defs (Value.id r) with
+          | Some d when d.n_live -> List.iter (enqueue e) (live_users e r)
           | _ -> ())
         old_results
 
   (* Redirect every user of [old_v], eagerly: their operand lists are
-     rewritten in place and they are re-enqueued. *)
+     rewritten in place (invalidating their cached subtrees) and they are
+     re-enqueued. *)
   let record_replacement e ~pat_name ~loc old_v repl =
-    let root = record_subst e.subst ~pat_name ~loc old_v repl in
+    let root = record_subst_arena e.subst ~pat_name ~loc old_v repl in
     let users = live_users e old_v in
-    Hashtbl.remove e.uses (Value.id old_v);
+    Arena.set e.uses (Value.id old_v) [];
     List.iter
       (fun u ->
         u.n_operands <-
           List.map
             (fun v -> if Value.id v = Value.id old_v then root else v)
             u.n_operands;
+        invalidate u;
         add_use e root u;
         enqueue e u)
       users
@@ -487,10 +559,11 @@ module Wl = struct
       regions = [];
     }
 
-  let ctx_of e n =
+  (* One ctx serves the whole run; per-visit state lives in [e.cur]. *)
+  let ctx_of e =
     let def_node v =
       let v = resolve e v in
-      match Hashtbl.find_opt e.defs (Value.id v) with
+      match Arena.get e.defs (Value.id v) with
       | Some d when d.n_live -> Some d
       | _ -> None
     in
@@ -509,7 +582,9 @@ module Wl = struct
                    ~regions:d.n_regions ~results:d.n_results ->
             List.assoc_opt "value" d.n_attrs
           | _ -> None);
-      ctx_parents = (fun () -> up n.n_parent);
+      ctx_parents =
+        (fun () ->
+          match e.cur with None -> [] | Some n -> up n.n_parent);
     }
 
   let apply_fold e ctx n op folded =
@@ -548,7 +623,7 @@ module Wl = struct
     in
     if (not folded) && n.n_live then begin
       let dead =
-        List.for_all (fun r -> num_uses e r = 0) n.n_results
+        List.for_all (fun r -> not (has_live_user e r)) n.n_results
         && n.n_parent <> None
         && e.cfg.is_trivially_dead (Lazy.force op)
       in
@@ -557,12 +632,12 @@ module Wl = struct
         splice e n []
       end
       else
-        let rec go = function
-          | [] -> ()
-          | p :: rest -> (
-            let outcome = run_pattern p ctx (Lazy.force op) in
-            match outcome with
-            | None -> go rest
+        let ps = candidates e.index n.n_name in
+        let rec go i =
+          if i < Array.length ps then begin
+            let p = ps.(i) in
+            match run_pattern p ctx (Lazy.force op) with
+            | None -> go (i + 1)
             | Some { new_ops; replacements } ->
               e.fired <- e.fired + 1;
               e.last_fired <- Some p.pat_name;
@@ -571,19 +646,21 @@ module Wl = struct
                 (fun (old_v, repl) ->
                   record_replacement e ~pat_name:p.pat_name ~loc old_v repl)
                 replacements;
-              splice e n new_ops)
+              splice e n new_ops
+          end
         in
-        go (candidates e.index n.n_name)
+        go 0
     end
 
   let run cfg index top =
-    let e = create cfg index top in
+    let e = create cfg index in
     let root = import e None None top in
     e.root <- Some root;
     enqueue_tree e root;
     let initial = e.next_nid in
     let budget = cfg.max_iterations * (initial + 16) in
     let converged = ref true in
+    let ctx = ctx_of e in
     (try
        while not (Queue.is_empty e.queue) do
          let n = Queue.pop e.queue in
@@ -593,8 +670,9 @@ module Wl = struct
              converged := false;
              raise Exit
            end;
-           e.visited <- e.visited + 1;
-           visit e (ctx_of e n) n
+           if counted n.n_name then e.visited <- e.visited + 1;
+           e.cur <- Some n;
+           visit e ctx n
          end
        done
      with Exit -> warn_nonconverged ~budget ~unit_name:"op visits" e.last_fired);
@@ -675,7 +753,7 @@ module Sw = struct
   let unused e v = Hashtbl.find_opt e.used (Value.id v) = None
 
   let rec rewrite_op e ctx op =
-    e.visited <- e.visited + 1;
+    if counted op.Op.name then e.visited <- e.visited + 1;
     let op =
       { op with Op.operands = List.map (resolve e) op.Op.operands }
     in
@@ -744,9 +822,11 @@ module Sw = struct
       else try_patterns e ctx op
 
   and try_patterns e ctx op =
-    let rec go = function
-      | [] -> [ op ]
-      | p :: rest -> (
+    let ps = candidates e.index op.Op.name in
+    let rec go i =
+      if i >= Array.length ps then [ op ]
+      else
+        let p = ps.(i) in
         let outcome = run_pattern p ctx op in
         match outcome with
         | Some { new_ops; replacements } ->
@@ -765,9 +845,9 @@ module Sw = struct
                  let v' = resolve e v in
                  if Value.equal v v' then None else Some v'))
             new_ops
-        | None -> go rest)
+        | None -> go (i + 1)
     in
-    go (candidates e.index op.Op.name)
+    go 0
 
   let sweep_once e top =
     e.changed <- false;
@@ -837,22 +917,28 @@ module Sw = struct
       } )
 end
 
-let apply_with_stats ?driver ?(config = default_config) ?max_iterations
-    patterns top =
+let apply_compiled_with_stats ?driver ?(config = default_config)
+    ?max_iterations compiled top =
   let config =
     match max_iterations with
     | Some n -> { config with max_iterations = n }
     | None -> config
   in
   let driver = Option.value ~default:(default_driver ()) driver in
-  let index = make_index patterns in
   let result, st =
     match driver with
-    | Worklist -> Wl.run config index top
-    | Sweep -> Sw.run config index top
+    | Worklist -> Wl.run config compiled top
+    | Sweep -> Sw.run config compiled top
   in
   publish_stats st;
   (result, st)
+
+let apply_compiled ?driver ?config ?max_iterations compiled top =
+  fst (apply_compiled_with_stats ?driver ?config ?max_iterations compiled top)
+
+let apply_with_stats ?driver ?config ?max_iterations patterns top =
+  apply_compiled_with_stats ?driver ?config ?max_iterations
+    (compile patterns) top
 
 let apply ?driver ?config ?max_iterations patterns top =
   fst (apply_with_stats ?driver ?config ?max_iterations patterns top)

@@ -86,7 +86,11 @@ val default_driver : unit -> driver
     it to compare engines over an unchanged pass pipeline. *)
 
 type stats = {
-  ops_visited : int;  (** Ops examined (sweep: every op, every sweep). *)
+  ops_visited : int;
+      (** Ops examined (sweep: every op, every sweep). [builtin.module]
+          wrapper ops are not counted, so totals are invariant under
+          per-function module partitioning
+          ({!Pass.run_pipeline_parallel}). *)
   patterns_fired : int;
   ops_folded : int;
   ops_erased : int;  (** Trivially-dead ops removed by the driver. *)
@@ -96,9 +100,38 @@ type stats = {
 val pattern_profile : unit -> (string * int * int * float) list
 (** Per-pattern profiling data — [(name, attempts, fired, seconds)] —
     accumulated process-wide while [Ftn_obs.Profile.on] is set, sorted by
-    attributed time descending. Empty when profiling never ran. *)
+    attributed time descending. Empty when profiling never ran.
+    Mutex-guarded: safe to populate from concurrent domains. *)
 
 val reset_pattern_profile : unit -> unit
+
+(** A pattern set with its root-name candidate index precomputed.
+    Compiling once at module-toplevel (for pattern sets that don't depend
+    on per-run options) removes the per-[apply] index construction from
+    the hot path; the per-visit candidate lookup is a single hashtable
+    probe returning a prebuilt array. *)
+type compiled
+
+val compile : pattern list -> compiled
+(** Relative pattern order is preserved; wildcard (rootless) patterns are
+    merged into every root's candidate array at their original
+    positions. *)
+
+val apply_compiled :
+  ?driver:driver ->
+  ?config:config ->
+  ?max_iterations:int ->
+  compiled ->
+  Op.t ->
+  Op.t
+
+val apply_compiled_with_stats :
+  ?driver:driver ->
+  ?config:config ->
+  ?max_iterations:int ->
+  compiled ->
+  Op.t ->
+  Op.t * stats
 
 val apply :
   ?driver:driver ->

@@ -122,6 +122,58 @@ end program data_regions
 |}
     n
 
+(* A many-kernel compile-time workload: [kernels] distinct offload
+   regions over the same arrays, each with its own coefficient (and every
+   other one a simd region), so kernel outlining produces [kernels]
+   independent device functions — the shape the domain-parallel device
+   pipelines fan out over. The regions chain through b, so the printed
+   result checks all of them executed in order. *)
+let many_kernels ~kernels ~n =
+  let buf = Buffer.create (1024 + (kernels * 256)) in
+  Buffer.add_string buf
+    (Fmt.str
+       {|program many_kernels
+  implicit none
+  integer, parameter :: n = %d
+  real :: a(n), b(n)
+  integer :: i
+
+  do i = 1, n
+    a(i) = real(mod(i, 11)) * 0.5
+    b(i) = real(mod(i, 7)) * 0.25
+  end do
+
+|}
+       n);
+  for k = 1 to kernels do
+    let coeff = 0.0625 *. float_of_int (((k - 1) mod 8) + 1) in
+    if k mod 2 = 0 then
+      Buffer.add_string buf
+        (Fmt.str
+           {|  !$omp target parallel do simd simdlen(10) map(to:a) map(tofrom:b)
+  do i = 1, n
+    b(i) = b(i) + %.4f * a(i)
+  end do
+  !$omp end target parallel do simd
+
+|}
+           coeff)
+    else
+      Buffer.add_string buf
+        (Fmt.str
+           {|  !$omp target parallel do
+  do i = 1, n
+    b(i) = b(i) + %.4f * a(i)
+  end do
+  !$omp end target parallel do
+
+|}
+           coeff)
+  done;
+  Buffer.add_string buf
+    "  print *, 'many', b(1), b(n)\nend program many_kernels\n";
+  Buffer.contents buf
+
 (* 1-D heat-diffusion stencil: two offloaded sweeps per timestep inside
    one target data region — the multi-kernel, data-resident pattern the
    rewrite/fault/backend benches all share. *)

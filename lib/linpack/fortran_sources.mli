@@ -14,6 +14,11 @@ val dot_product : n:int -> simdlen:int -> string
 val data_regions : n:int -> string
 (** Nested data regions, the paper's Listing 1 shape. *)
 
+val many_kernels : kernels:int -> n:int -> string
+(** [kernels] distinct offload regions over shared arrays (every other
+    one a simd region), yielding that many independent device kernels —
+    the compile-time workload for the domain-parallel pipelines. *)
+
 val stencil : n:int -> steps:int -> string
 (** 1-D heat-diffusion stencil: two kernels per timestep inside one
     target data region. *)

@@ -28,14 +28,17 @@ type t = {
 
 let create () = { spans = []; stack = []; next_id = 0 }
 
-let ambient = ref (create ())
-let current () = !ambient
-let set_current c = ambient := c
+(* The ambient collector is domain-local: spans from worker domains
+   (parallel pass pipelines, DSE sweeps) land in per-domain collectors
+   instead of racing on the main trace's mutable span list. *)
+let ambient = Domain.DLS.new_key create
+let current () = Domain.DLS.get ambient
+let set_current c = Domain.DLS.set ambient c
 
 let with_collector c f =
-  let saved = !ambient in
-  ambient := c;
-  Fun.protect ~finally:(fun () -> ambient := saved) f
+  let saved = current () in
+  Domain.DLS.set ambient c;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient saved) f
 
 let next_id c = c.next_id
 let count c = c.next_id
@@ -62,7 +65,7 @@ let fresh c ~parent ~name ~clock ~start_s ~dur_s ~attrs =
    attach attributes computed during the work; it is closed (duration
    fixed) even when [f] raises. *)
 let with_span_sp ?collector ?(attrs = []) ~name f =
-  let c = match collector with Some c -> c | None -> !ambient in
+  let c = match collector with Some c -> c | None -> current () in
   let parent = match c.stack with sp :: _ -> Some sp.id | [] -> None in
   let sp =
     fresh c ~parent ~name ~clock:Wall ~start_s:(Unix.gettimeofday ())
@@ -83,7 +86,7 @@ let with_span ?collector ?attrs ~name f =
 
 (* Record a completed span on the simulated device timeline. *)
 let record_sim ?collector ?(attrs = []) ?parent ~name ~start_s ~dur_s () =
-  let c = match collector with Some c -> c | None -> !ambient in
+  let c = match collector with Some c -> c | None -> current () in
   fresh c ~parent ~name ~clock:Sim ~start_s ~dur_s ~attrs
 
 let pp_span fmt sp =

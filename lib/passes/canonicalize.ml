@@ -147,13 +147,18 @@ let config =
     is_trivially_dead = erasable;
   }
 
+(* all canonicalize entry points drive the fold/DCE hooks with an empty
+   pattern set: compile it once at toplevel *)
+let no_patterns = Rewrite.compile []
+
 let fold_constants m =
-  Rewrite.apply
+  Rewrite.apply_compiled
     ~config:{ config with Rewrite.is_trivially_dead = (fun _ -> false) }
-    [] m
+    no_patterns m
 
 let dce m =
-  Rewrite.apply ~config:{ config with Rewrite.fold = None } [] m
+  Rewrite.apply_compiled ~config:{ config with Rewrite.fold = None }
+    no_patterns m
 
 (* --- common subexpression elimination (per block, pure ops only) --- *)
 
@@ -355,7 +360,7 @@ let dead_alloca_elimination m =
     | [ m' ] -> m'
     | _ -> invalid_arg "dead_alloca_elimination: module vanished"
 
-let simplify m = Rewrite.apply ~config [] m
+let simplify m = Rewrite.apply_compiled ~config no_patterns m
 
 let run m =
   m |> simplify |> cse |> forward_stores |> simplify

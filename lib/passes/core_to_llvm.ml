@@ -479,8 +479,11 @@ let func_to_llvm =
         Some (Rewrite.replace_with [ convert_func (Rewrite.builder ctx) fn ])
       | _ -> None)
 
+(* the pattern set is options-independent: compile its root index once *)
+let compiled = Rewrite.compile [ func_to_llvm ]
+
 let run m =
-  let m = Rewrite.apply [ func_to_llvm ] m in
+  let m = Rewrite.apply_compiled compiled m in
   (* hoist math declarations recorded on converted functions, and restore
      the module layout: non-function ops, then declarations, then the
      converted functions *)

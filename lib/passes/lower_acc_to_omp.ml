@@ -90,6 +90,9 @@ let patterns =
     rename "acc.terminator" (fun op -> { op with Op.name = "omp.terminator" });
   ]
 
-let run m = Rewrite.apply patterns m
+(* the pattern set is options-independent: compile its root index once *)
+let compiled = Rewrite.compile patterns
+
+let run m = Rewrite.apply_compiled compiled m
 
 let pass = Pass.make "lower-acc-to-omp" run

@@ -58,7 +58,10 @@ let target_to_kernel =
              Op.set_loc (Device.kernel_wait handle) loc;
            ]))
 
-let to_kernel_ops m = Rewrite.apply [ target_to_kernel ] m
+(* the pattern set is options-independent: compile its root index once *)
+let to_kernel_compiled = Rewrite.compile [ target_to_kernel ]
+
+let to_kernel_ops m = Rewrite.apply_compiled to_kernel_compiled m
 
 (* --- step 2: outline kernel regions into a device module --- *)
 
@@ -119,6 +122,12 @@ let outline m =
     Op.with_module_body m' (Op.module_body m' @ [ device_module ])
   end
 
-let run m = outline (to_kernel_ops m)
+(* Kernel names must be a pure function of the input module, not of how
+   many compiles this process ran before: reset the ordinal per run so
+   repeated compiles (bench reps, identity checks) name kernels
+   identically. *)
+let run m =
+  kernel_counter := 0;
+  outline (to_kernel_ops m)
 
 let pass = Pass.make "lower-omp-target-region" run

@@ -6,6 +6,11 @@ type options = {
   data : Lower_omp_data.options;
   hls : Lower_omp_to_hls.options;
   canonicalize : bool;
+  domains : int;
+      (* 0 = legacy sequential pipelines; >= 1 routes the per-function
+         device pipelines through Pass.run_pipeline_parallel (1 = the
+         partitioned engine on a single domain — the determinism
+         reference the multi-domain output must be byte-identical to) *)
 }
 
 let default_options =
@@ -13,6 +18,7 @@ let default_options =
     data = Lower_omp_data.default_options;
     hls = Lower_omp_to_hls.default_options;
     canonicalize = true;
+    domains = 0;
   }
 
 let maybe_canon opts passes =
@@ -48,6 +54,24 @@ type compiled = {
 let run_mid_end ?(options = default_options) ?(to_llvm = true) m =
   let all_stages = ref [] in
   let record rs = all_stages := !all_stages @ rs in
+  (* The host pipeline stays sequential: before kernel outlining the
+     module is a single function, so there is nothing to partition. The
+     device pipelines fan per-kernel functions across domains when
+     [options.domains >= 1]. *)
+  let run_device passes d =
+    let out, stages =
+      if options.domains >= 1 then
+        Pass.run_pipeline_parallel ~verify_between:true
+          ~domains:options.domains passes d
+      else Pass.run_pipeline ~verify_between:true passes d
+    in
+    (* Canonically renumber either way (renumbering is idempotent, so the
+       parallel merge's own renumber is fine): the emitted device modules
+       are a pure function of the input module, byte-identical whatever
+       [options.domains] is. *)
+    let out, _ = Op.renumber out in
+    (out, stages)
+  in
   let combined =
     Ftn_obs.Span.with_span ~name:"mid_end.host" (fun () ->
         let combined, stages =
@@ -67,20 +91,14 @@ let run_mid_end ?(options = default_options) ?(to_llvm = true) m =
     | Some d ->
       let hls =
         Ftn_obs.Span.with_span ~name:"mid_end.device" (fun () ->
-            let hls, stages =
-              Pass.run_pipeline ~verify_between:true
-                (device_passes ~options ()) d
-            in
+            let hls, stages = run_device (device_passes ~options ()) d in
             record stages;
             hls)
       in
       if to_llvm then begin
         let ll =
           Ftn_obs.Span.with_span ~name:"mid_end.device_llvm" (fun () ->
-              let ll, stages =
-                Pass.run_pipeline ~verify_between:true (device_llvm_passes ())
-                  hls
-              in
+              let ll, stages = run_device (device_llvm_passes ()) hls in
               record stages;
               ll)
         in

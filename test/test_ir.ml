@@ -561,6 +561,83 @@ let rewrite_tests =
           ignore (Rewrite.apply [ pat ] (Op.module_op [ fn ]));
           check (Alcotest.list Alcotest.string) "only the rooted op"
             [ "test.only" ] !fired_on);
+      tc "in-queue flag coalesces re-enqueues on a diamond def/use graph"
+        (fun () ->
+          (* a (generalised) diamond: one source value fanning out to M
+             mid ops whose results all join in a single user. Renaming
+             each mid op re-enqueues the join; without the in-queue flag
+             the join would be pushed once per mid and visited up to M
+             extra times. With coalescing the total visit count is
+             exactly: initial ops (func + src + M mids + join + return =
+             M+4) plus the M renamed replacement ops plus one revisit of
+             the source (each kill re-enqueues the producer for the
+             dead-code check; those M re-enqueues coalesce too) — the
+             join's M re-enqueues collapse into its single queued entry. *)
+          let m_mids = 8 in
+          let b = Builder.create () in
+          let src = Builder.op1 b "test.src" Types.I32 in
+          let mids =
+            List.init m_mids (fun _ ->
+                Builder.op1 b "test.mid" ~operands:[ Op.result1 src ]
+                  Types.I32)
+          in
+          let join =
+            Op.make "test.join" ~operands:(List.map Op.result1 mids)
+          in
+          let fn =
+            Ftn_dialects.Func_d.func ~sym_name:"f" ~args:[] ~result_tys:[]
+              ((src :: mids) @ [ join; Ftn_dialects.Func_d.return () ])
+          in
+          let rename =
+            Rewrite.pattern ~roots:[ "test.mid" ] "mid->done" (fun _ op ->
+                Some (Rewrite.replace_with [ { op with Op.name = "test.done" } ]))
+          in
+          let _, stats =
+            Rewrite.apply_with_stats ~driver:Rewrite.Worklist [ rename ]
+              (Op.module_op [ fn ])
+          in
+          check Alcotest.int "patterns fired once per mid" m_mids
+            stats.Rewrite.patterns_fired;
+          check Alcotest.int "visits coalesced"
+            ((2 * m_mids) + 5)
+            stats.Rewrite.ops_visited);
+      tc "pattern stats survive a 4-domain hammer without lost updates"
+        (fun () ->
+          let saved = Ftn_obs.Profile.enabled () in
+          Ftn_obs.Profile.set_enabled true;
+          Fun.protect
+            ~finally:(fun () -> Ftn_obs.Profile.set_enabled saved)
+            (fun () ->
+              Rewrite.reset_pattern_profile ();
+              let iters = 200 in
+              (* each apply attempts the rooted pattern exactly once (one
+                 test.hammer op per module, never fires) *)
+              let work () =
+                let pat =
+                  Rewrite.pattern ~roots:[ "test.hammer" ] "hammered"
+                    (fun _ _ -> None)
+                in
+                for _ = 1 to iters do
+                  let fn =
+                    Ftn_dialects.Func_d.func ~sym_name:"f" ~args:[]
+                      ~result_tys:[]
+                      [ Op.make "test.hammer"; Ftn_dialects.Func_d.return () ]
+                  in
+                  ignore (Rewrite.apply [ pat ] (Op.module_op [ fn ]))
+                done
+              in
+              let workers = List.init 3 (fun _ -> Domain.spawn work) in
+              work ();
+              List.iter Domain.join workers;
+              let attempts =
+                List.fold_left
+                  (fun acc (name, attempts, _, _) ->
+                    if String.equal name "hammered" then acc + attempts
+                    else acc)
+                  0
+                  (Rewrite.pattern_profile ())
+              in
+              check Alcotest.int "no lost attempts" (4 * iters) attempts));
       tc "worklist and sweep drivers agree on the fixpoint" (fun () ->
           (* a -> b -> c rename chain with no fresh values: the printed
              fixpoints must match byte for byte *)

@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench bench-rewrite bench-compile bench-interp bench-fault bench-profile bench-backend bench-sched clean
+.PHONY: all build test check bench bench-rewrite bench-compile bench-interp bench-fault bench-profile bench-backend bench-sched bench-chaos clean
 
 all: build
 
@@ -24,6 +24,7 @@ check: ## build everything, run the full test suite, every example, and the rewr
 	$(MAKE) bench-profile
 	$(MAKE) bench-backend
 	$(MAKE) bench-sched
+	$(MAKE) bench-chaos
 
 bench:
 	dune exec bench/main.exe
@@ -48,6 +49,9 @@ bench-backend: ## vitis vs rv differential; fails unless all four programs produ
 
 bench-sched: ## 1000-job queue on 1 vs 4 devices; fails unless zero drops, byte-identical output and >= 2x makespan speedup, plus drain/fallback fault runs
 	dune exec bench/main.exe -- --sched --quick
+
+bench-chaos: ## seeded chaos campaign on the resilience layer; fails unless jobs are conserved, clean runs are transparent, chaos runs are deterministic and p99 stays bounded
+	dune exec bench/main.exe -- --chaos --quick
 
 clean:
 	dune clean

@@ -42,6 +42,10 @@ let profile_only = Array.exists (String.equal "--profile") Sys.argv
    which doubles as the `make bench-sched` sanity gate. *)
 let sched_only = Array.exists (String.equal "--sched") Sys.argv
 
+(* --chaos runs only the resilience-layer soak (BENCH_chaos.json),
+   which doubles as the `make bench-chaos` sanity gate. *)
+let chaos_only = Array.exists (String.equal "--chaos") Sys.argv
+
 let progress fmt = Fmt.epr (fmt ^^ "@.")
 
 let saxpy_sizes =
@@ -1418,6 +1422,7 @@ let sched_report () =
   let run_queue ?fault_device ~devices n =
     let config =
       {
+        Jobs.default_config with
         Jobs.devices;
         queue_depth = 8;
         fault_device =
@@ -1554,6 +1559,333 @@ let sched_report () =
   if !failures <> [] then begin
     List.iter
       (fun s -> Fmt.epr "sched bench FAILED: %s@." s)
+      (List.rev !failures);
+    exit 1
+  end
+
+(* --- BENCH_chaos.json: resilience-layer soak gate. A seeded randomized
+   fault campaign over a 1000-job multi-tenant DAG: ~12% of jobs carry a
+   random transient fault (site drawn across transfer/alloc/launch/
+   timeout), device 1 injects a persistent launch fault into everything
+   placed on it (with drain disabled, so the circuit breaker — not the
+   executor's one-shot drain — must take the board out), deadlines,
+   tenant quotas and breakers are armed, and three poison jobs (a
+   dependency cycle plus an unknown dependency) ride along. Gates:
+   jobs_run + jobs_dropped + jobs_shed equals jobs submitted on every
+   run; the chaos campaign is byte-identical across two runs with the
+   same seed, with bounded, deterministic breaker trips; tail latency
+   stays bounded relative to the clean baseline; and with no faults or
+   quotas configured the resilience layer is fully transparent — output
+   and makespan byte-identical to a default-config run. *)
+
+let chaos_report () =
+  header "Chaos soak: resilience layer (BENCH_chaos.json)";
+  let n_base = 1000 in
+  let seed = 42 in
+  let variants =
+    [|
+      ("saxpy64", Ftn_linpack.Fortran_sources.saxpy ~n:64);
+      ("saxpy100", Ftn_linpack.Fortran_sources.saxpy ~n:100);
+      ("sgesl12", Ftn_linpack.Fortran_sources.sgesl ~n:12);
+      ("sgesl20", Ftn_linpack.Fortran_sources.sgesl ~n:20);
+    |]
+  in
+  progress "  compiling %d job variants ..." (Array.length variants);
+  let compiled =
+    Array.map
+      (fun (name, src) ->
+        let art = Core.Compiler.compile src in
+        let bs = Core.Compiler.synthesise art in
+        (name, art.Core.Compiler.host, bs))
+      variants
+  in
+  let persistent_plan =
+    match Fault.parse_plan "launch:nth=1:persistent" with
+    | Ok p -> p
+    | Error msg -> Fmt.failwith "bad persistent plan: %s" msg
+  in
+  (* No drain: the sick board stays in rotation until its breaker trips,
+     which is exactly what this gate is about. *)
+  let chaos_retry = { Fault.default_retry with Fault.drain = false } in
+  let transient_kinds =
+    [|
+      Fault.Transfer_error; Fault.Alloc_failure; Fault.Launch_failure;
+      Fault.Kernel_timeout;
+    |]
+  in
+  (* Job list: job i runs variant i mod 4 under tenant t(i mod 4) at
+     priority i mod 3; every 7th job depends on the job 7 before it. In
+     chaos mode a seeded rng sprinkles transient single-shot faults over
+     ~12% of the jobs and appends three poison jobs: a dependency cycle
+     and an unknown dependency, which must be dropped with diagnostics,
+     not lost. *)
+  let specs ~chaos () =
+    let rng = Random.State.make [| seed |] in
+    let base =
+      List.init n_base (fun i ->
+          let _vname, host, bs = compiled.(i mod Array.length compiled) in
+          let deps =
+            if i mod 7 = 0 && i >= 7 then [ Fmt.str "c%04d" (i - 7) ] else []
+          in
+          let transient =
+            if chaos && Random.State.int rng 100 < 12 then
+              Some
+                (Fault.plan ~seed:(seed + i)
+                   [
+                     Fault.rule
+                       transient_kinds.(Random.State.int rng
+                                          (Array.length transient_kinds))
+                       (Fault.Nth 1);
+                   ])
+            else None
+          in
+          Jobs.job
+            ~tenant:(Fmt.str "t%d" (i mod 4))
+            ~deps ~prio:(i mod 3)
+            ~name:(Fmt.str "c%04d" i)
+            (fun ?faults ~sched ~device ~start_s () ->
+              let faults =
+                match faults with Some _ as f -> f | None -> transient
+              in
+              Executor.run ?faults ~retry:chaos_retry ~sched ~device
+                ~start_s ~host ~bitstream:bs ()))
+    in
+    if not chaos then base
+    else begin
+      let _vname, host, bs = compiled.(0) in
+      let poison ~tenant ~deps name =
+        Jobs.job ~tenant ~deps ~name
+          (fun ?faults ~sched ~device ~start_s () ->
+            Executor.run ?faults ~retry:chaos_retry ~sched ~device ~start_s
+              ~host ~bitstream:bs ())
+      in
+      base
+      @ [
+          poison ~tenant:"t2" ~deps:[ "cyc_b" ] "cyc_a";
+          poison ~tenant:"t2" ~deps:[ "cyc_a" ] "cyc_b";
+          poison ~tenant:"t3" ~deps:[ "no_such_job" ] "orphan";
+        ]
+    end
+  in
+  let n_chaos = n_base + 3 in
+  let deadline_s = 0.05 and slo_s = 0.005 in
+  let clean_config =
+    { Jobs.default_config with Jobs.devices = 4; queue_depth = 8 }
+  in
+  (* Every resilience feature armed but none able to trigger on a clean
+     run: the transparency gate below insists this changes nothing. *)
+  let transparent_config =
+    {
+      clean_config with
+      Jobs.default_deadline_s = Some 1e6;
+      tenant_quota = Some n_base;
+      slo_s = Some 1e6;
+      breaker = Some Breaker.default_config;
+      shed_watermark = Some (10 * n_base);
+    }
+  in
+  let chaos_config =
+    {
+      Jobs.devices = 4;
+      queue_depth = 8;
+      fault_device = Some (1, persistent_plan);
+      default_deadline_s = Some deadline_s;
+      tenant_quota = Some 16;
+      tenant_share = None;
+      slo_s = Some slo_s;
+      breaker = Some Breaker.default_config;
+      shed_watermark = Some (2 * n_chaos);
+    }
+  in
+  progress "  %d clean jobs, resilience off ..." n_base;
+  let baseline = Jobs.run ~config:clean_config (specs ~chaos:false ()) in
+  progress "  %d clean jobs, resilience armed (transparency) ..." n_base;
+  let transparent =
+    Jobs.run ~config:transparent_config (specs ~chaos:false ())
+  in
+  progress "  %d jobs, chaos campaign, run 1 ..." n_chaos;
+  let diag1 = Ftn_diag.Diag_engine.create () in
+  let chaos1 = Jobs.run ~config:chaos_config ~diag:diag1 (specs ~chaos:true ()) in
+  progress "  %d jobs, chaos campaign, run 2 (same seed) ..." n_chaos;
+  let diag2 = Ftn_diag.Diag_engine.create () in
+  let chaos2 = Jobs.run ~config:chaos_config ~diag:diag2 (specs ~chaos:true ()) in
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
+  let close a b =
+    Float.abs (a -. b)
+    <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+  in
+  (* Gate 1: job conservation on every run. *)
+  let conserve name n (s : Jobs.stats) =
+    if s.Jobs.jobs_run + s.Jobs.jobs_dropped + s.Jobs.jobs_shed <> n then
+      fail "%s: %d run + %d dropped + %d shed <> %d submitted" name
+        s.Jobs.jobs_run s.Jobs.jobs_dropped s.Jobs.jobs_shed n
+  in
+  conserve "baseline" n_base baseline;
+  conserve "transparent" n_base transparent;
+  conserve "chaos1" n_chaos chaos1;
+  conserve "chaos2" n_chaos chaos2;
+  (* Gate 2: the armed-but-idle resilience layer is transparent. *)
+  if not (String.equal baseline.Jobs.output transparent.Jobs.output) then
+    fail "resilience-armed clean run changed the output bytes";
+  if baseline.Jobs.jobs_run <> transparent.Jobs.jobs_run then
+    fail "resilience-armed clean run changed jobs_run (%d vs %d)"
+      baseline.Jobs.jobs_run transparent.Jobs.jobs_run;
+  if not (close baseline.Jobs.elapsed_s transparent.Jobs.elapsed_s) then
+    fail "resilience-armed clean run changed the makespan (%.9f vs %.9f)"
+      baseline.Jobs.elapsed_s transparent.Jobs.elapsed_s;
+  if transparent.Jobs.jobs_shed <> 0 then
+    fail "clean run shed %d jobs" transparent.Jobs.jobs_shed;
+  if List.exists (fun b -> b.Breaker.bk_trips > 0) transparent.Jobs.breakers
+  then fail "clean run tripped a breaker";
+  if transparent.Jobs.slo_violations <> 0 then
+    fail "clean run recorded %d slo violations with a 1e6 s objective"
+      transparent.Jobs.slo_violations;
+  (* Gate 3: the chaos campaign is deterministic under its seed. *)
+  if not (String.equal chaos1.Jobs.output chaos2.Jobs.output) then
+    fail "chaos runs with the same seed produced different output bytes";
+  if
+    chaos1.Jobs.jobs_run <> chaos2.Jobs.jobs_run
+    || chaos1.Jobs.jobs_dropped <> chaos2.Jobs.jobs_dropped
+    || chaos1.Jobs.jobs_shed <> chaos2.Jobs.jobs_shed
+  then
+    fail "chaos runs with the same seed disagree (%d/%d/%d vs %d/%d/%d)"
+      chaos1.Jobs.jobs_run chaos1.Jobs.jobs_dropped chaos1.Jobs.jobs_shed
+      chaos2.Jobs.jobs_run chaos2.Jobs.jobs_dropped chaos2.Jobs.jobs_shed;
+  if not (close chaos1.Jobs.elapsed_s chaos2.Jobs.elapsed_s) then
+    fail "chaos runs with the same seed disagree on makespan";
+  let trips (s : Jobs.stats) =
+    List.map (fun b -> (b.Breaker.bk_device, b.Breaker.bk_trips)) s.Jobs.breakers
+  in
+  if trips chaos1 <> trips chaos2 then
+    fail "chaos runs with the same seed disagree on breaker trips";
+  (* Gate 4: breaker trips are present and bounded. *)
+  let total_trips =
+    List.fold_left (fun acc (_, t) -> acc + t) 0 (trips chaos1)
+  in
+  if total_trips < 1 then
+    fail "the persistently faulted device never tripped its breaker";
+  List.iter
+    (fun (d, t) ->
+      if t > Breaker.default_config.Breaker.flap_limit then
+        fail "device %d tripped %d times (> flap limit %d)" d t
+          Breaker.default_config.Breaker.flap_limit)
+    (trips chaos1);
+  (* Gate 5: the poison jobs are dropped with diagnostics, not lost. *)
+  if chaos1.Jobs.jobs_dropped <> 3 then
+    fail "expected the 3 poison jobs dropped, got %d" chaos1.Jobs.jobs_dropped;
+  if Ftn_diag.Diag_engine.warning_count diag1 < 3 then
+    fail "dropped jobs emitted %d warnings (want >= 3)"
+      (Ftn_diag.Diag_engine.warning_count diag1);
+  (* Gate 6: tail latency stays bounded — within the deadline plus the
+     service tail of a clean run (faults inflate service time, but the
+     admission wait beyond the deadline is shed, not served). *)
+  let p99_bound = deadline_s +. (10.0 *. baseline.Jobs.p99_latency_s) in
+  if chaos1.Jobs.p99_latency_s > p99_bound then
+    fail "chaos p99 %.6f s exceeds the bound %.6f s" chaos1.Jobs.p99_latency_s
+      p99_bound;
+  let shed_reasons (s : Jobs.stats) =
+    List.fold_left
+      (fun acc (sh : Jobs.shed) ->
+        let n = try List.assoc sh.Jobs.sh_reason acc with Not_found -> 0 in
+        (sh.Jobs.sh_reason, n + 1) :: List.remove_assoc sh.Jobs.sh_reason acc)
+      [] s.Jobs.sheds
+  in
+  let line name n (s : Jobs.stats) =
+    Fmt.pr
+      "  %-22s %5d/%d run, %d shed, %d dropped  makespan %9.3f ms  p50 \
+       %8.3f us  p90 %8.3f us  p99 %8.3f us  slo viol %d@."
+      name s.Jobs.jobs_run n s.Jobs.jobs_shed s.Jobs.jobs_dropped
+      (s.Jobs.elapsed_s *. 1e3)
+      (s.Jobs.p50_latency_s *. 1e6)
+      (s.Jobs.p90_latency_s *. 1e6)
+      (s.Jobs.p99_latency_s *. 1e6)
+      s.Jobs.slo_violations
+  in
+  line "clean baseline" n_base baseline;
+  line "clean, resilience on" n_base transparent;
+  line "chaos campaign" n_chaos chaos1;
+  List.iter
+    (fun b -> Fmt.pr "  %a@." Breaker.pp_snapshot b)
+    chaos1.Jobs.breakers;
+  (match shed_reasons chaos1 with
+  | [] -> Fmt.pr "  no jobs shed@."
+  | rs ->
+    Fmt.pr "  sheds:%s@."
+      (String.concat ""
+         (List.map (fun (r, n) -> Fmt.str " %s=%d" r n) rs)));
+  let stats_json (s : Jobs.stats) =
+    Ftn_obs.Json.Obj
+      [
+        ("jobs_run", Ftn_obs.Json.Int s.Jobs.jobs_run);
+        ("jobs_dropped", Ftn_obs.Json.Int s.Jobs.jobs_dropped);
+        ("jobs_shed", Ftn_obs.Json.Int s.Jobs.jobs_shed);
+        ("elapsed_s", Ftn_obs.Json.Float s.Jobs.elapsed_s);
+        ("p50_latency_s", Ftn_obs.Json.Float s.Jobs.p50_latency_s);
+        ("p90_latency_s", Ftn_obs.Json.Float s.Jobs.p90_latency_s);
+        ("p99_latency_s", Ftn_obs.Json.Float s.Jobs.p99_latency_s);
+        ("slo_violations", Ftn_obs.Json.Int s.Jobs.slo_violations);
+        ("shed_wait_s", Ftn_obs.Json.Float s.Jobs.shed_wait_s);
+        ( "sheds",
+          Ftn_obs.Json.Obj
+            (List.map
+               (fun (r, n) -> (r, Ftn_obs.Json.Int n))
+               (shed_reasons s)) );
+        ( "breakers",
+          Ftn_obs.Json.List
+            (List.map
+               (fun b ->
+                 Ftn_obs.Json.Obj
+                   [
+                     ("device", Ftn_obs.Json.Int b.Breaker.bk_device);
+                     ("state", Ftn_obs.Json.String b.Breaker.bk_state);
+                     ("trips", Ftn_obs.Json.Int b.Breaker.bk_trips);
+                   ])
+               s.Jobs.breakers) );
+        ( "tenants",
+          Ftn_obs.Json.Obj
+            (List.map
+               (fun (t : Jobs.tenant_stats) ->
+                 ( t.Jobs.t_name,
+                   Ftn_obs.Json.Obj
+                     [
+                       ("run", Ftn_obs.Json.Int t.Jobs.t_run);
+                       ("shed", Ftn_obs.Json.Int t.Jobs.t_shed);
+                       ("p50_s", Ftn_obs.Json.Float t.Jobs.t_p50_s);
+                       ("p90_s", Ftn_obs.Json.Float t.Jobs.t_p90_s);
+                       ("p99_s", Ftn_obs.Json.Float t.Jobs.t_p99_s);
+                       ( "slo_violations",
+                         Ftn_obs.Json.Int t.Jobs.t_slo_violations );
+                     ] ))
+               s.Jobs.tenants) );
+      ]
+  in
+  let j =
+    Ftn_obs.Json.Obj
+      [
+        ("jobs", Ftn_obs.Json.Int n_chaos);
+        ("seed", Ftn_obs.Json.Int seed);
+        ("deadline_s", Ftn_obs.Json.Float deadline_s);
+        ("slo_s", Ftn_obs.Json.Float slo_s);
+        ( "fault_plan",
+          Ftn_obs.Json.String (Fault.plan_to_string persistent_plan) );
+        ( "transparent",
+          Ftn_obs.Json.Bool
+            (String.equal baseline.Jobs.output transparent.Jobs.output) );
+        ( "deterministic",
+          Ftn_obs.Json.Bool
+            (String.equal chaos1.Jobs.output chaos2.Jobs.output) );
+        ("p99_bound_s", Ftn_obs.Json.Float p99_bound);
+        ("baseline", stats_json baseline);
+        ("resilience_on_clean", stats_json transparent);
+        ("chaos", stats_json chaos1);
+      ]
+  in
+  Ftn_obs.Json.write_file "BENCH_chaos.json" j;
+  Fmt.pr "  wrote BENCH_chaos.json@.";
+  if !failures <> [] then begin
+    List.iter
+      (fun s -> Fmt.epr "chaos bench FAILED: %s@." s)
       (List.rev !failures);
     exit 1
   end
@@ -1915,6 +2247,11 @@ let () =
     Fmt.pr "@.done.@.";
     exit 0
   end;
+  if chaos_only then begin
+    chaos_report ();
+    Fmt.pr "@.done.@.";
+    exit 0
+  end;
   figure1 ();
   figure2 ();
   table1 ();
@@ -1936,5 +2273,6 @@ let () =
   fault_report ();
   backend_report ();
   sched_report ();
+  chaos_report ();
   if not skip_bechamel then run_bechamel ();
   Fmt.pr "@.done.@."

@@ -413,7 +413,51 @@ let sched_term =
              $(docv), modelling one persistently bad board; with multiple \
              devices its queue drains to healthy peers.")
   in
-  let make devices jobs fault_device =
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Shed any queued job whose admission wait would exceed \
+             $(docv) of simulated time instead of running it; shed jobs \
+             are charged only their wait and reported in the scheduler \
+             summary.")
+  in
+  let tenant_quota_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tenant-quota" ] ~docv:"K"
+          ~doc:
+            "Cap each tenant at $(docv) in-flight jobs; at the cap a \
+             tenant's next admission waits for its own oldest completion, \
+             whatever the device backlog.")
+  in
+  let breaker_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "breaker" ] ~docv:"SPEC"
+          ~doc:
+            "Enable per-device circuit breakers: $(b,on) for the \
+             defaults, or $(b,trip=N,cooldown=S,flap=N) to override. A \
+             device with N consecutive bad jobs stops taking work for \
+             the cooldown, re-admits one probe, and is quarantined after \
+             flapping too often.")
+  in
+  let shed_watermark_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shed-watermark" ] ~docv:"W"
+          ~doc:
+            "Shed the lowest-priority, furthest-past-deadline queued \
+             jobs whenever more than $(docv) are waiting, keeping tail \
+             latency bounded under overload.")
+  in
+  let make devices jobs fault_device deadline tenant_quota breaker
+      shed_watermark =
     if devices < 1 then begin
       Fmt.epr "error: --devices must be at least 1@.";
       exit 1
@@ -427,9 +471,37 @@ let sched_term =
       Fmt.epr "error: --fault-device %d is outside 0..%d@." d (devices - 1);
       exit 1
     | _ -> ());
-    (devices, jobs, fault_device)
+    (match deadline with
+    | Some d when d <= 0.0 ->
+      Fmt.epr "error: --deadline must be positive@.";
+      exit 1
+    | _ -> ());
+    (match tenant_quota with
+    | Some q when q < 1 ->
+      Fmt.epr "error: --tenant-quota must be at least 1@.";
+      exit 1
+    | _ -> ());
+    (match shed_watermark with
+    | Some w when w < 1 ->
+      Fmt.epr "error: --shed-watermark must be at least 1@.";
+      exit 1
+    | _ -> ());
+    let breaker =
+      match breaker with
+      | None -> None
+      | Some spec -> (
+        match Ftn_runtime.Breaker.parse_config spec with
+        | Ok cfg -> Some cfg
+        | Error msg ->
+          Fmt.epr "error: --breaker: %s@." msg;
+          exit 1)
+    in
+    (devices, jobs, fault_device, deadline, tenant_quota, breaker,
+     shed_watermark)
   in
-  Term.(const make $ devices_arg $ jobs_arg $ fault_device_arg)
+  Term.(
+    const make $ devices_arg $ jobs_arg $ fault_device_arg $ deadline_arg
+    $ tenant_quota_arg $ breaker_arg $ shed_watermark_arg)
 
 (* --- commands --- *)
 
@@ -520,12 +592,14 @@ let synth_cmd =
 
 let run_term =
   let run source report trace cpu xclbin backend domains (fault_plan, retry)
-      (devices, jobs, fault_device) obs =
+      (devices, jobs, fault_device, deadline_s, tenant_quota, breaker,
+       shed_watermark) obs =
     handle_errors (fun () ->
         with_obs obs @@ fun () ->
         let options =
           { (options_for ~domains backend) with
-            Core.Options.fault_plan; retry; devices; jobs }
+            Core.Options.fault_plan; retry; devices; jobs; deadline_s;
+            tenant_quota; breaker; shed_watermark }
         in
         let src = read_source source in
         if cpu then begin

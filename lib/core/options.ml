@@ -20,6 +20,14 @@ type t = {
   jobs : int;
       (** Concurrent copies of the program submitted through the job
           queue; 1 means a plain single run. *)
+  deadline_s : float option;
+      (** Queue-wide admission deadline: a job waiting longer than this
+          is shed instead of run. *)
+  tenant_quota : int option;  (** Max in-flight jobs per tenant. *)
+  breaker : Ftn_runtime.Breaker.config option;
+      (** Per-device circuit breaker configuration for the job queue. *)
+  shed_watermark : int option;
+      (** Aggregate queue depth above which overload shedding starts. *)
 }
 
 let default =
@@ -34,4 +42,8 @@ let default =
     retry = Ftn_fault.Fault.default_retry;
     devices = 1;
     jobs = 1;
+    deadline_s = None;
+    tenant_quota = None;
+    breaker = None;
+    shed_watermark = None;
   }

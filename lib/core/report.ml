@@ -46,7 +46,37 @@ let pp_sched fmt (stats : Jobs.stats) =
   Fmt.pf fmt "devices:@.";
   List.iter
     (fun ds -> Fmt.pf fmt "  %a@." Scheduler.pp_device_snapshot ds)
-    (Scheduler.snapshot stats.Jobs.scheduler)
+    (Scheduler.snapshot stats.Jobs.scheduler);
+  if List.length stats.Jobs.tenants > 1 then begin
+    Fmt.pf fmt "tenants:@.";
+    List.iter
+      (fun (t : Jobs.tenant_stats) ->
+        Fmt.pf fmt
+          "  %-8s %4d run, %3d shed, p50 %.3f us, p90 %.3f us, p99 %.3f us%s@."
+          t.Jobs.t_name t.Jobs.t_run t.Jobs.t_shed
+          (t.Jobs.t_p50_s *. 1e6)
+          (t.Jobs.t_p90_s *. 1e6)
+          (t.Jobs.t_p99_s *. 1e6)
+          (if t.Jobs.t_slo_violations > 0 then
+             Fmt.str ", %d slo violations" t.Jobs.t_slo_violations
+           else ""))
+      stats.Jobs.tenants
+  end;
+  if stats.Jobs.breakers <> [] then begin
+    Fmt.pf fmt "breakers:@.";
+    List.iter
+      (fun b -> Fmt.pf fmt "  %a@." Ftn_runtime.Breaker.pp_snapshot b)
+      stats.Jobs.breakers
+  end;
+  if stats.Jobs.sheds <> [] then begin
+    Fmt.pf fmt "sheds:@.";
+    List.iter
+      (fun (s : Jobs.shed) ->
+        Fmt.pf fmt "  %-12s tenant %s, %s, waited %.3f us@." s.Jobs.sh_job
+          s.Jobs.sh_tenant s.Jobs.sh_reason
+          (s.Jobs.sh_wait_s *. 1e6))
+      stats.Jobs.sheds
+  end
 
 let sched_summary stats = Fmt.str "%a" pp_sched stats
 

@@ -64,9 +64,15 @@ let run_jobs ?(options = Options.default) ?(echo = false) ?file ?engine
         (match (fault_device, options.Options.fault_plan) with
         | Some d, Some p -> Some (d, p)
         | _ -> None);
+      default_deadline_s = options.Options.deadline_s;
+      tenant_quota = options.Options.tenant_quota;
+      tenant_share = None;
+      slo_s = None;
+      breaker = options.Options.breaker;
+      shed_watermark = options.Options.shed_watermark;
     }
   in
-  (artifacts, bitstream, Jobs.run ~config specs)
+  (artifacts, bitstream, Jobs.run ~config ?diag:engine specs)
 
 (* CPU reference execution: sequential OpenMP semantics, no device. *)
 let run_cpu ?(echo = false) ?file ?engine source =

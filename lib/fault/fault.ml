@@ -273,9 +273,33 @@ let parse_rule s =
         r_persistence = Option.value ~default:Transient persistence;
       }
 
+(* The injector arms at most one rule per logical operation and the
+   first match wins, so a second rule for the same kind and kernel can
+   never fire — reject the plan instead of silently shadowing it. *)
+let check_duplicates rules =
+  let rec go seen = function
+    | [] -> Result.ok ()
+    | r :: rest ->
+      let key = (r.r_kind, r.r_kernel) in
+      if List.mem key seen then
+        Result.error
+          (Fmt.str
+             "duplicate fault rule for %s site%s: a %S rule is already \
+              armed and the later one would never fire"
+             (site_code (site_of_kind r.r_kind))
+             (match r.r_kernel with
+             | Some k -> Fmt.str " (kernel %S)" k
+             | None -> "")
+             (rule_to_string r))
+      else go (key :: seen) rest
+  in
+  go [] rules
+
 let parse_plan ?(seed = 0) s =
   let rec go acc = function
-    | [] -> Result.ok { rules = List.rev acc; seed }
+    | [] ->
+      let rules = List.rev acc in
+      Result.map (fun () -> { rules; seed }) (check_duplicates rules)
     | r :: rest -> (
       match parse_rule r with
       | Result.Ok rule -> go (rule :: acc) rest

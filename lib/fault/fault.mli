@@ -142,7 +142,9 @@ val parse_plan : ?seed:int -> string -> (plan, string) result
     [kind('@'kernel)?(':'nth=N|':'p=P)?(':'transient|':'persistent)?] and
     [kind] is [alloc], [transfer], [launch] or [timeout]. The trigger
     defaults to [nth=1], the persistence to [transient]; e.g.
-    ["transfer:nth=2,timeout@saxpy_hw:persistent"]. *)
+    ["transfer:nth=2,timeout@saxpy_hw:persistent"]. Two rules with the
+    same kind and kernel are rejected: the injector arms the first
+    match per operation, so the later rule could never fire. *)
 
 val plan_to_string : plan -> string
 val rule_to_string : rule -> string

@@ -1,0 +1,163 @@
+(* Per-device circuit breaker: closed -> open on consecutive failures,
+   half-open probe after a simulated-time cooldown, permanent quarantine
+   after too many trips. Deterministic: state depends only on the
+   sequence of (timestamp, outcome) pairs fed in. *)
+
+type state =
+  | Closed
+  | Open of float
+  | Half_open
+  | Quarantined
+
+type config = {
+  trip_threshold : int;
+  cooldown_s : float;
+  flap_limit : int;
+}
+
+let default_config = { trip_threshold = 3; cooldown_s = 1e-3; flap_limit = 4 }
+
+let parse_config spec =
+  let spec = String.trim spec in
+  if String.equal spec "on" || String.equal spec "" then Ok default_config
+  else
+    let fields = String.split_on_char ',' spec in
+    List.fold_left
+      (fun acc field ->
+        match acc with
+        | Error _ -> acc
+        | Ok cfg -> (
+          match String.split_on_char '=' (String.trim field) with
+          | [ "trip"; v ] -> (
+            match int_of_string_opt v with
+            | Some n when n >= 1 -> Ok { cfg with trip_threshold = n }
+            | _ -> Error (Fmt.str "breaker: bad trip count %S" v))
+          | [ "cooldown"; v ] -> (
+            match float_of_string_opt v with
+            | Some s when s > 0.0 -> Ok { cfg with cooldown_s = s }
+            | _ -> Error (Fmt.str "breaker: bad cooldown %S" v))
+          | [ "flap"; v ] -> (
+            match int_of_string_opt v with
+            | Some n when n >= 1 -> Ok { cfg with flap_limit = n }
+            | _ -> Error (Fmt.str "breaker: bad flap limit %S" v))
+          | _ ->
+            Error
+              (Fmt.str
+                 "breaker: unknown field %S (expected \
+                  trip=N,cooldown=S,flap=N or \"on\")"
+                 (String.trim field))))
+      (Ok default_config) fields
+
+type t = {
+  device : int;
+  config : config;
+  on_transition :
+    (device:int ->
+    time_s:float ->
+    from_:string ->
+    to_:string ->
+    trips:int ->
+    unit)
+    option;
+  mutable state : state;
+  mutable failures : int;  (* consecutive, in the current closed window *)
+  mutable trips : int;
+  mutable transitions : (float * string * string) list;  (* reversed *)
+}
+
+let create ?on_transition ~device config =
+  if config.trip_threshold < 1 then
+    invalid_arg "Breaker.create: trip_threshold < 1";
+  if config.cooldown_s <= 0.0 then invalid_arg "Breaker.create: cooldown <= 0";
+  if config.flap_limit < 1 then invalid_arg "Breaker.create: flap_limit < 1";
+  {
+    device;
+    config;
+    on_transition;
+    state = Closed;
+    failures = 0;
+    trips = 0;
+    transitions = [];
+  }
+
+let state t = t.state
+let trips t = t.trips
+
+let state_name = function
+  | Closed -> "closed"
+  | Open _ -> "open"
+  | Half_open -> "half-open"
+  | Quarantined -> "quarantined"
+
+let transition t ~now_s next =
+  let from_ = state_name t.state and to_ = state_name next in
+  t.state <- next;
+  t.transitions <- (now_s, from_, to_) :: t.transitions;
+  match t.on_transition with
+  | Some f -> f ~device:t.device ~time_s:now_s ~from_ ~to_ ~trips:t.trips
+  | None -> ()
+
+let admit_time_s t =
+  match t.state with
+  | Closed | Half_open -> Some 0.0
+  | Open until -> Some until
+  | Quarantined -> None
+
+let note_admitted t ~now_s =
+  match t.state with
+  | Open until when now_s >= until -> transition t ~now_s Half_open
+  | _ -> ()
+
+let trip t ~now_s =
+  t.trips <- t.trips + 1;
+  t.failures <- 0;
+  if t.trips >= t.config.flap_limit then transition t ~now_s Quarantined
+  else transition t ~now_s (Open (now_s +. t.config.cooldown_s))
+
+let record t ~now_s ~ok =
+  match t.state with
+  | Quarantined -> ()
+  | Half_open ->
+    if ok then begin
+      t.failures <- 0;
+      transition t ~now_s Closed
+    end
+    else trip t ~now_s
+  | Closed ->
+    if ok then t.failures <- 0
+    else begin
+      t.failures <- t.failures + 1;
+      if t.failures >= t.config.trip_threshold then trip t ~now_s
+    end
+  | Open _ ->
+    (* A job admitted before the trip can still report in; it only
+       counts against the next closed window if it failed. *)
+    if not ok then t.failures <- t.failures + 1
+
+type snapshot = {
+  bk_device : int;
+  bk_state : string;
+  bk_failures : int;
+  bk_trips : int;
+  bk_transitions : (float * string * string) list;
+}
+
+let snapshot t =
+  {
+    bk_device = t.device;
+    bk_state = state_name t.state;
+    bk_failures = t.failures;
+    bk_trips = t.trips;
+    bk_transitions = List.rev t.transitions;
+  }
+
+let pp_snapshot fmt s =
+  Fmt.pf fmt "breaker d%d: %s, %d trip%s%s" s.bk_device s.bk_state s.bk_trips
+    (if s.bk_trips = 1 then "" else "s")
+    (if s.bk_transitions = [] then ""
+     else
+       Fmt.str " (%s)"
+         (String.concat ", "
+            (List.map
+               (fun (t, f, to_) -> Fmt.str "%s->%s@%.3fus" f to_ (t *. 1e6))
+               s.bk_transitions)))

@@ -1,0 +1,72 @@
+(** Per-device circuit breaker for the job queue.
+
+    Health is fed by job outcomes on the device: a run that needed
+    retries, drained away, degraded to the host CPU or saw injected
+    faults counts as a failure. [trip_threshold] consecutive failures
+    open the breaker for [cooldown_s] of simulated time; the first job
+    admitted after the cooldown runs as a half-open probe, whose outcome
+    either closes the breaker again or re-opens it. A breaker that trips
+    [flap_limit] times is quarantined permanently — a flapping board is
+    worse than a dead one.
+
+    The breaker is purely a function of the (deterministic) sequence of
+    [record]/[note_admitted] calls and simulated timestamps, so the same
+    job list and fault seed always produce the same transition trace. *)
+
+type state =
+  | Closed
+  | Open of float  (** Rejecting work until the given simulated time. *)
+  | Half_open  (** Cooldown elapsed; one probe job decides the outcome. *)
+  | Quarantined  (** Flapped out permanently. *)
+
+type config = {
+  trip_threshold : int;  (** Consecutive failures that open the breaker. *)
+  cooldown_s : float;  (** Open duration before a half-open probe. *)
+  flap_limit : int;  (** Trips after which the device is quarantined. *)
+}
+
+val default_config : config
+(** trip after 3 consecutive failures, 1 ms cooldown, quarantine on the
+    4th trip. *)
+
+val parse_config : string -> (config, string) result
+(** ["on"] for {!default_config}, or comma-separated
+    [trip=N,cooldown=SECONDS,flap=N] overriding individual fields. *)
+
+type t
+
+type snapshot = {
+  bk_device : int;
+  bk_state : string;
+  bk_failures : int;  (** Consecutive failures in the current window. *)
+  bk_trips : int;
+  bk_transitions : (float * string * string) list;
+      (** [(time_s, from, to)] in program order. *)
+}
+
+val create :
+  ?on_transition:
+    (device:int -> time_s:float -> from_:string -> to_:string -> trips:int -> unit) ->
+  device:int ->
+  config ->
+  t
+
+val state : t -> state
+val state_name : state -> string
+val trips : t -> int
+
+val admit_time_s : t -> float option
+(** Earliest simulated time the device may accept a job: [Some 0.]
+    when closed or half-open, [Some until] while open (the job admitted
+    at [until] becomes the probe), [None] when quarantined. Does not
+    mutate the breaker. *)
+
+val note_admitted : t -> now_s:float -> unit
+(** Tell the breaker a job was placed on its device at [now_s]; an open
+    breaker whose cooldown has elapsed moves to half-open. *)
+
+val record : t -> now_s:float -> ok:bool -> unit
+(** Feed the outcome of a job that ran on the device. *)
+
+val snapshot : t -> snapshot
+val pp_snapshot : Format.formatter -> snapshot -> unit

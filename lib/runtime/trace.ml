@@ -36,6 +36,20 @@ type event =
       steps : int;  (** Interpreter steps of the host-CPU execution. *)
       time_s : float;
     }
+  | Breaker of {
+      device : int;
+      from_ : string;
+      to_ : string;
+      trips : int;
+      time_s : float;
+    }
+  | Shed of {
+      job : string;
+      tenant : string;
+      reason : string;  (* deadline | overload | dep_shed | no_device *)
+      wait_s : float;  (* queue wait charged to the shed job *)
+      time_s : float;
+    }
 
 type t = { mutable events : event list (* reversed *) }
 
@@ -74,5 +88,11 @@ let pp_event fmt = function
   | Fallback { kernel; steps; time_s } ->
     Fmt.pf fmt "fallback %-12s  %d host steps  %.3f us" kernel steps
       (time_s *. 1e6)
+  | Breaker { device; from_; to_; trips; time_s } ->
+    Fmt.pf fmt "breaker  d%-11d  %s -> %s (trip %d)  %.3f us" device from_ to_
+      trips (time_s *. 1e6)
+  | Shed { job; tenant; reason; wait_s; time_s } ->
+    Fmt.pf fmt "shed     %-12s  tenant %s, %s, waited %.3f us  %.3f us" job
+      tenant reason (wait_s *. 1e6) (time_s *. 1e6)
 
 let pp fmt t = Fmt.pf fmt "@[<v>%a@]" (Fmt.list pp_event) (events t)

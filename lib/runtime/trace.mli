@@ -36,6 +36,21 @@ type event =
       steps : int;  (** Interpreter steps of the host-CPU execution. *)
       time_s : float;
     }
+  | Breaker of {
+      device : int;
+      from_ : string;  (** {!Breaker.state_name} before the transition. *)
+      to_ : string;
+      trips : int;  (** Cumulative trips after the transition. *)
+      time_s : float;
+    }
+  | Shed of {
+      job : string;
+      tenant : string;
+      reason : string;
+          (** ["deadline"], ["overload"], ["dep_shed"] or ["no_device"]. *)
+      wait_s : float;  (** Queue wait charged to the shed job. *)
+      time_s : float;  (** Simulated time the shed was decided. *)
+    }
 
 type t
 

@@ -77,6 +77,28 @@ let plan_tests =
         match Fault.parse_plan "" with
         | Error _ -> ()
         | Ok _ -> Alcotest.fail "expected parse error");
+    tc "duplicate rule for the same kind is rejected" (fun () ->
+        match Fault.parse_plan "launch:nth=1,launch:nth=3" with
+        | Error msg ->
+          check Alcotest.bool "calls it a duplicate" true
+            (Astring_like.contains msg "duplicate")
+        | Ok _ -> Alcotest.fail "expected parse error");
+    tc "different kinds on the same site still compose" (fun () ->
+        (* launch and timeout both arm the launch site but are distinct
+           rules; the historic bench plan relies on this. *)
+        match Fault.parse_plan "launch:nth=1,timeout:nth=2" with
+        | Ok p -> check Alcotest.int "both rules" 2 (List.length p.Fault.rules)
+        | Error msg -> Alcotest.failf "rejected: %s" msg);
+    tc "same kind scoped to different kernels composes; same kernel is a \
+        duplicate" (fun () ->
+        (match Fault.parse_plan "launch@saxpy_hw:nth=1,launch@sgesl_hw:nth=1" with
+        | Ok p -> check Alcotest.int "both rules" 2 (List.length p.Fault.rules)
+        | Error msg -> Alcotest.failf "rejected: %s" msg);
+        match Fault.parse_plan "launch@saxpy_hw:nth=1,launch@saxpy_hw:nth=2" with
+        | Error msg ->
+          check Alcotest.bool "names the kernel" true
+            (Astring_like.contains msg "saxpy_hw")
+        | Ok _ -> Alcotest.fail "expected parse error");
   ]
 
 (* --- injector --- *)

@@ -440,6 +440,7 @@ let jobs_tests =
           Jobs.run
             ~config:
               {
+                Jobs.default_config with
                 Jobs.devices = 3;
                 queue_depth = 8;
                 fault_device = Some (1, persistent_plan);
@@ -482,7 +483,8 @@ let props =
         (fun case ->
           let run devices =
             Jobs.run
-              ~config:{ Jobs.devices; queue_depth = 4; fault_device = None }
+              ~config:
+                { Jobs.default_config with Jobs.devices; queue_depth = 4 }
               (build_specs case)
           in
           let s1 = run 1 and s3 = run 3 in
